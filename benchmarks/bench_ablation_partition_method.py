@@ -1,0 +1,79 @@
+"""ABL-METHOD — "any partitioning methodology fits our system".
+
+Section III-A adopts METIS-style k-way partitioning but explicitly notes the
+G-Tree is agnostic to the methodology.  This ablation builds the same
+hierarchy with the balanced multilevel partitioner and with Louvain
+modularity communities (adapted to fixed fanout), then compares the
+trade-off the analyst actually faces: balance and equal community sizes
+versus natural community boundaries (modularity), plus the effect on the
+Tomahawk display size.
+"""
+
+import pytest
+
+from repro.core.builder import GTreeBuildOptions, GTreeBuilder
+from repro.core.tomahawk import clutter_reduction
+from repro.partition.hierarchy import recursive_partition
+from repro.partition.kway import KWayOptions
+from repro.partition.louvain import louvain_partition_fn
+from repro.partition.metrics import modularity
+
+from conftest import report
+
+
+def build_with(dblp, partition_fn=None, seed=17):
+    graph = dblp.graph
+    hierarchy = recursive_partition(
+        graph,
+        fanout=5,
+        levels=3,
+        partition_fn=partition_fn,
+        options=None if partition_fn else KWayOptions(seed=seed),
+    )
+    tree = GTreeBuilder(GTreeBuildOptions(fanout=5, levels=3, seed=seed)).build(
+        graph, hierarchy
+    )
+    return hierarchy, tree
+
+
+def level1_stats(dblp, hierarchy, tree):
+    graph = dblp.graph
+    level1 = {node: index for index, child in enumerate(hierarchy.root.children)
+              for node in child.members}
+    sizes = [len(child.members) for child in hierarchy.root.children]
+    return {
+        "first_level_parts": len(sizes),
+        "min_size": min(sizes),
+        "max_size": max(sizes),
+        "size_imbalance": max(sizes) / (sum(sizes) / len(sizes)),
+        "modularity": modularity(graph, level1),
+        "tomahawk_items_at_root": clutter_reduction(tree, tree.root.node_id)["tomahawk_items"],
+    }
+
+
+@pytest.mark.benchmark(group="ablation-partition-method")
+def test_ablation_partition_methodology(benchmark, dblp):
+    kway_hierarchy, kway_tree = benchmark.pedantic(
+        lambda: build_with(dblp), iterations=1, rounds=1
+    )
+    louvain_hierarchy, louvain_tree = build_with(
+        dblp, partition_fn=louvain_partition_fn(seed=17)
+    )
+
+    rows = [
+        {"methodology": "multilevel k-way (METIS-style)",
+         **level1_stats(dblp, kway_hierarchy, kway_tree)},
+        {"methodology": "Louvain (modularity, fanout-adapted)",
+         **level1_stats(dblp, louvain_hierarchy, louvain_tree)},
+    ]
+    report("ABL-METHOD: partitioning methodology behind the same G-Tree", rows)
+
+    kway_row, louvain_row = rows
+    # Both methodologies plug into the same G-Tree machinery (the paper's
+    # claim): both trees validate and expose the same display size at the root.
+    assert kway_tree.validate() == [] and louvain_tree.validate() == []
+    assert kway_row["first_level_parts"] == louvain_row["first_level_parts"] == 5
+    # The k-way partitioner wins on balance; Louvain is allowed to trade
+    # balance for (at least comparable) modularity.
+    assert kway_row["size_imbalance"] <= louvain_row["size_imbalance"] + 0.05
+    assert kway_row["modularity"] > 0.2

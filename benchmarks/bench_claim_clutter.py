@@ -1,0 +1,70 @@
+"""CLAIM-CLUTTER — "limited visual data presentation in contrast to cluttered
+visualizations generated when large graphs are entirely drawn".
+
+This benchmark renders (headlessly) the three display strategies for the
+same dataset and counts the visual items each one puts on screen:
+
+* drawing the whole graph (every node and edge),
+* drawing the fully expanded hierarchy (every community, every leaf edge),
+* the Tomahawk view of a focused community.
+
+The Tomahawk view must be orders of magnitude smaller, and its size must not
+grow with the dataset.
+"""
+
+import pytest
+
+from repro.core.builder import build_gtree
+from repro.core.tomahawk import tomahawk_context
+from repro.data.dblp import DBLPConfig, generate_dblp
+from repro.viz.render import render_full_expansion, render_subgraph, render_tomahawk_view
+
+from conftest import report
+
+SIZES = [500, 1000, 2000]
+
+
+@pytest.mark.benchmark(group="claim-clutter")
+def test_claim_clutter_reduction(benchmark):
+    datasets = {
+        size: generate_dblp(DBLPConfig(num_authors=size, seed=13)) for size in SIZES
+    }
+    trees = {
+        size: build_gtree(dataset.graph, fanout=5, levels=3, seed=13)
+        for size, dataset in datasets.items()
+    }
+
+    def tomahawk_items():
+        items = {}
+        for size in SIZES:
+            tree = trees[size]
+            focus = tree.children(tree.root.node_id)[0]
+            context = tomahawk_context(tree, focus.node_id)
+            scene = render_tomahawk_view(tree, context, graph=datasets[size].graph)
+            items[size] = scene.visual_item_count()
+        return items
+
+    tomahawk = benchmark.pedantic(tomahawk_items, iterations=1, rounds=1)
+
+    rows = []
+    for size in SIZES:
+        graph = datasets[size].graph
+        whole = render_subgraph(graph, max_labels=0)
+        expanded = render_full_expansion(trees[size], graph=graph)
+        rows.append(
+            {
+                "authors": size,
+                "whole_graph_items": whole.visual_item_count(),
+                "full_hierarchy_items": expanded.visual_item_count(),
+                "tomahawk_items": tomahawk[size],
+                "reduction_vs_whole": whole.visual_item_count() / tomahawk[size],
+            }
+        )
+    report("CLAIM-CLUTTER: visual items per display strategy", rows)
+
+    # Shape: the whole-graph drawing grows linearly with the dataset while the
+    # Tomahawk view stays essentially constant and far smaller.
+    assert rows[-1]["whole_graph_items"] > 2.5 * rows[0]["whole_graph_items"]
+    assert max(tomahawk.values()) < 1.5 * min(tomahawk.values()) + 20
+    for row in rows:
+        assert row["reduction_vs_whole"] > 10.0

@@ -1,0 +1,58 @@
+"""CLAIM-DBLP — Section II/III quantitative claims about the DBLP hierarchy.
+
+The paper: DBLP has n = 315,688 authors and e = 1,659,853 edges; recursively
+partitioning it into 5 hierarchy levels each with 5 partitions yields
+"5^4 + 1, or 626, communities with an average of 500 nodes per community".
+
+At the benchmark's reduced scale the same construction gives 5^(levels-1)
+leaf communities with an average of n / 5^(levels-1) authors; the benchmark
+checks that bookkeeping and also verifies the average-degree regime of the
+synthetic surrogate matches DBLP's (2e/n ≈ 10.5).
+"""
+
+import pytest
+
+from repro.partition.hierarchy import hierarchy_summary, recursive_partition
+from repro.partition.kway import KWayOptions
+
+from conftest import report
+
+
+@pytest.mark.benchmark(group="claim-dblp")
+def test_claim_dblp_hierarchy_bookkeeping(benchmark, dblp):
+    graph = dblp.graph
+    levels = 4 if graph.num_nodes <= 10_000 else 5
+
+    hierarchy = benchmark.pedantic(
+        lambda: recursive_partition(graph, fanout=5, levels=levels,
+                                    options=KWayOptions(seed=7)),
+        iterations=1, rounds=1,
+    )
+    summary = hierarchy_summary(hierarchy)
+    expected_leaves = 5 ** (levels - 1)
+    paper_row = {
+        "setting": "paper (DBLP, 5 levels)",
+        "authors": 315_688,
+        "edges": 1_659_853,
+        "avg_degree": 2 * 1_659_853 / 315_688,
+        "leaf_communities": 5 ** 4,
+        "paper_count": 5 ** 4 + 1,
+        "mean_leaf_size": 315_688 / 5 ** 4,
+    }
+    ours_row = {
+        "setting": f"ours (synthetic, {levels} levels)",
+        "authors": graph.num_nodes,
+        "edges": graph.num_edges,
+        "avg_degree": 2 * graph.num_edges / graph.num_nodes,
+        "leaf_communities": summary["leaf_communities"],
+        "paper_count": summary["paper_communities"],
+        "mean_leaf_size": summary["mean_leaf_size"],
+    }
+    report("CLAIM-DBLP: hierarchy bookkeeping, paper vs reproduction", [paper_row, ours_row])
+
+    # The formula-level claims transfer exactly.
+    assert summary["leaf_communities"] == expected_leaves
+    assert summary["paper_communities"] == expected_leaves + 1
+    assert summary["mean_leaf_size"] == pytest.approx(graph.num_nodes / expected_leaves, rel=0.01)
+    # The synthetic surrogate sits in the same average-degree regime as DBLP.
+    assert 5.0 <= ours_row["avg_degree"] <= 20.0

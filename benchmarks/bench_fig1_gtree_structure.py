@@ -1,0 +1,53 @@
+"""FIG1 — Figure 1: the G-Tree structure.
+
+The figure sketches the recursive structuring of a graph into an R-tree-like
+hierarchy whose leaves reference the actual graph nodes.  This benchmark
+times G-Tree construction on the synthetic DBLP surrogate and reports the
+structural facts the figure illustrates: number of levels, communities per
+level, leaf sizes, and the invariant that leaves exactly cover the graph.
+"""
+
+import pytest
+
+from repro.core.builder import build_gtree
+
+from conftest import report
+
+
+@pytest.mark.benchmark(group="fig1-gtree")
+def test_fig1_gtree_construction(benchmark, dblp):
+    graph = dblp.graph
+    tree = benchmark.pedantic(
+        lambda: build_gtree(graph, fanout=5, levels=3, seed=1),
+        iterations=1,
+        rounds=1,
+    )
+    summary = tree.summary()
+    rows = []
+    for level in range(tree.depth() + 1):
+        nodes = tree.nodes_at_level(level)
+        rows.append(
+            {
+                "level": level,
+                "communities": len(nodes),
+                "mean_size": sum(node.size for node in nodes) / len(nodes),
+                "leaves": sum(1 for node in nodes if node.is_leaf),
+            }
+        )
+    report("FIG1: G-Tree structure by level", rows)
+    report(
+        "FIG1: headline",
+        [
+            {
+                "graph_nodes": graph.num_nodes,
+                "graph_edges": graph.num_edges,
+                "tree_nodes": summary["tree_nodes"],
+                "leaf_communities": summary["leaf_communities"],
+                "mean_leaf_size": summary["mean_leaf_size"],
+            }
+        ],
+    )
+    # Leaves exactly cover the graph — the property figure 1's bottom level shows.
+    leaf_total = sum(leaf.size for leaf in tree.leaves())
+    assert leaf_total == graph.num_nodes
+    assert tree.validate() == []

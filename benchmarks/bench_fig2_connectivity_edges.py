@@ -1,0 +1,58 @@
+"""FIG2 — Figure 2: nodes, community nodes, and connectivity edges.
+
+Figure 2 contrasts the three drawing primitives: conventional nodes/edges at
+the bottom level, leaf community nodes with connectivity edges, and non-leaf
+community nodes with connectivity edges.  This benchmark times connectivity
+aggregation and reports how many original edges each representation needs,
+checking that the connectivity edges exactly account for every cross-
+community edge.
+"""
+
+import pytest
+
+from repro.core.connectivity import connectivity_among_children, internal_edge_count
+
+from conftest import report
+
+
+@pytest.mark.benchmark(group="fig2-connectivity")
+def test_fig2_connectivity_aggregation(benchmark, dblp, dblp_tree):
+    graph = dblp.graph
+    root = dblp_tree.root
+    child_members = {
+        child_id: dblp_tree.node(child_id).members for child_id in root.children
+    }
+
+    edges = benchmark(lambda: connectivity_among_children(graph, child_members))
+
+    cross_total = sum(edge.edge_count for edge in edges)
+    internal_total = sum(
+        internal_edge_count(graph, members)[0] for members in child_members.values()
+    )
+    rows = [
+        {
+            "representation": "conventional nodes + edges",
+            "items_drawn": graph.num_nodes + graph.num_edges,
+        },
+        {
+            "representation": "community nodes + connectivity edges",
+            "items_drawn": len(child_members) + len(edges),
+        },
+    ]
+    report("FIG2: drawing primitives", rows)
+    report(
+        "FIG2: edge accounting",
+        [
+            {
+                "total_edges": graph.num_edges,
+                "intra_community": internal_total,
+                "cross_community": cross_total,
+                "connectivity_edges": len(edges),
+            }
+        ],
+    )
+    # Every edge is either inside one first-level community or counted by
+    # exactly one connectivity edge.
+    assert internal_total + cross_total == graph.num_edges
+    # The aggregated view is orders of magnitude smaller than the raw drawing.
+    assert len(child_members) + len(edges) < 0.01 * (graph.num_nodes + graph.num_edges)

@@ -1,0 +1,92 @@
+"""FIG3 — Figure 3: the six-step DBLP navigation walkthrough.
+
+The figure narrates: (a) five top communities and 25 sub-communities with
+differing connectivity, (b) focus on an isolated community, (c) full
+expansion revealing a single outlier edge and the co-authorship behind it,
+(d) a label query for a prolific author, (e) the author's community, and
+(f) the author's strongest collaborator.  This benchmark scripts the same
+six interactions against the engine, times the full sequence, and reports
+the quantities visible in each panel.
+"""
+
+import pytest
+
+from repro.core.engine import GMineEngine
+from repro.core.connectivity import isolation_profile
+
+from conftest import report
+
+
+def run_walkthrough(dblp, tree):
+    graph = dblp.graph
+    engine = GMineEngine(tree, graph=graph)
+    out = {}
+
+    # (a) first level: communities and how many siblings each connects to.
+    engine.focus_root()
+    level1 = tree.children(tree.root.node_id)
+    profile = isolation_profile(graph, {child.node_id: child.members for child in level1})
+    out["level1"] = [
+        {"community": child.label, "authors": child.size,
+         "connected_siblings": profile[child.node_id]}
+        for child in level1
+    ]
+
+    # (b) focus the least-connected internal community (the paper's s034 role).
+    internal = [node for node in tree.nodes() if not node.is_leaf and not node.is_root]
+    target = min(internal, key=lambda node: len(node.connectivity))
+    context = engine.focus_community(target.label)
+    out["focus"] = {"community": target.label,
+                    "sub_communities": len(target.children),
+                    "connectivity_edges": len(target.connectivity),
+                    "tomahawk_items": context.size}
+
+    # (c) outlier edge inspection.
+    candidates = [node for node in internal if node.connectivity]
+    host = min(candidates, key=lambda node: min(e.edge_count for e in node.connectivity))
+    outlier = min(host.connectivity, key=lambda e: e.edge_count)
+    inspection = engine.inspect_connectivity_edge(outlier.source, outlier.target)
+    out["outlier"] = {"between": f"{inspection.community_a}~{inspection.community_b}",
+                      "hidden_edges": len(inspection.edges)}
+
+    # (d) label query for the most prolific author.
+    author_id, author_name, degree = dblp.most_collaborative_authors(1)[0]
+    query = engine.label_query(author_name)
+    out["query"] = {"author": author_name, "degree": degree,
+                    "path": " > ".join(reversed(query.path_labels))}
+
+    # (e) the author's community metrics.
+    engine.locate_and_focus(author_name)
+    metrics = engine.community_metrics(hop_sample_size=32)
+    out["community"] = {"label": engine.focus.label,
+                        "authors": metrics.degree_stats.num_nodes,
+                        "weak_components": metrics.num_weak_components,
+                        "diameter": metrics.diameter}
+
+    # (f) strongest collaborator.
+    partner, weight = engine.strongest_neighbors(author_id, count=1)[0]
+    out["collaborator"] = {"author": author_name,
+                           "top_collaborator": dblp.name_of(partner),
+                           "joint_papers": weight}
+    return out
+
+
+@pytest.mark.benchmark(group="fig3-navigation")
+def test_fig3_navigation_walkthrough(benchmark, dblp, dblp_tree):
+    out = benchmark.pedantic(lambda: run_walkthrough(dblp, dblp_tree),
+                             iterations=1, rounds=1)
+    report("FIG3(a): first-level communities", out["level1"])
+    report("FIG3(b): focused community", [out["focus"]])
+    report("FIG3(c): outlier edge inspection", [out["outlier"]])
+    report("FIG3(d): label query", [out["query"]])
+    report("FIG3(e): author community", [out["community"]])
+    report("FIG3(f): strongest collaborator", [out["collaborator"]])
+
+    # Shape checks: five first-level communities, the walkthrough finds an
+    # outlier with few hidden edges, and the label query resolves to a path
+    # rooted at s0.
+    assert len(out["level1"]) == 5
+    assert out["outlier"]["hidden_edges"] >= 1
+    assert out["query"]["path"].startswith("s0")
+    assert out["community"]["authors"] > 0
+    assert out["collaborator"]["joint_papers"] >= 1

@@ -1,0 +1,52 @@
+"""FIG4 — Figure 4: the Tomahawk principle.
+
+The figure shows which tree nodes are selected for display when the user
+focuses a community: the node itself, its sons, its siblings and its
+ancestors.  This benchmark times context computation and reports, per tree
+level, how many communities the Tomahawk context draws versus how many a
+full expansion of the focus subtree would draw.
+"""
+
+import pytest
+
+from repro.core.tomahawk import clutter_reduction, full_expansion_size, tomahawk_context
+
+from conftest import report
+
+
+@pytest.mark.benchmark(group="fig4-tomahawk")
+def test_fig4_tomahawk_context(benchmark, dblp_tree):
+    tree = dblp_tree
+    focuses = {}
+    for level in range(tree.depth() + 1):
+        nodes = tree.nodes_at_level(level)
+        if nodes:
+            focuses[level] = nodes[0]
+
+    def compute_all():
+        return {level: tomahawk_context(tree, node.node_id)
+                for level, node in focuses.items()}
+
+    contexts = benchmark(compute_all)
+
+    rows = []
+    for level, context in contexts.items():
+        node = focuses[level]
+        rows.append(
+            {
+                "focus_level": level,
+                "focus": node.label,
+                "tomahawk_items": context.size,
+                "full_expansion_items": full_expansion_size(tree, node.node_id),
+                "reduction": clutter_reduction(tree, node.node_id)["reduction_ratio"],
+            }
+        )
+    report("FIG4: Tomahawk context vs full expansion, by focus level", rows)
+
+    # Shape: the context stays small (focus + fanout children + siblings +
+    # ancestors) at every level, while the full expansion explodes near the root.
+    for row in rows:
+        assert row["tomahawk_items"] <= 2 * tree.root.children.__len__() + tree.depth() + 1
+        assert row["tomahawk_items"] <= row["full_expansion_items"]
+    root_row = rows[0]
+    assert root_row["reduction"] > 5.0

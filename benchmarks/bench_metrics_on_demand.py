@@ -1,0 +1,70 @@
+"""METRICS — Section III-B's details-on-demand calculations.
+
+"Our system supports the following calculations: degree distribution, number
+of hops, number of weak components, number of strong components and page
+rank calculation for the nodes."  This benchmark times the full metric suite
+on a focused community (the interactive case the paper describes) and
+cross-validates the results against networkx.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core.engine import GMineEngine
+from repro.mining.metrics_suite import compute_subgraph_metrics
+
+from conftest import report
+
+
+@pytest.mark.benchmark(group="metrics-on-demand")
+def test_metrics_on_demand_for_focused_community(benchmark, dblp, dblp_tree):
+    engine = GMineEngine(dblp_tree, graph=dblp.graph)
+    leaf = max(dblp_tree.leaves(), key=lambda node: node.size)
+    subgraph = engine.community_subgraph(leaf.node_id)
+
+    metrics = benchmark(lambda: compute_subgraph_metrics(subgraph, hop_sample_size=64))
+
+    # Cross-validation against networkx on the same subgraph.
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(subgraph.nodes())
+    nx_graph.add_weighted_edges_from(subgraph.edges())
+    nx_components = nx.number_connected_components(nx_graph)
+    nx_pagerank = nx.pagerank(nx_graph, alpha=0.85, weight="weight", tol=1e-10, max_iter=500)
+    top_ours = metrics.top_pagerank[0][0]
+    top_nx = max(nx_pagerank, key=nx_pagerank.get)
+
+    report(
+        "METRICS: details-on-demand for one community",
+        [
+            {
+                "community": leaf.label,
+                "nodes": metrics.degree_stats.num_nodes,
+                "edges": metrics.degree_stats.num_edges,
+                "max_degree": metrics.degree_stats.max_degree,
+                "diameter": metrics.diameter,
+                "weak_components": metrics.num_weak_components,
+                "strong_components": metrics.num_strong_components,
+                "top_pagerank_author": dblp.name_of(top_ours),
+            }
+        ],
+    )
+    report(
+        "METRICS: cross-validation vs networkx",
+        [
+            {
+                "metric": "weak components",
+                "ours": metrics.num_weak_components,
+                "networkx": nx_components,
+            },
+            {
+                "metric": "top PageRank vertex",
+                "ours": str(top_ours),
+                "networkx": str(top_nx),
+            },
+        ],
+    )
+
+    assert metrics.num_weak_components == nx_components
+    assert metrics.pagerank[top_nx] == pytest.approx(nx_pagerank[top_nx], abs=1e-4)
+    assert metrics.num_strong_components == metrics.num_weak_components
+    assert sum(metrics.degree_histogram.values()) == subgraph.num_nodes

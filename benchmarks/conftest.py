@@ -1,0 +1,75 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one figure or quantitative claim of the paper
+(see DESIGN.md's experiment index).  Alongside the pytest-benchmark timing,
+each benchmark prints a small table of the quantities the paper reports —
+the *shape* of those numbers (who wins, by what factor) is the reproduction
+target, not their absolute values.
+
+Dataset sizes here are reduced relative to the paper's 315,688-author DBLP
+snapshot so the whole harness runs in minutes; pass ``--paper-scale`` to use
+larger graphs (slower, closer to the paper's regime).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_gtree
+from repro.data.dblp import DBLPConfig, generate_dblp
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run benchmarks on larger graphs (closer to the paper's DBLP scale)",
+    )
+
+
+@pytest.fixture(scope="session")
+def scale(request) -> int:
+    """Number of synthetic authors used by the DBLP-based benchmarks."""
+    return 40_000 if request.config.getoption("--paper-scale") else 4_000
+
+
+@pytest.fixture(scope="session")
+def dblp(scale):
+    """The synthetic DBLP surrogate shared by the figure benchmarks."""
+    return generate_dblp(DBLPConfig(num_authors=scale, seed=2006))
+
+
+@pytest.fixture(scope="session")
+def dblp_tree(dblp):
+    """A fanout-5 G-Tree over the shared dataset (paper levels, reduced depth)."""
+    levels = 4 if dblp.graph.num_nodes <= 10_000 else 5
+    return build_gtree(dblp.graph, fanout=5, levels=levels, seed=2006)
+
+
+def report(title: str, rows) -> None:
+    """Print a small aligned table under a heading (visible with ``-s`` or on
+    benchmark summaries; always written so ``tee``'d logs carry the numbers)."""
+    print(f"\n=== {title} ===")
+    rows = list(rows)
+    if not rows:
+        print("(no rows)")
+        return
+    headers = list(rows[0].keys())
+    widths = {
+        header: max(len(str(header)), *(len(_fmt(row[header])) for row in rows))
+        for header in headers
+    }
+    print("  ".join(str(header).ljust(widths[header]) for header in headers))
+    for row in rows:
+        print("  ".join(_fmt(row[header]).ljust(widths[header]) for header in headers))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)

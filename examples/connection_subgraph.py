@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Reproduce figure 5: multi-source connection subgraph extraction.
+
+The paper queries the whole DBLP graph with three database researchers
+("Philip S. Yu", "Flip Korn", "Minos N. Garofalakis") and displays a 30-node
+connection subgraph that best captures how they are related — thousands of
+times smaller than the original graph, with intermediaries like H. V.
+Jagadish surfaced automatically.
+
+This script does the same on the synthetic DBLP surrogate: it picks three
+prolific authors from different sub-communities as the query set, extracts a
+30-node connection subgraph, compares it against the pairwise
+delivered-current baseline (KDD 2004), and renders the result.
+
+Run:  python examples/connection_subgraph.py
+"""
+
+from pathlib import Path
+
+from repro import generate_dblp
+from repro.data import DBLPConfig
+from repro.mining import (
+    extract_connection_subgraph,
+    extract_delivered_current,
+    extraction_summary,
+)
+from repro.viz import render_subgraph, write_svg
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def pick_query_authors(dataset, count: int = 3):
+    """Pick prolific authors from distinct sub-communities as the query set."""
+    chosen = []
+    seen_groups = set()
+    for author, name, degree in dataset.most_collaborative_authors(count * 20):
+        group = dataset.sub_community_of[author]
+        if group in seen_groups:
+            continue
+        seen_groups.add(group)
+        chosen.append((author, name, degree))
+        if len(chosen) == count:
+            break
+    return chosen
+
+
+def main() -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    dataset = generate_dblp(DBLPConfig(num_authors=3000, seed=5))
+    graph = dataset.graph
+    print(f"dataset: {graph.num_nodes} authors, {graph.num_edges} collaborations")
+
+    query = pick_query_authors(dataset, count=3)
+    sources = [author for author, _, _ in query]
+    print("query set (the paper uses Philip S. Yu / Flip Korn / Minos N. Garofalakis):")
+    for author, name, degree in query:
+        print(f"    {name} (id {author}, {degree} collaborators)")
+
+    # --- multi-source extraction (the paper's algorithm) ------------------ #
+    result = extract_connection_subgraph(graph, sources, budget=30)
+    summary = extraction_summary(result, graph)
+    print(f"\nextracted {summary['extracted_nodes']:.0f} nodes / "
+          f"{summary['extracted_edges']:.0f} edges "
+          f"({summary['reduction_factor']:.0f}x smaller than the dataset), "
+          f"{summary['num_paths']:.0f} important paths")
+
+    # The most "in between" non-source author (the H. V. Jagadish role).
+    intermediaries = sorted(
+        (node for node in result.subgraph.nodes() if node not in set(sources)),
+        key=lambda node: -result.goodness.get(node, 0.0),
+    )
+    if intermediaries:
+        best = intermediaries[0]
+        print(f"highest-goodness intermediary: {dataset.name_of(best)} "
+              f"(goodness {result.goodness[best]:.3f}, "
+              f"{result.subgraph.degree(best)} edges inside the extract)")
+
+    scene = render_subgraph(
+        result.subgraph,
+        highlight=sources,
+        node_scores=result.goodness,
+        title="figure 5: multi-source connection subgraph",
+    )
+    path = write_svg(scene, OUTPUT_DIR / "fig5_connection_subgraph.svg")
+    print(f"wrote {path}")
+
+    # --- pairwise baseline (delivered current, KDD'04) -------------------- #
+    baseline = extract_delivered_current(graph, sources[0], sources[1], budget=30)
+    print(f"\npairwise delivered-current baseline ({dataset.name_of(sources[0])} ↔ "
+          f"{dataset.name_of(sources[1])}): {baseline.num_nodes} nodes, "
+          f"{len(baseline.paths)} paths")
+    print("note: the baseline handles only two sources at a time — the paper's "
+          "algorithm covers all three in one query.")
+
+
+if __name__ == "__main__":
+    main()

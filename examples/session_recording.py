@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Record an exploration session, save it, and replay it on a rebuilt tree.
+
+GMine is demonstrated live at the conference; this example shows the
+reproduction's scriptable equivalent: an :class:`ExplorationSession` records
+every interaction (focus changes, label queries, metric requests), saves
+them as JSON, and replays them later — including against a G-Tree reloaded
+from its single-file store — so a demo walkthrough is fully reproducible.
+
+Run:  python examples/session_recording.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import GMineEngine, build_gtree, save_gtree, small_dblp
+from repro.core import ExplorationSession
+from repro.storage import GTreeStore
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def main() -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    dataset = small_dblp(num_authors=1000, seed=31)
+    tree = build_gtree(dataset.graph, fanout=4, levels=3, seed=31)
+
+    # --- record ----------------------------------------------------------- #
+    engine = GMineEngine(tree, graph=dataset.graph)
+    session = ExplorationSession(engine, name="demo-walkthrough")
+    session.focus("s0", note="start at the whole collection")
+    session.drill_down(0, note="enter the first community")
+    session.bookmark("first-community")
+    prolific = dataset.most_collaborative_authors(1)[0][1]
+    session.locate_and_focus(prolific, note="jump to the most prolific author")
+    session.community_metrics(note="inspect their community")
+    session.goto_bookmark("first-community")
+
+    session_path = OUTPUT_DIR / "walkthrough.json"
+    session.save(session_path)
+    print(f"recorded {len(session.steps)} steps -> {session_path}")
+    print("actions:", [step.action for step in session.steps])
+
+    # --- replay against a store-backed engine ------------------------------ #
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "walkthrough.gtree"
+        save_gtree(tree, store_path)
+        with GTreeStore(store_path, cache_capacity=4) as store:
+            replay_engine = GMineEngine(store.tree, graph=dataset.graph, store=store)
+            steps = ExplorationSession.load_steps(session_path)
+            replayed = ExplorationSession.replay(replay_engine, steps)
+            print(f"replayed {len(replayed.steps)} steps from disk; "
+                  f"final focus: {replayed.engine.focus.label} "
+                  f"(was {engine.focus.label} when recorded)")
+            assert replayed.engine.focus.label == engine.focus.label
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so the package can be installed in environments without the ``wheel`` package
+or network access (``pip install -e . --no-build-isolation --no-use-pep517``
+falls back to ``setup.py develop``, which needs this shim).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""GMine reproduction: scalable, interactive graph visualization and mining.
+
+A faithful, pure-Python reproduction of *GMine: A System for Scalable,
+Interactive Graph Visualization and Mining* (Rodrigues Jr., Tong, Traina,
+Faloutsos, Leskovec — VLDB 2006):
+
+* :mod:`repro.graph` — the graph substrate (structures, generators, IO),
+* :mod:`repro.partition` — multilevel k-way partitioning (METIS substitute)
+  and recursive communities-within-communities hierarchies,
+* :mod:`repro.core` — the G-Tree, connectivity edges, the Tomahawk display
+  principle and the interactive :class:`~repro.core.engine.GMineEngine`,
+* :mod:`repro.storage` — single-file persistence with lazy, paged loading,
+* :mod:`repro.mining` — random walk with restart, multi-source connection
+  subgraph extraction, the delivered-current baseline and subgraph metrics,
+* :mod:`repro.viz` — headless layouts and SVG rendering of every view,
+* :mod:`repro.data` — the synthetic DBLP-like co-authorship dataset.
+
+Quickstart
+----------
+>>> from repro import small_dblp, build_gtree, GMineEngine
+>>> dataset = small_dblp(1000, seed=7)
+>>> tree = build_gtree(dataset.graph, fanout=5, levels=3)
+>>> engine = GMineEngine(tree, graph=dataset.graph)
+>>> engine.focus_root().size >= 1
+True
+"""
+
+from .core import (
+    ConnectivityEdge,
+    GMineEngine,
+    GTree,
+    GTreeBuildOptions,
+    GTreeBuilder,
+    GTreeNode,
+    TomahawkContext,
+    build_gtree,
+    tomahawk_context,
+)
+from .data import DBLPConfig, DBLPDataset, generate_dblp, small_dblp
+from .errors import GMineError
+from .graph import DiGraph, Graph
+from .mining import (
+    ExtractionResult,
+    compute_subgraph_metrics,
+    extract_connection_subgraph,
+    extract_delivered_current,
+    meeting_probability,
+    pagerank,
+)
+from .partition import (
+    HierarchicalPartition,
+    KWayOptions,
+    edge_cut,
+    kway_partition,
+    recursive_partition,
+)
+from .storage import GTreeStore, load_gtree_fully, save_gtree
+from .viz import render_subgraph, render_tomahawk_view, write_svg
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConnectivityEdge",
+    "DBLPConfig",
+    "DBLPDataset",
+    "DiGraph",
+    "ExtractionResult",
+    "GMineEngine",
+    "GMineError",
+    "GTree",
+    "GTreeBuildOptions",
+    "GTreeBuilder",
+    "GTreeNode",
+    "GTreeStore",
+    "Graph",
+    "HierarchicalPartition",
+    "KWayOptions",
+    "TomahawkContext",
+    "__version__",
+    "build_gtree",
+    "compute_subgraph_metrics",
+    "edge_cut",
+    "extract_connection_subgraph",
+    "extract_delivered_current",
+    "generate_dblp",
+    "kway_partition",
+    "load_gtree_fully",
+    "meeting_probability",
+    "pagerank",
+    "recursive_partition",
+    "render_subgraph",
+    "render_tomahawk_view",
+    "save_gtree",
+    "small_dblp",
+    "tomahawk_context",
+    "write_svg",
+]

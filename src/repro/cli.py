@@ -1,0 +1,240 @@
+"""Command-line interface for the GMine reproduction.
+
+Subcommands mirror the workflow of the original demo:
+
+* ``gmine generate`` — create a synthetic DBLP-like dataset and save it,
+* ``gmine build`` — build a G-Tree from a graph file and persist it,
+* ``gmine stats`` — summarise a graph or a stored G-Tree,
+* ``gmine query`` — run a label query against a stored G-Tree,
+* ``gmine extract`` — run connection-subgraph extraction,
+* ``gmine render`` — render a Tomahawk view or a subgraph to SVG.
+
+Every subcommand works on files so the pieces can be chained in shell
+scripts; see ``examples/`` for the Python-API equivalents.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .core.builder import GTreeBuildOptions, GTreeBuilder
+from .core.engine import GMineEngine
+from .data.dblp import DBLPConfig, generate_dblp
+from .errors import CLIError, GMineError
+from .graph.io import read_edge_list, read_json, write_edge_list, write_json
+from .mining.connection_subgraph import extract_connection_subgraph, extraction_summary
+from .mining.metrics_suite import compute_subgraph_metrics
+from .storage.gtree_store import GTreeStore, save_gtree
+from .viz.render import render_subgraph, render_tomahawk_view
+from .viz.svg import write_svg
+
+
+def _load_graph(path: str):
+    """Load a graph from ``.json`` or edge-list format based on the suffix."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise CLIError(f"graph file does not exist: {path}")
+    if file_path.suffix == ".json":
+        return read_json(file_path)
+    return read_edge_list(file_path)
+
+
+def _print_json(payload) -> None:
+    json.dump(payload, sys.stdout, indent=2, default=str)
+    sys.stdout.write("\n")
+
+
+# --------------------------------------------------------------------------- #
+# subcommand implementations
+# --------------------------------------------------------------------------- #
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Generate a synthetic DBLP-like dataset and write it to disk."""
+    config = DBLPConfig(
+        num_authors=args.authors,
+        num_communities=args.communities,
+        sub_communities_per_community=args.sub_communities,
+        seed=args.seed,
+    )
+    dataset = generate_dblp(config)
+    output = Path(args.output)
+    if output.suffix == ".json":
+        write_json(dataset.graph, output)
+    else:
+        write_edge_list(dataset.graph, output)
+    _print_json(
+        {
+            "authors": dataset.num_authors,
+            "collaborations": dataset.num_collaborations,
+            "output": str(output),
+        }
+    )
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    """Build a G-Tree from a graph file and save it to a single-file store."""
+    graph = _load_graph(args.graph)
+    options = GTreeBuildOptions(fanout=args.fanout, levels=args.levels, seed=args.seed)
+    tree = GTreeBuilder(options).build(graph)
+    save_gtree(tree, args.output)
+    summary = tree.summary()
+    summary["store"] = str(args.output)
+    _print_json(summary)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Summarise a graph file or a G-Tree store."""
+    path = Path(args.path)
+    if path.suffix == ".gtree":
+        with GTreeStore(path) as store:
+            _print_json(store.tree.summary())
+        return 0
+    graph = _load_graph(args.path)
+    metrics = compute_subgraph_metrics(graph, hop_sample_size=args.hop_sample)
+    _print_json(metrics.as_dict())
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Run a label query against a stored G-Tree."""
+    with GTreeStore(args.store) as store:
+        engine = GMineEngine.from_store(store)
+        attribute = None if args.by_id else args.attribute
+        value = int(args.value) if args.by_id and args.value.isdigit() else args.value
+        result = engine.label_query(value, attribute=attribute)
+        _print_json(
+            {
+                "vertex": result.vertex,
+                "leaf": result.leaf_label,
+                "path": result.path_labels,
+            }
+        )
+    return 0
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    """Run multi-source connection-subgraph extraction on a graph file."""
+    graph = _load_graph(args.graph)
+    sources: List = []
+    for token in args.sources:
+        sources.append(int(token) if token.isdigit() else token)
+    result = extract_connection_subgraph(
+        graph,
+        sources,
+        budget=args.budget,
+        restart_probability=args.restart,
+    )
+    summary = extraction_summary(result, graph)
+    if args.output:
+        write_json(result.subgraph, args.output)
+        summary["output"] = args.output
+    if args.svg:
+        scene = render_subgraph(
+            result.subgraph,
+            highlight=result.sources,
+            node_scores=result.goodness,
+            title="connection subgraph",
+        )
+        write_svg(scene, args.svg)
+        summary["svg"] = args.svg
+    _print_json(summary)
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    """Render a stored G-Tree focus view (or a raw graph) to SVG."""
+    path = Path(args.path)
+    if path.suffix == ".gtree":
+        with GTreeStore(path) as store:
+            engine = GMineEngine.from_store(store)
+            context = (
+                engine.focus_community(args.focus) if args.focus else engine.focus_root()
+            )
+            scene = render_tomahawk_view(store.tree, context)
+            output = write_svg(scene, args.output)
+    else:
+        graph = _load_graph(args.path)
+        scene = render_subgraph(graph, title=path.stem)
+        output = write_svg(scene, args.output)
+    _print_json({"svg": str(output), "items": scene.visual_item_count()})
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="gmine",
+        description="GMine reproduction: scalable, interactive graph visualization and mining",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic DBLP-like dataset")
+    generate.add_argument("--authors", type=int, default=3000)
+    generate.add_argument("--communities", type=int, default=5)
+    generate.add_argument("--sub-communities", type=int, default=5)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True, help=".json or edge-list output path")
+    generate.set_defaults(func=cmd_generate)
+
+    build = subparsers.add_parser("build", help="build and store a G-Tree")
+    build.add_argument("--graph", required=True, help="input graph (.json or edge list)")
+    build.add_argument("--fanout", type=int, default=5)
+    build.add_argument("--levels", type=int, default=5)
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--output", required=True, help="output .gtree store path")
+    build.set_defaults(func=cmd_build)
+
+    stats = subparsers.add_parser("stats", help="summarise a graph or G-Tree store")
+    stats.add_argument("path", help="graph file or .gtree store")
+    stats.add_argument("--hop-sample", type=int, default=64)
+    stats.set_defaults(func=cmd_stats)
+
+    query = subparsers.add_parser("query", help="label query against a G-Tree store")
+    query.add_argument("--store", required=True)
+    query.add_argument("--value", required=True, help="attribute value (e.g. author name)")
+    query.add_argument("--attribute", default="name")
+    query.add_argument("--by-id", action="store_true", help="treat value as a vertex id")
+    query.set_defaults(func=cmd_query)
+
+    extract = subparsers.add_parser("extract", help="connection subgraph extraction")
+    extract.add_argument("--graph", required=True)
+    extract.add_argument("--sources", nargs="+", required=True)
+    extract.add_argument("--budget", type=int, default=30)
+    extract.add_argument("--restart", type=float, default=0.15)
+    extract.add_argument("--output", help="write the extracted subgraph as JSON")
+    extract.add_argument("--svg", help="render the extracted subgraph to SVG")
+    extract.set_defaults(func=cmd_extract)
+
+    render = subparsers.add_parser("render", help="render a view to SVG")
+    render.add_argument("path", help="graph file or .gtree store")
+    render.add_argument("--focus", help="community label to focus (stores only)")
+    render.add_argument("--output", required=True, help="output .svg path")
+    render.set_defaults(func=cmd_render)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 1
+    try:
+        return args.func(args)
+    except GMineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

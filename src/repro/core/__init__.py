@@ -1,0 +1,64 @@
+"""GMine core: the G-Tree hierarchy, Tomahawk context, and interaction engine.
+
+This package holds the paper's first headline idea — multi-resolution
+exploration of a graph through a hierarchy of communities-within-communities
+stored in the G-Tree — together with the engine that exposes every
+interaction from the demo walkthrough programmatically.
+"""
+
+from .builder import GTreeBuildOptions, GTreeBuilder, build_gtree
+from .editing import EditRecord, GraphEditor
+from .connectivity import (
+    connectivity_among_children,
+    connectivity_between_groups,
+    cross_edges,
+    external_edge_count,
+    internal_edge_count,
+    isolation_profile,
+)
+from .engine import (
+    EdgeInspection,
+    GMineEngine,
+    LabelQueryResult,
+    NavigationEvent,
+    NodeDetails,
+)
+from .gtree import ConnectivityEdge, GTree, GTreeNode
+from .session import Bookmark, ExplorationSession, SessionStep
+from .tomahawk import (
+    TomahawkContext,
+    clutter_reduction,
+    drill_path,
+    full_expansion_size,
+    tomahawk_context,
+)
+
+__all__ = [
+    "Bookmark",
+    "ConnectivityEdge",
+    "EdgeInspection",
+    "EditRecord",
+    "ExplorationSession",
+    "GMineEngine",
+    "GraphEditor",
+    "SessionStep",
+    "GTree",
+    "GTreeBuildOptions",
+    "GTreeBuilder",
+    "GTreeNode",
+    "LabelQueryResult",
+    "NavigationEvent",
+    "NodeDetails",
+    "TomahawkContext",
+    "build_gtree",
+    "clutter_reduction",
+    "connectivity_among_children",
+    "connectivity_between_groups",
+    "cross_edges",
+    "drill_path",
+    "external_edge_count",
+    "full_expansion_size",
+    "internal_edge_count",
+    "isolation_profile",
+    "tomahawk_context",
+]

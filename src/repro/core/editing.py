@@ -1,0 +1,230 @@
+"""Graph editing with G-Tree consistency ("edition of nodes and edges").
+
+Section III-B lists, among GMine's interactions, "edge expansion and edition
+of nodes and edges".  Editing a graph that has already been organised into a
+G-Tree is more than mutating the adjacency structure: community membership
+lists, leaf subgraphs and the connectivity edges between sibling communities
+all have to stay consistent with the underlying graph.
+
+:class:`GraphEditor` applies edits to the full graph *and* incrementally
+repairs the affected parts of the tree, recording every operation so the
+session can be audited or undone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import NavigationError
+from ..graph.graph import Graph, NodeId
+from .connectivity import connectivity_among_children
+from .gtree import GTree, GTreeNode
+
+
+@dataclass
+class EditRecord:
+    """One applied edit, with enough detail to undo it."""
+
+    operation: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class GraphEditor:
+    """Applies node/edge edits to a graph and keeps its G-Tree consistent."""
+
+    def __init__(self, graph: Graph, tree: Optional[GTree] = None) -> None:
+        self.graph = graph
+        self.tree = tree
+        self.log: List[EditRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # node edits
+    # ------------------------------------------------------------------ #
+    def add_node(
+        self,
+        node: NodeId,
+        community: Optional[str] = None,
+        **attrs: Any,
+    ) -> None:
+        """Add a vertex; when a tree is attached, place it into ``community``.
+
+        ``community`` names the leaf community that should adopt the vertex
+        (required when a tree is attached, because every vertex must live in
+        exactly one leaf).
+        """
+        if self.graph.has_node(node):
+            raise NavigationError(f"vertex {node!r} already exists")
+        if self.tree is not None:
+            if community is None:
+                raise NavigationError(
+                    "adding a vertex to a G-Tree-managed graph requires a "
+                    "target leaf community"
+                )
+            leaf = self.tree.by_label(community)
+            if not leaf.is_leaf:
+                raise NavigationError(f"community {community!r} is not a leaf")
+        self.graph.add_node(node, **attrs)
+        if self.tree is not None:
+            leaf = self.tree.by_label(community)  # type: ignore[arg-type]
+            self._adopt_vertex(leaf, node)
+            if leaf.subgraph is not None:
+                leaf.subgraph.add_node(node, **attrs)
+        self.log.append(EditRecord("add_node", {"node": node, "community": community}))
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove a vertex and all its edges from the graph and the tree."""
+        if not self.graph.has_node(node):
+            raise NavigationError(f"vertex {node!r} does not exist")
+        removed_edges = [(node, neighbor, self.graph.edge_weight(node, neighbor))
+                         for neighbor in self.graph.neighbors(node)]
+        self.graph.remove_node(node)
+        affected_parents = set()
+        if self.tree is not None and self.tree.contains_vertex(node):
+            leaf = self.tree.leaf_of(node)
+            for ancestor in [leaf] + self.tree.ancestors(leaf.node_id):
+                if node in ancestor.members:
+                    ancestor.members.remove(node)
+                if ancestor.parent_id is not None:
+                    affected_parents.add(ancestor.parent_id)
+            if leaf.subgraph is not None and leaf.subgraph.has_node(node):
+                leaf.subgraph.remove_node(node)
+            self.tree._leaf_of_vertex.pop(node, None)
+            affected_parents.add(leaf.parent_id if leaf.parent_id is not None else leaf.node_id)
+            self._refresh_connectivity(affected_parents)
+        self.log.append(
+            EditRecord("remove_node", {"node": node, "removed_edges": removed_edges})
+        )
+
+    def update_node_attrs(self, node: NodeId, **attrs: Any) -> None:
+        """Update a vertex's attributes everywhere it is materialised."""
+        if not self.graph.has_node(node):
+            raise NavigationError(f"vertex {node!r} does not exist")
+        previous = dict(self.graph.node_attrs(node))
+        self.graph.node_attrs(node).update(attrs)
+        if self.tree is not None and self.tree.contains_vertex(node):
+            leaf = self.tree.leaf_of(node)
+            if leaf.subgraph is not None and leaf.subgraph.has_node(node):
+                leaf.subgraph.node_attrs(node).update(attrs)
+        self.log.append(
+            EditRecord("update_node_attrs", {"node": node, "previous": previous})
+        )
+
+    # ------------------------------------------------------------------ #
+    # edge edits
+    # ------------------------------------------------------------------ #
+    def add_edge(self, u: NodeId, v: NodeId, weight: float = 1.0, **attrs: Any) -> None:
+        """Add (or re-weight) an edge, updating leaf subgraphs and connectivity."""
+        for endpoint in (u, v):
+            if not self.graph.has_node(endpoint):
+                raise NavigationError(f"vertex {endpoint!r} does not exist")
+        self.graph.add_edge(u, v, weight=weight)
+        if attrs:
+            self.graph.edge_attrs(u, v).update(attrs)
+        if self.tree is not None:
+            self._sync_edge(u, v, present=True, weight=weight)
+        self.log.append(EditRecord("add_edge", {"u": u, "v": v, "weight": weight}))
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> None:
+        """Remove an edge, updating leaf subgraphs and connectivity."""
+        if not self.graph.has_edge(u, v):
+            raise NavigationError(f"edge ({u!r}, {v!r}) does not exist")
+        weight = self.graph.edge_weight(u, v)
+        self.graph.remove_edge(u, v)
+        if self.tree is not None:
+            self._sync_edge(u, v, present=False, weight=weight)
+        self.log.append(EditRecord("remove_edge", {"u": u, "v": v, "weight": weight}))
+
+    # ------------------------------------------------------------------ #
+    # undo
+    # ------------------------------------------------------------------ #
+    def undo_last(self) -> Optional[EditRecord]:
+        """Undo the most recent edit (best effort) and return its record."""
+        if not self.log:
+            return None
+        record = self.log.pop()
+        if record.operation == "add_edge":
+            self.graph.remove_edge(record.details["u"], record.details["v"])
+            if self.tree is not None:
+                self._sync_edge(record.details["u"], record.details["v"],
+                                present=False, weight=record.details["weight"])
+        elif record.operation == "remove_edge":
+            self.graph.add_edge(record.details["u"], record.details["v"],
+                                weight=record.details["weight"])
+            if self.tree is not None:
+                self._sync_edge(record.details["u"], record.details["v"],
+                                present=True, weight=record.details["weight"])
+        elif record.operation == "add_node":
+            node = record.details["node"]
+            # Reuse remove_node but drop the extra record it appends.
+            self.remove_node(node)
+            self.log.pop()
+        elif record.operation == "update_node_attrs":
+            node = record.details["node"]
+            self.graph._node_attrs[node] = dict(record.details["previous"])
+        elif record.operation == "remove_node":
+            node = record.details["node"]
+            # Re-adding a removed vertex without a tree placement is only
+            # supported for tree-less editors; with a tree the caller should
+            # re-add explicitly with a community.
+            if self.tree is None:
+                self.graph.add_node(node)
+                for u, v, w in record.details["removed_edges"]:
+                    self.graph.add_edge(u, v, weight=w)
+            else:
+                self.log.append(record)
+                raise NavigationError(
+                    "undo of remove_node on a G-Tree-managed graph is not supported; "
+                    "re-add the vertex with add_node(..., community=...)"
+                )
+        return record
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _adopt_vertex(self, leaf: GTreeNode, node: NodeId) -> None:
+        """Insert a new vertex into a leaf community and all its ancestors."""
+        assert self.tree is not None
+        leaf.members.append(node)
+        for ancestor in self.tree.ancestors(leaf.node_id):
+            ancestor.members.append(node)
+        self.tree._leaf_of_vertex[node] = leaf.node_id
+
+    def _sync_edge(self, u: NodeId, v: NodeId, present: bool, weight: float) -> None:
+        """Propagate an edge change into leaf subgraphs and connectivity edges."""
+        assert self.tree is not None
+        if not (self.tree.contains_vertex(u) and self.tree.contains_vertex(v)):
+            return
+        leaf_u = self.tree.leaf_of(u)
+        leaf_v = self.tree.leaf_of(v)
+        if leaf_u.node_id == leaf_v.node_id:
+            if leaf_u.subgraph is not None:
+                if present:
+                    leaf_u.subgraph.add_edge(u, v, weight=weight)
+                elif leaf_u.subgraph.has_edge(u, v):
+                    leaf_u.subgraph.remove_edge(u, v)
+        # Connectivity edges must be refreshed on every ancestor whose children
+        # separate u from v (the lowest common ancestor and nothing below it,
+        # but refreshing every shared ancestor is simpler and still cheap).
+        ancestors_u = {node.node_id for node in [leaf_u] + self.tree.ancestors(leaf_u.node_id)}
+        affected = set()
+        current: Optional[GTreeNode] = leaf_v
+        while current is not None:
+            if current.node_id in ancestors_u:
+                affected.add(current.node_id)
+            current = self.tree.parent(current.node_id)
+        self._refresh_connectivity(affected)
+
+    def _refresh_connectivity(self, node_ids) -> None:
+        """Recompute connectivity edges for the given internal tree nodes."""
+        assert self.tree is not None
+        for node_id in node_ids:
+            if node_id is None or not self.tree.has_node(node_id):
+                continue
+            node = self.tree.node(node_id)
+            if node.is_leaf:
+                continue
+            child_members = {
+                child_id: self.tree.node(child_id).members for child_id in node.children
+            }
+            node.connectivity = connectivity_among_children(self.graph, child_members)

@@ -1,0 +1,340 @@
+"""The GMine engine: programmatic interactive exploration of a G-Tree.
+
+The original system is a GUI; everything the demo paper shows the user doing
+— focusing communities, drilling down, inspecting an outlier edge, running a
+label query for "Jiawei Han", asking for metrics of the focused subgraph,
+popping up node details — is exposed here as methods on
+:class:`GMineEngine`, so examples, tests and benchmarks can script the same
+interactions and the visualization layer can render each resulting state.
+
+The engine works with either a fully in-memory :class:`~repro.core.gtree.GTree`
+or a lazily loaded :class:`~repro.storage.gtree_store.GTreeStore`; in the
+latter case leaf subgraphs are brought from disk only when the user focuses
+them, matching the paper's "nodes are transferred to main memory only when
+necessary".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import NavigationError
+from ..graph.graph import Graph, NodeId
+from ..mining.metrics_suite import SubgraphMetrics, compute_subgraph_metrics
+from .connectivity import cross_edges
+from .gtree import ConnectivityEdge, GTree, GTreeNode
+from .tomahawk import TomahawkContext, clutter_reduction, tomahawk_context
+
+
+@dataclass
+class NodeDetails:
+    """Details-on-demand for one graph vertex (the paper's pop-up)."""
+
+    vertex: NodeId
+    attributes: Dict[str, object]
+    degree: int
+    community_label: str
+    community_path: List[str]
+    neighbors: List[NodeId]
+
+
+@dataclass
+class EdgeInspection:
+    """Result of inspecting the original edges behind a connectivity edge."""
+
+    community_a: str
+    community_b: str
+    edges: List[Tuple[NodeId, NodeId, float]]
+    endpoints: List[Dict[str, object]] = field(default_factory=list)
+
+
+@dataclass
+class LabelQueryResult:
+    """Result of a label query: where a vertex lives in the hierarchy."""
+
+    vertex: NodeId
+    matched_value: object
+    leaf_label: str
+    path_labels: List[str]
+    leaf_id: int
+
+
+@dataclass
+class NavigationEvent:
+    """One entry of the engine's interaction history."""
+
+    action: str
+    target: str
+    detail: str = ""
+
+
+class GMineEngine:
+    """Drives interactive exploration over a G-Tree (in-memory or stored)."""
+
+    def __init__(
+        self,
+        tree: GTree,
+        graph: Optional[Graph] = None,
+        store: Optional["GTreeStore"] = None,  # noqa: F821 (forward ref, avoids hard dep)
+    ) -> None:
+        """Create an engine.
+
+        Parameters
+        ----------
+        tree:
+            The hierarchy to navigate.
+        graph:
+            The full original graph.  Needed for cross-community edge
+            inspection and for metrics of internal (non-leaf) communities;
+            optional when working purely from a store.
+        store:
+            Open :class:`~repro.storage.gtree_store.GTreeStore` supplying leaf
+            subgraphs on demand.
+        """
+        self.tree = tree
+        self.graph = graph
+        self.store = store
+        self._focus_id: int = tree.root.node_id
+        self.history: List[NavigationEvent] = []
+
+    # ------------------------------------------------------------------ #
+    # factory helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_store(cls, store) -> "GMineEngine":
+        """Build an engine over a store (lazy leaf loading, no full graph)."""
+        return cls(tree=store.tree, graph=None, store=store)
+
+    # ------------------------------------------------------------------ #
+    # focus and navigation
+    # ------------------------------------------------------------------ #
+    @property
+    def focus(self) -> GTreeNode:
+        """The currently focused community."""
+        return self.tree.node(self._focus_id)
+
+    def focus_community(self, target: Union[int, str]) -> TomahawkContext:
+        """Focus a community by tree-node id or by label and return its context."""
+        node = self._resolve(target)
+        self._focus_id = node.node_id
+        self._log("focus", node.label)
+        return tomahawk_context(self.tree, node.node_id)
+
+    def focus_root(self) -> TomahawkContext:
+        """Reset the focus to the hierarchy root."""
+        return self.focus_community(self.tree.root.node_id)
+
+    def drill_down(self, child_index: int = 0) -> TomahawkContext:
+        """Focus the ``child_index``-th child of the current focus."""
+        children = self.tree.children(self._focus_id)
+        if not children:
+            raise NavigationError(
+                f"community {self.focus.label!r} is a leaf; nothing to drill into"
+            )
+        if child_index < 0 or child_index >= len(children):
+            raise NavigationError(
+                f"community {self.focus.label!r} has {len(children)} children; "
+                f"index {child_index} is out of range"
+            )
+        return self.focus_community(children[child_index].node_id)
+
+    def drill_up(self) -> TomahawkContext:
+        """Focus the parent of the current focus."""
+        parent = self.tree.parent(self._focus_id)
+        if parent is None:
+            raise NavigationError("already at the root; cannot drill up")
+        return self.focus_community(parent.node_id)
+
+    def current_context(self) -> TomahawkContext:
+        """Return the Tomahawk context of the current focus without moving it."""
+        return tomahawk_context(self.tree, self._focus_id)
+
+    def current_clutter_reduction(self) -> Dict[str, float]:
+        """Return Tomahawk-vs-full item counts for the current focus."""
+        return clutter_reduction(self.tree, self._focus_id)
+
+    # ------------------------------------------------------------------ #
+    # community content
+    # ------------------------------------------------------------------ #
+    def community_subgraph(self, target: Union[int, str, None] = None) -> Graph:
+        """Return the induced subgraph of a community (focus by default).
+
+        Leaf communities come from the attached subgraph or the store; for
+        internal communities the subgraph is induced from the full graph.
+        """
+        node = self.focus if target is None else self._resolve(target)
+        if node.is_leaf:
+            if node.subgraph is not None:
+                return node.subgraph
+            if self.store is not None:
+                return self.store.load_leaf_subgraph(node.node_id)
+        if self.graph is not None:
+            return self.graph.subgraph(node.members, name=node.label)
+        raise NavigationError(
+            f"cannot materialise community {node.label!r}: no subgraph attached, "
+            "no store and no full graph available"
+        )
+
+    def connectivity_edges(self, target: Union[int, str, None] = None) -> List[ConnectivityEdge]:
+        """Return the connectivity edges among a community's children."""
+        node = self.focus if target is None else self._resolve(target)
+        return list(node.connectivity)
+
+    def community_metrics(
+        self,
+        target: Union[int, str, None] = None,
+        hop_sample_size: Optional[int] = None,
+    ) -> SubgraphMetrics:
+        """Compute the paper's five metrics for a community's subgraph."""
+        subgraph = self.community_subgraph(target)
+        node = self.focus if target is None else self._resolve(target)
+        self._log("metrics", node.label, f"n={subgraph.num_nodes}")
+        return compute_subgraph_metrics(subgraph, hop_sample_size=hop_sample_size)
+
+    # ------------------------------------------------------------------ #
+    # queries and inspection
+    # ------------------------------------------------------------------ #
+    def label_query(
+        self, value: object, attribute: Optional[str] = "name"
+    ) -> LabelQueryResult:
+        """Locate a graph vertex in the hierarchy (the "find Jiawei Han" action).
+
+        ``attribute=None`` matches on the vertex id itself; otherwise the
+        given node attribute is compared (author name by default).  Raises
+        :class:`NavigationError` when nothing matches.
+        """
+        vertex = self._find_vertex(value, attribute)
+        if vertex is None:
+            raise NavigationError(f"label query found no vertex matching {value!r}")
+        leaf = self.tree.leaf_of(vertex)
+        path = [node.label for node in self.tree.path_to_root(leaf.node_id)]
+        self._log("label_query", str(value), f"leaf={leaf.label}")
+        return LabelQueryResult(
+            vertex=vertex,
+            matched_value=value,
+            leaf_label=leaf.label,
+            path_labels=path,
+            leaf_id=leaf.node_id,
+        )
+
+    def locate_and_focus(self, value: object, attribute: Optional[str] = "name") -> TomahawkContext:
+        """Label query followed by focusing the vertex's leaf community."""
+        result = self.label_query(value, attribute)
+        return self.focus_community(result.leaf_id)
+
+    def node_details(self, vertex: NodeId) -> NodeDetails:
+        """Details-on-demand for one graph vertex (pop-up information)."""
+        if not self.tree.contains_vertex(vertex):
+            raise NavigationError(f"vertex {vertex!r} is not in this G-Tree")
+        leaf = self.tree.leaf_of(vertex)
+        # Prefer the full graph (global degree and neighbour list, like the
+        # original pop-up); fall back to the leaf's subgraph when only a
+        # store is attached.
+        if self.graph is not None and self.graph.has_node(vertex):
+            degree = self.graph.degree(vertex)
+            neighbors = list(self.graph.neighbors(vertex))
+            attributes = dict(self.graph.node_attrs(vertex))
+        else:
+            subgraph = self.community_subgraph(leaf.node_id)
+            if subgraph.has_node(vertex):
+                degree = subgraph.degree(vertex)
+                neighbors = list(subgraph.neighbors(vertex))
+                attributes = dict(subgraph.node_attrs(vertex))
+            else:
+                degree, neighbors, attributes = 0, [], {}
+        self._log("details", str(vertex))
+        return NodeDetails(
+            vertex=vertex,
+            attributes=attributes,
+            degree=degree,
+            community_label=leaf.label,
+            community_path=[node.label for node in self.tree.path_to_root(leaf.node_id)],
+            neighbors=neighbors,
+        )
+
+    def inspect_connectivity_edge(
+        self, community_a: Union[int, str], community_b: Union[int, str]
+    ) -> EdgeInspection:
+        """List the original edges behind the connectivity edge of two communities.
+
+        This is the paper's outlier-edge workflow: the user sees a single
+        connectivity edge between two otherwise isolated communities and asks
+        which actual co-authorships it represents.
+        """
+        if self.graph is None:
+            raise NavigationError("edge inspection requires the full graph")
+        node_a = self._resolve(community_a)
+        node_b = self._resolve(community_b)
+        edges = cross_edges(self.graph, node_a.members, node_b.members)
+        endpoints = []
+        for u, v, w in edges:
+            endpoints.append(
+                {
+                    "u": u,
+                    "u_attrs": dict(self.graph.node_attrs(u)),
+                    "v": v,
+                    "v_attrs": dict(self.graph.node_attrs(v)),
+                    "weight": w,
+                    "edge_attrs": dict(self.graph.edge_attrs(u, v)),
+                }
+            )
+        self._log("inspect_edge", f"{node_a.label}~{node_b.label}", f"{len(edges)} edges")
+        return EdgeInspection(
+            community_a=node_a.label,
+            community_b=node_b.label,
+            edges=edges,
+            endpoints=endpoints,
+        )
+
+    def strongest_neighbors(
+        self, vertex: NodeId, count: int = 5
+    ) -> List[Tuple[NodeId, float]]:
+        """Return the neighbours of ``vertex`` with the heaviest edges.
+
+        Models the paper's figure 3(f): interacting with Jiawei Han's
+        subgraph reveals Ke Wang as one of his main long-term collaborators
+        (the heaviest co-authorship edge).
+        """
+        if self.graph is not None and self.graph.has_node(vertex):
+            graph = self.graph
+        else:
+            graph = self.community_subgraph(self.tree.leaf_of(vertex).node_id)
+        ranked = sorted(
+            ((neighbor, graph.edge_weight(vertex, neighbor)) for neighbor in graph.neighbors(vertex)),
+            key=lambda pair: (-pair[1], repr(pair[0])),
+        )
+        return ranked[:count]
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _resolve(self, target: Union[int, str]) -> GTreeNode:
+        """Resolve a community reference given as tree-node id or label."""
+        if isinstance(target, str):
+            if not self.tree.has_label(target):
+                raise NavigationError(f"no community labelled {target!r}")
+            return self.tree.by_label(target)
+        if not self.tree.has_node(target):
+            raise NavigationError(f"no community with id {target}")
+        return self.tree.node(target)
+
+    def _find_vertex(self, value: object, attribute: Optional[str]) -> Optional[NodeId]:
+        """Find a vertex by id or by attribute value, searching leaves lazily."""
+        if attribute is None:
+            return value if self.tree.contains_vertex(value) else None
+        if self.graph is not None:
+            for vertex in self.graph.nodes():
+                if self.graph.get_node_attr(vertex, attribute) == value:
+                    return vertex
+            return None
+        # Store-backed search: scan leaf subgraphs (loaded on demand).
+        for leaf in self.tree.leaves():
+            subgraph = self.community_subgraph(leaf.node_id)
+            for vertex in subgraph.nodes():
+                if subgraph.get_node_attr(vertex, attribute) == value:
+                    return vertex
+        return None
+
+    def _log(self, action: str, target: str, detail: str = "") -> None:
+        self.history.append(NavigationEvent(action=action, target=target, detail=detail))

@@ -1,0 +1,329 @@
+"""The G-Tree: an R-tree-like hierarchy of communities-within-communities.
+
+The G-Tree (named after *Graph-Tree* in the paper) is the data structure
+that supports GMine.  Each tree node represents a community; internal nodes
+hold sub-communities and leaf nodes hold references to actual graph
+vertices.  Sibling communities are linked by *connectivity edges* that carry
+the number (and weight) of original graph edges crossing between them.
+
+This module defines the in-memory structure and its invariants.  Building
+one from a graph is :mod:`repro.core.builder`'s job, persisting it is
+:mod:`repro.storage.gtree_store`'s, and navigating it interactively is
+:mod:`repro.core.engine`'s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import GTreeStructureError
+from ..graph.graph import Graph, NodeId
+
+
+@dataclass
+class ConnectivityEdge:
+    """Aggregated connection between two sibling communities.
+
+    ``edge_count`` is the number of original graph edges with one endpoint
+    in each community; ``total_weight`` sums their weights (for DBLP, the
+    number of co-authored papers crossing the two communities).
+    """
+
+    source: int
+    target: int
+    edge_count: int
+    total_weight: float
+
+    def key(self) -> Tuple[int, int]:
+        """Canonical (sorted) pair of community ids."""
+        return (self.source, self.target) if self.source <= self.target else (self.target, self.source)
+
+
+@dataclass
+class GTreeNode:
+    """One community (tree node) of the G-Tree.
+
+    Attributes
+    ----------
+    node_id:
+        Dense integer id unique within the tree (0 is the root).
+    label:
+        Human-readable community label (``s0``, ``s034`` ... as in the paper).
+    level:
+        Depth in the tree; the root is level 0.
+    parent_id:
+        Parent community id, or None for the root.
+    children:
+        Ids of sub-communities (empty for leaves).
+    members:
+        Graph vertices contained in this community's subtree.  Internal
+        nodes keep the full member list so focusing anywhere in the tree can
+        induce the right subgraph without touching the leaves below.
+    connectivity:
+        Connectivity edges *among this node's children* (the paper draws
+        these when the community is expanded).
+    subgraph:
+        For leaf nodes only: the induced subgraph on ``members``; loaded
+        lazily from disk when a store is attached, hence Optional.
+    """
+
+    node_id: int
+    label: str
+    level: int
+    parent_id: Optional[int]
+    children: List[int] = field(default_factory=list)
+    members: List[NodeId] = field(default_factory=list)
+    connectivity: List[ConnectivityEdge] = field(default_factory=list)
+    subgraph: Optional[Graph] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the community has no sub-communities."""
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this node is the hierarchy root."""
+        return self.parent_id is None
+
+    @property
+    def size(self) -> int:
+        """Number of graph vertices in this community's subtree."""
+        return len(self.members)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"{len(self.children)} children"
+        return (
+            f"<GTreeNode {self.node_id} {self.label!r} level={self.level} "
+            f"size={self.size} ({kind})>"
+        )
+
+
+class GTree:
+    """The full hierarchy plus indexes for navigation and label queries."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._nodes: Dict[int, GTreeNode] = {}
+        self._root_id: Optional[int] = None
+        # vertex -> id of the leaf community holding it
+        self._leaf_of_vertex: Dict[NodeId, int] = {}
+        self._label_index: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction (used by the builder and the store loader)
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: GTreeNode) -> None:
+        """Register a tree node; the first node with ``parent_id=None`` is the root."""
+        if node.node_id in self._nodes:
+            raise GTreeStructureError(f"duplicate tree node id {node.node_id}")
+        self._nodes[node.node_id] = node
+        self._label_index[node.label] = node.node_id
+        if node.parent_id is None:
+            if self._root_id is not None:
+                raise GTreeStructureError("G-Tree already has a root")
+            self._root_id = node.node_id
+
+    def register_leaf_members(self, node: GTreeNode) -> None:
+        """Index ``node``'s members as living in that leaf community."""
+        for member in node.members:
+            self._leaf_of_vertex[member] = node.node_id
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> GTreeNode:
+        """Return the root community."""
+        if self._root_id is None:
+            raise GTreeStructureError("G-Tree has no root")
+        return self._nodes[self._root_id]
+
+    def node(self, node_id: int) -> GTreeNode:
+        """Return the tree node with ``node_id``."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GTreeStructureError(f"no tree node with id {node_id}") from None
+
+    def has_node(self, node_id: int) -> bool:
+        """Whether a tree node with ``node_id`` exists."""
+        return node_id in self._nodes
+
+    def by_label(self, label: str) -> GTreeNode:
+        """Return the community labelled ``label`` (e.g. ``"s034"``)."""
+        try:
+            return self._nodes[self._label_index[label]]
+        except KeyError:
+            raise GTreeStructureError(f"no community labelled {label!r}") from None
+
+    def has_label(self, label: str) -> bool:
+        """Whether a community with this label exists."""
+        return label in self._label_index
+
+    def leaf_of(self, vertex: NodeId) -> GTreeNode:
+        """Return the leaf community containing graph vertex ``vertex``."""
+        try:
+            return self._nodes[self._leaf_of_vertex[vertex]]
+        except KeyError:
+            raise GTreeStructureError(
+                f"graph vertex {vertex!r} is not indexed in this G-Tree"
+            ) from None
+
+    def contains_vertex(self, vertex: NodeId) -> bool:
+        """Whether the G-Tree indexes graph vertex ``vertex``."""
+        return vertex in self._leaf_of_vertex
+
+    def children(self, node_id: int) -> List[GTreeNode]:
+        """Return the child communities of ``node_id``."""
+        return [self._nodes[child] for child in self.node(node_id).children]
+
+    def parent(self, node_id: int) -> Optional[GTreeNode]:
+        """Return the parent community, or None at the root."""
+        parent_id = self.node(node_id).parent_id
+        return None if parent_id is None else self._nodes[parent_id]
+
+    def siblings(self, node_id: int) -> List[GTreeNode]:
+        """Return the sibling communities (same parent, excluding the node itself)."""
+        parent = self.parent(node_id)
+        if parent is None:
+            return []
+        return [self._nodes[child] for child in parent.children if child != node_id]
+
+    def ancestors(self, node_id: int) -> List[GTreeNode]:
+        """Return ancestors from the immediate parent up to the root."""
+        result = []
+        current = self.parent(node_id)
+        while current is not None:
+            result.append(current)
+            current = self.parent(current.node_id)
+        return result
+
+    def path_to_root(self, node_id: int) -> List[GTreeNode]:
+        """Return the node itself followed by its ancestors up to the root."""
+        return [self.node(node_id)] + self.ancestors(node_id)
+
+    # ------------------------------------------------------------------ #
+    # traversal and statistics
+    # ------------------------------------------------------------------ #
+    def nodes(self) -> Iterator[GTreeNode]:
+        """Iterate over every tree node (insertion order: root first)."""
+        return iter(self._nodes.values())
+
+    def leaves(self) -> List[GTreeNode]:
+        """Return all leaf communities."""
+        return [node for node in self._nodes.values() if node.is_leaf]
+
+    def nodes_at_level(self, level: int) -> List[GTreeNode]:
+        """Return every community at tree depth ``level``."""
+        return [node for node in self._nodes.values() if node.level == level]
+
+    def depth(self) -> int:
+        """Return the maximum level present (root = 0)."""
+        if not self._nodes:
+            return 0
+        return max(node.level for node in self._nodes.values())
+
+    @property
+    def num_tree_nodes(self) -> int:
+        """Total number of communities, including the root."""
+        return len(self._nodes)
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaf communities."""
+        return sum(1 for node in self._nodes.values() if node.is_leaf)
+
+    def num_graph_vertices(self) -> int:
+        """Number of original graph vertices indexed by the tree."""
+        return len(self._leaf_of_vertex)
+
+    def mean_leaf_size(self) -> float:
+        """Average number of graph vertices per leaf community."""
+        leaves = self.leaves()
+        if not leaves:
+            return 0.0
+        return sum(leaf.size for leaf in leaves) / len(leaves)
+
+    def summary(self) -> Dict[str, float]:
+        """Headline statistics (mirrors the paper's '626 communities' style claims)."""
+        leaf_sizes = [leaf.size for leaf in self.leaves()] or [0]
+        return {
+            "tree_nodes": self.num_tree_nodes,
+            "leaf_communities": self.num_leaves,
+            "paper_communities": self.num_leaves + 1,
+            "depth": self.depth(),
+            "graph_vertices": self.num_graph_vertices(),
+            "mean_leaf_size": self.mean_leaf_size(),
+            "min_leaf_size": float(min(leaf_sizes)),
+            "max_leaf_size": float(max(leaf_sizes)),
+        }
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> List[str]:
+        """Return a list of invariant violations (empty when the tree is sound).
+
+        Checked invariants:
+
+        * exactly one root, every ``parent_id``/``children`` pair consistent,
+        * every internal node's members equal the union of its children's,
+        * every vertex is indexed by exactly one leaf,
+        * connectivity edges reference the node's own children.
+        """
+        problems: List[str] = []
+        if self._root_id is None:
+            return ["tree has no root"]
+        for node in self._nodes.values():
+            for child_id in node.children:
+                if child_id not in self._nodes:
+                    problems.append(f"node {node.node_id} lists unknown child {child_id}")
+                    continue
+                child = self._nodes[child_id]
+                if child.parent_id != node.node_id:
+                    problems.append(
+                        f"child {child_id} of {node.node_id} claims parent {child.parent_id}"
+                    )
+            if not node.is_leaf:
+                member_union = set()
+                for child_id in node.children:
+                    if child_id not in self._nodes:
+                        continue  # already reported as an unknown child above
+                    member_union.update(self._nodes[child_id].members)
+                if member_union != set(node.members):
+                    problems.append(
+                        f"node {node.node_id} members differ from union of children "
+                        f"({len(member_union)} vs {len(node.members)})"
+                    )
+            child_set = set(node.children)
+            for edge in node.connectivity:
+                if edge.source not in child_set or edge.target not in child_set:
+                    problems.append(
+                        f"node {node.node_id} has connectivity edge between "
+                        f"{edge.source} and {edge.target} which are not its children"
+                    )
+        # Leaf coverage: every root member is indexed to exactly one leaf.
+        root_members = set(self.root.members)
+        indexed = set(self._leaf_of_vertex)
+        if root_members != indexed:
+            problems.append(
+                f"leaf index covers {len(indexed)} vertices but the root holds "
+                f"{len(root_members)}"
+            )
+        return problems
+
+    def assert_valid(self) -> None:
+        """Raise :class:`GTreeStructureError` listing every violated invariant."""
+        problems = self.validate()
+        if problems:
+            raise GTreeStructureError(
+                "G-Tree failed validation:\n  - " + "\n  - ".join(problems)
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<GTree {self.name!r} with {self.num_tree_nodes} communities, "
+            f"{self.num_leaves} leaves, depth {self.depth()}>"
+        )

@@ -1,0 +1,210 @@
+"""Exploration sessions: bookmarks, recording, and replay.
+
+The VLDB demonstration lets conference attendees drive GMine live; a useful
+companion (and a natural extension of the engine's history log) is the
+ability to record an exploration session — every focus change, query and
+inspection — save it as JSON, and replay it later against the same or a
+rebuilt G-Tree.  This powers the reproducible "figure 3 walkthrough" example
+and gives downstream users scriptable demos.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import NavigationError
+from .engine import GMineEngine
+
+PathLike = Union[str, Path]
+
+SESSION_FORMAT = "gmine-session"
+SESSION_VERSION = 1
+
+
+@dataclass
+class SessionStep:
+    """One recorded interaction."""
+
+    action: str
+    arguments: Dict[str, Any] = field(default_factory=dict)
+    note: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"action": self.action, "arguments": self.arguments, "note": self.note}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SessionStep":
+        return cls(
+            action=str(payload["action"]),
+            arguments=dict(payload.get("arguments", {})),
+            note=str(payload.get("note", "")),
+        )
+
+
+@dataclass
+class Bookmark:
+    """A named focus position the user wants to return to."""
+
+    name: str
+    community_label: str
+    note: str = ""
+
+
+class ExplorationSession:
+    """Records interactions performed through it and replays them later.
+
+    The session wraps an engine: calling the wrapped interaction methods both
+    forwards to the engine and appends a replayable step.  Only
+    tree-addressable arguments (labels, attribute values) are recorded, so a
+    saved session replays against any engine whose hierarchy has the same
+    labels — including one rebuilt from the stored G-Tree file.
+    """
+
+    def __init__(self, engine: GMineEngine, name: str = "session") -> None:
+        self.engine = engine
+        self.name = name
+        self.steps: List[SessionStep] = []
+        self.bookmarks: Dict[str, Bookmark] = {}
+
+    # ------------------------------------------------------------------ #
+    # recorded interactions
+    # ------------------------------------------------------------------ #
+    def focus(self, community_label: str, note: str = ""):
+        """Focus a community by label (recorded)."""
+        context = self.engine.focus_community(community_label)
+        self.steps.append(SessionStep("focus", {"label": community_label}, note))
+        return context
+
+    def drill_down(self, child_index: int = 0, note: str = ""):
+        """Drill into a child of the current focus (recorded)."""
+        context = self.engine.drill_down(child_index)
+        self.steps.append(SessionStep("drill_down", {"child_index": child_index}, note))
+        return context
+
+    def drill_up(self, note: str = ""):
+        """Move the focus to the parent community (recorded)."""
+        context = self.engine.drill_up()
+        self.steps.append(SessionStep("drill_up", {}, note))
+        return context
+
+    def label_query(self, value, attribute: Optional[str] = "name", note: str = ""):
+        """Run a label query (recorded)."""
+        result = self.engine.label_query(value, attribute=attribute)
+        self.steps.append(
+            SessionStep("label_query", {"value": value, "attribute": attribute}, note)
+        )
+        return result
+
+    def locate_and_focus(self, value, attribute: Optional[str] = "name", note: str = ""):
+        """Label query followed by focusing the result's community (recorded)."""
+        context = self.engine.locate_and_focus(value, attribute=attribute)
+        self.steps.append(
+            SessionStep("locate_and_focus", {"value": value, "attribute": attribute}, note)
+        )
+        return context
+
+    def community_metrics(self, note: str = ""):
+        """Compute metrics for the focused community (recorded)."""
+        metrics = self.engine.community_metrics()
+        self.steps.append(SessionStep("community_metrics", {}, note))
+        return metrics
+
+    def inspect_connectivity_edge(self, community_a: str, community_b: str, note: str = ""):
+        """Inspect the original edges behind a connectivity edge (recorded)."""
+        inspection = self.engine.inspect_connectivity_edge(community_a, community_b)
+        self.steps.append(
+            SessionStep(
+                "inspect_connectivity_edge",
+                {"community_a": community_a, "community_b": community_b},
+                note,
+            )
+        )
+        return inspection
+
+    # ------------------------------------------------------------------ #
+    # bookmarks
+    # ------------------------------------------------------------------ #
+    def bookmark(self, name: str, note: str = "") -> Bookmark:
+        """Bookmark the current focus under ``name``."""
+        mark = Bookmark(name=name, community_label=self.engine.focus.label, note=note)
+        self.bookmarks[name] = mark
+        return mark
+
+    def goto_bookmark(self, name: str):
+        """Jump back to a bookmarked community (recorded as a focus step)."""
+        if name not in self.bookmarks:
+            raise NavigationError(f"no bookmark named {name!r}")
+        return self.focus(self.bookmarks[name].community_label,
+                          note=f"bookmark:{name}")
+
+    # ------------------------------------------------------------------ #
+    # persistence and replay
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise the session to a JSON-compatible dict."""
+        return {
+            "format": SESSION_FORMAT,
+            "version": SESSION_VERSION,
+            "name": self.name,
+            "steps": [step.as_dict() for step in self.steps],
+            "bookmarks": [
+                {"name": mark.name, "community": mark.community_label, "note": mark.note}
+                for mark in self.bookmarks.values()
+            ],
+        }
+
+    def save(self, path: PathLike) -> Path:
+        """Write the session to ``path`` as JSON."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, default=str), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load_steps(cls, path: PathLike) -> List[SessionStep]:
+        """Read the replayable steps from a saved session file."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("format") != SESSION_FORMAT:
+            raise NavigationError(f"{path} is not a GMine session file")
+        return [SessionStep.from_dict(step) for step in payload.get("steps", [])]
+
+    @classmethod
+    def replay(
+        cls, engine: GMineEngine, steps: List[SessionStep], strict: bool = True
+    ) -> "ExplorationSession":
+        """Re-execute recorded steps against ``engine`` and return the new session.
+
+        With ``strict=False`` steps that fail (for example a label query for
+        an author who is absent from a regenerated dataset) are skipped
+        instead of aborting the replay.
+        """
+        session = cls(engine, name="replay")
+        dispatch = {
+            "focus": lambda args: session.focus(args["label"]),
+            "drill_down": lambda args: session.drill_down(int(args.get("child_index", 0))),
+            "drill_up": lambda args: session.drill_up(),
+            "label_query": lambda args: session.label_query(
+                args["value"], attribute=args.get("attribute")
+            ),
+            "locate_and_focus": lambda args: session.locate_and_focus(
+                args["value"], attribute=args.get("attribute")
+            ),
+            "community_metrics": lambda args: session.community_metrics(),
+            "inspect_connectivity_edge": lambda args: session.inspect_connectivity_edge(
+                args["community_a"], args["community_b"]
+            ),
+        }
+        for step in steps:
+            handler = dispatch.get(step.action)
+            if handler is None:
+                if strict:
+                    raise NavigationError(f"unknown session action {step.action!r}")
+                continue
+            try:
+                handler(step.arguments)
+            except NavigationError:
+                if strict:
+                    raise
+        return session

@@ -1,0 +1,98 @@
+"""The Tomahawk principle: what to draw when the user focuses a community.
+
+Drawing every expanded community at once causes sensory overload, so GMine
+limits the display to "the desired node of interest, its sons and its
+siblings", plotted inside the minimum enclosing ancestor — the set of nodes
+reminded the authors of a tomahawk axe when highlighted on the tree
+(figure 4).  This module computes that context set and quantifies how much
+smaller it is than a full expansion (the clutter-reduction benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .gtree import GTree, GTreeNode
+
+
+@dataclass
+class TomahawkContext:
+    """The set of tree nodes to display for one focused community."""
+
+    focus: GTreeNode
+    children: List[GTreeNode] = field(default_factory=list)
+    siblings: List[GTreeNode] = field(default_factory=list)
+    ancestors: List[GTreeNode] = field(default_factory=list)
+
+    def visible_nodes(self) -> List[GTreeNode]:
+        """Every community to draw: focus, children, siblings, ancestors."""
+        return [self.focus] + self.children + self.siblings + self.ancestors
+
+    def visible_ids(self) -> List[int]:
+        """Ids of the visible communities (focus first, then deterministic order)."""
+        return [node.node_id for node in self.visible_nodes()]
+
+    @property
+    def size(self) -> int:
+        """Number of communities drawn under the Tomahawk principle."""
+        return len(self.visible_nodes())
+
+    def enclosing_node(self) -> GTreeNode:
+        """The minimum community that visually contains the whole context.
+
+        That is the focus's parent when it has one (children and siblings
+        both live inside it), otherwise the focus itself (root focus).
+        """
+        return self.ancestors[0] if self.ancestors else self.focus
+
+
+def tomahawk_context(tree: GTree, focus_id: int) -> TomahawkContext:
+    """Compute the Tomahawk display context for community ``focus_id``."""
+    focus = tree.node(focus_id)
+    return TomahawkContext(
+        focus=focus,
+        children=tree.children(focus_id),
+        siblings=tree.siblings(focus_id),
+        ancestors=tree.ancestors(focus_id),
+    )
+
+
+def full_expansion_size(tree: GTree, focus_id: int, depth: Optional[int] = None) -> int:
+    """Count communities drawn if the focus subtree were fully expanded.
+
+    This is the clutter the Tomahawk principle avoids: the focused community
+    plus every descendant (to ``depth`` levels below it, or all of them),
+    plus its ancestors and siblings which a naive display would also keep.
+    """
+    focus = tree.node(focus_id)
+    count = 0
+    frontier = [focus]
+    while frontier:
+        node = frontier.pop()
+        count += 1
+        if depth is not None and node.level - focus.level >= depth:
+            continue
+        frontier.extend(tree.children(node.node_id))
+    count += len(tree.siblings(focus_id)) + len(tree.ancestors(focus_id))
+    return count
+
+
+def clutter_reduction(tree: GTree, focus_id: int) -> Dict[str, float]:
+    """Return Tomahawk-vs-full item counts and the reduction ratio."""
+    context = tomahawk_context(tree, focus_id)
+    full = full_expansion_size(tree, focus_id)
+    return {
+        "tomahawk_items": float(context.size),
+        "full_expansion_items": float(full),
+        "reduction_ratio": full / context.size if context.size else float("inf"),
+    }
+
+
+def drill_path(tree: GTree, labels: List[str]) -> List[TomahawkContext]:
+    """Return the contexts produced by focusing each label in sequence.
+
+    Models a user drilling down (figure 3's (a) → (b) → (c) sequence): each
+    element is the display state after one more focus action.
+    """
+    return [tomahawk_context(tree, tree.by_label(label).node_id) for label in labels]

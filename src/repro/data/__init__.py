@@ -1,0 +1,19 @@
+"""Datasets: synthetic DBLP-like co-authorship graphs and real-data loaders."""
+
+from .dblp import (
+    DBLPConfig,
+    DBLPDataset,
+    generate_dblp,
+    load_coauthorship_edge_list,
+    small_dblp,
+)
+from .names import generate_author_names
+
+__all__ = [
+    "DBLPConfig",
+    "DBLPDataset",
+    "generate_author_names",
+    "generate_dblp",
+    "load_coauthorship_edge_list",
+    "small_dblp",
+]

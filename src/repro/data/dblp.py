@@ -1,0 +1,305 @@
+"""Synthetic DBLP-like co-authorship graphs (and a parser for real ones).
+
+The paper demonstrates GMine on a DBLP snapshot with n = 315,688 authors and
+e = 1,659,853 co-authorship edges.  That snapshot is not available offline,
+so this module generates a synthetic surrogate that preserves the features
+the system actually exercises:
+
+* **community structure** — authors are organised into research communities
+  (and sub-communities), with dense collaboration inside a community and
+  sparse collaboration across communities, so METIS-style partitioning and
+  the G-Tree produce meaningful hierarchies;
+* **skewed productivity** — a small number of prolific, long-term authors
+  co-author with many people (the "3 highly connected communities hold long
+  term active and collaborating authors" observation), while most authors
+  have few collaborators;
+* **edge weights and years** — each co-authorship edge carries the number of
+  joint papers and a publication year, supporting the paper's outlier-edge
+  inspection story ("their unique DBLP publication dated from 1989");
+* **author names** — so label queries ("locate author Jiawei Han") work.
+
+The default scale is reduced (a few thousand authors) so tests and
+benchmarks run in seconds; ``DBLPConfig.paper_scale()`` returns the
+parameterisation matching the paper's node/edge counts for users with the
+patience to run it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import DatasetError
+from ..graph.graph import Graph
+from .names import generate_author_names
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class DBLPConfig:
+    """Parameters of the synthetic co-authorship generator."""
+
+    num_authors: int = 3000
+    num_communities: int = 5
+    sub_communities_per_community: int = 5
+    # Average number of co-authors an author has inside their sub-community.
+    intra_sub_degree: float = 8.0
+    # Average number of co-authors inside the same top community but a
+    # different sub-community.
+    intra_top_degree: float = 1.5
+    # Average number of co-authors in a different top community.
+    inter_degree: float = 0.4
+    # Fraction of authors that are "prolific" hubs with many collaborations.
+    prolific_fraction: float = 0.02
+    prolific_boost: float = 6.0
+    # Fraction of authors who are casual (single collaboration, mirrors the
+    # paper's "casual, less productive authors who seldom interact").
+    casual_fraction: float = 0.3
+    year_range: Tuple[int, int] = (1980, 2006)
+    seed: int = 0
+
+    @classmethod
+    def paper_scale(cls, seed: int = 0) -> "DBLPConfig":
+        """Parameters approximating the paper's snapshot (315,688 authors).
+
+        Average degree in the paper's graph is 2e/n ≈ 10.5; the default
+        degree mix below reproduces that once all three collaboration tiers
+        are summed.  Running at this scale takes minutes, not seconds.
+        """
+        return cls(
+            num_authors=315_688,
+            num_communities=5,
+            sub_communities_per_community=5,
+            intra_sub_degree=8.6,
+            intra_top_degree=1.5,
+            inter_degree=0.4,
+            seed=seed,
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`DatasetError` on inconsistent parameters."""
+        if self.num_authors < self.num_communities * self.sub_communities_per_community:
+            raise DatasetError(
+                "num_authors must be at least num_communities * sub_communities"
+            )
+        if self.num_communities < 1 or self.sub_communities_per_community < 1:
+            raise DatasetError("community counts must be >= 1")
+        if not 0.0 <= self.prolific_fraction <= 1.0:
+            raise DatasetError("prolific_fraction must be in [0, 1]")
+        if not 0.0 <= self.casual_fraction <= 1.0:
+            raise DatasetError("casual_fraction must be in [0, 1]")
+        if self.year_range[0] > self.year_range[1]:
+            raise DatasetError("year_range must be (min, max) with min <= max")
+
+
+@dataclass
+class DBLPDataset:
+    """A generated co-authorship graph plus its ground-truth structure."""
+
+    graph: Graph
+    config: DBLPConfig
+    community_of: Dict[int, int]
+    sub_community_of: Dict[int, Tuple[int, int]]
+    author_names: List[str]
+
+    @property
+    def num_authors(self) -> int:
+        """Number of author vertices."""
+        return self.graph.num_nodes
+
+    @property
+    def num_collaborations(self) -> int:
+        """Number of distinct co-authorship edges."""
+        return self.graph.num_edges
+
+    def author_id(self, name: str) -> int:
+        """Return the vertex id of the author called ``name``.
+
+        Raises :class:`DatasetError` when no author has that name — the same
+        behaviour a label query in the UI reports to the user.
+        """
+        try:
+            return self.author_names.index(name)
+        except ValueError:
+            raise DatasetError(f"no author named {name!r} in this dataset") from None
+
+    def name_of(self, author: int) -> str:
+        """Return the display name of vertex ``author``."""
+        if author < 0 or author >= len(self.author_names):
+            raise DatasetError(f"author id {author} out of range")
+        return self.author_names[author]
+
+    def most_collaborative_authors(self, count: int = 10) -> List[Tuple[int, str, int]]:
+        """Return ``(id, name, degree)`` for the most-connected authors."""
+        ranked = sorted(
+            ((node, self.graph.degree(node)) for node in self.graph.nodes()),
+            key=lambda pair: -pair[1],
+        )
+        return [(node, self.name_of(node), degree) for node, degree in ranked[:count]]
+
+
+def generate_dblp(config: Optional[DBLPConfig] = None) -> DBLPDataset:
+    """Generate a synthetic DBLP-like co-authorship network.
+
+    Authors are laid out community by community, sub-community by
+    sub-community; collaborations are sampled per author with expected
+    counts given by the config's three degree tiers, each collaboration
+    picking a partner from the appropriate group (prolific authors are
+    preferred as partners, giving the skewed degree distribution).
+    """
+    config = config or DBLPConfig()
+    config.validate()
+    rng = random.Random(config.seed)
+
+    n = config.num_authors
+    graph = Graph(name=f"dblp_synthetic_{n}")
+    names = generate_author_names(n, seed=config.seed)
+
+    community_of: Dict[int, int] = {}
+    sub_community_of: Dict[int, Tuple[int, int]] = {}
+
+    # --- assign authors to communities and sub-communities ---------------- #
+    communities: List[List[int]] = [[] for _ in range(config.num_communities)]
+    sub_communities: Dict[Tuple[int, int], List[int]] = {}
+    for author in range(n):
+        community = author % config.num_communities
+        sub = (author // config.num_communities) % config.sub_communities_per_community
+        community_of[author] = community
+        sub_community_of[author] = (community, sub)
+        communities[community].append(author)
+        sub_communities.setdefault((community, sub), []).append(author)
+        graph.add_node(
+            author,
+            name=names[author],
+            community=community,
+            sub_community=sub,
+        )
+
+    # --- choose prolific and casual authors ------------------------------- #
+    num_prolific = max(1, int(round(n * config.prolific_fraction)))
+    prolific = set(rng.sample(range(n), num_prolific))
+    casual = {
+        author
+        for author in range(n)
+        if author not in prolific and rng.random() < config.casual_fraction
+    }
+
+    def preference_weight(author: int) -> float:
+        return config.prolific_boost if author in prolific else 1.0
+
+    # Pre-compute weighted partner pools per group to keep sampling cheap.
+    def make_pool(members: Sequence[int]) -> List[int]:
+        pool: List[int] = []
+        for member in members:
+            copies = int(round(preference_weight(member)))
+            pool.extend([member] * max(1, copies))
+        return pool
+
+    sub_pools = {key: make_pool(members) for key, members in sub_communities.items()}
+    community_pools = {index: make_pool(members) for index, members in enumerate(communities)}
+    global_pool = make_pool(range(n))
+
+    year_low, year_high = config.year_range
+
+    def sample_count(expected: float) -> int:
+        """Poisson-ish sample with deterministic rng (sum of Bernoullis)."""
+        whole = int(expected)
+        count = 0
+        for _ in range(whole):
+            if rng.random() < 0.9:
+                count += 1
+        if rng.random() < (expected - whole):
+            count += 1
+        return count
+
+    def add_collaboration(author: int, partner: int) -> None:
+        if author == partner:
+            return
+        year = rng.randint(year_low, year_high)
+        if graph.has_edge(author, partner):
+            graph.add_edge(author, partner, weight=1.0, accumulate=True)
+            attrs = graph.edge_attrs(author, partner)
+            attrs["last_year"] = max(attrs.get("last_year", year), year)
+            attrs["first_year"] = min(attrs.get("first_year", year), year)
+        else:
+            graph.add_edge(author, partner, weight=1.0)
+            graph.edge_attrs(author, partner).update(
+                {"first_year": year, "last_year": year}
+            )
+
+    # --- sample collaborations -------------------------------------------- #
+    for author in range(n):
+        activity = 1.0
+        if author in prolific:
+            activity = config.prolific_boost
+        elif author in casual:
+            activity = 0.25
+        community, sub = sub_community_of[author]
+
+        for _ in range(sample_count(config.intra_sub_degree * activity)):
+            partner = rng.choice(sub_pools[(community, sub)])
+            add_collaboration(author, partner)
+        for _ in range(sample_count(config.intra_top_degree * activity)):
+            partner = rng.choice(community_pools[community])
+            add_collaboration(author, partner)
+        for _ in range(sample_count(config.inter_degree * activity)):
+            partner = rng.choice(global_pool)
+            add_collaboration(author, partner)
+
+    return DBLPDataset(
+        graph=graph,
+        config=config,
+        community_of=community_of,
+        sub_community_of=sub_community_of,
+        author_names=names,
+    )
+
+
+def small_dblp(num_authors: int = 1500, seed: int = 0) -> DBLPDataset:
+    """Convenience: a reduced-scale dataset for tests and quick examples."""
+    return generate_dblp(
+        DBLPConfig(num_authors=num_authors, intra_sub_degree=6.0, seed=seed)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# real data ingestion
+# --------------------------------------------------------------------------- #
+def load_coauthorship_edge_list(path: PathLike, name: str = "dblp") -> Graph:
+    """Load a real co-authorship edge list (``author_a<TAB>author_b[<TAB>papers]``).
+
+    Provided so users who *do* have a DBLP-derived edge list (for example the
+    SNAP ``com-DBLP`` dump) can run the system on it; every downstream
+    component only requires a weighted undirected :class:`Graph`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"co-authorship file does not exist: {path}")
+    graph = Graph(name=name)
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#") or line.startswith("%"):
+                continue
+            parts = line.split("\t") if "\t" in line else line.split()
+            if len(parts) < 2:
+                raise DatasetError(f"{path}:{lineno}: expected two author fields")
+            a, b = parts[0].strip(), parts[1].strip()
+            weight = 1.0
+            if len(parts) >= 3:
+                try:
+                    weight = float(parts[2])
+                except ValueError as exc:
+                    raise DatasetError(f"{path}:{lineno}: bad weight {parts[2]!r}") from exc
+            try:
+                u: Union[int, str] = int(a)
+                v: Union[int, str] = int(b)
+            except ValueError:
+                u, v = a, b
+            if u == v:
+                continue
+            graph.add_edge(u, v, weight=weight, accumulate=graph.has_edge(u, v))
+    return graph

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the GMine reproduction.
+
+Every error raised by the library derives from :class:`GMineError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate finer-grained conditions.
+"""
+
+from __future__ import annotations
+
+
+class GMineError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(GMineError):
+    """Base class for errors raised by the graph substrate."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A vertex id was referenced that is not present in the graph."""
+
+    def __init__(self, node):
+        super().__init__(node)
+        self.node = node
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep it readable.
+        return f"node not found in graph: {self.node!r}"
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge was referenced that is not present in the graph."""
+
+    def __init__(self, u, v):
+        super().__init__((u, v))
+        self.u = u
+        self.v = v
+
+    def __str__(self) -> str:
+        return f"edge not found in graph: ({self.u!r}, {self.v!r})"
+
+
+class GraphFormatError(GraphError):
+    """A graph file or serialized payload could not be parsed."""
+
+
+class PartitionError(GMineError):
+    """Base class for errors raised by the partitioning subsystem."""
+
+
+class InvalidPartitionError(PartitionError):
+    """A partition vector violates an invariant (cover, range, balance)."""
+
+
+class GTreeError(GMineError):
+    """Base class for errors raised by the G-Tree core."""
+
+
+class GTreeStructureError(GTreeError):
+    """The G-Tree structure violates one of its invariants."""
+
+
+class NavigationError(GTreeError):
+    """An interactive navigation request could not be satisfied."""
+
+
+class StorageError(GMineError):
+    """Base class for errors raised by the storage subsystem."""
+
+
+class PageError(StorageError):
+    """A page could not be read, written, or validated."""
+
+
+class CorruptStoreError(StorageError):
+    """A persisted G-Tree file failed checksum or structural validation."""
+
+
+class MiningError(GMineError):
+    """Base class for errors raised by the mining subsystem."""
+
+
+class ExtractionError(MiningError):
+    """Connection-subgraph extraction could not produce a valid result."""
+
+
+class ConvergenceError(MiningError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class VisualizationError(GMineError):
+    """Base class for errors raised by the visualization subsystem."""
+
+
+class LayoutError(VisualizationError):
+    """A layout algorithm received invalid input or failed to converge."""
+
+
+class DatasetError(GMineError):
+    """A dataset could not be generated, parsed, or validated."""
+
+
+class CLIError(GMineError):
+    """A command-line invocation was invalid."""

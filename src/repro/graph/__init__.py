@@ -1,0 +1,93 @@
+"""Graph substrate: structures, generators, IO, traversal, validation.
+
+This package is the foundation the rest of the GMine reproduction builds on.
+The public surface re-exported here is what examples and downstream users
+should import; submodules remain importable for finer-grained access.
+"""
+
+from .graph import DiGraph, Graph, NodeId, graph_from_adjacency, union
+from .generators import (
+    barabasi_albert,
+    complete_graph,
+    connected_caveman,
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+    path_graph,
+    star_graph,
+    stochastic_block_model,
+    watts_strogatz,
+)
+from .io import (
+    graph_from_dict,
+    graph_to_dict,
+    read_edge_list,
+    read_json,
+    write_adjacency_text,
+    write_edge_list,
+    write_json,
+)
+from .matrix import (
+    VertexIndex,
+    adjacency_matrix,
+    combinatorial_laplacian,
+    degree_vector,
+    normalized_laplacian,
+    restart_vector,
+    transition_matrix,
+)
+from .traversal import (
+    bfs_distances,
+    bfs_order,
+    bfs_tree,
+    dfs_order,
+    dijkstra,
+    eccentricity,
+    shortest_path_hops,
+    shortest_weighted_path,
+)
+from .validation import assert_valid_graph, graphs_equal, validate_digraph, validate_graph
+
+__all__ = [
+    "DiGraph",
+    "Graph",
+    "NodeId",
+    "VertexIndex",
+    "adjacency_matrix",
+    "assert_valid_graph",
+    "barabasi_albert",
+    "bfs_distances",
+    "bfs_order",
+    "bfs_tree",
+    "combinatorial_laplacian",
+    "complete_graph",
+    "connected_caveman",
+    "cycle_graph",
+    "degree_vector",
+    "dfs_order",
+    "dijkstra",
+    "eccentricity",
+    "erdos_renyi",
+    "graph_from_adjacency",
+    "graph_from_dict",
+    "graph_to_dict",
+    "graphs_equal",
+    "grid_2d",
+    "normalized_laplacian",
+    "path_graph",
+    "read_edge_list",
+    "read_json",
+    "restart_vector",
+    "shortest_path_hops",
+    "shortest_weighted_path",
+    "star_graph",
+    "stochastic_block_model",
+    "transition_matrix",
+    "union",
+    "validate_digraph",
+    "validate_graph",
+    "watts_strogatz",
+    "write_adjacency_text",
+    "write_edge_list",
+    "write_json",
+]

@@ -1,0 +1,234 @@
+"""Synthetic graph generators.
+
+The GMine paper demonstrates on the DBLP co-authorship graph.  That snapshot
+is not redistributable here, so the reproduction relies on synthetic graphs
+whose structure exercises the same code paths: community structure for the
+partitioner and the G-Tree, skewed degrees for the connection-subgraph
+extractor, and arbitrary scale for the scalability benchmarks.
+
+All generators are deterministic given a ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import GraphError
+from .graph import Graph
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    """Return a :class:`random.Random` seeded deterministically."""
+    return random.Random(seed if seed is not None else 0)
+
+
+def erdos_renyi(n: int, p: float, seed: Optional[int] = None, name: str = "") -> Graph:
+    """Return a G(n, p) random graph.
+
+    Uses the skip-ahead geometric sampling trick so the cost is proportional
+    to the number of generated edges rather than ``n**2``.
+    """
+    if n < 0:
+        raise GraphError("erdos_renyi requires n >= 0")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("erdos_renyi requires 0 <= p <= 1")
+    rng = _rng(seed)
+    graph = Graph(name=name or f"er_{n}_{p}")
+    graph.add_nodes_from(range(n))
+    if p == 0.0 or n < 2:
+        return graph
+    if p == 1.0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                graph.add_edge(u, v)
+        return graph
+    # Geometric skipping over the upper-triangular edge list.
+    import math
+
+    log_q = math.log(1.0 - p)
+    if log_q == 0.0:
+        # p is so small that 1 - p rounds to 1.0; no edges are expected.
+        return graph
+    v = 1
+    w = -1
+    while v < n:
+        r = rng.random()
+        w = w + 1 + int(math.log(1.0 - r) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            graph.add_edge(v, w)
+    return graph
+
+
+def barabasi_albert(
+    n: int, m: int, seed: Optional[int] = None, name: str = ""
+) -> Graph:
+    """Return a Barabási–Albert preferential-attachment graph.
+
+    Every new vertex attaches to ``m`` existing vertices chosen with
+    probability proportional to their degree, giving the heavy-tailed degree
+    distribution characteristic of co-authorship networks.
+    """
+    if m < 1 or n < m + 1:
+        raise GraphError("barabasi_albert requires n >= m + 1 and m >= 1")
+    rng = _rng(seed)
+    graph = Graph(name=name or f"ba_{n}_{m}")
+    # Start from a star on m + 1 vertices so every vertex has degree >= 1.
+    graph.add_nodes_from(range(m + 1))
+    repeated: List[int] = []
+    for v in range(1, m + 1):
+        graph.add_edge(0, v)
+        repeated.extend((0, v))
+    for new in range(m + 1, n):
+        targets: set = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated))
+        for target in targets:
+            graph.add_edge(new, target)
+            repeated.extend((new, target))
+    return graph
+
+
+def stochastic_block_model(
+    sizes: Sequence[int],
+    p_in: float,
+    p_out: float,
+    seed: Optional[int] = None,
+    name: str = "",
+) -> Tuple[Graph, List[int]]:
+    """Return ``(graph, membership)`` drawn from a planted-partition SBM.
+
+    ``membership[v]`` is the index of the block vertex ``v`` was planted in,
+    which tests use as ground truth for the partitioner.
+    """
+    if not sizes:
+        raise GraphError("stochastic_block_model requires at least one block")
+    if not (0.0 <= p_in <= 1.0 and 0.0 <= p_out <= 1.0):
+        raise GraphError("stochastic_block_model requires probabilities in [0, 1]")
+    rng = _rng(seed)
+    graph = Graph(name=name or "sbm")
+    membership: List[int] = []
+    for block, size in enumerate(sizes):
+        membership.extend([block] * size)
+    n = len(membership)
+    graph.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            p = p_in if membership[u] == membership[v] else p_out
+            if p > 0.0 and rng.random() < p:
+                graph.add_edge(u, v)
+    return graph, membership
+
+
+def connected_caveman(
+    num_cliques: int, clique_size: int, seed: Optional[int] = None, name: str = ""
+) -> Graph:
+    """Return a connected caveman graph: cliques chained in a ring.
+
+    A textbook extreme of community structure — useful for asserting that the
+    partitioner recovers an obviously right answer.
+    """
+    if num_cliques < 1 or clique_size < 2:
+        raise GraphError("connected_caveman requires num_cliques >= 1, clique_size >= 2")
+    graph = Graph(name=name or f"caveman_{num_cliques}_{clique_size}")
+    n = num_cliques * clique_size
+    graph.add_nodes_from(range(n))
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                graph.add_edge(base + i, base + j)
+    # Rewire one edge per clique to the next clique to connect the ring.
+    if num_cliques > 1:
+        for c in range(num_cliques):
+            u = c * clique_size
+            v = ((c + 1) % num_cliques) * clique_size + 1
+            graph.add_edge(u, v)
+    return graph
+
+
+def grid_2d(rows: int, cols: int, name: str = "") -> Graph:
+    """Return a ``rows x cols`` 2-D grid graph (4-neighbourhood)."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid_2d requires rows >= 1 and cols >= 1")
+    graph = Graph(name=name or f"grid_{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            graph.add_node(node)
+            if c + 1 < cols:
+                graph.add_edge(node, node + 1)
+            if r + 1 < rows:
+                graph.add_edge(node, node + cols)
+    return graph
+
+
+def path_graph(n: int, name: str = "") -> Graph:
+    """Return the path graph on ``n`` vertices."""
+    graph = Graph(name=name or f"path_{n}")
+    graph.add_nodes_from(range(n))
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def cycle_graph(n: int, name: str = "") -> Graph:
+    """Return the cycle graph on ``n`` vertices (n >= 3)."""
+    if n < 3:
+        raise GraphError("cycle_graph requires n >= 3")
+    graph = path_graph(n, name=name or f"cycle_{n}")
+    graph.add_edge(n - 1, 0)
+    return graph
+
+
+def star_graph(n_leaves: int, name: str = "") -> Graph:
+    """Return a star with hub ``0`` and ``n_leaves`` leaves."""
+    graph = Graph(name=name or f"star_{n_leaves}")
+    graph.add_node(0)
+    for leaf in range(1, n_leaves + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def complete_graph(n: int, name: str = "") -> Graph:
+    """Return the complete graph on ``n`` vertices."""
+    graph = Graph(name=name or f"complete_{n}")
+    graph.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v)
+    return graph
+
+
+def watts_strogatz(
+    n: int, k: int, p: float, seed: Optional[int] = None, name: str = ""
+) -> Graph:
+    """Return a Watts–Strogatz small-world graph.
+
+    Each vertex is joined to its ``k`` nearest ring neighbours, then each
+    edge is rewired with probability ``p``.
+    """
+    if k % 2 != 0 or k < 2:
+        raise GraphError("watts_strogatz requires an even k >= 2")
+    if n <= k:
+        raise GraphError("watts_strogatz requires n > k")
+    rng = _rng(seed)
+    graph = Graph(name=name or f"ws_{n}_{k}_{p}")
+    graph.add_nodes_from(range(n))
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            graph.add_edge(u, (u + offset) % n)
+    if p <= 0.0:
+        return graph
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % n
+            if rng.random() < p and graph.has_edge(u, v):
+                candidates = [w for w in range(n) if w != u and not graph.has_edge(u, w)]
+                if candidates:
+                    graph.remove_edge(u, v)
+                    graph.add_edge(u, rng.choice(candidates))
+    return graph

@@ -1,0 +1,171 @@
+"""Graph input/output.
+
+Supported formats:
+
+* **edge list** — whitespace-separated ``u v [weight]`` lines, ``#`` comments.
+  This is the interchange format used by SNAP and by most public graph
+  dumps, including DBLP-derived co-authorship edge lists.
+* **JSON** — a self-describing document carrying node attributes and edge
+  weights; used by the examples and by the CLI for small graphs.
+* **adjacency text** — one line per vertex: ``u: v1 v2 ...`` (debug aid).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..errors import GraphFormatError
+from .graph import Graph, NodeId
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: Graph, path: PathLike, header: bool = True) -> None:
+    """Write ``graph`` as a ``u v weight`` edge list.
+
+    Isolated vertices are recorded in a trailing comment block so that a
+    round trip preserves the vertex set exactly.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        if header:
+            handle.write(f"# graph: {graph.name}\n")
+            handle.write(f"# nodes: {graph.num_nodes} edges: {graph.num_edges}\n")
+        for u, v, w in graph.edges():
+            handle.write(f"{u}\t{v}\t{w:g}\n")
+        isolated = [node for node in graph.nodes() if graph.degree(node) == 0]
+        for node in isolated:
+            handle.write(f"#node\t{node}\n")
+
+
+def read_edge_list(
+    path: PathLike, name: str = "", int_nodes: bool = True
+) -> Graph:
+    """Read an edge-list file produced by :func:`write_edge_list` (or SNAP).
+
+    Parameters
+    ----------
+    int_nodes:
+        When true (default) vertex tokens that look like integers are
+        converted to ``int``; otherwise ids stay strings.
+    """
+    path = Path(path)
+    graph = Graph(name=name or path.stem)
+
+    def parse(token: str) -> NodeId:
+        if int_nodes:
+            try:
+                return int(token)
+            except ValueError:
+                return token
+        return token
+
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#node\t") or line.startswith("#node "):
+                parts = line.split(None, 1)
+                if len(parts) == 2:
+                    graph.add_node(parse(parts[1].strip()))
+                continue
+            if line.startswith("#") or line.startswith("%"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'u v [weight]', got {line!r}"
+                )
+            u, v = parse(parts[0]), parse(parts[1])
+            weight = 1.0
+            if len(parts) >= 3:
+                try:
+                    weight = float(parts[2])
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: bad weight {parts[2]!r}"
+                    ) from exc
+            graph.add_edge(u, v, weight=weight, accumulate=graph.has_edge(u, v))
+    return graph
+
+
+def write_json(graph: Graph, path: PathLike, indent: Optional[int] = None) -> None:
+    """Write ``graph`` (with node and edge attributes) as a JSON document."""
+    document = graph_to_dict(graph)
+    Path(path).write_text(json.dumps(document, indent=indent), encoding="utf-8")
+
+
+def read_json(path: PathLike) -> Graph:
+    """Read a JSON document produced by :func:`write_json`."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise GraphFormatError(f"{path}: invalid JSON: {exc}") from exc
+    return graph_from_dict(document)
+
+
+def graph_to_dict(graph: Graph) -> Dict:
+    """Return a JSON-serialisable dict representation of ``graph``."""
+    nodes = []
+    for node in graph.nodes():
+        entry: Dict = {"id": node}
+        attrs = graph.node_attrs(node)
+        if attrs:
+            entry["attrs"] = attrs
+        nodes.append(entry)
+    edges = []
+    for u, v, w in graph.edges():
+        entry = {"source": u, "target": v, "weight": w}
+        attrs = graph.edge_attrs(u, v)
+        if attrs:
+            entry["attrs"] = attrs
+        edges.append(entry)
+    return {
+        "format": "gmine-graph",
+        "version": 1,
+        "name": graph.name,
+        "directed": False,
+        "nodes": nodes,
+        "edges": edges,
+    }
+
+
+def graph_from_dict(document: Dict) -> Graph:
+    """Rebuild a :class:`Graph` from :func:`graph_to_dict` output."""
+    if not isinstance(document, dict) or document.get("format") != "gmine-graph":
+        raise GraphFormatError("document is not a gmine-graph JSON payload")
+    graph = Graph(name=document.get("name", ""))
+    for entry in document.get("nodes", []):
+        if "id" not in entry:
+            raise GraphFormatError(f"node entry missing 'id': {entry!r}")
+        graph.add_node(_freeze(entry["id"]), **entry.get("attrs", {}))
+    for entry in document.get("edges", []):
+        if "source" not in entry or "target" not in entry:
+            raise GraphFormatError(f"edge entry missing endpoints: {entry!r}")
+        u = _freeze(entry["source"])
+        v = _freeze(entry["target"])
+        graph.add_edge(u, v, weight=float(entry.get("weight", 1.0)))
+        attrs = entry.get("attrs")
+        if attrs:
+            graph.edge_attrs(u, v).update(attrs)
+    return graph
+
+
+def write_adjacency_text(graph: Graph, path: PathLike) -> None:
+    """Write a human-readable adjacency listing (debug aid)."""
+    lines: List[str] = [f"# {graph.name}: {graph.num_nodes} nodes, {graph.num_edges} edges"]
+    for node in graph.nodes():
+        neighbors = " ".join(str(neighbor) for neighbor in sorted(
+            graph.neighbors(node), key=repr))
+        lines.append(f"{node}: {neighbors}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def _freeze(value):
+    """JSON round-trips tuples as lists; restore hashability for node ids."""
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    return value

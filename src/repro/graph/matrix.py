@@ -1,0 +1,158 @@
+"""Bridges between :class:`~repro.graph.graph.Graph` and sparse matrices.
+
+Numeric kernels — random walk with restart, spectral partitioning, PageRank —
+operate on ``scipy.sparse`` matrices.  This module centralises the (graph,
+matrix, index) conversions so every kernel shares one deterministic vertex
+ordering and one normalisation convention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import GraphError
+from .graph import Graph, NodeId
+
+
+class VertexIndex:
+    """A bidirectional mapping between vertex ids and contiguous indices.
+
+    The ordering is the graph's insertion order, which makes every matrix
+    built from the same graph use the same rows and keeps results
+    reproducible across runs.
+    """
+
+    def __init__(self, nodes: Sequence[NodeId]) -> None:
+        self._order: List[NodeId] = list(nodes)
+        self._index: Dict[NodeId, int] = {
+            node: position for position, node in enumerate(self._order)
+        }
+        if len(self._index) != len(self._order):
+            raise GraphError("duplicate vertex ids passed to VertexIndex")
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "VertexIndex":
+        """Build the index from a graph's insertion order."""
+        return cls(list(graph.nodes()))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._index
+
+    def index_of(self, node: NodeId) -> int:
+        """Return the matrix row/column of ``node``."""
+        try:
+            return self._index[node]
+        except KeyError:
+            raise GraphError(f"vertex {node!r} is not in the index") from None
+
+    def node_at(self, position: int) -> NodeId:
+        """Return the vertex id stored at matrix position ``position``."""
+        return self._order[position]
+
+    def nodes(self) -> List[NodeId]:
+        """Return the vertex ids in matrix order (a copy)."""
+        return list(self._order)
+
+    def to_indices(self, nodes: Sequence[NodeId]) -> List[int]:
+        """Map a sequence of vertex ids to matrix positions."""
+        return [self.index_of(node) for node in nodes]
+
+    def to_nodes(self, indices: Sequence[int]) -> List[NodeId]:
+        """Map a sequence of matrix positions back to vertex ids."""
+        return [self._order[i] for i in indices]
+
+
+def adjacency_matrix(
+    graph: Graph, index: VertexIndex | None = None, dtype=np.float64
+) -> Tuple[sparse.csr_matrix, VertexIndex]:
+    """Return ``(A, index)`` where ``A`` is the symmetric weighted adjacency.
+
+    Self loops appear once on the diagonal.
+    """
+    if index is None:
+        index = VertexIndex.from_graph(graph)
+    n = len(index)
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    for u, v, w in graph.edges():
+        i, j = index.index_of(u), index.index_of(v)
+        rows.append(i)
+        cols.append(j)
+        vals.append(w)
+        if i != j:
+            rows.append(j)
+            cols.append(i)
+            vals.append(w)
+    matrix = sparse.csr_matrix(
+        (np.asarray(vals, dtype=dtype), (rows, cols)), shape=(n, n)
+    )
+    return matrix, index
+
+
+def degree_vector(adjacency: sparse.spmatrix) -> np.ndarray:
+    """Return the weighted degree (row-sum) vector of an adjacency matrix."""
+    return np.asarray(adjacency.sum(axis=1)).ravel()
+
+
+def transition_matrix(
+    graph: Graph, index: VertexIndex | None = None
+) -> Tuple[sparse.csr_matrix, VertexIndex]:
+    """Return the column-stochastic transition matrix ``W`` and its index.
+
+    ``W[i, j]`` is the probability of stepping to vertex ``i`` from vertex
+    ``j`` (column-normalised), the convention used by random walk with
+    restart: ``p' = (1 - c) W p + c q``.  Columns of isolated vertices are
+    left all-zero; RWR treats them as absorbing into the restart vector.
+    """
+    adjacency, index = adjacency_matrix(graph, index)
+    degrees = degree_vector(adjacency)
+    with np.errstate(divide="ignore"):
+        inverse = np.where(degrees > 0, 1.0 / degrees, 0.0)
+    # Column-normalise: divide column j by degree(j).
+    scaling = sparse.diags(inverse)
+    transition = (adjacency @ scaling).tocsr()
+    return transition, index
+
+
+def normalized_laplacian(
+    graph: Graph, index: VertexIndex | None = None
+) -> Tuple[sparse.csr_matrix, VertexIndex]:
+    """Return the symmetric normalised Laplacian ``I - D^-1/2 A D^-1/2``."""
+    adjacency, index = adjacency_matrix(graph, index)
+    degrees = degree_vector(adjacency)
+    with np.errstate(divide="ignore"):
+        inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(degrees), 0.0)
+    half = sparse.diags(inv_sqrt)
+    n = adjacency.shape[0]
+    laplacian = sparse.identity(n, format="csr") - (half @ adjacency @ half)
+    return laplacian.tocsr(), index
+
+
+def combinatorial_laplacian(
+    graph: Graph, index: VertexIndex | None = None
+) -> Tuple[sparse.csr_matrix, VertexIndex]:
+    """Return the combinatorial Laplacian ``D - A``."""
+    adjacency, index = adjacency_matrix(graph, index)
+    degrees = degree_vector(adjacency)
+    laplacian = sparse.diags(degrees) - adjacency
+    return laplacian.tocsr(), index
+
+
+def restart_vector(
+    index: VertexIndex, sources: Sequence[NodeId], dtype=np.float64
+) -> np.ndarray:
+    """Return a probability vector uniform over ``sources`` and zero elsewhere."""
+    if not sources:
+        raise GraphError("restart_vector requires at least one source node")
+    vector = np.zeros(len(index), dtype=dtype)
+    for node in sources:
+        vector[index.index_of(node)] += 1.0
+    vector /= vector.sum()
+    return vector

@@ -1,0 +1,169 @@
+"""Graph traversals shared by the mining and core subsystems.
+
+Breadth-first and depth-first primitives, shortest paths on weighted graphs,
+and hop-distance utilities.  The paper's "number of hops" metric and the
+connection-subgraph path assembly both sit on these.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import NodeNotFoundError
+from .graph import Graph, NodeId
+
+
+def bfs_order(graph: Graph, source: NodeId) -> Iterator[NodeId]:
+    """Yield vertices in breadth-first order from ``source``."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        yield node
+        for neighbor in graph.neighbors(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+
+
+def bfs_distances(
+    graph: Graph, source: NodeId, max_depth: Optional[int] = None
+) -> Dict[NodeId, int]:
+    """Return hop distances from ``source`` to every reachable vertex.
+
+    ``max_depth`` truncates the search; vertices further away are omitted.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        depth = distances[node]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = depth + 1
+                queue.append(neighbor)
+    return distances
+
+
+def bfs_tree(graph: Graph, source: NodeId) -> Dict[NodeId, Optional[NodeId]]:
+    """Return a BFS parent map (``parent[source] is None``)."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    parents: Dict[NodeId, Optional[NodeId]] = {source: None}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in parents:
+                parents[neighbor] = node
+                queue.append(neighbor)
+    return parents
+
+
+def dfs_order(graph: Graph, source: NodeId) -> Iterator[NodeId]:
+    """Yield vertices in (iterative) depth-first preorder from ``source``."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    seen = set()
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        yield node
+        # Push neighbours in reverse insertion order for stable output.
+        stack.extend(reversed(list(graph.neighbors(node))))
+
+
+def shortest_path_hops(
+    graph: Graph, source: NodeId, target: NodeId
+) -> Optional[List[NodeId]]:
+    """Return the fewest-hops path from ``source`` to ``target`` (or None)."""
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    parents = {source: None}
+    if source == target:
+        return [source]
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor in parents:
+                continue
+            parents[neighbor] = node
+            if neighbor == target:
+                return _reconstruct(parents, target)
+            queue.append(neighbor)
+    return None
+
+
+def dijkstra(
+    graph: Graph,
+    source: NodeId,
+    weight_fn=None,
+) -> Tuple[Dict[NodeId, float], Dict[NodeId, Optional[NodeId]]]:
+    """Return ``(distance, parent)`` maps for weighted shortest paths.
+
+    ``weight_fn(u, v, w)`` can override the traversal cost; by default the
+    stored edge weight is used directly (must be non-negative).
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    distance: Dict[NodeId, float] = {source: 0.0}
+    parent: Dict[NodeId, Optional[NodeId]] = {source: None}
+    counter = 0  # tie-breaker so heterogeneous node ids never get compared
+    heap: List[Tuple[float, int, NodeId]] = [(0.0, counter, source)]
+    done = set()
+    while heap:
+        dist, _, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        for neighbor in graph.neighbors(node):
+            raw = graph.edge_weight(node, neighbor)
+            cost = weight_fn(node, neighbor, raw) if weight_fn else raw
+            candidate = dist + cost
+            if neighbor not in distance or candidate < distance[neighbor]:
+                distance[neighbor] = candidate
+                parent[neighbor] = node
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor))
+    return distance, parent
+
+
+def shortest_weighted_path(
+    graph: Graph, source: NodeId, target: NodeId, weight_fn=None
+) -> Optional[List[NodeId]]:
+    """Return the min-cost path between two vertices, or None if unreachable."""
+    distance, parent = dijkstra(graph, source, weight_fn=weight_fn)
+    if target not in distance:
+        if not graph.has_node(target):
+            raise NodeNotFoundError(target)
+        return None
+    return _reconstruct(parent, target)
+
+
+def eccentricity(graph: Graph, source: NodeId) -> int:
+    """Return the maximum hop distance from ``source`` to any reachable vertex."""
+    distances = bfs_distances(graph, source)
+    return max(distances.values()) if distances else 0
+
+
+def _reconstruct(
+    parents: Dict[NodeId, Optional[NodeId]], target: NodeId
+) -> List[NodeId]:
+    """Walk a parent map back from ``target`` to the root."""
+    path = [target]
+    while parents[path[-1]] is not None:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return path

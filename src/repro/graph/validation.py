@@ -1,0 +1,95 @@
+"""Structural validation helpers for graphs.
+
+These checks back the property-based tests and are also run by the CLI's
+``gmine stats --validate`` before building a G-Tree, catching malformed
+inputs (asymmetric adjacency, negative weights, dangling references) early
+with actionable messages.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import GraphError
+from .graph import DiGraph, Graph
+
+
+def validate_graph(graph: Graph, allow_self_loops: bool = True) -> List[str]:
+    """Return a list of human-readable problems found in ``graph``.
+
+    An empty list means the graph passed every check.  Checks:
+
+    * adjacency symmetry (u in adj[v] iff v in adj[u], same weight),
+    * non-negative, finite edge weights,
+    * edge count bookkeeping matches the adjacency structure,
+    * optional self-loop prohibition.
+    """
+    problems: List[str] = []
+    adjacency = graph.adjacency_dict()
+    seen_edges = 0
+    for u, nbrs in adjacency.items():
+        for v, w in nbrs.items():
+            if v not in adjacency:
+                problems.append(f"edge ({u!r}, {v!r}) references unknown vertex {v!r}")
+                continue
+            if u not in adjacency[v]:
+                problems.append(f"asymmetric edge: ({u!r}, {v!r}) present, reverse missing")
+            elif adjacency[v][u] != w:
+                problems.append(
+                    f"asymmetric weight on ({u!r}, {v!r}): {w} vs {adjacency[v][u]}"
+                )
+            if w < 0:
+                problems.append(f"negative weight {w} on edge ({u!r}, {v!r})")
+            if w != w or w in (float("inf"), float("-inf")):
+                problems.append(f"non-finite weight {w} on edge ({u!r}, {v!r})")
+            if u == v:
+                if not allow_self_loops:
+                    problems.append(f"self loop on vertex {u!r}")
+                seen_edges += 2  # counted once below when halving
+            else:
+                seen_edges += 1
+    if seen_edges // 2 != graph.num_edges:
+        problems.append(
+            f"edge count mismatch: adjacency holds {seen_edges // 2}, "
+            f"graph reports {graph.num_edges}"
+        )
+    return problems
+
+
+def assert_valid_graph(graph: Graph, allow_self_loops: bool = True) -> None:
+    """Raise :class:`GraphError` listing every problem found (if any)."""
+    problems = validate_graph(graph, allow_self_loops=allow_self_loops)
+    if problems:
+        raise GraphError(
+            "graph failed validation:\n  - " + "\n  - ".join(problems)
+        )
+
+
+def validate_digraph(digraph: DiGraph) -> List[str]:
+    """Return problems found in a :class:`DiGraph` (successor/predecessor sync)."""
+    problems: List[str] = []
+    for u, v, w in digraph.edges():
+        if not digraph.has_node(v):
+            problems.append(f"edge ({u!r} -> {v!r}) references unknown vertex {v!r}")
+            continue
+        if u not in set(digraph.predecessors(v)):
+            problems.append(f"edge ({u!r} -> {v!r}) missing from predecessor index")
+    return problems
+
+
+def graphs_equal(a: Graph, b: Graph, check_weights: bool = True) -> bool:
+    """Return whether two graphs have identical vertex and edge sets.
+
+    Attributes are ignored; weights are compared exactly when
+    ``check_weights`` is true.
+    """
+    if set(a.nodes()) != set(b.nodes()):
+        return False
+    if a.num_edges != b.num_edges:
+        return False
+    for u, v, w in a.edges():
+        if not b.has_edge(u, v):
+            return False
+        if check_weights and b.edge_weight(u, v) != w:
+            return False
+    return True

@@ -1,0 +1,80 @@
+"""Degree statistics and distributions (a GMine details-on-demand metric)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..graph.graph import Graph, NodeId
+
+
+def degree_sequence(graph: Graph) -> List[int]:
+    """Return the (descending) degree sequence of the graph."""
+    return sorted((graph.degree(node) for node in graph.nodes()), reverse=True)
+
+
+def degree_distribution(graph: Graph) -> Dict[int, int]:
+    """Return a histogram mapping degree -> number of vertices with that degree."""
+    return dict(Counter(graph.degree(node) for node in graph.nodes()))
+
+
+def degree_distribution_normalized(graph: Graph) -> Dict[int, float]:
+    """Return the empirical degree probability mass function."""
+    histogram = degree_distribution(graph)
+    n = graph.num_nodes
+    if n == 0:
+        return {}
+    return {degree: count / n for degree, count in histogram.items()}
+
+
+def top_degree_nodes(graph: Graph, count: int = 10) -> List[Tuple[NodeId, int]]:
+    """Return up to ``count`` highest-degree vertices as ``(node, degree)`` pairs."""
+    ranked = sorted(
+        ((node, graph.degree(node)) for node in graph.nodes()),
+        key=lambda pair: (-pair[1], repr(pair[0])),
+    )
+    return ranked[:count]
+
+
+@dataclass
+class DegreeSummary:
+    """Headline degree statistics shown in the GMine details pane."""
+
+    num_nodes: int
+    num_edges: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    median_degree: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the summary as a flat dict (for JSON output and the CLI)."""
+        return {
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "min_degree": self.min_degree,
+            "max_degree": self.max_degree,
+            "mean_degree": self.mean_degree,
+            "median_degree": self.median_degree,
+        }
+
+
+def degree_summary(graph: Graph) -> DegreeSummary:
+    """Compute :class:`DegreeSummary` for ``graph`` (zeros for the empty graph)."""
+    degrees = sorted(graph.degree(node) for node in graph.nodes())
+    if not degrees:
+        return DegreeSummary(0, 0, 0, 0, 0.0, 0.0)
+    n = len(degrees)
+    if n % 2 == 1:
+        median = float(degrees[n // 2])
+    else:
+        median = (degrees[n // 2 - 1] + degrees[n // 2]) / 2.0
+    return DegreeSummary(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        min_degree=degrees[0],
+        max_degree=degrees[-1],
+        mean_degree=sum(degrees) / n,
+        median_degree=median,
+    )

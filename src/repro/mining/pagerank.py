@@ -1,0 +1,113 @@
+"""PageRank (a GMine details-on-demand metric).
+
+Power-iteration PageRank over either an undirected :class:`Graph` (edges are
+treated as bidirectional, weights respected) or a :class:`DiGraph`.
+Dangling vertices redistribute their mass uniformly, the standard fix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import ConvergenceError
+from ..graph.graph import DiGraph, Graph, NodeId
+from ..graph.matrix import VertexIndex, adjacency_matrix
+
+
+def pagerank(
+    graph: Graph,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+    personalization: Optional[Dict[NodeId, float]] = None,
+) -> Dict[NodeId, float]:
+    """Return PageRank scores for an undirected graph.
+
+    Parameters
+    ----------
+    damping:
+        Probability of following an edge (1 - restart probability).
+    personalization:
+        Optional restart distribution (vertex -> weight); uniform by default.
+    """
+    matrix, index = adjacency_matrix(graph)
+    return _pagerank_from_matrix(matrix, index, damping, tol, max_iter, personalization)
+
+
+def pagerank_digraph(
+    digraph: DiGraph,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+    personalization: Optional[Dict[NodeId, float]] = None,
+) -> Dict[NodeId, float]:
+    """Return PageRank scores for a directed graph."""
+    index = VertexIndex(list(digraph.nodes()))
+    n = len(index)
+    rows, cols, vals = [], [], []
+    for u, v, w in digraph.edges():
+        # Column j holds the out-distribution of vertex j.
+        rows.append(index.index_of(v))
+        cols.append(index.index_of(u))
+        vals.append(w)
+    matrix = sparse.csr_matrix(
+        (np.asarray(vals, dtype=np.float64), (rows, cols)), shape=(n, n)
+    )
+    return _pagerank_from_matrix(matrix, index, damping, tol, max_iter, personalization)
+
+
+def _pagerank_from_matrix(
+    matrix: sparse.spmatrix,
+    index: VertexIndex,
+    damping: float,
+    tol: float,
+    max_iter: int,
+    personalization: Optional[Dict[NodeId, float]],
+) -> Dict[NodeId, float]:
+    """Shared power-iteration core; ``matrix[i, j]`` is weight of j -> i."""
+    n = len(index)
+    if n == 0:
+        return {}
+    out_weight = np.asarray(matrix.sum(axis=0)).ravel()
+    with np.errstate(divide="ignore"):
+        inv_out = np.where(out_weight > 0, 1.0 / out_weight, 0.0)
+    transition = matrix @ sparse.diags(inv_out)
+    dangling = out_weight == 0
+
+    if personalization is None:
+        restart = np.full(n, 1.0 / n)
+    else:
+        restart = np.zeros(n)
+        for node, weight in personalization.items():
+            restart[index.index_of(node)] = max(0.0, float(weight))
+        total = restart.sum()
+        if total == 0:
+            restart = np.full(n, 1.0 / n)
+        else:
+            restart /= total
+
+    rank = np.full(n, 1.0 / n)
+    for _ in range(max_iter):
+        dangling_mass = rank[dangling].sum()
+        updated = damping * (transition @ rank + dangling_mass * restart)
+        updated += (1.0 - damping) * restart
+        updated /= updated.sum()
+        if np.abs(updated - rank).sum() < tol:
+            rank = updated
+            break
+        rank = updated
+    else:
+        raise ConvergenceError(
+            f"PageRank did not converge within {max_iter} iterations (tol={tol})"
+        )
+    return {index.node_at(i): float(rank[i]) for i in range(n)}
+
+
+def top_pagerank_nodes(
+    scores: Dict[NodeId, float], count: int = 10
+) -> list:
+    """Return the ``count`` highest-scoring ``(node, score)`` pairs."""
+    return sorted(scores.items(), key=lambda pair: (-pair[1], repr(pair[0])))[:count]

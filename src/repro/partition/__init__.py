@@ -1,0 +1,75 @@
+"""Multilevel graph partitioning (METIS substitute) and hierarchy construction.
+
+The paper partitions with METIS (Karypis & Kumar).  METIS itself is a C
+library that is not available in this environment, so this package
+re-implements the same multilevel k-way scheme in pure Python/NumPy:
+heavy-edge-matching coarsening, greedy/spectral initial bisection,
+FM boundary refinement, recursive bisection for k-way, and a recursive
+hierarchical driver that produces the communities-within-communities tree
+the G-Tree is built from.
+"""
+
+from .coarsen import CoarseLevel, coarsen, contract, heavy_edge_matching, random_matching
+from .hierarchy import (
+    HierarchicalPartition,
+    PartitionTreeNode,
+    flat_partition_from_hierarchy,
+    hierarchy_summary,
+    recursive_partition,
+)
+from .initial import best_initial_bisection, greedy_graph_growing, spectral_bisection
+from .kway import KWayOptions, bfs_kway, kway_partition, random_kway
+from .louvain import compare_partitions, louvain_communities, louvain_partition_fn
+from .metrics import (
+    assignment_from_groups,
+    balance,
+    cut_ratio,
+    edge_cut,
+    edge_cut_count,
+    groups,
+    modularity,
+    part_sizes,
+    part_weights,
+    validate_assignment,
+)
+from .multilevel import BisectionOptions, bisection_cut, multilevel_bisection, random_bisection
+from .refine import fm_refine_bisection, greedy_kway_refine
+
+__all__ = [
+    "BisectionOptions",
+    "CoarseLevel",
+    "HierarchicalPartition",
+    "KWayOptions",
+    "PartitionTreeNode",
+    "assignment_from_groups",
+    "balance",
+    "best_initial_bisection",
+    "bfs_kway",
+    "bisection_cut",
+    "coarsen",
+    "compare_partitions",
+    "contract",
+    "cut_ratio",
+    "edge_cut",
+    "edge_cut_count",
+    "flat_partition_from_hierarchy",
+    "fm_refine_bisection",
+    "greedy_graph_growing",
+    "greedy_kway_refine",
+    "groups",
+    "heavy_edge_matching",
+    "hierarchy_summary",
+    "kway_partition",
+    "louvain_communities",
+    "louvain_partition_fn",
+    "modularity",
+    "multilevel_bisection",
+    "part_sizes",
+    "part_weights",
+    "random_bisection",
+    "random_kway",
+    "random_matching",
+    "recursive_partition",
+    "spectral_bisection",
+    "validate_assignment",
+]

@@ -1,0 +1,232 @@
+"""Recursive hierarchical partitioning (communities-within-communities).
+
+This is the step the paper performs before building the G-Tree: the graph is
+k-way partitioned, then each part is recursively k-way partitioned again,
+for a fixed number of levels or until parts are small enough.  The output is
+a :class:`HierarchicalPartition` — a tree of vertex-id groups — which the
+G-Tree builder consumes.
+
+The paper's DBLP demonstration uses 5 levels of 5-way partitioning, yielding
+5^4 + 1 = 626 communities of roughly 500 authors each (the "+1" being the
+root); :func:`recursive_partition` reproduces that parameterisation directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import PartitionError
+from ..graph.graph import Graph, NodeId
+from .kway import KWayOptions, kway_partition
+from .metrics import assignment_from_groups, groups
+
+
+@dataclass
+class PartitionTreeNode:
+    """One community in the recursive hierarchy.
+
+    ``children`` is empty for leaves; ``members`` always lists every original
+    vertex contained in the subtree, so the invariant ``members(parent) ==
+    union(members(children))`` holds at every internal node.
+    """
+
+    label: str
+    level: int
+    members: List[NodeId]
+    children: List["PartitionTreeNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this community was not partitioned further."""
+        return not self.children
+
+    def leaves(self) -> List["PartitionTreeNode"]:
+        """Return every leaf community under this node (preorder)."""
+        if self.is_leaf:
+            return [self]
+        result: List[PartitionTreeNode] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+    def descendants(self) -> List["PartitionTreeNode"]:
+        """Return every node under this one, excluding itself (preorder)."""
+        result: List[PartitionTreeNode] = []
+        for child in self.children:
+            result.append(child)
+            result.extend(child.descendants())
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"<PartitionTreeNode {self.label!r} level={self.level} "
+            f"|members|={len(self.members)} children={len(self.children)}>"
+        )
+
+
+@dataclass
+class HierarchicalPartition:
+    """The full communities-within-communities decomposition of one graph."""
+
+    root: PartitionTreeNode
+    fanout: int
+    levels: int
+
+    def all_nodes(self) -> List[PartitionTreeNode]:
+        """Return root plus every descendant (preorder)."""
+        return [self.root] + self.root.descendants()
+
+    def leaf_communities(self) -> List[PartitionTreeNode]:
+        """Return the leaf communities (those holding actual graph vertices)."""
+        return self.root.leaves()
+
+    def community_count(self) -> int:
+        """Return the number of communities excluding the root.
+
+        For a full ``fanout``-ary tree of ``levels`` levels this is
+        ``fanout + fanout^2 + ... + fanout^(levels-1)``; the paper's summary
+        statistic "626 communities" counts ``5^4 + 1`` (leaves plus root), see
+        :meth:`paper_community_count`.
+        """
+        return len(self.root.descendants())
+
+    def paper_community_count(self) -> int:
+        """Return leaves + 1 (the root), matching the paper's "5^4 + 1" count."""
+        return len(self.leaf_communities()) + 1
+
+    def mean_leaf_size(self) -> float:
+        """Return the average number of vertices per leaf community."""
+        leaves = self.leaf_communities()
+        if not leaves:
+            return 0.0
+        return sum(len(leaf.members) for leaf in leaves) / len(leaves)
+
+    def membership_at_level(self, level: int) -> Dict[NodeId, str]:
+        """Map every vertex to the label of its ancestor community at ``level``."""
+        membership: Dict[NodeId, str] = {}
+        frontier = [self.root]
+        while frontier:
+            node = frontier.pop()
+            if node.level == level or node.is_leaf and node.level < level:
+                for member in node.members:
+                    membership[member] = node.label
+            elif node.level < level:
+                frontier.extend(node.children)
+        return membership
+
+
+PartitionFn = Callable[[Graph, int], Dict[NodeId, int]]
+
+
+def recursive_partition(
+    graph: Graph,
+    fanout: int = 5,
+    levels: int = 5,
+    min_community_size: Optional[int] = None,
+    partition_fn: Optional[PartitionFn] = None,
+    options: Optional[KWayOptions] = None,
+    label_prefix: str = "s",
+) -> HierarchicalPartition:
+    """Recursively partition ``graph`` into a communities-within-communities tree.
+
+    Parameters
+    ----------
+    fanout:
+        Number of parts produced at each recursion (the paper uses 5).
+    levels:
+        Total number of hierarchy levels including the root level.  With
+        ``levels = 5`` the recursion partitions 4 times, exactly as in the
+        paper ("5 hierarchy levels each with 5 partitions" → 5^4 leaves).
+    min_community_size:
+        Stop partitioning a community once it has at most this many members
+        (defaults to ``2 * fanout`` so every part can be non-empty).
+    partition_fn:
+        Override the partitioner (signature ``fn(graph, k) -> assignment``);
+        defaults to :func:`repro.partition.kway.kway_partition`.
+    label_prefix:
+        Communities are labelled ``s0``, ``s01``, ``s012`` ... by the path of
+        part indices from the root — the same style as the paper's "s034".
+    """
+    if fanout < 2:
+        raise PartitionError(f"fanout must be >= 2, got {fanout}")
+    if levels < 1:
+        raise PartitionError(f"levels must be >= 1, got {levels}")
+    if min_community_size is None:
+        min_community_size = 2 * fanout
+    if partition_fn is None:
+        options = options or KWayOptions()
+
+        def partition_fn(subgraph: Graph, k: int) -> Dict[NodeId, int]:
+            return kway_partition(subgraph, k, options)
+
+    root = PartitionTreeNode(
+        label=f"{label_prefix}0",
+        level=0,
+        members=list(graph.nodes()),
+    )
+    _split(graph, root, fanout, levels - 1, min_community_size, partition_fn, label_prefix)
+    return HierarchicalPartition(root=root, fanout=fanout, levels=levels)
+
+
+def _split(
+    graph: Graph,
+    node: PartitionTreeNode,
+    fanout: int,
+    remaining_levels: int,
+    min_community_size: int,
+    partition_fn: PartitionFn,
+    label_prefix: str,
+) -> None:
+    """Recursively attach children to ``node`` by partitioning its members."""
+    if remaining_levels <= 0:
+        return
+    if len(node.members) <= min_community_size or len(node.members) < fanout:
+        return
+    subgraph = graph.subgraph(node.members)
+    assignment = partition_fn(subgraph, fanout)
+    parts = groups(assignment, fanout)
+    for index, part in enumerate(parts):
+        if not part:
+            continue
+        child = PartitionTreeNode(
+            label=f"{node.label}{index}",
+            level=node.level + 1,
+            members=list(part),
+        )
+        node.children.append(child)
+        _split(
+            graph,
+            child,
+            fanout,
+            remaining_levels - 1,
+            min_community_size,
+            partition_fn,
+            label_prefix,
+        )
+
+
+def flat_partition_from_hierarchy(
+    hierarchy: HierarchicalPartition, level: int
+) -> Dict[NodeId, int]:
+    """Return a flat assignment using the communities present at ``level``."""
+    membership = hierarchy.membership_at_level(level)
+    labels = sorted(set(membership.values()))
+    label_index = {label: index for index, label in enumerate(labels)}
+    return {node: label_index[label] for node, label in membership.items()}
+
+
+def hierarchy_summary(hierarchy: HierarchicalPartition) -> Dict[str, float]:
+    """Return headline statistics (used by benchmarks and the CLI)."""
+    leaves = hierarchy.leaf_communities()
+    sizes = [len(leaf.members) for leaf in leaves] or [0]
+    return {
+        "levels": hierarchy.levels,
+        "fanout": hierarchy.fanout,
+        "communities": hierarchy.community_count(),
+        "paper_communities": hierarchy.paper_community_count(),
+        "leaf_communities": len(leaves),
+        "mean_leaf_size": hierarchy.mean_leaf_size(),
+        "min_leaf_size": float(min(sizes)),
+        "max_leaf_size": float(max(sizes)),
+    }

@@ -1,0 +1,174 @@
+"""k-way partitioning by recursive bisection, plus baselines.
+
+The paper asks for METIS-style k-way partitioning: ``k`` parts of equal size
+(``|Vi| = n/k``) minimising the edges between parts.  We obtain it the way
+pmetis does — recursive bisection with unequal split fractions when ``k`` is
+not a power of two — followed by a greedy k-way refinement pass.
+
+Baselines used by the partition-quality benchmark:
+
+* :func:`random_kway` — balanced random assignment (worst reasonable cut),
+* :func:`bfs_kway` — contiguous chunks of a BFS ordering (cheap, locality
+  aware, but no optimisation).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from ..errors import PartitionError
+from ..graph.graph import Graph, NodeId
+from ..graph.traversal import bfs_order
+from .metrics import validate_assignment
+from .multilevel import BisectionOptions, multilevel_bisection
+from .refine import greedy_kway_refine
+
+
+@dataclass
+class KWayOptions:
+    """Tuning knobs for the k-way driver."""
+
+    bisection: BisectionOptions = None  # type: ignore[assignment]
+    final_refine: bool = True
+    final_refine_passes: int = 4
+    balance_tolerance: float = 1.10
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.bisection is None:
+            self.bisection = BisectionOptions(seed=self.seed)
+
+
+def kway_partition(
+    graph: Graph, k: int, options: Optional[KWayOptions] = None
+) -> Dict[NodeId, int]:
+    """Return a k-way assignment (vertex -> part in ``[0, k)``).
+
+    ``k`` may exceed the vertex count only when the graph is empty of that
+    many vertices — in that case an error is raised, because empty parts make
+    the G-Tree hierarchy degenerate.
+    """
+    if k < 1:
+        raise PartitionError(f"k must be >= 1, got {k}")
+    if k == 1:
+        return {node: 0 for node in graph.nodes()}
+    if graph.num_nodes < k:
+        raise PartitionError(
+            f"cannot split {graph.num_nodes} vertices into {k} non-empty parts"
+        )
+    options = options or KWayOptions()
+    assignment: Dict[NodeId, int] = {}
+    _recursive_bisect(graph, k, 0, options, assignment, depth=0)
+    if options.final_refine and k > 2:
+        assignment = greedy_kway_refine(
+            graph,
+            assignment,
+            k,
+            max_passes=options.final_refine_passes,
+            balance_tolerance=options.balance_tolerance,
+        )
+        assignment = _repair_empty_parts(graph, assignment, k)
+    validate_assignment(graph, assignment, k)
+    return assignment
+
+
+def _recursive_bisect(
+    graph: Graph,
+    k: int,
+    offset: int,
+    options: KWayOptions,
+    assignment: Dict[NodeId, int],
+    depth: int,
+) -> None:
+    """Recursively split ``graph`` into parts ``offset .. offset + k - 1``."""
+    if k == 1:
+        for node in graph.nodes():
+            assignment[node] = offset
+        return
+    left_k = k // 2
+    right_k = k - left_k
+    fraction = left_k / k
+    seed = None
+    if options.seed is not None:
+        # Derive a distinct but deterministic seed per recursion branch.
+        seed = options.seed + 31 * depth + 7 * offset
+    bisect_options = replace(options.bisection, target_fraction=fraction, seed=seed)
+    two_way = multilevel_bisection(graph, bisect_options)
+    two_way = _ensure_both_sides(graph, two_way)
+    left_nodes = [node for node, side in two_way.items() if side == 0]
+    right_nodes = [node for node, side in two_way.items() if side == 1]
+    left_graph = graph.subgraph(left_nodes)
+    right_graph = graph.subgraph(right_nodes)
+    _recursive_bisect(left_graph, left_k, offset, options, assignment, depth + 1)
+    _recursive_bisect(right_graph, right_k, offset + left_k, options, assignment, depth + 1)
+
+
+def _ensure_both_sides(graph: Graph, assignment: Dict[NodeId, int]) -> Dict[NodeId, int]:
+    """Guarantee neither side of a bisection is empty (move one vertex if needed)."""
+    sides = set(assignment.values())
+    if sides == {0, 1} or graph.num_nodes < 2:
+        return assignment
+    assignment = dict(assignment)
+    only = next(iter(sides)) if sides else 0
+    other = 1 - only
+    mover = next(iter(assignment))
+    assignment[mover] = other
+    return assignment
+
+
+def _repair_empty_parts(
+    graph: Graph, assignment: Dict[NodeId, int], k: int
+) -> Dict[NodeId, int]:
+    """Greedy refinement can empty a part on tiny graphs; donate vertices back."""
+    counts = [0] * k
+    for part in assignment.values():
+        counts[part] += 1
+    empty = [part for part in range(k) if counts[part] == 0]
+    if not empty:
+        return assignment
+    assignment = dict(assignment)
+    for part in empty:
+        donor_part = max(range(k), key=lambda p: counts[p])
+        donor = next(node for node, p in assignment.items() if p == donor_part)
+        assignment[donor] = part
+        counts[donor_part] -= 1
+        counts[part] += 1
+    return assignment
+
+
+def random_kway(graph: Graph, k: int, seed: Optional[int] = None) -> Dict[NodeId, int]:
+    """Balanced random k-way assignment (benchmark baseline)."""
+    if k < 1:
+        raise PartitionError(f"k must be >= 1, got {k}")
+    rng = random.Random(seed if seed is not None else 0)
+    nodes = list(graph.nodes())
+    rng.shuffle(nodes)
+    assignment: Dict[NodeId, int] = {}
+    for position, node in enumerate(nodes):
+        assignment[node] = position % k
+    return assignment
+
+
+def bfs_kway(graph: Graph, k: int) -> Dict[NodeId, int]:
+    """Assign contiguous chunks of a BFS ordering to parts (benchmark baseline)."""
+    if k < 1:
+        raise PartitionError(f"k must be >= 1, got {k}")
+    nodes = list(graph.nodes())
+    if not nodes:
+        return {}
+    visited: List[NodeId] = []
+    seen = set()
+    for start in nodes:
+        if start in seen:
+            continue
+        for node in bfs_order(graph, start):
+            if node not in seen:
+                seen.add(node)
+                visited.append(node)
+    chunk = max(1, (len(visited) + k - 1) // k)
+    assignment: Dict[NodeId, int] = {}
+    for position, node in enumerate(visited):
+        assignment[node] = min(position // chunk, k - 1)
+    return assignment

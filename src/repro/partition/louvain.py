@@ -1,0 +1,175 @@
+"""Louvain-style modularity community detection.
+
+Section III-A notes that "any partitioning methodology fits our system":
+the G-Tree only needs *some* decomposition of a community into
+sub-communities.  Besides the METIS-style balanced k-way partitioner, this
+module provides greedy modularity maximisation (the Louvain method's local
+phase plus graph aggregation), which produces unbalanced but
+structure-following communities — useful when the analyst prefers natural
+community boundaries over equal sizes.
+
+:func:`louvain_communities` returns the partition; :func:`louvain_partition_fn`
+adapts it to the ``partition_fn(graph, k)`` signature expected by
+:func:`repro.partition.hierarchy.recursive_partition` (splitting or merging
+communities to reach exactly ``k`` parts).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..graph.graph import Graph, NodeId
+from .metrics import groups, modularity
+
+
+def _local_moving(
+    graph: Graph,
+    assignment: Dict[NodeId, int],
+    rng: random.Random,
+    max_sweeps: int = 10,
+) -> bool:
+    """One Louvain phase: move vertices to the neighbouring community with the
+    largest modularity gain until no move improves.  Returns whether anything moved."""
+    two_m = 2.0 * graph.total_edge_weight()
+    if two_m == 0:
+        return False
+    degree = {node: graph.weighted_degree(node) for node in graph.nodes()}
+    community_degree: Dict[int, float] = {}
+    for node, community in assignment.items():
+        community_degree[community] = community_degree.get(community, 0.0) + degree[node]
+
+    moved_any = False
+    nodes = list(graph.nodes())
+    for _ in range(max_sweeps):
+        rng.shuffle(nodes)
+        moved = 0
+        for node in nodes:
+            current = assignment[node]
+            # Weight of edges from `node` to each neighbouring community.
+            links: Dict[int, float] = {}
+            for neighbor in graph.neighbors(node):
+                if neighbor == node:
+                    continue
+                community = assignment[neighbor]
+                links[community] = links.get(community, 0.0) + graph.edge_weight(node, neighbor)
+            community_degree[current] -= degree[node]
+            best_community = current
+            best_gain = links.get(current, 0.0) - community_degree[current] * degree[node] / two_m
+            for community, weight in links.items():
+                gain = weight - community_degree[community] * degree[node] / two_m
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_community = community
+            community_degree[best_community] = (
+                community_degree.get(best_community, 0.0) + degree[node]
+            )
+            if best_community != current:
+                assignment[node] = best_community
+                moved += 1
+        if moved == 0:
+            break
+        moved_any = True
+    return moved_any
+
+
+def _aggregate(graph: Graph, assignment: Dict[NodeId, int]) -> Graph:
+    """Collapse each community into a single super-vertex (weights summed).
+
+    Internal edges become self-loops so the aggregated graph keeps each
+    community's internal mass (the standard Louvain construction).
+    """
+    aggregated = Graph(name=f"{graph.name}|louvain")
+    for community in set(assignment.values()):
+        aggregated.add_node(community)
+    for u, v, w in graph.edges():
+        cu, cv = assignment[u], assignment[v]
+        aggregated.add_edge(cu, cv, weight=w, accumulate=aggregated.has_edge(cu, cv))
+    return aggregated
+
+
+def louvain_communities(
+    graph: Graph,
+    seed: Optional[int] = 0,
+    max_levels: int = 10,
+) -> Dict[NodeId, int]:
+    """Return a modularity-maximising assignment vertex -> community id.
+
+    Community ids are renumbered to ``0..c-1`` in order of first appearance.
+    """
+    rng = random.Random(seed if seed is not None else 0)
+    assignment = {node: index for index, node in enumerate(graph.nodes())}
+    if graph.num_edges == 0:
+        return {node: 0 for node in graph.nodes()}
+
+    # membership[v] holds v's community in terms of the *current* level's ids.
+    membership = dict(assignment)
+    level_graph = graph
+    best_modularity = modularity(graph, assignment)
+    for _ in range(max_levels):
+        improved = _local_moving(level_graph, membership, rng)
+        if not improved:
+            break
+        # Re-express the original vertices in terms of the merged communities.
+        if level_graph is graph:
+            candidate = dict(membership)
+        else:
+            candidate = {node: membership[assignment[node]] for node in assignment}
+        # Accept the level only if it improves modularity on the *original*
+        # graph; this guards against over-merging on coarse levels, where the
+        # per-level gain estimate is only an approximation.
+        candidate_modularity = modularity(graph, candidate)
+        if candidate_modularity <= best_modularity + 1e-9:
+            break
+        assignment = candidate
+        best_modularity = candidate_modularity
+        level_graph = _aggregate(level_graph, membership)
+        membership = {node: node for node in level_graph.nodes()}
+
+    # Renumber communities densely and deterministically.
+    order: Dict[int, int] = {}
+    final: Dict[NodeId, int] = {}
+    for node in graph.nodes():
+        community = assignment[node]
+        if community not in order:
+            order[community] = len(order)
+        final[node] = order[community]
+    return final
+
+
+def louvain_partition_fn(seed: Optional[int] = 0):
+    """Return a ``partition_fn(graph, k)`` adapter around Louvain.
+
+    Louvain chooses its own number of communities; the adapter merges the
+    smallest communities (or splits the largest round-robin) so the result
+    has exactly ``k`` non-empty parts, as the recursive hierarchy driver
+    requires.
+    """
+
+    def partition(graph: Graph, k: int) -> Dict[NodeId, int]:
+        assignment = louvain_communities(graph, seed=seed)
+        parts = [part for part in groups(assignment, max(assignment.values()) + 1) if part]
+        parts.sort(key=len, reverse=True)
+        # Merge smallest parts until at most k remain.
+        while len(parts) > k:
+            smallest = parts.pop()
+            parts[-1] = parts[-1] + smallest
+            parts.sort(key=len, reverse=True)
+        # Split the largest parts (round-robin halves) until k parts exist.
+        while len(parts) < k and any(len(part) >= 2 for part in parts):
+            parts.sort(key=len, reverse=True)
+            largest = parts.pop(0)
+            half = len(largest) // 2
+            parts.extend([largest[:half], largest[half:]])
+        result: Dict[NodeId, int] = {}
+        for index, part in enumerate(parts):
+            for node in part:
+                result[node] = index
+        return result
+
+    return partition
+
+
+def compare_partitions(graph: Graph, a: Dict[NodeId, int], b: Dict[NodeId, int]) -> Dict[str, float]:
+    """Return modularity of two assignments side by side (benchmark helper)."""
+    return {"modularity_a": modularity(graph, a), "modularity_b": modularity(graph, b)}

@@ -1,0 +1,134 @@
+"""Partition quality metrics.
+
+The paper's partitioning requirement (Section III-A) is the classic k-way
+objective: equal-sized parts that minimise the number of edges whose
+endpoints fall in different parts.  These helpers quantify both halves of
+that objective and validate partition vectors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Mapping, Sequence
+
+from ..errors import InvalidPartitionError
+from ..graph.graph import Graph, NodeId
+
+Assignment = Mapping[NodeId, int]
+
+
+def validate_assignment(graph: Graph, assignment: Assignment, k: int) -> None:
+    """Raise :class:`InvalidPartitionError` unless ``assignment`` is a valid
+    k-way partition of ``graph``: every vertex mapped, parts in ``[0, k)``.
+    """
+    if k < 1:
+        raise InvalidPartitionError(f"k must be >= 1, got {k}")
+    missing = [node for node in graph.nodes() if node not in assignment]
+    if missing:
+        raise InvalidPartitionError(
+            f"{len(missing)} vertices missing from assignment (e.g. {missing[:5]!r})"
+        )
+    bad = {node: part for node, part in assignment.items()
+           if not isinstance(part, int) or part < 0 or part >= k}
+    if bad:
+        sample = list(bad.items())[:5]
+        raise InvalidPartitionError(f"part ids out of range [0, {k}): {sample!r}")
+
+
+def edge_cut(graph: Graph, assignment: Assignment) -> float:
+    """Return the total weight of edges whose endpoints are in different parts."""
+    cut = 0.0
+    for u, v, w in graph.edges():
+        if assignment[u] != assignment[v]:
+            cut += w
+    return cut
+
+
+def edge_cut_count(graph: Graph, assignment: Assignment) -> int:
+    """Return the number (not weight) of cut edges."""
+    return sum(1 for u, v, _ in graph.edges() if assignment[u] != assignment[v])
+
+
+def part_sizes(assignment: Assignment, k: int) -> List[int]:
+    """Return the number of vertices in each of the ``k`` parts."""
+    counts = Counter(assignment.values())
+    return [counts.get(part, 0) for part in range(k)]
+
+
+def part_weights(
+    assignment: Assignment, k: int, vertex_weights: Mapping[NodeId, float] | None = None
+) -> List[float]:
+    """Return the total vertex weight per part (unit weights by default)."""
+    weights = [0.0] * k
+    for node, part in assignment.items():
+        weights[part] += vertex_weights[node] if vertex_weights else 1.0
+    return weights
+
+
+def balance(assignment: Assignment, k: int,
+            vertex_weights: Mapping[NodeId, float] | None = None) -> float:
+    """Return the load imbalance: max part weight / ideal part weight.
+
+    A perfectly balanced partition scores 1.0; METIS typically guarantees
+    about 1.03 for k-way partitions.  An empty assignment scores 0.0.
+    """
+    weights = part_weights(assignment, k, vertex_weights)
+    total = sum(weights)
+    if total == 0:
+        return 0.0
+    ideal = total / k
+    return max(weights) / ideal
+
+
+def groups(assignment: Assignment, k: int) -> List[List[NodeId]]:
+    """Return the partition as a list of vertex-id lists, indexed by part."""
+    result: List[List[NodeId]] = [[] for _ in range(k)]
+    for node, part in assignment.items():
+        result[part].append(node)
+    return result
+
+
+def assignment_from_groups(parts: Sequence[Sequence[NodeId]]) -> Dict[NodeId, int]:
+    """Inverse of :func:`groups`: map each vertex to its part index."""
+    assignment: Dict[NodeId, int] = {}
+    for index, part in enumerate(parts):
+        for node in part:
+            if node in assignment:
+                raise InvalidPartitionError(
+                    f"vertex {node!r} appears in parts {assignment[node]} and {index}"
+                )
+            assignment[node] = index
+    return assignment
+
+
+def cut_ratio(graph: Graph, assignment: Assignment) -> float:
+    """Return cut weight divided by total edge weight (0 when the graph has no edges)."""
+    total = graph.total_edge_weight()
+    if total == 0:
+        return 0.0
+    return edge_cut(graph, assignment) / total
+
+
+def modularity(graph: Graph, assignment: Assignment) -> float:
+    """Return Newman modularity of the partition (weighted).
+
+    Not used by the partitioner objective itself, but a convenient quality
+    signal for the community structure the G-Tree exposes to users.
+    """
+    two_m = 2.0 * graph.total_edge_weight()
+    if two_m == 0:
+        return 0.0
+    degree = {node: graph.weighted_degree(node) for node in graph.nodes()}
+    score = 0.0
+    for u, v, w in graph.edges():
+        if assignment[u] == assignment[v]:
+            score += w
+    # Every undirected edge contributes twice in the usual formulation.
+    score = 2.0 * score / two_m
+    expectation = 0.0
+    part_degree: Dict[int, float] = {}
+    for node, part in assignment.items():
+        part_degree[part] = part_degree.get(part, 0.0) + degree[node]
+    for total in part_degree.values():
+        expectation += (total / two_m) ** 2
+    return score - expectation

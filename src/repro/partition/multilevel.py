@@ -1,0 +1,123 @@
+"""Multilevel bisection: coarsen → initial partition → uncoarsen + refine.
+
+This is the V-cycle at the heart of the METIS substitute.  Higher-level
+drivers (:mod:`repro.partition.kway`) call :func:`multilevel_bisection`
+recursively to obtain k-way partitions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import PartitionError
+from ..graph.graph import Graph, NodeId
+from .coarsen import CoarseLevel, coarsen
+from .initial import best_initial_bisection
+from .metrics import edge_cut
+from .refine import fm_refine_bisection
+
+
+@dataclass
+class BisectionOptions:
+    """Tuning knobs for one multilevel bisection."""
+
+    coarsen_target: int = 120
+    matching: str = "heavy_edge"
+    initial_attempts: int = 4
+    use_spectral: bool = True
+    refine_passes: int = 8
+    balance_tolerance: float = 1.10
+    seed: Optional[int] = None
+    refine: bool = True
+    coarsen_enabled: bool = True
+    target_fraction: float = 0.5
+
+
+def multilevel_bisection(
+    graph: Graph, options: Optional[BisectionOptions] = None
+) -> Dict[NodeId, int]:
+    """Return a 2-way assignment of ``graph`` minimising edge cut.
+
+    The balance target is ``options.target_fraction`` of total vertex weight
+    in part 0 (0.5 by default).  Trivial graphs (fewer than 2 vertices) raise
+    :class:`PartitionError` because a bisection is meaningless.
+    """
+    options = options or BisectionOptions()
+    n = graph.num_nodes
+    if n < 2:
+        raise PartitionError(f"cannot bisect a graph with {n} vertices")
+    if n == 2:
+        first, second = list(graph.nodes())
+        return {first: 0, second: 1}
+
+    if options.coarsen_enabled:
+        levels = coarsen(
+            graph,
+            target_size=options.coarsen_target,
+            matching=options.matching,
+            seed=options.seed,
+        )
+    else:
+        levels = [coarsen(graph, target_size=graph.num_nodes + 1)[0]]
+
+    coarsest = levels[-1]
+    assignment = best_initial_bisection(
+        coarsest.graph,
+        coarsest.vertex_weights,
+        seed=options.seed,
+        attempts=options.initial_attempts,
+        use_spectral=options.use_spectral,
+        target_fraction=options.target_fraction,
+    )
+    if options.refine:
+        assignment = fm_refine_bisection(
+            coarsest.graph,
+            assignment,
+            coarsest.vertex_weights,
+            max_passes=options.refine_passes,
+            balance_tolerance=options.balance_tolerance,
+            target_fraction=options.target_fraction,
+        )
+
+    # Uncoarsen: project through each level and refine at that resolution.
+    for finer, coarser in zip(reversed(levels[:-1]), reversed(levels[1:])):
+        assignment = _project(coarser, finer, assignment)
+        if options.refine:
+            assignment = fm_refine_bisection(
+                finer.graph,
+                assignment,
+                finer.vertex_weights,
+                max_passes=options.refine_passes,
+                balance_tolerance=options.balance_tolerance,
+                target_fraction=options.target_fraction,
+            )
+    return assignment
+
+
+def _project(
+    coarser: CoarseLevel, finer: CoarseLevel, assignment: Dict[NodeId, int]
+) -> Dict[NodeId, int]:
+    """Project a coarse assignment back to the finer level's vertices."""
+    projected: Dict[NodeId, int] = {}
+    for node in finer.graph.nodes():
+        super_vertex = coarser.projection[node]
+        projected[node] = assignment[super_vertex]
+    return projected
+
+
+def random_bisection(graph: Graph, seed: Optional[int] = None) -> Dict[NodeId, int]:
+    """Return a balanced random 2-way assignment (baseline for benchmarks)."""
+    rng = random.Random(seed if seed is not None else 0)
+    nodes = list(graph.nodes())
+    rng.shuffle(nodes)
+    half = len(nodes) // 2
+    assignment = {node: 0 for node in nodes[:half]}
+    assignment.update({node: 1 for node in nodes[half:]})
+    return assignment
+
+
+def bisection_cut(graph: Graph, options: Optional[BisectionOptions] = None) -> float:
+    """Convenience: run a multilevel bisection and return its edge cut."""
+    return edge_cut(graph, multilevel_bisection(graph, options))

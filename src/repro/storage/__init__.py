@@ -1,0 +1,37 @@
+"""Single-file G-Tree persistence: pages, serialization, buffer pool, store.
+
+Implements the paper's storage claim — "the entire structure is stored in a
+single file and the nodes are transferred to main memory only when
+necessary" — with a fixed-size-page file, checksummed binary serialization,
+an LRU buffer pool, and a store object that loads leaf subgraphs lazily.
+"""
+
+from .buffer_pool import BufferPool, BufferPoolStats
+from .gtree_store import GTreeStore, StoreStats, load_gtree_fully, save_gtree
+from .pager import DEFAULT_PAGE_SIZE, Pager, PagerStats
+from .serializer import (
+    decode_graph,
+    decode_record,
+    encode_graph,
+    encode_record,
+    frame,
+    unframe,
+)
+
+__all__ = [
+    "BufferPool",
+    "BufferPoolStats",
+    "DEFAULT_PAGE_SIZE",
+    "GTreeStore",
+    "Pager",
+    "PagerStats",
+    "StoreStats",
+    "decode_graph",
+    "decode_record",
+    "encode_graph",
+    "encode_record",
+    "frame",
+    "load_gtree_fully",
+    "save_gtree",
+    "unframe",
+]

@@ -1,0 +1,147 @@
+"""LRU buffer pool for G-Tree node payloads.
+
+The interactive system only keeps the communities the user has visited in
+memory; everything else stays on disk.  The buffer pool implements that
+policy: a capacity-bounded LRU cache keyed by tree-node id, with hit/miss
+statistics used by the scalability benchmark and optional pinning for the
+node currently in focus.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Optional
+
+from ..errors import StorageError
+
+
+@dataclass
+class BufferPoolStats:
+    """Hit/miss/eviction counters for one buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total number of get() calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from memory (0.0 when unused)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class BufferPool:
+    """A small LRU cache with pinning.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries held at once (must be >= 1).  Pinned
+        entries never count as eviction candidates; if every resident entry
+        is pinned and the pool is full, inserting raises ``StorageError`` —
+        the caller is holding too many communities in focus at once.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise StorageError(f"buffer pool capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = BufferPoolStats()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._pinned: Dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def resident_keys(self):
+        """Return the keys currently held, most recently used last."""
+        return list(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # cache operations
+    # ------------------------------------------------------------------ #
+    def get(self, key: Hashable, loader: Optional[Callable[[], Any]] = None) -> Any:
+        """Return the cached value for ``key``.
+
+        On a miss, ``loader`` (if given) is called to produce the value,
+        which is then cached; without a loader a miss raises ``KeyError``.
+        """
+        if key in self._entries:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.stats.misses += 1
+        if loader is None:
+            raise KeyError(key)
+        value = loader()
+        self.put(key, value)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``; evicts the LRU unpinned entry if full."""
+        if key in self._entries:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            return
+        if len(self._entries) >= self.capacity:
+            self._evict_one()
+        self._entries[key] = value
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop ``key`` from the pool (no-op if absent; clears any pin)."""
+        self._entries.pop(key, None)
+        self._pinned.pop(key, None)
+
+    def clear(self) -> None:
+        """Empty the pool (pins are released too)."""
+        self._entries.clear()
+        self._pinned.clear()
+
+    # ------------------------------------------------------------------ #
+    # pinning
+    # ------------------------------------------------------------------ #
+    def pin(self, key: Hashable) -> None:
+        """Protect ``key`` from eviction (reference counted)."""
+        if key not in self._entries:
+            raise KeyError(key)
+        self._pinned[key] = self._pinned.get(key, 0) + 1
+
+    def unpin(self, key: Hashable) -> None:
+        """Release one pin on ``key``."""
+        count = self._pinned.get(key, 0)
+        if count <= 1:
+            self._pinned.pop(key, None)
+        else:
+            self._pinned[key] = count - 1
+
+    def is_pinned(self, key: Hashable) -> bool:
+        """Whether ``key`` currently holds at least one pin."""
+        return self._pinned.get(key, 0) > 0
+
+    def _evict_one(self) -> None:
+        """Evict the least recently used unpinned entry."""
+        for key in self._entries:
+            if not self.is_pinned(key):
+                del self._entries[key]
+                self.stats.evictions += 1
+                return
+        raise StorageError(
+            "buffer pool is full and every entry is pinned; "
+            "increase capacity or unpin unused communities"
+        )

@@ -1,0 +1,264 @@
+"""Single-file persistence for G-Trees with lazy leaf loading.
+
+The paper: "The entire structure is stored in a single file and the nodes
+are transferred to main memory only when necessary."  This module implements
+that behaviour:
+
+* :func:`save_gtree` writes the tree skeleton (every community's metadata
+  and connectivity edges) plus one paged blob per leaf subgraph into a
+  single page-structured file (:mod:`repro.storage.pager`),
+* :class:`GTreeStore` opens such a file, reconstructs the skeleton
+  immediately (it is small), and loads leaf subgraphs on demand through an
+  LRU buffer pool (:mod:`repro.storage.buffer_pool`), so memory tracks the
+  visited part of the hierarchy rather than the whole graph.
+
+File layout
+-----------
+Page 0 holds a framed header record: magic, version, tree name, the page id
+of the skeleton blob, and counters.  The skeleton blob holds one record per
+tree node, including — for leaves — the first page id of that leaf's
+subgraph blob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.gtree import ConnectivityEdge, GTree, GTreeNode
+from ..errors import CorruptStoreError, StorageError
+from ..graph.graph import Graph
+from .buffer_pool import BufferPool, BufferPoolStats
+from .pager import DEFAULT_PAGE_SIZE, Pager, PagerStats
+from .serializer import (
+    decode_graph,
+    decode_record,
+    decode_varint,
+    encode_graph,
+    encode_record,
+    encode_varint,
+    frame,
+    unframe,
+)
+
+PathLike = Union[str, Path]
+
+MAGIC = "GMINE-GTREE"
+STORE_VERSION = 1
+_NO_PAGE = -1
+
+
+def save_gtree(
+    tree: GTree,
+    path: PathLike,
+    page_size: int = DEFAULT_PAGE_SIZE,
+) -> None:
+    """Persist ``tree`` (skeleton + leaf subgraphs) into a single file."""
+    missing = [leaf.label for leaf in tree.leaves() if leaf.subgraph is None]
+    if missing:
+        raise StorageError(
+            "cannot save a G-Tree whose leaf subgraphs were never attached "
+            f"(missing for {len(missing)} leaves, e.g. {missing[:3]})"
+        )
+    with Pager(path, page_size=page_size, create=True) as pager:
+        # Reserve page 0 for the header; written last once offsets are known.
+        pager.allocate_page()
+
+        leaf_pages: Dict[int, int] = {}
+        for leaf in tree.leaves():
+            payload = frame(encode_graph(leaf.subgraph))
+            leaf_pages[leaf.node_id] = pager.write_blob(payload)
+
+        skeleton = bytearray()
+        skeleton += encode_varint(tree.num_tree_nodes)
+        for node in tree.nodes():
+            record = {
+                "id": node.node_id,
+                "label": node.label,
+                "level": node.level,
+                "parent": node.parent_id if node.parent_id is not None else -1,
+                "children": list(node.children),
+                "members": list(node.members),
+                "leaf_page": leaf_pages.get(node.node_id, _NO_PAGE),
+            }
+            skeleton += frame(encode_record(record))
+            connectivity = bytearray()
+            connectivity += encode_varint(len(node.connectivity))
+            for edge in node.connectivity:
+                connectivity += encode_record(
+                    {
+                        "s": edge.source,
+                        "t": edge.target,
+                        "c": edge.edge_count,
+                        "w": float(edge.total_weight),
+                    }
+                )
+            skeleton += frame(bytes(connectivity))
+        skeleton_page = pager.write_blob(frame(bytes(skeleton)))
+
+        header = encode_record(
+            {
+                "magic": MAGIC,
+                "version": STORE_VERSION,
+                "name": tree.name,
+                "skeleton_page": skeleton_page,
+                "tree_nodes": tree.num_tree_nodes,
+                "leaves": tree.num_leaves,
+                "vertices": tree.num_graph_vertices(),
+            }
+        )
+        pager.write_page(0, frame(header))
+        pager.flush()
+
+
+@dataclass
+class StoreStats:
+    """Combined I/O and cache statistics for one open store."""
+
+    pager: PagerStats
+    buffer_pool: BufferPoolStats
+    leaves_loaded: int = 0
+
+
+class GTreeStore:
+    """Read access to a persisted G-Tree with on-demand leaf loading."""
+
+    def __init__(
+        self,
+        path: PathLike,
+        cache_capacity: int = 64,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        self.path = Path(path)
+        self._pager = Pager(self.path, page_size=page_size, read_only=True)
+        self._pool = BufferPool(capacity=cache_capacity)
+        self._leaf_pages: Dict[int, int] = {}
+        self._leaves_loaded = 0
+        self.tree = self._load_skeleton()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        self._pager.close()
+
+    def __enter__(self) -> "GTreeStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def stats(self) -> StoreStats:
+        """Return current I/O and cache counters."""
+        return StoreStats(
+            pager=self._pager.stats,
+            buffer_pool=self._pool.stats,
+            leaves_loaded=self._leaves_loaded,
+        )
+
+    # ------------------------------------------------------------------ #
+    # loading
+    # ------------------------------------------------------------------ #
+    def _load_skeleton(self) -> GTree:
+        """Read the header and skeleton blob and rebuild the tree structure."""
+        header_payload, _ = unframe(self._pager.read_page(0)[0])
+        header, _ = decode_record(header_payload)
+        if header.get("magic") != MAGIC:
+            raise CorruptStoreError(f"{self.path} is not a GMine G-Tree store")
+        if header.get("version") != STORE_VERSION:
+            raise CorruptStoreError(
+                f"unsupported store version {header.get('version')!r}"
+            )
+        skeleton_blob = self._pager.read_blob(int(header["skeleton_page"]))
+        skeleton, _ = unframe(skeleton_blob)
+
+        tree = GTree(name=str(header.get("name", "")))
+        offset = 0
+        count, offset = decode_varint(skeleton, offset)
+        expected = int(header.get("tree_nodes", count))
+        if count != expected:
+            raise CorruptStoreError(
+                f"skeleton holds {count} nodes but header claims {expected}"
+            )
+        for _ in range(count):
+            record_payload, offset = unframe(skeleton, offset)
+            record, _ = decode_record(record_payload)
+            connectivity_payload, offset = unframe(skeleton, offset)
+            connectivity = self._decode_connectivity(connectivity_payload)
+            parent = int(record["parent"])
+            node = GTreeNode(
+                node_id=int(record["id"]),
+                label=str(record["label"]),
+                level=int(record["level"]),
+                parent_id=None if parent < 0 else parent,
+                children=[int(child) for child in record["children"]],
+                members=list(record["members"]),
+                connectivity=connectivity,
+            )
+            tree.add_node(node)
+            leaf_page = int(record["leaf_page"])
+            if leaf_page != _NO_PAGE:
+                self._leaf_pages[node.node_id] = leaf_page
+                tree.register_leaf_members(node)
+        tree.assert_valid()
+        return tree
+
+    @staticmethod
+    def _decode_connectivity(payload: bytes) -> List[ConnectivityEdge]:
+        """Decode the connectivity-edge block of one skeleton record."""
+        edges: List[ConnectivityEdge] = []
+        offset = 0
+        count, offset = decode_varint(payload, offset)
+        for _ in range(count):
+            record, offset = decode_record(payload, offset)
+            edges.append(
+                ConnectivityEdge(
+                    source=int(record["s"]),
+                    target=int(record["t"]),
+                    edge_count=int(record["c"]),
+                    total_weight=float(record["w"]),
+                )
+            )
+        return edges
+
+    def load_leaf_subgraph(self, node_id: int) -> Graph:
+        """Return the subgraph of leaf community ``node_id`` (cached LRU)."""
+        node = self.tree.node(node_id)
+        if not node.is_leaf:
+            raise StorageError(
+                f"community {node.label!r} is not a leaf; only leaves hold subgraphs"
+            )
+        if node_id not in self._leaf_pages:
+            raise CorruptStoreError(f"leaf {node.label!r} has no stored subgraph")
+
+        def loader() -> Graph:
+            self._leaves_loaded += 1
+            blob = self._pager.read_blob(self._leaf_pages[node_id])
+            payload, _ = unframe(blob)
+            return decode_graph(payload)
+
+        return self._pool.get(node_id, loader)
+
+    def is_resident(self, node_id: int) -> bool:
+        """Whether a leaf subgraph is currently held in memory."""
+        return node_id in self._pool
+
+    def resident_leaf_count(self) -> int:
+        """Number of leaf subgraphs currently resident in the buffer pool."""
+        return len(self._pool)
+
+
+def load_gtree_fully(path: PathLike) -> GTree:
+    """Load a stored G-Tree and eagerly attach every leaf subgraph.
+
+    This is the "load everything" baseline the scalability benchmark
+    contrasts against lazy :class:`GTreeStore` access.
+    """
+    with GTreeStore(path, cache_capacity=max(1, 1_000_000)) as store:
+        tree = store.tree
+        for leaf in tree.leaves():
+            leaf.subgraph = store.load_leaf_subgraph(leaf.node_id)
+        return tree

@@ -1,0 +1,207 @@
+"""Fixed-size page manager over a single file.
+
+The paper stores the whole G-Tree "in a single file" and moves tree nodes to
+main memory "only when necessary".  This module provides the low-level half
+of that: a page-addressed file where every page carries a small header
+(page id, payload length, CRC32) so corruption is detected on read, plus
+simple allocation of payloads that span multiple pages (overflow chains).
+
+Layout
+------
+``page 0`` is reserved for the store header written by
+:class:`~repro.storage.gtree_store.GTreeStore`.  Every other page is::
+
+    [4 bytes page id] [4 bytes next page id or 0xFFFFFFFF]
+    [4 bytes payload length in this page] [4 bytes CRC32 of that payload]
+    [payload ...] [zero padding up to page_size]
+
+Statistics (pages read / written) are tracked so the scalability benchmark
+can report I/O work instead of wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+import zlib
+
+from ..errors import CorruptStoreError, PageError
+
+PathLike = Union[str, Path]
+
+PAGE_HEADER = struct.Struct(">IIII")
+NO_NEXT_PAGE = 0xFFFFFFFF
+DEFAULT_PAGE_SIZE = 4096
+
+
+@dataclass
+class PagerStats:
+    """I/O counters maintained by the pager."""
+
+    pages_read: int = 0
+    pages_written: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.pages_read = 0
+        self.pages_written = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+
+class Pager:
+    """Fixed-size-page storage over one file.
+
+    The pager does not cache; caching is the buffer pool's job
+    (:mod:`repro.storage.buffer_pool`).
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        create: bool = False,
+        read_only: bool = False,
+    ) -> None:
+        if page_size <= PAGE_HEADER.size + 1:
+            raise PageError(f"page size {page_size} is too small")
+        self.path = Path(path)
+        self.page_size = page_size
+        self.read_only = read_only
+        self.stats = PagerStats()
+        if create:
+            if read_only:
+                raise PageError("cannot create a read-only store")
+            self._file = open(self.path, "w+b")
+        else:
+            if not self.path.exists():
+                raise PageError(f"store file does not exist: {self.path}")
+            mode = "rb" if read_only else "r+b"
+            self._file = open(self.path, mode)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._closed:
+            self._file.flush()
+            self._file.close()
+            self._closed = True
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def num_pages(self) -> int:
+        """Number of pages currently in the file (including page 0)."""
+        self._file.seek(0, os.SEEK_END)
+        return self._file.tell() // self.page_size
+
+    @property
+    def capacity_per_page(self) -> int:
+        """Payload bytes that fit in one page."""
+        return self.page_size - PAGE_HEADER.size
+
+    # ------------------------------------------------------------------ #
+    # raw page access
+    # ------------------------------------------------------------------ #
+    def allocate_page(self) -> int:
+        """Append an empty page to the file and return its id."""
+        self._ensure_writable()
+        page_id = self.num_pages
+        self._file.seek(page_id * self.page_size)
+        self._file.write(b"\x00" * self.page_size)
+        return page_id
+
+    def write_page(self, page_id: int, payload: bytes, next_page: int = NO_NEXT_PAGE) -> None:
+        """Write ``payload`` (must fit in one page) to page ``page_id``."""
+        self._ensure_writable()
+        if len(payload) > self.capacity_per_page:
+            raise PageError(
+                f"payload of {len(payload)} bytes exceeds page capacity "
+                f"{self.capacity_per_page}"
+            )
+        if page_id <= 0 or page_id >= max(self.num_pages, 1):
+            if page_id != 0 and page_id >= self.num_pages:
+                raise PageError(f"page {page_id} has not been allocated")
+        checksum = zlib.crc32(payload) & 0xFFFFFFFF
+        header = PAGE_HEADER.pack(page_id, next_page, len(payload), checksum)
+        block = header + payload
+        block += b"\x00" * (self.page_size - len(block))
+        self._file.seek(page_id * self.page_size)
+        self._file.write(block)
+        self.stats.pages_written += 1
+        self.stats.bytes_written += self.page_size
+
+    def read_page(self, page_id: int) -> tuple:
+        """Return ``(payload, next_page)`` for page ``page_id``; verify CRC."""
+        if page_id < 0 or page_id >= self.num_pages:
+            raise PageError(f"page {page_id} is out of range (have {self.num_pages})")
+        self._file.seek(page_id * self.page_size)
+        block = self._file.read(self.page_size)
+        if len(block) < self.page_size:
+            raise CorruptStoreError(f"page {page_id} is truncated")
+        stored_id, next_page, length, checksum = PAGE_HEADER.unpack_from(block, 0)
+        if stored_id != page_id:
+            raise CorruptStoreError(
+                f"page {page_id} header claims id {stored_id} (file is corrupt)"
+            )
+        if length > self.capacity_per_page:
+            raise CorruptStoreError(f"page {page_id} claims impossible length {length}")
+        payload = block[PAGE_HEADER.size:PAGE_HEADER.size + length]
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != checksum:
+            raise CorruptStoreError(f"page {page_id} failed checksum validation")
+        self.stats.pages_read += 1
+        self.stats.bytes_read += self.page_size
+        return payload, next_page
+
+    # ------------------------------------------------------------------ #
+    # multi-page payloads (overflow chains)
+    # ------------------------------------------------------------------ #
+    def write_blob(self, payload: bytes) -> int:
+        """Store an arbitrary-size payload across newly allocated pages.
+
+        Returns the id of the first page of the chain.
+        """
+        self._ensure_writable()
+        capacity = self.capacity_per_page
+        chunks = [payload[i:i + capacity] for i in range(0, len(payload), capacity)] or [b""]
+        page_ids = [self.allocate_page() for _ in chunks]
+        for position, (page_id, chunk) in enumerate(zip(page_ids, chunks)):
+            next_page = page_ids[position + 1] if position + 1 < len(page_ids) else NO_NEXT_PAGE
+            self.write_page(page_id, chunk, next_page=next_page)
+        return page_ids[0]
+
+    def read_blob(self, first_page: int, max_pages: int = 1_000_000) -> bytes:
+        """Reassemble a payload stored by :func:`write_blob`."""
+        parts: List[bytes] = []
+        page_id = first_page
+        hops = 0
+        while page_id != NO_NEXT_PAGE:
+            payload, next_page = self.read_page(page_id)
+            parts.append(payload)
+            page_id = next_page
+            hops += 1
+            if hops > max_pages:
+                raise CorruptStoreError("overflow chain appears to be cyclic")
+        return b"".join(parts)
+
+    def flush(self) -> None:
+        """Flush buffered writes to the operating system."""
+        self._file.flush()
+
+    def _ensure_writable(self) -> None:
+        if self.read_only:
+            raise PageError("store is opened read-only")
+        if self._closed:
+            raise PageError("store is closed")

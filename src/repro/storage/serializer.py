@@ -1,0 +1,286 @@
+"""Binary serialization for graph payloads and G-Tree records.
+
+The on-disk G-Tree keeps each tree node's payload (its community subgraph
+for leaves, its child summary for internal nodes) as a length-prefixed,
+checksummed binary blob.  The encoding is a small, explicit, versioned
+format rather than pickle: it is safe to load untrusted files, stable across
+Python versions, and easy to validate for the corruption-injection tests.
+
+Primitive encoding
+------------------
+* integers: unsigned LEB128-style varints (negative values use zigzag),
+* floats: 8-byte IEEE-754 big-endian,
+* strings/bytes: varint length followed by UTF-8 bytes,
+* node ids: a 1-byte type tag (int / string) followed by the value — the
+  graphs GMine handles use integer or string vertex ids only.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any, Dict, List, Tuple
+
+from ..errors import CorruptStoreError, StorageError
+from ..graph.graph import Graph, NodeId
+
+_TAG_INT = 0
+_TAG_STR = 1
+_FLOAT = struct.Struct(">d")
+
+FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# primitive encoders
+# --------------------------------------------------------------------------- #
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as LEB128."""
+    if value < 0:
+        raise StorageError(f"varint cannot encode negative value {value}")
+    output = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            output.append(byte | 0x80)
+        else:
+            output.append(byte)
+            return bytes(output)
+
+
+def decode_varint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Decode a LEB128 varint at ``offset``; return ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    position = offset
+    while True:
+        if position >= len(data):
+            raise CorruptStoreError("truncated varint")
+        byte = data[position]
+        position += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, position
+        shift += 7
+        if shift > 70:
+            raise CorruptStoreError("varint too long")
+
+
+def encode_signed(value: int) -> bytes:
+    """Zigzag-encode a signed integer."""
+    return encode_varint((value << 1) ^ (value >> 63) if value < 0 else value << 1)
+
+
+def decode_signed(data: bytes, offset: int) -> Tuple[int, int]:
+    """Decode a zigzag-encoded signed integer."""
+    raw, position = decode_varint(data, offset)
+    return (raw >> 1) ^ -(raw & 1), position
+
+
+def encode_string(value: str) -> bytes:
+    """Encode a UTF-8 string with a varint length prefix."""
+    payload = value.encode("utf-8")
+    return encode_varint(len(payload)) + payload
+
+
+def decode_string(data: bytes, offset: int) -> Tuple[str, int]:
+    """Decode a length-prefixed UTF-8 string."""
+    length, position = decode_varint(data, offset)
+    end = position + length
+    if end > len(data):
+        raise CorruptStoreError("truncated string")
+    return data[position:end].decode("utf-8"), end
+
+
+def encode_float(value: float) -> bytes:
+    """Encode an IEEE-754 double."""
+    return _FLOAT.pack(value)
+
+
+def decode_float(data: bytes, offset: int) -> Tuple[float, int]:
+    """Decode an IEEE-754 double."""
+    end = offset + _FLOAT.size
+    if end > len(data):
+        raise CorruptStoreError("truncated float")
+    return _FLOAT.unpack_from(data, offset)[0], end
+
+
+def encode_node_id(node: NodeId) -> bytes:
+    """Encode an int or str vertex id with a type tag."""
+    if isinstance(node, bool):
+        raise StorageError("boolean vertex ids are not supported by the store")
+    if isinstance(node, int):
+        return bytes([_TAG_INT]) + encode_signed(node)
+    if isinstance(node, str):
+        return bytes([_TAG_STR]) + encode_string(node)
+    raise StorageError(
+        f"vertex id {node!r} has unsupported type {type(node).__name__}; "
+        "the G-Tree store handles int and str ids"
+    )
+
+
+def decode_node_id(data: bytes, offset: int) -> Tuple[NodeId, int]:
+    """Decode a tagged vertex id."""
+    if offset >= len(data):
+        raise CorruptStoreError("truncated node id")
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_INT:
+        return decode_signed(data, offset)
+    if tag == _TAG_STR:
+        return decode_string(data, offset)
+    raise CorruptStoreError(f"unknown node-id tag {tag}")
+
+
+# --------------------------------------------------------------------------- #
+# graph payloads
+# --------------------------------------------------------------------------- #
+def encode_graph(graph: Graph, include_attrs: bool = True) -> bytes:
+    """Serialize a graph (structure, weights, and string node attributes)."""
+    output = bytearray()
+    output += encode_varint(FORMAT_VERSION)
+    output += encode_string(graph.name)
+    output += encode_varint(graph.num_nodes)
+    for node in graph.nodes():
+        output += encode_node_id(node)
+        attrs = graph.node_attrs(node) if include_attrs else {}
+        string_attrs = {
+            key: value for key, value in attrs.items() if isinstance(value, str)
+        }
+        numeric_attrs = {
+            key: float(value)
+            for key, value in attrs.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        output += encode_varint(len(string_attrs))
+        for key, value in string_attrs.items():
+            output += encode_string(key)
+            output += encode_string(value)
+        output += encode_varint(len(numeric_attrs))
+        for key, value in numeric_attrs.items():
+            output += encode_string(key)
+            output += encode_float(value)
+    output += encode_varint(graph.num_edges)
+    for u, v, w in graph.edges():
+        output += encode_node_id(u)
+        output += encode_node_id(v)
+        output += encode_float(w)
+    return bytes(output)
+
+
+def decode_graph(data: bytes) -> Graph:
+    """Rebuild a graph serialized by :func:`encode_graph`."""
+    offset = 0
+    version, offset = decode_varint(data, offset)
+    if version != FORMAT_VERSION:
+        raise CorruptStoreError(f"unsupported graph payload version {version}")
+    name, offset = decode_string(data, offset)
+    graph = Graph(name=name)
+    num_nodes, offset = decode_varint(data, offset)
+    for _ in range(num_nodes):
+        node, offset = decode_node_id(data, offset)
+        graph.add_node(node)
+        num_string_attrs, offset = decode_varint(data, offset)
+        for _ in range(num_string_attrs):
+            key, offset = decode_string(data, offset)
+            value, offset = decode_string(data, offset)
+            graph.node_attrs(node)[key] = value
+        num_numeric_attrs, offset = decode_varint(data, offset)
+        for _ in range(num_numeric_attrs):
+            key, offset = decode_string(data, offset)
+            value, offset = decode_float(data, offset)
+            graph.node_attrs(node)[key] = value
+    num_edges, offset = decode_varint(data, offset)
+    for _ in range(num_edges):
+        u, offset = decode_node_id(data, offset)
+        v, offset = decode_node_id(data, offset)
+        w, offset = decode_float(data, offset)
+        graph.add_edge(u, v, weight=w)
+    if offset != len(data):
+        raise CorruptStoreError(
+            f"trailing bytes after graph payload ({len(data) - offset} extra)"
+        )
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# generic small records (dict of primitives / lists thereof)
+# --------------------------------------------------------------------------- #
+def encode_record(record: Dict[str, Any]) -> bytes:
+    """Serialize a flat record of str/int/float/list-of-id values."""
+    output = bytearray()
+    output += encode_varint(len(record))
+    for key, value in record.items():
+        output += encode_string(key)
+        if isinstance(value, bool):
+            raise StorageError(f"record field {key!r}: booleans are not supported")
+        if isinstance(value, int):
+            output += b"i" + encode_signed(value)
+        elif isinstance(value, float):
+            output += b"f" + encode_float(value)
+        elif isinstance(value, str):
+            output += b"s" + encode_string(value)
+        elif isinstance(value, (list, tuple)):
+            output += b"l" + encode_varint(len(value))
+            for item in value:
+                output += encode_node_id(item)
+        else:
+            raise StorageError(
+                f"record field {key!r} has unsupported type {type(value).__name__}"
+            )
+    return bytes(output)
+
+
+def decode_record(data: bytes, offset: int = 0) -> Tuple[Dict[str, Any], int]:
+    """Decode a record serialized by :func:`encode_record`."""
+    record: Dict[str, Any] = {}
+    count, offset = decode_varint(data, offset)
+    for _ in range(count):
+        key, offset = decode_string(data, offset)
+        if offset >= len(data):
+            raise CorruptStoreError("truncated record field")
+        kind = data[offset:offset + 1]
+        offset += 1
+        if kind == b"i":
+            value, offset = decode_signed(data, offset)
+        elif kind == b"f":
+            value, offset = decode_float(data, offset)
+        elif kind == b"s":
+            value, offset = decode_string(data, offset)
+        elif kind == b"l":
+            length, offset = decode_varint(data, offset)
+            items: List[NodeId] = []
+            for _ in range(length):
+                item, offset = decode_node_id(data, offset)
+                items.append(item)
+            value = items
+        else:
+            raise CorruptStoreError(f"unknown record field kind {kind!r}")
+        record[key] = value
+    return record, offset
+
+
+# --------------------------------------------------------------------------- #
+# framing with checksum
+# --------------------------------------------------------------------------- #
+def frame(payload: bytes) -> bytes:
+    """Wrap a payload with a length prefix and CRC32 trailer."""
+    checksum = zlib.crc32(payload) & 0xFFFFFFFF
+    return encode_varint(len(payload)) + payload + struct.pack(">I", checksum)
+
+
+def unframe(data: bytes, offset: int = 0) -> Tuple[bytes, int]:
+    """Extract and verify one framed payload; return ``(payload, next_offset)``."""
+    length, position = decode_varint(data, offset)
+    end = position + length
+    if end + 4 > len(data):
+        raise CorruptStoreError("truncated frame")
+    payload = data[position:end]
+    (expected,) = struct.unpack_from(">I", data, end)
+    actual = zlib.crc32(payload) & 0xFFFFFFFF
+    if expected != actual:
+        raise CorruptStoreError(
+            f"frame checksum mismatch (expected {expected:#x}, got {actual:#x})"
+        )
+    return payload, end + 4

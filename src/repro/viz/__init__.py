@@ -1,0 +1,67 @@
+"""Headless visualization: layouts, scene graph, SVG rendering, viewport.
+
+The original GMine is an interactive GUI; this package reproduces its
+display states (nested community views, subgraph drawings, extraction
+views) as SVG documents built from a small retained-mode scene graph, so
+every figure of the paper can be regenerated programmatically.
+"""
+
+from .color import (
+    categorical_color,
+    darken,
+    hex_to_rgb,
+    level_palette,
+    lighten,
+    rgb_to_hex,
+    sequential_color,
+)
+from .geometry import Point, Rect, bounding_box, polar
+from .layout import (
+    circular_layout,
+    fruchterman_reingold_layout,
+    grid_layout,
+    layout_by_name,
+    radial_community_layout,
+    random_layout,
+    spectral_layout,
+)
+from .render import render_full_expansion, render_subgraph, render_tomahawk_view
+from .scene import Circle, Line, Rectangle, Scene, Shape, Text
+from .tree_diagram import render_gtree_diagram, render_tomahawk_diagram
+from .svg import scene_to_svg, write_svg
+from .viewport import Viewport
+
+__all__ = [
+    "Circle",
+    "Line",
+    "Point",
+    "Rect",
+    "Rectangle",
+    "Scene",
+    "Shape",
+    "Text",
+    "Viewport",
+    "bounding_box",
+    "categorical_color",
+    "circular_layout",
+    "darken",
+    "fruchterman_reingold_layout",
+    "grid_layout",
+    "hex_to_rgb",
+    "layout_by_name",
+    "level_palette",
+    "lighten",
+    "polar",
+    "radial_community_layout",
+    "random_layout",
+    "render_full_expansion",
+    "render_gtree_diagram",
+    "render_subgraph",
+    "render_tomahawk_diagram",
+    "render_tomahawk_view",
+    "rgb_to_hex",
+    "scene_to_svg",
+    "sequential_color",
+    "spectral_layout",
+    "write_svg",
+]

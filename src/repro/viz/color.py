@@ -1,0 +1,76 @@
+"""Colour utilities for the SVG renderer.
+
+Communities get categorical colours; numeric scores (goodness, PageRank) map
+onto a sequential ramp.  Everything is plain ``#rrggbb`` strings so the SVG
+output has no external dependencies.
+"""
+
+from __future__ import annotations
+
+import colorsys
+from typing import List, Sequence, Tuple
+
+# A qualitative palette with enough separation for the 5-way hierarchies the
+# paper uses; cycles when more categories are needed.
+CATEGORICAL_PALETTE: Tuple[str, ...] = (
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+)
+
+
+def categorical_color(index: int) -> str:
+    """Return a stable categorical colour for ``index`` (cycles the palette)."""
+    return CATEGORICAL_PALETTE[index % len(CATEGORICAL_PALETTE)]
+
+
+def hex_to_rgb(color: str) -> Tuple[int, int, int]:
+    """Parse ``#rrggbb`` into an (r, g, b) tuple of 0-255 ints."""
+    color = color.lstrip("#")
+    return tuple(int(color[i:i + 2], 16) for i in (0, 2, 4))  # type: ignore[return-value]
+
+
+def rgb_to_hex(rgb: Sequence[int]) -> str:
+    """Format an (r, g, b) triple as ``#rrggbb``."""
+    r, g, b = (max(0, min(255, int(round(channel)))) for channel in rgb)
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def lighten(color: str, amount: float = 0.5) -> str:
+    """Blend ``color`` toward white by ``amount`` (0 = unchanged, 1 = white)."""
+    r, g, b = hex_to_rgb(color)
+    return rgb_to_hex(
+        (r + (255 - r) * amount, g + (255 - g) * amount, b + (255 - b) * amount)
+    )
+
+
+def darken(color: str, amount: float = 0.3) -> str:
+    """Blend ``color`` toward black by ``amount``."""
+    r, g, b = hex_to_rgb(color)
+    return rgb_to_hex((r * (1 - amount), g * (1 - amount), b * (1 - amount)))
+
+
+def sequential_color(value: float, low: float = 0.0, high: float = 1.0) -> str:
+    """Map ``value`` in ``[low, high]`` to a light-yellow → dark-red ramp."""
+    if high <= low:
+        fraction = 0.0
+    else:
+        fraction = min(1.0, max(0.0, (value - low) / (high - low)))
+    # Hue from 0.15 (yellow) down to 0.0 (red); value darkens slightly.
+    hue = 0.15 * (1.0 - fraction)
+    saturation = 0.55 + 0.45 * fraction
+    brightness = 0.95 - 0.25 * fraction
+    r, g, b = colorsys.hsv_to_rgb(hue, saturation, brightness)
+    return rgb_to_hex((r * 255, g * 255, b * 255))
+
+
+def level_palette(depth: int) -> List[str]:
+    """Return one fill colour per hierarchy level, light at the top.
+
+    The nested community view shades deeper levels progressively so the user
+    can read depth from colour alone.
+    """
+    colors = []
+    for level in range(depth + 1):
+        grey = 245 - min(level * 18, 120)
+        colors.append(rgb_to_hex((grey, grey, grey + 5)))
+    return colors

@@ -1,0 +1,114 @@
+"""Small 2-D geometry helpers shared by layouts and the scene graph."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable 2-D point."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def scaled(self, factor: float) -> "Point":
+        """Return the point scaled about the origin."""
+        return Point(self.x * factor, self.y * factor)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle defined by its min corner and size."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def center(self) -> Point:
+        """The rectangle's centre point."""
+        return Point(self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    @property
+    def max_x(self) -> float:
+        """Right edge."""
+        return self.x + self.width
+
+    @property
+    def max_y(self) -> float:
+        """Bottom edge (SVG y grows downward)."""
+        return self.y + self.height
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside (inclusive of edges)."""
+        return self.x <= point.x <= self.max_x and self.y <= point.y <= self.max_y
+
+    def inset(self, margin: float) -> "Rect":
+        """Return the rectangle shrunk by ``margin`` on every side (clamped)."""
+        margin = min(margin, self.width / 2.0, self.height / 2.0)
+        return Rect(
+            self.x + margin, self.y + margin,
+            self.width - 2 * margin, self.height - 2 * margin,
+        )
+
+    def subdivide_grid(self, count: int) -> Iterator["Rect"]:
+        """Yield ``count`` equally sized cells arranged in a near-square grid."""
+        if count <= 0:
+            return
+        columns = math.ceil(math.sqrt(count))
+        rows = math.ceil(count / columns)
+        cell_width = self.width / columns
+        cell_height = self.height / rows
+        produced = 0
+        for row in range(rows):
+            for column in range(columns):
+                if produced >= count:
+                    return
+                yield Rect(
+                    self.x + column * cell_width,
+                    self.y + row * cell_height,
+                    cell_width,
+                    cell_height,
+                )
+                produced += 1
+
+
+def bounding_box(points: Iterable[Point], padding: float = 0.0) -> Rect:
+    """Return the smallest rectangle containing ``points`` (plus padding)."""
+    xs, ys = [], []
+    for point in points:
+        xs.append(point.x)
+        ys.append(point.y)
+    if not xs:
+        return Rect(0.0, 0.0, 1.0, 1.0)
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    return Rect(
+        min_x - padding,
+        min_y - padding,
+        max(max_x - min_x, 1e-9) + 2 * padding,
+        max(max_y - min_y, 1e-9) + 2 * padding,
+    )
+
+
+def polar(center: Point, radius: float, angle: float) -> Point:
+    """Return the point at ``radius``/``angle`` (radians) around ``center``."""
+    return Point(center.x + radius * math.cos(angle), center.y + radius * math.sin(angle))

@@ -1,0 +1,237 @@
+"""Graph layout algorithms.
+
+The GMine display places conventional nodes inside their community regions
+and community nodes inside their parent region.  The layouts here supply the
+coordinates:
+
+* :func:`circular_layout` — vertices on a circle (cheap, deterministic),
+* :func:`fruchterman_reingold_layout` — force-directed layout for subgraph
+  views (what the screenshots of figures 5 and 6 resemble),
+* :func:`spectral_layout` — coordinates from Laplacian eigenvectors,
+* :func:`grid_layout` — regular grid (fallback and baseline),
+* :func:`radial_community_layout` — children of a community placed on a ring
+  inside the parent's rectangle, used by the nested G-Tree view.
+
+All functions return ``{vertex: Point}`` within a caller-supplied bounding
+rectangle, and all are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import LayoutError
+from ..graph.graph import Graph, NodeId
+from ..graph.matrix import combinatorial_laplacian
+from .geometry import Point, Rect, polar
+
+Positions = Dict[NodeId, Point]
+DEFAULT_RECT = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+def _fit_to_rect(raw: Dict[NodeId, tuple], rect: Rect, margin_fraction: float = 0.05) -> Positions:
+    """Scale raw coordinates to fill ``rect`` (preserving aspect ratio-ish)."""
+    if not raw:
+        return {}
+    xs = [coordinate[0] for coordinate in raw.values()]
+    ys = [coordinate[1] for coordinate in raw.values()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-12)
+    span_y = max(max_y - min_y, 1e-12)
+    inner = rect.inset(min(rect.width, rect.height) * margin_fraction)
+    positions: Positions = {}
+    for node, (x, y) in raw.items():
+        positions[node] = Point(
+            inner.x + (x - min_x) / span_x * inner.width,
+            inner.y + (y - min_y) / span_y * inner.height,
+        )
+    return positions
+
+
+def circular_layout(graph: Graph, rect: Rect = DEFAULT_RECT) -> Positions:
+    """Place vertices evenly on a circle inscribed in ``rect``."""
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    if n == 0:
+        return {}
+    center = rect.center
+    radius = 0.45 * min(rect.width, rect.height)
+    positions: Positions = {}
+    for position, node in enumerate(nodes):
+        angle = 2.0 * math.pi * position / n
+        positions[node] = polar(center, radius, angle)
+    return positions
+
+
+def grid_layout(graph: Graph, rect: Rect = DEFAULT_RECT) -> Positions:
+    """Place vertices on a near-square grid inside ``rect``."""
+    nodes = list(graph.nodes())
+    if not nodes:
+        return {}
+    cells = list(rect.inset(min(rect.width, rect.height) * 0.05).subdivide_grid(len(nodes)))
+    return {node: cell.center for node, cell in zip(nodes, cells)}
+
+
+def random_layout(graph: Graph, rect: Rect = DEFAULT_RECT, seed: Optional[int] = 0) -> Positions:
+    """Place vertices uniformly at random inside ``rect`` (deterministic seed)."""
+    rng = random.Random(seed if seed is not None else 0)
+    inner = rect.inset(min(rect.width, rect.height) * 0.05)
+    return {
+        node: Point(inner.x + rng.random() * inner.width, inner.y + rng.random() * inner.height)
+        for node in graph.nodes()
+    }
+
+
+def fruchterman_reingold_layout(
+    graph: Graph,
+    rect: Rect = DEFAULT_RECT,
+    iterations: int = 80,
+    seed: Optional[int] = 0,
+    initial: Optional[Positions] = None,
+) -> Positions:
+    """Force-directed layout (Fruchterman–Reingold) fitted into ``rect``.
+
+    Runs on NumPy arrays with the full pairwise repulsion, so it is intended
+    for the subgraph views GMine actually draws (tens to a few thousand
+    vertices), not the entire input graph.
+    """
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    if n == 0:
+        return {}
+    if n == 1:
+        return {nodes[0]: rect.center}
+    index = {node: position for position, node in enumerate(nodes)}
+    rng = np.random.default_rng(seed if seed is not None else 0)
+    if initial:
+        coordinates = np.array(
+            [
+                [initial[node].x, initial[node].y]
+                if node in initial
+                else [rng.random(), rng.random()]
+                for node in nodes
+            ],
+            dtype=float,
+        )
+    else:
+        coordinates = rng.random((n, 2))
+
+    area = 1.0
+    k = math.sqrt(area / n)  # ideal edge length in unit space
+    temperature = 0.1
+    cooling = temperature / (iterations + 1)
+
+    # Edge arrays for attraction.
+    edge_u = []
+    edge_v = []
+    edge_w = []
+    for u, v, w in graph.edges():
+        if u == v:
+            continue
+        edge_u.append(index[u])
+        edge_v.append(index[v])
+        edge_w.append(w)
+    edge_u = np.asarray(edge_u, dtype=int)
+    edge_v = np.asarray(edge_v, dtype=int)
+    edge_w = np.asarray(edge_w, dtype=float)
+
+    for _ in range(iterations):
+        delta = coordinates[:, None, :] - coordinates[None, :, :]
+        distance = np.linalg.norm(delta, axis=-1)
+        np.fill_diagonal(distance, 1.0)
+        distance = np.maximum(distance, 1e-9)
+        # Repulsion between every pair.
+        repulsion = (k * k) / distance
+        displacement = (delta / distance[..., None] * repulsion[..., None]).sum(axis=1)
+        # Attraction along edges.
+        if len(edge_u):
+            edge_delta = coordinates[edge_u] - coordinates[edge_v]
+            edge_distance = np.maximum(np.linalg.norm(edge_delta, axis=1), 1e-9)
+            attraction = (edge_distance ** 2) / k * np.maximum(edge_w, 0.1)
+            force = edge_delta / edge_distance[:, None] * attraction[:, None]
+            np.add.at(displacement, edge_u, -force)
+            np.add.at(displacement, edge_v, force)
+        length = np.maximum(np.linalg.norm(displacement, axis=1), 1e-9)
+        coordinates += displacement / length[:, None] * np.minimum(length, temperature)[:, None]
+        temperature = max(temperature - cooling, 1e-4)
+
+    raw = {node: (coordinates[index[node], 0], coordinates[index[node], 1]) for node in nodes}
+    return _fit_to_rect(raw, rect)
+
+
+def spectral_layout(graph: Graph, rect: Rect = DEFAULT_RECT) -> Positions:
+    """Layout from the 2nd and 3rd smallest Laplacian eigenvectors.
+
+    Falls back to a circular layout when the eigen-solver cannot produce two
+    usable vectors (tiny or degenerate graphs).
+    """
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    if n < 4:
+        return circular_layout(graph, rect)
+    try:
+        from scipy.sparse.linalg import eigsh
+
+        laplacian, index = combinatorial_laplacian(graph)
+        values, vectors = eigsh(laplacian.asfptype(), k=3, sigma=-1e-6, which="LM")
+        order = np.argsort(values)
+        coords_x = vectors[:, order[1]]
+        coords_y = vectors[:, order[2]]
+    except Exception:
+        return circular_layout(graph, rect)
+    raw = {
+        index.node_at(i): (float(coords_x[i]), float(coords_y[i])) for i in range(n)
+    }
+    return _fit_to_rect(raw, rect)
+
+
+def radial_community_layout(
+    labels: Sequence[str], rect: Rect = DEFAULT_RECT
+) -> Dict[str, Rect]:
+    """Assign each child community a sub-rectangle on a ring inside ``rect``.
+
+    Returns a rectangle (not a point) per label because communities are drawn
+    as containers that their own content is laid out inside — the nested
+    presentation of figures 3 and 6.
+    """
+    count = len(labels)
+    if count == 0:
+        return {}
+    if count == 1:
+        return {labels[0]: rect.inset(min(rect.width, rect.height) * 0.1)}
+    center = rect.center
+    ring_radius = 0.3 * min(rect.width, rect.height)
+    cell = 0.42 * min(rect.width, rect.height)
+    result: Dict[str, Rect] = {}
+    for position, label in enumerate(labels):
+        angle = 2.0 * math.pi * position / count - math.pi / 2.0
+        anchor = polar(center, ring_radius, angle)
+        result[label] = Rect(anchor.x - cell / 2.0, anchor.y - cell / 2.0, cell, cell)
+    return result
+
+
+def layout_by_name(
+    name: str,
+    graph: Graph,
+    rect: Rect = DEFAULT_RECT,
+    seed: Optional[int] = 0,
+) -> Positions:
+    """Dispatch a layout by name (used by the CLI's ``--layout`` flag)."""
+    algorithms = {
+        "circular": lambda: circular_layout(graph, rect),
+        "grid": lambda: grid_layout(graph, rect),
+        "random": lambda: random_layout(graph, rect, seed=seed),
+        "force": lambda: fruchterman_reingold_layout(graph, rect, seed=seed),
+        "spectral": lambda: spectral_layout(graph, rect),
+    }
+    try:
+        return algorithms[name]()
+    except KeyError:
+        raise LayoutError(
+            f"unknown layout {name!r}; choose from {sorted(algorithms)}"
+        ) from None

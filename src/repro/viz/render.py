@@ -1,0 +1,323 @@
+"""View renderers: turn engine/tree state into scenes.
+
+Three views cover everything the paper's figures show:
+
+* :func:`render_subgraph` — plain nodes-and-edges drawing of one subgraph
+  (figure 5, figure 3(e)/(f), the bottom level of the tree),
+* :func:`render_tomahawk_view` — the focused community with its children,
+  siblings and ancestors as nested containers plus connectivity edges
+  (figures 3(a)–(d) and 6(b)–(d)),
+* :func:`render_full_expansion` — every community expanded at once; only
+  used by the clutter benchmark as the "what the Tomahawk principle avoids"
+  baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..core.gtree import GTree, GTreeNode
+from ..core.tomahawk import TomahawkContext
+from ..graph.graph import Graph, NodeId
+from .color import categorical_color, darken, level_palette, lighten, sequential_color
+from .geometry import Point, Rect
+from .layout import Positions, fruchterman_reingold_layout, radial_community_layout
+from .scene import Circle, Line, Rectangle, Scene, Text
+
+
+def render_subgraph(
+    graph: Graph,
+    positions: Optional[Positions] = None,
+    width: float = 1000.0,
+    height: float = 800.0,
+    highlight: Sequence[NodeId] = (),
+    node_scores: Optional[Mapping[NodeId, float]] = None,
+    label_attribute: Optional[str] = "name",
+    max_labels: int = 40,
+    title: str = "",
+    seed: Optional[int] = 0,
+) -> Scene:
+    """Render a subgraph as circles and lines.
+
+    ``highlight`` vertices (e.g. the query sources of an extraction) are
+    drawn larger with a dark outline; ``node_scores`` (e.g. goodness) drive
+    a sequential colour ramp; labels are drawn for up to ``max_labels``
+    highest-degree vertices to keep small views readable.
+    """
+    scene = Scene(width=width, height=height, title=title or graph.name)
+    canvas = Rect(0.0, 0.0, width, height)
+    if positions is None:
+        positions = fruchterman_reingold_layout(graph, canvas, seed=seed)
+    highlight_set = set(highlight)
+
+    score_low = min(node_scores.values()) if node_scores else 0.0
+    score_high = max(node_scores.values()) if node_scores else 1.0
+
+    max_weight = max((w for _, _, w in graph.edges()), default=1.0)
+    for u, v, w in graph.edges():
+        if u not in positions or v not in positions:
+            continue
+        emphasis = u in highlight_set or v in highlight_set
+        scene.add(
+            Line(
+                start=positions[u],
+                end=positions[v],
+                stroke="#6b6b6b" if emphasis else "#b0b0b0",
+                stroke_width=0.6 + 2.4 * (w / max_weight),
+                opacity=0.9 if emphasis else 0.6,
+                layer=1,
+                tooltip=f"{u} — {v} (weight {w:g})",
+            )
+        )
+
+    labelled = 0
+    by_degree = sorted(graph.nodes(), key=lambda node: -graph.degree(node))
+    label_set = set(by_degree[:max_labels])
+    for node in graph.nodes():
+        if node not in positions:
+            continue
+        if node_scores is not None:
+            fill = sequential_color(node_scores.get(node, 0.0), score_low, score_high)
+        else:
+            fill = "#4e79a7"
+        is_highlight = node in highlight_set
+        scene.add(
+            Circle(
+                center=positions[node],
+                radius=9.0 if is_highlight else 4.5,
+                fill="#e15759" if is_highlight else fill,
+                stroke="#222222" if is_highlight else "#555555",
+                stroke_width=1.6 if is_highlight else 0.5,
+                layer=2,
+                tooltip=str(graph.get_node_attr(node, "name", node)),
+            )
+        )
+        if node in label_set or is_highlight:
+            label = str(graph.get_node_attr(node, label_attribute, node)) if label_attribute else str(node)
+            scene.add(
+                Text(
+                    position=Point(positions[node].x, positions[node].y - 10.0),
+                    content=label,
+                    font_size=10.0,
+                    fill="#222222",
+                    layer=3,
+                )
+            )
+            labelled += 1
+    return scene
+
+
+def _community_tooltip(node: GTreeNode) -> str:
+    return f"{node.label}: {node.size} nodes, {len(node.children)} sub-communities"
+
+
+def _draw_community_box(
+    scene: Scene,
+    node: GTreeNode,
+    rect: Rect,
+    fill: str,
+    emphasis: bool = False,
+    layer: int = 1,
+) -> None:
+    """Draw one community container with its label."""
+    scene.add(
+        Rectangle(
+            rect=rect,
+            corner_radius=8.0,
+            fill=fill,
+            stroke="#d62728" if emphasis else "#444444",
+            stroke_width=2.5 if emphasis else 1.0,
+            opacity=0.95,
+            layer=layer,
+            tooltip=_community_tooltip(node),
+        )
+    )
+    scene.add(
+        Text(
+            position=Point(rect.x + rect.width / 2.0, rect.y + 14.0),
+            content=f"{node.label} ({node.size})",
+            font_size=11.0,
+            fill="#222222",
+            layer=layer + 1,
+        )
+    )
+
+
+def _draw_connectivity(
+    scene: Scene,
+    tree: GTree,
+    parent: GTreeNode,
+    child_rects: Dict[int, Rect],
+    layer: int = 3,
+) -> None:
+    """Draw connectivity edges among the children that have rectangles."""
+    max_count = max((edge.edge_count for edge in parent.connectivity), default=1)
+    for edge in parent.connectivity:
+        if edge.source not in child_rects or edge.target not in child_rects:
+            continue
+        start = child_rects[edge.source].center
+        end = child_rects[edge.target].center
+        scene.add(
+            Line(
+                start=start,
+                end=end,
+                stroke="#7a5195",
+                stroke_width=1.0 + 5.0 * (edge.edge_count / max_count),
+                opacity=0.8,
+                layer=layer,
+                tooltip=(
+                    f"{tree.node(edge.source).label} ~ {tree.node(edge.target).label}: "
+                    f"{edge.edge_count} edges (weight {edge.total_weight:g})"
+                ),
+            )
+        )
+
+
+def render_tomahawk_view(
+    tree: GTree,
+    context: TomahawkContext,
+    graph: Optional[Graph] = None,
+    width: float = 1200.0,
+    height: float = 900.0,
+    expand_focus_subgraph: bool = False,
+    title: str = "",
+) -> Scene:
+    """Render the Tomahawk display state for one focused community.
+
+    The enclosing ancestor is the outer container; the focus and its siblings
+    are placed on a ring inside it; the focus's children are nested inside
+    the focus box, with connectivity edges drawn at both levels.  When
+    ``expand_focus_subgraph`` is true and the focus is a leaf, its actual
+    nodes and edges are laid out inside the focus box (figure 3(c)/(e)).
+    """
+    scene = Scene(width=width, height=height, title=title or f"focus {context.focus.label}")
+    canvas = Rect(10.0, 10.0, width - 20.0, height - 20.0)
+    palette = level_palette(tree.depth())
+
+    enclosing = context.enclosing_node()
+    _draw_community_box(scene, enclosing, canvas, palette[min(enclosing.level, len(palette) - 1)], layer=0)
+
+    # Focus + siblings share the enclosing box.
+    ring_members = [context.focus] + context.siblings
+    ring_rects = radial_community_layout([node.label for node in ring_members], canvas.inset(30.0))
+    rect_by_id: Dict[int, Rect] = {}
+    for node in ring_members:
+        rect = ring_rects[node.label]
+        rect_by_id[node.node_id] = rect
+        fill = lighten(categorical_color(node.node_id), 0.55)
+        _draw_community_box(scene, node, rect, fill, emphasis=node.node_id == context.focus.node_id, layer=1)
+
+    # Connectivity among focus and siblings lives on their parent.
+    parent = tree.parent(context.focus.node_id)
+    if parent is not None:
+        _draw_connectivity(scene, tree, parent, rect_by_id, layer=3)
+
+    # Children nested inside the focus box.
+    focus_rect = rect_by_id[context.focus.node_id]
+    child_rects: Dict[int, Rect] = {}
+    if context.children:
+        inner = radial_community_layout(
+            [child.label for child in context.children], focus_rect.inset(18.0)
+        )
+        for child in context.children:
+            rect = inner[child.label]
+            child_rects[child.node_id] = rect
+            fill = lighten(categorical_color(child.node_id), 0.7)
+            _draw_community_box(scene, child, rect, fill, layer=4)
+        _draw_connectivity(scene, tree, context.focus, child_rects, layer=6)
+    elif expand_focus_subgraph:
+        subgraph = context.focus.subgraph
+        if subgraph is None and graph is not None:
+            subgraph = graph.subgraph(context.focus.members, name=context.focus.label)
+        if subgraph is not None:
+            inner_scene = render_subgraph(
+                subgraph,
+                width=focus_rect.width,
+                height=focus_rect.height,
+                max_labels=10,
+            )
+            # Translate the inner scene's shapes into the focus rectangle.
+            for shape in inner_scene.shapes():
+                _translate_shape(shape, focus_rect.x, focus_rect.y)
+                shape.layer += 4
+                scene.add(shape)
+
+    # Ancestors above the enclosing node are listed as a breadcrumb.
+    breadcrumb = " > ".join(node.label for node in reversed(context.ancestors)) or "(root)"
+    scene.add(
+        Text(
+            position=Point(width / 2.0, height - 8.0),
+            content=f"path: {breadcrumb} | focus: {context.focus.label}",
+            font_size=12.0,
+            fill="#333333",
+            layer=10,
+        )
+    )
+    return scene
+
+
+def render_full_expansion(
+    tree: GTree,
+    graph: Optional[Graph] = None,
+    width: float = 1200.0,
+    height: float = 900.0,
+    include_leaf_edges: bool = True,
+    title: str = "full expansion",
+) -> Scene:
+    """Render every community (and optionally every leaf edge) at once.
+
+    This is deliberately the cluttered display the paper argues against; the
+    clutter benchmark counts its visual items against the Tomahawk view.
+    """
+    scene = Scene(width=width, height=height, title=title)
+    canvas = Rect(10.0, 10.0, width - 20.0, height - 20.0)
+    palette = level_palette(tree.depth())
+    rect_of: Dict[int, Rect] = {tree.root.node_id: canvas}
+    _draw_community_box(scene, tree.root, canvas, palette[0], layer=0)
+    frontier = [tree.root]
+    while frontier:
+        parent = frontier.pop()
+        children = tree.children(parent.node_id)
+        if not children:
+            if include_leaf_edges:
+                subgraph = parent.subgraph
+                if subgraph is None and graph is not None:
+                    subgraph = graph.subgraph(parent.members, name=parent.label)
+                if subgraph is not None:
+                    inner_scene = render_subgraph(
+                        subgraph,
+                        width=rect_of[parent.node_id].width,
+                        height=rect_of[parent.node_id].height,
+                        max_labels=0,
+                    )
+                    for shape in inner_scene.shapes():
+                        _translate_shape(shape, rect_of[parent.node_id].x, rect_of[parent.node_id].y)
+                        shape.layer += parent.level * 2 + 2
+                        scene.add(shape)
+            continue
+        child_rects = radial_community_layout(
+            [child.label for child in children], rect_of[parent.node_id].inset(16.0)
+        )
+        id_rects: Dict[int, Rect] = {}
+        for child in children:
+            rect = child_rects[child.label]
+            rect_of[child.node_id] = rect
+            id_rects[child.node_id] = rect
+            fill = palette[min(child.level, len(palette) - 1)]
+            _draw_community_box(scene, child, rect, fill, layer=child.level * 2 + 1)
+            frontier.append(child)
+        _draw_connectivity(scene, tree, parent, id_rects, layer=parent.level * 2 + 2)
+    return scene
+
+
+def _translate_shape(shape, dx: float, dy: float) -> None:
+    """Shift a shape in place by (dx, dy)."""
+    if isinstance(shape, Circle):
+        shape.center = Point(shape.center.x + dx, shape.center.y + dy)
+    elif isinstance(shape, Rectangle):
+        shape.rect = Rect(shape.rect.x + dx, shape.rect.y + dy, shape.rect.width, shape.rect.height)
+    elif isinstance(shape, Line):
+        shape.start = Point(shape.start.x + dx, shape.start.y + dy)
+        shape.end = Point(shape.end.x + dx, shape.end.y + dy)
+    elif isinstance(shape, Text):
+        shape.position = Point(shape.position.x + dx, shape.position.y + dy)

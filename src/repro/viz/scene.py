@@ -1,0 +1,108 @@
+"""A tiny retained-mode scene graph.
+
+Renderers build a :class:`Scene` of primitive shapes (circles, rectangles,
+lines, text) and hand it to the SVG backend.  Keeping an intermediate scene
+— instead of writing SVG strings directly — lets tests count and inspect the
+visual items produced by a view (the clutter benchmarks literally count
+scene items) and keeps the geometry/visual-encoding logic separate from the
+output format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from .geometry import Point, Rect
+
+
+@dataclass
+class Shape:
+    """Base class for scene items; carries style and an optional tooltip."""
+
+    fill: str = "#000000"
+    stroke: str = "none"
+    stroke_width: float = 1.0
+    opacity: float = 1.0
+    tooltip: Optional[str] = None
+    layer: int = 0
+
+
+@dataclass
+class Circle(Shape):
+    """A filled circle (graph vertex or collapsed community glyph)."""
+
+    center: Point = field(default_factory=lambda: Point(0.0, 0.0))
+    radius: float = 3.0
+
+
+@dataclass
+class Rectangle(Shape):
+    """A rectangle (community container region)."""
+
+    rect: Rect = field(default_factory=lambda: Rect(0.0, 0.0, 1.0, 1.0))
+    corner_radius: float = 0.0
+
+
+@dataclass
+class Line(Shape):
+    """A straight line segment (graph edge or connectivity edge)."""
+
+    start: Point = field(default_factory=lambda: Point(0.0, 0.0))
+    end: Point = field(default_factory=lambda: Point(1.0, 1.0))
+
+
+@dataclass
+class Text(Shape):
+    """A text label anchored at a point."""
+
+    position: Point = field(default_factory=lambda: Point(0.0, 0.0))
+    content: str = ""
+    font_size: float = 12.0
+    anchor: str = "middle"
+
+
+class Scene:
+    """An ordered collection of shapes plus the canvas size."""
+
+    def __init__(self, width: float = 1000.0, height: float = 1000.0, title: str = "") -> None:
+        self.width = width
+        self.height = height
+        self.title = title
+        self._shapes: List[Shape] = []
+
+    def add(self, shape: Shape) -> None:
+        """Append a shape to the scene."""
+        self._shapes.append(shape)
+
+    def extend(self, shapes: List[Shape]) -> None:
+        """Append several shapes."""
+        self._shapes.extend(shapes)
+
+    def shapes(self) -> List[Shape]:
+        """Return shapes sorted by layer (stable within a layer)."""
+        return sorted(self._shapes, key=lambda shape: shape.layer)
+
+    def __len__(self) -> int:
+        return len(self._shapes)
+
+    def __iter__(self) -> Iterator[Shape]:
+        return iter(self.shapes())
+
+    def count_by_type(self) -> dict:
+        """Return ``{'circle': n, 'rectangle': n, 'line': n, 'text': n}``."""
+        counts = {"circle": 0, "rectangle": 0, "line": 0, "text": 0}
+        for shape in self._shapes:
+            if isinstance(shape, Circle):
+                counts["circle"] += 1
+            elif isinstance(shape, Rectangle):
+                counts["rectangle"] += 1
+            elif isinstance(shape, Line):
+                counts["line"] += 1
+            elif isinstance(shape, Text):
+                counts["text"] += 1
+        return counts
+
+    def visual_item_count(self) -> int:
+        """Number of drawable items — the clutter measure used by benchmarks."""
+        return len(self._shapes)

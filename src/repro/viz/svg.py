@@ -1,0 +1,90 @@
+"""SVG rendering backend for :class:`~repro.viz.scene.Scene`.
+
+The original GMine is an interactive OpenGL/Qt application; the figures in
+the paper are static captures of its display.  This headless reproduction
+renders each display state to SVG, which needs no external libraries, diffs
+cleanly in tests, and can be opened in any browser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+from xml.sax.saxutils import escape, quoteattr
+
+from .scene import Circle, Line, Rectangle, Scene, Text
+
+PathLike = Union[str, Path]
+
+
+def _style(shape) -> str:
+    """Render the common style attributes of a shape."""
+    parts = [
+        f'fill="{shape.fill}"',
+        f'stroke="{shape.stroke}"',
+        f'stroke-width="{shape.stroke_width:g}"',
+    ]
+    if shape.opacity != 1.0:
+        parts.append(f'opacity="{shape.opacity:g}"')
+    return " ".join(parts)
+
+
+def _title(shape) -> str:
+    """Render the optional tooltip as an SVG <title> child."""
+    if not shape.tooltip:
+        return ""
+    return f"<title>{escape(shape.tooltip)}</title>"
+
+
+def scene_to_svg(scene: Scene) -> str:
+    """Serialize a scene to an SVG document string."""
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{scene.width:g}" height="{scene.height:g}" '
+            f'viewBox="0 0 {scene.width:g} {scene.height:g}">'
+        ),
+    ]
+    if scene.title:
+        lines.append(f"<title>{escape(scene.title)}</title>")
+    lines.append('<rect width="100%" height="100%" fill="#ffffff"/>')
+    for shape in scene.shapes():
+        if isinstance(shape, Circle):
+            lines.append(
+                f'<circle cx="{shape.center.x:.2f}" cy="{shape.center.y:.2f}" '
+                f'r="{shape.radius:.2f}" {_style(shape)}>{_title(shape)}</circle>'
+            )
+        elif isinstance(shape, Rectangle):
+            rect = shape.rect
+            rounding = f' rx="{shape.corner_radius:.2f}"' if shape.corner_radius else ""
+            lines.append(
+                f'<rect x="{rect.x:.2f}" y="{rect.y:.2f}" '
+                f'width="{rect.width:.2f}" height="{rect.height:.2f}"{rounding} '
+                f'{_style(shape)}>{_title(shape)}</rect>'
+            )
+        elif isinstance(shape, Line):
+            lines.append(
+                f'<line x1="{shape.start.x:.2f}" y1="{shape.start.y:.2f}" '
+                f'x2="{shape.end.x:.2f}" y2="{shape.end.y:.2f}" '
+                f'stroke="{shape.stroke if shape.stroke != "none" else shape.fill}" '
+                f'stroke-width="{shape.stroke_width:g}" opacity="{shape.opacity:g}">'
+                f'{_title(shape)}</line>'
+            )
+        elif isinstance(shape, Text):
+            lines.append(
+                f'<text x="{shape.position.x:.2f}" y="{shape.position.y:.2f}" '
+                f'font-size="{shape.font_size:g}" text-anchor={quoteattr(shape.anchor)} '
+                f'fill="{shape.fill}" font-family="sans-serif">'
+                f"{escape(shape.content)}</text>"
+            )
+    lines.append("</svg>")
+    return "\n".join(lines)
+
+
+def write_svg(scene: Scene, path: PathLike) -> Path:
+    """Write the scene to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(scene_to_svg(scene), encoding="utf-8")
+    return path

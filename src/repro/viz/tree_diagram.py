@@ -1,0 +1,186 @@
+"""Tree-diagram renderers for the G-Tree itself (figures 1 and 4).
+
+Figure 1 of the paper draws the G-Tree as a tree of boxes with the graph
+nodes referenced at the bottom level; figure 4 highlights the Tomahawk
+selection (focus, sons, siblings, ancestors) on that same diagram.  These
+renderers produce both pictures from a live :class:`~repro.core.gtree.GTree`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.gtree import GTree
+from ..core.tomahawk import TomahawkContext
+from .color import categorical_color, lighten
+from .geometry import Point, Rect
+from .scene import Circle, Line, Rectangle, Scene, Text
+
+
+def _layout_tree(tree: GTree, width: float, height: float, margin: float = 40.0) -> Dict[int, Point]:
+    """Assign each tree node a point: levels as rows, leaves evenly spaced.
+
+    Internal nodes are centred over their children, the classic tidy-tree
+    look of the paper's figure 1.
+    """
+    depth = tree.depth()
+    leaves = tree.leaves()
+    positions: Dict[int, Point] = {}
+    usable_width = max(width - 2 * margin, 1.0)
+    usable_height = max(height - 2 * margin, 1.0)
+
+    def level_y(level: int) -> float:
+        if depth == 0:
+            return margin + usable_height / 2.0
+        return margin + usable_height * level / depth
+
+    # Leaves first, spread across the width in tree order.
+    leaf_count = max(len(leaves), 1)
+    for index, leaf in enumerate(leaves):
+        x = margin + usable_width * (index + 0.5) / leaf_count
+        positions[leaf.node_id] = Point(x, level_y(leaf.level))
+
+    # Internal nodes: average of children's x, bottom-up by level.
+    for level in range(depth - 1, -1, -1):
+        for node in tree.nodes_at_level(level):
+            if node.is_leaf:
+                continue
+            child_points = [positions[child] for child in node.children if child in positions]
+            if child_points:
+                x = sum(point.x for point in child_points) / len(child_points)
+            else:
+                x = margin + usable_width / 2.0
+            positions[node.node_id] = Point(x, level_y(level))
+    return positions
+
+
+def render_gtree_diagram(
+    tree: GTree,
+    width: float = 1200.0,
+    height: float = 600.0,
+    show_leaf_sizes: bool = True,
+    title: str = "",
+) -> Scene:
+    """Render the G-Tree as a node-link tree diagram (figure 1)."""
+    scene = Scene(width=width, height=height, title=title or f"G-Tree {tree.name}")
+    positions = _layout_tree(tree, width, height)
+
+    for node in tree.nodes():
+        for child_id in node.children:
+            scene.add(
+                Line(
+                    start=positions[node.node_id],
+                    end=positions[child_id],
+                    stroke="#999999",
+                    stroke_width=1.0,
+                    layer=1,
+                )
+            )
+    for node in tree.nodes():
+        point = positions[node.node_id]
+        fill = lighten(categorical_color(node.level), 0.4)
+        scene.add(
+            Circle(
+                center=point,
+                radius=10.0 if not node.is_leaf else 7.0,
+                fill=fill,
+                stroke="#333333",
+                stroke_width=1.0,
+                layer=2,
+                tooltip=f"{node.label}: {node.size} vertices",
+            )
+        )
+        label = node.label
+        if show_leaf_sizes and node.is_leaf:
+            label = f"{node.label} ({node.size})"
+        scene.add(
+            Text(
+                position=Point(point.x, point.y - 14.0),
+                content=label,
+                font_size=9.0,
+                fill="#222222",
+                layer=3,
+            )
+        )
+    return scene
+
+
+def render_tomahawk_diagram(
+    tree: GTree,
+    context: TomahawkContext,
+    width: float = 1200.0,
+    height: float = 600.0,
+    title: str = "",
+) -> Scene:
+    """Render the G-Tree with the Tomahawk selection highlighted (figure 4).
+
+    The focus is drawn red, its children orange, siblings blue, ancestors
+    green, and everything else grey — making the axe-shaped selection the
+    paper names visible at a glance.
+    """
+    scene = Scene(width=width, height=height,
+                  title=title or f"Tomahawk selection for {context.focus.label}")
+    positions = _layout_tree(tree, width, height)
+
+    roles: Dict[int, str] = {context.focus.node_id: "focus"}
+    for node in context.children:
+        roles[node.node_id] = "child"
+    for node in context.siblings:
+        roles[node.node_id] = "sibling"
+    for node in context.ancestors:
+        roles[node.node_id] = "ancestor"
+    palette = {
+        "focus": "#d62728",
+        "child": "#ff7f0e",
+        "sibling": "#1f77b4",
+        "ancestor": "#2ca02c",
+        "other": "#d9d9d9",
+    }
+
+    for node in tree.nodes():
+        for child_id in node.children:
+            on_selection = node.node_id in roles and child_id in roles
+            scene.add(
+                Line(
+                    start=positions[node.node_id],
+                    end=positions[child_id],
+                    stroke="#555555" if on_selection else "#cccccc",
+                    stroke_width=2.0 if on_selection else 0.8,
+                    layer=1,
+                )
+            )
+    for node in tree.nodes():
+        role = roles.get(node.node_id, "other")
+        point = positions[node.node_id]
+        scene.add(
+            Circle(
+                center=point,
+                radius=12.0 if role == "focus" else 8.0,
+                fill=palette[role],
+                stroke="#333333",
+                stroke_width=1.2 if role != "other" else 0.5,
+                opacity=1.0 if role != "other" else 0.7,
+                layer=2,
+                tooltip=f"{node.label} ({role})",
+            )
+        )
+        if role != "other":
+            scene.add(
+                Text(
+                    position=Point(point.x, point.y - 15.0),
+                    content=node.label,
+                    font_size=10.0,
+                    fill="#222222",
+                    layer=3,
+                )
+            )
+
+    legend_y = height - 18.0
+    legend_x = 20.0
+    for role in ("focus", "child", "sibling", "ancestor"):
+        scene.add(Circle(center=Point(legend_x, legend_y), radius=6.0,
+                         fill=palette[role], stroke="#333333", layer=4))
+        scene.add(Text(position=Point(legend_x + 52.0, legend_y + 4.0), content=role,
+                       font_size=10.0, fill="#222222", layer=4))
+        legend_x += 120.0
+    return scene

@@ -1,0 +1,99 @@
+"""Viewport: the zoom/pan transform between world and screen coordinates.
+
+GMine's basic interactions include zoom and pan over the drawing.  The
+viewport keeps that state (scale and translation) and converts between the
+layout's world coordinates and on-screen pixels, with helpers to zoom about
+a cursor position and to fit a bounding rectangle — exactly the operations
+the figure walkthroughs use ("zoom in the community highlighted in (c)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import VisualizationError
+from .geometry import Point, Rect
+
+
+@dataclass
+class Viewport:
+    """A screen of ``width`` x ``height`` pixels viewing the world plane."""
+
+    width: float = 1000.0
+    height: float = 800.0
+    scale: float = 1.0
+    offset_x: float = 0.0
+    offset_y: float = 0.0
+    min_scale: float = 1e-3
+    max_scale: float = 1e4
+
+    # ------------------------------------------------------------------ #
+    # transforms
+    # ------------------------------------------------------------------ #
+    def world_to_screen(self, point: Point) -> Point:
+        """Map a world-space point to screen pixels."""
+        return Point(
+            (point.x - self.offset_x) * self.scale,
+            (point.y - self.offset_y) * self.scale,
+        )
+
+    def screen_to_world(self, point: Point) -> Point:
+        """Map a screen-pixel point back to world space."""
+        if self.scale == 0:
+            raise VisualizationError("viewport scale is zero")
+        return Point(
+            point.x / self.scale + self.offset_x,
+            point.y / self.scale + self.offset_y,
+        )
+
+    def visible_world_rect(self) -> Rect:
+        """Return the world-space rectangle currently visible."""
+        return Rect(
+            self.offset_x,
+            self.offset_y,
+            self.width / self.scale,
+            self.height / self.scale,
+        )
+
+    # ------------------------------------------------------------------ #
+    # interactions
+    # ------------------------------------------------------------------ #
+    def pan(self, dx_pixels: float, dy_pixels: float) -> None:
+        """Shift the view by a screen-space delta (drag gesture)."""
+        self.offset_x -= dx_pixels / self.scale
+        self.offset_y -= dy_pixels / self.scale
+
+    def zoom(self, factor: float, anchor: Point | None = None) -> None:
+        """Multiply the scale by ``factor`` keeping ``anchor`` (screen px) fixed.
+
+        Without an anchor the screen centre is used.  The scale is clamped to
+        ``[min_scale, max_scale]``.
+        """
+        if factor <= 0:
+            raise VisualizationError(f"zoom factor must be positive, got {factor}")
+        if anchor is None:
+            anchor = Point(self.width / 2.0, self.height / 2.0)
+        world_anchor = self.screen_to_world(anchor)
+        new_scale = min(max(self.scale * factor, self.min_scale), self.max_scale)
+        self.scale = new_scale
+        # Keep the anchor's world point under the same screen pixel.
+        self.offset_x = world_anchor.x - anchor.x / self.scale
+        self.offset_y = world_anchor.y - anchor.y / self.scale
+
+    def fit(self, rect: Rect, margin_fraction: float = 0.05) -> None:
+        """Zoom and pan so ``rect`` (world space) fills the screen."""
+        if rect.width <= 0 or rect.height <= 0:
+            raise VisualizationError("cannot fit an empty rectangle")
+        usable_width = self.width * (1.0 - 2.0 * margin_fraction)
+        usable_height = self.height * (1.0 - 2.0 * margin_fraction)
+        self.scale = min(usable_width / rect.width, usable_height / rect.height)
+        self.scale = min(max(self.scale, self.min_scale), self.max_scale)
+        center = rect.center
+        self.offset_x = center.x - (self.width / 2.0) / self.scale
+        self.offset_y = center.y - (self.height / 2.0) / self.scale
+
+    def reset(self) -> None:
+        """Restore the identity view (scale 1, origin at the top-left)."""
+        self.scale = 1.0
+        self.offset_x = 0.0
+        self.offset_y = 0.0

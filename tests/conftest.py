@@ -1,0 +1,68 @@
+"""Shared fixtures for the GMine reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_gtree
+from repro.data.dblp import DBLPConfig, generate_dblp
+from repro.graph.generators import (
+    connected_caveman,
+    erdos_renyi,
+    grid_2d,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+@pytest.fixture(scope="session")
+def triangle_graph() -> Graph:
+    """The smallest interesting graph: a weighted triangle."""
+    graph = Graph(name="triangle")
+    graph.add_edge("a", "b", weight=1.0)
+    graph.add_edge("b", "c", weight=2.0)
+    graph.add_edge("a", "c", weight=3.0)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def caveman_graph() -> Graph:
+    """Six 10-cliques chained in a ring — obvious community structure."""
+    return connected_caveman(6, 10, seed=1)
+
+
+@pytest.fixture(scope="session")
+def random_graph() -> Graph:
+    """A moderate Erdős–Rényi graph for algorithms that need some mess."""
+    return erdos_renyi(120, 0.06, seed=3)
+
+
+@pytest.fixture(scope="session")
+def grid_graph() -> Graph:
+    """An 8x8 grid: known diameter, planar, no hubs."""
+    return grid_2d(8, 8)
+
+
+@pytest.fixture(scope="session")
+def small_path() -> Graph:
+    """A 6-vertex path (degenerate but legal input)."""
+    return path_graph(6)
+
+
+@pytest.fixture(scope="session")
+def star() -> Graph:
+    """A star with 12 leaves (stress for matchings and RWR normalisation)."""
+    return star_graph(12)
+
+
+@pytest.fixture(scope="session")
+def dblp_dataset():
+    """A small synthetic DBLP dataset shared by core/mining/integration tests."""
+    return generate_dblp(DBLPConfig(num_authors=900, intra_sub_degree=6.0, seed=17))
+
+
+@pytest.fixture(scope="session")
+def dblp_gtree(dblp_dataset):
+    """A 3-level, 3-way G-Tree over the shared DBLP dataset."""
+    return build_gtree(dblp_dataset.graph, fanout=3, levels=3, seed=17)

@@ -1,0 +1,119 @@
+"""Unit tests for connectivity-edge aggregation."""
+
+import pytest
+
+from repro.core.connectivity import (
+    connectivity_among_children,
+    connectivity_between_groups,
+    cross_edges,
+    external_edge_count,
+    internal_edge_count,
+    isolation_profile,
+)
+from repro.graph.generators import connected_caveman
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def two_groups_graph():
+    graph = Graph()
+    # Group A: 0-1-2 (triangle), group B: 3-4, two cross edges with weights 2 and 3.
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(0, 2)
+    graph.add_edge(3, 4)
+    graph.add_edge(2, 3, weight=2.0)
+    graph.add_edge(0, 4, weight=3.0)
+    return graph
+
+
+class TestConnectivityBetweenGroups:
+    def test_counts_and_weights(self, two_groups_graph):
+        membership = {0: 0, 1: 0, 2: 0, 3: 1, 4: 1}
+        edges = connectivity_between_groups(two_groups_graph, membership)
+        assert list(edges) == [(0, 1)]
+        edge = edges[(0, 1)]
+        assert edge.edge_count == 2
+        assert edge.total_weight == pytest.approx(5.0)
+
+    def test_vertices_outside_membership_ignored(self, two_groups_graph):
+        membership = {0: 0, 1: 0, 3: 1}
+        edges = connectivity_between_groups(two_groups_graph, membership)
+        assert edges == {}  # the only cross edges involve vertices 2 and 4
+
+    def test_no_cross_edges(self):
+        graph = Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        edges = connectivity_between_groups(graph, {0: 0, 1: 0, 2: 1, 3: 1})
+        assert edges == {}
+
+
+class TestConnectivityAmongChildren:
+    def test_caveman_ring_structure(self):
+        graph = connected_caveman(4, 6, seed=0)
+        child_members = {index: list(range(index * 6, (index + 1) * 6)) for index in range(4)}
+        edges = connectivity_among_children(graph, child_members)
+        # The ring connects each clique to the next: exactly 4 connectivity edges.
+        assert len(edges) == 4
+        assert all(edge.edge_count == 1 for edge in edges)
+
+    def test_total_cross_count_matches_paper_definition(self, dblp_dataset, dblp_gtree):
+        graph = dblp_dataset.graph
+        root = dblp_gtree.root
+        total_cross = sum(edge.edge_count for edge in root.connectivity)
+        membership = {}
+        for child in dblp_gtree.children(root.node_id):
+            for member in child.members:
+                membership[member] = child.node_id
+        manual = sum(
+            1 for u, v, _ in graph.edges()
+            if membership.get(u) is not None and membership.get(v) is not None
+            and membership[u] != membership[v]
+        )
+        assert total_cross == manual
+
+    def test_deterministic_ordering(self):
+        graph = connected_caveman(3, 4, seed=0)
+        child_members = {index: list(range(index * 4, (index + 1) * 4)) for index in range(3)}
+        a = connectivity_among_children(graph, child_members)
+        b = connectivity_among_children(graph, child_members)
+        assert [(edge.source, edge.target) for edge in a] == [
+            (edge.source, edge.target) for edge in b
+        ]
+
+
+class TestEdgeCounts:
+    def test_internal_and_external(self, two_groups_graph):
+        count, weight = internal_edge_count(two_groups_graph, [0, 1, 2])
+        assert count == 3 and weight == pytest.approx(3.0)
+        count, weight = external_edge_count(two_groups_graph, [0, 1, 2])
+        assert count == 2 and weight == pytest.approx(5.0)
+
+    def test_cross_edges_lists_originals(self, two_groups_graph):
+        found = cross_edges(two_groups_graph, [0, 1, 2], [3, 4])
+        assert len(found) == 2
+        pairs = {frozenset((u, v)) for u, v, _ in found}
+        assert pairs == {frozenset((2, 3)), frozenset((0, 4))}
+
+    def test_cross_edges_empty_when_disjoint_components(self):
+        graph = Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        assert cross_edges(graph, [0, 1], [2, 3]) == []
+
+
+class TestIsolationProfile:
+    def test_ring_profile(self):
+        graph = connected_caveman(4, 5, seed=0)
+        child_members = {index: list(range(index * 5, (index + 1) * 5)) for index in range(4)}
+        profile = isolation_profile(graph, child_members)
+        # On a ring, every clique touches exactly two neighbours.
+        assert profile == {0: 2, 1: 2, 2: 2, 3: 2}
+
+    def test_isolated_groups_score_zero(self):
+        graph = Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        profile = isolation_profile(graph, {0: [0, 1], 1: [2, 3]})
+        assert profile == {0: 0, 1: 0}

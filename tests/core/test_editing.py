@@ -1,0 +1,171 @@
+"""Unit tests for graph editing with G-Tree consistency."""
+
+import pytest
+
+from repro.core.builder import build_gtree
+from repro.core.editing import GraphEditor
+from repro.errors import NavigationError
+from repro.graph.generators import connected_caveman
+
+
+@pytest.fixture
+def editable():
+    """A fresh graph + tree per test (editing mutates both)."""
+    graph = connected_caveman(4, 8, seed=0)
+    tree = build_gtree(graph, fanout=4, levels=2, seed=0)
+    return graph, tree, GraphEditor(graph, tree)
+
+
+def total_connectivity(tree):
+    return sum(edge.edge_count for node in tree.nodes() for edge in node.connectivity)
+
+
+class TestNodeEdits:
+    def test_add_node_into_leaf(self, editable):
+        graph, tree, editor = editable
+        leaf = tree.leaves()[0]
+        editor.add_node(999, community=leaf.label, name="New Author")
+        assert graph.has_node(999)
+        assert tree.leaf_of(999).label == leaf.label
+        assert 999 in tree.root.members
+        assert leaf.subgraph.has_node(999)
+        assert tree.validate() == []
+
+    def test_add_node_requires_community_when_tree_attached(self, editable):
+        _, _, editor = editable
+        with pytest.raises(NavigationError):
+            editor.add_node(999)
+
+    def test_add_existing_node_rejected(self, editable):
+        _, tree, editor = editable
+        with pytest.raises(NavigationError):
+            editor.add_node(0, community=tree.leaves()[0].label)
+
+    def test_add_node_to_internal_community_rejected(self, editable):
+        _, tree, editor = editable
+        with pytest.raises(NavigationError):
+            editor.add_node(999, community=tree.root.label)
+
+    def test_remove_node_updates_tree_and_graph(self, editable):
+        graph, tree, editor = editable
+        victim = 0
+        leaf = tree.leaf_of(victim)
+        editor.remove_node(victim)
+        assert not graph.has_node(victim)
+        assert victim not in leaf.members
+        assert victim not in tree.root.members
+        assert not tree.contains_vertex(victim)
+        assert tree.validate() == []
+
+    def test_remove_unknown_node_rejected(self, editable):
+        _, _, editor = editable
+        with pytest.raises(NavigationError):
+            editor.remove_node(10**9)
+
+    def test_update_node_attrs(self, editable):
+        graph, tree, editor = editable
+        editor.update_node_attrs(3, name="Renamed Author")
+        assert graph.get_node_attr(3, "name") == "Renamed Author"
+        leaf = tree.leaf_of(3)
+        if leaf.subgraph is not None:
+            assert leaf.subgraph.get_node_attr(3, "name") == "Renamed Author"
+
+
+class TestEdgeEdits:
+    def test_add_cross_community_edge_updates_connectivity(self, editable):
+        graph, tree, editor = editable
+        leaves = tree.leaves()
+        u = leaves[0].members[2]
+        v = leaves[1].members[2]
+        assert not graph.has_edge(u, v)
+        before = total_connectivity(tree)
+        editor.add_edge(u, v, weight=2.0)
+        after = total_connectivity(tree)
+        assert graph.has_edge(u, v)
+        assert after == before + 1
+
+    def test_add_intra_community_edge_updates_leaf_subgraph(self, editable):
+        graph, tree, editor = editable
+        leaf = tree.leaves()[0]
+        members = leaf.members
+        # Find a non-adjacent pair inside the leaf (cliques are dense, so the
+        # pair may not exist; fall back to re-weighting an existing edge).
+        pair = None
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                if not graph.has_edge(u, v):
+                    pair = (u, v)
+                    break
+            if pair:
+                break
+        if pair is None:
+            pair = (members[0], members[1])
+        editor.add_edge(*pair, weight=5.0)
+        assert leaf.subgraph.has_edge(*pair)
+        assert leaf.subgraph.edge_weight(*pair) == 5.0
+
+    def test_add_edge_with_unknown_endpoint_rejected(self, editable):
+        _, _, editor = editable
+        with pytest.raises(NavigationError):
+            editor.add_edge(0, 10**9)
+
+    def test_remove_cross_community_edge_updates_connectivity(self, editable):
+        graph, tree, editor = editable
+        # The caveman ring edge 0 - (next clique) crosses communities.
+        cross = None
+        for u, v, _ in graph.edges():
+            if tree.leaf_of(u).node_id != tree.leaf_of(v).node_id:
+                cross = (u, v)
+                break
+        assert cross is not None
+        before = total_connectivity(tree)
+        editor.remove_edge(*cross)
+        assert not graph.has_edge(*cross)
+        assert total_connectivity(tree) == before - 1
+
+    def test_remove_unknown_edge_rejected(self, editable):
+        _, _, editor = editable
+        with pytest.raises(NavigationError):
+            editor.remove_edge(0, 10**9)
+
+
+class TestUndoAndLog:
+    def test_log_records_operations(self, editable):
+        _, tree, editor = editable
+        editor.add_edge(0, 9)
+        editor.update_node_attrs(1, name="X")
+        assert [record.operation for record in editor.log] == ["add_edge", "update_node_attrs"]
+
+    def test_undo_add_edge(self, editable):
+        graph, tree, editor = editable
+        leaves = tree.leaves()
+        u, v = leaves[0].members[0], leaves[1].members[0]
+        before = total_connectivity(tree)
+        editor.add_edge(u, v)
+        editor.undo_last()
+        assert not graph.has_edge(u, v)
+        assert total_connectivity(tree) == before
+
+    def test_undo_remove_edge(self, editable):
+        graph, _, editor = editable
+        editor.remove_edge(0, 1)
+        editor.undo_last()
+        assert graph.has_edge(0, 1)
+
+    def test_undo_attr_update(self, editable):
+        graph, _, editor = editable
+        original = graph.get_node_attr(2, "name")
+        editor.update_node_attrs(2, name="Changed")
+        editor.undo_last()
+        assert graph.get_node_attr(2, "name") == original
+
+    def test_undo_empty_log_is_noop(self, editable):
+        _, _, editor = editable
+        assert editor.undo_last() is None
+
+    def test_editor_without_tree_supports_node_undo(self):
+        graph = connected_caveman(2, 4, seed=0)
+        editor = GraphEditor(graph)
+        editor.remove_node(0)
+        editor.undo_last()
+        assert graph.has_node(0)

@@ -1,0 +1,147 @@
+"""Unit tests for the GMine interaction engine."""
+
+import pytest
+
+from repro.core.engine import GMineEngine
+from repro.errors import NavigationError
+
+
+@pytest.fixture
+def engine(dblp_dataset, dblp_gtree):
+    return GMineEngine(dblp_gtree, graph=dblp_dataset.graph)
+
+
+class TestFocusNavigation:
+    def test_initial_focus_is_root(self, engine):
+        assert engine.focus.is_root
+
+    def test_focus_by_label_and_id(self, engine, dblp_gtree):
+        child = dblp_gtree.children(dblp_gtree.root.node_id)[0]
+        context = engine.focus_community(child.label)
+        assert engine.focus.node_id == child.node_id
+        assert context.focus.node_id == child.node_id
+        engine.focus_community(dblp_gtree.root.node_id)
+        assert engine.focus.is_root
+
+    def test_unknown_focus_raises(self, engine):
+        with pytest.raises(NavigationError):
+            engine.focus_community("does-not-exist")
+        with pytest.raises(NavigationError):
+            engine.focus_community(10_000)
+
+    def test_drill_down_and_up(self, engine):
+        engine.focus_root()
+        context = engine.drill_down(0)
+        assert context.focus.level == 1
+        context = engine.drill_up()
+        assert context.focus.is_root
+
+    def test_drill_up_from_root_raises(self, engine):
+        engine.focus_root()
+        with pytest.raises(NavigationError):
+            engine.drill_up()
+
+    def test_drill_down_bad_index_raises(self, engine):
+        engine.focus_root()
+        with pytest.raises(NavigationError):
+            engine.drill_down(999)
+
+    def test_drill_into_leaf_raises(self, engine, dblp_gtree):
+        leaf = dblp_gtree.leaves()[0]
+        engine.focus_community(leaf.node_id)
+        with pytest.raises(NavigationError):
+            engine.drill_down(0)
+
+    def test_history_records_actions(self, engine):
+        engine.focus_root()
+        engine.drill_down(0)
+        actions = [event.action for event in engine.history]
+        assert actions.count("focus") >= 2
+
+
+class TestCommunityContent:
+    def test_community_subgraph_of_leaf(self, engine, dblp_gtree):
+        leaf = dblp_gtree.leaves()[0]
+        subgraph = engine.community_subgraph(leaf.node_id)
+        assert set(subgraph.nodes()) == set(leaf.members)
+
+    def test_community_subgraph_of_internal_node(self, engine, dblp_gtree):
+        internal = dblp_gtree.children(dblp_gtree.root.node_id)[0]
+        subgraph = engine.community_subgraph(internal.node_id)
+        assert set(subgraph.nodes()) == set(internal.members)
+
+    def test_connectivity_edges_exposed(self, engine, dblp_gtree):
+        edges = engine.connectivity_edges(dblp_gtree.root.node_id)
+        assert edges == dblp_gtree.root.connectivity
+
+    def test_community_metrics(self, engine, dblp_gtree):
+        leaf = dblp_gtree.leaves()[0]
+        metrics = engine.community_metrics(leaf.node_id)
+        assert metrics.degree_stats.num_nodes == leaf.size
+        assert metrics.num_weak_components >= 1
+
+    def test_current_clutter_reduction(self, engine):
+        engine.focus_root()
+        stats = engine.current_clutter_reduction()
+        assert stats["reduction_ratio"] >= 1.0
+
+
+class TestQueries:
+    def test_label_query_finds_author(self, engine, dblp_dataset, dblp_gtree):
+        name = dblp_dataset.name_of(10)
+        result = engine.label_query(name)
+        assert result.leaf_label == dblp_gtree.leaf_of(10).label
+        assert result.path_labels[-1] == "s0"
+
+    def test_label_query_by_vertex_id(self, engine, dblp_gtree):
+        result = engine.label_query(25, attribute=None)
+        assert result.vertex == 25
+        assert result.leaf_label == dblp_gtree.leaf_of(25).label
+
+    def test_label_query_miss_raises(self, engine):
+        with pytest.raises(NavigationError):
+            engine.label_query("No Such Author")
+
+    def test_locate_and_focus(self, engine, dblp_dataset, dblp_gtree):
+        name = dblp_dataset.name_of(200)
+        context = engine.locate_and_focus(name)
+        assert context.focus.node_id == dblp_gtree.leaf_of(200).node_id
+
+    def test_node_details(self, engine, dblp_dataset):
+        details = engine.node_details(5)
+        assert details.vertex == 5
+        assert details.attributes.get("name") == dblp_dataset.name_of(5)
+        assert details.degree == dblp_dataset.graph.degree(5)
+        assert details.community_path[-1] == "s0"
+
+    def test_node_details_unknown_vertex_raises(self, engine):
+        with pytest.raises(NavigationError):
+            engine.node_details(10**9)
+
+    def test_strongest_neighbors_sorted_by_weight(self, engine, dblp_dataset):
+        graph = dblp_dataset.graph
+        hub = max(graph.nodes(), key=graph.degree)
+        neighbors = engine.strongest_neighbors(hub, count=5)
+        assert len(neighbors) <= 5
+        weights = [weight for _, weight in neighbors]
+        assert weights == sorted(weights, reverse=True)
+        for partner, weight in neighbors:
+            assert graph.edge_weight(hub, partner) == weight
+
+
+class TestEdgeInspection:
+    def test_inspect_connectivity_edge(self, engine, dblp_dataset, dblp_gtree):
+        root = dblp_gtree.root
+        if not root.connectivity:
+            pytest.skip("root children are fully isolated in this dataset")
+        edge = root.connectivity[0]
+        inspection = engine.inspect_connectivity_edge(edge.source, edge.target)
+        assert len(inspection.edges) == edge.edge_count
+        assert inspection.endpoints
+        first = inspection.endpoints[0]
+        assert "name" in first["u_attrs"]
+
+    def test_inspection_requires_full_graph(self, dblp_gtree):
+        engine = GMineEngine(dblp_gtree, graph=None)
+        with pytest.raises(NavigationError):
+            engine.inspect_connectivity_edge(1, 2)

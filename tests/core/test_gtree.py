@@ -1,0 +1,151 @@
+"""Unit tests for the G-Tree structure and its invariants."""
+
+import pytest
+
+from repro.errors import GTreeStructureError
+from repro.core.gtree import ConnectivityEdge, GTree, GTreeNode
+
+
+def build_manual_tree() -> GTree:
+    """A small hand-built tree: root with two children, one child split again."""
+    tree = GTree(name="manual")
+    root = GTreeNode(node_id=0, label="s0", level=0, parent_id=None,
+                     members=[1, 2, 3, 4, 5, 6])
+    left = GTreeNode(node_id=1, label="s00", level=1, parent_id=0, members=[1, 2, 3])
+    right = GTreeNode(node_id=2, label="s01", level=1, parent_id=0, members=[4, 5, 6])
+    left_a = GTreeNode(node_id=3, label="s000", level=2, parent_id=1, members=[1, 2])
+    left_b = GTreeNode(node_id=4, label="s001", level=2, parent_id=1, members=[3])
+    root.children = [1, 2]
+    left.children = [3, 4]
+    root.connectivity = [ConnectivityEdge(source=1, target=2, edge_count=2, total_weight=2.0)]
+    for node in (root, left, right, left_a, left_b):
+        tree.add_node(node)
+    for leaf in (right, left_a, left_b):
+        tree.register_leaf_members(leaf)
+    return tree
+
+
+class TestGTreeStructure:
+    def test_root_and_lookup(self):
+        tree = build_manual_tree()
+        assert tree.root.label == "s0"
+        assert tree.node(3).label == "s000"
+        assert tree.by_label("s01").node_id == 2
+        assert tree.has_label("s001")
+        assert not tree.has_label("zzz")
+
+    def test_duplicate_node_id_rejected(self):
+        tree = build_manual_tree()
+        with pytest.raises(GTreeStructureError):
+            tree.add_node(GTreeNode(node_id=0, label="dup", level=0, parent_id=None))
+
+    def test_second_root_rejected(self):
+        tree = build_manual_tree()
+        with pytest.raises(GTreeStructureError):
+            tree.add_node(GTreeNode(node_id=99, label="root2", level=0, parent_id=None))
+
+    def test_missing_lookups_raise(self):
+        tree = build_manual_tree()
+        with pytest.raises(GTreeStructureError):
+            tree.node(42)
+        with pytest.raises(GTreeStructureError):
+            tree.by_label("nothere")
+        with pytest.raises(GTreeStructureError):
+            tree.leaf_of(999)
+
+    def test_empty_tree_has_no_root(self):
+        with pytest.raises(GTreeStructureError):
+            GTree().root
+
+
+class TestNavigationPrimitives:
+    def test_children_parent_siblings(self):
+        tree = build_manual_tree()
+        assert [child.label for child in tree.children(0)] == ["s00", "s01"]
+        assert tree.parent(1).label == "s0"
+        assert tree.parent(0) is None
+        assert [sibling.label for sibling in tree.siblings(1)] == ["s01"]
+        assert tree.siblings(0) == []
+
+    def test_ancestors_and_path(self):
+        tree = build_manual_tree()
+        assert [node.label for node in tree.ancestors(3)] == ["s00", "s0"]
+        assert [node.label for node in tree.path_to_root(3)] == ["s000", "s00", "s0"]
+
+    def test_leaf_of_vertex(self):
+        tree = build_manual_tree()
+        assert tree.leaf_of(1).label == "s000"
+        assert tree.leaf_of(5).label == "s01"
+        assert tree.contains_vertex(3)
+        assert not tree.contains_vertex(999)
+
+    def test_level_and_leaf_queries(self):
+        tree = build_manual_tree()
+        assert {node.label for node in tree.nodes_at_level(1)} == {"s00", "s01"}
+        assert {leaf.label for leaf in tree.leaves()} == {"s01", "s000", "s001"}
+        assert tree.depth() == 2
+        assert tree.num_tree_nodes == 5
+        assert tree.num_leaves == 3
+        assert tree.num_graph_vertices() == 6
+        assert tree.mean_leaf_size() == pytest.approx(2.0)
+
+
+class TestSummaryAndValidation:
+    def test_summary_fields(self):
+        summary = build_manual_tree().summary()
+        assert summary["tree_nodes"] == 5
+        assert summary["leaf_communities"] == 3
+        assert summary["paper_communities"] == 4
+        assert summary["graph_vertices"] == 6
+
+    def test_valid_tree_passes(self):
+        tree = build_manual_tree()
+        assert tree.validate() == []
+        tree.assert_valid()
+
+    def test_member_union_violation_detected(self):
+        tree = build_manual_tree()
+        tree.node(1).members = [1, 2]  # drops vertex 3
+        problems = tree.validate()
+        assert any("union of children" in problem or "differ" in problem for problem in problems)
+
+    def test_orphan_child_detected(self):
+        tree = build_manual_tree()
+        tree.node(0).children.append(77)
+        assert any("unknown child" in problem for problem in tree.validate())
+
+    def test_wrong_parent_pointer_detected(self):
+        tree = build_manual_tree()
+        tree.node(2).parent_id = 1
+        assert tree.validate()
+
+    def test_connectivity_referencing_non_children_detected(self):
+        tree = build_manual_tree()
+        tree.node(0).connectivity.append(
+            ConnectivityEdge(source=3, target=4, edge_count=1, total_weight=1.0)
+        )
+        assert any("not its children" in problem for problem in tree.validate())
+
+    def test_leaf_coverage_violation_detected(self):
+        tree = build_manual_tree()
+        tree._leaf_of_vertex.pop(6)
+        assert any("leaf index" in problem for problem in tree.validate())
+
+    def test_assert_valid_raises(self):
+        tree = build_manual_tree()
+        tree.node(0).children.append(77)
+        with pytest.raises(GTreeStructureError):
+            tree.assert_valid()
+
+
+class TestNodeAndEdgeDataclasses:
+    def test_gtree_node_flags(self):
+        node = GTreeNode(node_id=7, label="x", level=2, parent_id=3, members=[1, 2])
+        assert node.is_leaf
+        assert not node.is_root
+        assert node.size == 2
+        assert "x" in repr(node)
+
+    def test_connectivity_edge_key_is_sorted(self):
+        edge = ConnectivityEdge(source=5, target=2, edge_count=1, total_weight=1.0)
+        assert edge.key() == (2, 5)

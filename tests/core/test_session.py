@@ -1,0 +1,111 @@
+"""Unit tests for exploration sessions (recording, bookmarks, replay)."""
+
+import pytest
+
+from repro.core.engine import GMineEngine
+from repro.core.session import ExplorationSession, SessionStep
+from repro.errors import NavigationError
+
+
+@pytest.fixture
+def session(dblp_dataset, dblp_gtree):
+    engine = GMineEngine(dblp_gtree, graph=dblp_dataset.graph)
+    return ExplorationSession(engine, name="test-session")
+
+
+class TestRecording:
+    def test_interactions_are_recorded_in_order(self, session, dblp_dataset):
+        session.focus("s0")
+        session.drill_down(0)
+        session.label_query(dblp_dataset.name_of(7))
+        session.community_metrics()
+        assert [step.action for step in session.steps] == [
+            "focus", "drill_down", "label_query", "community_metrics",
+        ]
+
+    def test_recorded_steps_carry_arguments(self, session):
+        session.focus("s0", note="start")
+        step = session.steps[0]
+        assert step.arguments == {"label": "s0"}
+        assert step.note == "start"
+
+    def test_locate_and_focus_recorded(self, session, dblp_dataset):
+        name = dblp_dataset.name_of(55)
+        session.locate_and_focus(name)
+        assert session.steps[-1].action == "locate_and_focus"
+        assert session.engine.focus.is_leaf
+
+    def test_inspection_recorded(self, session, dblp_gtree):
+        root = dblp_gtree.root
+        if not root.connectivity:
+            pytest.skip("no connectivity edges at the root")
+        edge = root.connectivity[0]
+        a = dblp_gtree.node(edge.source).label
+        b = dblp_gtree.node(edge.target).label
+        session.inspect_connectivity_edge(a, b)
+        assert session.steps[-1].action == "inspect_connectivity_edge"
+
+
+class TestBookmarks:
+    def test_bookmark_and_goto(self, session):
+        session.focus("s0")
+        session.drill_down(0)
+        marked = session.engine.focus.label
+        session.bookmark("interesting", note="come back later")
+        session.drill_up()
+        session.goto_bookmark("interesting")
+        assert session.engine.focus.label == marked
+
+    def test_unknown_bookmark_raises(self, session):
+        with pytest.raises(NavigationError):
+            session.goto_bookmark("nope")
+
+
+class TestPersistenceAndReplay:
+    def test_save_and_load_steps(self, session, dblp_dataset, tmp_path):
+        session.focus("s0")
+        session.drill_down(1)
+        session.label_query(dblp_dataset.name_of(3))
+        path = session.save(tmp_path / "walk.json")
+        steps = ExplorationSession.load_steps(path)
+        assert [step.action for step in steps] == ["focus", "drill_down", "label_query"]
+
+    def test_load_rejects_other_files(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(NavigationError):
+            ExplorationSession.load_steps(path)
+
+    def test_replay_reproduces_focus(self, session, dblp_dataset, dblp_gtree, tmp_path):
+        session.focus("s0")
+        session.drill_down(0)
+        session.drill_down(0)
+        final_focus = session.engine.focus.label
+        path = session.save(tmp_path / "walk.json")
+
+        fresh_engine = GMineEngine(dblp_gtree, graph=dblp_dataset.graph)
+        replayed = ExplorationSession.replay(fresh_engine, ExplorationSession.load_steps(path))
+        assert replayed.engine.focus.label == final_focus
+        assert len(replayed.steps) == 3
+
+    def test_replay_strict_failure(self, dblp_dataset, dblp_gtree):
+        engine = GMineEngine(dblp_gtree, graph=dblp_dataset.graph)
+        steps = [SessionStep("label_query", {"value": "No Such Author", "attribute": "name"})]
+        with pytest.raises(NavigationError):
+            ExplorationSession.replay(engine, steps, strict=True)
+
+    def test_replay_lenient_skips_failures(self, dblp_dataset, dblp_gtree):
+        engine = GMineEngine(dblp_gtree, graph=dblp_dataset.graph)
+        steps = [
+            SessionStep("label_query", {"value": "No Such Author", "attribute": "name"}),
+            SessionStep("focus", {"label": "s0"}),
+        ]
+        replayed = ExplorationSession.replay(engine, steps, strict=False)
+        assert replayed.engine.focus.label == "s0"
+
+    def test_replay_unknown_action(self, dblp_dataset, dblp_gtree):
+        engine = GMineEngine(dblp_gtree, graph=dblp_dataset.graph)
+        steps = [SessionStep("teleport", {})]
+        with pytest.raises(NavigationError):
+            ExplorationSession.replay(engine, steps, strict=True)
+        ExplorationSession.replay(engine, steps, strict=False)  # skipped silently

@@ -1,0 +1,77 @@
+"""Unit tests for the Tomahawk display principle."""
+
+import pytest
+
+from repro.core.tomahawk import (
+    clutter_reduction,
+    drill_path,
+    full_expansion_size,
+    tomahawk_context,
+)
+
+
+class TestTomahawkContext:
+    def test_root_context_is_root_plus_children(self, dblp_gtree):
+        context = tomahawk_context(dblp_gtree, dblp_gtree.root.node_id)
+        assert context.focus.is_root
+        assert context.siblings == []
+        assert context.ancestors == []
+        assert len(context.children) == len(dblp_gtree.root.children)
+        assert context.size == 1 + len(dblp_gtree.root.children)
+
+    def test_mid_level_context_contents(self, dblp_gtree):
+        focus = dblp_gtree.children(dblp_gtree.root.node_id)[0]
+        context = tomahawk_context(dblp_gtree, focus.node_id)
+        assert context.focus.node_id == focus.node_id
+        assert {node.node_id for node in context.children} == set(focus.children)
+        assert {node.node_id for node in context.siblings} == {
+            sibling.node_id for sibling in dblp_gtree.siblings(focus.node_id)
+        }
+        assert [node.node_id for node in context.ancestors] == [dblp_gtree.root.node_id]
+
+    def test_leaf_context_has_no_children(self, dblp_gtree):
+        leaf = dblp_gtree.leaves()[0]
+        context = tomahawk_context(dblp_gtree, leaf.node_id)
+        assert context.children == []
+        assert context.ancestors  # a leaf always has ancestors in a multi-level tree
+
+    def test_visible_ids_are_unique(self, dblp_gtree):
+        for node in dblp_gtree.nodes():
+            context = tomahawk_context(dblp_gtree, node.node_id)
+            ids = context.visible_ids()
+            assert len(ids) == len(set(ids))
+
+    def test_enclosing_node(self, dblp_gtree):
+        root_context = tomahawk_context(dblp_gtree, dblp_gtree.root.node_id)
+        assert root_context.enclosing_node().node_id == dblp_gtree.root.node_id
+        leaf = dblp_gtree.leaves()[0]
+        leaf_context = tomahawk_context(dblp_gtree, leaf.node_id)
+        assert leaf_context.enclosing_node().node_id == leaf.parent_id
+
+
+class TestClutterReduction:
+    def test_full_expansion_counts_all_descendants(self, dblp_gtree):
+        full = full_expansion_size(dblp_gtree, dblp_gtree.root.node_id)
+        assert full == dblp_gtree.num_tree_nodes  # root focus: every community
+
+    def test_depth_limit(self, dblp_gtree):
+        limited = full_expansion_size(dblp_gtree, dblp_gtree.root.node_id, depth=1)
+        assert limited == 1 + len(dblp_gtree.root.children)
+
+    def test_tomahawk_never_larger_than_full_expansion(self, dblp_gtree):
+        for node in dblp_gtree.nodes():
+            stats = clutter_reduction(dblp_gtree, node.node_id)
+            assert stats["tomahawk_items"] <= stats["full_expansion_items"]
+            assert stats["reduction_ratio"] >= 1.0
+
+    def test_reduction_grows_with_tree_size(self, dblp_gtree):
+        stats = clutter_reduction(dblp_gtree, dblp_gtree.root.node_id)
+        # Root Tomahawk shows root + its children; the full tree is much bigger.
+        assert stats["reduction_ratio"] > 2.0
+
+
+class TestDrillPath:
+    def test_contexts_follow_labels(self, dblp_gtree):
+        first_child = dblp_gtree.children(dblp_gtree.root.node_id)[0]
+        contexts = drill_path(dblp_gtree, ["s0", first_child.label])
+        assert [context.focus.label for context in contexts] == ["s0", first_child.label]

@@ -1,0 +1,143 @@
+"""Unit tests for the synthetic DBLP co-authorship generator."""
+
+import pytest
+
+from repro.data.dblp import (
+    DBLPConfig,
+    generate_dblp,
+    load_coauthorship_edge_list,
+    small_dblp,
+)
+from repro.errors import DatasetError
+from repro.graph.validation import validate_graph
+from repro.partition.metrics import edge_cut
+from repro.mining.degree import degree_sequence
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        DBLPConfig().validate()
+
+    def test_paper_scale_matches_paper_counts(self):
+        config = DBLPConfig.paper_scale()
+        assert config.num_authors == 315_688
+        assert config.num_communities == 5
+        assert config.sub_communities_per_community == 5
+        config.validate()
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(DatasetError):
+            DBLPConfig(num_authors=3, num_communities=5).validate()
+        with pytest.raises(DatasetError):
+            DBLPConfig(prolific_fraction=2.0).validate()
+        with pytest.raises(DatasetError):
+            DBLPConfig(casual_fraction=-0.1).validate()
+        with pytest.raises(DatasetError):
+            DBLPConfig(year_range=(2006, 1980)).validate()
+        with pytest.raises(DatasetError):
+            DBLPConfig(num_communities=0).validate()
+
+
+class TestGeneration:
+    def test_sizes_and_validity(self, dblp_dataset):
+        graph = dblp_dataset.graph
+        assert graph.num_nodes == 900
+        assert graph.num_edges > 900  # denser than a tree
+        assert validate_graph(graph) == []
+
+    def test_deterministic(self):
+        a = small_dblp(300, seed=5)
+        b = small_dblp(300, seed=5)
+        assert a.num_collaborations == b.num_collaborations
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_no_self_collaborations(self, dblp_dataset):
+        assert all(u != v for u, v, _ in dblp_dataset.graph.edges())
+
+    def test_every_author_has_name_attribute(self, dblp_dataset):
+        graph = dblp_dataset.graph
+        for author in list(graph.nodes())[:100]:
+            assert graph.get_node_attr(author, "name") == dblp_dataset.name_of(author)
+
+    def test_edges_carry_publication_years(self, dblp_dataset):
+        graph = dblp_dataset.graph
+        low, high = dblp_dataset.config.year_range
+        for u, v, _ in list(graph.edges())[:200]:
+            attrs = graph.edge_attrs(u, v)
+            assert low <= attrs["first_year"] <= attrs["last_year"] <= high
+
+    def test_community_structure_beats_random_cut(self, dblp_dataset):
+        # Cutting along the planted communities must remove far fewer edges
+        # than a random balanced cut of the same arity.
+        import random
+
+        graph = dblp_dataset.graph
+        planted = {node: dblp_dataset.community_of[node] for node in graph.nodes()}
+        planted_cut = edge_cut(graph, planted)
+        rng = random.Random(0)
+        labels = list(planted.values())
+        rng.shuffle(labels)
+        shuffled = dict(zip(planted.keys(), labels))
+        random_cut = edge_cut(graph, shuffled)
+        assert planted_cut < 0.75 * random_cut
+
+    def test_degree_distribution_is_skewed(self, dblp_dataset):
+        degrees = degree_sequence(dblp_dataset.graph)
+        mean_degree = sum(degrees) / len(degrees)
+        assert degrees[0] > 2.5 * mean_degree  # prolific hubs exist
+
+    def test_membership_maps_cover_all_authors(self, dblp_dataset):
+        assert set(dblp_dataset.community_of) == set(dblp_dataset.graph.nodes())
+        assert set(dblp_dataset.sub_community_of) == set(dblp_dataset.graph.nodes())
+        communities = set(dblp_dataset.community_of.values())
+        assert communities == set(range(dblp_dataset.config.num_communities))
+
+
+class TestDatasetQueries:
+    def test_author_id_name_round_trip(self, dblp_dataset):
+        name = dblp_dataset.name_of(17)
+        assert dblp_dataset.author_id(name) == 17
+
+    def test_unknown_author_raises(self, dblp_dataset):
+        with pytest.raises(DatasetError):
+            dblp_dataset.author_id("Nonexistent Person")
+        with pytest.raises(DatasetError):
+            dblp_dataset.name_of(10**9)
+
+    def test_most_collaborative_authors_sorted(self, dblp_dataset):
+        top = dblp_dataset.most_collaborative_authors(5)
+        degrees = [degree for _, _, degree in top]
+        assert degrees == sorted(degrees, reverse=True)
+        assert len(top) == 5
+
+
+class TestRealDataLoader:
+    def test_load_edge_list(self, tmp_path):
+        path = tmp_path / "coauth.tsv"
+        path.write_text("# comment\n0\t1\t3\n1\t2\n0\t1\t2\nAlice\tBob\n")
+        graph = load_coauthorship_edge_list(path)
+        assert graph.num_nodes == 5
+        assert graph.edge_weight(0, 1) == 5.0  # accumulated
+        assert graph.has_edge("Alice", "Bob")
+
+    def test_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "coauth.tsv"
+        path.write_text("1\t1\n1\t2\n")
+        graph = load_coauthorship_edge_list(path)
+        assert not graph.has_edge(1, 1)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_coauthorship_edge_list(tmp_path / "nope.tsv")
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("onlyone\n")
+        with pytest.raises(DatasetError):
+            load_coauthorship_edge_list(path)
+
+    def test_bad_weight_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\t2\tnot-a-number\n")
+        with pytest.raises(DatasetError):
+            load_coauthorship_edge_list(path)

@@ -1,0 +1,29 @@
+"""Unit tests for author-name generation."""
+
+from repro.data.names import generate_author_names
+
+
+class TestAuthorNames:
+    def test_count_and_uniqueness(self):
+        names = generate_author_names(5000, seed=1)
+        assert len(names) == 5000
+        assert len(set(names)) == 5000
+
+    def test_deterministic(self):
+        assert generate_author_names(200, seed=7) == generate_author_names(200, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert generate_author_names(200, seed=1) != generate_author_names(200, seed=2)
+
+    def test_names_look_like_names(self):
+        for name in generate_author_names(50, seed=3):
+            parts = name.split()
+            assert len(parts) >= 2
+            assert all(part[0].isupper() for part in parts if part[0].isalpha())
+
+    def test_zero_names(self):
+        assert generate_author_names(0) == []
+
+    def test_large_request_still_unique(self):
+        names = generate_author_names(30_000, seed=4)
+        assert len(set(names)) == 30_000

@@ -1,0 +1,161 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    connected_caveman,
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+    path_graph,
+    star_graph,
+    stochastic_block_model,
+    watts_strogatz,
+)
+from repro.graph.validation import assert_valid_graph
+from repro.mining.components import number_weak_components
+
+
+class TestErdosRenyi:
+    def test_node_count(self):
+        graph = erdos_renyi(50, 0.1, seed=1)
+        assert graph.num_nodes == 50
+
+    def test_p_zero_has_no_edges(self):
+        graph = erdos_renyi(30, 0.0, seed=1)
+        assert graph.num_edges == 0
+
+    def test_p_one_is_complete(self):
+        graph = erdos_renyi(10, 1.0, seed=1)
+        assert graph.num_edges == 45
+
+    def test_deterministic_given_seed(self):
+        a = erdos_renyi(60, 0.08, seed=42)
+        b = erdos_renyi(60, 0.08, seed=42)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(60, 0.08, seed=1)
+        b = erdos_renyi(60, 0.08, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_edge_count_roughly_matches_expectation(self):
+        n, p = 200, 0.05
+        graph = erdos_renyi(n, p, seed=7)
+        expected = p * n * (n - 1) / 2
+        assert 0.6 * expected < graph.num_edges < 1.4 * expected
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(-1, 0.5)
+        with pytest.raises(GraphError):
+            erdos_renyi(10, 1.5)
+
+    def test_structure_is_valid(self):
+        assert_valid_graph(erdos_renyi(80, 0.1, seed=3))
+
+
+class TestBarabasiAlbert:
+    def test_node_and_minimum_degree(self):
+        graph = barabasi_albert(100, 3, seed=1)
+        assert graph.num_nodes == 100
+        assert min(graph.degree(node) for node in graph.nodes()) >= 1
+
+    def test_edge_count_formula(self):
+        # Star seed contributes m edges, then each of (n - m - 1) nodes adds m.
+        n, m = 80, 2
+        graph = barabasi_albert(n, m, seed=5)
+        assert graph.num_edges == m + (n - m - 1) * m
+
+    def test_connected(self):
+        graph = barabasi_albert(100, 2, seed=2)
+        assert number_weak_components(graph) == 1
+
+    def test_has_hub(self):
+        graph = barabasi_albert(300, 2, seed=3)
+        degrees = sorted((graph.degree(node) for node in graph.nodes()), reverse=True)
+        assert degrees[0] > 4 * (2 * graph.num_edges / graph.num_nodes)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(3, 3)
+        with pytest.raises(GraphError):
+            barabasi_albert(10, 0)
+
+
+class TestStochasticBlockModel:
+    def test_membership_matches_sizes(self):
+        graph, membership = stochastic_block_model([10, 20, 30], 0.5, 0.01, seed=1)
+        assert graph.num_nodes == 60
+        assert membership.count(0) == 10
+        assert membership.count(2) == 30
+
+    def test_intra_denser_than_inter(self):
+        graph, membership = stochastic_block_model([40, 40], 0.3, 0.01, seed=2)
+        intra = inter = 0
+        for u, v, _ in graph.edges():
+            if membership[u] == membership[v]:
+                intra += 1
+            else:
+                inter += 1
+        assert intra > 3 * inter
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            stochastic_block_model([5, 5], 1.5, 0.1)
+        with pytest.raises(GraphError):
+            stochastic_block_model([], 0.5, 0.1)
+
+
+class TestDeterministicFamilies:
+    def test_caveman_structure(self):
+        graph = connected_caveman(4, 5, seed=0)
+        assert graph.num_nodes == 20
+        # 4 cliques of C(5,2)=10 edges plus 4 ring edges.
+        assert graph.num_edges == 44
+        assert number_weak_components(graph) == 1
+
+    def test_caveman_invalid(self):
+        with pytest.raises(GraphError):
+            connected_caveman(0, 5)
+        with pytest.raises(GraphError):
+            connected_caveman(3, 1)
+
+    def test_grid_counts(self):
+        graph = grid_2d(4, 6)
+        assert graph.num_nodes == 24
+        assert graph.num_edges == 4 * 5 + 6 * 3
+
+    def test_grid_invalid(self):
+        with pytest.raises(GraphError):
+            grid_2d(0, 3)
+
+    def test_path_and_cycle(self):
+        path = path_graph(5)
+        assert path.num_edges == 4
+        cycle = cycle_graph(5)
+        assert cycle.num_edges == 5
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star_and_complete(self):
+        star = star_graph(7)
+        assert star.degree(0) == 7
+        assert star.num_edges == 7
+        complete = complete_graph(6)
+        assert complete.num_edges == 15
+
+    def test_watts_strogatz_degree_preserved_roughly(self):
+        graph = watts_strogatz(40, 4, 0.1, seed=1)
+        assert graph.num_nodes == 40
+        mean_degree = 2 * graph.num_edges / graph.num_nodes
+        assert mean_degree == pytest.approx(4.0, abs=0.5)
+
+    def test_watts_strogatz_invalid(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 3, 0.1)
+        with pytest.raises(GraphError):
+            watts_strogatz(4, 4, 0.1)

@@ -1,0 +1,245 @@
+"""Unit tests for the core Graph and DiGraph structures."""
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graph.graph import DiGraph, Graph, graph_from_adjacency, union
+
+
+class TestGraphConstruction:
+    def test_empty_graph(self):
+        graph = Graph(name="empty")
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert list(graph.nodes()) == []
+        assert list(graph.edges()) == []
+
+    def test_add_node_is_idempotent(self):
+        graph = Graph()
+        graph.add_node(1)
+        graph.add_node(1)
+        assert graph.num_nodes == 1
+
+    def test_add_node_merges_attributes(self):
+        graph = Graph()
+        graph.add_node(1, name="Ada")
+        graph.add_node(1, year=1843)
+        assert graph.node_attrs(1) == {"name": "Ada", "year": 1843}
+
+    def test_add_edge_creates_endpoints(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        assert graph.has_node(1)
+        assert graph.has_node(2)
+        assert graph.num_edges == 1
+
+    def test_add_edge_is_symmetric(self):
+        graph = Graph()
+        graph.add_edge("x", "y", weight=2.5)
+        assert graph.has_edge("x", "y")
+        assert graph.has_edge("y", "x")
+        assert graph.edge_weight("y", "x") == 2.5
+
+    def test_add_edge_overwrites_weight_by_default(self):
+        graph = Graph()
+        graph.add_edge(1, 2, weight=1.0)
+        graph.add_edge(1, 2, weight=5.0)
+        assert graph.edge_weight(1, 2) == 5.0
+        assert graph.num_edges == 1
+
+    def test_add_edge_accumulate(self):
+        graph = Graph()
+        graph.add_edge(1, 2, weight=1.0)
+        graph.add_edge(1, 2, weight=1.0, accumulate=True)
+        assert graph.edge_weight(1, 2) == 2.0
+
+    def test_add_edges_from_mixed_tuples(self):
+        graph = Graph()
+        graph.add_edges_from([(1, 2), (2, 3, 4.0)])
+        assert graph.num_edges == 2
+        assert graph.edge_weight(2, 3) == 4.0
+
+    def test_add_edges_from_rejects_bad_tuple(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add_edges_from([(1, 2, 3, 4)])
+
+    def test_self_loop_allowed(self):
+        graph = Graph()
+        graph.add_edge(1, 1)
+        assert graph.has_edge(1, 1)
+        assert graph.degree(1) == 1
+
+
+class TestGraphRemoval:
+    def test_remove_edge(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.num_edges == 0
+        assert graph.has_node(1) and graph.has_node(2)
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph()
+        graph.add_node(1)
+        graph.add_node(2)
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(1, 2)
+
+    def test_remove_node_removes_incident_edges(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 3)
+        graph.remove_node(1)
+        assert not graph.has_node(1)
+        assert graph.num_edges == 0
+        assert graph.degree(2) == 0
+
+    def test_remove_missing_node_raises(self):
+        graph = Graph()
+        with pytest.raises(NodeNotFoundError):
+            graph.remove_node(99)
+
+
+class TestGraphQueries:
+    def test_neighbors_and_degree(self, triangle_graph):
+        assert set(triangle_graph.neighbors("a")) == {"b", "c"}
+        assert triangle_graph.degree("a") == 2
+
+    def test_weighted_degree(self, triangle_graph):
+        assert triangle_graph.weighted_degree("a") == pytest.approx(4.0)
+
+    def test_missing_node_lookups_raise(self):
+        graph = Graph()
+        with pytest.raises(NodeNotFoundError):
+            list(graph.neighbors("missing"))
+        with pytest.raises(NodeNotFoundError):
+            graph.degree("missing")
+        with pytest.raises(NodeNotFoundError):
+            graph.node_attrs("missing")
+
+    def test_edge_weight_missing_raises(self, triangle_graph):
+        with pytest.raises(EdgeNotFoundError):
+            triangle_graph.edge_weight("a", "zzz")
+
+    def test_edges_iterates_each_once(self, triangle_graph):
+        edges = list(triangle_graph.edges())
+        assert len(edges) == 3
+        seen = {frozenset((u, v)) for u, v, _ in edges}
+        assert len(seen) == 3
+
+    def test_total_edge_weight_and_density(self, triangle_graph):
+        assert triangle_graph.total_edge_weight() == pytest.approx(6.0)
+        assert triangle_graph.density() == pytest.approx(1.0)
+
+    def test_density_of_trivial_graphs(self):
+        assert Graph().density() == 0.0
+        single = Graph()
+        single.add_node(1)
+        assert single.density() == 0.0
+
+    def test_dunder_protocols(self, triangle_graph):
+        assert "a" in triangle_graph
+        assert len(triangle_graph) == 3
+        assert set(iter(triangle_graph)) == {"a", "b", "c"}
+        assert "3 nodes" in repr(triangle_graph)
+
+
+class TestSubgraphAndCopy:
+    def test_subgraph_induces_edges(self, caveman_graph):
+        members = list(range(10))  # the first clique
+        sub = caveman_graph.subgraph(members)
+        assert sub.num_nodes == 10
+        assert sub.num_edges >= 45  # the clique, possibly plus the ring edge endpoints inside
+
+    def test_subgraph_ignores_unknown_nodes(self, triangle_graph):
+        sub = triangle_graph.subgraph(["a", "b", "not-there"])
+        assert sub.num_nodes == 2
+        assert sub.has_edge("a", "b")
+
+    def test_subgraph_preserves_attributes(self):
+        graph = Graph()
+        graph.add_node(1, name="Ada")
+        graph.add_edge(1, 2, weight=3.0)
+        graph.edge_attrs(1, 2)["year"] = 1843
+        sub = graph.subgraph([1, 2])
+        assert sub.get_node_attr(1, "name") == "Ada"
+        assert sub.edge_attrs(1, 2)["year"] == 1843
+
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.add_edge("a", "z")
+        assert not triangle_graph.has_node("z")
+        assert clone.num_edges == triangle_graph.num_edges + 1
+
+    def test_relabeled_round_trip(self, triangle_graph):
+        relabeled, mapping, inverse = triangle_graph.relabeled()
+        assert set(relabeled.nodes()) == {0, 1, 2}
+        assert relabeled.num_edges == triangle_graph.num_edges
+        for original, new in mapping.items():
+            assert inverse[new] == original
+
+    def test_adjacency_dict_is_a_copy(self, triangle_graph):
+        adjacency = triangle_graph.adjacency_dict()
+        adjacency["a"]["b"] = 999.0
+        assert triangle_graph.edge_weight("a", "b") == 1.0
+
+
+class TestGraphHelpers:
+    def test_graph_from_adjacency(self):
+        graph = graph_from_adjacency({1: {2: 3.0}, 2: {1: 3.0}, 3: {}})
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 1
+        assert graph.edge_weight(1, 2) == 3.0
+
+    def test_union_accumulates_shared_edges(self):
+        a = Graph()
+        a.add_edge(1, 2, weight=1.0)
+        b = Graph()
+        b.add_edge(1, 2, weight=2.0)
+        b.add_edge(2, 3, weight=1.0)
+        merged = union([a, b])
+        assert merged.num_edges == 2
+        assert merged.edge_weight(1, 2) == pytest.approx(3.0)
+
+
+class TestDiGraph:
+    def test_add_edge_direction(self):
+        digraph = DiGraph()
+        digraph.add_edge("a", "b")
+        assert digraph.has_edge("a", "b")
+        assert not digraph.has_edge("b", "a")
+        assert digraph.out_degree("a") == 1
+        assert digraph.in_degree("b") == 1
+
+    def test_successors_and_predecessors(self):
+        digraph = DiGraph()
+        digraph.add_edge(1, 2)
+        digraph.add_edge(3, 2)
+        assert set(digraph.successors(1)) == {2}
+        assert set(digraph.predecessors(2)) == {1, 3}
+
+    def test_missing_node_raises(self):
+        digraph = DiGraph()
+        with pytest.raises(NodeNotFoundError):
+            list(digraph.successors("missing"))
+
+    def test_from_undirected_doubles_edges(self, triangle_graph):
+        digraph = DiGraph.from_undirected(triangle_graph)
+        assert digraph.num_edges == 2 * triangle_graph.num_edges
+        assert digraph.has_edge("a", "b") and digraph.has_edge("b", "a")
+
+    def test_to_undirected_round_trip(self, triangle_graph):
+        digraph = DiGraph.from_undirected(triangle_graph)
+        back = digraph.to_undirected()
+        assert back.num_nodes == triangle_graph.num_nodes
+        assert back.num_edges == triangle_graph.num_edges
+
+    def test_len_iter_contains_repr(self):
+        digraph = DiGraph(name="d")
+        digraph.add_edge(1, 2)
+        assert len(digraph) == 2
+        assert 1 in digraph
+        assert set(iter(digraph)) == {1, 2}
+        assert "DiGraph" in repr(digraph)

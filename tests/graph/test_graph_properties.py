@@ -1,0 +1,90 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph
+from repro.graph.io import graph_from_dict, graph_to_dict
+from repro.graph.validation import graphs_equal, validate_graph
+
+# Strategy: a list of undirected edges over a small integer vertex set,
+# with positive weights.
+edge_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=30),
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False, allow_infinity=False),
+    ),
+    max_size=120,
+)
+
+
+def build_graph(edges) -> Graph:
+    graph = Graph(name="property")
+    for u, v, w in edges:
+        graph.add_edge(u, v, weight=w, accumulate=graph.has_edge(u, v))
+    return graph
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_constructed_graphs_always_validate(edges):
+    graph = build_graph(edges)
+    assert validate_graph(graph) == []
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_handshake_lemma(edges):
+    graph = build_graph(edges)
+    degree_sum = sum(graph.degree(node) for node in graph.nodes())
+    self_loops = sum(1 for u, v, _ in graph.edges() if u == v)
+    assert degree_sum == 2 * graph.num_edges - self_loops
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_json_round_trip_preserves_graph(edges):
+    graph = build_graph(edges)
+    rebuilt = graph_from_dict(graph_to_dict(graph))
+    assert graphs_equal(graph, rebuilt)
+
+
+@given(edge_lists, st.sets(st.integers(min_value=0, max_value=30), max_size=15))
+@settings(max_examples=60, deadline=None)
+def test_subgraph_is_induced(edges, keep):
+    graph = build_graph(edges)
+    sub = graph.subgraph(keep)
+    # Every subgraph vertex/edge exists in the parent with the same weight,
+    # and every parent edge between kept vertices appears in the subgraph.
+    for node in sub.nodes():
+        assert graph.has_node(node)
+    for u, v, w in sub.edges():
+        assert graph.edge_weight(u, v) == w
+    kept = set(sub.nodes())
+    for u, v, w in graph.edges():
+        if u in kept and v in kept:
+            assert sub.has_edge(u, v)
+
+
+@given(edge_lists)
+@settings(max_examples=40, deadline=None)
+def test_relabeled_preserves_structure(edges):
+    graph = build_graph(edges)
+    relabeled, mapping, inverse = graph.relabeled()
+    assert relabeled.num_nodes == graph.num_nodes
+    assert relabeled.num_edges == graph.num_edges
+    for u, v, w in graph.edges():
+        assert relabeled.edge_weight(mapping[u], mapping[v]) == w
+
+
+@given(st.integers(min_value=2, max_value=60), st.floats(min_value=0.0, max_value=0.3),
+       st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_erdos_renyi_is_simple_and_valid(n, p, seed):
+    graph = erdos_renyi(n, p, seed=seed)
+    assert graph.num_nodes == n
+    assert validate_graph(graph) == []
+    # No self loops are ever generated.
+    assert all(u != v for u, v, _ in graph.edges())

@@ -1,0 +1,124 @@
+"""Unit tests for graph IO (edge list, JSON, adjacency text)."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    read_edge_list,
+    read_json,
+    write_adjacency_text,
+    write_edge_list,
+    write_json,
+)
+from repro.graph.validation import graphs_equal
+
+
+@pytest.fixture
+def attributed_graph() -> Graph:
+    graph = Graph(name="attributed")
+    graph.add_node(1, name="Ada Lovelace")
+    graph.add_node(2, name="Charles Babbage")
+    graph.add_node(3)
+    graph.add_edge(1, 2, weight=4.0)
+    graph.edge_attrs(1, 2)["first_year"] = 1840
+    return graph
+
+
+class TestEdgeList:
+    def test_round_trip_preserves_structure(self, tmp_path):
+        original = erdos_renyi(60, 0.08, seed=4)
+        path = tmp_path / "graph.edges"
+        write_edge_list(original, path)
+        loaded = read_edge_list(path)
+        assert graphs_equal(original, loaded)
+
+    def test_round_trip_preserves_isolated_nodes(self, tmp_path):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_node(99)
+        path = tmp_path / "graph.edges"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.has_node(99)
+        assert loaded.num_nodes == 3
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "graph.edges"
+        path.write_text("# comment\n\n% another\n1 2 1.5\n2 3\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+        assert graph.edge_weight(1, 2) == 1.5
+        assert graph.edge_weight(2, 3) == 1.0
+
+    def test_string_ids_preserved(self, tmp_path):
+        path = tmp_path / "graph.edges"
+        path.write_text("alice bob 2\n")
+        graph = read_edge_list(path)
+        assert graph.has_edge("alice", "bob")
+
+    def test_duplicate_edges_accumulate(self, tmp_path):
+        path = tmp_path / "graph.edges"
+        path.write_text("1 2 1\n1 2 1\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 1
+        assert graph.edge_weight(1, 2) == 2.0
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("justonetoken\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_bad_weight_raises(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("1 2 notanumber\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+
+class TestJson:
+    def test_round_trip_with_attributes(self, tmp_path, attributed_graph):
+        path = tmp_path / "graph.json"
+        write_json(attributed_graph, path)
+        loaded = read_json(path)
+        assert graphs_equal(attributed_graph, loaded)
+        assert loaded.get_node_attr(1, "name") == "Ada Lovelace"
+        assert loaded.edge_attrs(1, 2)["first_year"] == 1840
+
+    def test_dict_round_trip(self, attributed_graph):
+        document = graph_to_dict(attributed_graph)
+        rebuilt = graph_from_dict(document)
+        assert graphs_equal(attributed_graph, rebuilt)
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphFormatError):
+            read_json(path)
+
+    def test_wrong_format_marker_raises(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_dict({"format": "something-else"})
+
+    def test_missing_node_id_raises(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_dict({"format": "gmine-graph", "nodes": [{"attrs": {}}], "edges": []})
+
+    def test_missing_edge_endpoint_raises(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_dict(
+                {"format": "gmine-graph", "nodes": [{"id": 1}], "edges": [{"source": 1}]}
+            )
+
+
+class TestAdjacencyText:
+    def test_output_is_readable(self, tmp_path, attributed_graph):
+        path = tmp_path / "adjacency.txt"
+        write_adjacency_text(attributed_graph, path)
+        content = path.read_text()
+        assert "1:" in content
+        assert "# attributed" in content

@@ -1,0 +1,118 @@
+"""Unit tests for graph-to-matrix bridges."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import erdos_renyi, path_graph
+from repro.graph.graph import Graph
+from repro.graph.matrix import (
+    VertexIndex,
+    adjacency_matrix,
+    combinatorial_laplacian,
+    degree_vector,
+    normalized_laplacian,
+    restart_vector,
+    transition_matrix,
+)
+
+
+class TestVertexIndex:
+    def test_round_trip(self, triangle_graph):
+        index = VertexIndex.from_graph(triangle_graph)
+        for node in triangle_graph.nodes():
+            assert index.node_at(index.index_of(node)) == node
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(GraphError):
+            VertexIndex([1, 1, 2])
+
+    def test_unknown_node_rejected(self, triangle_graph):
+        index = VertexIndex.from_graph(triangle_graph)
+        with pytest.raises(GraphError):
+            index.index_of("zzz")
+
+    def test_bulk_conversions(self, triangle_graph):
+        index = VertexIndex.from_graph(triangle_graph)
+        nodes = index.nodes()
+        assert index.to_nodes(index.to_indices(nodes)) == nodes
+        assert len(index) == 3
+        assert nodes[0] in index
+
+
+class TestAdjacencyMatrix:
+    def test_symmetry_and_weights(self, triangle_graph):
+        matrix, index = adjacency_matrix(triangle_graph)
+        dense = matrix.toarray()
+        assert np.allclose(dense, dense.T)
+        i, j = index.index_of("a"), index.index_of("c")
+        assert dense[i, j] == pytest.approx(3.0)
+
+    def test_degree_vector_matches_graph(self, random_graph):
+        matrix, index = adjacency_matrix(random_graph)
+        degrees = degree_vector(matrix)
+        for node in random_graph.nodes():
+            assert degrees[index.index_of(node)] == pytest.approx(
+                random_graph.weighted_degree(node)
+            )
+
+    def test_isolated_vertices_have_zero_rows(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_node(3)
+        matrix, index = adjacency_matrix(graph)
+        assert matrix.toarray()[index.index_of(3)].sum() == 0.0
+
+
+class TestTransitionMatrix:
+    def test_columns_are_stochastic(self, random_graph):
+        transition, index = transition_matrix(random_graph)
+        sums = np.asarray(transition.sum(axis=0)).ravel()
+        for node in random_graph.nodes():
+            column = index.index_of(node)
+            if random_graph.degree(node) > 0:
+                assert sums[column] == pytest.approx(1.0)
+            else:
+                assert sums[column] == pytest.approx(0.0)
+
+    def test_path_graph_values(self):
+        graph = path_graph(3)
+        transition, index = transition_matrix(graph)
+        middle = index.index_of(1)
+        end = index.index_of(0)
+        # From the end vertex, probability 1 of moving to the middle.
+        assert transition[middle, end] == pytest.approx(1.0)
+
+
+class TestLaplacians:
+    def test_combinatorial_rows_sum_to_zero(self, random_graph):
+        laplacian, _ = combinatorial_laplacian(random_graph)
+        assert np.allclose(np.asarray(laplacian.sum(axis=1)).ravel(), 0.0, atol=1e-9)
+
+    def test_normalized_diagonal_is_one_for_connected_vertices(self, random_graph):
+        laplacian, index = normalized_laplacian(random_graph)
+        dense = laplacian.toarray()
+        for node in random_graph.nodes():
+            i = index.index_of(node)
+            if random_graph.degree(node) > 0:
+                assert dense[i, i] == pytest.approx(1.0)
+
+    def test_laplacian_positive_semidefinite(self):
+        graph = erdos_renyi(30, 0.2, seed=9)
+        laplacian, _ = combinatorial_laplacian(graph)
+        eigenvalues = np.linalg.eigvalsh(laplacian.toarray())
+        assert eigenvalues.min() > -1e-8
+
+
+class TestRestartVector:
+    def test_uniform_over_sources(self, triangle_graph):
+        index = VertexIndex.from_graph(triangle_graph)
+        vector = restart_vector(index, ["a", "b"])
+        assert vector.sum() == pytest.approx(1.0)
+        assert vector[index.index_of("a")] == pytest.approx(0.5)
+        assert vector[index.index_of("c")] == 0.0
+
+    def test_requires_sources(self, triangle_graph):
+        index = VertexIndex.from_graph(triangle_graph)
+        with pytest.raises(GraphError):
+            restart_vector(index, [])

@@ -1,0 +1,141 @@
+"""Unit tests for graph traversal primitives."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.generators import cycle_graph, grid_2d, path_graph, star_graph
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_order,
+    bfs_tree,
+    dfs_order,
+    dijkstra,
+    eccentricity,
+    shortest_path_hops,
+    shortest_weighted_path,
+)
+
+
+class TestBFS:
+    def test_order_starts_at_source(self, grid_graph):
+        order = list(bfs_order(grid_graph, 0))
+        assert order[0] == 0
+        assert len(order) == grid_graph.num_nodes
+
+    def test_distances_on_path(self):
+        graph = path_graph(5)
+        distances = bfs_distances(graph, 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_distances_respect_max_depth(self):
+        graph = path_graph(10)
+        distances = bfs_distances(graph, 0, max_depth=3)
+        assert max(distances.values()) == 3
+        assert len(distances) == 4
+
+    def test_distances_on_grid_are_manhattan(self):
+        graph = grid_2d(5, 5)
+        distances = bfs_distances(graph, 0)
+        # Vertex at row 4, col 4 has id 24 and Manhattan distance 8.
+        assert distances[24] == 8
+
+    def test_unreachable_vertices_absent(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_node(3)
+        distances = bfs_distances(graph, 1)
+        assert 3 not in distances
+
+    def test_bfs_tree_parents(self):
+        graph = path_graph(4)
+        parents = bfs_tree(graph, 0)
+        assert parents[0] is None
+        assert parents[3] == 2
+
+    def test_missing_source_raises(self, grid_graph):
+        with pytest.raises(NodeNotFoundError):
+            list(bfs_order(grid_graph, 10_000))
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(grid_graph, 10_000)
+
+
+class TestDFS:
+    def test_visits_every_reachable_vertex(self, caveman_graph):
+        order = list(dfs_order(caveman_graph, 0))
+        assert len(order) == caveman_graph.num_nodes
+        assert len(set(order)) == caveman_graph.num_nodes
+
+    def test_star_dfs_starts_at_hub(self):
+        graph = star_graph(5)
+        order = list(dfs_order(graph, 0))
+        assert order[0] == 0
+
+
+class TestShortestPaths:
+    def test_hops_path_endpoints(self, grid_graph):
+        path = shortest_path_hops(grid_graph, 0, 63)
+        assert path[0] == 0 and path[-1] == 63
+        assert len(path) - 1 == 14  # Manhattan distance on an 8x8 grid
+
+    def test_hops_path_same_vertex(self, grid_graph):
+        assert shortest_path_hops(grid_graph, 5, 5) == [5]
+
+    def test_hops_unreachable_returns_none(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_node(3)
+        assert shortest_path_hops(graph, 1, 3) is None
+
+    def test_hops_missing_target_raises(self, grid_graph):
+        with pytest.raises(NodeNotFoundError):
+            shortest_path_hops(grid_graph, 0, 10_000)
+
+    def test_dijkstra_prefers_light_edges(self):
+        graph = Graph()
+        graph.add_edge("a", "b", weight=10.0)
+        graph.add_edge("a", "c", weight=1.0)
+        graph.add_edge("c", "b", weight=1.0)
+        distance, parent = dijkstra(graph, "a")
+        assert distance["b"] == pytest.approx(2.0)
+        assert parent["b"] == "c"
+
+    def test_weighted_path_reconstruction(self):
+        graph = Graph()
+        graph.add_edge("a", "b", weight=10.0)
+        graph.add_edge("a", "c", weight=1.0)
+        graph.add_edge("c", "b", weight=1.0)
+        assert shortest_weighted_path(graph, "a", "b") == ["a", "c", "b"]
+
+    def test_weighted_path_custom_cost(self):
+        graph = Graph()
+        graph.add_edge("a", "b", weight=10.0)
+        graph.add_edge("a", "c", weight=1.0)
+        graph.add_edge("c", "b", weight=1.0)
+        # Inverting the meaning of weight (higher = cheaper) flips the choice.
+        path = shortest_weighted_path(graph, "a", "b", weight_fn=lambda u, v, w: 1.0 / w)
+        assert path == ["a", "b"]
+
+    def test_weighted_path_unreachable(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_node(3)
+        assert shortest_weighted_path(graph, 1, 3) is None
+
+    def test_dijkstra_handles_mixed_id_types(self):
+        graph = Graph()
+        graph.add_edge("a", 1, weight=1.0)
+        graph.add_edge(1, "b", weight=1.0)
+        distance, _ = dijkstra(graph, "a")
+        assert distance["b"] == pytest.approx(2.0)
+
+
+class TestEccentricity:
+    def test_cycle_eccentricity(self):
+        graph = cycle_graph(10)
+        assert eccentricity(graph, 0) == 5
+
+    def test_isolated_vertex(self):
+        graph = Graph()
+        graph.add_node(1)
+        assert eccentricity(graph, 1) == 0

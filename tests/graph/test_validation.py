@@ -1,0 +1,90 @@
+"""Unit tests for graph validation helpers."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import DiGraph, Graph
+from repro.graph.validation import (
+    assert_valid_graph,
+    graphs_equal,
+    validate_digraph,
+    validate_graph,
+)
+
+
+class TestValidateGraph:
+    def test_valid_graph_reports_nothing(self, caveman_graph):
+        assert validate_graph(caveman_graph) == []
+
+    def test_negative_weight_detected(self):
+        graph = Graph()
+        graph.add_edge(1, 2, weight=-1.0)
+        problems = validate_graph(graph)
+        assert any("negative" in problem for problem in problems)
+
+    def test_non_finite_weight_detected(self):
+        graph = Graph()
+        graph.add_edge(1, 2, weight=float("nan"))
+        assert any("non-finite" in problem for problem in validate_graph(graph))
+
+    def test_self_loop_flagged_when_disallowed(self):
+        graph = Graph()
+        graph.add_edge(1, 1)
+        assert validate_graph(graph, allow_self_loops=True) == []
+        assert any("self loop" in p for p in validate_graph(graph, allow_self_loops=False))
+
+    def test_asymmetry_detected_via_internal_tampering(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        # Simulate corruption by reaching into the private adjacency.
+        del graph._adj[2][1]
+        problems = validate_graph(graph)
+        assert any("asymmetric" in problem for problem in problems)
+
+    def test_edge_count_mismatch_detected(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph._num_edges = 5
+        assert any("edge count mismatch" in p for p in validate_graph(graph))
+
+    def test_assert_valid_raises_with_details(self):
+        graph = Graph()
+        graph.add_edge(1, 2, weight=-3.0)
+        with pytest.raises(GraphError, match="negative"):
+            assert_valid_graph(graph)
+
+
+class TestValidateDigraph:
+    def test_valid_digraph(self):
+        digraph = DiGraph()
+        digraph.add_edge(1, 2)
+        digraph.add_edge(2, 3)
+        assert validate_digraph(digraph) == []
+
+    def test_desynchronised_predecessors_detected(self):
+        digraph = DiGraph()
+        digraph.add_edge(1, 2)
+        del digraph._pred[2][1]
+        assert validate_digraph(digraph)
+
+
+class TestGraphsEqual:
+    def test_equal_graphs(self, triangle_graph):
+        assert graphs_equal(triangle_graph, triangle_graph.copy())
+
+    def test_different_nodes(self, triangle_graph):
+        other = triangle_graph.copy()
+        other.add_node("extra")
+        assert not graphs_equal(triangle_graph, other)
+
+    def test_different_edge_sets(self, triangle_graph):
+        other = triangle_graph.copy()
+        other.remove_edge("a", "b")
+        other.add_edge("a", "a")
+        assert not graphs_equal(triangle_graph, other)
+
+    def test_weight_sensitivity_toggle(self, triangle_graph):
+        other = triangle_graph.copy()
+        other.add_edge("a", "b", weight=99.0)
+        assert not graphs_equal(triangle_graph, other)
+        assert graphs_equal(triangle_graph, other, check_weights=False)

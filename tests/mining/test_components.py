@@ -1,0 +1,110 @@
+"""Unit tests for weak/strong component computation."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.generators import connected_caveman, erdos_renyi
+from repro.graph.graph import DiGraph, Graph
+from repro.mining.components import (
+    largest_component,
+    number_strong_components,
+    number_weak_components,
+    strong_components,
+    strong_components_of_undirected,
+    weak_components,
+)
+
+
+class TestWeakComponents:
+    def test_connected_graph_has_one(self, caveman_graph):
+        assert number_weak_components(caveman_graph) == 1
+
+    def test_disconnected_graph(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        graph.add_node(5)
+        components = weak_components(graph)
+        assert len(components) == 3
+        assert sorted(len(component) for component in components) == [1, 2, 2]
+
+    def test_empty_graph(self):
+        assert weak_components(Graph()) == []
+
+    def test_components_partition_vertices(self, random_graph):
+        components = weak_components(random_graph)
+        flat = [node for component in components for node in component]
+        assert sorted(flat, key=repr) == sorted(random_graph.nodes(), key=repr)
+        assert len(flat) == len(set(flat))
+
+    def test_matches_networkx(self):
+        graph = erdos_renyi(150, 0.012, seed=3)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(graph.nodes())
+        nx_graph.add_edges_from((u, v) for u, v, _ in graph.edges())
+        assert number_weak_components(graph) == nx.number_connected_components(nx_graph)
+
+    def test_largest_component(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.add_edge(10, 11)
+        lcc = largest_component(graph)
+        assert set(lcc.nodes()) == {1, 2, 3}
+
+    def test_largest_component_of_empty_graph(self):
+        assert largest_component(Graph()).num_nodes == 0
+
+
+class TestStrongComponents:
+    def test_directed_cycle_is_one_component(self):
+        digraph = DiGraph()
+        digraph.add_edge(1, 2)
+        digraph.add_edge(2, 3)
+        digraph.add_edge(3, 1)
+        assert number_strong_components(digraph) == 1
+
+    def test_directed_path_is_all_singletons(self):
+        digraph = DiGraph()
+        digraph.add_edge(1, 2)
+        digraph.add_edge(2, 3)
+        assert number_strong_components(digraph) == 3
+
+    def test_two_cycles_joined_by_one_arc(self):
+        digraph = DiGraph()
+        for u, v in [(1, 2), (2, 1), (3, 4), (4, 3), (2, 3)]:
+            digraph.add_edge(u, v)
+        components = strong_components(digraph)
+        assert len(components) == 2
+        assert sorted(sorted(component) for component in components) == [[1, 2], [3, 4]]
+
+    def test_matches_networkx_on_random_digraph(self):
+        import random
+
+        rng = random.Random(7)
+        digraph = DiGraph()
+        nx_digraph = nx.DiGraph()
+        for node in range(60):
+            digraph.add_node(node)
+            nx_digraph.add_node(node)
+        for _ in range(200):
+            u, v = rng.randrange(60), rng.randrange(60)
+            if u != v:
+                digraph.add_edge(u, v)
+                nx_digraph.add_edge(u, v)
+        assert number_strong_components(digraph) == nx.number_strongly_connected_components(
+            nx_digraph
+        )
+
+    def test_long_path_does_not_hit_recursion_limit(self):
+        digraph = DiGraph()
+        for i in range(5000):
+            digraph.add_edge(i, i + 1)
+        assert number_strong_components(digraph) == 5001
+
+    def test_undirected_strong_equals_weak(self, random_graph):
+        strong = strong_components_of_undirected(random_graph)
+        weak = weak_components(random_graph)
+        assert sorted(sorted(component, key=repr) for component in strong) == sorted(
+            sorted(component, key=repr) for component in weak
+        )

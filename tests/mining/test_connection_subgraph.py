@@ -1,0 +1,93 @@
+"""Unit tests for multi-source connection subgraph extraction."""
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.graph.generators import barabasi_albert, connected_caveman
+from repro.graph.graph import Graph
+from repro.mining.components import number_weak_components
+from repro.mining.connection_subgraph import (
+    extract_connection_subgraph,
+    extraction_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def ba_graph():
+    return barabasi_albert(400, 3, seed=21)
+
+
+class TestExtraction:
+    def test_budget_respected(self, ba_graph):
+        result = extract_connection_subgraph(ba_graph, [0, 50, 100], budget=30)
+        assert result.num_nodes <= 30
+
+    def test_sources_always_included(self, ba_graph):
+        result = extract_connection_subgraph(ba_graph, [5, 200, 399], budget=25)
+        assert result.contains_all_sources()
+
+    def test_connected_when_sources_connected(self, ba_graph):
+        result = extract_connection_subgraph(ba_graph, [0, 10, 20], budget=30)
+        assert number_weak_components(result.subgraph) == 1
+
+    def test_paths_touch_sources(self, ba_graph):
+        result = extract_connection_subgraph(ba_graph, [0, 50], budget=20)
+        for path in result.paths:
+            assert path[0] in result.sources or path[-1] in result.sources
+
+    def test_goodness_scores_cover_graph(self, ba_graph):
+        result = extract_connection_subgraph(ba_graph, [0, 50], budget=20)
+        assert set(result.goodness) == set(ba_graph.nodes())
+        assert max(result.goodness.values()) == pytest.approx(1.0)
+
+    def test_single_source_returns_neighbourhood(self, ba_graph):
+        result = extract_connection_subgraph(ba_graph, [0], budget=15)
+        assert result.subgraph.has_node(0)
+        assert 1 <= result.num_nodes <= 15
+
+    def test_duplicate_sources_deduplicated(self, ba_graph):
+        result = extract_connection_subgraph(ba_graph, [0, 0, 7], budget=20)
+        assert result.sources == [0, 7]
+
+    def test_disconnected_sources_still_within_budget(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        result = extract_connection_subgraph(graph, [1, 3], budget=4)
+        assert result.subgraph.has_node(1) and result.subgraph.has_node(3)
+        assert result.num_nodes <= 4
+
+    def test_caveman_extraction_crosses_ring(self):
+        graph = connected_caveman(4, 8, seed=0)
+        sources = [0, 16]  # cliques 0 and 2
+        result = extract_connection_subgraph(graph, sources, budget=20)
+        assert result.contains_all_sources()
+        assert number_weak_components(result.subgraph) == 1
+
+    def test_reduction_factor(self, ba_graph):
+        result = extract_connection_subgraph(ba_graph, [0, 100], budget=20)
+        assert result.reduction_factor(ba_graph) >= ba_graph.num_nodes / 20
+
+
+class TestExtractionValidation:
+    def test_unknown_source_raises(self, ba_graph):
+        with pytest.raises(ExtractionError):
+            extract_connection_subgraph(ba_graph, [10**9], budget=10)
+
+    def test_empty_sources_raise(self, ba_graph):
+        with pytest.raises(ExtractionError):
+            extract_connection_subgraph(ba_graph, [], budget=10)
+
+    def test_budget_smaller_than_sources_raises(self, ba_graph):
+        with pytest.raises(ExtractionError):
+            extract_connection_subgraph(ba_graph, [0, 1, 2], budget=2)
+
+
+class TestExtractionSummary:
+    def test_summary_fields(self, ba_graph):
+        result = extract_connection_subgraph(ba_graph, [0, 50, 100], budget=30)
+        summary = extraction_summary(result, ba_graph)
+        assert summary["original_nodes"] == ba_graph.num_nodes
+        assert summary["extracted_nodes"] == result.num_nodes
+        assert summary["sources_present"] == 1.0
+        assert summary["reduction_factor"] > 1.0

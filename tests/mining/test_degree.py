@@ -1,0 +1,78 @@
+"""Unit tests for degree statistics."""
+
+import pytest
+
+from repro.graph.generators import complete_graph, star_graph
+from repro.graph.graph import Graph
+from repro.mining.degree import (
+    degree_distribution,
+    degree_distribution_normalized,
+    degree_sequence,
+    degree_summary,
+    top_degree_nodes,
+)
+
+
+class TestDegreeDistribution:
+    def test_star_distribution(self):
+        graph = star_graph(6)
+        histogram = degree_distribution(graph)
+        assert histogram == {6: 1, 1: 6}
+
+    def test_complete_graph_distribution(self):
+        graph = complete_graph(5)
+        assert degree_distribution(graph) == {4: 5}
+
+    def test_normalized_sums_to_one(self, random_graph):
+        pmf = degree_distribution_normalized(random_graph)
+        assert sum(pmf.values()) == pytest.approx(1.0)
+
+    def test_normalized_empty_graph(self):
+        assert degree_distribution_normalized(Graph()) == {}
+
+    def test_degree_sequence_sorted_descending(self, random_graph):
+        sequence = degree_sequence(random_graph)
+        assert sequence == sorted(sequence, reverse=True)
+        assert len(sequence) == random_graph.num_nodes
+
+
+class TestTopDegreeNodes:
+    def test_hub_first(self):
+        graph = star_graph(8)
+        top = top_degree_nodes(graph, count=3)
+        assert top[0] == (0, 8)
+        assert len(top) == 3
+
+    def test_count_larger_than_graph(self):
+        graph = complete_graph(3)
+        assert len(top_degree_nodes(graph, count=10)) == 3
+
+
+class TestDegreeSummary:
+    def test_star_summary(self):
+        summary = degree_summary(star_graph(5))
+        assert summary.num_nodes == 6
+        assert summary.max_degree == 5
+        assert summary.min_degree == 1
+        assert summary.median_degree == 1.0
+
+    def test_even_count_median(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        summary = degree_summary(graph)
+        assert summary.median_degree == 1.0
+        assert summary.mean_degree == 1.0
+
+    def test_empty_graph_summary(self):
+        summary = degree_summary(Graph())
+        assert summary.num_nodes == 0
+        assert summary.mean_degree == 0.0
+
+    def test_as_dict_round_trip(self, random_graph):
+        payload = degree_summary(random_graph).as_dict()
+        assert payload["num_nodes"] == random_graph.num_nodes
+        assert set(payload) == {
+            "num_nodes", "num_edges", "min_degree", "max_degree",
+            "mean_degree", "median_degree",
+        }

@@ -1,0 +1,80 @@
+"""Unit tests for the delivered-current (KDD'04) pairwise baseline."""
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.graph.generators import barabasi_albert, connected_caveman, path_graph
+from repro.graph.graph import Graph
+from repro.mining.delivered_current import compute_voltages, extract_delivered_current
+
+
+class TestVoltages:
+    def test_boundary_conditions(self, caveman_graph):
+        voltages = compute_voltages(caveman_graph, 0, 30)
+        assert voltages[0] == pytest.approx(1.0)
+        assert voltages[30] == pytest.approx(0.0)
+
+    def test_all_voltages_within_unit_interval(self, caveman_graph):
+        voltages = compute_voltages(caveman_graph, 0, 30)
+        assert all(-1e-9 <= value <= 1.0 + 1e-9 for value in voltages.values())
+
+    def test_voltage_decreases_along_path(self):
+        graph = path_graph(5)
+        voltages = compute_voltages(graph, 0, 4, grounding_fraction=0.0)
+        ordered = [voltages[node] for node in range(5)]
+        assert ordered == sorted(ordered, reverse=True)
+
+    def test_same_source_and_target_raises(self, caveman_graph):
+        with pytest.raises(ExtractionError):
+            compute_voltages(caveman_graph, 3, 3)
+
+    def test_unknown_vertex_raises(self, caveman_graph):
+        with pytest.raises(ExtractionError):
+            compute_voltages(caveman_graph, 0, 10**9)
+
+
+class TestDeliveredCurrentExtraction:
+    def test_endpoints_present_and_budget_respected(self):
+        graph = barabasi_albert(300, 3, seed=30)
+        result = extract_delivered_current(graph, 0, 150, budget=25)
+        assert result.subgraph.has_node(0)
+        assert result.subgraph.has_node(150)
+        assert result.num_nodes <= 25
+
+    def test_paths_run_from_source_to_target(self):
+        graph = barabasi_albert(200, 3, seed=31)
+        result = extract_delivered_current(graph, 0, 100, budget=20)
+        for path in result.paths:
+            assert path[0] == 0
+            assert path[-1] == 100
+
+    def test_delivered_currents_are_positive_and_sorted_first_highest(self):
+        graph = barabasi_albert(200, 3, seed=32)
+        result = extract_delivered_current(graph, 0, 100, budget=20)
+        assert all(current > 0 for current in result.delivered)
+        if len(result.delivered) >= 2:
+            assert result.delivered[0] >= result.delivered[-1] * 0.01
+
+    def test_path_graph_extraction_is_the_path(self):
+        graph = path_graph(6)
+        result = extract_delivered_current(graph, 0, 5, budget=10, grounding_fraction=0.0)
+        assert set(result.subgraph.nodes()) == set(range(6))
+        assert result.paths[0] == list(range(6))
+
+    def test_disconnected_endpoints_give_trivial_result(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        result = extract_delivered_current(graph, 1, 3, budget=10)
+        assert result.subgraph.has_node(1) and result.subgraph.has_node(3)
+        assert result.paths == []
+
+    def test_too_small_budget_raises(self, caveman_graph):
+        with pytest.raises(ExtractionError):
+            extract_delivered_current(caveman_graph, 0, 30, budget=1)
+
+    def test_caveman_bridge_vertices_selected(self):
+        graph = connected_caveman(3, 6, seed=0)
+        # Sources in cliques 0 and 1; the ring edge (0, 7) is the only route.
+        result = extract_delivered_current(graph, 1, 8, budget=12)
+        assert result.subgraph.has_node(0) or result.subgraph.has_node(7)

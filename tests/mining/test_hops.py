@@ -1,0 +1,103 @@
+"""Unit tests for hop-plot and diameter estimation."""
+
+import pytest
+
+from repro.graph.generators import cycle_graph, grid_2d, path_graph, star_graph
+from repro.graph.graph import Graph
+from repro.mining.hops import (
+    average_shortest_path_length,
+    effective_diameter,
+    exact_diameter,
+    hop_histogram,
+    hop_plot,
+)
+
+
+class TestExactDiameter:
+    def test_path(self):
+        assert exact_diameter(path_graph(6)) == 5
+
+    def test_cycle(self):
+        assert exact_diameter(cycle_graph(8)) == 4
+
+    def test_grid(self):
+        assert exact_diameter(grid_2d(4, 5)) == 3 + 4
+
+    def test_star(self):
+        assert exact_diameter(star_graph(7)) == 2
+
+    def test_empty_and_singleton(self):
+        assert exact_diameter(Graph()) == 0
+        singleton = Graph()
+        singleton.add_node(1)
+        assert exact_diameter(singleton) == 0
+
+    def test_disconnected_uses_largest_reachable_distance(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        graph.add_edge(4, 5)
+        assert exact_diameter(graph) == 2
+
+
+class TestHopHistogram:
+    def test_path_counts_ordered_pairs(self):
+        histogram = hop_histogram(path_graph(4))
+        # Ordered pairs: distance 1 -> 6, distance 2 -> 4, distance 3 -> 2.
+        assert histogram == {1: 6, 2: 4, 3: 2}
+
+    def test_restricted_sources(self):
+        histogram = hop_histogram(path_graph(4), sources=[0])
+        assert histogram == {1: 1, 2: 1, 3: 1}
+
+    def test_total_pairs_on_connected_graph(self, caveman_graph):
+        histogram = hop_histogram(caveman_graph)
+        n = caveman_graph.num_nodes
+        assert sum(histogram.values()) == n * (n - 1)
+
+
+class TestEffectiveDiameter:
+    def test_at_most_exact_diameter(self, grid_graph):
+        assert effective_diameter(grid_graph) <= exact_diameter(grid_graph)
+
+    def test_monotone_in_percentile(self, grid_graph):
+        assert effective_diameter(grid_graph, 0.5) <= effective_diameter(grid_graph, 0.95)
+
+    def test_empty_graph(self):
+        assert effective_diameter(Graph()) == 0.0
+
+    def test_star_effective_diameter_close_to_two(self):
+        value = effective_diameter(star_graph(50))
+        assert 1.0 <= value <= 2.0
+
+
+class TestHopPlot:
+    def test_exact_plot_not_sampled(self, grid_graph):
+        plot = hop_plot(grid_graph)
+        assert not plot.sampled
+        assert plot.num_sources == grid_graph.num_nodes
+        assert plot.max_hop() == exact_diameter(grid_graph)
+
+    def test_sampled_plot(self, caveman_graph):
+        plot = hop_plot(caveman_graph, sample_size=5, seed=1)
+        assert plot.sampled
+        assert plot.num_sources == 5
+
+    def test_cumulative_is_monotone(self, grid_graph):
+        plot = hop_plot(grid_graph)
+        cumulative = list(plot.cumulative().values())
+        assert cumulative == sorted(cumulative)
+
+    def test_sample_larger_than_graph_is_exact(self):
+        graph = path_graph(5)
+        plot = hop_plot(graph, sample_size=50)
+        assert not plot.sampled
+
+
+class TestAveragePathLength:
+    def test_path_graph_value(self):
+        # For P3 (0-1-2): ordered pairs distances 1,1,1,1,2,2 -> mean 8/6.
+        assert average_shortest_path_length(path_graph(3)) == pytest.approx(8.0 / 6.0)
+
+    def test_empty_graph(self):
+        assert average_shortest_path_length(Graph()) == 0.0

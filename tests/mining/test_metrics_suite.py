@@ -1,0 +1,55 @@
+"""Unit tests for the bundled GMine metrics suite."""
+
+import pytest
+
+from repro.graph.generators import connected_caveman, grid_2d
+from repro.graph.graph import Graph
+from repro.mining.hops import exact_diameter
+from repro.mining.metrics_suite import compute_subgraph_metrics
+
+
+class TestMetricsSuite:
+    def test_all_five_paper_metrics_present(self, caveman_graph):
+        metrics = compute_subgraph_metrics(caveman_graph)
+        assert metrics.degree_histogram  # degree distribution
+        assert metrics.diameter > 0  # number of hops
+        assert metrics.num_weak_components == 1  # weak components
+        assert metrics.num_strong_components == 1  # strong components
+        assert metrics.pagerank  # PageRank
+
+    def test_diameter_matches_exact_computation(self, grid_graph):
+        metrics = compute_subgraph_metrics(grid_graph)
+        assert metrics.diameter == exact_diameter(grid_graph)
+
+    def test_strong_equals_weak_for_undirected_input(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        metrics = compute_subgraph_metrics(graph)
+        assert metrics.num_weak_components == metrics.num_strong_components == 2
+
+    def test_pagerank_sums_to_one(self, caveman_graph):
+        metrics = compute_subgraph_metrics(caveman_graph)
+        assert sum(metrics.pagerank.values()) == pytest.approx(1.0)
+        assert len(metrics.top_pagerank) <= 10
+
+    def test_empty_graph(self):
+        metrics = compute_subgraph_metrics(Graph())
+        assert metrics.diameter == 0
+        assert metrics.num_weak_components == 0
+        assert metrics.pagerank == {}
+
+    def test_hop_sampling_bounds_work(self):
+        graph = connected_caveman(5, 10, seed=0)
+        sampled = compute_subgraph_metrics(graph, hop_sample_size=5, seed=1)
+        exact = compute_subgraph_metrics(graph)
+        assert sampled.diameter <= exact.diameter
+        assert sampled.effective_diameter <= exact.diameter
+
+    def test_as_dict_is_json_friendly(self, caveman_graph):
+        import json
+
+        payload = compute_subgraph_metrics(caveman_graph).as_dict()
+        json.dumps(payload)  # must not raise
+        assert payload["num_weak_components"] == 1
+        assert "degree_stats" in payload

@@ -1,0 +1,73 @@
+"""Property-based tests for the mining subsystem."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.mining.components import number_weak_components, weak_components
+from repro.mining.connection_subgraph import extract_connection_subgraph
+from repro.mining.pagerank import pagerank
+from repro.mining.rwr import rwr_power_iteration
+
+
+@given(
+    n=st.integers(min_value=5, max_value=60),
+    p=st.floats(min_value=0.02, max_value=0.3),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_weak_components_partition_the_vertex_set(n, p, seed):
+    graph = erdos_renyi(n, p, seed=seed)
+    components = weak_components(graph)
+    flat = [node for component in components for node in component]
+    assert len(flat) == n
+    assert set(flat) == set(graph.nodes())
+
+
+@given(
+    n=st.integers(min_value=5, max_value=60),
+    p=st.floats(min_value=0.05, max_value=0.3),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=20, deadline=None)
+def test_pagerank_is_a_probability_distribution(n, p, seed):
+    graph = erdos_renyi(n, p, seed=seed)
+    scores = pagerank(graph)
+    assert abs(sum(scores.values()) - 1.0) < 1e-6
+    assert all(score >= 0 for score in scores.values())
+
+
+@given(
+    n=st.integers(min_value=10, max_value=80),
+    restart=st.floats(min_value=0.05, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=20, deadline=None)
+def test_rwr_is_a_probability_distribution_favouring_the_source(n, restart, seed):
+    graph = barabasi_albert(n, 2, seed=seed)
+    result = rwr_power_iteration(graph, [0], restart_probability=restart)
+    assert abs(sum(result.scores.values()) - 1.0) < 1e-6
+    # The source always holds at least its restart mass, so it can never drop
+    # below the uniform share.  (With a small restart probability a high-degree
+    # hub may legitimately out-score the source, so "source is the maximum" is
+    # only guaranteed for large restart probabilities.)
+    assert result.scores[0] >= restart / n
+    if restart >= 0.3:
+        assert max(result.scores, key=result.scores.get) == 0
+
+
+@given(
+    n=st.integers(min_value=20, max_value=120),
+    budget=st.integers(min_value=2, max_value=40),
+    seed=st.integers(min_value=0, max_value=300),
+)
+@settings(max_examples=15, deadline=None)
+def test_extraction_respects_budget_and_includes_sources(n, budget, seed):
+    graph = barabasi_albert(n, 2, seed=seed)
+    sources = [0, n // 2]
+    budget = max(budget, len(set(sources)))
+    result = extract_connection_subgraph(graph, sources, budget=budget)
+    assert result.num_nodes <= budget
+    assert result.contains_all_sources()
+    # The extract never contains vertices outside the original graph.
+    assert all(graph.has_node(node) for node in result.subgraph.nodes())

@@ -1,0 +1,96 @@
+"""Unit tests for PageRank (cross-validated against networkx)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.graph.generators import barabasi_albert, complete_graph, star_graph
+from repro.graph.graph import DiGraph, Graph
+from repro.mining.pagerank import pagerank, pagerank_digraph, top_pagerank_nodes
+
+
+class TestPagerankUndirected:
+    def test_scores_sum_to_one(self, random_graph):
+        scores = pagerank(random_graph)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_symmetric_graph_gives_uniform_scores(self):
+        graph = complete_graph(6)
+        scores = pagerank(graph)
+        for score in scores.values():
+            assert score == pytest.approx(1.0 / 6.0, rel=1e-6)
+
+    def test_hub_scores_highest(self):
+        graph = star_graph(10)
+        scores = pagerank(graph)
+        assert max(scores, key=scores.get) == 0
+
+    def test_matches_networkx(self):
+        graph = barabasi_albert(80, 2, seed=9)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(graph.nodes())
+        nx_graph.add_weighted_edges_from(graph.edges())
+        ours = pagerank(graph, damping=0.85, tol=1e-12)
+        reference = nx.pagerank(nx_graph, alpha=0.85, weight="weight", tol=1e-12, max_iter=500)
+        for node in graph.nodes():
+            assert ours[node] == pytest.approx(reference[node], abs=1e-6)
+
+    def test_empty_graph(self):
+        assert pagerank(Graph()) == {}
+
+    def test_isolated_vertex_gets_restart_mass(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_node(3)
+        scores = pagerank(graph)
+        assert scores[3] > 0.0
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_personalization_biases_scores(self):
+        graph = barabasi_albert(50, 2, seed=10)
+        neutral = pagerank(graph)
+        biased = pagerank(graph, personalization={0: 1.0})
+        assert biased[0] > neutral[0]
+
+    def test_non_convergence_raises(self):
+        graph = barabasi_albert(60, 2, seed=11)
+        with pytest.raises(ConvergenceError):
+            pagerank(graph, tol=1e-16, max_iter=2)
+
+
+class TestPagerankDirected:
+    def test_sink_accumulates_score(self):
+        digraph = DiGraph()
+        digraph.add_edge("a", "c")
+        digraph.add_edge("b", "c")
+        scores = pagerank_digraph(digraph)
+        assert scores["c"] > scores["a"]
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_matches_networkx_digraph(self):
+        import random
+
+        rng = random.Random(4)
+        digraph = DiGraph()
+        nx_digraph = nx.DiGraph()
+        for node in range(40):
+            digraph.add_node(node)
+            nx_digraph.add_node(node)
+        for _ in range(150):
+            u, v = rng.randrange(40), rng.randrange(40)
+            if u != v:
+                digraph.add_edge(u, v)
+                nx_digraph.add_edge(u, v)
+        ours = pagerank_digraph(digraph, tol=1e-12)
+        reference = nx.pagerank(nx_digraph, alpha=0.85, tol=1e-12, max_iter=500)
+        for node in range(40):
+            assert ours[node] == pytest.approx(reference[node], abs=1e-6)
+
+
+class TestTopPagerank:
+    def test_ordering_and_count(self, random_graph):
+        scores = pagerank(random_graph)
+        top = top_pagerank_nodes(scores, count=5)
+        assert len(top) == 5
+        values = [score for _, score in top]
+        assert values == sorted(values, reverse=True)

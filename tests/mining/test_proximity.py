@@ -1,0 +1,140 @@
+"""Unit tests for proximity queries and structural similarity baselines."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.graph.generators import barabasi_albert, connected_caveman, path_graph, star_graph
+from repro.graph.graph import Graph
+from repro.mining.proximity import (
+    adamic_adar,
+    common_neighbors,
+    jaccard_similarity,
+    pairwise_proximity_matrix,
+    proximity,
+    rank_candidates_by_proximity,
+    top_k_related,
+)
+
+
+class TestTopKRelated:
+    def test_excludes_source_and_respects_k(self, caveman_graph):
+        related = top_k_related(caveman_graph, 0, k=5)
+        assert len(related) == 5
+        assert all(node != 0 for node, _ in related)
+        scores = [score for _, score in related]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_same_clique_members_rank_first(self):
+        graph = connected_caveman(3, 8, seed=0)
+        related = top_k_related(graph, 0, k=7)
+        same_clique = sum(1 for node, _ in related if node < 8)
+        assert same_clique >= 5
+
+    def test_exclude_neighbors_surfaces_indirect_relations(self):
+        graph = path_graph(6)
+        related = top_k_related(graph, 0, k=2, exclude_neighbors=True)
+        assert related[0][0] == 2  # two hops away, strongest indirect relation
+
+    def test_invalid_k(self, caveman_graph):
+        with pytest.raises(MiningError):
+            top_k_related(caveman_graph, 0, k=0)
+
+
+class TestProximity:
+    def test_closer_vertices_score_higher(self):
+        graph = path_graph(8)
+        near = proximity(graph, 0, 1)
+        far = proximity(graph, 0, 6)
+        assert near > far
+
+    def test_symmetric_by_default(self, caveman_graph):
+        assert proximity(caveman_graph, 0, 5) == pytest.approx(
+            proximity(caveman_graph, 5, 0)
+        )
+
+    def test_asymmetric_option(self):
+        graph = star_graph(6)
+        hub_to_leaf = proximity(graph, 0, 1, symmetric=False)
+        leaf_to_hub = proximity(graph, 1, 0, symmetric=False)
+        assert leaf_to_hub > hub_to_leaf  # the leaf walker is at the hub often
+
+    def test_disconnected_vertices_have_zero_proximity(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        assert proximity(graph, 1, 3) == 0.0
+
+
+class TestPairwiseMatrix:
+    def test_all_pairs_present(self, caveman_graph):
+        vertices = [0, 10, 20, 30]
+        matrix = pairwise_proximity_matrix(caveman_graph, vertices)
+        assert len(matrix) == 6
+        for (a, b), value in matrix.items():
+            assert a in vertices and b in vertices
+            assert value >= 0.0
+
+    def test_within_clique_pairs_score_higher(self):
+        graph = connected_caveman(3, 8, seed=0)
+        matrix = pairwise_proximity_matrix(graph, [0, 1, 16])
+        assert matrix[(0, 1)] > matrix[(0, 16)]
+
+    def test_requires_two_distinct_vertices(self, caveman_graph):
+        with pytest.raises(MiningError):
+            pairwise_proximity_matrix(caveman_graph, [0, 0])
+
+
+class TestStructuralBaselines:
+    def test_common_neighbors(self):
+        graph = Graph()
+        graph.add_edge("a", "x")
+        graph.add_edge("b", "x")
+        graph.add_edge("a", "y")
+        graph.add_edge("b", "y")
+        graph.add_edge("a", "z")
+        assert set(common_neighbors(graph, "a", "b")) == {"x", "y"}
+
+    def test_jaccard(self):
+        graph = Graph()
+        graph.add_edge("a", "x")
+        graph.add_edge("b", "x")
+        graph.add_edge("a", "y")
+        assert jaccard_similarity(graph, "a", "b") == pytest.approx(0.5)
+
+    def test_jaccard_isolated(self):
+        graph = Graph()
+        graph.add_node("a")
+        graph.add_node("b")
+        assert jaccard_similarity(graph, "a", "b") == 0.0
+
+    def test_adamic_adar_prefers_low_degree_witnesses(self):
+        graph = Graph()
+        # u and v share two witnesses: one exclusive (degree 2), one hub.
+        graph.add_edge("u", "rare")
+        graph.add_edge("v", "rare")
+        graph.add_edge("u", "hub")
+        graph.add_edge("v", "hub")
+        for leaf in range(20):
+            graph.add_edge("hub", f"leaf{leaf}")
+        score = adamic_adar(graph, "u", "v")
+        import math
+
+        assert score == pytest.approx(1.0 / math.log(2) + 1.0 / math.log(22))
+
+    def test_rank_candidates(self, caveman_graph):
+        ranking = rank_candidates_by_proximity(caveman_graph, 0, [1, 30, 55])
+        assert ranking[0][0] == 1  # same clique beats other cliques
+        assert len(ranking) == 3
+
+    def test_rwr_ranking_correlates_with_structural_similarity(self):
+        graph = barabasi_albert(150, 3, seed=5)
+        source = 0
+        candidates = [node for node in graph.nodes() if node != source][:60]
+        rwr_top = {node for node, _ in
+                   rank_candidates_by_proximity(graph, source, candidates)[:10]}
+        structural = sorted(
+            candidates,
+            key=lambda node: -(jaccard_similarity(graph, source, node)
+                               + (1 if graph.has_edge(source, node) else 0)),
+        )[:10]
+        assert rwr_top & set(structural)

@@ -1,0 +1,126 @@
+"""Unit tests for random walk with restart and the goodness score."""
+
+import pytest
+
+from repro.errors import ConvergenceError, MiningError
+from repro.graph.generators import barabasi_albert, connected_caveman, path_graph
+from repro.graph.graph import Graph
+from repro.mining.rwr import (
+    goodness_scores,
+    meeting_probability,
+    per_source_rwr,
+    rwr_exact,
+    rwr_power_iteration,
+)
+
+
+class TestRWRPowerIteration:
+    def test_distribution_sums_to_one(self, caveman_graph):
+        result = rwr_power_iteration(caveman_graph, [0])
+        assert sum(result.scores.values()) == pytest.approx(1.0)
+        assert result.converged
+
+    def test_source_has_maximum_score(self, caveman_graph):
+        result = rwr_power_iteration(caveman_graph, [0], restart_probability=0.3)
+        assert max(result.scores, key=result.scores.get) == 0
+
+    def test_scores_decay_with_distance(self):
+        graph = path_graph(9)
+        result = rwr_power_iteration(graph, [0], restart_probability=0.2)
+        assert result.scores[1] > result.scores[4] > result.scores[8]
+
+    def test_nodes_in_other_components_get_zero(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        result = rwr_power_iteration(graph, [1])
+        assert result.scores[3] == pytest.approx(0.0, abs=1e-9)
+        assert result.scores[4] == pytest.approx(0.0, abs=1e-9)
+
+    def test_multi_source_restart(self, caveman_graph):
+        result = rwr_power_iteration(caveman_graph, [0, 30])
+        top_two = sorted(result.scores, key=result.scores.get, reverse=True)[:4]
+        assert 0 in top_two and 30 in top_two
+
+    def test_invalid_restart_probability(self, caveman_graph):
+        with pytest.raises(MiningError):
+            rwr_power_iteration(caveman_graph, [0], restart_probability=0.0)
+        with pytest.raises(MiningError):
+            rwr_power_iteration(caveman_graph, [0], restart_probability=1.5)
+
+    def test_missing_source_raises(self, caveman_graph):
+        with pytest.raises(MiningError):
+            rwr_power_iteration(caveman_graph, [999_999])
+
+    def test_empty_sources_raise(self, caveman_graph):
+        with pytest.raises(MiningError):
+            rwr_power_iteration(caveman_graph, [])
+
+    def test_strict_non_convergence_raises(self, caveman_graph):
+        with pytest.raises(ConvergenceError):
+            rwr_power_iteration(caveman_graph, [0], tol=1e-15, max_iter=1)
+
+    def test_lenient_non_convergence_returns_flagged_result(self, caveman_graph):
+        result = rwr_power_iteration(caveman_graph, [0], tol=1e-15, max_iter=1, strict=False)
+        assert not result.converged
+
+    def test_top_helper(self, caveman_graph):
+        result = rwr_power_iteration(caveman_graph, [0])
+        top = result.top(3)
+        assert len(top) == 3
+        assert top[0][0] == 0
+
+
+class TestRWRExact:
+    def test_matches_power_iteration(self):
+        graph = barabasi_albert(60, 2, seed=13)
+        power = rwr_power_iteration(graph, [0], restart_probability=0.15, tol=1e-12)
+        exact = rwr_exact(graph, [0], restart_probability=0.15)
+        for node in graph.nodes():
+            assert power.scores[node] == pytest.approx(exact.scores[node], abs=1e-6)
+
+    def test_distribution_sums_to_one(self, caveman_graph):
+        result = rwr_exact(caveman_graph, [5])
+        assert sum(result.scores.values()) == pytest.approx(1.0)
+
+    def test_invalid_restart(self, caveman_graph):
+        with pytest.raises(MiningError):
+            rwr_exact(caveman_graph, [0], restart_probability=1.0)
+
+
+class TestGoodness:
+    def test_per_source_runs_one_walk_per_source(self, caveman_graph):
+        results = per_source_rwr(caveman_graph, [0, 10, 20])
+        assert set(results) == {0, 10, 20}
+        for source, result in results.items():
+            assert max(result.scores, key=result.scores.get) == source
+
+    def test_goodness_normalised_to_unit_maximum(self, caveman_graph):
+        per_source = per_source_rwr(caveman_graph, [0, 10])
+        goodness = goodness_scores(caveman_graph, per_source)
+        assert max(goodness.values()) == pytest.approx(1.0)
+        assert min(goodness.values()) >= 0.0
+
+    def test_goodness_empty_input_raises(self, caveman_graph):
+        with pytest.raises(MiningError):
+            goodness_scores(caveman_graph, {})
+
+    def test_bridge_vertices_score_high(self):
+        # Two cliques joined through a single middle vertex: walks from one
+        # source in each clique must meet at the bridge.
+        graph = Graph()
+        for base in (0, 10):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    graph.add_edge(base + i, base + j)
+        graph.add_edge(0, 99)
+        graph.add_edge(99, 10)
+        goodness = meeting_probability(graph, [1, 11], restart_probability=0.2)
+        non_sources = {node: score for node, score in goodness.items() if node not in (1, 11)}
+        top = max(non_sources, key=non_sources.get)
+        # The bridge or one of its direct clique gateways must lead.
+        assert top in {99, 0, 10}
+
+    def test_meeting_probability_exact_solver(self, caveman_graph):
+        scores = meeting_probability(caveman_graph, [0, 1], solver="exact")
+        assert max(scores.values()) == pytest.approx(1.0)

@@ -1,0 +1,105 @@
+"""Unit tests for the coarsening phase."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import connected_caveman, erdos_renyi, star_graph
+from repro.graph.graph import Graph
+from repro.partition.coarsen import (
+    coarsen,
+    contract,
+    heavy_edge_matching,
+    initial_level,
+    random_matching,
+)
+
+
+class TestMatching:
+    def test_matching_is_symmetric_and_disjoint(self, caveman_graph):
+        level = initial_level(caveman_graph)
+        matching = heavy_edge_matching(caveman_graph, level.vertex_weights, random.Random(0))
+        for node, partner in matching.items():
+            assert matching[partner] == node
+            assert node != partner
+
+    def test_heavy_edge_prefers_heavier_edges(self):
+        graph = Graph()
+        graph.add_edge("a", "b", weight=1.0)
+        graph.add_edge("a", "c", weight=10.0)
+        matching = heavy_edge_matching(graph, {"a": 1.0, "b": 1.0, "c": 1.0}, random.Random(0))
+        assert matching.get("a") == "c"
+
+    def test_max_vertex_weight_respected(self):
+        graph = Graph()
+        graph.add_edge("a", "b", weight=5.0)
+        weights = {"a": 10.0, "b": 10.0}
+        matching = heavy_edge_matching(graph, weights, random.Random(0), max_vertex_weight=15.0)
+        assert matching == {}
+
+    def test_random_matching_is_valid(self, random_graph):
+        level = initial_level(random_graph)
+        matching = random_matching(random_graph, level.vertex_weights, random.Random(1))
+        for node, partner in matching.items():
+            assert matching[partner] == node
+
+
+class TestContract:
+    def test_vertex_weight_is_conserved(self, caveman_graph):
+        level = initial_level(caveman_graph)
+        matching = heavy_edge_matching(caveman_graph, level.vertex_weights, random.Random(0))
+        coarser = contract(caveman_graph, level.vertex_weights, matching)
+        assert sum(coarser.vertex_weights.values()) == pytest.approx(
+            caveman_graph.num_nodes
+        )
+
+    def test_total_crossing_weight_conserved(self):
+        # Contracting one matched pair keeps the weight of all other edges.
+        graph = Graph()
+        graph.add_edge(0, 1, weight=2.0)
+        graph.add_edge(1, 2, weight=3.0)
+        graph.add_edge(0, 2, weight=5.0)
+        matching = {0: 1, 1: 0}
+        coarser = contract(graph, {0: 1.0, 1: 1.0, 2: 1.0}, matching)
+        assert coarser.graph.num_nodes == 2
+        # Edges 1-2 and 0-2 merge into one super edge of weight 8.
+        assert coarser.graph.total_edge_weight() == pytest.approx(8.0)
+
+    def test_projection_covers_every_vertex(self, random_graph):
+        level = initial_level(random_graph)
+        matching = heavy_edge_matching(random_graph, level.vertex_weights, random.Random(2))
+        coarser = contract(random_graph, level.vertex_weights, matching)
+        assert set(coarser.projection) == set(random_graph.nodes())
+        assert set(coarser.projection.values()) == set(coarser.graph.nodes())
+
+
+class TestCoarsenPipeline:
+    def test_levels_shrink(self):
+        graph = erdos_renyi(400, 0.02, seed=5)
+        levels = coarsen(graph, target_size=50, seed=1)
+        sizes = [level.graph.num_nodes for level in levels]
+        assert sizes[0] == 400
+        assert all(later < earlier for earlier, later in zip(sizes, sizes[1:]))
+
+    def test_reaches_target_or_stalls(self):
+        graph = connected_caveman(8, 8, seed=0)
+        levels = coarsen(graph, target_size=10, seed=1)
+        assert levels[-1].graph.num_nodes <= 32  # cannot stall too early on this graph
+
+    def test_star_graph_terminates(self):
+        # A star can only shrink by one vertex per level; the stall guard
+        # must terminate coarsening rather than looping forever.
+        graph = star_graph(50)
+        levels = coarsen(graph, target_size=5, max_levels=10, seed=1)
+        assert len(levels) <= 11
+
+    def test_weight_conserved_across_all_levels(self):
+        graph = erdos_renyi(200, 0.03, seed=6)
+        levels = coarsen(graph, target_size=20, seed=2)
+        for level in levels:
+            assert sum(level.vertex_weights.values()) == pytest.approx(graph.num_nodes)
+
+    def test_random_matching_variant_runs(self):
+        graph = erdos_renyi(200, 0.03, seed=7)
+        levels = coarsen(graph, target_size=30, matching="random", seed=3)
+        assert levels[-1].graph.num_nodes < 200

@@ -1,0 +1,112 @@
+"""Unit tests for recursive hierarchical partitioning."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.generators import connected_caveman, erdos_renyi
+from repro.partition.hierarchy import (
+    flat_partition_from_hierarchy,
+    hierarchy_summary,
+    recursive_partition,
+)
+from repro.partition.kway import KWayOptions
+from repro.partition.metrics import validate_assignment
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    graph = erdos_renyi(300, 0.03, seed=40)
+    return graph, recursive_partition(
+        graph, fanout=3, levels=3, options=KWayOptions(seed=40)
+    )
+
+
+class TestRecursivePartition:
+    def test_root_holds_every_vertex(self, hierarchy):
+        graph, tree = hierarchy
+        assert set(tree.root.members) == set(graph.nodes())
+
+    def test_children_partition_parent(self, hierarchy):
+        _, tree = hierarchy
+        for node in tree.all_nodes():
+            if node.is_leaf:
+                continue
+            union = []
+            for child in node.children:
+                union.extend(child.members)
+            assert sorted(union, key=repr) == sorted(node.members, key=repr)
+            # Disjointness: total count equals union size.
+            assert len(union) == len(set(union))
+
+    def test_levels_and_fanout(self, hierarchy):
+        _, tree = hierarchy
+        assert tree.levels == 3
+        assert tree.fanout == 3
+        assert all(len(node.children) <= 3 for node in tree.all_nodes())
+
+    def test_leaf_count_matches_fanout_power(self, hierarchy):
+        _, tree = hierarchy
+        # 3-way, 3 levels -> at most 3^2 = 9 leaves (fewer only if a branch stopped early).
+        assert 1 <= len(tree.leaf_communities()) <= 9
+
+    def test_labels_follow_paper_convention(self, hierarchy):
+        _, tree = hierarchy
+        assert tree.root.label == "s0"
+        for child in tree.root.children:
+            assert child.label.startswith("s0")
+            assert len(child.label) == len(tree.root.label) + 1
+
+    def test_min_community_size_stops_recursion(self):
+        graph = connected_caveman(3, 6, seed=0)
+        tree = recursive_partition(
+            graph, fanout=2, levels=6, min_community_size=10,
+            options=KWayOptions(seed=1),
+        )
+        for leaf in tree.leaf_communities():
+            # A leaf either met the size bound or its parent could not split further.
+            assert len(leaf.members) <= 18
+
+    def test_invalid_parameters(self):
+        graph = erdos_renyi(20, 0.2, seed=1)
+        with pytest.raises(PartitionError):
+            recursive_partition(graph, fanout=1, levels=2)
+        with pytest.raises(PartitionError):
+            recursive_partition(graph, fanout=2, levels=0)
+
+    def test_custom_partition_fn(self):
+        graph = erdos_renyi(60, 0.1, seed=2)
+
+        def halves(subgraph, k):
+            nodes = list(subgraph.nodes())
+            return {node: index % k for index, node in enumerate(nodes)}
+
+        tree = recursive_partition(graph, fanout=2, levels=2, partition_fn=halves)
+        assert len(tree.root.children) == 2
+
+
+class TestHierarchyQueries:
+    def test_membership_at_level_covers_graph(self, hierarchy):
+        graph, tree = hierarchy
+        membership = tree.membership_at_level(1)
+        assert set(membership) == set(graph.nodes())
+
+    def test_flat_partition_is_valid(self, hierarchy):
+        graph, tree = hierarchy
+        flat = flat_partition_from_hierarchy(tree, 1)
+        k = len(set(flat.values()))
+        validate_assignment(graph, flat, k)
+
+    def test_summary_fields(self, hierarchy):
+        _, tree = hierarchy
+        summary = hierarchy_summary(tree)
+        assert summary["leaf_communities"] == len(tree.leaf_communities())
+        assert summary["paper_communities"] == summary["leaf_communities"] + 1
+        assert summary["min_leaf_size"] <= summary["mean_leaf_size"] <= summary["max_leaf_size"]
+
+    def test_paper_parameterisation_bookkeeping(self):
+        # fanout 5, levels 3 on a graph big enough to split fully: 25 leaves,
+        # 'paper count' 26 (the paper's 5 levels give 5^4 + 1 = 626).
+        graph = erdos_renyi(600, 0.02, seed=41)
+        tree = recursive_partition(graph, fanout=5, levels=3, options=KWayOptions(seed=41))
+        assert len(tree.leaf_communities()) == 25
+        assert tree.paper_community_count() == 26

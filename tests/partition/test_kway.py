@@ -1,0 +1,97 @@
+"""Unit tests for k-way partitioning and its baselines."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.generators import connected_caveman, erdos_renyi, grid_2d
+from repro.graph.graph import Graph
+from repro.partition.kway import KWayOptions, bfs_kway, kway_partition, random_kway
+from repro.partition.metrics import balance, edge_cut, part_sizes, validate_assignment
+
+
+class TestKWayPartition:
+    def test_all_vertices_assigned_and_valid(self, random_graph):
+        assignment = kway_partition(random_graph, 4, KWayOptions(seed=1))
+        validate_assignment(random_graph, assignment, 4)
+
+    def test_k_equal_one(self, random_graph):
+        assignment = kway_partition(random_graph, 1)
+        assert set(assignment.values()) == {0}
+
+    def test_k_two_matches_bisection_contract(self, random_graph):
+        assignment = kway_partition(random_graph, 2, KWayOptions(seed=2))
+        assert set(assignment.values()) == {0, 1}
+
+    def test_every_part_non_empty(self):
+        graph = erdos_renyi(60, 0.08, seed=30)
+        for k in (3, 5, 7):
+            assignment = kway_partition(graph, k, KWayOptions(seed=3))
+            sizes = part_sizes(assignment, k)
+            assert all(size > 0 for size in sizes), (k, sizes)
+
+    def test_balance_within_tolerance(self):
+        graph = erdos_renyi(200, 0.04, seed=31)
+        for k in (3, 5):
+            assignment = kway_partition(graph, k, KWayOptions(seed=4))
+            assert balance(assignment, k) <= 1.35
+
+    def test_recovers_caveman_communities(self):
+        graph = connected_caveman(5, 12, seed=0)
+        assignment = kway_partition(graph, 5, KWayOptions(seed=5))
+        # Ideal cut severs only the 5 ring edges; allow a little slack.
+        assert edge_cut(graph, assignment) <= 10.0
+
+    def test_beats_random_and_bfs_baselines(self):
+        graph = connected_caveman(6, 10, seed=0)
+        ours = edge_cut(graph, kway_partition(graph, 3, KWayOptions(seed=6)))
+        rand = edge_cut(graph, random_kway(graph, 3, seed=6))
+        bfs = edge_cut(graph, bfs_kway(graph, 3))
+        assert ours < rand
+        assert ours <= bfs + 1e-9
+
+    def test_deterministic_given_seed(self, random_graph):
+        a = kway_partition(random_graph, 3, KWayOptions(seed=7))
+        b = kway_partition(random_graph, 3, KWayOptions(seed=7))
+        assert a == b
+
+    def test_non_power_of_two_k(self):
+        graph = grid_2d(9, 9)
+        assignment = kway_partition(graph, 5, KWayOptions(seed=8))
+        validate_assignment(graph, assignment, 5)
+        assert balance(assignment, 5) <= 1.4
+
+    def test_invalid_k_raises(self, random_graph):
+        with pytest.raises(PartitionError):
+            kway_partition(random_graph, 0)
+
+    def test_more_parts_than_vertices_raises(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        with pytest.raises(PartitionError):
+            kway_partition(graph, 5)
+
+
+class TestBaselines:
+    def test_random_kway_balanced(self, random_graph):
+        assignment = random_kway(random_graph, 4, seed=1)
+        sizes = part_sizes(assignment, 4)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_random_kway_invalid_k(self, random_graph):
+        with pytest.raises(PartitionError):
+            random_kway(random_graph, 0)
+
+    def test_bfs_kway_covers_graph(self, caveman_graph):
+        assignment = bfs_kway(caveman_graph, 3)
+        validate_assignment(caveman_graph, assignment, 3)
+
+    def test_bfs_kway_handles_disconnected_graph(self):
+        graph = Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(10, 11)
+        graph.add_node(99)
+        assignment = bfs_kway(graph, 2)
+        assert len(assignment) == 5
+
+    def test_bfs_kway_empty_graph(self):
+        assert bfs_kway(Graph(), 3) == {}

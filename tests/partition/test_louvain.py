@@ -1,0 +1,74 @@
+"""Unit tests for Louvain modularity community detection."""
+
+import pytest
+
+from repro.graph.generators import complete_graph, connected_caveman, erdos_renyi
+from repro.graph.graph import Graph
+from repro.partition.hierarchy import recursive_partition
+from repro.partition.louvain import (
+    compare_partitions,
+    louvain_communities,
+    louvain_partition_fn,
+)
+from repro.partition.metrics import groups, modularity, validate_assignment
+
+
+class TestLouvainCommunities:
+    def test_covers_every_vertex(self, random_graph):
+        assignment = louvain_communities(random_graph, seed=1)
+        assert set(assignment) == set(random_graph.nodes())
+
+    def test_community_ids_are_dense(self, random_graph):
+        assignment = louvain_communities(random_graph, seed=1)
+        ids = set(assignment.values())
+        assert ids == set(range(len(ids)))
+
+    def test_recovers_caveman_cliques(self):
+        graph = connected_caveman(5, 8, seed=0)
+        assignment = louvain_communities(graph, seed=2)
+        # Each clique should end up in a single community.
+        for clique in range(5):
+            members = {assignment[clique * 8 + i] for i in range(8)}
+            assert len(members) == 1
+        assert modularity(graph, assignment) > 0.6
+
+    def test_positive_modularity_on_planted_structure(self):
+        graph = connected_caveman(4, 10, seed=0)
+        assignment = louvain_communities(graph, seed=3)
+        random_assignment = {node: node % 4 for node in graph.nodes()}
+        result = compare_partitions(graph, assignment, random_assignment)
+        assert result["modularity_a"] > result["modularity_b"]
+
+    def test_complete_graph_single_community(self):
+        graph = complete_graph(12)
+        assignment = louvain_communities(graph, seed=1)
+        assert len(set(assignment.values())) == 1
+
+    def test_edgeless_graph(self):
+        graph = Graph()
+        graph.add_nodes_from(range(5))
+        assignment = louvain_communities(graph, seed=1)
+        assert set(assignment.values()) == {0}
+
+    def test_deterministic_given_seed(self, random_graph):
+        assert louvain_communities(random_graph, seed=9) == louvain_communities(
+            random_graph, seed=9
+        )
+
+
+class TestLouvainPartitionFn:
+    def test_produces_exactly_k_parts(self):
+        graph = connected_caveman(6, 8, seed=0)
+        partition = louvain_partition_fn(seed=1)
+        for k in (2, 3, 4):
+            assignment = partition(graph, k)
+            validate_assignment(graph, assignment, k)
+            assert all(part for part in groups(assignment, k))
+
+    def test_plugs_into_recursive_partition(self):
+        graph = erdos_renyi(120, 0.08, seed=10)
+        hierarchy = recursive_partition(
+            graph, fanout=3, levels=3, partition_fn=louvain_partition_fn(seed=4)
+        )
+        assert set(hierarchy.root.members) == set(graph.nodes())
+        assert 1 <= len(hierarchy.root.children) <= 3

@@ -1,0 +1,117 @@
+"""Unit tests for partition quality metrics."""
+
+import pytest
+
+from repro.errors import InvalidPartitionError
+from repro.graph.generators import complete_graph, connected_caveman
+from repro.graph.graph import Graph
+from repro.partition.metrics import (
+    assignment_from_groups,
+    balance,
+    cut_ratio,
+    edge_cut,
+    edge_cut_count,
+    groups,
+    modularity,
+    part_sizes,
+    part_weights,
+    validate_assignment,
+)
+
+
+@pytest.fixture
+def square_graph():
+    graph = Graph()
+    graph.add_edge(0, 1, weight=1.0)
+    graph.add_edge(1, 2, weight=2.0)
+    graph.add_edge(2, 3, weight=3.0)
+    graph.add_edge(3, 0, weight=4.0)
+    return graph
+
+
+class TestEdgeCut:
+    def test_cut_of_perfect_split(self, square_graph):
+        assignment = {0: 0, 1: 0, 2: 1, 3: 1}
+        assert edge_cut(square_graph, assignment) == pytest.approx(2.0 + 4.0)
+        assert edge_cut_count(square_graph, assignment) == 2
+
+    def test_cut_of_single_part_is_zero(self, square_graph):
+        assignment = {node: 0 for node in square_graph.nodes()}
+        assert edge_cut(square_graph, assignment) == 0.0
+
+    def test_cut_ratio(self, square_graph):
+        assignment = {0: 0, 1: 0, 2: 1, 3: 1}
+        assert cut_ratio(square_graph, assignment) == pytest.approx(6.0 / 10.0)
+
+    def test_cut_ratio_empty_graph(self):
+        graph = Graph()
+        graph.add_node(1)
+        assert cut_ratio(graph, {1: 0}) == 0.0
+
+
+class TestBalanceAndSizes:
+    def test_part_sizes(self):
+        assignment = {0: 0, 1: 0, 2: 1, 3: 2}
+        assert part_sizes(assignment, 3) == [2, 1, 1]
+
+    def test_part_weights_with_vertex_weights(self):
+        assignment = {0: 0, 1: 1}
+        weights = part_weights(assignment, 2, vertex_weights={0: 3.0, 1: 1.0})
+        assert weights == [3.0, 1.0]
+
+    def test_balance_perfect(self):
+        assignment = {0: 0, 1: 0, 2: 1, 3: 1}
+        assert balance(assignment, 2) == pytest.approx(1.0)
+
+    def test_balance_skewed(self):
+        assignment = {0: 0, 1: 0, 2: 0, 3: 1}
+        assert balance(assignment, 2) == pytest.approx(1.5)
+
+    def test_balance_empty(self):
+        assert balance({}, 3) == 0.0
+
+
+class TestGroupConversions:
+    def test_groups_and_back(self):
+        assignment = {0: 1, 1: 0, 2: 1}
+        parts = groups(assignment, 2)
+        assert sorted(parts[1]) == [0, 2]
+        assert assignment_from_groups(parts) == assignment
+
+    def test_duplicate_membership_rejected(self):
+        with pytest.raises(InvalidPartitionError):
+            assignment_from_groups([[1, 2], [2, 3]])
+
+
+class TestValidateAssignment:
+    def test_valid(self, square_graph):
+        validate_assignment(square_graph, {0: 0, 1: 0, 2: 1, 3: 1}, 2)
+
+    def test_missing_vertex(self, square_graph):
+        with pytest.raises(InvalidPartitionError, match="missing"):
+            validate_assignment(square_graph, {0: 0, 1: 0, 2: 1}, 2)
+
+    def test_out_of_range_part(self, square_graph):
+        with pytest.raises(InvalidPartitionError, match="out of range"):
+            validate_assignment(square_graph, {0: 0, 1: 0, 2: 1, 3: 5}, 2)
+
+    def test_bad_k(self, square_graph):
+        with pytest.raises(InvalidPartitionError):
+            validate_assignment(square_graph, {}, 0)
+
+
+class TestModularity:
+    def test_planted_communities_have_positive_modularity(self):
+        graph = connected_caveman(4, 6, seed=0)
+        assignment = {node: node // 6 for node in graph.nodes()}
+        assert modularity(graph, assignment) > 0.5
+
+    def test_single_part_modularity_is_zero(self):
+        graph = complete_graph(5)
+        assignment = {node: 0 for node in graph.nodes()}
+        assert modularity(graph, assignment) == pytest.approx(0.0)
+
+    def test_empty_graph_modularity(self):
+        graph = Graph()
+        graph.add_node(1)
+        assert modularity(graph, {1: 0}) == 0.0

@@ -1,0 +1,96 @@
+"""Unit tests for the multilevel bisection driver."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.generators import connected_caveman, erdos_renyi, grid_2d, star_graph
+from repro.graph.graph import Graph
+from repro.partition.metrics import balance, edge_cut
+from repro.partition.multilevel import (
+    BisectionOptions,
+    bisection_cut,
+    multilevel_bisection,
+    random_bisection,
+)
+
+
+class TestMultilevelBisection:
+    def test_every_vertex_assigned_to_two_parts(self, random_graph):
+        assignment = multilevel_bisection(random_graph, BisectionOptions(seed=1))
+        assert set(assignment) == set(random_graph.nodes())
+        assert set(assignment.values()) == {0, 1}
+
+    def test_balanced(self, random_graph):
+        assignment = multilevel_bisection(random_graph, BisectionOptions(seed=1))
+        assert balance(assignment, 2) <= 1.15
+
+    def test_recovers_two_cliques(self):
+        graph = connected_caveman(2, 20, seed=0)
+        assignment = multilevel_bisection(graph, BisectionOptions(seed=2))
+        assert edge_cut(graph, assignment) <= 2.0
+
+    def test_beats_random_baseline(self):
+        graph = connected_caveman(4, 12, seed=0)
+        options = BisectionOptions(seed=3)
+        ours = edge_cut(graph, multilevel_bisection(graph, options))
+        baseline = edge_cut(graph, random_bisection(graph, seed=3))
+        assert ours < baseline
+
+    def test_grid_cut_is_near_optimal(self):
+        graph = grid_2d(10, 10)
+        assignment = multilevel_bisection(graph, BisectionOptions(seed=4))
+        # Optimal bisection of a 10x10 grid cuts 10 edges; allow 2x slack.
+        assert edge_cut(graph, assignment) <= 20
+
+    def test_deterministic_given_seed(self, random_graph):
+        a = multilevel_bisection(random_graph, BisectionOptions(seed=5))
+        b = multilevel_bisection(random_graph, BisectionOptions(seed=5))
+        assert a == b
+
+    def test_two_vertex_graph(self):
+        graph = Graph()
+        graph.add_edge("x", "y")
+        assignment = multilevel_bisection(graph)
+        assert sorted(assignment.values()) == [0, 1]
+
+    def test_too_small_graph_raises(self):
+        graph = Graph()
+        graph.add_node(1)
+        with pytest.raises(PartitionError):
+            multilevel_bisection(graph)
+
+    def test_star_graph_does_not_hang(self):
+        graph = star_graph(60)
+        assignment = multilevel_bisection(graph, BisectionOptions(seed=6))
+        assert set(assignment.values()) == {0, 1}
+
+    def test_coarsening_disabled_still_works(self):
+        graph = erdos_renyi(80, 0.08, seed=20)
+        options = BisectionOptions(seed=1, coarsen_enabled=False)
+        assignment = multilevel_bisection(graph, options)
+        assert set(assignment.values()) == {0, 1}
+
+    def test_refinement_disabled_still_valid(self):
+        graph = erdos_renyi(80, 0.08, seed=21)
+        options = BisectionOptions(seed=1, refine=False)
+        assignment = multilevel_bisection(graph, options)
+        assert set(assignment) == set(graph.nodes())
+
+    def test_unbalanced_target_fraction(self):
+        graph = erdos_renyi(100, 0.06, seed=22)
+        options = BisectionOptions(seed=2, target_fraction=0.3)
+        assignment = multilevel_bisection(graph, options)
+        share = sum(1 for part in assignment.values() if part == 0) / graph.num_nodes
+        assert 0.2 <= share <= 0.42
+
+    def test_bisection_cut_helper(self):
+        graph = connected_caveman(2, 10, seed=0)
+        assert bisection_cut(graph, BisectionOptions(seed=0)) <= 2.0
+
+
+class TestRandomBisection:
+    def test_balanced_and_total(self, random_graph):
+        assignment = random_bisection(random_graph, seed=9)
+        assert len(assignment) == random_graph.num_nodes
+        sizes = [list(assignment.values()).count(part) for part in (0, 1)]
+        assert abs(sizes[0] - sizes[1]) <= 1

@@ -1,0 +1,54 @@
+"""Property-based tests for the partitioning subsystem."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi
+from repro.partition.kway import KWayOptions, kway_partition
+from repro.partition.metrics import balance, edge_cut, part_sizes
+from repro.partition.multilevel import BisectionOptions, multilevel_bisection
+from repro.partition.refine import fm_refine_bisection
+
+
+@given(
+    n=st.integers(min_value=8, max_value=80),
+    p=st.floats(min_value=0.05, max_value=0.3),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_bisection_always_covers_and_balances(n, p, seed):
+    graph = erdos_renyi(n, p, seed=seed)
+    assignment = multilevel_bisection(graph, BisectionOptions(seed=seed))
+    assert set(assignment) == set(graph.nodes())
+    assert set(assignment.values()) <= {0, 1}
+    assert balance(assignment, 2) <= 1.4
+
+
+@given(
+    n=st.integers(min_value=12, max_value=70),
+    k=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=25, deadline=None)
+def test_kway_partition_invariants(n, k, seed):
+    graph = erdos_renyi(n, 0.15, seed=seed)
+    assignment = kway_partition(graph, k, KWayOptions(seed=seed))
+    # Cover, range, non-empty parts.
+    assert set(assignment) == set(graph.nodes())
+    sizes = part_sizes(assignment, k)
+    assert sum(sizes) == n
+    assert all(size > 0 for size in sizes)
+
+
+@given(
+    n=st.integers(min_value=10, max_value=60),
+    p=st.floats(min_value=0.1, max_value=0.4),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=25, deadline=None)
+def test_fm_refinement_never_worsens_the_cut(n, p, seed):
+    graph = erdos_renyi(n, p, seed=seed)
+    nodes = list(graph.nodes())
+    start = {node: (0 if index < n // 2 else 1) for index, node in enumerate(nodes)}
+    refined = fm_refine_bisection(graph, start, {node: 1.0 for node in nodes})
+    assert edge_cut(graph, refined) <= edge_cut(graph, start) + 1e-9

@@ -1,0 +1,89 @@
+"""Unit tests for FM bisection refinement and greedy k-way refinement."""
+
+import pytest
+
+from repro.graph.generators import connected_caveman, erdos_renyi
+from repro.graph.graph import Graph
+from repro.partition.kway import random_kway
+from repro.partition.metrics import balance, edge_cut
+from repro.partition.multilevel import random_bisection
+from repro.partition.refine import fm_refine_bisection, greedy_kway_refine
+
+
+def unit_weights(graph):
+    return {node: 1.0 for node in graph.nodes()}
+
+
+class TestFMRefine:
+    def test_never_increases_cut(self):
+        graph = erdos_renyi(120, 0.06, seed=11)
+        start = random_bisection(graph, seed=0)
+        refined = fm_refine_bisection(graph, start, unit_weights(graph))
+        assert edge_cut(graph, refined) <= edge_cut(graph, start)
+
+    def test_substantially_improves_random_split_on_caveman(self):
+        graph = connected_caveman(2, 15, seed=0)
+        start = random_bisection(graph, seed=1)
+        refined = fm_refine_bisection(graph, start, unit_weights(graph))
+        assert edge_cut(graph, refined) < edge_cut(graph, start)
+
+    def test_does_not_mutate_input(self):
+        graph = erdos_renyi(50, 0.1, seed=12)
+        start = random_bisection(graph, seed=2)
+        snapshot = dict(start)
+        fm_refine_bisection(graph, start, unit_weights(graph))
+        assert start == snapshot
+
+    def test_balance_respected(self):
+        graph = erdos_renyi(100, 0.08, seed=13)
+        start = random_bisection(graph, seed=3)
+        refined = fm_refine_bisection(
+            graph, start, unit_weights(graph), balance_tolerance=1.1
+        )
+        assert balance(refined, 2) <= 1.15
+
+    def test_already_optimal_partition_untouched(self):
+        # Two disjoint cliques, perfectly split: the cut is zero and must stay zero.
+        graph = Graph()
+        for base in (0, 10):
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    graph.add_edge(base + i, base + j)
+        start = {node: 0 if node < 10 else 1 for node in graph.nodes()}
+        refined = fm_refine_bisection(graph, start, unit_weights(graph))
+        assert edge_cut(graph, refined) == 0.0
+
+    def test_respects_target_fraction(self):
+        graph = erdos_renyi(90, 0.08, seed=14)
+        start = {node: (0 if index < 30 else 1) for index, node in enumerate(graph.nodes())}
+        refined = fm_refine_bisection(
+            graph, start, unit_weights(graph), target_fraction=1.0 / 3.0
+        )
+        size0 = sum(1 for part in refined.values() if part == 0)
+        assert size0 <= 0.40 * graph.num_nodes
+
+
+class TestGreedyKWayRefine:
+    def test_never_increases_cut(self):
+        graph = erdos_renyi(150, 0.05, seed=15)
+        start = random_kway(graph, 4, seed=0)
+        refined = greedy_kway_refine(graph, start, 4)
+        assert edge_cut(graph, refined) <= edge_cut(graph, start)
+
+    def test_part_ids_stay_in_range(self):
+        graph = erdos_renyi(80, 0.08, seed=16)
+        refined = greedy_kway_refine(graph, random_kway(graph, 3, seed=1), 3)
+        assert set(refined.values()) <= {0, 1, 2}
+
+    def test_balance_tolerance_respected(self):
+        graph = connected_caveman(6, 8, seed=0)
+        start = random_kway(graph, 3, seed=2)
+        refined = greedy_kway_refine(graph, start, 3, balance_tolerance=1.1)
+        assert balance(refined, 3) <= 1.25  # small slack for integer rounding
+
+    def test_input_not_mutated(self):
+        graph = erdos_renyi(60, 0.1, seed=17)
+        start = random_kway(graph, 3, seed=3)
+        snapshot = dict(start)
+        greedy_kway_refine(graph, start, 3)
+        assert start == snapshot

@@ -1,0 +1,122 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer_pool import BufferPool
+
+
+class TestBufferPoolBasics:
+    def test_put_get(self):
+        pool = BufferPool(capacity=2)
+        pool.put("a", 1)
+        assert pool.get("a") == 1
+        assert "a" in pool
+        assert len(pool) == 1
+
+    def test_get_miss_without_loader_raises(self):
+        pool = BufferPool(capacity=2)
+        with pytest.raises(KeyError):
+            pool.get("missing")
+
+    def test_loader_called_once_then_cached(self):
+        pool = BufferPool(capacity=2)
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return "value"
+
+        assert pool.get("k", loader) == "value"
+        assert pool.get("k", loader) == "value"
+        assert len(calls) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(StorageError):
+            BufferPool(capacity=0)
+
+
+class TestEvictionPolicy:
+    def test_lru_eviction_order(self):
+        pool = BufferPool(capacity=2)
+        pool.put("a", 1)
+        pool.put("b", 2)
+        pool.get("a")          # refresh "a"; "b" becomes LRU
+        pool.put("c", 3)
+        assert "a" in pool
+        assert "b" not in pool
+        assert pool.stats.evictions == 1
+
+    def test_put_refresh_does_not_evict(self):
+        pool = BufferPool(capacity=2)
+        pool.put("a", 1)
+        pool.put("b", 2)
+        pool.put("a", 10)
+        assert len(pool) == 2
+        assert pool.get("a") == 10
+
+    def test_hit_and_miss_statistics(self):
+        pool = BufferPool(capacity=4)
+        pool.put("a", 1)
+        pool.get("a")
+        pool.get("b", lambda: 2)
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+        assert pool.stats.hit_rate == pytest.approx(0.5)
+        assert pool.stats.accesses == 2
+
+    def test_hit_rate_when_unused(self):
+        assert BufferPool(capacity=1).stats.hit_rate == 0.0
+
+
+class TestPinning:
+    def test_pinned_entries_survive_eviction(self):
+        pool = BufferPool(capacity=2)
+        pool.put("focus", 1)
+        pool.pin("focus")
+        pool.put("b", 2)
+        pool.put("c", 3)  # evicts "b", not the pinned "focus"
+        assert "focus" in pool
+        assert "b" not in pool
+
+    def test_pin_missing_key_raises(self):
+        pool = BufferPool(capacity=2)
+        with pytest.raises(KeyError):
+            pool.pin("nope")
+
+    def test_unpin_allows_eviction_again(self):
+        pool = BufferPool(capacity=1)
+        pool.put("a", 1)
+        pool.pin("a")
+        pool.unpin("a")
+        pool.put("b", 2)
+        assert "a" not in pool
+
+    def test_reference_counted_pins(self):
+        pool = BufferPool(capacity=1)
+        pool.put("a", 1)
+        pool.pin("a")
+        pool.pin("a")
+        pool.unpin("a")
+        assert pool.is_pinned("a")
+        pool.unpin("a")
+        assert not pool.is_pinned("a")
+
+    def test_all_pinned_and_full_raises(self):
+        pool = BufferPool(capacity=1)
+        pool.put("a", 1)
+        pool.pin("a")
+        with pytest.raises(StorageError):
+            pool.put("b", 2)
+
+    def test_invalidate_and_clear(self):
+        pool = BufferPool(capacity=3)
+        pool.put("a", 1)
+        pool.pin("a")
+        pool.invalidate("a")
+        assert "a" not in pool
+        assert not pool.is_pinned("a")
+        pool.put("b", 2)
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.resident_keys() == []

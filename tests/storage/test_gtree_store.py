@@ -1,0 +1,121 @@
+"""Unit tests for the single-file G-Tree store with lazy loading."""
+
+import pytest
+
+from repro.core.builder import GTreeBuildOptions, GTreeBuilder, build_gtree
+from repro.errors import StorageError
+from repro.graph.generators import erdos_renyi
+from repro.graph.validation import graphs_equal
+from repro.storage.gtree_store import GTreeStore, load_gtree_fully, save_gtree
+
+
+@pytest.fixture(scope="module")
+def stored_tree(tmp_path_factory, dblp_dataset, dblp_gtree):
+    path = tmp_path_factory.mktemp("store") / "dblp.gtree"
+    save_gtree(dblp_gtree, path)
+    return path, dblp_gtree
+
+
+class TestSaveLoadSkeleton:
+    def test_skeleton_matches_original(self, stored_tree):
+        path, original = stored_tree
+        with GTreeStore(path) as store:
+            loaded = store.tree
+            assert loaded.num_tree_nodes == original.num_tree_nodes
+            assert loaded.num_leaves == original.num_leaves
+            assert loaded.depth() == original.depth()
+            for node in original.nodes():
+                counterpart = loaded.node(node.node_id)
+                assert counterpart.label == node.label
+                assert counterpart.level == node.level
+                assert counterpart.parent_id == node.parent_id
+                assert counterpart.children == node.children
+                assert set(counterpart.members) == set(node.members)
+
+    def test_connectivity_edges_preserved(self, stored_tree):
+        path, original = stored_tree
+        with GTreeStore(path) as store:
+            for node in original.nodes():
+                loaded_edges = store.tree.node(node.node_id).connectivity
+                assert len(loaded_edges) == len(node.connectivity)
+                for stored, orig in zip(loaded_edges, node.connectivity):
+                    assert (stored.source, stored.target) == (orig.source, orig.target)
+                    assert stored.edge_count == orig.edge_count
+                    assert stored.total_weight == pytest.approx(orig.total_weight)
+
+    def test_loaded_tree_validates(self, stored_tree):
+        path, _ = stored_tree
+        with GTreeStore(path) as store:
+            assert store.tree.validate() == []
+
+    def test_save_requires_leaf_subgraphs(self, tmp_path):
+        graph = erdos_renyi(60, 0.1, seed=70)
+        options = GTreeBuildOptions(fanout=2, levels=2, seed=1, attach_leaf_subgraphs=False)
+        tree = GTreeBuilder(options).build(graph)
+        with pytest.raises(StorageError):
+            save_gtree(tree, tmp_path / "bad.gtree")
+
+
+class TestLazyLoading:
+    def test_leaf_subgraph_round_trip(self, stored_tree):
+        path, original = stored_tree
+        with GTreeStore(path) as store:
+            for leaf in original.leaves()[:4]:
+                loaded = store.load_leaf_subgraph(leaf.node_id)
+                assert graphs_equal(loaded, leaf.subgraph)
+
+    def test_node_attributes_survive_round_trip(self, stored_tree, dblp_dataset):
+        path, original = stored_tree
+        with GTreeStore(path) as store:
+            leaf = original.leaves()[0]
+            loaded = store.load_leaf_subgraph(leaf.node_id)
+            member = leaf.members[0]
+            assert loaded.get_node_attr(member, "name") == dblp_dataset.name_of(member)
+
+    def test_only_requested_leaves_are_loaded(self, stored_tree):
+        path, original = stored_tree
+        with GTreeStore(path, cache_capacity=4) as store:
+            store.load_leaf_subgraph(original.leaves()[0].node_id)
+            assert store.stats.leaves_loaded == 1
+            assert store.resident_leaf_count() == 1
+
+    def test_cache_hit_avoids_second_read(self, stored_tree):
+        path, original = stored_tree
+        with GTreeStore(path) as store:
+            leaf_id = original.leaves()[0].node_id
+            store.load_leaf_subgraph(leaf_id)
+            pages_after_first = store.stats.pager.pages_read
+            store.load_leaf_subgraph(leaf_id)
+            assert store.stats.pager.pages_read == pages_after_first
+            assert store.stats.buffer_pool.hits == 1
+
+    def test_cache_capacity_bounds_residency(self, stored_tree):
+        path, original = stored_tree
+        with GTreeStore(path, cache_capacity=2) as store:
+            for leaf in original.leaves()[:5]:
+                store.load_leaf_subgraph(leaf.node_id)
+            assert store.resident_leaf_count() <= 2
+            assert store.stats.leaves_loaded == 5
+
+    def test_loading_internal_node_raises(self, stored_tree):
+        path, original = stored_tree
+        with GTreeStore(path) as store:
+            with pytest.raises(StorageError):
+                store.load_leaf_subgraph(original.root.node_id)
+
+    def test_is_resident(self, stored_tree):
+        path, original = stored_tree
+        with GTreeStore(path) as store:
+            leaf_id = original.leaves()[0].node_id
+            assert not store.is_resident(leaf_id)
+            store.load_leaf_subgraph(leaf_id)
+            assert store.is_resident(leaf_id)
+
+
+class TestEagerLoad:
+    def test_load_gtree_fully_attaches_every_leaf(self, stored_tree):
+        path, original = stored_tree
+        tree = load_gtree_fully(path)
+        assert all(leaf.subgraph is not None for leaf in tree.leaves())
+        total = sum(leaf.subgraph.num_nodes for leaf in tree.leaves())
+        assert total == original.num_graph_vertices()

@@ -1,0 +1,144 @@
+"""Unit tests for the fixed-size page manager."""
+
+import pytest
+
+from repro.errors import CorruptStoreError, PageError
+from repro.storage.pager import NO_NEXT_PAGE, Pager
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return tmp_path / "pages.bin"
+
+
+class TestPagerLifecycle:
+    def test_create_and_reopen(self, store_path):
+        with Pager(store_path, create=True) as pager:
+            pager.allocate_page()  # page 0 (header convention)
+            pager.allocate_page()  # page 1
+            pager.write_page(1, b"hello", next_page=NO_NEXT_PAGE)
+        with Pager(store_path, read_only=True) as pager:
+            payload, next_page = pager.read_page(1)
+            assert payload == b"hello"
+            assert next_page == NO_NEXT_PAGE
+
+    def test_open_missing_file_raises(self, store_path):
+        with pytest.raises(PageError):
+            Pager(store_path)
+
+    def test_create_read_only_rejected(self, store_path):
+        with pytest.raises(PageError):
+            Pager(store_path, create=True, read_only=True)
+
+    def test_too_small_page_size_rejected(self, store_path):
+        with pytest.raises(PageError):
+            Pager(store_path, page_size=8, create=True)
+
+    def test_write_on_read_only_rejected(self, store_path):
+        with Pager(store_path, create=True) as pager:
+            pager.allocate_page()
+            pager.allocate_page()
+            pager.write_page(1, b"x")
+        with Pager(store_path, read_only=True) as pager:
+            with pytest.raises(PageError):
+                pager.allocate_page()
+
+
+class TestPageIO:
+    def test_payload_too_large_rejected(self, store_path):
+        with Pager(store_path, page_size=64, create=True) as pager:
+            pager.allocate_page()
+            pager.allocate_page()
+            with pytest.raises(PageError):
+                pager.write_page(1, b"x" * 64)
+
+    def test_unallocated_page_write_rejected(self, store_path):
+        with Pager(store_path, create=True) as pager:
+            with pytest.raises(PageError):
+                pager.write_page(5, b"x")
+
+    def test_out_of_range_read_rejected(self, store_path):
+        with Pager(store_path, create=True) as pager:
+            with pytest.raises(PageError):
+                pager.read_page(3)
+
+    def test_stats_track_io(self, store_path):
+        with Pager(store_path, create=True) as pager:
+            pager.allocate_page()
+            pager.allocate_page()
+            pager.write_page(1, b"abc")
+            pager.read_page(1)
+            assert pager.stats.pages_written == 1
+            assert pager.stats.pages_read == 1
+            assert pager.stats.bytes_written == pager.page_size
+            pager.stats.reset()
+            assert pager.stats.pages_read == 0
+
+
+class TestBlobs:
+    def test_small_blob_round_trip(self, store_path):
+        with Pager(store_path, create=True) as pager:
+            first = pager.write_blob(b"small payload")
+            assert pager.read_blob(first) == b"small payload"
+
+    def test_multi_page_blob_round_trip(self, store_path):
+        payload = bytes(range(256)) * 100  # ~25 KiB across several 4 KiB pages
+        with Pager(store_path, create=True) as pager:
+            first = pager.write_blob(payload)
+            assert pager.read_blob(first) == payload
+            assert pager.num_pages > len(payload) // pager.page_size
+
+    def test_empty_blob(self, store_path):
+        with Pager(store_path, create=True) as pager:
+            first = pager.write_blob(b"")
+            assert pager.read_blob(first) == b""
+
+    def test_many_blobs_interleaved(self, store_path):
+        blobs = [bytes([i]) * (i * 37) for i in range(1, 30)]
+        with Pager(store_path, create=True) as pager:
+            firsts = [pager.write_blob(blob) for blob in blobs]
+            for first, blob in zip(firsts, blobs):
+                assert pager.read_blob(first) == blob
+
+
+class TestCorruptionDetection:
+    def test_flipped_byte_detected(self, store_path):
+        with Pager(store_path, create=True) as pager:
+            pager.allocate_page()
+            pager.allocate_page()
+            pager.write_page(1, b"important data")
+            page_size = pager.page_size
+        # Corrupt one payload byte on disk.
+        raw = bytearray(store_path.read_bytes())
+        raw[page_size + 20] ^= 0xFF
+        store_path.write_bytes(bytes(raw))
+        with Pager(store_path, read_only=True) as pager:
+            with pytest.raises(CorruptStoreError):
+                pager.read_page(1)
+
+    def test_truncated_file_detected(self, store_path):
+        with Pager(store_path, create=True) as pager:
+            pager.allocate_page()
+            pager.allocate_page()
+            pager.write_page(1, b"data")
+        raw = store_path.read_bytes()
+        store_path.write_bytes(raw[: len(raw) // 2])
+        with Pager(store_path, read_only=True) as pager:
+            with pytest.raises((CorruptStoreError, PageError)):
+                pager.read_page(1)
+
+    def test_header_page_id_mismatch_detected(self, store_path):
+        with Pager(store_path, create=True) as pager:
+            pager.allocate_page()
+            pager.allocate_page()
+            pager.allocate_page()
+            pager.write_page(1, b"one")
+            pager.write_page(2, b"two")
+            page_size = pager.page_size
+        raw = bytearray(store_path.read_bytes())
+        # Copy page 2's bytes over page 1 — the stored page id will not match.
+        raw[page_size:2 * page_size] = raw[2 * page_size:3 * page_size]
+        store_path.write_bytes(bytes(raw))
+        with Pager(store_path, read_only=True) as pager:
+            with pytest.raises(CorruptStoreError):
+                pager.read_page(1)

@@ -1,0 +1,158 @@
+"""Unit tests for the binary serializer."""
+
+import pytest
+
+from repro.errors import CorruptStoreError, StorageError
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph
+from repro.graph.validation import graphs_equal
+from repro.storage.serializer import (
+    decode_float,
+    decode_graph,
+    decode_node_id,
+    decode_record,
+    decode_signed,
+    decode_string,
+    decode_varint,
+    encode_float,
+    encode_graph,
+    encode_node_id,
+    encode_record,
+    encode_signed,
+    encode_string,
+    encode_varint,
+    frame,
+    unframe,
+)
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**20, 2**40])
+    def test_varint_round_trip(self, value):
+        data = encode_varint(value)
+        decoded, offset = decode_varint(data, 0)
+        assert decoded == value
+        assert offset == len(data)
+
+    def test_varint_rejects_negative(self):
+        with pytest.raises(StorageError):
+            encode_varint(-1)
+
+    def test_varint_truncated(self):
+        with pytest.raises(CorruptStoreError):
+            decode_varint(b"\x80", 0)  # continuation bit set, nothing follows
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 100, -100, 2**31, -(2**31)])
+    def test_signed_round_trip(self, value):
+        data = encode_signed(value)
+        decoded, _ = decode_signed(data, 0)
+        assert decoded == value
+
+    @pytest.mark.parametrize("value", ["", "plain", "Jiawei Han", "ünïcødé ✓"])
+    def test_string_round_trip(self, value):
+        data = encode_string(value)
+        decoded, offset = decode_string(data, 0)
+        assert decoded == value
+        assert offset == len(data)
+
+    def test_string_truncated(self):
+        data = encode_string("hello")[:-2]
+        with pytest.raises(CorruptStoreError):
+            decode_string(data, 0)
+
+    @pytest.mark.parametrize("value", [0.0, 1.5, -2.25, 1e-12, 1e300])
+    def test_float_round_trip(self, value):
+        decoded, _ = decode_float(encode_float(value), 0)
+        assert decoded == value
+
+    @pytest.mark.parametrize("node", [0, -5, 123456, "author-x", ""])
+    def test_node_id_round_trip(self, node):
+        decoded, _ = decode_node_id(encode_node_id(node), 0)
+        assert decoded == node
+
+    def test_node_id_rejects_unsupported_types(self):
+        with pytest.raises(StorageError):
+            encode_node_id((1, 2))
+        with pytest.raises(StorageError):
+            encode_node_id(True)
+
+    def test_node_id_unknown_tag(self):
+        with pytest.raises(CorruptStoreError):
+            decode_node_id(b"\x07abc", 0)
+
+
+class TestRecords:
+    def test_round_trip_mixed_fields(self):
+        record = {"id": 7, "weight": 2.5, "label": "s034", "members": [1, 2, "x"]}
+        decoded, _ = decode_record(encode_record(record))
+        assert decoded == record
+
+    def test_rejects_unsupported_value(self):
+        with pytest.raises(StorageError):
+            encode_record({"bad": {"nested": "dict"}})
+        with pytest.raises(StorageError):
+            encode_record({"flag": True})
+
+    def test_unknown_field_kind(self):
+        data = encode_varint(1) + encode_string("k") + b"?" + b"rest"
+        with pytest.raises(CorruptStoreError):
+            decode_record(data)
+
+
+class TestGraphPayload:
+    def test_round_trip_structure_and_attrs(self):
+        graph = Graph(name="payload")
+        graph.add_node(1, name="Ada", papers=12)
+        graph.add_node(2, name="Bob")
+        graph.add_edge(1, 2, weight=3.5)
+        decoded = decode_graph(encode_graph(graph))
+        assert graphs_equal(graph, decoded)
+        assert decoded.get_node_attr(1, "name") == "Ada"
+        assert decoded.get_node_attr(1, "papers") == 12.0
+
+    def test_round_trip_random_graph(self):
+        graph = erdos_renyi(120, 0.05, seed=61)
+        decoded = decode_graph(encode_graph(graph))
+        assert graphs_equal(graph, decoded)
+
+    def test_trailing_bytes_detected(self):
+        graph = Graph(name="x")
+        graph.add_edge(1, 2)
+        data = encode_graph(graph) + b"\x00garbage"
+        with pytest.raises(CorruptStoreError):
+            decode_graph(data)
+
+    def test_wrong_version_detected(self):
+        graph = Graph(name="x")
+        payload = bytearray(encode_graph(graph))
+        payload[0] = 99  # version byte
+        with pytest.raises(CorruptStoreError):
+            decode_graph(bytes(payload))
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        payload = b"hello world" * 10
+        data = frame(payload)
+        recovered, offset = unframe(data)
+        assert recovered == payload
+        assert offset == len(data)
+
+    def test_checksum_mismatch_detected(self):
+        data = bytearray(frame(b"hello world"))
+        data[5] ^= 0xFF
+        with pytest.raises(CorruptStoreError):
+            unframe(bytes(data))
+
+    def test_truncated_frame_detected(self):
+        data = frame(b"hello world")[:-3]
+        with pytest.raises(CorruptStoreError):
+            unframe(data)
+
+    def test_consecutive_frames(self):
+        data = frame(b"first") + frame(b"second")
+        first, offset = unframe(data)
+        second, end = unframe(data, offset)
+        assert first == b"first"
+        assert second == b"second"
+        assert end == len(data)

@@ -1,0 +1,118 @@
+"""End-to-end tests for the gmine command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *args):
+    """Run the CLI and return (exit_code, parsed JSON output)."""
+    code = main(list(args))
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out) if captured.out.strip() else None
+    return code, payload, captured.err
+
+
+class TestGenerateAndBuild:
+    def test_generate_json(self, tmp_path, capsys):
+        output = tmp_path / "dblp.json"
+        code, payload, _ = run_cli(
+            capsys, "generate", "--authors", "200", "--output", str(output)
+        )
+        assert code == 0
+        assert payload["authors"] == 200
+        assert output.exists()
+
+    def test_generate_edge_list(self, tmp_path, capsys):
+        output = tmp_path / "dblp.edges"
+        code, payload, _ = run_cli(
+            capsys, "generate", "--authors", "150", "--output", str(output)
+        )
+        assert code == 0
+        assert output.exists()
+
+    def test_build_and_stats_and_query_and_render(self, tmp_path, capsys):
+        graph_path = tmp_path / "dblp.json"
+        store_path = tmp_path / "dblp.gtree"
+        svg_path = tmp_path / "view.svg"
+
+        code, _, _ = run_cli(
+            capsys, "generate", "--authors", "300", "--seed", "3", "--output", str(graph_path)
+        )
+        assert code == 0
+
+        code, summary, _ = run_cli(
+            capsys, "build", "--graph", str(graph_path), "--fanout", "3",
+            "--levels", "3", "--output", str(store_path),
+        )
+        assert code == 0
+        assert summary["leaf_communities"] >= 3
+        assert store_path.exists()
+
+        code, stats, _ = run_cli(capsys, "stats", str(store_path))
+        assert code == 0
+        assert stats["tree_nodes"] == summary["tree_nodes"]
+
+        # Query an author by id (names depend on the generator seed).
+        code, result, _ = run_cli(
+            capsys, "query", "--store", str(store_path), "--value", "42", "--by-id"
+        )
+        assert code == 0
+        assert result["leaf"].startswith("s0")
+
+        code, rendered, _ = run_cli(
+            capsys, "render", str(store_path), "--output", str(svg_path)
+        )
+        assert code == 0
+        assert svg_path.exists()
+        assert rendered["items"] > 0
+
+    def test_stats_on_raw_graph(self, tmp_path, capsys):
+        graph_path = tmp_path / "tiny.json"
+        run_cli(capsys, "generate", "--authors", "120", "--output", str(graph_path))
+        code, stats, _ = run_cli(capsys, "stats", str(graph_path))
+        assert code == 0
+        assert stats["num_weak_components"] >= 1
+
+
+class TestExtract:
+    def test_extract_with_svg(self, tmp_path, capsys):
+        graph_path = tmp_path / "dblp.json"
+        run_cli(capsys, "generate", "--authors", "400", "--seed", "9",
+                "--output", str(graph_path))
+        svg_path = tmp_path / "extract.svg"
+        out_path = tmp_path / "extract.json"
+        code, summary, _ = run_cli(
+            capsys, "extract", "--graph", str(graph_path),
+            "--sources", "0", "17", "53", "--budget", "25",
+            "--svg", str(svg_path), "--output", str(out_path),
+        )
+        assert code == 0
+        assert summary["extracted_nodes"] <= 25
+        assert summary["sources_present"] == 1.0
+        assert svg_path.exists() and out_path.exists()
+
+
+class TestErrorHandling:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 1
+
+    def test_missing_graph_file(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "missing.json")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_query_miss_reports_error(self, tmp_path, capsys):
+        graph_path = tmp_path / "dblp.json"
+        store_path = tmp_path / "dblp.gtree"
+        main(["generate", "--authors", "150", "--output", str(graph_path)])
+        main(["build", "--graph", str(graph_path), "--fanout", "2", "--levels", "2",
+              "--output", str(store_path)])
+        capsys.readouterr()
+        code = main(["query", "--store", str(store_path), "--value", "Nobody At All"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err

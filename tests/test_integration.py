@@ -1,0 +1,124 @@
+"""Integration tests: whole-pipeline scenarios across every subsystem."""
+
+import pytest
+
+from repro.core.builder import build_gtree
+from repro.core.engine import GMineEngine
+from repro.core.tomahawk import tomahawk_context
+from repro.data.dblp import DBLPConfig, generate_dblp
+from repro.graph.io import read_json, write_json
+from repro.graph.validation import graphs_equal
+from repro.mining.connection_subgraph import extract_connection_subgraph
+from repro.mining.components import number_weak_components
+from repro.storage.gtree_store import GTreeStore, save_gtree
+from repro.viz.render import render_subgraph, render_tomahawk_view
+from repro.viz.svg import scene_to_svg, write_svg
+
+
+class TestGenerateBuildStoreNavigate:
+    """Dataset → G-Tree → single-file store → lazy navigation → rendering."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self, tmp_path_factory):
+        dataset = generate_dblp(DBLPConfig(num_authors=700, seed=33))
+        tree = build_gtree(dataset.graph, fanout=3, levels=3, seed=33)
+        store_path = tmp_path_factory.mktemp("integration") / "dblp.gtree"
+        save_gtree(tree, store_path)
+        return dataset, tree, store_path
+
+    def test_memory_engine_and_store_engine_agree(self, pipeline):
+        dataset, tree, store_path = pipeline
+        memory_engine = GMineEngine(tree, graph=dataset.graph)
+        with GTreeStore(store_path) as store:
+            store_engine = GMineEngine.from_store(store)
+            author = dataset.name_of(123)
+            memory_result = memory_engine.label_query(author)
+            store_result = store_engine.label_query(author)
+            assert memory_result.leaf_label == store_result.leaf_label
+            assert memory_result.path_labels == store_result.path_labels
+
+    def test_lazy_navigation_touches_few_leaves(self, pipeline):
+        _, tree, store_path = pipeline
+        with GTreeStore(store_path, cache_capacity=4) as store:
+            engine = GMineEngine.from_store(store)
+            engine.focus_root()
+            visited = tree.leaves()[:2]
+            for leaf in visited:
+                engine.focus_community(leaf.label)
+                engine.community_subgraph()
+            assert store.stats.leaves_loaded == len(visited)
+            assert store.stats.leaves_loaded < tree.num_leaves
+
+    def test_community_metrics_from_store_match_memory(self, pipeline):
+        dataset, tree, store_path = pipeline
+        leaf = tree.leaves()[0]
+        memory_engine = GMineEngine(tree, graph=dataset.graph)
+        memory_metrics = memory_engine.community_metrics(leaf.node_id)
+        with GTreeStore(store_path) as store:
+            store_engine = GMineEngine.from_store(store)
+            store_metrics = store_engine.community_metrics(leaf.node_id)
+        assert memory_metrics.degree_stats.num_nodes == store_metrics.degree_stats.num_nodes
+        assert memory_metrics.num_weak_components == store_metrics.num_weak_components
+        assert memory_metrics.diameter == store_metrics.diameter
+
+    def test_render_from_store(self, pipeline, tmp_path):
+        _, tree, store_path = pipeline
+        with GTreeStore(store_path) as store:
+            engine = GMineEngine.from_store(store)
+            context = engine.focus_root()
+            scene = render_tomahawk_view(store.tree, context)
+            path = write_svg(scene, tmp_path / "root.svg")
+            assert path.exists()
+            assert scene.visual_item_count() > 0
+
+
+class TestExtractionPipeline:
+    """Extraction → partition-of-the-extract → navigation (figure 6 flow)."""
+
+    def test_extract_partition_navigate(self, dblp_dataset):
+        graph = dblp_dataset.graph
+        hubs = [author for author, _, _ in dblp_dataset.most_collaborative_authors(3)]
+        extraction = extract_connection_subgraph(graph, hubs, budget=120)
+        extract = extraction.subgraph
+        assert extraction.contains_all_sources()
+        assert number_weak_components(extract) == 1
+
+        tree = build_gtree(extract, fanout=3, levels=2, seed=1)
+        engine = GMineEngine(tree, graph=extract)
+        context = engine.focus_root()
+        assert 1 <= len(context.children) <= 3
+
+        # Drill to a leaf and confirm we reach actual graph vertices.
+        while not engine.focus.is_leaf:
+            context = engine.drill_down(0)
+        leaf_subgraph = engine.community_subgraph()
+        assert set(leaf_subgraph.nodes()) <= set(extract.nodes())
+
+    def test_extraction_view_renders(self, dblp_dataset):
+        graph = dblp_dataset.graph
+        hubs = [author for author, _, _ in dblp_dataset.most_collaborative_authors(2)]
+        extraction = extract_connection_subgraph(graph, hubs, budget=25)
+        scene = render_subgraph(
+            extraction.subgraph, highlight=extraction.sources,
+            node_scores=extraction.goodness,
+        )
+        assert "<svg" in scene_to_svg(scene)
+
+
+class TestRoundTripThroughFiles:
+    def test_graph_json_survives_build(self, tmp_path, dblp_dataset):
+        path = tmp_path / "dblp.json"
+        write_json(dblp_dataset.graph, path)
+        loaded = read_json(path)
+        assert graphs_equal(dblp_dataset.graph, loaded)
+        tree = build_gtree(loaded, fanout=3, levels=2, seed=2)
+        assert tree.num_graph_vertices() == dblp_dataset.graph.num_nodes
+
+
+class TestTomahawkAcrossTheTree:
+    def test_every_focus_point_is_renderable(self, dblp_dataset, dblp_gtree):
+        # Sanity: the Tomahawk view never fails anywhere in the hierarchy.
+        for node in list(dblp_gtree.nodes())[:20]:
+            context = tomahawk_context(dblp_gtree, node.node_id)
+            scene = render_tomahawk_view(dblp_gtree, context, graph=dblp_dataset.graph)
+            assert scene.visual_item_count() >= context.size

@@ -1,0 +1,75 @@
+"""Unit tests for 2-D geometry helpers."""
+
+import math
+
+import pytest
+
+from repro.viz.geometry import Point, Rect, bounding_box, polar
+
+
+class TestPoint:
+    def test_arithmetic(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 1) == Point(2, 3)
+        assert Point(1, 2).scaled(3) == Point(3, 6)
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_as_tuple_and_immutability(self):
+        point = Point(1.5, 2.5)
+        assert point.as_tuple() == (1.5, 2.5)
+        with pytest.raises(AttributeError):
+            point.x = 9.0  # frozen dataclass
+
+
+class TestRect:
+    def test_center_and_extents(self):
+        rect = Rect(10, 20, 100, 50)
+        assert rect.center == Point(60, 45)
+        assert rect.max_x == 110
+        assert rect.max_y == 70
+
+    def test_contains(self):
+        rect = Rect(0, 0, 10, 10)
+        assert rect.contains(Point(5, 5))
+        assert rect.contains(Point(0, 10))
+        assert not rect.contains(Point(11, 5))
+
+    def test_inset(self):
+        rect = Rect(0, 0, 100, 60)
+        inner = rect.inset(10)
+        assert inner == Rect(10, 10, 80, 40)
+
+    def test_inset_clamps_to_empty(self):
+        rect = Rect(0, 0, 10, 10)
+        inner = rect.inset(100)
+        assert inner.width == 0.0 and inner.height == 0.0
+
+    def test_subdivide_grid_covers_count(self):
+        rect = Rect(0, 0, 100, 100)
+        cells = list(rect.subdivide_grid(7))
+        assert len(cells) == 7
+        for cell in cells:
+            assert rect.contains(cell.center)
+
+    def test_subdivide_zero(self):
+        assert list(Rect(0, 0, 10, 10).subdivide_grid(0)) == []
+
+
+class TestHelpers:
+    def test_bounding_box(self):
+        box = bounding_box([Point(1, 2), Point(5, 8), Point(-1, 0)], padding=1.0)
+        assert box.x == -2.0
+        assert box.y == -1.0
+        assert box.max_x == 6.0
+        assert box.max_y == 9.0
+
+    def test_bounding_box_of_nothing(self):
+        box = bounding_box([])
+        assert box.width > 0 and box.height > 0
+
+    def test_polar(self):
+        point = polar(Point(0, 0), 2.0, math.pi / 2)
+        assert point.x == pytest.approx(0.0, abs=1e-12)
+        assert point.y == pytest.approx(2.0)

@@ -1,0 +1,137 @@
+"""Unit tests for layout algorithms."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.graph.generators import complete_graph, connected_caveman, grid_2d, path_graph
+from repro.graph.graph import Graph
+from repro.viz.geometry import Rect
+from repro.viz.layout import (
+    circular_layout,
+    fruchterman_reingold_layout,
+    grid_layout,
+    layout_by_name,
+    radial_community_layout,
+    random_layout,
+    spectral_layout,
+)
+
+RECT = Rect(0, 0, 500, 400)
+
+
+def assert_positions_inside(positions, rect):
+    for point in positions.values():
+        assert rect.x - 1e-6 <= point.x <= rect.max_x + 1e-6
+        assert rect.y - 1e-6 <= point.y <= rect.max_y + 1e-6
+
+
+class TestBasicLayouts:
+    def test_circular_positions_every_vertex(self, caveman_graph):
+        positions = circular_layout(caveman_graph, RECT)
+        assert set(positions) == set(caveman_graph.nodes())
+        assert_positions_inside(positions, RECT)
+
+    def test_circular_distinct_positions(self):
+        graph = complete_graph(10)
+        positions = circular_layout(graph, RECT)
+        coordinates = {point.as_tuple() for point in positions.values()}
+        assert len(coordinates) == 10
+
+    def test_grid_layout_covers_graph(self, random_graph):
+        positions = grid_layout(random_graph, RECT)
+        assert set(positions) == set(random_graph.nodes())
+        assert_positions_inside(positions, RECT)
+
+    def test_random_layout_deterministic(self, random_graph):
+        a = random_layout(random_graph, RECT, seed=5)
+        b = random_layout(random_graph, RECT, seed=5)
+        assert a == b
+
+    def test_empty_graph_layouts(self):
+        empty = Graph()
+        assert circular_layout(empty) == {}
+        assert grid_layout(empty) == {}
+        assert fruchterman_reingold_layout(empty) == {}
+        assert spectral_layout(empty) == {}
+
+
+class TestForceLayout:
+    def test_positions_inside_rect(self):
+        graph = connected_caveman(3, 6, seed=0)
+        positions = fruchterman_reingold_layout(graph, RECT, iterations=40, seed=2)
+        assert set(positions) == set(graph.nodes())
+        assert_positions_inside(positions, RECT)
+
+    def test_single_vertex_centered(self):
+        graph = Graph()
+        graph.add_node("only")
+        positions = fruchterman_reingold_layout(graph, RECT)
+        assert positions["only"] == RECT.center
+
+    def test_deterministic_given_seed(self):
+        graph = path_graph(12)
+        a = fruchterman_reingold_layout(graph, RECT, seed=7)
+        b = fruchterman_reingold_layout(graph, RECT, seed=7)
+        assert a == b
+
+    def test_communities_separate_spatially(self):
+        # Two cliques joined by one edge: intra-clique distances should be
+        # smaller on average than inter-clique distances.
+        graph = connected_caveman(2, 8, seed=0)
+        positions = fruchterman_reingold_layout(graph, RECT, iterations=120, seed=3)
+        intra, inter = [], []
+        for u in graph.nodes():
+            for v in graph.nodes():
+                if u >= v:
+                    continue
+                distance = positions[u].distance_to(positions[v])
+                if (u < 8) == (v < 8):
+                    intra.append(distance)
+                else:
+                    inter.append(distance)
+        assert sum(intra) / len(intra) < sum(inter) / len(inter)
+
+    def test_respects_initial_positions(self):
+        graph = path_graph(5)
+        initial = circular_layout(graph, RECT)
+        positions = fruchterman_reingold_layout(graph, RECT, iterations=1, initial=initial)
+        assert set(positions) == set(initial)
+
+
+class TestSpectralLayout:
+    def test_positions_cover_graph(self, grid_graph):
+        positions = spectral_layout(grid_graph, RECT)
+        assert set(positions) == set(grid_graph.nodes())
+        assert_positions_inside(positions, RECT)
+
+    def test_tiny_graph_falls_back(self):
+        graph = path_graph(3)
+        positions = spectral_layout(graph, RECT)
+        assert len(positions) == 3
+
+
+class TestRadialCommunityLayout:
+    def test_one_rect_per_label(self):
+        rects = radial_community_layout(["a", "b", "c"], RECT)
+        assert set(rects) == {"a", "b", "c"}
+        for rect in rects.values():
+            assert RECT.contains(rect.center)
+
+    def test_single_label_fills_parent(self):
+        rects = radial_community_layout(["only"], RECT)
+        assert rects["only"].width < RECT.width
+
+    def test_empty(self):
+        assert radial_community_layout([], RECT) == {}
+
+
+class TestLayoutDispatch:
+    @pytest.mark.parametrize("name", ["circular", "grid", "random", "force", "spectral"])
+    def test_dispatch_by_name(self, name):
+        graph = grid_2d(4, 4)
+        positions = layout_by_name(name, graph, RECT, seed=1)
+        assert set(positions) == set(graph.nodes())
+
+    def test_unknown_layout_raises(self, grid_graph):
+        with pytest.raises(LayoutError):
+            layout_by_name("does-not-exist", grid_graph)

@@ -1,0 +1,92 @@
+"""Unit tests for the view renderers."""
+
+import pytest
+
+from repro.core.tomahawk import tomahawk_context
+from repro.graph.generators import connected_caveman
+from repro.mining.connection_subgraph import extract_connection_subgraph
+from repro.viz.render import render_full_expansion, render_subgraph, render_tomahawk_view
+from repro.viz.scene import Circle, Line, Rectangle
+from repro.viz.svg import scene_to_svg
+
+
+class TestRenderSubgraph:
+    def test_one_circle_per_vertex_and_line_per_edge(self):
+        graph = connected_caveman(2, 5, seed=0)
+        scene = render_subgraph(graph, max_labels=0)
+        counts = scene.count_by_type()
+        assert counts["circle"] == graph.num_nodes
+        assert counts["line"] == graph.num_edges
+
+    def test_highlighted_sources_are_larger(self, caveman_graph):
+        scene = render_subgraph(caveman_graph, highlight=[0], max_labels=0)
+        circles = [shape for shape in scene.shapes() if isinstance(shape, Circle)]
+        radii = sorted({circle.radius for circle in circles})
+        assert len(radii) == 2
+        assert radii[-1] > radii[0]
+
+    def test_scores_change_fill_colors(self, caveman_graph):
+        scores = {node: float(node) for node in caveman_graph.nodes()}
+        scene = render_subgraph(caveman_graph, node_scores=scores, max_labels=0)
+        fills = {shape.fill for shape in scene.shapes() if isinstance(shape, Circle)}
+        assert len(fills) > 1
+
+    def test_label_budget_respected(self, caveman_graph):
+        scene = render_subgraph(caveman_graph, max_labels=3)
+        assert scene.count_by_type()["text"] <= 4  # 3 labels + possible highlight labels
+
+    def test_extraction_view_is_renderable_svg(self, caveman_graph):
+        result = extract_connection_subgraph(caveman_graph, [0, 30], budget=15)
+        scene = render_subgraph(result.subgraph, highlight=result.sources,
+                                node_scores=result.goodness)
+        svg = scene_to_svg(scene)
+        assert "<circle" in svg
+
+
+class TestRenderTomahawkView:
+    def test_root_view_structure(self, dblp_dataset, dblp_gtree):
+        context = tomahawk_context(dblp_gtree, dblp_gtree.root.node_id)
+        scene = render_tomahawk_view(dblp_gtree, context, graph=dblp_dataset.graph)
+        counts = scene.count_by_type()
+        # Enclosing box + focus box + one box per child community.
+        assert counts["rectangle"] >= 1 + len(dblp_gtree.root.children)
+        assert counts["text"] >= counts["rectangle"]  # every box gets a label
+
+    def test_mid_level_view_draws_connectivity(self, dblp_dataset, dblp_gtree):
+        focus = dblp_gtree.children(dblp_gtree.root.node_id)[0]
+        context = tomahawk_context(dblp_gtree, focus.node_id)
+        scene = render_tomahawk_view(dblp_gtree, context, graph=dblp_dataset.graph)
+        lines = [shape for shape in scene.shapes() if isinstance(shape, Line)]
+        expected_edges = len(dblp_gtree.root.connectivity) + len(focus.connectivity)
+        if expected_edges:
+            assert lines
+
+    def test_leaf_view_with_expanded_subgraph(self, dblp_dataset, dblp_gtree):
+        leaf = dblp_gtree.leaves()[0]
+        context = tomahawk_context(dblp_gtree, leaf.node_id)
+        collapsed = render_tomahawk_view(dblp_gtree, context, graph=dblp_dataset.graph)
+        expanded = render_tomahawk_view(
+            dblp_gtree, context, graph=dblp_dataset.graph, expand_focus_subgraph=True
+        )
+        assert expanded.visual_item_count() > collapsed.visual_item_count()
+        circles = [shape for shape in expanded.shapes() if isinstance(shape, Circle)]
+        assert len(circles) == leaf.size
+
+    def test_view_is_valid_svg(self, dblp_dataset, dblp_gtree):
+        context = tomahawk_context(dblp_gtree, dblp_gtree.root.node_id)
+        svg = scene_to_svg(render_tomahawk_view(dblp_gtree, context))
+        assert svg.count("<rect") >= 2
+
+
+class TestRenderFullExpansion:
+    def test_draws_every_community(self, dblp_dataset, dblp_gtree):
+        scene = render_full_expansion(dblp_gtree, graph=dblp_dataset.graph,
+                                      include_leaf_edges=False)
+        rectangles = [shape for shape in scene.shapes() if isinstance(shape, Rectangle)]
+        assert len(rectangles) == dblp_gtree.num_tree_nodes
+
+    def test_with_leaf_edges_is_much_larger_than_tomahawk(self, dblp_dataset, dblp_gtree):
+        full = render_full_expansion(dblp_gtree, graph=dblp_dataset.graph)
+        context = tomahawk_context(dblp_gtree, dblp_gtree.root.node_id)
+        tomahawk = render_tomahawk_view(dblp_gtree, context, graph=dblp_dataset.graph)
+        assert full.visual_item_count() > 5 * tomahawk.visual_item_count()

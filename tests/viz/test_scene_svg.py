@@ -1,0 +1,99 @@
+"""Unit tests for the scene graph, colour utilities, and the SVG backend."""
+
+import pytest
+
+from repro.viz.color import (
+    categorical_color,
+    darken,
+    hex_to_rgb,
+    level_palette,
+    lighten,
+    rgb_to_hex,
+    sequential_color,
+)
+from repro.viz.geometry import Point, Rect
+from repro.viz.scene import Circle, Line, Rectangle, Scene, Text
+from repro.viz.svg import scene_to_svg, write_svg
+
+
+class TestScene:
+    def test_add_and_count(self):
+        scene = Scene(width=100, height=80, title="test")
+        scene.add(Circle(center=Point(10, 10), radius=2))
+        scene.add(Line(start=Point(0, 0), end=Point(5, 5)))
+        scene.add(Rectangle(rect=Rect(0, 0, 10, 10)))
+        scene.add(Text(position=Point(1, 1), content="label"))
+        assert len(scene) == 4
+        assert scene.visual_item_count() == 4
+        assert scene.count_by_type() == {"circle": 1, "rectangle": 1, "line": 1, "text": 1}
+
+    def test_shapes_sorted_by_layer(self):
+        scene = Scene()
+        scene.add(Circle(layer=5))
+        scene.add(Circle(layer=1))
+        scene.add(Circle(layer=3))
+        assert [shape.layer for shape in scene.shapes()] == [1, 3, 5]
+
+    def test_extend(self):
+        scene = Scene()
+        scene.extend([Circle(), Circle()])
+        assert len(scene) == 2
+
+
+class TestSVG:
+    def test_document_structure(self):
+        scene = Scene(width=200, height=100, title="figure")
+        scene.add(Circle(center=Point(50, 50), radius=5, fill="#ff0000", tooltip="a node"))
+        scene.add(Line(start=Point(0, 0), end=Point(10, 10), stroke="#00ff00"))
+        scene.add(Rectangle(rect=Rect(1, 2, 3, 4), corner_radius=1.0))
+        scene.add(Text(position=Point(5, 5), content="hello <&> world"))
+        svg = scene_to_svg(scene)
+        assert svg.startswith("<?xml")
+        assert "<svg" in svg and "</svg>" in svg
+        assert 'width="200"' in svg
+        assert "<circle" in svg and "<line" in svg and "<rect" in svg and "<text" in svg
+        assert "<title>a node</title>" in svg
+        # XML-escaping of text content.
+        assert "hello &lt;&amp;&gt; world" in svg
+
+    def test_write_svg_creates_parents(self, tmp_path):
+        scene = Scene()
+        scene.add(Circle())
+        path = write_svg(scene, tmp_path / "nested" / "out.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<?xml")
+
+    def test_empty_scene_is_valid(self):
+        svg = scene_to_svg(Scene())
+        assert "</svg>" in svg
+
+
+class TestColors:
+    def test_hex_round_trip(self):
+        assert rgb_to_hex(hex_to_rgb("#4e79a7")) == "#4e79a7"
+
+    def test_rgb_to_hex_clamps(self):
+        assert rgb_to_hex((300, -5, 128)) == "#ff0080"
+
+    def test_categorical_cycles(self):
+        assert categorical_color(0) == categorical_color(10)
+        assert categorical_color(1) != categorical_color(2)
+
+    def test_lighten_and_darken(self):
+        base = "#808080"
+        assert lighten(base, 1.0) == "#ffffff"
+        assert darken(base, 1.0) == "#000000"
+        assert lighten(base, 0.0) == base
+
+    def test_sequential_color_endpoints_differ(self):
+        low = sequential_color(0.0)
+        high = sequential_color(1.0)
+        assert low != high
+
+    def test_sequential_color_degenerate_range(self):
+        assert sequential_color(5.0, low=3.0, high=3.0) == sequential_color(0.0)
+
+    def test_level_palette_length(self):
+        palette = level_palette(4)
+        assert len(palette) == 5
+        assert all(color.startswith("#") for color in palette)

@@ -1,0 +1,67 @@
+"""Unit tests for the G-Tree diagram renderers (figures 1 and 4)."""
+
+import pytest
+
+from repro.core.tomahawk import tomahawk_context
+from repro.viz.scene import Circle, Line, Text
+from repro.viz.svg import scene_to_svg
+from repro.viz.tree_diagram import render_gtree_diagram, render_tomahawk_diagram
+
+
+class TestGTreeDiagram:
+    def test_one_circle_per_community(self, dblp_gtree):
+        scene = render_gtree_diagram(dblp_gtree)
+        circles = [shape for shape in scene.shapes() if isinstance(shape, Circle)]
+        assert len(circles) == dblp_gtree.num_tree_nodes
+
+    def test_one_line_per_parent_child_link(self, dblp_gtree):
+        scene = render_gtree_diagram(dblp_gtree)
+        lines = [shape for shape in scene.shapes() if isinstance(shape, Line)]
+        expected = sum(len(node.children) for node in dblp_gtree.nodes())
+        assert len(lines) == expected
+
+    def test_levels_map_to_rows(self, dblp_gtree):
+        scene = render_gtree_diagram(dblp_gtree, height=600)
+        circles = [shape for shape in scene.shapes() if isinstance(shape, Circle)]
+        ys = sorted({round(circle.center.y, 1) for circle in circles})
+        assert len(ys) == dblp_gtree.depth() + 1
+
+    def test_leaf_labels_include_sizes(self, dblp_gtree):
+        scene = render_gtree_diagram(dblp_gtree, show_leaf_sizes=True)
+        texts = [shape.content for shape in scene.shapes() if isinstance(shape, Text)]
+        leaf = dblp_gtree.leaves()[0]
+        assert any(f"({leaf.size})" in text for text in texts)
+
+    def test_svg_output(self, dblp_gtree):
+        svg = scene_to_svg(render_gtree_diagram(dblp_gtree))
+        assert svg.count("<circle") == dblp_gtree.num_tree_nodes
+
+
+class TestTomahawkDiagram:
+    def test_highlight_roles_cover_context(self, dblp_gtree):
+        focus = dblp_gtree.children(dblp_gtree.root.node_id)[0]
+        context = tomahawk_context(dblp_gtree, focus.node_id)
+        scene = render_tomahawk_diagram(dblp_gtree, context)
+        tooltips = [shape.tooltip for shape in scene.shapes()
+                    if isinstance(shape, Circle) and shape.tooltip]
+        assert any("(focus)" in tip for tip in tooltips)
+        assert any("(child)" in tip for tip in tooltips)
+        assert any("(sibling)" in tip for tip in tooltips)
+        assert any("(ancestor)" in tip for tip in tooltips)
+
+    def test_focus_is_drawn_larger(self, dblp_gtree):
+        focus = dblp_gtree.children(dblp_gtree.root.node_id)[0]
+        context = tomahawk_context(dblp_gtree, focus.node_id)
+        scene = render_tomahawk_diagram(dblp_gtree, context)
+        circles = [shape for shape in scene.shapes() if isinstance(shape, Circle)]
+        focus_circles = [c for c in circles if c.tooltip and "(focus)" in c.tooltip]
+        other_circles = [c for c in circles if c.tooltip and "(other)" in c.tooltip]
+        assert focus_circles and other_circles
+        assert focus_circles[0].radius > other_circles[0].radius
+
+    def test_legend_present(self, dblp_gtree):
+        context = tomahawk_context(dblp_gtree, dblp_gtree.root.node_id)
+        scene = render_tomahawk_diagram(dblp_gtree, context)
+        texts = [shape.content for shape in scene.shapes() if isinstance(shape, Text)]
+        for role in ("focus", "child", "sibling", "ancestor"):
+            assert role in texts

@@ -1,0 +1,81 @@
+"""Unit tests for the zoom/pan viewport."""
+
+import pytest
+
+from repro.errors import VisualizationError
+from repro.viz.geometry import Point, Rect
+from repro.viz.viewport import Viewport
+
+
+class TestTransforms:
+    def test_identity_round_trip(self):
+        viewport = Viewport(width=800, height=600)
+        point = Point(123.0, 45.0)
+        assert viewport.screen_to_world(viewport.world_to_screen(point)) == point
+
+    def test_round_trip_after_zoom_and_pan(self):
+        viewport = Viewport(width=800, height=600)
+        viewport.zoom(2.5, anchor=Point(100, 100))
+        viewport.pan(30, -20)
+        point = Point(7.0, 13.0)
+        back = viewport.screen_to_world(viewport.world_to_screen(point))
+        assert back.x == pytest.approx(point.x)
+        assert back.y == pytest.approx(point.y)
+
+    def test_visible_world_rect_shrinks_when_zooming_in(self):
+        viewport = Viewport(width=1000, height=800)
+        before = viewport.visible_world_rect()
+        viewport.zoom(2.0)
+        after = viewport.visible_world_rect()
+        assert after.width == pytest.approx(before.width / 2.0)
+        assert after.height == pytest.approx(before.height / 2.0)
+
+
+class TestInteractions:
+    def test_zoom_keeps_anchor_fixed(self):
+        viewport = Viewport(width=1000, height=800)
+        anchor = Point(250, 125)
+        world_before = viewport.screen_to_world(anchor)
+        viewport.zoom(3.0, anchor=anchor)
+        world_after = viewport.screen_to_world(anchor)
+        assert world_after.x == pytest.approx(world_before.x)
+        assert world_after.y == pytest.approx(world_before.y)
+
+    def test_zoom_clamped(self):
+        viewport = Viewport(min_scale=0.5, max_scale=2.0)
+        viewport.zoom(100.0)
+        assert viewport.scale == 2.0
+        viewport.zoom(1e-9)
+        assert viewport.scale == 0.5
+
+    def test_zoom_invalid_factor(self):
+        with pytest.raises(VisualizationError):
+            Viewport().zoom(0.0)
+
+    def test_pan_moves_view(self):
+        viewport = Viewport()
+        viewport.pan(100, 50)
+        assert viewport.offset_x == -100
+        assert viewport.offset_y == -50
+
+    def test_fit_contains_rect(self):
+        viewport = Viewport(width=1000, height=500)
+        target = Rect(200, 300, 400, 100)
+        viewport.fit(target)
+        visible = viewport.visible_world_rect()
+        assert visible.x <= target.x
+        assert visible.max_x >= target.max_x
+        assert visible.y <= target.y
+        assert visible.max_y >= target.max_y
+
+    def test_fit_empty_rect_raises(self):
+        with pytest.raises(VisualizationError):
+            Viewport().fit(Rect(0, 0, 0, 10))
+
+    def test_reset(self):
+        viewport = Viewport()
+        viewport.zoom(4.0)
+        viewport.pan(10, 10)
+        viewport.reset()
+        assert viewport.scale == 1.0
+        assert viewport.offset_x == 0.0 and viewport.offset_y == 0.0
