@@ -1,0 +1,28 @@
+# Developer entry points for the GMine reproduction.
+#
+#   make check     — the gate: tier-1 tests + a smoke run of the concurrent
+#                    sessions example (what CI should run on every change)
+#   make tier1     — fast tests only (everything not marked `slow`)
+#   make test-all  — the complete suite including slow paper-claim tests
+#   make test-slow — only the slow tests
+#   make smoke     — run the concurrent multi-session service example
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check tier1 smoke test-all test-slow
+
+check: tier1 smoke
+	@echo "check: tier-1 tests and service smoke run passed"
+
+tier1:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) examples/concurrent_sessions.py
+
+test-all:
+	$(PYTHON) -m pytest -q -m "slow or not slow"
+
+test-slow:
+	$(PYTHON) -m pytest -q -m slow

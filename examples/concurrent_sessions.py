@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Many concurrent exploration sessions over one shared G-Tree store.
+
+The paper's GMine is a single-user GUI; the service layer grows it into a
+multi-session query engine.  This example simulates a burst of concurrent
+users against one store:
+
+1. build a synthetic DBLP-like dataset and persist its G-Tree,
+2. start a :class:`~repro.service.GMineService` over the single store file,
+3. run N threads, each owning an independent session that navigates to a
+   hot community and asks for metrics and an RWR steady state,
+4. show that the expensive work was computed once per distinct question and
+   every other request was a cache hit — and that the concurrent answers are
+   identical to a sequential run.
+
+Run:  python examples/concurrent_sessions.py
+"""
+
+import tempfile
+import threading
+from pathlib import Path
+
+from repro import GMineService, build_gtree, generate_dblp, save_gtree
+from repro.data import DBLPConfig
+
+NUM_SESSIONS = 8
+
+
+def explore(service: GMineService, leaf_label: str, members, results, position):
+    """One simulated user: open a session, focus a community, mine it."""
+    session = service.open_session(focus=leaf_label, name=f"user-{position}")
+    metrics = session.recording.community_metrics(note="hot community")
+    rwr = service.rwr(members, community=leaf_label)
+    results[position] = (
+        session.session_id,
+        metrics.num_weak_components,
+        round(sum(rwr.scores.values()), 6),
+        metrics.diameter,
+    )
+
+
+def main() -> None:
+    dataset = generate_dblp(DBLPConfig(num_authors=1200, seed=33))
+    tree = build_gtree(dataset.graph, fanout=4, levels=3, seed=33)
+    hot_leaf = max(tree.leaves(), key=lambda leaf: leaf.size)
+    members = hot_leaf.members[:2]
+    print(f"G-Tree: {tree.num_tree_nodes} communities; hot leaf {hot_leaf.label!r} "
+          f"({hot_leaf.size} authors)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "dblp.gtree"
+        save_gtree(tree, store_path)
+
+        with GMineService(max_workers=NUM_SESSIONS) as service:
+            service.register_store(store_path, name="dblp")
+
+            # --- sequential baseline (fresh service state) -------------- #
+            baseline_metrics = service.metrics(community=hot_leaf.label)
+            baseline_rwr = service.rwr(members, community=hot_leaf.label)
+            service.cache.stats.reset()
+
+            # --- concurrent burst --------------------------------------- #
+            results = [None] * NUM_SESSIONS
+            threads = [
+                threading.Thread(
+                    target=explore,
+                    args=(service, hot_leaf.label, members, results, position),
+                )
+                for position in range(NUM_SESSIONS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            stats = service.stats()
+            print(f"\n{NUM_SESSIONS} concurrent sessions, all asking the same "
+                  "two questions:")
+            for session_id, weak, mass, diameter in results:
+                print(f"  {session_id}: weak_components={weak} "
+                      f"rwr_mass={mass} diameter={diameter}")
+
+            assert all(result[1:] == results[0][1:] for result in results), (
+                "every session must see the same answers"
+            )
+            assert all(
+                result[1] == baseline_metrics.num_weak_components
+                and result[2] == round(sum(baseline_rwr.scores.values()), 6)
+                for result in results
+            ), "concurrent answers must match the sequential baseline"
+
+            cache = stats["cache"]
+            print(f"\ncache: {cache['hits']} hits + {cache['coalesced']} coalesced "
+                  f"vs {cache['misses']} misses "
+                  f"(hit rate {cache['hit_rate']:.0%})")
+            print(f"computed per operation: {stats['computed']}")
+            print(f"live sessions: {stats['sessions']['active']}")
+            assert cache["hits"] + cache["coalesced"] >= 2 * NUM_SESSIONS - 2, (
+                "all but the first ask of each question must be served "
+                "from the cache"
+            )
+            print("\nconcurrent == sequential, expensive work computed once: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,15 @@ from .mining import (
     extract_delivered_current,
     meeting_probability,
     pagerank,
+    steady_state_rwr,
+)
+from .service import (
+    GMineService,
+    QueryRequest,
+    QueryResult,
+    ResultCache,
+    ServiceSession,
+    SessionManager,
 )
 from .partition import (
     HierarchicalPartition,
@@ -67,6 +76,7 @@ __all__ = [
     "ExtractionResult",
     "GMineEngine",
     "GMineError",
+    "GMineService",
     "GTree",
     "GTreeBuildOptions",
     "GTreeBuilder",
@@ -75,6 +85,11 @@ __all__ = [
     "Graph",
     "HierarchicalPartition",
     "KWayOptions",
+    "QueryRequest",
+    "QueryResult",
+    "ResultCache",
+    "ServiceSession",
+    "SessionManager",
     "TomahawkContext",
     "__version__",
     "build_gtree",
@@ -92,6 +107,7 @@ __all__ = [
     "render_tomahawk_view",
     "save_gtree",
     "small_dblp",
+    "steady_state_rwr",
     "tomahawk_context",
     "write_svg",
 ]

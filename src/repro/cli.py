@@ -7,7 +7,11 @@ Subcommands mirror the workflow of the original demo:
 * ``gmine stats`` — summarise a graph or a stored G-Tree,
 * ``gmine query`` — run a label query against a stored G-Tree,
 * ``gmine extract`` — run connection-subgraph extraction,
-* ``gmine render`` — render a Tomahawk view or a subgraph to SVG.
+* ``gmine render`` — render a Tomahawk view or a subgraph to SVG,
+* ``gmine serve`` — execute a batch of query requests through the
+  multi-session service (shared store, result cache, worker pool),
+* ``gmine session`` — create/resume serialisable exploration sessions
+  (``gmine session create``, ``gmine session resume``).
 
 Every subcommand works on files so the pieces can be chained in shell
 scripts; see ``examples/`` for the Python-API equivalents.
@@ -26,8 +30,10 @@ from .core.engine import GMineEngine
 from .data.dblp import DBLPConfig, generate_dblp
 from .errors import CLIError, GMineError
 from .graph.io import read_edge_list, read_json, write_edge_list, write_json
-from .mining.connection_subgraph import extract_connection_subgraph, extraction_summary
-from .mining.metrics_suite import compute_subgraph_metrics
+from .mining.connection_subgraph import ExtractionResult, extract_connection_subgraph, extraction_summary
+from .mining.metrics_suite import SubgraphMetrics, compute_subgraph_metrics
+from .mining.rwr import RWRResult
+from .service import GMineService, QueryResult
 from .storage.gtree_store import GTreeStore, save_gtree
 from .viz.render import render_subgraph, render_tomahawk_view
 from .viz.svg import write_svg
@@ -165,6 +171,119 @@ def cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _summarise_result(result: QueryResult) -> dict:
+    """Flatten one service result to JSON-friendly primitives."""
+    summary = {
+        "operation": result.request.operation,
+        "args": result.request.args,
+        "ok": result.ok,
+        "cached": result.cached,
+    }
+    if not result.ok:
+        summary["error"] = f"{result.error_type}: {result.error}"
+        return summary
+    value = result.value
+    if isinstance(value, SubgraphMetrics):
+        summary["value"] = value.as_dict()
+    elif isinstance(value, RWRResult):
+        summary["value"] = {
+            "iterations": value.iterations,
+            "converged": value.converged,
+            "top": [[str(node), round(score, 6)] for node, score in value.top(5)],
+        }
+    elif isinstance(value, ExtractionResult):
+        summary["value"] = {
+            "nodes": value.num_nodes,
+            "sources": [str(source) for source in value.sources],
+        }
+    elif isinstance(value, list):
+        summary["value"] = {"count": len(value)}
+    else:
+        summary["value"] = str(value)
+    return summary
+
+
+def _open_service(args: argparse.Namespace) -> GMineService:
+    """Build a service over the store (and optional graph) named in ``args``."""
+    service = GMineService(
+        cache_capacity=getattr(args, "cache_capacity", 512),
+        cache_ttl=getattr(args, "cache_ttl", None),
+        max_workers=getattr(args, "workers", 4),
+    )
+    graph = _load_graph(args.graph) if getattr(args, "graph", None) else None
+    service.register_store(args.store, graph=graph)
+    return service
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Execute a JSON batch of requests through the query service."""
+    requests_path = Path(args.requests)
+    if not requests_path.exists():
+        raise CLIError(f"requests file does not exist: {args.requests}")
+    payload = json.loads(requests_path.read_text(encoding="utf-8"))
+    if not isinstance(payload, list):
+        raise CLIError("requests file must hold a JSON list of request objects")
+    with _open_service(args) as service:
+        results = service.batch(payload)
+        _print_json(
+            {
+                "results": [_summarise_result(result) for result in results],
+                "stats": service.stats(),
+            }
+        )
+    return 0 if all(result.ok for result in results) else 3
+
+
+def cmd_session_create(args: argparse.Namespace) -> int:
+    """Create a service session over a store and persist its state to JSON."""
+    with _open_service(args) as service:
+        session = service.open_session(focus=args.focus, name=args.name)
+        state = session.state_dict()
+        Path(args.state).write_text(
+            json.dumps(state, indent=2, default=str), encoding="utf-8"
+        )
+        _print_json(
+            {
+                "session_id": session.session_id,
+                "focus": session.engine.focus.label,
+                "state": str(args.state),
+            }
+        )
+    return 0
+
+
+def cmd_session_resume(args: argparse.Namespace) -> int:
+    """Restore a persisted session, apply optional actions, re-save its state."""
+    state_path = Path(args.state)
+    if not state_path.exists():
+        raise CLIError(f"session state file does not exist: {args.state}")
+    payload = json.loads(state_path.read_text(encoding="utf-8"))
+    with _open_service(args) as service:
+        session = service.restore_session(payload, dataset=service.datasets()[0])
+        output = {
+            "session_id": session.session_id,
+            "resumed_focus": session.engine.focus.label,
+        }
+        if args.focus:
+            session.recording.focus(args.focus)
+        if args.drill_down is not None:
+            session.recording.drill_down(args.drill_down)
+        if args.drill_up:
+            session.recording.drill_up()
+        if args.metrics:
+            metrics = session.recording.community_metrics()
+            output["metrics"] = metrics.as_dict()
+            output["cache"] = service.cache.stats.as_dict()
+        output["focus"] = session.engine.focus.label
+        output["steps"] = len(session.recording.steps)
+        state_path.write_text(
+            json.dumps(session.state_dict(), indent=2, default=str),
+            encoding="utf-8",
+        )
+        _print_json(output)
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------------- #
@@ -219,6 +338,50 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--output", required=True, help="output .svg path")
     render.set_defaults(func=cmd_render)
 
+    serve = subparsers.add_parser(
+        "serve", help="run a batch of query requests through the service"
+    )
+    serve.add_argument("--store", required=True, help=".gtree store to serve")
+    serve.add_argument("--graph", help="optional full graph (enables inspect_edge)")
+    serve.add_argument(
+        "--requests", required=True,
+        help='JSON list of requests: [{"op": "metrics", "args": {...}}, ...]',
+    )
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--cache-capacity", type=int, default=512, dest="cache_capacity")
+    serve.add_argument("--cache-ttl", type=float, default=None, dest="cache_ttl")
+    serve.set_defaults(func=cmd_serve)
+
+    session = subparsers.add_parser(
+        "session", help="create/resume serialisable exploration sessions"
+    )
+    session_commands = session.add_subparsers(dest="session_command")
+
+    session_create = session_commands.add_parser(
+        "create", help="open a session over a store and save its state"
+    )
+    session_create.add_argument("--store", required=True)
+    session_create.add_argument("--graph", help="optional full graph file")
+    session_create.add_argument("--state", required=True, help="output state .json")
+    session_create.add_argument("--focus", help="community label to focus first")
+    session_create.add_argument("--name", default="cli-session")
+    session_create.set_defaults(func=cmd_session_create)
+
+    session_resume = session_commands.add_parser(
+        "resume", help="restore a saved session, apply actions, re-save"
+    )
+    session_resume.add_argument("--store", required=True)
+    session_resume.add_argument("--graph", help="optional full graph file")
+    session_resume.add_argument("--state", required=True, help="state .json to resume")
+    session_resume.add_argument("--focus", help="focus a community after resuming")
+    session_resume.add_argument("--drill-down", type=int, default=None, dest="drill_down")
+    session_resume.add_argument("--drill-up", action="store_true", dest="drill_up")
+    session_resume.add_argument(
+        "--metrics", action="store_true",
+        help="compute (cached) metrics for the final focus",
+    )
+    session_resume.set_defaults(func=cmd_session_resume)
+
     return parser
 
 
@@ -226,7 +389,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if not getattr(args, "command", None):
+    if not getattr(args, "command", None) or not hasattr(args, "func"):
         parser.print_help()
         return 1
     try:

@@ -17,7 +17,7 @@ necessary".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import NavigationError
 from ..graph.graph import Graph, NodeId
@@ -77,6 +77,7 @@ class GMineEngine:
         tree: GTree,
         graph: Optional[Graph] = None,
         store: Optional["GTreeStore"] = None,  # noqa: F821 (forward ref, avoids hard dep)
+        metrics_fn: Optional[Callable[[Graph, str, Optional[int]], SubgraphMetrics]] = None,
     ) -> None:
         """Create an engine.
 
@@ -91,10 +92,17 @@ class GMineEngine:
         store:
             Open :class:`~repro.storage.gtree_store.GTreeStore` supplying leaf
             subgraphs on demand.
+        metrics_fn:
+            Seam for the metric computation: called as
+            ``metrics_fn(subgraph, community_label, hop_sample_size)``.
+            The service layer injects a cached implementation here so many
+            sessions over one shared tree compute each suite once; the
+            default computes directly.
         """
         self.tree = tree
         self.graph = graph
         self.store = store
+        self.metrics_fn = metrics_fn
         self._focus_id: int = tree.root.node_id
         self.history: List[NavigationEvent] = []
 
@@ -102,9 +110,9 @@ class GMineEngine:
     # factory helpers
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_store(cls, store) -> "GMineEngine":
+    def from_store(cls, store, metrics_fn: Optional[Callable] = None) -> "GMineEngine":
         """Build an engine over a store (lazy leaf loading, no full graph)."""
-        return cls(tree=store.tree, graph=None, store=store)
+        return cls(tree=store.tree, graph=None, store=store, metrics_fn=metrics_fn)
 
     # ------------------------------------------------------------------ #
     # focus and navigation
@@ -190,6 +198,8 @@ class GMineEngine:
         subgraph = self.community_subgraph(target)
         node = self.focus if target is None else self._resolve(target)
         self._log("metrics", node.label, f"n={subgraph.num_nodes}")
+        if self.metrics_fn is not None:
+            return self.metrics_fn(subgraph, node.label, hop_sample_size)
         return compute_subgraph_metrics(subgraph, hop_sample_size=hop_sample_size)
 
     # ------------------------------------------------------------------ #

@@ -14,6 +14,7 @@ one from a graph is :mod:`repro.core.builder`'s job, persisting it is
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -259,6 +260,53 @@ class GTree:
             "min_leaf_size": float(min(leaf_sizes)),
             "max_leaf_size": float(max(leaf_sizes)),
         }
+
+    def fingerprint(self, leaf_digests: Optional[Dict[int, str]] = None) -> str:
+        """Content hash of the hierarchy, stable across save/load round trips.
+
+        The service layer keys its result cache by this value: two engines
+        over identical trees (e.g. one in-memory, one reopened from the
+        store file written from it) share cache entries, while any change
+        to membership, structure, connectivity or leaf subgraph content
+        changes the key.  The hash covers every node's identity, lineage,
+        members and connectivity edges, plus one content digest per leaf
+        subgraph (:meth:`~repro.graph.graph.Graph.content_digest`).
+
+        ``leaf_digests`` lets a caller that knows the leaf digests without
+        materialising the subgraphs (the store keeps them in its skeleton)
+        supply them; otherwise they are computed from attached subgraphs
+        (leaves with no subgraph attached contribute an empty digest).
+        """
+        digest = hashlib.sha256()
+        digest.update(repr((self.name, self.num_tree_nodes)).encode("utf-8"))
+        for node in sorted(self._nodes.values(), key=lambda item: item.node_id):
+            if leaf_digests is not None:
+                leaf_digest = leaf_digests.get(node.node_id, "")
+            elif node.is_leaf and node.subgraph is not None:
+                leaf_digest = node.subgraph.content_digest()
+            else:
+                leaf_digest = ""
+            digest.update(
+                repr(
+                    (
+                        node.node_id,
+                        node.label,
+                        node.level,
+                        node.parent_id,
+                        tuple(node.children),
+                        tuple(repr(member) for member in node.members),
+                        leaf_digest,
+                    )
+                ).encode("utf-8")
+            )
+            for edge in node.connectivity:
+                digest.update(
+                    repr(
+                        (edge.source, edge.target, edge.edge_count,
+                         round(float(edge.total_weight), 9))
+                    ).encode("utf-8")
+                )
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------ #
     # validation

@@ -144,17 +144,57 @@ class ExplorationSession:
     # persistence and replay
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
-        """Serialise the session to a JSON-compatible dict."""
+        """Serialise the session to a JSON-compatible dict.
+
+        The payload carries everything needed to resume elsewhere: the
+        recorded steps, the bookmarks, and the label of the community
+        currently in focus (so a restored session starts where this one
+        stopped, without replaying the whole history).
+        """
         return {
             "format": SESSION_FORMAT,
             "version": SESSION_VERSION,
             "name": self.name,
+            "focus": self.engine.focus.label,
             "steps": [step.as_dict() for step in self.steps],
             "bookmarks": [
                 {"name": mark.name, "community": mark.community_label, "note": mark.note}
                 for mark in self.bookmarks.values()
             ],
         }
+
+    @classmethod
+    def restore(
+        cls, engine: GMineEngine, payload: Dict[str, Any], strict: bool = True
+    ) -> "ExplorationSession":
+        """Rebuild a session from a ``to_dict`` payload without replaying it.
+
+        The focus is re-applied directly and bookmarks/steps are reinstated
+        verbatim, so resuming is O(1) in the recorded history.  With
+        ``strict=False`` a focus label that no longer exists (regenerated
+        dataset) falls back to the root instead of raising.
+        """
+        if payload.get("format") != SESSION_FORMAT:
+            raise NavigationError("payload is not a serialised GMine session")
+        session = cls(engine, name=str(payload.get("name", "session")))
+        session.steps = [
+            SessionStep.from_dict(step) for step in payload.get("steps", [])
+        ]
+        for mark in payload.get("bookmarks", []):
+            session.bookmarks[str(mark["name"])] = Bookmark(
+                name=str(mark["name"]),
+                community_label=str(mark["community"]),
+                note=str(mark.get("note", "")),
+            )
+        focus = payload.get("focus")
+        if focus is not None:
+            try:
+                engine.focus_community(str(focus))
+            except NavigationError:
+                if strict:
+                    raise
+                engine.focus_root()
+        return session
 
     def save(self, path: PathLike) -> Path:
         """Write the session to ``path`` as JSON."""

@@ -101,3 +101,19 @@ class DatasetError(GMineError):
 
 class CLIError(GMineError):
     """A command-line invocation was invalid."""
+
+
+class ServiceError(GMineError):
+    """Base class for errors raised by the query-service subsystem."""
+
+
+class SessionNotFoundError(ServiceError):
+    """A session id was presented that the service has never issued."""
+
+
+class SessionExpiredError(ServiceError):
+    """A session existed but its TTL elapsed before it was resumed."""
+
+
+class UnknownOperationError(ServiceError):
+    """A query request named an operation the service does not expose."""

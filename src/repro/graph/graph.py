@@ -18,6 +18,7 @@ lighter weight.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from ..errors import EdgeNotFoundError, GraphError, NodeNotFoundError
@@ -167,6 +168,29 @@ class Graph:
     def nodes(self) -> Iterator[NodeId]:
         """Iterate over the vertex ids."""
         return iter(self._adj)
+
+    def content_digest(self) -> str:
+        """Deterministic content hash of the graph: nodes, attrs, edges.
+
+        Two graphs with the same vertex set, vertex/edge attributes and
+        weighted edge multiset produce the same digest regardless of
+        insertion order.  Used by the G-Tree fingerprint so the service
+        result cache distinguishes trees whose hierarchy is identical but
+        whose leaf subgraphs differ (e.g. an edge weight changed inside a
+        community).
+        """
+        digest = hashlib.sha256()
+        for node in sorted(self._adj, key=repr):
+            attrs = self._node_attrs.get(node, {})
+            digest.update(
+                repr((node, sorted(attrs.items(), key=lambda kv: str(kv[0])))).encode("utf-8")
+            )
+        for u, v, w in sorted(self.edges(), key=lambda edge: (repr(edge[0]), repr(edge[1]))):
+            attrs = self._edge_attrs.get(self._edge_key(u, v), {})
+            digest.update(
+                repr((u, v, float(w), sorted(attrs.items(), key=lambda kv: str(kv[0])))).encode("utf-8")
+            )
+        return digest.hexdigest()
 
     def edges(self) -> Iterator[Tuple[NodeId, NodeId, float]]:
         """Iterate over edges as ``(u, v, weight)``, each undirected edge once."""

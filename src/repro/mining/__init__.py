@@ -41,7 +41,7 @@ from .hops import (
     hop_histogram,
     hop_plot,
 )
-from .metrics_suite import SubgraphMetrics, compute_subgraph_metrics
+from .metrics_suite import SubgraphMetrics, compute_subgraph_metrics, metrics_signature
 from .pagerank import pagerank, pagerank_digraph, top_pagerank_nodes
 from .proximity import (
     adamic_adar,
@@ -59,6 +59,7 @@ from .rwr import (
     per_source_rwr,
     rwr_exact,
     rwr_power_iteration,
+    steady_state_rwr,
 )
 
 __all__ = [
@@ -92,6 +93,7 @@ __all__ = [
     "hop_plot",
     "largest_component",
     "meeting_probability",
+    "metrics_signature",
     "number_strong_components",
     "number_weak_components",
     "pagerank",
@@ -99,6 +101,7 @@ __all__ = [
     "per_source_rwr",
     "rwr_exact",
     "rwr_power_iteration",
+    "steady_state_rwr",
     "strong_components",
     "strong_components_of_undirected",
     "top_degree_nodes",

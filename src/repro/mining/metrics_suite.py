@@ -10,7 +10,7 @@ the CLI and the benchmarks all report the same numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..graph.graph import DiGraph, Graph, NodeId
 from .components import number_strong_components, number_weak_components
@@ -43,6 +43,27 @@ class SubgraphMetrics:
             "num_strong_components": self.num_strong_components,
             "top_pagerank": [[str(node), score] for node, score in self.top_pagerank],
         }
+
+
+def metrics_signature(
+    hop_sample_size: Optional[int] = None,
+    pagerank_damping: float = 0.85,
+    top_k: int = 10,
+    seed: Optional[int] = 0,
+) -> Tuple:
+    """Canonical argument tuple for caching :func:`compute_subgraph_metrics`.
+
+    The metric suite is a pure function of (graph, these arguments); the
+    service layer combines this tuple with a tree fingerprint and a
+    community label to key its result cache, so two calls that differ only
+    in argument spelling (defaults vs explicit values) share one entry.
+    """
+    return (
+        ("hop_sample_size", None if hop_sample_size is None else int(hop_sample_size)),
+        ("pagerank_damping", float(pagerank_damping)),
+        ("top_k", int(top_k)),
+        ("seed", None if seed is None else int(seed)),
+    )
 
 
 def compute_subgraph_metrics(

@@ -76,10 +76,6 @@ def rwr_power_iteration(
     converged = False
     for iterations in range(1, max_iter + 1):
         updated = (1.0 - c) * (transition @ rank) + c * q
-        # Columns of isolated/dangling vertices lose mass; renormalise.
-        total = updated.sum()
-        if total > 0:
-            updated = updated / total
         delta = np.abs(updated - rank).sum()
         rank = updated
         if delta < tol:
@@ -89,6 +85,13 @@ def rwr_power_iteration(
         raise ConvergenceError(
             f"RWR did not converge within {max_iter} iterations (tol={tol})"
         )
+    # Columns of isolated/dangling vertices leak mass; a single final
+    # renormalisation (matching rwr_exact) keeps the two solvers' fixed
+    # points identical — renormalising inside the loop would converge to a
+    # slightly different distribution whenever a source is dangling.
+    total = rank.sum()
+    if total > 0:
+        rank = rank / total
     scores = {index.node_at(i): float(rank[i]) for i in range(len(index))}
     return RWRResult(
         scores=scores,
@@ -125,6 +128,33 @@ def rwr_exact(
     scores = {index.node_at(i): float(solution[i]) for i in range(n)}
     return RWRResult(scores=scores, iterations=0, converged=True,
                      restart_probability=c)
+
+
+def steady_state_rwr(
+    graph: Graph,
+    sources: Sequence[NodeId],
+    restart_probability: float = 0.15,
+    solver: str = "power",
+    tol: float = 1e-10,
+    max_iter: int = 500,
+) -> RWRResult:
+    """Canonical, cache-friendly entry point for one RWR steady state.
+
+    A pure function of its arguments: the source set is deduplicated and
+    order-normalised (the restart vector spreads mass uniformly over the
+    set, so order never matters), and ``solver`` picks between
+    :func:`rwr_power_iteration` (``"power"``) and :func:`rwr_exact`
+    (``"exact"``).  The service layer keys its result cache on exactly
+    these arguments.
+    """
+    canonical_sources = sorted(set(sources), key=repr)
+    if solver == "exact":
+        return rwr_exact(graph, canonical_sources, restart_probability)
+    if solver == "power":
+        return rwr_power_iteration(
+            graph, canonical_sources, restart_probability, tol=tol, max_iter=max_iter
+        )
+    raise MiningError(f"unknown RWR solver {solver!r}; expected 'power' or 'exact'")
 
 
 def per_source_rwr(

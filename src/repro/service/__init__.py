@@ -1,0 +1,36 @@
+"""GMine as a service: shared datasets, concurrent sessions, cached mining.
+
+The paper demonstrates a single-user GUI; this package grows the same engine
+into a concurrent query service.  :class:`GMineService` owns one shared
+G-Tree (in-memory or store-backed) per dataset, hands out independent
+TTL-managed exploration sessions, and routes every expensive mining call
+through a thread-safe LRU+TTL :class:`ResultCache` keyed by
+``(tree fingerprint, operation, canonicalized args)``.  The batch API
+deduplicates identical requests in flight and fans independent ones out over
+a worker pool with per-request error isolation.
+"""
+
+from .cache import CacheStats, ResultCache, canonical_args, make_cache_key
+from .service import (
+    DEFAULT_DATASET,
+    OPERATIONS,
+    GMineService,
+    QueryRequest,
+    QueryResult,
+)
+from .sessions import DEFAULT_SESSION_TTL, ServiceSession, SessionManager
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_DATASET",
+    "DEFAULT_SESSION_TTL",
+    "GMineService",
+    "OPERATIONS",
+    "QueryRequest",
+    "QueryResult",
+    "ResultCache",
+    "ServiceSession",
+    "SessionManager",
+    "canonical_args",
+    "make_cache_key",
+]

@@ -1,0 +1,270 @@
+"""Thread-safe LRU+TTL cache for mining results, with in-flight dedup.
+
+The service layer sits many concurrent exploration sessions on top of one
+shared G-Tree; the expensive calls they issue — RWR steady states, subgraph
+metric suites, connection subgraphs, cross-edge inspections — are pure
+functions of (tree contents, operation, arguments).  :class:`ResultCache`
+memoises them under exactly that key:
+
+* **LRU** bounds residency the same way the storage buffer pool bounds leaf
+  subgraphs: hot results stay, cold ones are evicted in recency order.
+* **TTL** (optional) ages results out so a long-lived service does not pin
+  stale answers for datasets that get rebuilt under the same name.
+* **Single-flight** in-flight dedup: when two sessions ask the same question
+  concurrently, the first computes and every other waiter blocks on the same
+  computation instead of repeating it — the "compute once, reuse" contract
+  holds even under races.
+
+Keys are built by :func:`canonical_args`, which normalises argument
+structures (dict ordering, lists vs tuples, sets) so equivalent requests
+collide on the same entry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Tuple
+
+from ..errors import ServiceError
+
+
+def canonical_args(value: Any) -> Hashable:
+    """Normalise an argument structure into a deterministic hashable form.
+
+    Dicts become ``("{}", sorted (key, value) pairs)``, lists/tuples become
+    tuples, sets become sorted tuples; scalars pass through.  Two calls that
+    differ only in container type or dict ordering therefore produce the
+    same key.
+    """
+    if isinstance(value, Mapping):
+        return ("{}",) + tuple(
+            (str(key), canonical_args(value[key])) for key in sorted(value, key=str)
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(canonical_args(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((canonical_args(item) for item in value), key=repr))
+    if isinstance(value, (str, bytes, int, float, bool)) or value is None:
+        return value
+    # Fall back to repr for exotic argument objects; deterministic per type.
+    return repr(value)
+
+
+def make_cache_key(fingerprint: str, operation: str, args: Mapping[str, Any]) -> Tuple:
+    """Build the cache key for one request: (tree fingerprint, op, args)."""
+    return (fingerprint, operation, canonical_args(args))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction/expiry accounting for one result cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    coalesced: int = 0  # waiters that piggybacked on an in-flight computation
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups (hits + misses + coalesced waits)."""
+        return self.hits + self.misses + self.coalesced
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that avoided a fresh computation."""
+        if self.accesses == 0:
+            return 0.0
+        return (self.hits + self.coalesced) / self.accesses
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to JSON-friendly primitives (for the CLI and reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "coalesced": self.coalesced,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.coalesced = 0
+
+
+@dataclass
+class _InFlight:
+    """Bookkeeping for one computation currently being produced."""
+
+    done: threading.Event = field(default_factory=threading.Event)
+    value: Any = None
+    error: Optional[BaseException] = None
+
+
+class ResultCache:
+    """Capacity-bounded, optionally time-bounded memo table for query results.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of results held at once (>= 1).
+    ttl:
+        Seconds a result stays valid, or ``None`` for no age limit.
+    clock:
+        Monotonic time source; injectable so tests can advance time
+        deterministically.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ServiceError(f"result cache capacity must be >= 1, got {capacity}")
+        if ttl is not None and ttl <= 0:
+            raise ServiceError(f"result cache ttl must be positive, got {ttl}")
+        self.capacity = capacity
+        self.ttl = ttl
+        self.stats = CacheStats()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[Any, Optional[float]]]" = OrderedDict()
+        self._inflight: Dict[Hashable, _InFlight] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return self._fresh(key)
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it at most once.
+
+        Concurrent callers with the same key coalesce onto one computation;
+        if that computation raises, every coalesced waiter sees the same
+        exception and nothing is cached (the next request retries).
+        """
+        while True:
+            with self._lock:
+                if self._fresh(key):
+                    self.stats.hits += 1
+                    self._entries.move_to_end(key)
+                    return self._entries[key][0]
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    owner = True
+                else:
+                    owner = False
+            if owner:
+                break
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self._lock:
+                self.stats.coalesced += 1
+            return flight.value
+
+        # This thread owns the computation.
+        try:
+            value = compute()
+        except BaseException as error:
+            flight.error = error
+            with self._lock:
+                self._inflight.pop(key, None)
+                self.stats.misses += 1
+            flight.done.set()
+            raise
+        with self._lock:
+            self.stats.misses += 1
+            self._store(key, value)
+            self._inflight.pop(key, None)
+        flight.value = value
+        flight.done.set()
+        return value
+
+    def peek(self, key: Hashable) -> Any:
+        """Return the cached value without recording a hit; KeyError on miss."""
+        with self._lock:
+            if not self._fresh(key):
+                raise KeyError(key)
+            return self._entries[key][0]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh a value directly (bypasses single-flight)."""
+        with self._lock:
+            self._store(key, value)
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop one key (no-op when absent)."""
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every entry whose key belongs to ``fingerprint``; return count."""
+        with self._lock:
+            stale = [key for key in self._entries
+                     if isinstance(key, tuple) and key and key[0] == fingerprint]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def clear(self) -> None:
+        """Empty the cache (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def sweep(self) -> int:
+        """Evict every expired entry now; return how many were dropped."""
+        with self._lock:
+            now = self._clock()
+            expired = [
+                key
+                for key, (_, expires_at) in self._entries.items()
+                if expires_at is not None and expires_at <= now
+            ]
+            for key in expired:
+                del self._entries[key]
+                self.stats.expirations += 1
+            return len(expired)
+
+    # ------------------------------------------------------------------ #
+    # internals (call with the lock held)
+    # ------------------------------------------------------------------ #
+    def _fresh(self, key: Hashable) -> bool:
+        """Whether ``key`` is resident and unexpired; expired keys are dropped."""
+        if key not in self._entries:
+            return False
+        _, expires_at = self._entries[key]
+        if expires_at is not None and expires_at <= self._clock():
+            del self._entries[key]
+            self.stats.expirations += 1
+            return False
+        return True
+
+    def _store(self, key: Hashable, value: Any) -> None:
+        expires_at = None if self.ttl is None else self._clock() + self.ttl
+        if key in self._entries:
+            self._entries[key] = (value, expires_at)
+            self._entries.move_to_end(key)
+            return
+        while len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = (value, expires_at)

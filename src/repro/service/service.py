@@ -1,0 +1,628 @@
+"""The GMine query service: shared datasets, many sessions, cached mining.
+
+The paper's GMine is a single-user desktop tool.  This module turns the same
+machinery into a multi-session query service:
+
+* one :class:`GMineService` owns a shared :class:`~repro.core.gtree.GTree`
+  (in-memory or backed by a :class:`~repro.storage.gtree_store.GTreeStore`)
+  per registered dataset,
+* every user gets an independent :class:`ServiceSession` (its own focus and
+  history) created/resumed/expired through the :class:`SessionManager`,
+* every expensive call — RWR steady states, subgraph metric suites,
+  connection subgraphs, connectivity/cross-edge inspection — is routed
+  through a thread-safe :class:`~repro.service.cache.ResultCache` keyed by
+  ``(tree fingerprint, operation, canonicalized args)``, so identical
+  questions from different sessions are computed once,
+* :meth:`GMineService.batch` deduplicates identical requests in flight and
+  fans independent ones out over a worker pool, with per-request error
+  isolation: one failing request poisons only its own result.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..core.engine import GMineEngine
+from ..core.gtree import GTree
+from ..core.session import ExplorationSession
+from ..errors import GMineError, ServiceError, UnknownOperationError
+from ..graph.graph import Graph
+from ..mining.connection_subgraph import extract_connection_subgraph
+from ..mining.metrics_suite import compute_subgraph_metrics, metrics_signature
+from ..mining.rwr import steady_state_rwr
+from ..storage.gtree_store import GTreeStore
+from .cache import ResultCache, make_cache_key
+from .sessions import DEFAULT_SESSION_TTL, ServiceSession, SessionManager
+
+DEFAULT_DATASET = "default"
+
+#: Operations :meth:`GMineService.call` understands, with their cacheability.
+OPERATIONS = ("metrics", "rwr", "connection_subgraph", "connectivity", "inspect_edge")
+
+
+@dataclass
+class QueryRequest:
+    """One service request: an operation plus canonicalizable arguments."""
+
+    operation: str
+    args: Dict[str, Any] = field(default_factory=dict)
+    dataset: Optional[str] = None
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "QueryRequest":
+        """Build a request from a JSON-ish dict (``op``/``operation`` keys)."""
+        operation = payload.get("operation", payload.get("op"))
+        if not operation:
+            raise ServiceError(f"request payload has no operation: {payload!r}")
+        return cls(
+            operation=str(operation),
+            args=dict(payload.get("args", {})),
+            dataset=payload.get("dataset"),
+        )
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one request: either a value or an isolated error."""
+
+    request: QueryRequest
+    ok: bool
+    value: Any = None
+    error: str = ""
+    error_type: str = ""
+    cached: bool = False
+
+    def unwrap(self) -> Any:
+        """Return the value, re-raising the recorded failure if there is one."""
+        if not self.ok:
+            raise ServiceError(
+                f"request {self.request.operation!r} failed: "
+                f"{self.error_type}: {self.error}"
+            )
+        return self.value
+
+
+@dataclass
+class _Dataset:
+    """One registered dataset: shared tree, optional graph/store, fingerprint."""
+
+    name: str
+    tree: GTree
+    graph: Optional[Graph]
+    store: Optional[GTreeStore]
+    fingerprint: str
+    owns_store: bool = False
+
+    def make_engine(self, metrics_fn: Optional[Callable] = None) -> GMineEngine:
+        """A fresh engine over the shared tree (cheap: focus + history only)."""
+        return GMineEngine(
+            self.tree, graph=self.graph, store=self.store, metrics_fn=metrics_fn
+        )
+
+
+class GMineService:
+    """Concurrent multi-session query engine over shared G-Trees.
+
+    Parameters
+    ----------
+    cache_capacity / cache_ttl:
+        Sizing of the shared :class:`ResultCache`.
+    session_ttl:
+        Seconds of inactivity after which a session expires
+        (``None`` disables expiry).
+    max_workers:
+        Worker threads used by :meth:`batch`.
+    clock:
+        Injectable monotonic time source shared by cache and sessions.
+    """
+
+    def __init__(
+        self,
+        cache_capacity: int = 512,
+        cache_ttl: Optional[float] = None,
+        session_ttl: Optional[float] = DEFAULT_SESSION_TTL,
+        max_workers: int = 4,
+        clock=None,
+    ) -> None:
+        import time
+
+        clock = clock or time.monotonic
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        self.cache = ResultCache(capacity=cache_capacity, ttl=cache_ttl, clock=clock)
+        self.sessions = SessionManager(default_ttl=session_ttl, clock=clock)
+        self.max_workers = max_workers
+        self._datasets: Dict[str, _Dataset] = {}
+        self._lock = threading.RLock()
+        self._compute_counts: Counter = Counter()
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the worker pool down and close any store the service opened.
+
+        The executor is detached under the lock but shut down outside it:
+        in-flight worker tasks take the service lock themselves, so waiting
+        for them while holding it would deadlock.  Stores are closed only
+        after the workers have drained.
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+            datasets = list(self._datasets.values())
+            self._datasets.clear()
+        if executor is not None:
+            executor.shutdown(wait=True)
+        for dataset in datasets:
+            if dataset.owns_store and dataset.store is not None:
+                dataset.store.close()
+
+    def __enter__(self) -> "GMineService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # dataset registry
+    # ------------------------------------------------------------------ #
+    def register_tree(
+        self, tree: GTree, graph: Optional[Graph] = None, name: str = DEFAULT_DATASET
+    ) -> str:
+        """Share an in-memory G-Tree (and optionally its full graph)."""
+        dataset = _Dataset(
+            name=name, tree=tree, graph=graph, store=None,
+            fingerprint=tree.fingerprint(),
+        )
+        return self._register(dataset)
+
+    def register_store(
+        self,
+        store: Union[GTreeStore, str, Path],
+        graph: Optional[Graph] = None,
+        name: str = DEFAULT_DATASET,
+    ) -> str:
+        """Share a stored G-Tree; a path is opened (and owned) by the service."""
+        owns = not isinstance(store, GTreeStore)
+        if owns:
+            store = GTreeStore(store)
+        dataset = _Dataset(
+            name=name, tree=store.tree, graph=graph, store=store,
+            fingerprint=store.fingerprint, owns_store=owns,
+        )
+        return self._register(dataset)
+
+    def _register(self, dataset: _Dataset) -> str:
+        with self._lock:
+            if dataset.name in self._datasets:
+                raise ServiceError(f"dataset {dataset.name!r} is already registered")
+            self._datasets[dataset.name] = dataset
+            return dataset.name
+
+    def datasets(self) -> List[str]:
+        """Names of every registered dataset."""
+        with self._lock:
+            return sorted(self._datasets)
+
+    def fingerprint(self, dataset: Optional[str] = None) -> str:
+        """The cache-key fingerprint of a dataset's tree."""
+        return self._dataset(dataset).fingerprint
+
+    def _dataset(self, name: Optional[str]) -> _Dataset:
+        with self._lock:
+            if name is None:
+                if len(self._datasets) == 1:
+                    return next(iter(self._datasets.values()))
+                if DEFAULT_DATASET in self._datasets:
+                    return self._datasets[DEFAULT_DATASET]
+                raise ServiceError(
+                    "dataset name required: service has "
+                    f"{len(self._datasets)} datasets registered"
+                )
+            if name not in self._datasets:
+                raise ServiceError(f"no dataset registered under {name!r}")
+            return self._datasets[name]
+
+    # ------------------------------------------------------------------ #
+    # sessions
+    # ------------------------------------------------------------------ #
+    def open_session(
+        self,
+        dataset: Optional[str] = None,
+        ttl: Optional[float] = None,
+        focus: Optional[Union[int, str]] = None,
+        name: str = "session",
+    ) -> ServiceSession:
+        """Create an independent exploration session over a shared dataset.
+
+        The session's engine routes its metric computations through the
+        shared result cache, so interactive calls benefit from (and feed)
+        the same memoisation as direct service calls.
+        """
+        handle = self._dataset(dataset)
+        engine = handle.make_engine(metrics_fn=self._session_metrics_fn(handle))
+        session = self.sessions.create(handle.name, engine, ttl=ttl, name=name)
+        if focus is not None:
+            if isinstance(focus, int):
+                focus = handle.tree.node(focus).label
+            session.recording.focus(focus)
+        return session
+
+    def resume_session(self, session_id: str) -> ServiceSession:
+        """Return a live session, refreshing its TTL."""
+        return self.sessions.resume(session_id)
+
+    def restore_session(
+        self, payload: Dict[str, Any], dataset: Optional[str] = None
+    ) -> ServiceSession:
+        """Recreate a session from a serialized ``state_dict`` payload.
+
+        The focus, bookmarks and recorded steps come back; the session gets
+        a fresh id (state files can be restored more than once).
+        """
+        handle = self._dataset(dataset or payload.get("dataset"))
+        engine = handle.make_engine(metrics_fn=self._session_metrics_fn(handle))
+        recording = ExplorationSession.restore(engine, payload)
+        session = self.sessions.create(
+            handle.name, engine, name=recording.name
+        )
+        session.recording = recording
+        return session
+
+    def close_session(self, session_id: str) -> None:
+        """End a session explicitly (idempotent)."""
+        self.sessions.close(session_id)
+
+    def _session_metrics_fn(self, handle: _Dataset):
+        """Metrics seam injected into session engines: cache by community."""
+
+        def metrics_fn(subgraph: Graph, community_label: str, hop_sample_size):
+            # Mirrors _canonicalize_op_args("metrics", ...) exactly, so a
+            # session's interactive call and a direct service call for the
+            # same community share one cache entry.
+            key = make_cache_key(
+                handle.fingerprint,
+                "metrics",
+                {
+                    "community": community_label,
+                    "metrics": metrics_signature(hop_sample_size=hop_sample_size),
+                },
+            )
+            return self.cache.get_or_compute(
+                key,
+                lambda: self._computed(
+                    "metrics",
+                    lambda: compute_subgraph_metrics(
+                        subgraph, hop_sample_size=hop_sample_size
+                    ),
+                ),
+            )
+
+        return metrics_fn
+
+    # ------------------------------------------------------------------ #
+    # cached operations
+    # ------------------------------------------------------------------ #
+    def call(self, operation: str, dataset: Optional[str] = None, **args) -> Any:
+        """Execute one operation through the cache; raises on failure."""
+        handle = self._dataset(dataset)
+        value, _ = self._dispatch(handle, operation, args)
+        return value
+
+    def metrics(self, community=None, dataset=None, hop_sample_size=None):
+        """Cached subgraph metric suite for a community (root by default)."""
+        return self.call(
+            "metrics", dataset=dataset,
+            community=community, hop_sample_size=hop_sample_size,
+        )
+
+    def rwr(
+        self,
+        sources: Sequence,
+        community=None,
+        dataset=None,
+        restart_probability: float = 0.15,
+        solver: str = "power",
+    ):
+        """Cached RWR steady state over a community (or the full graph)."""
+        return self.call(
+            "rwr", dataset=dataset,
+            sources=list(sources), community=community,
+            restart_probability=restart_probability, solver=solver,
+        )
+
+    def connection_subgraph(
+        self,
+        sources: Sequence,
+        community=None,
+        dataset=None,
+        budget: int = 30,
+        restart_probability: float = 0.15,
+    ):
+        """Cached multi-source connection-subgraph extraction."""
+        return self.call(
+            "connection_subgraph", dataset=dataset,
+            sources=list(sources), community=community,
+            budget=budget, restart_probability=restart_probability,
+        )
+
+    def connectivity(self, community=None, dataset=None):
+        """Cached connectivity edges among a community's children."""
+        return self.call("connectivity", dataset=dataset, community=community)
+
+    def inspect_edge(self, community_a, community_b, dataset=None):
+        """Cached cross-edge inspection between two communities."""
+        return self.call(
+            "inspect_edge", dataset=dataset,
+            community_a=community_a, community_b=community_b,
+        )
+
+    # ------------------------------------------------------------------ #
+    # request execution and batching
+    # ------------------------------------------------------------------ #
+    def execute(self, request: Union[QueryRequest, Dict[str, Any]]) -> QueryResult:
+        """Run one request, converting any failure into an errored result."""
+        if isinstance(request, dict):
+            request = QueryRequest.from_dict(request)
+        try:
+            handle = self._dataset(request.dataset)
+            value, cached = self._dispatch(handle, request.operation, dict(request.args))
+        except (GMineError, KeyError, TypeError, ValueError) as error:
+            return QueryResult(
+                request=request,
+                ok=False,
+                error=str(error),
+                error_type=type(error).__name__,
+            )
+        return QueryResult(request=request, ok=True, value=value, cached=cached)
+
+    def batch(
+        self,
+        requests: Sequence[Union[QueryRequest, Dict[str, Any]]],
+        max_workers: Optional[int] = None,
+    ) -> List[QueryResult]:
+        """Execute many requests: dedup identical ones, parallelise the rest.
+
+        Identical requests (same dataset fingerprint, operation and
+        canonical arguments) are executed once and their result is shared;
+        independent requests run concurrently on the worker pool.  A request
+        that fails (unknown community, unloadable leaf, bad arguments)
+        yields an errored :class:`QueryResult` without affecting any other
+        request in the batch.
+        """
+        parsed: List[Union[QueryRequest, QueryResult]] = []
+        for item in requests:
+            if isinstance(item, QueryRequest):
+                parsed.append(item)
+                continue
+            try:
+                parsed.append(QueryRequest.from_dict(item))
+            except (GMineError, TypeError, AttributeError) as error:
+                # A malformed entry is isolated like any other failure: it
+                # becomes an errored result without sinking the batch.
+                placeholder = QueryRequest(operation="<malformed>", args={})
+                parsed.append(
+                    QueryResult(
+                        request=placeholder,
+                        ok=False,
+                        error=str(error),
+                        error_type=type(error).__name__,
+                    )
+                )
+        order: List[Any] = []  # dedup key per request, in submission order
+        unique: Dict[Any, QueryRequest] = {}
+        for position, request in enumerate(parsed):
+            if isinstance(request, QueryResult):
+                order.append(None)
+                continue
+            try:
+                handle = self._dataset(request.dataset)
+                key = make_cache_key(
+                    handle.fingerprint,
+                    request.operation,
+                    self._canonicalize_op_args(handle, request.operation, request.args),
+                )
+            except GMineError:
+                key = ("__undeduplicable__", position)
+            order.append(key)
+            unique.setdefault(key, request)
+
+        executor = self._ensure_executor(max_workers)
+        futures = {
+            key: executor.submit(self.execute, request)
+            for key, request in unique.items()
+        }
+        shared = {key: future.result() for key, future in futures.items()}
+        results: List[QueryResult] = []
+        for position, request in enumerate(parsed):
+            if isinstance(request, QueryResult):
+                results.append(request)
+                continue
+            outcome = shared[order[position]]
+            if outcome.request is request:
+                results.append(outcome)
+            else:  # a deduplicated duplicate: same value, its own request
+                results.append(
+                    QueryResult(
+                        request=request,
+                        ok=outcome.ok,
+                        value=outcome.value,
+                        error=outcome.error,
+                        error_type=outcome.error_type,
+                        cached=True,
+                    )
+                )
+        return results
+
+    def _ensure_executor(self, max_workers: Optional[int]) -> ThreadPoolExecutor:
+        stale: Optional[ThreadPoolExecutor] = None
+        with self._lock:
+            if (
+                max_workers is not None
+                and self._executor is not None
+                and max_workers != self.max_workers
+            ):
+                stale, self._executor = self._executor, None
+            if max_workers is not None:
+                self.max_workers = max_workers
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="gmine-service",
+                )
+            executor = self._executor
+        if stale is not None:
+            # Outside the lock: its tasks may need the lock to finish.
+            stale.shutdown(wait=True)
+        return executor
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def compute_counts(self) -> Dict[str, int]:
+        """How many times each operation was actually computed (not cached)."""
+        with self._lock:
+            return dict(self._compute_counts)
+
+    def stats(self) -> Dict[str, Any]:
+        """One JSON-friendly snapshot of cache, compute and session state."""
+        with self._lock:
+            computed = dict(self._compute_counts)
+        return {
+            "cache": self.cache.stats.as_dict(),
+            "computed": computed,
+            "sessions": {
+                "active": len(self.sessions),
+                "ids": self.sessions.active_ids(),
+            },
+            "datasets": self.datasets(),
+        }
+
+    def _computed(self, operation: str, compute: Callable[[], Any]) -> Any:
+        """Run a computation, counting it against ``operation``."""
+        value = compute()
+        with self._lock:
+            self._compute_counts[operation] += 1
+        return value
+
+    # ------------------------------------------------------------------ #
+    # operation dispatch
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, handle: _Dataset, operation: str, args: Dict[str, Any]):
+        """Run one operation through the cache; returns ``(value, cached)``."""
+        if operation not in OPERATIONS:
+            raise UnknownOperationError(
+                f"unknown operation {operation!r}; expected one of {OPERATIONS}"
+            )
+        args = self._canonicalize_op_args(handle, operation, args)
+        key = make_cache_key(handle.fingerprint, operation, args)
+        performed: List[bool] = []
+
+        def compute() -> Any:
+            performed.append(True)
+            return self._computed(
+                operation, lambda: self._compute(handle, operation, args)
+            )
+
+        value = self.cache.get_or_compute(key, compute)
+        return value, not performed
+
+    @staticmethod
+    def _canonicalize_op_args(
+        handle: _Dataset, operation: str, args: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Fill defaults and normalise orderings so equal requests share keys."""
+        canonical = dict(args)
+        for field_name in ("community", "community_a", "community_b"):
+            # Communities may be addressed by tree-node id or label; key on
+            # the label so both spellings share one cache entry.
+            target = canonical.get(field_name)
+            if isinstance(target, int) and handle.tree.has_node(target):
+                canonical[field_name] = handle.tree.node(target).label
+        if operation == "metrics":
+            canonical.setdefault("community", None)
+            # Collapse all tuning knobs into the canonical metrics signature
+            # so defaulted and explicit spellings share one cache entry.
+            canonical["metrics"] = metrics_signature(
+                hop_sample_size=canonical.pop("hop_sample_size", None),
+                pagerank_damping=canonical.pop("pagerank_damping", 0.85),
+                top_k=canonical.pop("top_k", 10),
+                seed=canonical.pop("seed", 0),
+            )
+        elif operation == "rwr":
+            sources = canonical.get("sources") or []
+            canonical["sources"] = sorted(set(sources), key=repr)
+            canonical.setdefault("community", None)
+            canonical.setdefault("restart_probability", 0.15)
+            canonical.setdefault("solver", "power")
+        elif operation == "connection_subgraph":
+            sources = canonical.get("sources") or []
+            canonical["sources"] = sorted(set(sources), key=repr)
+            canonical.setdefault("community", None)
+            canonical.setdefault("budget", 30)
+            canonical.setdefault("restart_probability", 0.15)
+        elif operation == "connectivity":
+            canonical.setdefault("community", None)
+        elif operation == "inspect_edge":
+            a = canonical.get("community_a")
+            b = canonical.get("community_b")
+            # the underlying edge set is symmetric; order the pair
+            if a is not None and b is not None and repr(b) < repr(a):
+                canonical["community_a"], canonical["community_b"] = b, a
+        return canonical
+
+    def _compute(self, handle: _Dataset, operation: str, args: Dict[str, Any]) -> Any:
+        """Actually perform one operation (called at most once per cache key)."""
+        engine = handle.make_engine()
+        if operation == "metrics":
+            subgraph = self._community_subgraph(engine, args["community"])
+            signature = dict(args["metrics"])
+            return compute_subgraph_metrics(
+                subgraph,
+                hop_sample_size=signature["hop_sample_size"],
+                pagerank_damping=signature["pagerank_damping"],
+                top_k=signature["top_k"],
+                seed=signature["seed"],
+            )
+        if operation == "rwr":
+            subgraph = self._community_subgraph(engine, args["community"])
+            return steady_state_rwr(
+                subgraph,
+                args["sources"],
+                restart_probability=args["restart_probability"],
+                solver=args["solver"],
+            )
+        if operation == "connection_subgraph":
+            subgraph = self._community_subgraph(engine, args["community"])
+            return extract_connection_subgraph(
+                subgraph,
+                args["sources"],
+                budget=args["budget"],
+                restart_probability=args["restart_probability"],
+            )
+        if operation == "connectivity":
+            return engine.connectivity_edges(self._target(engine, args["community"]))
+        if operation == "inspect_edge":
+            return engine.inspect_connectivity_edge(
+                args["community_a"], args["community_b"]
+            )
+        raise UnknownOperationError(f"unknown operation {operation!r}")
+
+    def _community_subgraph(self, engine: GMineEngine, community) -> Graph:
+        """Materialise a community's subgraph; None means the widest scope."""
+        if community is None:
+            if engine.graph is not None:
+                return engine.graph
+            return engine.community_subgraph(engine.tree.root.node_id)
+        return engine.community_subgraph(community)
+
+    @staticmethod
+    def _target(engine: GMineEngine, community):
+        return engine.tree.root.node_id if community is None else community

@@ -1,0 +1,173 @@
+"""Managed exploration sessions: create, resume, touch, expire.
+
+The original GMine is single-user; the service layer lets many users
+explore one shared G-Tree at once.  Each user holds a :class:`ServiceSession`
+— an id, its own :class:`~repro.core.engine.GMineEngine` (cheap: a focus
+pointer and a history list over the shared tree), and a recorded
+:class:`~repro.core.session.ExplorationSession`.  The
+:class:`SessionManager` owns the id space and the TTL policy: a session that
+is not touched within its TTL is expired and must be recreated, exactly like
+a web session cookie.
+
+All session state that matters across processes (focus, bookmarks, recorded
+steps) serialises through ``state_dict``/``ExplorationSession.to_dict``, so
+a session can be persisted, shipped elsewhere, and resumed against a store
+reopened from the same file.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.engine import GMineEngine
+from ..core.session import ExplorationSession
+from ..errors import SessionExpiredError, SessionNotFoundError
+
+DEFAULT_SESSION_TTL = 1800.0  # seconds; matches a typical web-session policy
+
+#: How many expired session ids are remembered (for "expired" vs "unknown"
+#: error messages); the oldest tombstones are forgotten beyond this, after
+#: which a very old id simply reports as unknown.
+EXPIRED_TOMBSTONE_LIMIT = 1024
+
+
+@dataclass
+class ServiceSession:
+    """One user's live exploration state over a shared dataset."""
+
+    session_id: str
+    dataset: str
+    engine: GMineEngine
+    recording: ExplorationSession
+    ttl: Optional[float]
+    created_at: float
+    last_used_at: float
+    touches: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialise everything needed to resume this session elsewhere."""
+        payload = self.recording.to_dict()
+        payload["session_id"] = self.session_id
+        payload["dataset"] = self.dataset
+        return payload
+
+
+class SessionManager:
+    """Thread-safe registry of live sessions with TTL-based expiry."""
+
+    def __init__(
+        self,
+        default_ttl: Optional[float] = DEFAULT_SESSION_TTL,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.default_ttl = default_ttl
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._sessions: Dict[str, ServiceSession] = {}
+        # id -> the TTL it expired under; bounded tombstones for messages
+        self._expired: "OrderedDict[str, float]" = OrderedDict()
+        self._counter = itertools.count(1)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def active_ids(self) -> List[str]:
+        """Ids of sessions that are currently live (expired ones swept)."""
+        with self._lock:
+            self.sweep()
+            return sorted(self._sessions)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def create(
+        self,
+        dataset: str,
+        engine: GMineEngine,
+        ttl: Optional[float] = None,
+        session_id: Optional[str] = None,
+        name: str = "session",
+    ) -> ServiceSession:
+        """Register a new session over ``engine`` and return it."""
+        with self._lock:
+            if session_id is None:
+                session_id = f"{dataset}-{next(self._counter):04d}"
+            if session_id in self._sessions:
+                raise SessionNotFoundError(
+                    f"session id {session_id!r} is already in use"
+                )
+            now = self._clock()
+            session = ServiceSession(
+                session_id=session_id,
+                dataset=dataset,
+                engine=engine,
+                recording=ExplorationSession(engine, name=name),
+                ttl=self.default_ttl if ttl is None else ttl,
+                created_at=now,
+                last_used_at=now,
+            )
+            self._sessions[session_id] = session
+            self._expired.pop(session_id, None)
+            return session
+
+    def resume(self, session_id: str) -> ServiceSession:
+        """Return a live session and refresh its TTL clock.
+
+        Raises :class:`SessionExpiredError` when the session existed but aged
+        out, and :class:`SessionNotFoundError` when the id was never issued.
+        """
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is not None and self._is_expired(session):
+                self._drop(session_id)
+                session = None
+            if session is None:
+                if session_id in self._expired:
+                    raise SessionExpiredError(
+                        f"session {session_id!r} expired after its "
+                        f"{self._expired[session_id]:.0f}s TTL; create a new one"
+                    )
+                raise SessionNotFoundError(f"no session with id {session_id!r}")
+            session.last_used_at = self._clock()
+            session.touches += 1
+            return session
+
+    def close(self, session_id: str) -> None:
+        """Explicitly end a session (idempotent)."""
+        with self._lock:
+            self._sessions.pop(session_id, None)
+            self._expired.pop(session_id, None)
+
+    def sweep(self) -> List[str]:
+        """Expire every session past its TTL; return the expired ids."""
+        with self._lock:
+            stale = [
+                session_id
+                for session_id, session in self._sessions.items()
+                if self._is_expired(session)
+            ]
+            for session_id in stale:
+                self._drop(session_id)
+            return stale
+
+    # ------------------------------------------------------------------ #
+    # internals (call with the lock held)
+    # ------------------------------------------------------------------ #
+    def _is_expired(self, session: ServiceSession) -> bool:
+        if session.ttl is None:
+            return False
+        return self._clock() - session.last_used_at > session.ttl
+
+    def _drop(self, session_id: str) -> None:
+        session = self._sessions.pop(session_id, None)
+        if session is not None:
+            self._expired[session_id] = session.ttl if session.ttl is not None else 0.0
+            while len(self._expired) > EXPIRED_TOMBSTONE_LIMIT:
+                self._expired.popitem(last=False)

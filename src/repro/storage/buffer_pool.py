@@ -9,6 +9,7 @@ node currently in focus.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Optional
@@ -60,18 +61,24 @@ class BufferPool:
             raise StorageError(f"buffer pool capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.stats = BufferPoolStats()
+        # Reentrant so a loader running under get() may touch the pool; the
+        # lock makes the pool safe under the service layer's worker threads.
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._pinned: Dict[Hashable, int] = {}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def resident_keys(self):
         """Return the keys currently held, most recently used last."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     # ------------------------------------------------------------------ #
     # cache operations
@@ -81,58 +88,67 @@ class BufferPool:
 
         On a miss, ``loader`` (if given) is called to produce the value,
         which is then cached; without a loader a miss raises ``KeyError``.
+        The loader runs with the pool lock held, so concurrent misses on the
+        same key load exactly once.
         """
-        if key in self._entries:
-            self.stats.hits += 1
-            self._entries.move_to_end(key)
-            return self._entries[key]
-        self.stats.misses += 1
-        if loader is None:
-            raise KeyError(key)
-        value = loader()
-        self.put(key, value)
-        return value
+        with self._lock:
+            if key in self._entries:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.stats.misses += 1
+            if loader is None:
+                raise KeyError(key)
+            value = loader()
+            self.put(key, value)
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh ``key``; evicts the LRU unpinned entry if full."""
-        if key in self._entries:
+        with self._lock:
+            if key in self._entries:
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+                return
+            if len(self._entries) >= self.capacity:
+                self._evict_one()
             self._entries[key] = value
-            self._entries.move_to_end(key)
-            return
-        if len(self._entries) >= self.capacity:
-            self._evict_one()
-        self._entries[key] = value
 
     def invalidate(self, key: Hashable) -> None:
         """Drop ``key`` from the pool (no-op if absent; clears any pin)."""
-        self._entries.pop(key, None)
-        self._pinned.pop(key, None)
+        with self._lock:
+            self._entries.pop(key, None)
+            self._pinned.pop(key, None)
 
     def clear(self) -> None:
         """Empty the pool (pins are released too)."""
-        self._entries.clear()
-        self._pinned.clear()
+        with self._lock:
+            self._entries.clear()
+            self._pinned.clear()
 
     # ------------------------------------------------------------------ #
     # pinning
     # ------------------------------------------------------------------ #
     def pin(self, key: Hashable) -> None:
         """Protect ``key`` from eviction (reference counted)."""
-        if key not in self._entries:
-            raise KeyError(key)
-        self._pinned[key] = self._pinned.get(key, 0) + 1
+        with self._lock:
+            if key not in self._entries:
+                raise KeyError(key)
+            self._pinned[key] = self._pinned.get(key, 0) + 1
 
     def unpin(self, key: Hashable) -> None:
         """Release one pin on ``key``."""
-        count = self._pinned.get(key, 0)
-        if count <= 1:
-            self._pinned.pop(key, None)
-        else:
-            self._pinned[key] = count - 1
+        with self._lock:
+            count = self._pinned.get(key, 0)
+            if count <= 1:
+                self._pinned.pop(key, None)
+            else:
+                self._pinned[key] = count - 1
 
     def is_pinned(self, key: Hashable) -> bool:
         """Whether ``key`` currently holds at least one pin."""
-        return self._pinned.get(key, 0) > 0
+        with self._lock:
+            return self._pinned.get(key, 0) > 0
 
     def _evict_one(self) -> None:
         """Evict the least recently used unpinned entry."""

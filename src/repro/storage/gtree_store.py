@@ -22,6 +22,7 @@ subgraph blob.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -81,6 +82,9 @@ def save_gtree(
                 "children": list(node.children),
                 "members": list(node.members),
                 "leaf_page": leaf_pages.get(node.node_id, _NO_PAGE),
+                # Content digest of the leaf subgraph: lets a reopened store
+                # reproduce the tree fingerprint without loading any leaf.
+                "digest": node.subgraph.content_digest() if node.is_leaf else "",
             }
             skeleton += frame(encode_record(record))
             connectivity = bytearray()
@@ -134,8 +138,13 @@ class GTreeStore:
         self._pager = Pager(self.path, page_size=page_size, read_only=True)
         self._pool = BufferPool(capacity=cache_capacity)
         self._leaf_pages: Dict[int, int] = {}
+        self._leaf_digests: Dict[int, str] = {}
         self._leaves_loaded = 0
+        # One store may serve many engine sessions concurrently; the lock
+        # serialises pager seeks/reads and the leaves-loaded counter.
+        self._lock = threading.RLock()
         self.tree = self._load_skeleton()
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -158,6 +167,21 @@ class GTreeStore:
             buffer_pool=self._pool.stats,
             leaves_loaded=self._leaves_loaded,
         )
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash identifying this store's tree for result caching.
+
+        Delegates to :meth:`~repro.core.gtree.GTree.fingerprint`, feeding it
+        the per-leaf content digests recorded at save time, so a store and
+        the in-memory tree it was saved from agree on the key without any
+        leaf being loaded (computed once and memoised; the file is opened
+        read-only, so it cannot drift).
+        """
+        with self._lock:
+            if self._fingerprint is None:
+                self._fingerprint = self.tree.fingerprint(self._leaf_digests)
+            return self._fingerprint
 
     # ------------------------------------------------------------------ #
     # loading
@@ -202,6 +226,7 @@ class GTreeStore:
             leaf_page = int(record["leaf_page"])
             if leaf_page != _NO_PAGE:
                 self._leaf_pages[node.node_id] = leaf_page
+                self._leaf_digests[node.node_id] = str(record.get("digest", ""))
                 tree.register_leaf_members(node)
         tree.assert_valid()
         return tree
@@ -234,21 +259,33 @@ class GTreeStore:
         if node_id not in self._leaf_pages:
             raise CorruptStoreError(f"leaf {node.label!r} has no stored subgraph")
 
-        def loader() -> Graph:
+        # Fast path: already resident (the pool is internally locked).
+        try:
+            return self._pool.get(node_id)
+        except KeyError:
+            pass
+        # The pager's seek/read pair is not safe to interleave, so only the
+        # raw page I/O runs under the store lock; decoding happens outside
+        # it so concurrent sessions can decode different leaves in parallel.
+        # Two threads missing the same leaf at once may both decode it — the
+        # second put() simply refreshes the entry, which is harmless.
+        with self._lock:
             self._leaves_loaded += 1
             blob = self._pager.read_blob(self._leaf_pages[node_id])
-            payload, _ = unframe(blob)
-            return decode_graph(payload)
-
-        return self._pool.get(node_id, loader)
+        payload, _ = unframe(blob)
+        graph = decode_graph(payload)
+        self._pool.put(node_id, graph)
+        return graph
 
     def is_resident(self, node_id: int) -> bool:
         """Whether a leaf subgraph is currently held in memory."""
-        return node_id in self._pool
+        with self._lock:
+            return node_id in self._pool
 
     def resident_leaf_count(self) -> int:
         """Number of leaf subgraphs currently resident in the buffer pool."""
-        return len(self._pool)
+        with self._lock:
+            return len(self._pool)
 
 
 def load_gtree_fully(path: PathLike) -> GTree:

@@ -1,0 +1,118 @@
+"""Property-based regression: the two RWR solvers agree on random graphs.
+
+The power-iteration solver is the scalable path the engine and service use;
+the direct linear solve is the ground truth.  These tests generate random
+graphs and source sets (seeded deterministically — ``derandomize=True``
+makes hypothesis replay the same example sequence on every run) and assert
+the two steady states agree within tolerance, plus the invariances the
+service cache relies on (source order, container type, solver equivalence).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import barabasi_albert, connected_caveman, erdos_renyi
+from repro.mining.rwr import rwr_exact, rwr_power_iteration, steady_state_rwr
+
+pytestmark = pytest.mark.tier1
+
+AGREEMENT_TOL = 1e-7
+POWER_TOL = 1e-12
+
+
+def _sample_sources(graph, seed, count):
+    nodes = sorted(graph.nodes(), key=repr)
+    rng = random.Random(seed)
+    return rng.sample(nodes, min(count, len(nodes)))
+
+
+def _assert_same_distribution(first, second, tol=AGREEMENT_TOL):
+    assert set(first.scores) == set(second.scores)
+    worst = max(
+        abs(first.scores[node] - second.scores[node]) for node in first.scores
+    )
+    assert worst < tol, f"solvers disagree by {worst:.3e}"
+
+
+@given(
+    n=st.integers(min_value=5, max_value=45),
+    p=st.floats(min_value=0.05, max_value=0.35),
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_sources=st.integers(min_value=1, max_value=3),
+    restart=st.floats(min_value=0.05, max_value=0.6),
+)
+@settings(max_examples=30, deadline=None, derandomize=True)
+def test_power_iteration_agrees_with_exact_on_random_graphs(
+    n, p, seed, num_sources, restart
+):
+    graph = erdos_renyi(n, p, seed=seed)
+    sources = _sample_sources(graph, seed, num_sources)
+    power = rwr_power_iteration(
+        graph, sources, restart_probability=restart, tol=POWER_TOL, max_iter=5000
+    )
+    exact = rwr_exact(graph, sources, restart_probability=restart)
+    assert power.converged
+    _assert_same_distribution(power, exact)
+
+
+@given(
+    n=st.integers(min_value=6, max_value=50),
+    seed=st.integers(min_value=0, max_value=10_000),
+    restart=st.floats(min_value=0.05, max_value=0.5),
+)
+@settings(max_examples=20, deadline=None, derandomize=True)
+def test_solvers_agree_on_scale_free_graphs(n, seed, restart):
+    graph = barabasi_albert(n, 2, seed=seed)
+    sources = _sample_sources(graph, seed, 2)
+    power = rwr_power_iteration(
+        graph, sources, restart_probability=restart, tol=POWER_TOL, max_iter=5000
+    )
+    exact = rwr_exact(graph, sources, restart_probability=restart)
+    _assert_same_distribution(power, exact)
+
+
+@given(
+    cliques=st.integers(min_value=2, max_value=5),
+    clique_size=st.integers(min_value=3, max_value=7),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=15, deadline=None, derandomize=True)
+def test_solvers_agree_on_community_structured_graphs(cliques, clique_size, seed):
+    graph = connected_caveman(cliques, clique_size, seed=seed)
+    sources = _sample_sources(graph, seed, 2)
+    power = rwr_power_iteration(graph, sources, tol=POWER_TOL, max_iter=5000)
+    exact = rwr_exact(graph, sources)
+    _assert_same_distribution(power, exact)
+
+
+@given(
+    n=st.integers(min_value=8, max_value=40),
+    p=st.floats(min_value=0.08, max_value=0.3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=20, deadline=None, derandomize=True)
+def test_steady_state_rwr_is_source_order_invariant(n, p, seed):
+    graph = erdos_renyi(n, p, seed=seed)
+    sources = _sample_sources(graph, seed, 3)
+    forward = steady_state_rwr(graph, sources)
+    backward = steady_state_rwr(graph, tuple(reversed(sources)))
+    duplicated = steady_state_rwr(graph, list(sources) + [sources[0]])
+    _assert_same_distribution(forward, backward, tol=1e-12)
+    _assert_same_distribution(forward, duplicated, tol=1e-12)
+
+
+@given(
+    n=st.integers(min_value=6, max_value=30),
+    p=st.floats(min_value=0.1, max_value=0.35),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=15, deadline=None, derandomize=True)
+def test_steady_state_rwr_solver_choice_agrees(n, p, seed):
+    graph = erdos_renyi(n, p, seed=seed)
+    sources = _sample_sources(graph, seed, 2)
+    power = steady_state_rwr(graph, sources, solver="power", tol=POWER_TOL, max_iter=5000)
+    exact = steady_state_rwr(graph, sources, solver="exact")
+    _assert_same_distribution(power, exact)

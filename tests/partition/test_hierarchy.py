@@ -103,6 +103,7 @@ class TestHierarchyQueries:
         assert summary["paper_communities"] == summary["leaf_communities"] + 1
         assert summary["min_leaf_size"] <= summary["mean_leaf_size"] <= summary["max_leaf_size"]
 
+    @pytest.mark.slow
     def test_paper_parameterisation_bookkeeping(self):
         # fanout 5, levels 3 on a graph big enough to split fully: 25 leaves,
         # 'paper count' 26 (the paper's 5 levels give 5^4 + 1 = 626).

@@ -1,0 +1,63 @@
+"""Shared fixtures for the query-service test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_gtree
+from repro.data.dblp import DBLPConfig, generate_dblp
+from repro.service import GMineService
+from repro.storage.gtree_store import GTreeStore, save_gtree
+
+
+@pytest.fixture(scope="session")
+def service_dataset():
+    """A small DBLP dataset + G-Tree shared by the service tests."""
+    dataset = generate_dblp(DBLPConfig(num_authors=500, seed=23))
+    tree = build_gtree(dataset.graph, fanout=3, levels=3, seed=23)
+    return dataset, tree
+
+
+@pytest.fixture(scope="session")
+def store_path(service_dataset, tmp_path_factory):
+    """The shared dataset persisted to a single-file store."""
+    _, tree = service_dataset
+    path = tmp_path_factory.mktemp("service") / "service.gtree"
+    save_gtree(tree, path)
+    return path
+
+
+@pytest.fixture
+def service(service_dataset, store_path):
+    """A fresh service over the shared store (cache/session state isolated)."""
+    dataset, _ = service_dataset
+    with GMineService(max_workers=8) as svc:
+        with GTreeStore(store_path, cache_capacity=16) as store:
+            svc.register_store(store, graph=dataset.graph, name="dblp")
+            yield svc
+
+
+@pytest.fixture
+def hot_leaf(service_dataset):
+    """The largest leaf community (a natural hot spot) and two of its members."""
+    _, tree = service_dataset
+    leaf = max(tree.leaves(), key=lambda node: node.size)
+    return leaf, leaf.members[:2]
+
+
+class ManualClock:
+    """Deterministic, manually advanced time source for TTL tests."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()

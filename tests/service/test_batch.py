@@ -1,0 +1,123 @@
+"""Batch execution: in-flight dedup, worker-pool fan-out, error isolation."""
+
+import pytest
+
+from repro.service import QueryRequest
+
+pytestmark = pytest.mark.tier1
+
+
+class TestDedup:
+    def test_identical_requests_compute_once(self, service, hot_leaf):
+        leaf, _ = hot_leaf
+        request = {"op": "metrics", "args": {"community": leaf.label}}
+        results = service.batch([request] * 6)
+        assert all(result.ok for result in results)
+        assert service.compute_counts.get("metrics") == 1
+        # the duplicates are flagged as served without fresh computation
+        assert sum(1 for result in results if result.cached) >= 5
+        values = {id(result.value) for result in results}
+        assert len(values) == 1, "every duplicate shares the one computed value"
+
+    def test_equivalent_spellings_dedup(self, service, hot_leaf):
+        leaf, members = hot_leaf
+        results = service.batch(
+            [
+                {"op": "rwr", "args": {"community": leaf.label, "sources": members}},
+                QueryRequest(
+                    "rwr",
+                    {"community": leaf.label, "sources": list(reversed(members))},
+                ),
+                {
+                    "op": "rwr",
+                    "args": {
+                        "sources": members,
+                        "community": leaf.label,
+                        "solver": "power",
+                    },
+                },
+            ]
+        )
+        assert all(result.ok for result in results)
+        assert service.compute_counts.get("rwr") == 1
+
+    def test_independent_requests_all_run(self, service, service_dataset):
+        _, tree = service_dataset
+        leaves = tree.leaves()[:5]
+        results = service.batch(
+            [{"op": "metrics", "args": {"community": leaf.label}} for leaf in leaves]
+        )
+        assert all(result.ok for result in results)
+        assert service.compute_counts.get("metrics") == len(leaves)
+        components = [result.value.num_weak_components for result in results]
+        assert all(count >= 1 for count in components)
+
+    def test_results_keep_submission_order(self, service, service_dataset):
+        _, tree = service_dataset
+        leaves = [leaf.label for leaf in tree.leaves()[:4]]
+        requests = [{"op": "metrics", "args": {"community": label}} for label in leaves]
+        results = service.batch(requests)
+        assert [result.request.args["community"] for result in results] == leaves
+
+
+class TestErrorIsolation:
+    def test_one_bad_request_does_not_poison_the_batch(self, service, hot_leaf):
+        leaf, members = hot_leaf
+        results = service.batch(
+            [
+                {"op": "metrics", "args": {"community": leaf.label}},
+                {"op": "metrics", "args": {"community": "no-such-community"}},
+                {"op": "rwr", "args": {"community": leaf.label, "sources": members}},
+                {"op": "teleport", "args": {}},
+            ]
+        )
+        assert [result.ok for result in results] == [True, False, True, False]
+        assert results[1].error_type == "NavigationError"
+        assert "no-such-community" in results[1].error
+        assert results[3].error_type == "UnknownOperationError"
+        # failures surface through unwrap() but values come straight out
+        assert results[0].unwrap().num_weak_components >= 1
+        with pytest.raises(Exception):
+            results[1].unwrap()
+
+    def test_service_remains_usable_after_failed_batch(self, service, hot_leaf):
+        leaf, _ = hot_leaf
+        service.batch([{"op": "metrics", "args": {"community": "missing"}}] * 3)
+        follow_up = service.metrics(community=leaf.label)
+        assert follow_up.num_weak_components >= 1
+
+    def test_failed_requests_are_never_cached(self, service):
+        first = service.batch([{"op": "metrics", "args": {"community": "missing"}}])
+        second = service.batch([{"op": "metrics", "args": {"community": "missing"}}])
+        assert not first[0].ok and not second[0].ok
+        # both attempts actually executed (no stale failure was served)
+        assert not second[0].cached
+
+
+class TestWorkers:
+    def test_worker_pool_is_resized_on_demand(self, service, service_dataset):
+        _, tree = service_dataset
+        leaves = tree.leaves()
+        results = service.batch(
+            [{"op": "metrics", "args": {"community": leaf.label}} for leaf in leaves],
+            max_workers=2,
+        )
+        assert all(result.ok for result in results)
+        assert service.max_workers == 2
+
+
+class TestMalformedRequests:
+    def test_malformed_entry_is_isolated_not_fatal(self, service, hot_leaf):
+        leaf, _ = hot_leaf
+        results = service.batch(
+            [
+                {"op": "metrics", "args": {"community": leaf.label}},
+                {"args": {"community": leaf.label}},  # no op/operation key
+                {"op": "metrics", "args": {"community": leaf.label}},
+            ]
+        )
+        assert [result.ok for result in results] == [True, False, True]
+        assert results[1].request.operation == "<malformed>"
+        assert results[1].error_type == "ServiceError"
+        # the two well-formed twins still deduped onto one computation
+        assert service.compute_counts.get("metrics") == 1

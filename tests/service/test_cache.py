@@ -1,0 +1,163 @@
+"""Unit tests for the thread-safe LRU+TTL result cache."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ResultCache, canonical_args, make_cache_key
+
+pytestmark = pytest.mark.tier1
+
+
+class TestCanonicalArgs:
+    def test_dict_order_does_not_matter(self):
+        assert canonical_args({"a": 1, "b": 2}) == canonical_args({"b": 2, "a": 1})
+
+    def test_list_and_tuple_collide(self):
+        assert canonical_args([1, 2, 3]) == canonical_args((1, 2, 3))
+
+    def test_sets_are_order_free(self):
+        assert canonical_args({3, 1, 2}) == canonical_args({2, 3, 1})
+
+    def test_nested_structures_are_hashable(self):
+        key = make_cache_key("fp", "op", {"sources": [1, 2], "opts": {"x": [3]}})
+        hash(key)  # must not raise
+
+    def test_different_args_different_keys(self):
+        assert make_cache_key("fp", "op", {"a": 1}) != make_cache_key("fp", "op", {"a": 2})
+        assert make_cache_key("fp", "op1", {}) != make_cache_key("fp", "op2", {})
+        assert make_cache_key("fp1", "op", {}) != make_cache_key("fp2", "op", {})
+
+
+class TestHitMissAccounting:
+    def test_first_access_misses_then_hits(self):
+        cache = ResultCache(capacity=4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_compute("k", lambda: calls.append(1) or "v")
+            assert value == "v"
+        assert len(calls) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 2
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_failed_compute_is_not_cached(self):
+        cache = ResultCache(capacity=4)
+
+        def boom():
+            raise RuntimeError("flaky")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", boom)
+        assert "k" not in cache
+        # the next attempt retries and can succeed
+        assert cache.get_or_compute("k", lambda: 42) == 42
+        assert cache.stats.misses == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ServiceError):
+            ResultCache(capacity=0)
+        with pytest.raises(ServiceError):
+            ResultCache(ttl=-1.0)
+
+
+class TestLRUEviction:
+    def test_capacity_is_enforced_lru(self):
+        cache = ResultCache(capacity=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 1)  # refresh a; b becomes LRU
+        cache.get_or_compute("c", lambda: 3)  # evicts b
+        assert cache.stats.evictions == 1
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_invalidate_fingerprint_drops_only_that_tree(self):
+        cache = ResultCache(capacity=8)
+        cache.put(make_cache_key("fp1", "op", {"x": 1}), "one")
+        cache.put(make_cache_key("fp1", "op", {"x": 2}), "two")
+        cache.put(make_cache_key("fp2", "op", {"x": 1}), "other")
+        assert cache.invalidate_fingerprint("fp1") == 2
+        assert len(cache) == 1
+
+
+class TestTTL:
+    def test_entries_expire_after_ttl(self, clock):
+        cache = ResultCache(capacity=4, ttl=10.0, clock=clock)
+        cache.get_or_compute("k", lambda: "v1")
+        clock.advance(9.0)
+        assert cache.get_or_compute("k", lambda: "v2") == "v1"
+        clock.advance(2.0)  # now 11s past insert
+        assert cache.get_or_compute("k", lambda: "v2") == "v2"
+        assert cache.stats.expirations == 1
+        assert cache.stats.misses == 2
+
+    def test_sweep_collects_expired_entries(self, clock):
+        cache = ResultCache(capacity=8, ttl=5.0, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        clock.advance(6.0)
+        cache.put("c", 3)
+        assert cache.sweep() == 2
+        assert len(cache) == 1
+        assert cache.stats.expirations == 2
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_compute_once(self):
+        cache = ResultCache(capacity=4)
+        started = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def slow_compute():
+            calls.append(threading.get_ident())
+            started.set()
+            release.wait(timeout=5)
+            return "answer"
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(cache.get_or_compute("k", slow_compute))
+            )
+            for _ in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        started.wait(timeout=5)
+        time.sleep(0.05)  # let the other threads pile up behind the in-flight entry
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert results == ["answer"] * 6
+        assert len(calls) == 1, "exactly one thread performs the computation"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits + cache.stats.coalesced == 5
+
+    def test_failure_propagates_to_coalesced_waiters(self):
+        cache = ResultCache(capacity=4)
+        barrier = threading.Barrier(3)
+        outcomes = []
+
+        def failing_compute():
+            time.sleep(0.05)
+            raise ValueError("shared failure")
+
+        def worker():
+            barrier.wait(timeout=5)
+            try:
+                cache.get_or_compute("k", failing_compute)
+                outcomes.append("ok")
+            except ValueError:
+                outcomes.append("error")
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert outcomes.count("error") >= 1
+        assert "ok" not in outcomes
+        assert "k" not in cache

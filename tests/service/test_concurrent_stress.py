@@ -1,0 +1,123 @@
+"""Threaded stress: many sessions over one shared store == sequential runs."""
+
+import threading
+
+import pytest
+
+from repro.service import GMineService
+from repro.storage.gtree_store import GTreeStore
+
+pytestmark = pytest.mark.tier1
+
+NUM_SESSIONS = 10  # acceptance criterion asks for >= 8
+
+
+def _workload(tree):
+    """A deterministic per-session script: (leaf label, rwr sources)."""
+    leaves = tree.leaves()
+    scripts = []
+    for position in range(NUM_SESSIONS):
+        leaf = leaves[position % len(leaves)]
+        sources = leaf.members[: 2 if leaf.size >= 2 else 1]
+        scripts.append((leaf.label, sources))
+    return scripts
+
+
+def _run_one(service, script):
+    """Execute one session's script and summarise its observable answers."""
+    leaf_label, sources = script
+    session = service.open_session("dblp", focus=leaf_label)
+    metrics = session.recording.community_metrics()
+    rwr = service.rwr(sources, community=leaf_label)
+    connectivity = service.connectivity()
+    return {
+        "focus": session.engine.focus.label,
+        "weak": metrics.num_weak_components,
+        "diameter": metrics.diameter,
+        "degree_hist": dict(metrics.degree_histogram),
+        "rwr_scores": {repr(node): round(score, 10) for node, score in rwr.scores.items()},
+        "connectivity": len(connectivity),
+    }
+
+
+class TestConcurrentSessions:
+    def test_concurrent_sessions_match_sequential_results(
+        self, service_dataset, store_path
+    ):
+        dataset, tree = service_dataset
+        scripts = _workload(tree)
+
+        # --- sequential reference: a fresh service, one session at a time --- #
+        with GMineService(max_workers=1) as reference:
+            with GTreeStore(store_path, cache_capacity=4) as store:
+                reference.register_store(store, graph=dataset.graph, name="dblp")
+                expected = [_run_one(reference, script) for script in scripts]
+
+        # --- concurrent run: one shared store, tiny buffer pool ------------- #
+        with GMineService(max_workers=NUM_SESSIONS) as service:
+            with GTreeStore(store_path, cache_capacity=2) as store:
+                service.register_store(store, graph=dataset.graph, name="dblp")
+                observed = [None] * NUM_SESSIONS
+                failures = []
+
+                def worker(position):
+                    try:
+                        observed[position] = _run_one(service, scripts[position])
+                    except Exception as error:  # pragma: no cover - diagnostic
+                        failures.append((position, repr(error)))
+
+                threads = [
+                    threading.Thread(target=worker, args=(position,))
+                    for position in range(NUM_SESSIONS)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=120)
+
+                assert not failures, f"concurrent sessions failed: {failures}"
+                assert observed == expected, (
+                    "concurrent answers must be identical to the sequential run"
+                )
+                assert len(service.sessions) == NUM_SESSIONS
+
+                # the cache demonstrably deduped: distinct questions were
+                # computed once each, every repeat was served from memory
+                distinct_leaves = len({script[0] for script in scripts})
+                assert service.compute_counts.get("metrics") == distinct_leaves
+                assert service.compute_counts.get("rwr") == distinct_leaves
+                assert service.compute_counts.get("connectivity") == 1
+                stats = service.cache.stats
+                assert stats.hits + stats.coalesced > 0
+
+    def test_concurrent_identical_sessions_compute_each_question_once(
+        self, service_dataset, store_path
+    ):
+        """All sessions asking the same question => exactly one computation."""
+        dataset, tree = service_dataset
+        hot = max(tree.leaves(), key=lambda leaf: leaf.size)
+        barrier = threading.Barrier(NUM_SESSIONS)
+
+        with GMineService(max_workers=NUM_SESSIONS) as service:
+            with GTreeStore(store_path, cache_capacity=2) as store:
+                service.register_store(store, graph=dataset.graph, name="dblp")
+                answers = [None] * NUM_SESSIONS
+
+                def worker(position):
+                    barrier.wait(timeout=30)
+                    session = service.open_session("dblp", focus=hot.label)
+                    answers[position] = session.recording.community_metrics()
+
+                threads = [
+                    threading.Thread(target=worker, args=(position,))
+                    for position in range(NUM_SESSIONS)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=120)
+
+                assert all(answer is answers[0] for answer in answers), (
+                    "every session shares the single computed metrics object"
+                )
+                assert service.compute_counts.get("metrics") == 1

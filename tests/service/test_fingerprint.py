@@ -1,0 +1,50 @@
+"""Tree fingerprints: the cache key must track structure AND content."""
+
+import pytest
+
+from repro.core.builder import build_gtree
+from repro.graph.generators import connected_caveman
+from repro.storage.gtree_store import GTreeStore, save_gtree
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture
+def tree_and_graph():
+    graph = connected_caveman(4, 8, seed=12)
+    return build_gtree(graph, fanout=2, levels=2, seed=12), graph
+
+
+class TestFingerprint:
+    def test_deterministic(self, tree_and_graph):
+        tree, _ = tree_and_graph
+        assert tree.fingerprint() == tree.fingerprint()
+
+    def test_store_agrees_with_the_tree_it_was_saved_from(
+        self, tree_and_graph, tmp_path
+    ):
+        tree, _ = tree_and_graph
+        path = tmp_path / "t.gtree"
+        save_gtree(tree, path)
+        with GTreeStore(path) as store:
+            assert store.fingerprint == tree.fingerprint()
+
+    def test_intra_leaf_edge_change_changes_the_fingerprint(self, tmp_path):
+        graph = connected_caveman(4, 8, seed=12)
+        before = build_gtree(graph, fanout=2, levels=2, seed=12)
+        original = before.fingerprint()
+
+        # Perturb one edge *inside* a leaf community: hierarchy, membership
+        # and cross-community connectivity summaries stay identical.
+        leaf = before.leaves()[0]
+        subgraph = leaf.subgraph
+        u, v, w = next(iter(subgraph.edges()))
+        subgraph.add_edge(u, v, weight=w + 5.0, accumulate=False)
+        assert before.fingerprint() != original, (
+            "changed leaf content must change the cache key"
+        )
+
+    def test_structural_change_changes_the_fingerprint(self, tree_and_graph):
+        tree, graph = tree_and_graph
+        other = build_gtree(graph, fanout=2, levels=3, seed=12)
+        assert tree.fingerprint() != other.fingerprint()

@@ -1,0 +1,129 @@
+"""Service-level caching: hit/miss accounting across sessions and operations."""
+
+import pytest
+
+from repro.errors import ServiceError, UnknownOperationError
+from repro.mining.metrics_suite import SubgraphMetrics
+from repro.mining.rwr import RWRResult
+
+pytestmark = pytest.mark.tier1
+
+
+class TestRWRCaching:
+    def test_second_identical_rwr_performs_zero_new_power_iterations(
+        self, service, hot_leaf
+    ):
+        """Acceptance criterion: repeat RWR = pure cache hit, no new iterations."""
+        leaf, members = hot_leaf
+        first = service.rwr(members, community=leaf.label)
+        assert isinstance(first, RWRResult)
+        assert first.iterations > 0, "the first request really iterates"
+        assert service.compute_counts.get("rwr") == 1
+        hits_before = service.cache.stats.hits
+
+        second = service.rwr(members, community=leaf.label)
+        assert second is first, "the cached steady state is returned as-is"
+        assert service.compute_counts.get("rwr") == 1, (
+            "zero new power iterations were performed for the repeat request"
+        )
+        assert service.cache.stats.hits == hits_before + 1
+
+    def test_source_order_and_container_do_not_defeat_the_cache(
+        self, service, hot_leaf
+    ):
+        leaf, members = hot_leaf
+        first = service.rwr(members, community=leaf.label)
+        second = service.rwr(tuple(reversed(members)), community=leaf.label)
+        assert second is first
+        assert service.compute_counts.get("rwr") == 1
+
+    def test_different_restart_probability_is_a_different_entry(self, service, hot_leaf):
+        leaf, members = hot_leaf
+        service.rwr(members, community=leaf.label, restart_probability=0.15)
+        service.rwr(members, community=leaf.label, restart_probability=0.25)
+        assert service.compute_counts.get("rwr") == 2
+
+
+class TestMetricsCaching:
+    def test_second_identical_metrics_request_is_a_cache_hit(self, service, hot_leaf):
+        leaf, _ = hot_leaf
+        first = service.metrics(community=leaf.label)
+        assert isinstance(first, SubgraphMetrics)
+        assert service.compute_counts.get("metrics") == 1
+        second = service.metrics(community=leaf.label)
+        assert second is first
+        assert service.compute_counts.get("metrics") == 1
+        assert service.cache.stats.hits >= 1
+
+    def test_session_metrics_share_the_service_cache(self, service, hot_leaf):
+        """A session's interactive metrics call reuses the direct-call entry."""
+        leaf, _ = hot_leaf
+        direct = service.metrics(community=leaf.label)
+        session = service.open_session("dblp", focus=leaf.label)
+        via_session = session.recording.community_metrics()
+        assert via_session is direct
+        assert service.compute_counts.get("metrics") == 1
+
+    def test_id_and_label_addressing_share_one_entry(self, service, hot_leaf):
+        leaf, _ = hot_leaf
+        by_label = service.metrics(community=leaf.label)
+        by_id = service.metrics(community=leaf.node_id)
+        assert by_id is by_label
+        assert service.compute_counts.get("metrics") == 1
+
+    def test_distinct_communities_are_distinct_entries(self, service, service_dataset):
+        _, tree = service_dataset
+        leaves = tree.leaves()
+        service.metrics(community=leaves[0].label)
+        service.metrics(community=leaves[1].label)
+        assert service.compute_counts.get("metrics") == 2
+
+
+class TestOtherOperations:
+    def test_connectivity_and_inspect_edge_are_cached(self, service, service_dataset):
+        _, tree = service_dataset
+        edges = service.connectivity()  # root's children
+        assert service.connectivity() is edges
+        if edges:
+            a = tree.node(edges[0].source).label
+            b = tree.node(edges[0].target).label
+            inspection = service.inspect_edge(a, b)
+            # symmetric pair ordering shares the entry
+            assert service.inspect_edge(b, a) is inspection
+            assert service.compute_counts.get("inspect_edge") == 1
+
+    def test_connection_subgraph_is_cached(self, service, hot_leaf):
+        leaf, members = hot_leaf
+        result = service.connection_subgraph(members, community=leaf.label, budget=12)
+        again = service.connection_subgraph(
+            list(reversed(members)), community=leaf.label, budget=12
+        )
+        assert again is result
+        assert service.compute_counts.get("connection_subgraph") == 1
+
+    def test_unknown_operation_rejected(self, service):
+        with pytest.raises(UnknownOperationError):
+            service.call("teleport")
+
+    def test_unknown_dataset_rejected(self, service):
+        with pytest.raises(ServiceError):
+            service.metrics(dataset="nope")
+
+
+class TestEviction:
+    def test_cache_eviction_accounting_under_small_capacity(
+        self, service_dataset, store_path
+    ):
+        from repro.service import GMineService
+
+        dataset, tree = service_dataset
+        with GMineService(cache_capacity=2) as small:
+            small.register_store(store_path, graph=dataset.graph, name="dblp")
+            leaves = tree.leaves()[:4]
+            for leaf in leaves:
+                small.metrics(community=leaf.label)
+            assert small.cache.stats.evictions == 2
+            assert small.cache.stats.misses == 4
+            # the oldest entry was evicted; asking again recomputes
+            small.metrics(community=leaves[0].label)
+            assert small.compute_counts.get("metrics") == 5

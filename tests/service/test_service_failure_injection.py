@@ -1,0 +1,126 @@
+"""Failure injection for concurrent store access through the service.
+
+A leaf read that fails mid-batch (page corruption, I/O error) must poison
+only the request that touched it — never the service, the batch's other
+requests, or other live sessions.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import CorruptStoreError
+from repro.service import GMineService
+from repro.storage.gtree_store import GTreeStore
+
+pytestmark = pytest.mark.tier1
+
+
+class FlakyStore(GTreeStore):
+    """A store whose configured leaves fail to load, optionally only N times."""
+
+    def __init__(self, path, poisoned=None, fail_times=None, **kwargs):
+        super().__init__(path, **kwargs)
+        self.poisoned = set(poisoned or ())
+        self.fail_times = fail_times  # None = always fail
+        self.failures = 0
+        self._failure_lock = threading.Lock()
+
+    def load_leaf_subgraph(self, node_id):
+        if node_id in self.poisoned:
+            with self._failure_lock:
+                if self.fail_times is None or self.failures < self.fail_times:
+                    self.failures += 1
+                    raise CorruptStoreError(
+                        f"injected failure reading leaf {node_id}"
+                    )
+        return super().load_leaf_subgraph(node_id)
+
+
+@pytest.fixture
+def flaky_setup(service_dataset, store_path):
+    """A service over a store where the largest leaf is poisoned."""
+    dataset, tree = service_dataset
+    bad_leaf = max(tree.leaves(), key=lambda leaf: leaf.size)
+    good_leaves = [leaf for leaf in tree.leaves() if leaf.node_id != bad_leaf.node_id]
+    store = FlakyStore(store_path, poisoned={bad_leaf.node_id}, cache_capacity=4)
+    # No full graph on purpose: every subgraph must come through the store.
+    with GMineService(max_workers=6) as service:
+        service.register_store(store, name="dblp")
+        yield service, store, bad_leaf, good_leaves
+    store.close()
+
+
+class TestBatchIsolation:
+    def test_failing_leaf_poisons_only_its_own_request(self, flaky_setup):
+        service, store, bad_leaf, good_leaves = flaky_setup
+        requests = [{"op": "metrics", "args": {"community": bad_leaf.label}}]
+        requests += [
+            {"op": "metrics", "args": {"community": leaf.label}}
+            for leaf in good_leaves[:4]
+        ]
+        results = service.batch(requests)
+        assert [result.ok for result in results] == [False, True, True, True, True]
+        assert results[0].error_type == "CorruptStoreError"
+        assert "injected failure" in results[0].error
+        assert store.failures == 1
+
+    def test_concurrent_sessions_survive_another_sessions_failure(self, flaky_setup):
+        service, _, bad_leaf, good_leaves = flaky_setup
+        outcomes = [None] * 6
+
+        def worker(position):
+            target = bad_leaf if position == 0 else good_leaves[position - 1]
+            try:
+                session = service.open_session("dblp", focus=target.label)
+                metrics = session.recording.community_metrics()
+                outcomes[position] = ("ok", metrics.num_weak_components)
+            except CorruptStoreError:
+                outcomes[position] = ("error", None)
+
+        threads = [threading.Thread(target=worker, args=(p,)) for p in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        assert outcomes[0] == ("error", None)
+        assert all(status == "ok" for status, _ in outcomes[1:]), (
+            "one session hitting a bad leaf must not affect the others"
+        )
+        # the service is still fully operational afterwards
+        follow_up = service.metrics(community=good_leaves[0].label)
+        assert follow_up.num_weak_components >= 1
+
+    def test_transient_failure_is_retried_not_cached(self, flaky_setup):
+        service, store, bad_leaf, _ = flaky_setup
+        store.fail_times = 1  # fail exactly once, then heal
+        first = service.batch([{"op": "metrics", "args": {"community": bad_leaf.label}}])
+        assert not first[0].ok
+        second = service.batch([{"op": "metrics", "args": {"community": bad_leaf.label}}])
+        assert second[0].ok, "failures are not cached; the retry reaches the store"
+        assert second[0].value.num_weak_components >= 1
+
+    def test_coalesced_waiters_see_the_same_failure_then_recover(self, flaky_setup):
+        service, store, bad_leaf, _ = flaky_setup
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def worker():
+            barrier.wait(timeout=30)
+            result = service.execute(
+                {"op": "metrics", "args": {"community": bad_leaf.label}}
+            )
+            if not result.ok:
+                errors.append(result.error_type)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(errors) == 4, "every concurrent asker observes the failure"
+        # heal the leaf; the very next request computes cleanly
+        store.poisoned.clear()
+        recovered = service.metrics(community=bad_leaf.label)
+        assert recovered.num_weak_components >= 1

@@ -1,0 +1,113 @@
+"""Session lifecycle: create, resume, touch, expire, serialise, restore."""
+
+import pytest
+
+from repro.errors import SessionExpiredError, SessionNotFoundError
+from repro.service import GMineService
+
+pytestmark = pytest.mark.tier1
+
+
+class TestLifecycle:
+    def test_create_then_resume_returns_same_session(self, service):
+        session = service.open_session("dblp")
+        resumed = service.resume_session(session.session_id)
+        assert resumed is session
+        assert resumed.touches == 1
+
+    def test_unknown_session_raises_not_found(self, service):
+        with pytest.raises(SessionNotFoundError):
+            service.resume_session("never-issued")
+
+    def test_close_is_idempotent(self, service):
+        session = service.open_session("dblp")
+        service.close_session(session.session_id)
+        service.close_session(session.session_id)
+        with pytest.raises(SessionNotFoundError):
+            service.resume_session(session.session_id)
+
+    def test_sessions_get_distinct_ids_and_engines(self, service):
+        first = service.open_session("dblp")
+        second = service.open_session("dblp")
+        assert first.session_id != second.session_id
+        assert first.engine is not second.engine
+        # ... but they share the one tree and store
+        assert first.engine.tree is second.engine.tree
+        assert first.engine.store is second.engine.store
+
+    def test_independent_focus_per_session(self, service, service_dataset):
+        _, tree = service_dataset
+        leaves = tree.leaves()
+        first = service.open_session("dblp", focus=leaves[0].label)
+        second = service.open_session("dblp", focus=leaves[1].label)
+        assert first.engine.focus.label == leaves[0].label
+        assert second.engine.focus.label == leaves[1].label
+
+
+class TestExpiry:
+    def test_session_expires_after_ttl(self, clock):
+        with GMineService(session_ttl=60.0, clock=clock) as service:
+            _register_tiny_dataset(service)
+            session = service.open_session()
+            clock.advance(59.0)
+            service.resume_session(session.session_id)  # touch refreshes the TTL
+            clock.advance(59.0)
+            service.resume_session(session.session_id)
+            clock.advance(61.0)
+            with pytest.raises(SessionExpiredError):
+                service.resume_session(session.session_id)
+
+    def test_sweep_reports_expired_ids(self, clock):
+        with GMineService(session_ttl=30.0, clock=clock) as service:
+            _register_tiny_dataset(service)
+            kept = service.open_session()
+            dropped = service.open_session()
+            clock.advance(20.0)
+            service.resume_session(kept.session_id)
+            clock.advance(15.0)
+            expired = service.sessions.sweep()
+            assert expired == [dropped.session_id]
+            assert service.sessions.active_ids() == [kept.session_id]
+
+    def test_ttl_none_never_expires(self, clock):
+        with GMineService(session_ttl=None, clock=clock) as service:
+            _register_tiny_dataset(service)
+            session = service.open_session()
+            clock.advance(10_000_000.0)
+            assert service.resume_session(session.session_id) is session
+
+
+class TestSerialisableState:
+    def test_state_round_trips_through_restore(self, service, service_dataset):
+        _, tree = service_dataset
+        leaf = tree.leaves()[2]
+        session = service.open_session("dblp", focus=leaf.label)
+        session.recording.bookmark("hot", note="worth revisiting")
+        state = session.state_dict()
+        assert state["dataset"] == "dblp"
+        assert state["focus"] == leaf.label
+
+        restored = service.restore_session(state)
+        assert restored.session_id != session.session_id
+        assert restored.engine.focus.label == leaf.label
+        assert restored.recording.bookmarks["hot"].community_label == leaf.label
+        assert [step.action for step in restored.recording.steps] == ["focus"]
+
+    def test_state_is_json_serialisable(self, service, service_dataset):
+        import json
+
+        _, tree = service_dataset
+        session = service.open_session("dblp", focus=tree.leaves()[0].label)
+        payload = json.loads(json.dumps(session.state_dict()))
+        restored = service.restore_session(payload)
+        assert restored.engine.focus.label == tree.leaves()[0].label
+
+
+def _register_tiny_dataset(service: GMineService) -> None:
+    """Give a service a minimal in-memory dataset for session bookkeeping."""
+    from repro.core.builder import build_gtree
+    from repro.graph.generators import connected_caveman
+
+    graph = connected_caveman(3, 6, seed=9)
+    tree = build_gtree(graph, fanout=3, levels=2, seed=9)
+    service.register_tree(tree, graph=graph)

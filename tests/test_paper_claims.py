@@ -18,6 +18,10 @@ from repro.partition.hierarchy import recursive_partition
 from repro.partition.kway import KWayOptions, kway_partition
 from repro.partition.metrics import balance, edge_cut, part_sizes
 
+# These tests rebuild paper-scale(ish) datasets and hierarchies; they are the
+# bulk of the suite's wall-clock and run outside the tier-1 gate.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def paper_like_dataset():
