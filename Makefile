@@ -1,25 +1,37 @@
 # Developer entry points for the GMine reproduction.
 #
-#   make check     — the gate: tier-1 tests + a smoke run of the concurrent
-#                    sessions example (what CI should run on every change)
-#   make tier1     — fast tests only (everything not marked `slow`)
-#   make test-all  — the complete suite including slow paper-claim tests
-#   make test-slow — only the slow tests
-#   make smoke     — run the concurrent multi-session service example
+#   make check       — the gate: tier-1 tests + smoke runs of the concurrent
+#                      sessions example and the HTTP front-end (what CI
+#                      should run on every change)
+#   make tier1       — fast tests only (everything not marked `slow`)
+#   make test-all    — the complete suite including slow paper-claim tests
+#   make test-slow   — only the slow tests
+#   make smoke       — run the concurrent multi-session service example
+#   make serve-smoke — start the gmine/1 HTTP server, fire a mixed batch
+#                      twice and assert cache-hit accounting + transport
+#                      parity (examples/http_service.py)
+#   make bench-http  — requests/sec for cached vs uncached RWR over HTTP;
+#                      writes benchmarks/BENCH_http.json
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check tier1 smoke test-all test-slow
+.PHONY: check tier1 smoke serve-smoke bench-http test-all test-slow
 
-check: tier1 smoke
-	@echo "check: tier-1 tests and service smoke run passed"
+check: tier1 smoke serve-smoke
+	@echo "check: tier-1 tests, service smoke and HTTP serve-smoke passed"
 
 tier1:
 	$(PYTHON) -m pytest -x -q
 
 smoke:
 	$(PYTHON) examples/concurrent_sessions.py
+
+serve-smoke:
+	$(PYTHON) examples/http_service.py
+
+bench-http:
+	$(PYTHON) benchmarks/bench_http_throughput.py
 
 test-all:
 	$(PYTHON) -m pytest -q -m "slow or not slow"

@@ -1,0 +1,109 @@
+"""Serve GMine over HTTP and drive it with the transport-agnostic client.
+
+This is the ``make serve-smoke`` gate: it builds a small DBLP dataset,
+starts the GMine Protocol v1 HTTP front-end on an ephemeral port, fires a
+batch of mixed queries **twice** (cold, then warm), and asserts
+
+* every response is a structured ``gmine/1`` envelope,
+* the warm pass is answered entirely from the shared result cache
+  (cache-hit accounting via ``/v1/stats``),
+* the in-process transport returns byte-identical payloads to HTTP,
+* session navigation works end to end over the wire, and
+* failures (expired sessions, bad arguments) surface as typed,
+  machine-readable error codes — never raw tracebacks.
+
+Run it:  ``PYTHONPATH=src python examples/http_service.py``
+"""
+
+from repro.api import GMineClient, GMineHTTPServer
+from repro.core.builder import build_gtree
+from repro.data.dblp import DBLPConfig, generate_dblp
+from repro.errors import InvalidArgumentError, SessionNotFoundError
+from repro.service import GMineService
+
+
+def main() -> None:
+    dataset = generate_dblp(DBLPConfig(num_authors=600, seed=11))
+    tree = build_gtree(dataset.graph, fanout=3, levels=3, seed=11)
+    leaves = sorted(tree.leaves(), key=lambda node: -node.size)[:4]
+    hot = leaves[0]
+
+    with GMineService(max_workers=4) as service:
+        service.register_tree(tree, graph=dataset.graph, name="dblp")
+        with GMineHTTPServer(service, port=0) as server:
+            print(f"serving gmine/1 on {server.url}")
+            remote = GMineClient.http(server.url)
+            local = GMineClient.in_process(service)
+
+            # ---------------------------------------------------------- #
+            # a mixed batch: metrics, RWR, extraction, connectivity
+            # ---------------------------------------------------------- #
+            requests = (
+                [{"op": "metrics", "args": {"community": leaf.label}}
+                 for leaf in leaves]
+                + [{"op": "rwr",
+                    "args": {"sources": list(hot.members[:2]),
+                             "community": hot.label}}]
+                + [{"op": "connection_subgraph",
+                    "args": {"sources": list(hot.members[:2]),
+                             "community": hot.label, "budget": 12}}]
+                + [{"op": "connectivity", "args": {}}]
+            )
+
+            cold = remote.batch(requests)
+            assert all(reply.ok for reply in cold), "cold batch must succeed"
+            assert not any(reply.cached for reply in cold), "cold = all computed"
+
+            warm = remote.batch(requests)
+            assert all(reply.ok and reply.cached for reply in warm), (
+                "warm batch must be answered from the shared cache"
+            )
+
+            stats = remote.stats()
+            computed = stats["computed"]
+            assert computed.get("metrics") == len(leaves), computed
+            assert computed.get("rwr") == 1, computed
+            print(f"cache accounting ok: {stats['cache']}")
+            print(f"computed once each: {computed}")
+
+            # ---------------------------------------------------------- #
+            # transport parity: same bytes in-process and over the socket
+            # ---------------------------------------------------------- #
+            args = {"sources": list(hot.members[:2]), "community": hot.label}
+            assert local.query_raw("rwr", args=args) == remote.query_raw(
+                "rwr", args=args
+            ), "transports must be byte-identical"
+            print("transport parity ok (in-process == HTTP)")
+
+            # ---------------------------------------------------------- #
+            # sessions over the wire
+            # ---------------------------------------------------------- #
+            info = remote.create_session(name="walker", focus=hot.label)
+            step = remote.session_step(info["session_id"], "community_metrics")
+            assert step["result"]["num_weak_components"] >= 1
+            state = remote.session_state(info["session_id"])
+            remote.close_session(info["session_id"])
+            revived = remote.restore_session(state)
+            assert revived["focus"] == hot.label
+            print(f"session round-trip ok: {info['session_id']} -> "
+                  f"{revived['session_id']}")
+
+            # ---------------------------------------------------------- #
+            # structured failures: typed errors, never tracebacks
+            # ---------------------------------------------------------- #
+            try:
+                remote.resume_session("never-issued")
+                raise AssertionError("unknown session must raise")
+            except SessionNotFoundError as error:
+                print(f"unknown session -> SessionNotFoundError: {error}")
+            try:
+                remote.call("rwr", sources=[])
+                raise AssertionError("empty sources must raise")
+            except InvalidArgumentError as error:
+                print(f"bad arguments -> InvalidArgumentError: {error}")
+
+            print("serve-smoke: all assertions passed")
+
+
+if __name__ == "__main__":
+    main()

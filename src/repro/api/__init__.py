@@ -1,0 +1,71 @@
+"""GMine Protocol v1: the single public protocol layer of the service.
+
+This package owns everything between a caller and the mining engine:
+
+* :mod:`~repro.api.registry` — typed operation registry; every op is an
+  :class:`OpSpec` (argument schema, cacheability, cost class, scope) and
+  validation / canonicalization / cache-keying all derive from the spec;
+* :mod:`~repro.api.ops` — the default op table binding specs to compute
+  handlers and wire encoders (with top-k / offset+limit pagination);
+* :mod:`~repro.api.wire` — versioned ``Request``/``Response`` envelopes
+  (``protocol: "gmine/1"``) and the structured error taxonomy mapped from
+  :mod:`repro.errors`;
+* :mod:`~repro.api.router` — transport-neutral routing shared by every
+  front-end, with one canonical JSON serialisation;
+* :mod:`~repro.api.http` — the stdlib HTTP front-end
+  (``gmine serve --http PORT``);
+* :mod:`~repro.api.client` — :class:`GMineClient`, one client API over
+  either the in-process or the HTTP transport, byte-identical payloads
+  guaranteed by construction.
+
+None of these modules import the service package — the service imports
+*them* — so the protocol layer stays importable for docs, schema tooling
+and client-only deployments.
+"""
+
+from .client import GMineClient, HTTPTransport, InProcessTransport
+from .http import GMineHTTPServer, serve_http
+from .ops import DEFAULT_REGISTRY, OpContext, build_default_registry, encode_result
+from .registry import (
+    REQUIRED,
+    ArgSpec,
+    CanonicalizationContext,
+    OperationRegistry,
+    OpSpec,
+)
+from .router import ProtocolRouter, dumps
+from .wire import (
+    PROTOCOL,
+    Request,
+    Response,
+    WireError,
+    error_code_for,
+    exception_for_code,
+    http_status_for,
+)
+
+__all__ = [
+    "ArgSpec",
+    "CanonicalizationContext",
+    "DEFAULT_REGISTRY",
+    "GMineClient",
+    "GMineHTTPServer",
+    "HTTPTransport",
+    "InProcessTransport",
+    "OpContext",
+    "OperationRegistry",
+    "OpSpec",
+    "PROTOCOL",
+    "ProtocolRouter",
+    "REQUIRED",
+    "Request",
+    "Response",
+    "WireError",
+    "build_default_registry",
+    "dumps",
+    "encode_result",
+    "error_code_for",
+    "exception_for_code",
+    "http_status_for",
+    "serve_http",
+]

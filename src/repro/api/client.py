@@ -1,0 +1,306 @@
+"""`GMineClient`: one client API, two transports.
+
+The client mirrors the service surface — queries, batches, op discovery,
+stats, and session lifecycle — over either transport:
+
+* **in-process**: ``GMineClient.in_process(service)`` routes through the
+  same :class:`~repro.api.router.ProtocolRouter` the HTTP server uses and
+  serialises payloads with the same canonical ``dumps``, so the bytes are
+  identical to what a socket would carry;
+* **HTTP**: ``GMineClient.http(url)`` speaks to a running
+  ``gmine serve --http`` front-end via :mod:`urllib` (stdlib only).
+
+Examples and tests take a client, not a service, and therefore run
+unchanged against both deployments.  Failures come back as
+:class:`~repro.api.wire.Response` envelopes whose ``unwrap()`` raises the
+typed exception for the structured error code (``SESSION_EXPIRED`` raises
+:class:`~repro.errors.SessionExpiredError`, and so on).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ProtocolError
+from .router import ProtocolRouter, dumps
+from .wire import PROTOCOL, Request, Response, WireError, exception_for_code
+
+#: A transport exchange: HTTP status, parsed payload, canonical raw bytes.
+Exchange = Tuple[int, Dict[str, Any], bytes]
+
+
+def _jsonify_sets(value: Any) -> Any:
+    """JSON fallback for request bodies: sets become sorted lists.
+
+    The registry accepts set/frozenset sources (their order is
+    canonicalized away server-side anyway), so both transports must carry
+    them; anything else non-JSON is a caller bug and fails loudly instead
+    of being silently stringified.
+    """
+    if isinstance(value, (set, frozenset)):
+        return sorted(value, key=repr)
+    raise TypeError(
+        f"request payload value {value!r} ({type(value).__name__}) "
+        "is not JSON-serializable"
+    )
+
+
+def _encode_request_body(body: Mapping[str, Any]) -> bytes:
+    try:
+        return json.dumps(body, default=_jsonify_sets).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"request is not JSON-serializable: {error}") from error
+
+
+class InProcessTransport:
+    """Route through the shared router without touching a socket."""
+
+    name = "in-process"
+
+    def __init__(self, service) -> None:
+        self.router = ProtocolRouter(service)
+
+    def call(self, method: str, path: str, body: Optional[Mapping[str, Any]]) -> Exchange:
+        status, payload = self.router.handle(method, path, body)
+        raw = dumps(payload)
+        # Round-trip through JSON so in-process callers can never observe
+        # richer types than a remote caller would (tuples, numpy scalars…).
+        return status, json.loads(raw.decode("utf-8")), raw
+
+    def close(self) -> None:
+        pass
+
+
+class HTTPTransport:
+    """Speak to a running ``gmine serve --http`` front-end (stdlib only)."""
+
+    name = "http"
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def call(self, method: str, path: str, body: Optional[Mapping[str, Any]]) -> Exchange:
+        data = None if body is None else _encode_request_body(body)
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                raw = reply.read()
+                status = reply.status
+        except urllib.error.HTTPError as error:
+            # Structured failures (404 unknown session, 410 expired, …)
+            # still carry a protocol envelope in the body.
+            raw = error.read()
+            status = error.code
+        except urllib.error.URLError as error:
+            raise ProtocolError(
+                f"cannot reach GMine server at {self.base_url}: {error.reason}"
+            ) from error
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(
+                f"server returned non-protocol payload (status {status})"
+            ) from error
+        return status, payload, raw
+
+    def close(self) -> None:
+        pass
+
+
+class GMineClient:
+    """Transport-agnostic GMine Protocol v1 client."""
+
+    def __init__(self, transport: Union[InProcessTransport, HTTPTransport]) -> None:
+        self.transport = transport
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def in_process(cls, service) -> "GMineClient":
+        """A client bound directly to a live service object."""
+        return cls(InProcessTransport(service))
+
+    @classmethod
+    def http(cls, url: str, timeout: float = 30.0) -> "GMineClient":
+        """A client speaking to ``gmine serve --http`` at ``url``."""
+        return cls(HTTPTransport(url, timeout=timeout))
+
+    def close(self) -> None:
+        self.transport.close()
+
+    def __enter__(self) -> "GMineClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        op: str,
+        dataset: Optional[str] = None,
+        args: Optional[Mapping[str, Any]] = None,
+        page: Optional[Mapping[str, Any]] = None,
+        request_id: Optional[str] = None,
+        **kwargs: Any,
+    ) -> Response:
+        """Run one operation; keyword arguments merge into ``args``."""
+        merged = dict(args or {})
+        merged.update(kwargs)
+        request = Request(
+            op=op,
+            args=merged,
+            dataset=dataset,
+            page=None if page is None else dict(page),
+            id=request_id,
+        )
+        _, payload, _ = self.transport.call("POST", "/v1/query", request.to_dict())
+        return Response.from_dict(payload)
+
+    def query_raw(
+        self,
+        op: str,
+        dataset: Optional[str] = None,
+        args: Optional[Mapping[str, Any]] = None,
+        page: Optional[Mapping[str, Any]] = None,
+    ) -> bytes:
+        """The canonical wire bytes for one query (parity testing hook)."""
+        request = Request(op=op, args=dict(args or {}), dataset=dataset,
+                          page=None if page is None else dict(page))
+        _, _, raw = self.transport.call("POST", "/v1/query", request.to_dict())
+        return raw
+
+    def call(
+        self,
+        op: str,
+        dataset: Optional[str] = None,
+        page: Optional[Mapping[str, Any]] = None,
+        **args: Any,
+    ) -> Any:
+        """Run one operation and unwrap its payload (raises typed errors)."""
+        return self.query(op, dataset=dataset, args=args, page=page).unwrap()
+
+    def batch(
+        self, requests: Sequence[Union[Request, Mapping[str, Any]]]
+    ) -> List[Response]:
+        """Run many operations; per-request failures come back in place."""
+        body = {
+            "protocol": PROTOCOL,
+            "requests": [
+                item.to_dict() if isinstance(item, Request) else dict(item)
+                for item in requests
+            ],
+        }
+        status, payload, _ = self.transport.call("POST", "/v1/batch", body)
+        self._check_envelope(status, payload)
+        return [Response.from_dict(entry) for entry in payload.get("responses", [])]
+
+    # ------------------------------------------------------------------ #
+    # discovery + stats
+    # ------------------------------------------------------------------ #
+    def ops(self) -> List[Dict[str, Any]]:
+        """The registry's op table: names, schemas, cost classes."""
+        status, payload, _ = self.transport.call("GET", "/v1/ops", None)
+        self._check_envelope(status, payload)
+        return payload["ops"]
+
+    def stats(self) -> Dict[str, Any]:
+        """Cache / compute / session statistics of the backing service."""
+        status, payload, _ = self.transport.call("GET", "/v1/stats", None)
+        self._check_envelope(status, payload)
+        return payload["stats"]
+
+    # ------------------------------------------------------------------ #
+    # sessions
+    # ------------------------------------------------------------------ #
+    def create_session(
+        self,
+        dataset: Optional[str] = None,
+        focus: Optional[str] = None,
+        name: str = "session",
+        ttl: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"name": name}
+        if dataset is not None:
+            body["dataset"] = dataset
+        if focus is not None:
+            body["focus"] = focus
+        if ttl is not None:
+            body["ttl"] = ttl
+        status, payload, _ = self.transport.call("POST", "/v1/sessions", body)
+        self._check_envelope(status, payload)
+        return payload["session"]
+
+    def restore_session(
+        self, state: Mapping[str, Any], dataset: Optional[str] = None
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"state": dict(state)}
+        if dataset is not None:
+            body["dataset"] = dataset
+        status, payload, _ = self.transport.call("POST", "/v1/sessions", body)
+        self._check_envelope(status, payload)
+        return payload["session"]
+
+    def sessions(self) -> List[str]:
+        status, payload, _ = self.transport.call("GET", "/v1/sessions", None)
+        self._check_envelope(status, payload)
+        return payload["sessions"]
+
+    def resume_session(self, session_id: str) -> Dict[str, Any]:
+        status, payload, _ = self.transport.call(
+            "POST", f"/v1/sessions/{session_id}/resume", None
+        )
+        self._check_envelope(status, payload)
+        return payload["session"]
+
+    def session_state(self, session_id: str) -> Dict[str, Any]:
+        status, payload, _ = self.transport.call(
+            "GET", f"/v1/sessions/{session_id}", None
+        )
+        self._check_envelope(status, payload)
+        return payload["state"]
+
+    def session_step(
+        self, session_id: str, action: str, **args: Any
+    ) -> Dict[str, Any]:
+        """Apply one exploration step; returns {'session', 'action', 'result'}."""
+        status, payload, _ = self.transport.call(
+            "POST",
+            f"/v1/sessions/{session_id}/step",
+            {"action": action, "args": args},
+        )
+        self._check_envelope(status, payload)
+        return payload
+
+    def close_session(self, session_id: str) -> None:
+        status, payload, _ = self.transport.call(
+            "DELETE", f"/v1/sessions/{session_id}", None
+        )
+        self._check_envelope(status, payload)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_envelope(status: int, payload: Mapping[str, Any]) -> None:
+        """Raise the typed taxonomy exception for a failed envelope."""
+        if payload.get("ok"):
+            return
+        error = payload.get("error")
+        if isinstance(error, Mapping):
+            WireError.from_dict(error).raise_()
+        raise exception_for_code(
+            "PROTOCOL_ERROR", f"request failed with HTTP status {status}"
+        )

@@ -1,0 +1,161 @@
+"""Stdlib-only HTTP front-end for GMine Protocol v1.
+
+``gmine serve --http PORT`` binds a :class:`ProtocolRouter` to a
+:class:`ThreadingHTTPServer`; every request body is parsed as JSON, routed,
+and the payload is serialised with the router's canonical
+:func:`~repro.api.router.dumps` — the same bytes the in-process transport
+produces.  Threading matters: the service underneath is already
+thread-safe (locked cache, single-flight dedup, locked sessions), so one
+OS thread per connection composes directly with the existing concurrency
+story.
+
+:class:`GMineHTTPServer` wraps the lifecycle for embedding (tests start it
+on port 0 in a background thread); :func:`serve_http` is the blocking CLI
+entry point.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from ..errors import ProtocolError
+from .router import ProtocolRouter, dumps
+
+#: Largest accepted request body; protects the demo server from abuse.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _ProtocolRequestHandler(BaseHTTPRequestHandler):
+    """Thin JSON adapter between one socket and the shared router."""
+
+    server_version = "gmine/1"
+    protocol_version = "HTTP/1.1"
+
+    # The router lives on the server object (one per service).
+    def _router(self) -> ProtocolRouter:
+        return self.server.router  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ #
+    # verbs
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            body = self._read_body()
+        except ProtocolError as error:
+            self._send(400, dumps({
+                "protocol": "gmine/1",
+                "ok": False,
+                "error": {
+                    "code": "PROTOCOL_ERROR",
+                    "type": "ProtocolError",
+                    "message": str(error),
+                },
+            }))
+            return
+        path = self.path.split("?", 1)[0]
+        status, payload = self._router().handle(method, path, body)
+        self._send(status, dumps(payload))
+
+    def _read_body(self) -> Optional[dict]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return None
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length)
+        try:
+            parsed = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"request body is not valid JSON: {error}") from error
+        if parsed is not None and not isinstance(parsed, dict):
+            raise ProtocolError("request body must be a JSON object")
+        return parsed
+
+    def _send(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class GMineHTTPServer:
+    """Embeddable HTTP front-end over one :class:`GMineService`.
+
+    ``start()`` serves from a daemon thread (tests bind port 0 and read the
+    chosen port from :attr:`address`); ``serve_forever()`` blocks (CLI).
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 8080) -> None:
+        self.router = ProtocolRouter(service)
+        self._httpd = ThreadingHTTPServer((host, port), _ProtocolRequestHandler)
+        self._httpd.router = self.router  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — port is concrete even when 0 was asked."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "GMineHTTPServer":
+        """Serve from a background daemon thread; returns self."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="gmine-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (CLI mode)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Shut the listener down and join the background thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "GMineHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_http(service, host: str = "127.0.0.1", port: int = 8080) -> None:
+    """Blocking CLI entry point: serve until KeyboardInterrupt."""
+    server = GMineHTTPServer(service, host=host, port=port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.stop()

@@ -1,0 +1,410 @@
+"""The default GMine Protocol v1 operation table.
+
+This module binds every operation the service exposes to its
+:class:`~repro.api.registry.OpSpec`: the argument schema (types, defaults,
+validators, normalizers), the compute handler, and the wire encoder.  The
+handlers close over nothing — they receive an :class:`OpContext` built by
+the service per computation — so the table itself stays importable from
+anywhere (CLI, docs generation, tests) without touching an engine.
+
+Wire encoders flatten rich result objects (``SubgraphMetrics``,
+``RWRResult``, ``ExtractionResult``, connectivity/inspection structures)
+into JSON-safe payloads, applying top-k / offset+limit pagination for the
+payloads that can grow with the dataset (RWR score vectors, connectivity
+edge lists, cross-edge inspections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import InvalidArgumentError
+from ..mining.connection_subgraph import extract_connection_subgraph
+from ..mining.metrics_suite import compute_subgraph_metrics, metrics_signature
+from ..mining.rwr import steady_state_rwr
+from .registry import ArgSpec, CanonicalizationContext, OperationRegistry, OpSpec
+
+#: Default number of entries returned for score-vector payloads when the
+#: request carries no explicit page; keeps full-graph RWR responses small.
+DEFAULT_TOP_K = 50
+
+#: Default page size for list payloads (connectivity edges, cross edges).
+DEFAULT_LIMIT = 100
+
+
+@dataclass
+class OpContext:
+    """Everything a handler may touch, built by the service per compute."""
+
+    engine: Any  # GMineEngine (kept untyped: the api layer never imports core)
+
+    def community_subgraph(self, community):
+        """Materialise a community's subgraph; ``None`` means widest scope."""
+        engine = self.engine
+        if community is None:
+            if engine.graph is not None:
+                return engine.graph
+            return engine.community_subgraph(engine.tree.root.node_id)
+        return engine.community_subgraph(community)
+
+    def target(self, community):
+        """Resolve ``None`` to the tree root for tree-addressed operations."""
+        return self.engine.tree.root.node_id if community is None else community
+
+
+# --------------------------------------------------------------------------- #
+# shared argument pieces
+# --------------------------------------------------------------------------- #
+def _resolve_community(value, ctx: CanonicalizationContext):
+    return ctx.resolve_community(value)
+
+
+def _normalize_sources(value, ctx: CanonicalizationContext):
+    # The restart vector spreads mass uniformly over the *set* of sources,
+    # so order and duplicates never matter; canonicalize them away.
+    return sorted(set(value), key=repr)
+
+
+def _check_sources(value) -> Optional[str]:
+    if isinstance(value, (str, bytes)):
+        return "must be a list of vertex ids, not a single string"
+    if len(value) == 0:
+        return "requires at least one source vertex"
+    return None
+
+
+def _check_probability(value) -> Optional[str]:
+    if not (0.0 < float(value) < 1.0):
+        return f"must be in (0, 1), got {value!r}"
+    return None
+
+
+def _check_positive(value) -> Optional[str]:
+    if int(value) < 1:
+        return f"must be >= 1, got {value!r}"
+    return None
+
+
+def _community_arg(doc: str) -> ArgSpec:
+    return ArgSpec(
+        name="community",
+        types=(int, str),
+        default=None,
+        doc=doc,
+        normalize=_resolve_community,
+    )
+
+
+def _sources_arg() -> ArgSpec:
+    return ArgSpec(
+        name="sources",
+        types=(list, tuple, set, frozenset),
+        doc="query vertices (order and duplicates are canonicalized away)",
+        validate=_check_sources,
+        normalize=_normalize_sources,
+    )
+
+
+def _restart_arg() -> ArgSpec:
+    return ArgSpec(
+        name="restart_probability",
+        types=(int, float),
+        default=0.15,
+        doc="probability of teleporting back to the sources each step",
+        validate=_check_probability,
+        normalize=lambda value, ctx: float(value),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# finalizers (op-level canonical restructuring)
+# --------------------------------------------------------------------------- #
+def _finalize_metrics(canonical: Dict[str, Any], ctx) -> Dict[str, Any]:
+    # Collapse every tuning knob into the canonical metrics signature so
+    # defaulted and explicit spellings share one cache entry; the session
+    # engine's metrics seam builds the very same shape.
+    return {
+        "community": canonical["community"],
+        "metrics": metrics_signature(
+            hop_sample_size=canonical["hop_sample_size"],
+            pagerank_damping=canonical["pagerank_damping"],
+            top_k=canonical["top_k"],
+            seed=canonical["seed"],
+        ),
+    }
+
+
+def _finalize_inspect_edge(canonical: Dict[str, Any], ctx) -> Dict[str, Any]:
+    # The underlying edge set is symmetric; order the pair.
+    a, b = canonical["community_a"], canonical["community_b"]
+    if a is not None and b is not None and repr(b) < repr(a):
+        canonical["community_a"], canonical["community_b"] = b, a
+    return canonical
+
+
+# --------------------------------------------------------------------------- #
+# handlers (canonical args -> rich result)
+# --------------------------------------------------------------------------- #
+def _run_metrics(ctx: OpContext, args: Mapping[str, Any]):
+    subgraph = ctx.community_subgraph(args["community"])
+    signature = dict(args["metrics"])
+    return compute_subgraph_metrics(
+        subgraph,
+        hop_sample_size=signature["hop_sample_size"],
+        pagerank_damping=signature["pagerank_damping"],
+        top_k=signature["top_k"],
+        seed=signature["seed"],
+    )
+
+
+def _run_rwr(ctx: OpContext, args: Mapping[str, Any]):
+    subgraph = ctx.community_subgraph(args["community"])
+    return steady_state_rwr(
+        subgraph,
+        args["sources"],
+        restart_probability=args["restart_probability"],
+        solver=args["solver"],
+    )
+
+
+def _run_connection_subgraph(ctx: OpContext, args: Mapping[str, Any]):
+    subgraph = ctx.community_subgraph(args["community"])
+    return extract_connection_subgraph(
+        subgraph,
+        args["sources"],
+        budget=args["budget"],
+        restart_probability=args["restart_probability"],
+    )
+
+
+def _run_connectivity(ctx: OpContext, args: Mapping[str, Any]):
+    return ctx.engine.connectivity_edges(ctx.target(args["community"]))
+
+
+def _run_inspect_edge(ctx: OpContext, args: Mapping[str, Any]):
+    return ctx.engine.inspect_connectivity_edge(
+        args["community_a"], args["community_b"]
+    )
+
+
+# --------------------------------------------------------------------------- #
+# pagination + encoders (rich result -> JSON payload)
+# --------------------------------------------------------------------------- #
+def validate_page(page: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Check a request's ``page`` block; returns a plain dict (may be empty)."""
+    if page is None:
+        return {}
+    if not isinstance(page, Mapping):
+        raise InvalidArgumentError(f"page must be an object, got {page!r}")
+    allowed = {"top_k", "offset", "limit"}
+    unknown = sorted(set(page) - allowed)
+    if unknown:
+        raise InvalidArgumentError(
+            f"page got unknown key(s) {unknown}; accepts {sorted(allowed)}"
+        )
+    out: Dict[str, Any] = {}
+    for key in allowed:
+        if key in page:
+            value = page[key]
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise InvalidArgumentError(
+                    f"page.{key} must be a non-negative integer, got {value!r}"
+                )
+            out[key] = value
+    return out
+
+
+def _slice(items: List, page: Mapping[str, Any], default_limit: int):
+    """offset+limit pagination over a fully-ordered list."""
+    offset = page.get("offset", 0)
+    limit = page.get("limit", default_limit)
+    window = items[offset : offset + limit]
+    meta = {"offset": offset, "limit": limit, "total": len(items)}
+    return window, meta
+
+
+def _encode_metrics(value, page: Mapping[str, Any]):
+    return value.as_dict(), None
+
+
+def _encode_rwr(value, page: Mapping[str, Any]):
+    top_k = page.get("top_k", page.get("limit", DEFAULT_TOP_K))
+    ranked = value.top(len(value.scores))
+    payload = {
+        "iterations": value.iterations,
+        "converged": value.converged,
+        "restart_probability": value.restart_probability,
+        "num_scores": len(value.scores),
+        "scores": [[node, score] for node, score in ranked[:top_k]],
+    }
+    return payload, {"top_k": top_k, "total": len(value.scores)}
+
+
+def _encode_connection_subgraph(value, page: Mapping[str, Any]):
+    top_k = page.get("top_k", DEFAULT_TOP_K)
+    subgraph = value.subgraph
+    goodness = sorted(value.goodness.items(), key=lambda pair: (-pair[1], repr(pair[0])))
+    payload = {
+        "nodes": sorted(subgraph.nodes(), key=repr),
+        "edges": sorted(
+            ([u, v, w] for u, v, w in subgraph.edges()), key=repr
+        ),
+        "sources": list(value.sources),
+        "budget": value.budget,
+        "num_nodes": value.num_nodes,
+        "num_paths": len(value.paths),
+        "goodness": [[node, score] for node, score in goodness[:top_k]],
+    }
+    return payload, None
+
+
+def _encode_connectivity(value, page: Mapping[str, Any]):
+    rows = sorted(
+        (
+            {
+                "source": edge.source,
+                "target": edge.target,
+                "edge_count": edge.edge_count,
+                "total_weight": edge.total_weight,
+            }
+            for edge in value
+        ),
+        key=lambda row: (row["source"], row["target"]),
+    )
+    window, meta = _slice(rows, page, DEFAULT_LIMIT)
+    return {"edges": window}, meta
+
+
+def _encode_inspect_edge(value, page: Mapping[str, Any]):
+    edges = sorted(([u, v, w] for u, v, w in value.edges), key=repr)
+    window, meta = _slice(edges, page, DEFAULT_LIMIT)
+    payload = {
+        "community_a": value.community_a,
+        "community_b": value.community_b,
+        "num_edges": len(value.edges),
+        "edges": window,
+    }
+    return payload, meta
+
+
+def encode_result(spec: OpSpec, value: Any, page: Optional[Mapping[str, Any]] = None):
+    """Flatten one rich result via its op's encoder.
+
+    Returns ``(payload, page_meta)`` where ``page_meta`` is ``None`` for
+    unpaginated payloads.
+    """
+    checked = validate_page(page)
+    if spec.encoder is None:
+        return value, None
+    return spec.encoder(value, checked)
+
+
+# --------------------------------------------------------------------------- #
+# the table
+# --------------------------------------------------------------------------- #
+def build_default_registry() -> OperationRegistry:
+    """Every dataset-scoped operation of GMine Protocol v1, fully declared."""
+    return OperationRegistry(
+        [
+            OpSpec(
+                name="metrics",
+                doc="the paper's five-metric suite for one community subgraph",
+                cost="expensive",
+                args=(
+                    _community_arg("community to measure (None = whole scope)"),
+                    ArgSpec(
+                        "hop_sample_size", (int,), default=None,
+                        doc="BFS sources sampled for hop metrics (None = exact)",
+                        validate=_check_positive,
+                    ),
+                    ArgSpec(
+                        "pagerank_damping", (int, float), default=0.85,
+                        doc="PageRank damping factor",
+                        validate=_check_probability,
+                        normalize=lambda value, ctx: float(value),
+                    ),
+                    ArgSpec(
+                        "top_k", (int,), default=10,
+                        doc="how many top-PageRank vertices to report",
+                        validate=_check_positive,
+                    ),
+                    ArgSpec(
+                        "seed", (int,), default=0, allow_none=True,
+                        doc="hop-sampling RNG seed (None = nondeterministic)",
+                    ),
+                ),
+                finalize=_finalize_metrics,
+                handler=_run_metrics,
+                encoder=_encode_metrics,
+            ),
+            OpSpec(
+                name="rwr",
+                doc="random-walk-with-restart steady state over a community",
+                cost="expensive",
+                args=(
+                    _sources_arg(),
+                    _community_arg("community scope (None = full graph)"),
+                    _restart_arg(),
+                    ArgSpec(
+                        "solver", (str,), default="power",
+                        doc="RWR solver",
+                        choices=("power", "exact"),
+                    ),
+                ),
+                handler=_run_rwr,
+                encoder=_encode_rwr,
+            ),
+            OpSpec(
+                name="connection_subgraph",
+                doc="multi-source connection-subgraph extraction (CePS)",
+                cost="expensive",
+                args=(
+                    _sources_arg(),
+                    _community_arg("community scope (None = full graph)"),
+                    ArgSpec(
+                        "budget", (int,), default=30,
+                        doc="maximum vertices in the extract",
+                        validate=_check_positive,
+                    ),
+                    _restart_arg(),
+                ),
+                handler=_run_connection_subgraph,
+                encoder=_encode_connection_subgraph,
+            ),
+            OpSpec(
+                name="connectivity",
+                doc="connectivity edges among a community's children",
+                cost="cheap",
+                args=(
+                    _community_arg("parent community (None = tree root)"),
+                ),
+                handler=_run_connectivity,
+                encoder=_encode_connectivity,
+            ),
+            OpSpec(
+                name="inspect_edge",
+                doc="original graph edges behind one connectivity edge",
+                cost="cheap",
+                args=(
+                    ArgSpec(
+                        "community_a", (int, str),
+                        doc="first community (id or label)",
+                        normalize=_resolve_community,
+                    ),
+                    ArgSpec(
+                        "community_b", (int, str),
+                        doc="second community (id or label)",
+                        normalize=_resolve_community,
+                    ),
+                ),
+                finalize=_finalize_inspect_edge,
+                handler=_run_inspect_edge,
+                encoder=_encode_inspect_edge,
+            ),
+        ]
+    )
+
+
+#: The shared default table; services copy nothing — specs are frozen.
+DEFAULT_REGISTRY = build_default_registry()

@@ -1,0 +1,336 @@
+"""Typed operation registry: the declarative heart of GMine Protocol v1.
+
+Every operation the service exposes is declared once as an :class:`OpSpec`
+— its name, an ordered argument schema (:class:`ArgSpec` with types,
+defaults, validators and normalizers), a cacheability flag, a cost class,
+and a scope.  Everything the old hand-rolled dispatch did ad hoc now
+*derives* from the spec:
+
+* **validation** — unknown arguments, missing required arguments, wrong
+  types and out-of-range values all raise
+  :class:`~repro.errors.InvalidArgumentError` before any work happens;
+* **canonicalization** — defaults are filled and normalizers applied in
+  declared field order, so equivalent spellings of a request collapse onto
+  one canonical form;
+* **cache keys** — :meth:`OpSpec.cache_key` walks the canonical mapping in
+  *spec field order* (never relying on caller dict ordering), so permuted
+  kwargs hit the same cache entry by construction;
+* **documentation** — ``gmine ops --describe`` and the README's API table
+  are generated from :meth:`OperationRegistry.describe`.
+
+The registry itself is transport-neutral and engine-neutral: specs carry a
+``handler`` (how to compute the value, bound by :mod:`repro.api.ops`) and an
+``encoder`` (how to flatten the value onto the wire), but the registry never
+imports the service or any transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterator, List, Mapping, Optional, Sequence, Tuple, Type
+
+from ..errors import InvalidArgumentError, UnknownOperationError
+
+
+class _Required:
+    """Sentinel marking an argument with no default (must be supplied)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<required>"
+
+
+REQUIRED = _Required()
+
+#: Cost classes an operation may declare (used by clients and schedulers
+#: to decide what is safe to fire interactively vs. what should be batched).
+COST_CLASSES = ("cheap", "expensive")
+
+#: Scopes: ``dataset`` ops run against a registered dataset; ``session``
+#: ops act on one user's live exploration state.
+SCOPES = ("dataset", "session")
+
+
+@dataclass(frozen=True)
+class ArgSpec:
+    """Schema for one operation argument.
+
+    Parameters
+    ----------
+    name:
+        Wire name of the argument.
+    types:
+        Accepted python types (``None`` is always accepted when the default
+        is ``None``); empty tuple accepts anything.
+    default:
+        Value used when the caller omits the argument; :data:`REQUIRED`
+        makes omission an error.
+    doc:
+        One-line description (surfaces in ``gmine ops --describe``).
+    choices:
+        Optional closed set of accepted values.
+    validate:
+        Optional callable ``value -> None`` raising ``ValueError`` (or
+        returning an error string) for domain violations.
+    normalize:
+        Optional callable ``(value, ctx) -> value`` applied after
+        validation; this is where source lists are sorted/deduplicated and
+        community ids resolve to labels.
+    allow_none:
+        Accept an explicit ``None`` even though the default is not ``None``
+        (arguments whose default is ``None`` always accept it).
+    """
+
+    name: str
+    types: Tuple[Type, ...] = ()
+    default: Any = REQUIRED
+    doc: str = ""
+    choices: Optional[Tuple[Any, ...]] = None
+    validate: Optional[Callable[[Any], Any]] = None
+    normalize: Optional[Callable[[Any, "CanonicalizationContext"], Any]] = None
+    allow_none: bool = False
+
+    @property
+    def required(self) -> bool:
+        return self.default is REQUIRED
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly schema row for this argument."""
+        row: Dict[str, Any] = {
+            "name": self.name,
+            "type": "/".join(t.__name__ for t in self.types) or "any",
+            "required": self.required,
+            "doc": self.doc,
+        }
+        if not self.required:
+            row["default"] = self.default
+        if self.choices is not None:
+            row["choices"] = list(self.choices)
+        return row
+
+
+class CanonicalizationContext:
+    """What canonicalization may consult: how to resolve community refs.
+
+    The registry is engine-neutral; the service builds a context per
+    dataset whose ``resolve_community`` maps tree-node ids to labels so
+    both spellings share one cache entry.  The default context is inert
+    (values pass through), which is what schema-only callers (tests, docs,
+    the client) use.
+    """
+
+    def resolve_community(self, value: Any) -> Any:
+        return value
+
+
+#: Inert context used when no dataset is attached.
+NULL_CONTEXT = CanonicalizationContext()
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Declaration of one protocol operation.
+
+    ``finalize`` runs after per-argument canonicalization with the ordered
+    canonical dict and may restructure it (collapse tuning knobs into a
+    signature, order a symmetric pair); it must return a dict whose key
+    order is deterministic, because cache keys are derived from that order.
+    """
+
+    name: str
+    args: Tuple[ArgSpec, ...] = ()
+    doc: str = ""
+    cacheable: bool = True
+    cost: str = "expensive"
+    scope: str = "dataset"
+    finalize: Optional[
+        Callable[[Dict[str, Any], CanonicalizationContext], Dict[str, Any]]
+    ] = None
+    handler: Optional[Callable[..., Any]] = None
+    encoder: Optional[Callable[..., Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.cost not in COST_CLASSES:
+            raise ValueError(f"op {self.name!r}: cost must be one of {COST_CLASSES}")
+        if self.scope not in SCOPES:
+            raise ValueError(f"op {self.name!r}: scope must be one of {SCOPES}")
+        seen = set()
+        for spec in self.args:
+            if spec.name in seen:
+                raise ValueError(f"op {self.name!r}: duplicate argument {spec.name!r}")
+            seen.add(spec.name)
+
+    @property
+    def arg_names(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self.args)
+
+    # ------------------------------------------------------------------ #
+    # validation + canonicalization
+    # ------------------------------------------------------------------ #
+    def canonicalize(
+        self,
+        args: Mapping[str, Any],
+        ctx: CanonicalizationContext = NULL_CONTEXT,
+    ) -> Dict[str, Any]:
+        """Validate ``args`` against the schema and return the canonical form.
+
+        The result's key order is the declared field order (post
+        ``finalize``), independent of the order the caller supplied —
+        that order is what :meth:`cache_key` serialises.
+        """
+        unknown = sorted(set(args) - set(self.arg_names))
+        if unknown:
+            raise InvalidArgumentError(
+                f"operation {self.name!r} got unknown argument(s) "
+                f"{', '.join(map(repr, unknown))}; accepts {list(self.arg_names)}"
+            )
+        canonical: Dict[str, Any] = {}
+        for spec in self.args:
+            if spec.name in args:
+                value = args[spec.name]
+            elif spec.required:
+                raise InvalidArgumentError(
+                    f"operation {self.name!r} requires argument {spec.name!r}"
+                )
+            else:
+                value = spec.default
+            canonical[spec.name] = self._check(spec, value, ctx)
+        if self.finalize is not None:
+            canonical = self.finalize(canonical, ctx)
+        return canonical
+
+    def _check(self, spec: ArgSpec, value: Any, ctx: CanonicalizationContext) -> Any:
+        if value is None and (spec.default is None or spec.allow_none):
+            # None stands for "the default scope / unset knob" only where
+            # the spec says so; normalizers may still refine it.
+            pass
+        elif spec.types and not isinstance(value, spec.types):
+            # bool is an int subclass; never let True slip into an int slot
+            # unless bool is explicitly accepted.
+            accepted = "/".join(t.__name__ for t in spec.types)
+            if isinstance(value, bool) and bool not in spec.types:
+                raise InvalidArgumentError(
+                    f"{self.name}.{spec.name} must be {accepted}, got bool"
+                )
+            raise InvalidArgumentError(
+                f"{self.name}.{spec.name} must be {accepted}, "
+                f"got {type(value).__name__}: {value!r}"
+            )
+        if isinstance(value, bool) and spec.types and bool not in spec.types:
+            raise InvalidArgumentError(
+                f"{self.name}.{spec.name} must be "
+                f"{'/'.join(t.__name__ for t in spec.types)}, got bool"
+            )
+        if spec.choices is not None and value not in spec.choices:
+            raise InvalidArgumentError(
+                f"{self.name}.{spec.name} must be one of {list(spec.choices)}, "
+                f"got {value!r}"
+            )
+        if spec.validate is not None and value is not None:
+            try:
+                problem = spec.validate(value)
+            except (TypeError, ValueError) as error:
+                raise InvalidArgumentError(
+                    f"{self.name}.{spec.name}: {error}"
+                ) from error
+            if problem:
+                raise InvalidArgumentError(f"{self.name}.{spec.name}: {problem}")
+        if spec.normalize is not None:
+            value = spec.normalize(value, ctx)
+        return value
+
+    # ------------------------------------------------------------------ #
+    # cache keying
+    # ------------------------------------------------------------------ #
+    def cache_fields(self, canonical: Mapping[str, Any]) -> Tuple:
+        """Flatten canonical args into a hashable tuple in *spec* order.
+
+        The canonical dict's own insertion order is what we walk (it was
+        produced by :meth:`canonicalize`, hence deterministic); nested
+        containers are normalised recursively.
+        """
+        return tuple(
+            (name, _hashable(canonical[name])) for name in canonical
+        )
+
+    def cache_key(self, fingerprint: str, canonical: Mapping[str, Any]) -> Tuple:
+        """The shared-cache key: ``(fingerprint, op, spec-ordered fields)``."""
+        return (fingerprint, self.name, self.cache_fields(canonical))
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly description row (drives docs and ``gmine ops``)."""
+        return {
+            "name": self.name,
+            "doc": self.doc,
+            "cacheable": self.cacheable,
+            "cost": self.cost,
+            "scope": self.scope,
+            "args": [spec.describe() for spec in self.args],
+        }
+
+
+def _hashable(value: Any) -> Hashable:
+    """Recursively freeze a canonical value into a hashable form."""
+    if isinstance(value, Mapping):
+        return ("{}",) + tuple(
+            (str(key), _hashable(value[key])) for key in value
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((_hashable(item) for item in value), key=repr))
+    if isinstance(value, (str, bytes, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class OperationRegistry:
+    """Name -> :class:`OpSpec` lookup with schema-driven helpers."""
+
+    def __init__(self, specs: Sequence[OpSpec] = ()) -> None:
+        self._specs: Dict[str, OpSpec] = {}
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: OpSpec) -> OpSpec:
+        if spec.name in self._specs:
+            raise ValueError(f"operation {spec.name!r} is already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> OpSpec:
+        """Resolve an op name; unknown names raise the service taxonomy error."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise UnknownOperationError(
+                f"unknown operation {name!r}; expected one of {self.names()}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._specs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[OpSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def canonicalize(
+        self,
+        name: str,
+        args: Mapping[str, Any],
+        ctx: CanonicalizationContext = NULL_CONTEXT,
+    ) -> Dict[str, Any]:
+        return self.get(name).canonicalize(args, ctx)
+
+    def cache_key(
+        self, fingerprint: str, name: str, canonical: Mapping[str, Any]
+    ) -> Tuple:
+        return self.get(name).cache_key(fingerprint, canonical)
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """The full op table (drives ``gmine ops --describe`` and the README)."""
+        return [spec.describe() for spec in self]

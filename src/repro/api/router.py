@@ -1,0 +1,330 @@
+"""Transport-neutral routing for GMine Protocol v1.
+
+The :class:`ProtocolRouter` maps ``(method, path, body)`` triples onto the
+service — exactly the surface the HTTP front-end exposes — and returns
+``(status, payload)`` pairs of plain JSON-safe data.  Both transports call
+it: :mod:`repro.api.http` feeds it real sockets, and the in-process
+transport of :class:`~repro.api.client.GMineClient` calls
+:meth:`ProtocolRouter.handle` directly and serialises the payload with the
+very same :func:`dumps`.  That shared path is the parity guarantee: the
+bytes a client sees cannot depend on the transport.
+
+Routes::
+
+    POST   /v1/query                 one Request envelope -> one Response
+    POST   /v1/batch                 {"requests": [...]} -> {"responses": [...]}
+    GET    /v1/ops                   the registry's op table (schemas included)
+    GET    /v1/stats                 cache / compute / session statistics
+    GET    /v1/sessions              ids of live sessions
+    POST   /v1/sessions              create (or restore) a session
+    GET    /v1/sessions/<id>         serialised session state
+    POST   /v1/sessions/<id>/resume  touch a session's TTL
+    POST   /v1/sessions/<id>/step    apply one exploration step
+    DELETE /v1/sessions/<id>         close a session
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..errors import GMineError, InvalidArgumentError, ProtocolError
+from .ops import encode_result
+from .wire import PROTOCOL, Request, Response, WireError, error_code_for, http_status_for
+
+JsonDict = Dict[str, Any]
+Handled = Tuple[int, JsonDict]
+
+
+def dumps(payload: Mapping[str, Any]) -> bytes:
+    """The canonical protocol serialisation (both transports use this).
+
+    Keys are sorted and separators fixed so the same payload always yields
+    the same bytes, whatever dict-construction order produced it.
+    """
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    ).encode("utf-8")
+
+
+def _error_payload(error: BaseException) -> Handled:
+    code = error_code_for(error)
+    return (
+        http_status_for(code),
+        {
+            "protocol": PROTOCOL,
+            "ok": False,
+            "error": WireError.from_exception(error).to_dict(),
+        },
+    )
+
+
+def _not_found(path: str) -> Handled:
+    return (
+        404,
+        {
+            "protocol": PROTOCOL,
+            "ok": False,
+            "error": {
+                "code": "PROTOCOL_ERROR",
+                "type": "ProtocolError",
+                "message": f"no route for {path!r}",
+            },
+        },
+    )
+
+
+class ProtocolRouter:
+    """Bind a :class:`GMineService` to the protocol surface."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    # ------------------------------------------------------------------ #
+    # entry point
+    # ------------------------------------------------------------------ #
+    def handle(
+        self, method: str, path: str, body: Optional[Mapping[str, Any]] = None
+    ) -> Handled:
+        """Route one call; never raises — failures become error envelopes."""
+        method = method.upper()
+        parts = [part for part in path.split("/") if part]
+        try:
+            if parts[:1] != ["v1"]:
+                return _not_found(path)
+            tail = parts[1:]
+            if tail == ["query"] and method == "POST":
+                return self.query(body or {})
+            if tail == ["batch"] and method == "POST":
+                return self.batch(body or {})
+            if tail == ["ops"] and method == "GET":
+                return self.ops()
+            if tail == ["stats"] and method == "GET":
+                return self.stats()
+            if tail == ["sessions"]:
+                if method == "GET":
+                    return self.list_sessions()
+                if method == "POST":
+                    return self.create_session(body or {})
+            if len(tail) == 2 and tail[0] == "sessions":
+                if method == "GET":
+                    return self.session_state(tail[1])
+                if method == "DELETE":
+                    return self.close_session(tail[1])
+            if len(tail) == 3 and tail[0] == "sessions" and method == "POST":
+                if tail[2] == "resume":
+                    return self.resume_session(tail[1])
+                if tail[2] == "step":
+                    return self.session_step(tail[1], body or {})
+            return _not_found(path)
+        except Exception as error:  # noqa: BLE001 — server boundary: every
+            # failure, taxonomy or not, must leave as a structured envelope
+            # (error_code_for maps unknown types to INTERNAL) rather than a
+            # dropped connection or a raw traceback.
+            return _error_payload(error)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(self, body: Mapping[str, Any]) -> Handled:
+        response = self._run_query(body)
+        return response.status, response.to_dict()
+
+    def batch(self, body: Mapping[str, Any]) -> Handled:
+        """Route a request list through :meth:`GMineService.batch`.
+
+        The service's batch machinery — identical-request dedup and the
+        worker pool — serves the remote surface too; a malformed envelope
+        becomes a failure Response in place, never sinking its neighbours.
+        """
+        requests = body.get("requests")
+        if not isinstance(requests, (list, tuple)):
+            raise ProtocolError(
+                "batch body must be {'requests': [...]}, got "
+                f"{dict(body)!r}"
+            )
+        parsed: list = []  # Request for well-formed entries, Response otherwise
+        for item in requests:
+            try:
+                parsed.append(Request.from_dict(item))
+            except Exception as error:  # noqa: BLE001 — isolate, don't sink
+                parsed.append(Response.failure(error))
+        well_formed = [entry for entry in parsed if isinstance(entry, Request)]
+        results = iter(
+            self.service.batch(
+                [
+                    {"op": entry.op, "args": entry.args, "dataset": entry.dataset}
+                    for entry in well_formed
+                ]
+            )
+            if well_formed
+            else []
+        )
+        responses = [
+            entry if isinstance(entry, Response)
+            else self._result_to_response(entry, next(results))
+            for entry in parsed
+        ]
+        # The batch call itself succeeds even when members fail: isolation
+        # is per-request, mirroring GMineService.batch.
+        return 200, {
+            "protocol": PROTOCOL,
+            "ok": True,
+            "responses": [response.to_dict() for response in responses],
+        }
+
+    def _run_query(self, payload: Mapping[str, Any]) -> Response:
+        try:
+            request = Request.from_dict(payload)
+        except GMineError as error:
+            return Response.failure(error)
+        result = self.service.execute(
+            {"op": request.op, "args": request.args, "dataset": request.dataset}
+        )
+        return self._result_to_response(request, result)
+
+    def _result_to_response(self, request: Request, result) -> Response:
+        """Flatten one service ``QueryResult`` into a wire envelope."""
+        if not result.ok:
+            return Response(
+                ok=False,
+                op=request.op,
+                id=request.id,
+                error=WireError(
+                    code=result.code or "INTERNAL",
+                    message=result.error,
+                    type=result.error_type,
+                ),
+            )
+        spec = self.service.registry.get(request.op)
+        try:
+            encoded, page_meta = encode_result(spec, result.value, request.page)
+        except GMineError as error:
+            return Response.failure(error, op=request.op, request_id=request.id)
+        return Response(
+            ok=True,
+            op=request.op,
+            result=encoded,
+            cached=result.cached,
+            page=page_meta,
+            id=request.id,
+        )
+
+    # ------------------------------------------------------------------ #
+    # registry + stats
+    # ------------------------------------------------------------------ #
+    def ops(self) -> Handled:
+        return 200, {
+            "protocol": PROTOCOL,
+            "ok": True,
+            "ops": self.service.registry.describe(),
+        }
+
+    def stats(self) -> Handled:
+        return 200, {"protocol": PROTOCOL, "ok": True, "stats": self.service.stats()}
+
+    # ------------------------------------------------------------------ #
+    # sessions
+    # ------------------------------------------------------------------ #
+    def list_sessions(self) -> Handled:
+        return 200, {
+            "protocol": PROTOCOL,
+            "ok": True,
+            "sessions": self.service.sessions.active_ids(),
+        }
+
+    def create_session(self, body: Mapping[str, Any]) -> Handled:
+        state = body.get("state")
+        if state is not None:
+            session = self.service.restore_session(
+                dict(state), dataset=body.get("dataset")
+            )
+        else:
+            ttl = body.get("ttl")
+            if ttl is not None and not isinstance(ttl, (int, float)):
+                raise InvalidArgumentError(f"ttl must be a number, got {ttl!r}")
+            session = self.service.open_session(
+                dataset=body.get("dataset"),
+                ttl=ttl,
+                focus=body.get("focus"),
+                name=str(body.get("name", "session")),
+            )
+        return 200, self._session_payload(session)
+
+    def resume_session(self, session_id: str) -> Handled:
+        session = self.service.resume_session(session_id)
+        return 200, self._session_payload(session)
+
+    def session_state(self, session_id: str) -> Handled:
+        session = self.service.resume_session(session_id)
+        payload = self._session_payload(session)
+        payload["state"] = session.state_dict()
+        return 200, payload
+
+    def close_session(self, session_id: str) -> Handled:
+        self.service.close_session(session_id)
+        return 200, {"protocol": PROTOCOL, "ok": True, "closed": session_id}
+
+    def session_step(self, session_id: str, body: Mapping[str, Any]) -> Handled:
+        session = self.service.resume_session(session_id)
+        action = body.get("action")
+        if not action or not isinstance(action, str):
+            raise InvalidArgumentError(
+                f"step body must carry an 'action', got {dict(body)!r}"
+            )
+        arguments = body.get("args", {})
+        if not isinstance(arguments, Mapping):
+            raise InvalidArgumentError(
+                f"step args must be an object, got {arguments!r}"
+            )
+        value = session.recording.apply_step(action, dict(arguments))
+        payload = self._session_payload(session)
+        payload["action"] = action
+        payload["result"] = self._encode_step(action, value)
+        return 200, payload
+
+    def _session_payload(self, session) -> JsonDict:
+        return {
+            "protocol": PROTOCOL,
+            "ok": True,
+            "session": {
+                "session_id": session.session_id,
+                "dataset": session.dataset,
+                "focus": session.engine.focus.label,
+                "steps": len(session.recording.steps),
+                "touches": session.touches,
+                "ttl": session.ttl,
+            },
+        }
+
+    @staticmethod
+    def _encode_step(action: str, value: Any) -> Any:
+        """Flatten one step result to JSON-safe primitives."""
+        if value is None:
+            return None
+        if hasattr(value, "visible_nodes"):  # TomahawkContext
+            return {
+                "focus": value.focus.label,
+                "children": [node.label for node in value.children],
+                "siblings": [node.label for node in value.siblings],
+                "ancestors": [node.label for node in value.ancestors],
+                "size": value.size,
+            }
+        if hasattr(value, "as_dict"):  # SubgraphMetrics
+            return value.as_dict()
+        if hasattr(value, "leaf_label"):  # LabelQueryResult
+            return {
+                "vertex": value.vertex,
+                "leaf": value.leaf_label,
+                "path": value.path_labels,
+            }
+        if hasattr(value, "edges") and hasattr(value, "community_a"):
+            return {
+                "community_a": value.community_a,
+                "community_b": value.community_b,
+                "num_edges": len(value.edges),
+                "edges": sorted(([u, v, w] for u, v, w in value.edges), key=repr),
+            }
+        if hasattr(value, "community_label"):  # Bookmark
+            return {"name": value.name, "community": value.community_label}
+        return str(value)

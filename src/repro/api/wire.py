@@ -1,0 +1,272 @@
+"""GMine Protocol v1 wire envelopes and the structured error taxonomy.
+
+A request is one JSON object::
+
+    {"protocol": "gmine/1", "op": "rwr", "dataset": "dblp",
+     "args": {"sources": [1, 2]}, "page": {"top_k": 20}, "id": "r-1"}
+
+and a response mirrors it::
+
+    {"protocol": "gmine/1", "id": "r-1", "ok": true, "op": "rwr",
+     "cached": false, "result": {...}, "page": {"top_k": 20, "total": 412}}
+
+    {"protocol": "gmine/1", "id": "r-1", "ok": false,
+     "error": {"code": "SESSION_EXPIRED", "type": "SessionExpiredError",
+               "message": "..."}}
+
+Every failure carries a **stable machine-readable code** mapped from the
+exception hierarchy in :mod:`repro.errors`; :func:`error_code_for` walks an
+exception's MRO to the nearest declared ancestor, and
+:func:`exception_for_code` inverts the mapping so clients (and
+``QueryResult.unwrap``) re-raise *typed* exceptions rather than strings.
+Both transports — in-process and HTTP — speak exactly these envelopes,
+which is what makes the byte-identical parity guarantee testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple, Type
+
+from .. import errors
+from ..errors import GMineError, ProtocolError
+
+PROTOCOL = "gmine/1"
+
+#: Exception class -> stable wire code.  Order matters only for docs; the
+#: lookup walks each exception's MRO, so subclasses inherit their nearest
+#: ancestor's code unless declared explicitly.
+ERROR_CODES: Tuple[Tuple[Type[BaseException], str], ...] = (
+    (errors.SessionNotFoundError, "SESSION_NOT_FOUND"),
+    (errors.SessionExpiredError, "SESSION_EXPIRED"),
+    (errors.UnknownOperationError, "UNKNOWN_OPERATION"),
+    (errors.DatasetNotFoundError, "DATASET_NOT_FOUND"),
+    (errors.InvalidArgumentError, "INVALID_ARGUMENT"),
+    (errors.ProtocolError, "PROTOCOL_ERROR"),
+    (errors.NavigationError, "NAVIGATION_ERROR"),
+    (errors.ConvergenceError, "NOT_CONVERGED"),
+    (errors.ExtractionError, "EXTRACTION_FAILED"),
+    (errors.MiningError, "MINING_ERROR"),
+    (errors.CorruptStoreError, "CORRUPT_STORE"),
+    (errors.StorageError, "STORAGE_ERROR"),
+    (errors.GraphError, "GRAPH_ERROR"),
+    (errors.PartitionError, "PARTITION_ERROR"),
+    (errors.GTreeError, "GTREE_ERROR"),
+    (errors.DatasetError, "DATASET_ERROR"),
+    (errors.ServiceError, "SERVICE_ERROR"),
+    (errors.GMineError, "GMINE_ERROR"),
+    (TypeError, "INVALID_ARGUMENT"),
+    (ValueError, "INVALID_ARGUMENT"),
+    (KeyError, "INVALID_ARGUMENT"),
+)
+
+#: Fallback for exceptions outside the taxonomy.
+INTERNAL_ERROR = "INTERNAL"
+
+_CLASS_BY_CODE: Dict[str, Type[BaseException]] = {}
+for _cls, _code in ERROR_CODES:
+    # first declaration wins: the most specific class represents its code
+    _CLASS_BY_CODE.setdefault(_code, _cls)
+
+#: Wire code -> HTTP status used by the front-end (and mirrored by the
+#: in-process transport so parity holds for failures too).
+HTTP_STATUS: Dict[str, int] = {
+    "SESSION_NOT_FOUND": 404,
+    "SESSION_EXPIRED": 410,
+    "UNKNOWN_OPERATION": 404,
+    "DATASET_NOT_FOUND": 404,
+    "INVALID_ARGUMENT": 400,
+    "PROTOCOL_ERROR": 400,
+    "NAVIGATION_ERROR": 404,
+    "NOT_CONVERGED": 422,
+    "EXTRACTION_FAILED": 422,
+    "MINING_ERROR": 422,
+    "CORRUPT_STORE": 500,
+    "STORAGE_ERROR": 500,
+    "GRAPH_ERROR": 422,
+    "PARTITION_ERROR": 422,
+    "GTREE_ERROR": 422,
+    "DATASET_ERROR": 422,
+    "SERVICE_ERROR": 500,
+    "GMINE_ERROR": 500,
+    INTERNAL_ERROR: 500,
+}
+
+
+def error_code_for(error: BaseException) -> str:
+    """The stable wire code for an exception (nearest declared ancestor)."""
+    for klass in type(error).__mro__:
+        for declared, code in ERROR_CODES:
+            if klass is declared:
+                return code
+    return INTERNAL_ERROR
+
+
+def exception_for_code(code: str, message: str) -> BaseException:
+    """Rebuild a typed exception from a wire error (client-side re-raise)."""
+    klass = _CLASS_BY_CODE.get(code, errors.ServiceError)
+    if not issubclass(klass, GMineError):
+        # stdlib types in the taxonomy still come back as library errors so
+        # one `except GMineError` catches every protocol failure.
+        klass = errors.InvalidArgumentError
+    return klass(message)
+
+
+def http_status_for(code: str) -> int:
+    return HTTP_STATUS.get(code, 500)
+
+
+# --------------------------------------------------------------------------- #
+# envelopes
+# --------------------------------------------------------------------------- #
+@dataclass
+class Request:
+    """One protocol request envelope (JSON-round-trippable)."""
+
+    op: str
+    args: Dict[str, Any] = field(default_factory=dict)
+    dataset: Optional[str] = None
+    page: Optional[Dict[str, Any]] = None
+    id: Optional[str] = None
+    protocol: str = PROTOCOL
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "protocol": self.protocol,
+            "op": self.op,
+            "args": dict(self.args),
+        }
+        if self.dataset is not None:
+            payload["dataset"] = self.dataset
+        if self.page is not None:
+            payload["page"] = dict(self.page)
+        if self.id is not None:
+            payload["id"] = self.id
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Request":
+        if not isinstance(payload, Mapping):
+            raise ProtocolError(f"request must be a JSON object, got {payload!r}")
+        protocol = payload.get("protocol", PROTOCOL)
+        if protocol != PROTOCOL:
+            raise ProtocolError(
+                f"unsupported protocol {protocol!r}; this server speaks {PROTOCOL!r}"
+            )
+        op = payload.get("op", payload.get("operation"))
+        if not op or not isinstance(op, str):
+            raise ProtocolError(f"request has no operation: {dict(payload)!r}")
+        args = payload.get("args", {})
+        if not isinstance(args, Mapping):
+            raise ProtocolError(f"request args must be an object, got {args!r}")
+        page = payload.get("page")
+        if page is not None and not isinstance(page, Mapping):
+            raise ProtocolError(f"request page must be an object, got {page!r}")
+        request_id = payload.get("id")
+        return cls(
+            op=op,
+            args=dict(args),
+            dataset=payload.get("dataset"),
+            page=None if page is None else dict(page),
+            id=None if request_id is None else str(request_id),
+            protocol=protocol,
+        )
+
+
+@dataclass
+class WireError:
+    """Structured failure: stable code + original exception type + message."""
+
+    code: str
+    message: str
+    type: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"code": self.code, "type": self.type, "message": self.message}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "WireError":
+        return cls(
+            code=str(payload.get("code", INTERNAL_ERROR)),
+            message=str(payload.get("message", "")),
+            type=str(payload.get("type", "")),
+        )
+
+    @classmethod
+    def from_exception(cls, error: BaseException) -> "WireError":
+        return cls(
+            code=error_code_for(error),
+            message=str(error),
+            type=type(error).__name__,
+        )
+
+    def raise_(self) -> None:
+        raise exception_for_code(self.code, self.message)
+
+
+@dataclass
+class Response:
+    """One protocol response envelope (JSON-round-trippable)."""
+
+    ok: bool
+    op: str = ""
+    result: Any = None
+    error: Optional[WireError] = None
+    cached: bool = False
+    page: Optional[Dict[str, Any]] = None
+    id: Optional[str] = None
+    protocol: str = PROTOCOL
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"protocol": self.protocol, "ok": self.ok}
+        if self.id is not None:
+            payload["id"] = self.id
+        if self.op:
+            payload["op"] = self.op
+        if self.ok:
+            payload["cached"] = self.cached
+            payload["result"] = self.result
+            if self.page is not None:
+                payload["page"] = dict(self.page)
+        else:
+            payload["error"] = (self.error or WireError(INTERNAL_ERROR, "")).to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Response":
+        if not isinstance(payload, Mapping):
+            raise ProtocolError(f"response must be a JSON object, got {payload!r}")
+        error = payload.get("error")
+        page = payload.get("page")
+        request_id = payload.get("id")
+        return cls(
+            ok=bool(payload.get("ok")),
+            op=str(payload.get("op", "")),
+            result=payload.get("result"),
+            error=None if error is None else WireError.from_dict(error),
+            cached=bool(payload.get("cached", False)),
+            page=None if page is None else dict(page),
+            id=None if request_id is None else str(request_id),
+            protocol=str(payload.get("protocol", PROTOCOL)),
+        )
+
+    @classmethod
+    def failure(
+        cls, error: BaseException, op: str = "", request_id: Optional[str] = None
+    ) -> "Response":
+        return cls(
+            ok=False, op=op, error=WireError.from_exception(error), id=request_id
+        )
+
+    def unwrap(self) -> Any:
+        """Return the result payload, re-raising a typed taxonomy error."""
+        if not self.ok:
+            (self.error or WireError(INTERNAL_ERROR, "request failed")).raise_()
+        return self.result
+
+    @property
+    def status(self) -> int:
+        """The HTTP status this envelope travels under."""
+        if self.ok:
+            return 200
+        return http_status_for((self.error or WireError(INTERNAL_ERROR, "")).code)

@@ -5,11 +5,17 @@ Subcommands mirror the workflow of the original demo:
 * ``gmine generate`` — create a synthetic DBLP-like dataset and save it,
 * ``gmine build`` — build a G-Tree from a graph file and persist it,
 * ``gmine stats`` — summarise a graph or a stored G-Tree,
-* ``gmine query`` — run a label query against a stored G-Tree,
+* ``gmine query`` — label query against a stored G-Tree, **or** a one-shot
+  GMine Protocol v1 call: ``gmine query <store|dataset> <op> --args '{...}'``
+  runs any registered operation through :class:`~repro.api.client.GMineClient`
+  (in-process over a store, or remote with ``--url``),
+* ``gmine ops`` — list the protocol's operation registry
+  (``--describe`` dumps the full schema table),
 * ``gmine extract`` — run connection-subgraph extraction,
 * ``gmine render`` — render a Tomahawk view or a subgraph to SVG,
 * ``gmine serve`` — execute a batch of query requests through the
-  multi-session service (shared store, result cache, worker pool),
+  multi-session service, or with ``--http PORT`` expose the service as the
+  Protocol v1 HTTP front-end,
 * ``gmine session`` — create/resume serialisable exploration sessions
   (``gmine session create``, ``gmine session resume``).
 
@@ -25,6 +31,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from .api import DEFAULT_REGISTRY, GMineClient, GMineHTTPServer
 from .core.builder import GTreeBuildOptions, GTreeBuilder
 from .core.engine import GMineEngine
 from .data.dblp import DBLPConfig, generate_dblp
@@ -106,8 +113,34 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_page(args: argparse.Namespace):
+    """Collect --top-k/--offset/--limit into one protocol page block."""
+    page = {}
+    if getattr(args, "top_k", None) is not None:
+        page["top_k"] = args.top_k
+    if getattr(args, "offset", None) is not None:
+        page["offset"] = args.offset
+    if getattr(args, "limit", None) is not None:
+        page["limit"] = args.limit
+    return page or None
+
+
 def cmd_query(args: argparse.Namespace) -> int:
-    """Run a label query against a stored G-Tree."""
+    """Label query against a store, or a one-shot Protocol v1 operation.
+
+    ``gmine query <store.gtree> <op> --args '{...}'`` runs any registered
+    operation in-process over the store; ``gmine query <dataset> <op>
+    --url http://host:port`` runs it against a live ``gmine serve --http``
+    front-end.  Without an ``<op>`` positional this is the original label
+    query (``--store``/``--value``).
+    """
+    if getattr(args, "op", None):
+        return _cmd_query_protocol(args)
+    if not args.store or args.value is None:
+        raise CLIError(
+            "label-query mode needs --store and --value "
+            "(or pass <store> <op> positionals for a protocol call)"
+        )
     with GTreeStore(args.store) as store:
         engine = GMineEngine.from_store(store)
         attribute = None if args.by_id else args.attribute
@@ -118,6 +151,65 @@ def cmd_query(args: argparse.Namespace) -> int:
                 "vertex": result.vertex,
                 "leaf": result.leaf_label,
                 "path": result.path_labels,
+            }
+        )
+    return 0
+
+
+def _cmd_query_protocol(args: argparse.Namespace) -> int:
+    """One-shot protocol call: any registered op without writing python."""
+    try:
+        op_args = json.loads(args.op_args)
+    except json.JSONDecodeError as error:
+        raise CLIError(f"--args is not valid JSON: {error}")
+    if not isinstance(op_args, dict):
+        raise CLIError(f"--args must be a JSON object, got: {args.op_args!r}")
+    page = _parse_page(args)
+
+    if args.url:
+        # remote mode: the target positional names the server-side dataset
+        dataset = None if args.target in (None, "-") else args.target
+        client = GMineClient.http(args.url)
+        response = client.query(args.op, dataset=dataset, args=op_args, page=page)
+        _print_json(response.to_dict())
+        return 0 if response.ok else 3
+
+    if not args.target:
+        raise CLIError("protocol mode needs a <store> positional or --url")
+    store_path = Path(args.target)
+    if not store_path.exists():
+        raise CLIError(
+            f"store does not exist: {args.target} (use --url for a remote dataset)"
+        )
+    service = GMineService(
+        cache_capacity=getattr(args, "cache_capacity", 512),
+        max_workers=getattr(args, "workers", 4),
+    )
+    graph = _load_graph(args.graph) if getattr(args, "graph", None) else None
+    with service:
+        service.register_store(store_path, graph=graph)
+        client = GMineClient.in_process(service)
+        response = client.query(args.op, args=op_args, page=page)
+        _print_json(response.to_dict())
+    return 0 if response.ok else 3
+
+
+def cmd_ops(args: argparse.Namespace) -> int:
+    """Dump the Protocol v1 operation registry (names or full schemas)."""
+    if args.url:
+        table = GMineClient.http(args.url).ops()
+    else:
+        table = DEFAULT_REGISTRY.describe()
+    if args.describe:
+        _print_json({"protocol": "gmine/1", "ops": table})
+    else:
+        _print_json(
+            {
+                "protocol": "gmine/1",
+                "ops": [
+                    {"name": op["name"], "cost": op["cost"], "doc": op["doc"]}
+                    for op in table
+                ],
             }
         )
     return 0
@@ -181,6 +273,7 @@ def _summarise_result(result: QueryResult) -> dict:
     }
     if not result.ok:
         summary["error"] = f"{result.error_type}: {result.error}"
+        summary["code"] = result.code
         return summary
     value = result.value
     if isinstance(value, SubgraphMetrics):
@@ -216,7 +309,25 @@ def _open_service(args: argparse.Namespace) -> GMineService:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Execute a JSON batch of requests through the query service."""
+    """Run a batch of requests through the service, or serve it over HTTP."""
+    if args.http is not None:
+        with _open_service(args) as service:
+            server = GMineHTTPServer(service, host=args.host, port=args.http)
+            host, port = server.address
+            print(
+                f"gmine/1 serving {service.datasets()} on http://{host}:{port} "
+                f"(POST /v1/query, /v1/batch; GET /v1/ops)",
+                file=sys.stderr,
+            )
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.stop()
+        return 0
+    if not args.requests:
+        raise CLIError("serve needs --requests FILE (batch mode) or --http PORT")
     requests_path = Path(args.requests)
     if not requests_path.exists():
         raise CLIError(f"requests file does not exist: {args.requests}")
@@ -316,12 +427,51 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--hop-sample", type=int, default=64)
     stats.set_defaults(func=cmd_stats)
 
-    query = subparsers.add_parser("query", help="label query against a G-Tree store")
-    query.add_argument("--store", required=True)
-    query.add_argument("--value", required=True, help="attribute value (e.g. author name)")
+    query = subparsers.add_parser(
+        "query",
+        help="label query against a store, or a one-shot protocol operation",
+        description=(
+            "Label-query mode: gmine query --store S --value V.  Protocol "
+            "mode: gmine query <store.gtree> <op> --args '{...}', or "
+            "gmine query <dataset> <op> --url http://host:port for a "
+            "running gmine serve --http front-end."
+        ),
+    )
+    query.add_argument(
+        "target", nargs="?",
+        help="protocol mode: .gtree store path (or dataset name with --url)",
+    )
+    query.add_argument(
+        "op", nargs="?",
+        help="protocol mode: registered operation name (see gmine ops)",
+    )
+    query.add_argument(
+        "--args", dest="op_args", default="{}",
+        help='protocol mode: operation arguments as a JSON object',
+    )
+    query.add_argument("--url", help="protocol mode: remote gmine/1 server URL")
+    query.add_argument("--graph", help="protocol mode: optional full graph file")
+    query.add_argument("--top-k", type=int, default=None, dest="top_k",
+                       help="protocol mode: top-k pagination for score payloads")
+    query.add_argument("--offset", type=int, default=None,
+                       help="protocol mode: pagination offset for list payloads")
+    query.add_argument("--limit", type=int, default=None,
+                       help="protocol mode: pagination limit for list payloads")
+    query.add_argument("--store", help="label-query mode: .gtree store")
+    query.add_argument("--value", help="label-query mode: attribute value")
     query.add_argument("--attribute", default="name")
     query.add_argument("--by-id", action="store_true", help="treat value as a vertex id")
     query.set_defaults(func=cmd_query)
+
+    ops = subparsers.add_parser(
+        "ops", help="list the gmine/1 operation registry"
+    )
+    ops.add_argument(
+        "--describe", action="store_true",
+        help="dump the full schema table (args, types, defaults, cost classes)",
+    )
+    ops.add_argument("--url", help="read the table from a remote gmine/1 server")
+    ops.set_defaults(func=cmd_ops)
 
     extract = subparsers.add_parser("extract", help="connection subgraph extraction")
     extract.add_argument("--graph", required=True)
@@ -339,14 +489,20 @@ def build_parser() -> argparse.ArgumentParser:
     render.set_defaults(func=cmd_render)
 
     serve = subparsers.add_parser(
-        "serve", help="run a batch of query requests through the service"
+        "serve",
+        help="run a request batch through the service, or serve it over HTTP",
     )
     serve.add_argument("--store", required=True, help=".gtree store to serve")
     serve.add_argument("--graph", help="optional full graph (enables inspect_edge)")
     serve.add_argument(
-        "--requests", required=True,
+        "--requests",
         help='JSON list of requests: [{"op": "metrics", "args": {...}}, ...]',
     )
+    serve.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="serve the gmine/1 HTTP front-end on PORT instead of a batch file",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
     serve.add_argument("--workers", type=int, default=4)
     serve.add_argument("--cache-capacity", type=int, default=512, dest="cache_capacity")
     serve.add_argument("--cache-ttl", type=float, default=None, dest="cache_ttl")

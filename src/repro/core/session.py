@@ -125,6 +125,60 @@ class ExplorationSession:
         return inspection
 
     # ------------------------------------------------------------------ #
+    # generic step application (replay + the protocol's session endpoints)
+    # ------------------------------------------------------------------ #
+    #: action name -> (session, arguments) -> result; one table drives both
+    #: replay of recorded sessions and remote ``/v1/sessions/<id>/step``.
+    _STEP_ACTIONS = {
+        "focus": lambda session, args: session.focus(args["label"]),
+        "drill_down": lambda session, args: session.drill_down(
+            int(args.get("child_index", 0))
+        ),
+        "drill_up": lambda session, args: session.drill_up(),
+        "label_query": lambda session, args: session.label_query(
+            args["value"], attribute=args.get("attribute", "name")
+        ),
+        "locate_and_focus": lambda session, args: session.locate_and_focus(
+            args["value"], attribute=args.get("attribute", "name")
+        ),
+        "community_metrics": lambda session, args: session.community_metrics(),
+        "inspect_connectivity_edge": lambda session, args: (
+            session.inspect_connectivity_edge(
+                args["community_a"], args["community_b"]
+            )
+        ),
+        "bookmark": lambda session, args: session.bookmark(
+            args["name"], note=str(args.get("note", ""))
+        ),
+        "goto_bookmark": lambda session, args: session.goto_bookmark(args["name"]),
+    }
+
+    @classmethod
+    def step_actions(cls) -> List[str]:
+        """Names of every action :meth:`apply_step` understands."""
+        return sorted(cls._STEP_ACTIONS)
+
+    def apply_step(self, action: str, arguments: Dict[str, Any]):
+        """Apply one named interaction (the step vocabulary of the protocol).
+
+        Raises :class:`NavigationError` for unknown actions and for
+        missing arguments, so remote callers get a structured error
+        instead of a raw ``KeyError``.
+        """
+        handler = self._STEP_ACTIONS.get(action)
+        if handler is None:
+            raise NavigationError(
+                f"unknown session action {action!r}; "
+                f"expected one of {self.step_actions()}"
+            )
+        try:
+            return handler(self, arguments)
+        except KeyError as error:
+            raise NavigationError(
+                f"session action {action!r} is missing argument {error}"
+            ) from error
+
+    # ------------------------------------------------------------------ #
     # bookmarks
     # ------------------------------------------------------------------ #
     def bookmark(self, name: str, note: str = "") -> Bookmark:
@@ -221,29 +275,13 @@ class ExplorationSession:
         instead of aborting the replay.
         """
         session = cls(engine, name="replay")
-        dispatch = {
-            "focus": lambda args: session.focus(args["label"]),
-            "drill_down": lambda args: session.drill_down(int(args.get("child_index", 0))),
-            "drill_up": lambda args: session.drill_up(),
-            "label_query": lambda args: session.label_query(
-                args["value"], attribute=args.get("attribute")
-            ),
-            "locate_and_focus": lambda args: session.locate_and_focus(
-                args["value"], attribute=args.get("attribute")
-            ),
-            "community_metrics": lambda args: session.community_metrics(),
-            "inspect_connectivity_edge": lambda args: session.inspect_connectivity_edge(
-                args["community_a"], args["community_b"]
-            ),
-        }
         for step in steps:
-            handler = dispatch.get(step.action)
-            if handler is None:
+            if step.action not in cls._STEP_ACTIONS:
                 if strict:
                     raise NavigationError(f"unknown session action {step.action!r}")
                 continue
             try:
-                handler(step.arguments)
+                session.apply_step(step.action, step.arguments)
             except NavigationError:
                 if strict:
                     raise

@@ -117,3 +117,15 @@ class SessionExpiredError(ServiceError):
 
 class UnknownOperationError(ServiceError):
     """A query request named an operation the service does not expose."""
+
+
+class DatasetNotFoundError(ServiceError):
+    """A request named a dataset the service has not registered."""
+
+
+class InvalidArgumentError(ServiceError):
+    """An operation argument failed the registry's schema validation."""
+
+
+class ProtocolError(ServiceError):
+    """A wire envelope was malformed or spoke an unsupported protocol."""

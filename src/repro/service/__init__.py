@@ -8,6 +8,12 @@ through a thread-safe LRU+TTL :class:`ResultCache` keyed by
 ``(tree fingerprint, operation, canonicalized args)``.  The batch API
 deduplicates identical requests in flight and fans independent ones out over
 a worker pool with per-request error isolation.
+
+The public operation surface is declared in :mod:`repro.api` (GMine
+Protocol v1): the registry's :class:`~repro.api.registry.OpSpec` table
+drives validation, canonicalization and cache keying for every call, and
+the HTTP front-end / :class:`~repro.api.client.GMineClient` expose this
+service remotely.
 """
 
 from .cache import CacheStats, ResultCache, canonical_args, make_cache_key

@@ -8,14 +8,22 @@ machinery into a multi-session query service:
   per registered dataset,
 * every user gets an independent :class:`ServiceSession` (its own focus and
   history) created/resumed/expired through the :class:`SessionManager`,
+* every operation is **declared, not hand-dispatched**: the service executes
+  whatever the GMine Protocol v1 registry (:mod:`repro.api.ops`) declares.
+  Validation, canonicalization and cache keys all derive from each op's
+  :class:`~repro.api.registry.OpSpec`, so the service has no per-op
+  ``if/elif`` branching left,
 * every expensive call — RWR steady states, subgraph metric suites,
   connection subgraphs, connectivity/cross-edge inspection — is routed
   through a thread-safe :class:`~repro.service.cache.ResultCache` keyed by
-  ``(tree fingerprint, operation, canonicalized args)``, so identical
-  questions from different sessions are computed once,
+  ``(tree fingerprint, operation, spec-ordered canonical args)``, so
+  identical questions from different sessions are computed once,
 * :meth:`GMineService.batch` deduplicates identical requests in flight and
   fans independent ones out over a worker pool, with per-request error
   isolation: one failing request poisons only its own result.
+
+Remote access lives in :mod:`repro.api`: the HTTP front-end and the
+:class:`~repro.api.client.GMineClient` both route through this class.
 """
 
 from __future__ import annotations
@@ -27,22 +35,23 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from ..api.ops import DEFAULT_REGISTRY, OpContext
+from ..api.registry import CanonicalizationContext, OperationRegistry
+from ..api.wire import error_code_for, exception_for_code
 from ..core.engine import GMineEngine
 from ..core.gtree import GTree
 from ..core.session import ExplorationSession
-from ..errors import GMineError, ServiceError, UnknownOperationError
+from ..errors import DatasetNotFoundError, GMineError, ServiceError
 from ..graph.graph import Graph
-from ..mining.connection_subgraph import extract_connection_subgraph
-from ..mining.metrics_suite import compute_subgraph_metrics, metrics_signature
-from ..mining.rwr import steady_state_rwr
 from ..storage.gtree_store import GTreeStore
-from .cache import ResultCache, make_cache_key
+from .cache import ResultCache
 from .sessions import DEFAULT_SESSION_TTL, ServiceSession, SessionManager
 
 DEFAULT_DATASET = "default"
 
-#: Operations :meth:`GMineService.call` understands, with their cacheability.
-OPERATIONS = ("metrics", "rwr", "connection_subgraph", "connectivity", "inspect_edge")
+#: Operations the default registry declares (kept for backward compatibility;
+#: the authoritative source is ``GMineService.registry``).
+OPERATIONS = DEFAULT_REGISTRY.names()
 
 
 @dataclass
@@ -68,23 +77,52 @@ class QueryRequest:
 
 @dataclass
 class QueryResult:
-    """Outcome of one request: either a value or an isolated error."""
+    """Outcome of one request: either a value or an isolated error.
+
+    ``code`` carries the stable GMine Protocol v1 error code (taxonomy in
+    :mod:`repro.api.wire`) alongside the raw exception type name, so both
+    transports surface the same structured failure.
+    """
 
     request: QueryRequest
     ok: bool
     value: Any = None
     error: str = ""
     error_type: str = ""
+    code: str = ""
     cached: bool = False
 
     def unwrap(self) -> Any:
-        """Return the value, re-raising the recorded failure if there is one."""
+        """Return the value, re-raising the recorded failure as a typed error.
+
+        The exception class is resolved from the structured error code —
+        an expired session raises :class:`~repro.errors.SessionExpiredError`,
+        a bad argument raises :class:`~repro.errors.InvalidArgumentError`,
+        and so on; every one is a :class:`~repro.errors.GMineError`.
+        """
         if not self.ok:
-            raise ServiceError(
+            message = (
                 f"request {self.request.operation!r} failed: "
                 f"{self.error_type}: {self.error}"
             )
+            if self.code:
+                raise exception_for_code(self.code, message)
+            raise ServiceError(message)
         return self.value
+
+
+class _DatasetContext(CanonicalizationContext):
+    """Canonicalization context over one dataset's tree: ids -> labels."""
+
+    def __init__(self, tree: GTree) -> None:
+        self._tree = tree
+
+    def resolve_community(self, value: Any) -> Any:
+        # Communities may be addressed by tree-node id or label; key on the
+        # label so both spellings share one cache entry.
+        if isinstance(value, int) and self._tree.has_node(value):
+            return self._tree.node(value).label
+        return value
 
 
 @dataclass
@@ -97,6 +135,11 @@ class _Dataset:
     store: Optional[GTreeStore]
     fingerprint: str
     owns_store: bool = False
+    context: Optional[_DatasetContext] = None
+
+    def __post_init__(self) -> None:
+        if self.context is None:
+            self.context = _DatasetContext(self.tree)
 
     def make_engine(self, metrics_fn: Optional[Callable] = None) -> GMineEngine:
         """A fresh engine over the shared tree (cheap: focus + history only)."""
@@ -119,6 +162,10 @@ class GMineService:
         Worker threads used by :meth:`batch`.
     clock:
         Injectable monotonic time source shared by cache and sessions.
+    registry:
+        The :class:`~repro.api.registry.OperationRegistry` to serve;
+        defaults to the GMine Protocol v1 table.  Every op the service can
+        execute is declared there — there is no other dispatch path.
     """
 
     def __init__(
@@ -128,12 +175,14 @@ class GMineService:
         session_ttl: Optional[float] = DEFAULT_SESSION_TTL,
         max_workers: int = 4,
         clock=None,
+        registry: Optional[OperationRegistry] = None,
     ) -> None:
         import time
 
         clock = clock or time.monotonic
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self.cache = ResultCache(capacity=cache_capacity, ttl=cache_ttl, clock=clock)
         self.sessions = SessionManager(default_ttl=session_ttl, clock=clock)
         self.max_workers = max_workers
@@ -214,6 +263,10 @@ class GMineService:
         """The cache-key fingerprint of a dataset's tree."""
         return self._dataset(dataset).fingerprint
 
+    def describe_ops(self) -> List[Dict[str, Any]]:
+        """The registry's op table (name, schema, cacheability, cost class)."""
+        return self.registry.describe()
+
     def _dataset(self, name: Optional[str]) -> _Dataset:
         with self._lock:
             if name is None:
@@ -226,7 +279,7 @@ class GMineService:
                     f"{len(self._datasets)} datasets registered"
                 )
             if name not in self._datasets:
-                raise ServiceError(f"no dataset registered under {name!r}")
+                raise DatasetNotFoundError(f"no dataset registered under {name!r}")
             return self._datasets[name]
 
     # ------------------------------------------------------------------ #
@@ -255,7 +308,14 @@ class GMineService:
         return session
 
     def resume_session(self, session_id: str) -> ServiceSession:
-        """Return a live session, refreshing its TTL."""
+        """Return a live session, refreshing its TTL.
+
+        Raises the structured taxonomy errors —
+        :class:`~repro.errors.SessionExpiredError` for an aged-out id and
+        :class:`~repro.errors.SessionNotFoundError` for one never issued —
+        which both transports map to ``SESSION_EXPIRED`` /
+        ``SESSION_NOT_FOUND`` wire codes.
+        """
         return self.sessions.resume(session_id)
 
     def restore_session(
@@ -280,27 +340,25 @@ class GMineService:
         self.sessions.close(session_id)
 
     def _session_metrics_fn(self, handle: _Dataset):
-        """Metrics seam injected into session engines: cache by community."""
+        """Metrics seam injected into session engines: cache by community.
+
+        The cache key is built through the registry's ``metrics`` spec, so a
+        session's interactive call and a direct service call for the same
+        community share one cache entry by construction.
+        """
+        spec = self.registry.get("metrics")
 
         def metrics_fn(subgraph: Graph, community_label: str, hop_sample_size):
-            # Mirrors _canonicalize_op_args("metrics", ...) exactly, so a
-            # session's interactive call and a direct service call for the
-            # same community share one cache entry.
-            key = make_cache_key(
-                handle.fingerprint,
-                "metrics",
-                {
-                    "community": community_label,
-                    "metrics": metrics_signature(hop_sample_size=hop_sample_size),
-                },
+            canonical = spec.canonicalize(
+                {"community": community_label, "hop_sample_size": hop_sample_size},
+                handle.context,
             )
+            key = spec.cache_key(handle.fingerprint, canonical)
             return self.cache.get_or_compute(
                 key,
                 lambda: self._computed(
                     "metrics",
-                    lambda: compute_subgraph_metrics(
-                        subgraph, hop_sample_size=hop_sample_size
-                    ),
+                    lambda: _metrics_on_subgraph(subgraph, canonical),
                 ),
             )
 
@@ -310,7 +368,7 @@ class GMineService:
     # cached operations
     # ------------------------------------------------------------------ #
     def call(self, operation: str, dataset: Optional[str] = None, **args) -> Any:
-        """Execute one operation through the cache; raises on failure."""
+        """Execute one registered operation through the cache; raises on failure."""
         handle = self._dataset(dataset)
         value, _ = self._dispatch(handle, operation, args)
         return value
@@ -379,6 +437,7 @@ class GMineService:
                 ok=False,
                 error=str(error),
                 error_type=type(error).__name__,
+                code=error_code_for(error),
             )
         return QueryResult(request=request, ok=True, value=value, cached=cached)
 
@@ -413,6 +472,7 @@ class GMineService:
                         ok=False,
                         error=str(error),
                         error_type=type(error).__name__,
+                        code=error_code_for(error),
                     )
                 )
         order: List[Any] = []  # dedup key per request, in submission order
@@ -423,12 +483,12 @@ class GMineService:
                 continue
             try:
                 handle = self._dataset(request.dataset)
-                key = make_cache_key(
+                spec = self.registry.get(request.operation)
+                key = spec.cache_key(
                     handle.fingerprint,
-                    request.operation,
-                    self._canonicalize_op_args(handle, request.operation, request.args),
+                    spec.canonicalize(request.args, handle.context),
                 )
-            except GMineError:
+            except (GMineError, TypeError, ValueError):
                 key = ("__undeduplicable__", position)
             order.append(key)
             unique.setdefault(key, request)
@@ -455,6 +515,7 @@ class GMineService:
                         value=outcome.value,
                         error=outcome.error,
                         error_type=outcome.error_type,
+                        code=outcome.code,
                         cached=True,
                     )
                 )
@@ -513,116 +574,43 @@ class GMineService:
         return value
 
     # ------------------------------------------------------------------ #
-    # operation dispatch
+    # operation dispatch (fully registry-driven)
     # ------------------------------------------------------------------ #
     def _dispatch(self, handle: _Dataset, operation: str, args: Dict[str, Any]):
-        """Run one operation through the cache; returns ``(value, cached)``."""
-        if operation not in OPERATIONS:
-            raise UnknownOperationError(
-                f"unknown operation {operation!r}; expected one of {OPERATIONS}"
-            )
-        args = self._canonicalize_op_args(handle, operation, args)
-        key = make_cache_key(handle.fingerprint, operation, args)
-        performed: List[bool] = []
+        """Run one registered operation; returns ``(value, cached)``.
+
+        The spec supplies everything: validation and canonicalization
+        (:meth:`OpSpec.canonicalize`), the cache key derived from spec
+        field order (:meth:`OpSpec.cache_key`), and the compute handler.
+        Non-cacheable ops bypass the result cache entirely.
+        """
+        spec = self.registry.get(operation)
+        canonical = spec.canonicalize(args, handle.context)
 
         def compute() -> Any:
             performed.append(True)
             return self._computed(
-                operation, lambda: self._compute(handle, operation, args)
+                operation,
+                lambda: spec.handler(OpContext(engine=handle.make_engine()), canonical),
             )
 
+        performed: List[bool] = []
+        if not spec.cacheable:
+            return compute(), False
+        key = spec.cache_key(handle.fingerprint, canonical)
         value = self.cache.get_or_compute(key, compute)
         return value, not performed
 
-    @staticmethod
-    def _canonicalize_op_args(
-        handle: _Dataset, operation: str, args: Dict[str, Any]
-    ) -> Dict[str, Any]:
-        """Fill defaults and normalise orderings so equal requests share keys."""
-        canonical = dict(args)
-        for field_name in ("community", "community_a", "community_b"):
-            # Communities may be addressed by tree-node id or label; key on
-            # the label so both spellings share one cache entry.
-            target = canonical.get(field_name)
-            if isinstance(target, int) and handle.tree.has_node(target):
-                canonical[field_name] = handle.tree.node(target).label
-        if operation == "metrics":
-            canonical.setdefault("community", None)
-            # Collapse all tuning knobs into the canonical metrics signature
-            # so defaulted and explicit spellings share one cache entry.
-            canonical["metrics"] = metrics_signature(
-                hop_sample_size=canonical.pop("hop_sample_size", None),
-                pagerank_damping=canonical.pop("pagerank_damping", 0.85),
-                top_k=canonical.pop("top_k", 10),
-                seed=canonical.pop("seed", 0),
-            )
-        elif operation == "rwr":
-            sources = canonical.get("sources") or []
-            canonical["sources"] = sorted(set(sources), key=repr)
-            canonical.setdefault("community", None)
-            canonical.setdefault("restart_probability", 0.15)
-            canonical.setdefault("solver", "power")
-        elif operation == "connection_subgraph":
-            sources = canonical.get("sources") or []
-            canonical["sources"] = sorted(set(sources), key=repr)
-            canonical.setdefault("community", None)
-            canonical.setdefault("budget", 30)
-            canonical.setdefault("restart_probability", 0.15)
-        elif operation == "connectivity":
-            canonical.setdefault("community", None)
-        elif operation == "inspect_edge":
-            a = canonical.get("community_a")
-            b = canonical.get("community_b")
-            # the underlying edge set is symmetric; order the pair
-            if a is not None and b is not None and repr(b) < repr(a):
-                canonical["community_a"], canonical["community_b"] = b, a
-        return canonical
 
-    def _compute(self, handle: _Dataset, operation: str, args: Dict[str, Any]) -> Any:
-        """Actually perform one operation (called at most once per cache key)."""
-        engine = handle.make_engine()
-        if operation == "metrics":
-            subgraph = self._community_subgraph(engine, args["community"])
-            signature = dict(args["metrics"])
-            return compute_subgraph_metrics(
-                subgraph,
-                hop_sample_size=signature["hop_sample_size"],
-                pagerank_damping=signature["pagerank_damping"],
-                top_k=signature["top_k"],
-                seed=signature["seed"],
-            )
-        if operation == "rwr":
-            subgraph = self._community_subgraph(engine, args["community"])
-            return steady_state_rwr(
-                subgraph,
-                args["sources"],
-                restart_probability=args["restart_probability"],
-                solver=args["solver"],
-            )
-        if operation == "connection_subgraph":
-            subgraph = self._community_subgraph(engine, args["community"])
-            return extract_connection_subgraph(
-                subgraph,
-                args["sources"],
-                budget=args["budget"],
-                restart_probability=args["restart_probability"],
-            )
-        if operation == "connectivity":
-            return engine.connectivity_edges(self._target(engine, args["community"]))
-        if operation == "inspect_edge":
-            return engine.inspect_connectivity_edge(
-                args["community_a"], args["community_b"]
-            )
-        raise UnknownOperationError(f"unknown operation {operation!r}")
+def _metrics_on_subgraph(subgraph: Graph, canonical: Dict[str, Any]):
+    """Run the metrics handler against an already-materialised subgraph."""
+    from ..mining.metrics_suite import compute_subgraph_metrics
 
-    def _community_subgraph(self, engine: GMineEngine, community) -> Graph:
-        """Materialise a community's subgraph; None means the widest scope."""
-        if community is None:
-            if engine.graph is not None:
-                return engine.graph
-            return engine.community_subgraph(engine.tree.root.node_id)
-        return engine.community_subgraph(community)
-
-    @staticmethod
-    def _target(engine: GMineEngine, community):
-        return engine.tree.root.node_id if community is None else community
+    signature = dict(canonical["metrics"])
+    return compute_subgraph_metrics(
+        subgraph,
+        hop_sample_size=signature["hop_sample_size"],
+        pagerank_damping=signature["pagerank_damping"],
+        top_k=signature["top_k"],
+        seed=signature["seed"],
+    )

@@ -1,0 +1,129 @@
+"""The acceptance criterion: byte-identical payloads across transports.
+
+For **every** operation in the registry, the in-process client and the
+HTTP client must return exactly the same canonical bytes for the same
+request.  The cache is warmed first so both transports observe the same
+service state (the ``cached`` flag is part of the payload, honestly).
+Failures must be byte-identical too — a structured error envelope is part
+of the protocol, not an accident of the transport.
+"""
+
+import json
+
+import pytest
+
+from repro.api import DEFAULT_REGISTRY, Request
+
+pytestmark = pytest.mark.tier1
+
+
+def _request_for(op, hot_leaf, sibling_pair):
+    """A representative valid request for each registered operation."""
+    leaf, members = hot_leaf
+    community_a, community_b = sibling_pair
+    table = {
+        "metrics": {"community": leaf.label},
+        "rwr": {"sources": members, "community": leaf.label},
+        "connection_subgraph": {
+            "sources": members, "community": leaf.label, "budget": 12,
+        },
+        "connectivity": {},
+        "inspect_edge": {"community_a": community_a, "community_b": community_b},
+    }
+    return table[op]
+
+
+class TestTransportParity:
+    @pytest.mark.parametrize("op", list(DEFAULT_REGISTRY.names()))
+    def test_every_op_is_byte_identical_across_transports(
+        self, clients, hot_leaf, sibling_pair, op
+    ):
+        local, remote = clients
+        args = _request_for(op, hot_leaf, sibling_pair)
+        local.query(op, args=args).unwrap()  # warm: both transports now hit cache
+        raw_local = local.query_raw(op, args=args)
+        raw_remote = remote.query_raw(op, args=args)
+        assert raw_local == raw_remote, (
+            f"{op}: transports disagree\nin-process: {raw_local[:200]!r}\n"
+            f"http:       {raw_remote[:200]!r}"
+        )
+        payload = json.loads(raw_local.decode("utf-8"))
+        assert payload["ok"] is True
+        assert payload["cached"] is True
+        assert payload["protocol"] == "gmine/1"
+
+    @pytest.mark.parametrize("op", list(DEFAULT_REGISTRY.names()))
+    def test_parity_with_pagination(self, clients, hot_leaf, sibling_pair, op):
+        local, remote = clients
+        args = _request_for(op, hot_leaf, sibling_pair)
+        page = {"top_k": 3, "offset": 0, "limit": 2}
+        local.query(op, args=args, page=page).unwrap()
+        assert local.query_raw(op, args=args, page=page) == remote.query_raw(
+            op, args=args, page=page
+        )
+
+    def test_failure_envelopes_are_byte_identical(self, clients):
+        local, remote = clients
+        for bad in (
+            {"op": "teleport", "args": {}},
+            {"op": "metrics", "args": {"community": "missing"}},
+            {"op": "rwr", "args": {"sources": []}},
+        ):
+            request = Request.from_dict(bad)
+            raw_local = local.query_raw(request.op, args=request.args)
+            raw_remote = remote.query_raw(request.op, args=request.args)
+            assert raw_local == raw_remote
+
+    def test_equivalent_spellings_share_payloads_across_transports(
+        self, clients, hot_leaf
+    ):
+        # permuted kwargs + permuted sources + id-vs-label all canonicalize
+        # onto one cache entry, so every spelling returns the same bytes
+        local, remote = clients
+        leaf, members = hot_leaf
+        spellings = [
+            {"sources": members, "community": leaf.label},
+            {"community": leaf.label, "sources": list(reversed(members))},
+        ]
+        local.query("rwr", args=spellings[0]).unwrap()  # warm
+        raws = {
+            client.query_raw("rwr", args=spelling)
+            for client in (local, remote)
+            for spelling in spellings
+        }
+        assert len(raws) == 1
+
+    def test_set_sources_survive_both_transports(self, clients, hot_leaf):
+        # regression: HTTP request bodies used to stringify sets silently,
+        # making the same call succeed in-process but fail over the wire
+        local, remote = clients
+        leaf, members = hot_leaf
+        args_set = {"sources": set(members), "community": leaf.label}
+        args_list = {"sources": list(members), "community": leaf.label}
+        local.query("rwr", args=args_list).unwrap()  # warm
+        raws = {
+            client.query_raw("rwr", args=args)
+            for client in (local, remote)
+            for args in (args_set, args_list)
+        }
+        assert len(raws) == 1  # every spelling, every transport: same bytes
+
+    def test_batch_parity(self, clients, hot_leaf):
+        local, remote = clients
+        leaf, members = hot_leaf
+        requests = [
+            {"op": "metrics", "args": {"community": leaf.label}},
+            {"op": "rwr", "args": {"sources": members, "community": leaf.label}},
+            {"op": "metrics", "args": {"community": "missing"}},
+        ]
+        local.batch(requests)  # warm
+        replies_local = [r.to_dict() for r in local.batch(requests)]
+        replies_remote = [r.to_dict() for r in remote.batch(requests)]
+        assert replies_local == replies_remote
+
+    def test_ops_and_stats_parity(self, clients):
+        local, remote = clients
+        assert local.ops() == remote.ops()
+        # stats change between calls (the remote call itself may not touch
+        # the cache, but sessions/compute counters must agree in shape)
+        assert set(local.stats()) == set(remote.stats())

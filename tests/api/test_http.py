@@ -1,0 +1,260 @@
+"""HTTP front-end tests: a real server in a background thread.
+
+Covers the full route surface — query, batch, ops, stats, and the session
+lifecycle — plus the structured error statuses the satellite fix demands:
+an unknown session id is a 404 ``SESSION_NOT_FOUND`` envelope and an
+expired one is a 410 ``SESSION_EXPIRED`` envelope, never a raw traceback.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import GMineClient, GMineHTTPServer
+from repro.errors import (
+    InvalidArgumentError,
+    NavigationError,
+    SessionExpiredError,
+    SessionNotFoundError,
+    UnknownOperationError,
+)
+from repro.service import GMineService
+
+pytestmark = pytest.mark.tier1
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as reply:
+        return reply.status, json.loads(reply.read().decode("utf-8"))
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as reply:
+            return reply.status, json.loads(reply.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+class TestQueryRoute:
+    def test_query_round_trip(self, http_server, hot_leaf):
+        leaf, _ = hot_leaf
+        status, payload = _post(
+            http_server.url + "/v1/query",
+            {"protocol": "gmine/1", "op": "metrics",
+             "args": {"community": leaf.label}},
+        )
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["protocol"] == "gmine/1"
+        assert payload["result"]["num_weak_components"] >= 1
+
+    def test_query_error_carries_structured_code(self, http_server):
+        status, payload = _post(
+            http_server.url + "/v1/query",
+            {"op": "metrics", "args": {"community": "no-such-community"}},
+        )
+        assert status == 404
+        assert payload["ok"] is False
+        assert payload["error"]["code"] == "NAVIGATION_ERROR"
+        assert "no-such-community" in payload["error"]["message"]
+
+    def test_unknown_operation_is_404(self, http_server):
+        status, payload = _post(
+            http_server.url + "/v1/query", {"op": "teleport", "args": {}}
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "UNKNOWN_OPERATION"
+
+    def test_invalid_argument_is_400(self, http_server):
+        status, payload = _post(
+            http_server.url + "/v1/query",
+            {"op": "rwr", "args": {"sources": [1], "budget": 9}},
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "INVALID_ARGUMENT"
+
+    def test_non_json_body_is_400_protocol_error(self, http_server):
+        request = urllib.request.Request(
+            http_server.url + "/v1/query",
+            data=b"this is not json",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        payload = json.loads(excinfo.value.read().decode("utf-8"))
+        assert payload["error"]["code"] == "PROTOCOL_ERROR"
+
+    def test_unknown_route_is_404(self, http_server):
+        status, payload = _post(http_server.url + "/v1/nothing", {})
+        assert status == 404
+        assert payload["error"]["code"] == "PROTOCOL_ERROR"
+
+    def test_pagination_is_honoured(self, http_server, hot_leaf):
+        leaf, members = hot_leaf
+        status, payload = _post(
+            http_server.url + "/v1/query",
+            {"op": "rwr", "args": {"sources": members, "community": leaf.label},
+             "page": {"top_k": 3}},
+        )
+        assert status == 200
+        assert len(payload["result"]["scores"]) == 3
+        assert payload["page"]["total"] == payload["result"]["num_scores"]
+
+
+class TestBatchRoute:
+    def test_batch_isolates_failures(self, http_server, hot_leaf):
+        leaf, members = hot_leaf
+        status, payload = _post(
+            http_server.url + "/v1/batch",
+            {"requests": [
+                {"op": "metrics", "args": {"community": leaf.label}},
+                {"op": "metrics", "args": {"community": "missing"}},
+                {"op": "rwr", "args": {"sources": members,
+                                       "community": leaf.label}},
+            ]},
+        )
+        assert status == 200
+        oks = [entry["ok"] for entry in payload["responses"]]
+        assert oks == [True, False, True]
+        assert payload["responses"][1]["error"]["code"] == "NAVIGATION_ERROR"
+
+    def test_batch_requires_requests_list(self, http_server):
+        status, payload = _post(http_server.url + "/v1/batch", {"ops": []})
+        assert status == 400
+        assert payload["error"]["code"] == "PROTOCOL_ERROR"
+
+    def test_batch_dedups_through_shared_cache(self, http_server, hot_leaf):
+        leaf, _ = hot_leaf
+        request = {"op": "metrics", "args": {"community": leaf.label}}
+        _post(http_server.url + "/v1/batch", {"requests": [request, request]})
+        _, stats = _get(http_server.url + "/v1/stats")
+        assert stats["stats"]["computed"].get("metrics") == 1
+
+    def test_batch_isolates_malformed_envelopes(self, http_server, hot_leaf):
+        leaf, _ = hot_leaf
+        status, payload = _post(
+            http_server.url + "/v1/batch",
+            {"requests": [
+                {"op": "metrics", "args": {"community": leaf.label}},
+                {"args": {}},  # no op at all
+                {"op": "metrics", "args": {"community": leaf.label}},
+            ]},
+        )
+        assert status == 200
+        oks = [entry["ok"] for entry in payload["responses"]]
+        assert oks == [True, False, True]
+        assert payload["responses"][1]["error"]["code"] == "PROTOCOL_ERROR"
+
+
+class TestDiscoveryRoutes:
+    def test_ops_table_over_http(self, http_server):
+        status, payload = _get(http_server.url + "/v1/ops")
+        assert status == 200
+        names = [op["name"] for op in payload["ops"]]
+        assert names == [
+            "metrics", "rwr", "connection_subgraph", "connectivity", "inspect_edge",
+        ]
+        assert all("args" in op for op in payload["ops"])
+
+    def test_stats_over_http(self, http_server):
+        status, payload = _get(http_server.url + "/v1/stats")
+        assert status == 200
+        assert set(payload["stats"]) >= {"cache", "computed", "sessions", "datasets"}
+
+
+class TestSessionRoutes:
+    def test_session_lifecycle_over_http(self, http_server, hot_leaf):
+        leaf, _ = hot_leaf
+        client = GMineClient.http(http_server.url)
+        info = client.create_session(name="walker", focus=leaf.label)
+        assert info["focus"] == leaf.label
+        assert info["session_id"] in client.sessions()
+
+        step = client.session_step(info["session_id"], "community_metrics")
+        assert step["result"]["num_weak_components"] >= 1
+        assert step["session"]["steps"] == 2  # focus + metrics
+
+        state = client.session_state(info["session_id"])
+        assert state["focus"] == leaf.label
+
+        client.close_session(info["session_id"])
+        assert info["session_id"] not in client.sessions()
+
+    def test_unknown_session_is_404_with_code(self, http_server):
+        status, payload = _post(
+            http_server.url + "/v1/sessions/ghost-9999/resume", None
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "SESSION_NOT_FOUND"
+        assert payload["error"]["type"] == "SessionNotFoundError"
+
+    def test_expired_session_is_410_with_code(self, api_dataset):
+        # a dedicated service with an instantly-expiring TTL
+        dataset, tree = api_dataset
+        with GMineService(session_ttl=0.0) as service:
+            service.register_tree(tree, graph=dataset.graph, name="dblp")
+            with GMineHTTPServer(service, port=0) as server:
+                client = GMineClient.http(server.url)
+                info = client.create_session(name="brief")
+                import time
+
+                time.sleep(0.01)
+                status, payload = _post(
+                    server.url + f"/v1/sessions/{info['session_id']}/resume", None
+                )
+                assert status == 410
+                assert payload["error"]["code"] == "SESSION_EXPIRED"
+                with pytest.raises(SessionExpiredError):
+                    client.resume_session(info["session_id"])
+
+    def test_session_restore_over_http(self, http_server, hot_leaf):
+        leaf, _ = hot_leaf
+        client = GMineClient.http(http_server.url)
+        info = client.create_session(name="saved", focus=leaf.label)
+        state = client.session_state(info["session_id"])
+        client.close_session(info["session_id"])
+
+        revived = client.restore_session(state)
+        assert revived["focus"] == leaf.label
+        assert revived["session_id"] != info["session_id"]
+
+    def test_bad_step_action_is_structured_error(self, http_server):
+        client = GMineClient.http(http_server.url)
+        info = client.create_session(name="stepper")
+        with pytest.raises(NavigationError, match="unknown session action"):
+            client.session_step(info["session_id"], "teleport")
+        with pytest.raises(NavigationError, match="missing argument"):
+            client.session_step(info["session_id"], "focus")
+
+    def test_non_taxonomy_exception_still_returns_an_envelope(self, clients):
+        # regression: a ValueError inside a session route used to escape the
+        # router — the HTTP server dropped the connection and the in-process
+        # client saw a raw traceback; both must get a structured envelope
+        for client in clients:
+            info = client.create_session(name="typo")
+            with pytest.raises(InvalidArgumentError):
+                client.session_step(
+                    info["session_id"], "drill_down", child_index="abc"
+                )
+            client.close_session(info["session_id"])
+
+
+class TestClientTypedErrors:
+    def test_client_raises_taxonomy_exceptions(self, clients):
+        for client in clients:
+            with pytest.raises(UnknownOperationError):
+                client.call("teleport")
+            with pytest.raises(InvalidArgumentError):
+                client.call("rwr", sources=[1], bogus=2)
+            with pytest.raises(SessionNotFoundError):
+                client.resume_session("never-issued")

@@ -1,0 +1,139 @@
+"""Wire-envelope tests: versioning, JSON round-trips, the error taxonomy."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    PROTOCOL,
+    Request,
+    Response,
+    WireError,
+    error_code_for,
+    exception_for_code,
+    http_status_for,
+)
+from repro.api.router import dumps
+from repro.errors import (
+    ConvergenceError,
+    GMineError,
+    InvalidArgumentError,
+    NavigationError,
+    ProtocolError,
+    ServiceError,
+    SessionExpiredError,
+    SessionNotFoundError,
+    UnknownOperationError,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+class TestRequestEnvelope:
+    def test_round_trip(self):
+        request = Request(op="rwr", args={"sources": [1, 2]}, dataset="dblp",
+                          page={"top_k": 5}, id="r-1")
+        clone = Request.from_dict(json.loads(json.dumps(request.to_dict())))
+        assert clone == request
+
+    def test_protocol_version_is_stamped(self):
+        assert Request(op="metrics").to_dict()["protocol"] == PROTOCOL == "gmine/1"
+
+    def test_unsupported_protocol_rejected(self):
+        with pytest.raises(ProtocolError, match="gmine/1"):
+            Request.from_dict({"protocol": "gmine/2", "op": "metrics"})
+
+    def test_missing_operation_rejected(self):
+        with pytest.raises(ProtocolError, match="no operation"):
+            Request.from_dict({"args": {}})
+
+    def test_legacy_operation_key_accepted(self):
+        assert Request.from_dict({"operation": "metrics"}).op == "metrics"
+
+    def test_malformed_args_rejected(self):
+        with pytest.raises(ProtocolError, match="args"):
+            Request.from_dict({"op": "rwr", "args": [1, 2]})
+
+
+class TestResponseEnvelope:
+    def test_success_round_trip(self):
+        response = Response(ok=True, op="metrics", result={"diameter": 3},
+                            cached=True, page={"top_k": 5}, id="r-9")
+        clone = Response.from_dict(json.loads(json.dumps(response.to_dict())))
+        assert clone == response
+        assert clone.unwrap() == {"diameter": 3}
+
+    def test_failure_round_trip_preserves_code(self):
+        response = Response.failure(SessionExpiredError("gone"), op="metrics")
+        clone = Response.from_dict(json.loads(json.dumps(response.to_dict())))
+        assert clone.error.code == "SESSION_EXPIRED"
+        assert clone.error.type == "SessionExpiredError"
+        with pytest.raises(SessionExpiredError):
+            clone.unwrap()
+
+    def test_success_payload_never_carries_error_block(self):
+        payload = Response(ok=True, op="x", result=1).to_dict()
+        assert "error" not in payload
+        failure = Response.failure(ServiceError("boom")).to_dict()
+        assert "result" not in failure
+
+    def test_http_status_derived_from_code(self):
+        assert Response(ok=True).status == 200
+        assert Response.failure(SessionNotFoundError("x")).status == 404
+        assert Response.failure(SessionExpiredError("x")).status == 410
+        assert Response.failure(InvalidArgumentError("x")).status == 400
+        assert Response.failure(ServiceError("x")).status == 500
+
+
+class TestErrorTaxonomy:
+    @pytest.mark.parametrize(
+        "error, code",
+        [
+            (SessionNotFoundError("x"), "SESSION_NOT_FOUND"),
+            (SessionExpiredError("x"), "SESSION_EXPIRED"),
+            (UnknownOperationError("x"), "UNKNOWN_OPERATION"),
+            (InvalidArgumentError("x"), "INVALID_ARGUMENT"),
+            (NavigationError("x"), "NAVIGATION_ERROR"),
+            (ConvergenceError("x"), "NOT_CONVERGED"),
+            (ServiceError("x"), "SERVICE_ERROR"),
+            (TypeError("x"), "INVALID_ARGUMENT"),
+            (KeyError("x"), "INVALID_ARGUMENT"),
+            (RuntimeError("x"), "INTERNAL"),
+        ],
+    )
+    def test_exception_maps_to_stable_code(self, error, code):
+        assert error_code_for(error) == code
+
+    def test_codes_invert_to_typed_exceptions(self):
+        for code, expected in [
+            ("SESSION_NOT_FOUND", SessionNotFoundError),
+            ("SESSION_EXPIRED", SessionExpiredError),
+            ("UNKNOWN_OPERATION", UnknownOperationError),
+            ("INVALID_ARGUMENT", InvalidArgumentError),
+            ("NAVIGATION_ERROR", NavigationError),
+        ]:
+            error = exception_for_code(code, "msg")
+            assert isinstance(error, expected)
+            assert isinstance(error, GMineError)
+
+    def test_unknown_code_falls_back_to_service_error(self):
+        assert isinstance(exception_for_code("NO_SUCH_CODE", "m"), ServiceError)
+
+    def test_every_code_has_an_http_status(self):
+        from repro.api.wire import ERROR_CODES
+
+        for _, code in ERROR_CODES:
+            assert 400 <= http_status_for(code) <= 599
+
+    def test_wire_error_raises_itself(self):
+        with pytest.raises(SessionExpiredError, match="ttl ran out"):
+            WireError(code="SESSION_EXPIRED", message="ttl ran out").raise_()
+
+
+class TestCanonicalSerialisation:
+    def test_dumps_is_key_order_insensitive(self):
+        assert dumps({"b": 1, "a": [1, 2]}) == dumps({"a": [1, 2], "b": 1})
+
+    def test_dumps_is_compact_utf8(self):
+        raw = dumps({"k": "v"})
+        assert raw == b'{"k":"v"}'

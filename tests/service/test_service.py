@@ -110,6 +110,62 @@ class TestOtherOperations:
             service.metrics(dataset="nope")
 
 
+class TestStructuredErrors:
+    """Protocol v1 error taxonomy surfaces through the service layer itself."""
+
+    def test_execute_records_stable_error_codes(self, service):
+        from repro.errors import NavigationError
+
+        result = service.execute(
+            {"op": "metrics", "args": {"community": "no-such-community"}}
+        )
+        assert not result.ok
+        assert result.code == "NAVIGATION_ERROR"
+        assert result.error_type == "NavigationError"
+        with pytest.raises(NavigationError):
+            result.unwrap()
+
+    def test_unwrap_raises_typed_exceptions_from_the_taxonomy(self, service):
+        unknown_op = service.execute({"op": "teleport", "args": {}})
+        with pytest.raises(UnknownOperationError):
+            unknown_op.unwrap()
+
+        from repro.errors import DatasetNotFoundError, InvalidArgumentError
+
+        bad_dataset = service.execute({"op": "metrics", "dataset": "nope"})
+        assert bad_dataset.code == "DATASET_NOT_FOUND"
+        with pytest.raises(DatasetNotFoundError):
+            bad_dataset.unwrap()
+
+        bad_args = service.execute({"op": "rwr", "args": {"sources": []}})
+        assert bad_args.code == "INVALID_ARGUMENT"
+        with pytest.raises(InvalidArgumentError):
+            bad_args.unwrap()
+
+    def test_unknown_argument_is_rejected_by_the_registry(self, service, hot_leaf):
+        from repro.errors import InvalidArgumentError
+
+        leaf, _ = hot_leaf
+        with pytest.raises(InvalidArgumentError, match="unknown argument"):
+            service.call("connectivity", community=leaf.label, verbose=True)
+
+    def test_resuming_expired_session_raises_typed_error(
+        self, service_dataset, store_path, clock
+    ):
+        from repro.errors import SessionExpiredError, SessionNotFoundError
+        from repro.service import GMineService
+
+        dataset, _ = service_dataset
+        with GMineService(session_ttl=30.0, clock=clock) as svc:
+            svc.register_store(store_path, graph=dataset.graph, name="dblp")
+            session = svc.open_session()
+            clock.advance(31.0)
+            with pytest.raises(SessionExpiredError):
+                svc.resume_session(session.session_id)
+            with pytest.raises(SessionNotFoundError):
+                svc.resume_session("never-issued")
+
+
 class TestEviction:
     def test_cache_eviction_accounting_under_small_capacity(
         self, service_dataset, store_path
