@@ -7,16 +7,21 @@
 #   make test-all    — the complete suite including slow paper-claim tests
 #   make test-slow   — only the slow tests
 #   make smoke       — run the concurrent multi-session service example
-#   make serve-smoke — start the gmine/1 HTTP server, fire a mixed batch
-#                      twice and assert cache-hit accounting + transport
-#                      parity (examples/http_service.py)
+#   make serve-smoke — start the gmine/1 HTTP server once per execution
+#                      backend (inline, thread, process), fire a mixed
+#                      batch twice per backend, and assert cache-hit
+#                      accounting, transport parity AND cross-backend
+#                      byte-parity (examples/http_service.py)
 #   make bench-http  — requests/sec for cached vs uncached RWR over HTTP;
 #                      writes benchmarks/BENCH_http.json
+#   make bench-exec  — uncached RWR/metrics batches on the inline, thread
+#                      and process execution backends (speedup vs thread);
+#                      writes benchmarks/BENCH_exec.json
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check tier1 smoke serve-smoke bench-http test-all test-slow
+.PHONY: check tier1 smoke serve-smoke bench-http bench-exec test-all test-slow
 
 check: tier1 smoke serve-smoke
 	@echo "check: tier-1 tests, service smoke and HTTP serve-smoke passed"
@@ -28,10 +33,13 @@ smoke:
 	$(PYTHON) examples/concurrent_sessions.py
 
 serve-smoke:
-	$(PYTHON) examples/http_service.py
+	$(PYTHON) examples/http_service.py inline thread process
 
 bench-http:
 	$(PYTHON) benchmarks/bench_http_throughput.py
+
+bench-exec:
+	$(PYTHON) benchmarks/bench_exec_backends.py
 
 test-all:
 	$(PYTHON) -m pytest -q -m "slow or not slow"

@@ -1,37 +1,62 @@
-"""Serve GMine over HTTP and drive it with the transport-agnostic client.
+"""Serve GMine over HTTP on every execution backend and prove parity.
 
-This is the ``make serve-smoke`` gate: it builds a small DBLP dataset,
+This is the ``make serve-smoke`` gate.  It builds a small DBLP dataset,
+persists it (store + graph file, so process workers can reopen it by
+path), then **once per execution backend** — inline, thread, process —
 starts the GMine Protocol v1 HTTP front-end on an ephemeral port, fires a
-batch of mixed queries **twice** (cold, then warm), and asserts
+batch of mixed queries twice (cold, then warm), and asserts
 
 * every response is a structured ``gmine/1`` envelope,
 * the warm pass is answered entirely from the shared result cache
   (cache-hit accounting via ``/v1/stats``),
 * the in-process transport returns byte-identical payloads to HTTP,
-* session navigation works end to end over the wire, and
+* session navigation works end to end over the wire,
 * failures (expired sessions, bad arguments) surface as typed,
-  machine-readable error codes — never raw tracebacks.
+  machine-readable error codes — never raw tracebacks, and
+* **all three backends produce byte-identical response payloads** — the
+  execution-engine-v2 guarantee that *where* a kernel runs (calling
+  thread, kernel pool, warm worker process) never changes *what* the
+  caller sees.
 
-Run it:  ``PYTHONPATH=src python examples/http_service.py``
+Run it:  ``PYTHONPATH=src python examples/http_service.py [backend ...]``
+(default: all of inline, thread, process).
 """
+
+import sys
+import tempfile
+from pathlib import Path
 
 from repro.api import GMineClient, GMineHTTPServer
 from repro.core.builder import build_gtree
 from repro.data.dblp import DBLPConfig, generate_dblp
 from repro.errors import InvalidArgumentError, SessionNotFoundError
-from repro.service import GMineService
+from repro.graph.io import write_json
+from repro.service import BACKEND_NAMES, GMineService
+from repro.storage.gtree_store import save_gtree
 
 
-def main() -> None:
+def build_dataset(workdir: Path):
+    """Generate the smoke dataset and persist store + graph files."""
     dataset = generate_dblp(DBLPConfig(num_authors=600, seed=11))
     tree = build_gtree(dataset.graph, fanout=3, levels=3, seed=11)
+    store_path = workdir / "smoke.gtree"
+    graph_path = workdir / "smoke.json"
+    save_gtree(tree, store_path)
+    write_json(dataset.graph, graph_path)
+    return tree, store_path, graph_path
+
+
+def smoke_one_backend(backend, tree, store_path, graph_path):
+    """Run the full HTTP smoke on one backend; returns the parity bytes."""
     leaves = sorted(tree.leaves(), key=lambda node: -node.size)[:4]
     hot = leaves[0]
 
-    with GMineService(max_workers=4) as service:
-        service.register_tree(tree, graph=dataset.graph, name="dblp")
+    with GMineService(max_workers=4, backend=backend) as service:
+        service.register_store(
+            store_path, name="dblp", graph_path=graph_path
+        )
         with GMineHTTPServer(service, port=0) as server:
-            print(f"serving gmine/1 on {server.url}")
+            print(f"[{backend}] serving gmine/1 on {server.url}")
             remote = GMineClient.http(server.url)
             local = GMineClient.in_process(service)
 
@@ -63,8 +88,14 @@ def main() -> None:
             computed = stats["computed"]
             assert computed.get("metrics") == len(leaves), computed
             assert computed.get("rwr") == 1, computed
-            print(f"cache accounting ok: {stats['cache']}")
-            print(f"computed once each: {computed}")
+            assert stats["backend"]["name"] == backend, stats["backend"]
+            if backend == "process":
+                assert stats["backend"]["shipped"] >= 6, (
+                    "process backend must ship the expensive kernels",
+                    stats["backend"],
+                )
+            print(f"[{backend}] cache accounting ok: {stats['cache']}")
+            print(f"[{backend}] backend accounting ok: {stats['backend']}")
 
             # ---------------------------------------------------------- #
             # transport parity: same bytes in-process and over the socket
@@ -73,7 +104,7 @@ def main() -> None:
             assert local.query_raw("rwr", args=args) == remote.query_raw(
                 "rwr", args=args
             ), "transports must be byte-identical"
-            print("transport parity ok (in-process == HTTP)")
+            print(f"[{backend}] transport parity ok (in-process == HTTP)")
 
             # ---------------------------------------------------------- #
             # sessions over the wire
@@ -85,8 +116,8 @@ def main() -> None:
             remote.close_session(info["session_id"])
             revived = remote.restore_session(state)
             assert revived["focus"] == hot.label
-            print(f"session round-trip ok: {info['session_id']} -> "
-                  f"{revived['session_id']}")
+            print(f"[{backend}] session round-trip ok: {info['session_id']} "
+                  f"-> {revived['session_id']}")
 
             # ---------------------------------------------------------- #
             # structured failures: typed errors, never tracebacks
@@ -95,14 +126,39 @@ def main() -> None:
                 remote.resume_session("never-issued")
                 raise AssertionError("unknown session must raise")
             except SessionNotFoundError as error:
-                print(f"unknown session -> SessionNotFoundError: {error}")
+                print(f"[{backend}] unknown session -> "
+                      f"SessionNotFoundError: {error}")
             try:
                 remote.call("rwr", sources=[])
                 raise AssertionError("empty sources must raise")
             except InvalidArgumentError as error:
-                print(f"bad arguments -> InvalidArgumentError: {error}")
+                print(f"[{backend}] bad arguments -> "
+                      f"InvalidArgumentError: {error}")
 
-            print("serve-smoke: all assertions passed")
+            # the parity probe: canonical bytes for the whole request set
+            return [
+                remote.query_raw(item["op"], args=item["args"])
+                for item in requests
+            ]
+
+
+def main() -> None:
+    backends = sys.argv[1:] or list(BACKEND_NAMES)
+    with tempfile.TemporaryDirectory(prefix="gmine-smoke-") as workdir:
+        tree, store_path, graph_path = build_dataset(Path(workdir))
+        payloads = {
+            backend: smoke_one_backend(backend, tree, store_path, graph_path)
+            for backend in backends
+        }
+    if len(payloads) > 1:
+        reference_name = next(iter(payloads))
+        reference = payloads[reference_name]
+        for backend, observed in payloads.items():
+            assert observed == reference, (
+                f"backend {backend} diverged from {reference_name}"
+            )
+        print(f"backend parity ok: {', '.join(payloads)} are byte-identical")
+    print("serve-smoke: all assertions passed")
 
 
 if __name__ == "__main__":

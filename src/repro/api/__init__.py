@@ -26,6 +26,7 @@ and client-only deployments.
 from .client import GMineClient, HTTPTransport, InProcessTransport
 from .http import GMineHTTPServer, serve_http
 from .ops import DEFAULT_REGISTRY, OpContext, build_default_registry, encode_result
+from .plans import KERNELS, ComputePlan, plan_for, run_plan
 from .registry import (
     REQUIRED,
     ArgSpec,
@@ -47,7 +48,9 @@ from .wire import (
 __all__ = [
     "ArgSpec",
     "CanonicalizationContext",
+    "ComputePlan",
     "DEFAULT_REGISTRY",
+    "KERNELS",
     "GMineClient",
     "GMineHTTPServer",
     "HTTPTransport",
@@ -67,5 +70,7 @@ __all__ = [
     "error_code_for",
     "exception_for_code",
     "http_status_for",
+    "plan_for",
+    "run_plan",
     "serve_http",
 ]

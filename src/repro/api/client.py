@@ -217,10 +217,28 @@ class GMineClient:
         return payload["ops"]
 
     def stats(self) -> Dict[str, Any]:
-        """Cache / compute / session statistics of the backing service."""
+        """Cache / backend / compute / session statistics of the service."""
         status, payload, _ = self.transport.call("GET", "/v1/stats", None)
         self._check_envelope(status, payload)
         return payload["stats"]
+
+    def datasets(self) -> List[Dict[str, Any]]:
+        """The dataset table: name, kind, fingerprint, backing paths."""
+        status, payload, _ = self.transport.call("GET", "/v1/datasets", None)
+        self._check_envelope(status, payload)
+        return payload["datasets"]
+
+    def reload_dataset(self, name: str) -> Dict[str, Any]:
+        """Hot-reload one dataset from its backing file; returns the report."""
+        status, payload, _ = self.transport.call(
+            "POST", f"/v1/datasets/{name}/reload", None
+        )
+        self._check_envelope(status, payload)
+        return {
+            key: value
+            for key, value in payload.items()
+            if key not in ("protocol", "ok")
+        }
 
     # ------------------------------------------------------------------ #
     # sessions

@@ -19,10 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+import functools
+
 from ..errors import InvalidArgumentError
-from ..mining.connection_subgraph import extract_connection_subgraph
-from ..mining.metrics_suite import compute_subgraph_metrics, metrics_signature
-from ..mining.rwr import steady_state_rwr
+from ..mining.metrics_suite import metrics_signature
+from .plans import plan_for, run_plan
 from .registry import ArgSpec, CanonicalizationContext, OperationRegistry, OpSpec
 
 #: Default number of entries returned for score-vector payloads when the
@@ -144,38 +145,35 @@ def _finalize_inspect_edge(canonical: Dict[str, Any], ctx) -> Dict[str, Any]:
 
 
 # --------------------------------------------------------------------------- #
-# handlers (canonical args -> rich result)
+# planners + handlers (canonical args -> rich result)
 # --------------------------------------------------------------------------- #
+def _make_planner(operation: str, kernel: str):
+    """``canonical args -> ComputePlan`` for one kernel-backed op."""
+    return functools.partial(plan_for, operation, kernel)
+
+
+def _run_planned(operation: str, ctx: OpContext, args: Mapping[str, Any]):
+    """In-parent execution of a plannable op (kernel name == op name here).
+
+    Handlers and process workers run the *same* plan through
+    :func:`~repro.api.plans.run_plan`; only the scope resolver differs
+    (live engine here, pre-loaded store there), so every backend produces
+    identical results by construction.
+    """
+    plan = plan_for(operation, operation, args)
+    return run_plan(plan, ctx.community_subgraph)
+
+
 def _run_metrics(ctx: OpContext, args: Mapping[str, Any]):
-    subgraph = ctx.community_subgraph(args["community"])
-    signature = dict(args["metrics"])
-    return compute_subgraph_metrics(
-        subgraph,
-        hop_sample_size=signature["hop_sample_size"],
-        pagerank_damping=signature["pagerank_damping"],
-        top_k=signature["top_k"],
-        seed=signature["seed"],
-    )
+    return _run_planned("metrics", ctx, args)
 
 
 def _run_rwr(ctx: OpContext, args: Mapping[str, Any]):
-    subgraph = ctx.community_subgraph(args["community"])
-    return steady_state_rwr(
-        subgraph,
-        args["sources"],
-        restart_probability=args["restart_probability"],
-        solver=args["solver"],
-    )
+    return _run_planned("rwr", ctx, args)
 
 
 def _run_connection_subgraph(ctx: OpContext, args: Mapping[str, Any]):
-    subgraph = ctx.community_subgraph(args["community"])
-    return extract_connection_subgraph(
-        subgraph,
-        args["sources"],
-        budget=args["budget"],
-        restart_probability=args["restart_probability"],
-    )
+    return _run_planned("connection_subgraph", ctx, args)
 
 
 def _run_connectivity(ctx: OpContext, args: Mapping[str, Any]):
@@ -337,6 +335,7 @@ def build_default_registry() -> OperationRegistry:
                 finalize=_finalize_metrics,
                 handler=_run_metrics,
                 encoder=_encode_metrics,
+                planner=_make_planner("metrics", "metrics"),
             ),
             OpSpec(
                 name="rwr",
@@ -354,6 +353,7 @@ def build_default_registry() -> OperationRegistry:
                 ),
                 handler=_run_rwr,
                 encoder=_encode_rwr,
+                planner=_make_planner("rwr", "rwr"),
             ),
             OpSpec(
                 name="connection_subgraph",
@@ -371,6 +371,9 @@ def build_default_registry() -> OperationRegistry:
                 ),
                 handler=_run_connection_subgraph,
                 encoder=_encode_connection_subgraph,
+                planner=_make_planner(
+                    "connection_subgraph", "connection_subgraph"
+                ),
             ),
             OpSpec(
                 name="connectivity",

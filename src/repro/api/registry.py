@@ -147,6 +147,11 @@ class OpSpec:
     ] = None
     handler: Optional[Callable[..., Any]] = None
     encoder: Optional[Callable[..., Any]] = None
+    #: Pure ``canonical args -> ComputePlan`` stage (:mod:`repro.api.plans`).
+    #: Ops with a planner can execute on any backend — including a process
+    #: pool, because the plan is picklable and closes over nothing; ops
+    #: without one always run in the parent through ``handler``.
+    planner: Optional[Callable[[Mapping[str, Any]], Any]] = None
 
     def __post_init__(self) -> None:
         if self.cost not in COST_CLASSES:
@@ -256,6 +261,23 @@ class OpSpec:
         """The shared-cache key: ``(fingerprint, op, spec-ordered fields)``."""
         return (fingerprint, self.name, self.cache_fields(canonical))
 
+    # ------------------------------------------------------------------ #
+    # execution planning
+    # ------------------------------------------------------------------ #
+    @property
+    def plannable(self) -> bool:
+        """Whether this op compiles to a picklable, backend-portable plan."""
+        return self.planner is not None
+
+    def plan(self, canonical: Mapping[str, Any]) -> Any:
+        """Compile canonical args into a :class:`~repro.api.plans.ComputePlan`.
+
+        Raises for ops without a planner; callers gate on :attr:`plannable`.
+        """
+        if self.planner is None:
+            raise ValueError(f"operation {self.name!r} declares no planner")
+        return self.planner(canonical)
+
     def describe(self) -> Dict[str, Any]:
         """JSON-friendly description row (drives docs and ``gmine ops``)."""
         return {
@@ -264,6 +286,7 @@ class OpSpec:
             "cacheable": self.cacheable,
             "cost": self.cost,
             "scope": self.scope,
+            "plannable": self.plannable,
             "args": [spec.describe() for spec in self.args],
         }
 

@@ -14,7 +14,9 @@ Routes::
     POST   /v1/query                 one Request envelope -> one Response
     POST   /v1/batch                 {"requests": [...]} -> {"responses": [...]}
     GET    /v1/ops                   the registry's op table (schemas included)
-    GET    /v1/stats                 cache / compute / session statistics
+    GET    /v1/stats                 cache / backend / compute / session stats
+    GET    /v1/datasets              the dataset table (kind, fingerprint, paths)
+    POST   /v1/datasets/<name>/reload  hot-reload a dataset from its file
     GET    /v1/sessions              ids of live sessions
     POST   /v1/sessions              create (or restore) a session
     GET    /v1/sessions/<id>         serialised session state
@@ -101,6 +103,15 @@ class ProtocolRouter:
                 return self.ops()
             if tail == ["stats"] and method == "GET":
                 return self.stats()
+            if tail == ["datasets"] and method == "GET":
+                return self.datasets()
+            if (
+                len(tail) == 3
+                and tail[0] == "datasets"
+                and tail[2] == "reload"
+                and method == "POST"
+            ):
+                return self.reload_dataset(tail[1])
             if tail == ["sessions"]:
                 if method == "GET":
                     return self.list_sessions()
@@ -222,6 +233,22 @@ class ProtocolRouter:
 
     def stats(self) -> Handled:
         return 200, {"protocol": PROTOCOL, "ok": True, "stats": self.service.stats()}
+
+    # ------------------------------------------------------------------ #
+    # dataset lifecycle
+    # ------------------------------------------------------------------ #
+    def datasets(self) -> Handled:
+        return 200, {
+            "protocol": PROTOCOL,
+            "ok": True,
+            "datasets": self.service.describe_datasets(),
+        }
+
+    def reload_dataset(self, name: str) -> Handled:
+        report = self.service.reload_dataset(name)
+        payload: JsonDict = {"protocol": PROTOCOL, "ok": True}
+        payload.update(report)
+        return 200, payload
 
     # ------------------------------------------------------------------ #
     # sessions

@@ -36,7 +36,7 @@ from .core.builder import GTreeBuildOptions, GTreeBuilder
 from .core.engine import GMineEngine
 from .data.dblp import DBLPConfig, generate_dblp
 from .errors import CLIError, GMineError
-from .graph.io import read_edge_list, read_json, write_edge_list, write_json
+from .graph.io import load_graph_auto, write_edge_list, write_json
 from .mining.connection_subgraph import ExtractionResult, extract_connection_subgraph, extraction_summary
 from .mining.metrics_suite import SubgraphMetrics, compute_subgraph_metrics
 from .mining.rwr import RWRResult
@@ -51,9 +51,7 @@ def _load_graph(path: str):
     file_path = Path(path)
     if not file_path.exists():
         raise CLIError(f"graph file does not exist: {path}")
-    if file_path.suffix == ".json":
-        return read_json(file_path)
-    return read_edge_list(file_path)
+    return load_graph_auto(file_path)
 
 
 def _print_json(payload) -> None:
@@ -302,9 +300,12 @@ def _open_service(args: argparse.Namespace) -> GMineService:
         cache_capacity=getattr(args, "cache_capacity", 512),
         cache_ttl=getattr(args, "cache_ttl", None),
         max_workers=getattr(args, "workers", 4),
+        backend=getattr(args, "backend", None) or "inline",
+        cache_path=getattr(args, "cache_path", None),
     )
-    graph = _load_graph(args.graph) if getattr(args, "graph", None) else None
-    service.register_store(args.store, graph=graph)
+    graph_path = getattr(args, "graph", None)
+    graph = _load_graph(graph_path) if graph_path else None
+    service.register_store(args.store, graph=graph, graph_path=graph_path)
     return service
 
 
@@ -316,7 +317,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             host, port = server.address
             print(
                 f"gmine/1 serving {service.datasets()} on http://{host}:{port} "
-                f"(POST /v1/query, /v1/batch; GET /v1/ops)",
+                f"(backend={service.backend.name}; "
+                f"POST /v1/query, /v1/batch; GET /v1/ops)",
                 file=sys.stderr,
             )
             try:
@@ -504,6 +506,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
     serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--backend", default="inline", metavar="{inline,thread,process}[:N]",
+        help="execution backend for expensive mining kernels "
+             "(process = warm multi-core worker pool; N overrides --workers)",
+    )
+    serve.add_argument(
+        "--cache-path", default=None, dest="cache_path", metavar="FILE",
+        help="persist the result cache to a SQLite file shared across "
+             "processes and restarts (default: in-memory LRU)",
+    )
     serve.add_argument("--cache-capacity", type=int, default=512, dest="cache_capacity")
     serve.add_argument("--cache-ttl", type=float, default=None, dest="cache_ttl")
     serve.set_defaults(func=cmd_serve)

@@ -21,6 +21,7 @@ from .generators import (
 from .io import (
     graph_from_dict,
     graph_to_dict,
+    load_graph_auto,
     read_edge_list,
     read_json,
     write_adjacency_text,
@@ -73,6 +74,7 @@ __all__ = [
     "graph_to_dict",
     "graphs_equal",
     "grid_2d",
+    "load_graph_auto",
     "normalized_laplacian",
     "path_graph",
     "read_edge_list",

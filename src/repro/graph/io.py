@@ -107,6 +107,20 @@ def read_json(path: PathLike) -> Graph:
     return graph_from_dict(document)
 
 
+def load_graph_auto(path: PathLike) -> Graph:
+    """Load a graph file, dispatching on its suffix.
+
+    ``.json`` files go through :func:`read_json`; anything else is treated
+    as an edge list.  This is the one suffix-dispatch rule shared by the
+    CLI, the dataset registry and process-backend workers — add new graph
+    formats here and every loader picks them up.
+    """
+    file_path = Path(path)
+    if file_path.suffix == ".json":
+        return read_json(file_path)
+    return read_edge_list(file_path)
+
+
 def graph_to_dict(graph: Graph) -> Dict:
     """Return a JSON-serialisable dict representation of ``graph``."""
     nodes = []

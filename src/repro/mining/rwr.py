@@ -28,6 +28,23 @@ from ..graph.graph import Graph, NodeId
 from ..graph.matrix import VertexIndex, restart_vector, transition_matrix
 
 
+def node_sort_key(node: NodeId):
+    """A total, type-stable order over heterogeneous vertex ids.
+
+    Integer ids compare numerically (2 before 10 — not the lexicographic
+    ``"10" < "2"`` a plain ``repr`` sort would give), string ids compare
+    lexicographically, and distinct id types never compare against each
+    other directly (they are grouped by type name).  Every ranked payload
+    that breaks score ties does so through this key, so the same scores
+    produce the same ordering wherever they were computed — calling
+    thread, kernel thread, or worker process — and cached, recomputed and
+    process-shipped top-k lists stay byte-identical.
+    """
+    if isinstance(node, int) and not isinstance(node, bool):
+        return (type(node).__name__, node, "")
+    return (type(node).__name__, 0, repr(node))
+
+
 @dataclass
 class RWRResult:
     """Steady-state RWR distribution for one source set."""
@@ -38,8 +55,16 @@ class RWRResult:
     restart_probability: float
 
     def top(self, count: int = 10) -> List:
-        """Return the ``count`` highest-probability ``(node, score)`` pairs."""
-        return sorted(self.scores.items(), key=lambda pair: (-pair[1], repr(pair[0])))[:count]
+        """The ``count`` highest-probability ``(node, score)`` pairs.
+
+        Ordered by descending score with ties broken deterministically by
+        :func:`node_sort_key` — independent of ``scores`` insertion order,
+        and therefore of which backend produced the result.
+        """
+        return sorted(
+            self.scores.items(),
+            key=lambda pair: (-pair[1], node_sort_key(pair[0])),
+        )[:count]
 
 
 def rwr_power_iteration(

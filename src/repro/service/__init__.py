@@ -16,7 +16,25 @@ the HTTP front-end / :class:`~repro.api.client.GMineClient` expose this
 service remotely.
 """
 
-from .cache import CacheStats, ResultCache, canonical_args, make_cache_key
+from .cache import (
+    CacheStats,
+    CacheStore,
+    MemoryCacheStore,
+    ResultCache,
+    SQLiteCacheStore,
+    canonical_args,
+    make_cache_key,
+)
+from .datasets import DatasetHandle, DatasetRegistry
+from .executors import (
+    BACKEND_NAMES,
+    DatasetExecSpec,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessBackend,
+    ThreadBackend,
+    make_backend,
+)
 from .service import (
     DEFAULT_DATASET,
     OPERATIONS,
@@ -27,16 +45,28 @@ from .service import (
 from .sessions import DEFAULT_SESSION_TTL, ServiceSession, SessionManager
 
 __all__ = [
+    "BACKEND_NAMES",
     "CacheStats",
+    "CacheStore",
     "DEFAULT_DATASET",
     "DEFAULT_SESSION_TTL",
+    "DatasetExecSpec",
+    "DatasetHandle",
+    "DatasetRegistry",
+    "ExecutionBackend",
     "GMineService",
+    "InlineBackend",
+    "MemoryCacheStore",
     "OPERATIONS",
+    "ProcessBackend",
     "QueryRequest",
     "QueryResult",
     "ResultCache",
+    "SQLiteCacheStore",
     "ServiceSession",
     "SessionManager",
+    "ThreadBackend",
     "canonical_args",
+    "make_backend",
     "make_cache_key",
 ]

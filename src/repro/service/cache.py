@@ -1,32 +1,44 @@
-"""Thread-safe LRU+TTL cache for mining results, with in-flight dedup.
+"""Result caching over pluggable stores: in-memory LRU and persistent SQLite.
 
 The service layer sits many concurrent exploration sessions on top of one
 shared G-Tree; the expensive calls they issue — RWR steady states, subgraph
 metric suites, connection subgraphs, cross-edge inspections — are pure
 functions of (tree contents, operation, arguments).  :class:`ResultCache`
-memoises them under exactly that key:
+memoises them under exactly that key.
 
-* **LRU** bounds residency the same way the storage buffer pool bounds leaf
-  subgraphs: hot results stay, cold ones are evicted in recency order.
-* **TTL** (optional) ages results out so a long-lived service does not pin
-  stale answers for datasets that get rebuilt under the same name.
-* **Single-flight** in-flight dedup: when two sessions ask the same question
-  concurrently, the first computes and every other waiter blocks on the same
-  computation instead of repeating it — the "compute once, reuse" contract
-  holds even under races.
+Execution engine v2 splits the cache into policy and residency:
+
+* :class:`ResultCache` keeps the **policy**: hit/miss/eviction/expiry
+  accounting, the TTL knob, and single-flight in-flight dedup (when two
+  sessions ask the same question concurrently, the first computes and
+  every other waiter blocks on the same computation);
+* a :class:`CacheStore` keeps the **residency**:
+
+  - :class:`MemoryCacheStore` — the original bounded LRU ``OrderedDict``
+    (per-process, vanishes on exit);
+  - :class:`SQLiteCacheStore` — a persistent table (``--cache-path``)
+    whose pickled entries survive restarts and are shared by every
+    process pointing at the same file, keyed by the same tree
+    fingerprints, so a warm restart answers from disk instead of
+    recomputing.
 
 Keys are built by :func:`canonical_args`, which normalises argument
 structures (dict ordering, lists vs tuples, sets) so equivalent requests
-collide on the same entry.
+collide on the same entry; the key's leading element is the dataset's
+content fingerprint, which is what :meth:`ResultCache.invalidate_fingerprint`
+(dataset hot-reload) sweeps by.
 """
 
 from __future__ import annotations
 
+import pickle
+import sqlite3
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Tuple, Union
 
 from ..errors import ServiceError
 
@@ -56,6 +68,13 @@ def canonical_args(value: Any) -> Hashable:
 def make_cache_key(fingerprint: str, operation: str, args: Mapping[str, Any]) -> Tuple:
     """Build the cache key for one request: (tree fingerprint, op, args)."""
     return (fingerprint, operation, canonical_args(args))
+
+
+def fingerprint_of_key(key: Hashable) -> str:
+    """The dataset fingerprint a cache key belongs to (``""`` if untagged)."""
+    if isinstance(key, tuple) and key and isinstance(key[0], str):
+        return key[0]
+    return ""
 
 
 @dataclass
@@ -100,6 +119,301 @@ class CacheStats:
         self.coalesced = 0
 
 
+# --------------------------------------------------------------------------- #
+# stores
+# --------------------------------------------------------------------------- #
+class CacheStore:
+    """Residency contract every cache store implements.
+
+    ``get`` returns ``(status, value)`` with status ``"hit"``, ``"miss"``
+    or ``"expired"`` (expired entries are dropped on discovery); ``put``
+    returns how many entries were evicted to make room.  Stores own their
+    clock — the memory store takes an injectable (monotonic) one, the
+    SQLite store uses wall-clock time because its expiries must survive
+    process restarts.
+    """
+
+    kind = "base"
+
+    def get(self, key: Hashable, touch: bool = True) -> Tuple[str, Any]:
+        raise NotImplementedError
+
+    def put(self, key: Hashable, fingerprint: str, value: Any,
+            ttl: Optional[float]) -> int:
+        raise NotImplementedError
+
+    def delete(self, key: Hashable) -> bool:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def sweep(self) -> int:
+        raise NotImplementedError
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any backing resources (idempotent)."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly store description (surfaced through ``/v1/stats``)."""
+        return {"kind": self.kind, "entries": len(self)}
+
+
+class MemoryCacheStore(CacheStore):
+    """The original per-process bounded LRU over an ``OrderedDict``."""
+
+    kind = "memory"
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ServiceError(f"cache store capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[Any, Optional[float], str]]" = (
+            OrderedDict()
+        )
+
+    def get(self, key: Hashable, touch: bool = True) -> Tuple[str, Any]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return "miss", None
+            value, expires_at, _ = entry
+            if expires_at is not None and expires_at <= self._clock():
+                del self._entries[key]
+                return "expired", None
+            if touch:
+                self._entries.move_to_end(key)
+            return "hit", value
+
+    def put(self, key, fingerprint, value, ttl) -> int:
+        expires_at = None if ttl is None else self._clock() + ttl
+        with self._lock:
+            if key in self._entries:
+                self._entries[key] = (value, expires_at, fingerprint)
+                self._entries.move_to_end(key)
+                return 0
+            evicted = 0
+            while len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self._entries[key] = (value, expires_at, fingerprint)
+            return evicted
+
+    def delete(self, key) -> bool:
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def sweep(self) -> int:
+        with self._lock:
+            now = self._clock()
+            expired = [
+                key
+                for key, (_, expires_at, _) in self._entries.items()
+                if expires_at is not None and expires_at <= now
+            ]
+            for key in expired:
+                del self._entries[key]
+            return len(expired)
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        with self._lock:
+            stale = [
+                key
+                for key, (_, _, tagged) in self._entries.items()
+                if tagged == fingerprint or fingerprint_of_key(key) == fingerprint
+            ]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class SQLiteCacheStore(CacheStore):
+    """Persistent, cross-process cache residency in one SQLite file.
+
+    Entries are pickled rich results keyed by the deterministic ``repr``
+    of the tuple cache key, tagged with the dataset fingerprint so
+    hot-reload invalidation is a single indexed ``DELETE``.  Expiries are
+    wall-clock (they must mean the same thing to the process that wrote
+    them and the process that reads them after a restart); recency is a
+    monotonically increasing access sequence, giving cross-process LRU
+    eviction without clock comparisons.
+
+    Concurrency: one connection per store, serialised by a lock in this
+    process; across processes SQLite's file locking (plus a generous busy
+    timeout) arbitrates.  Single-flight dedup stays per-process — two
+    *processes* may compute the same entry once each, after which both
+    share the stored row.
+    """
+
+    kind = "sqlite"
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS results (
+        key         TEXT PRIMARY KEY,
+        fingerprint TEXT NOT NULL,
+        value       BLOB NOT NULL,
+        expires_at  REAL,
+        last_used   INTEGER NOT NULL,
+        created_at  REAL NOT NULL
+    );
+    CREATE INDEX IF NOT EXISTS idx_results_fingerprint
+        ON results (fingerprint);
+    CREATE INDEX IF NOT EXISTS idx_results_last_used
+        ON results (last_used);
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        capacity: int = 4096,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ServiceError(f"cache store capacity must be >= 1, got {capacity}")
+        self.path = Path(path)
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.execute("PRAGMA busy_timeout = 5000")
+        try:  # WAL lets concurrent readers coexist with a writer
+            self._conn.execute("PRAGMA journal_mode = WAL")
+        except sqlite3.DatabaseError:  # pragma: no cover - fs-dependent
+            pass
+        with self._lock:
+            self._conn.executescript(self._SCHEMA)
+            self._conn.commit()
+
+    def _next_sequence(self) -> int:
+        row = self._conn.execute("SELECT MAX(last_used) FROM results").fetchone()
+        return (row[0] or 0) + 1
+
+    def get(self, key: Hashable, touch: bool = True) -> Tuple[str, Any]:
+        text = repr(key)
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value, expires_at FROM results WHERE key = ?", (text,)
+            ).fetchone()
+            if row is None:
+                return "miss", None
+            blob, expires_at = row
+            if expires_at is not None and expires_at <= self._clock():
+                self._conn.execute("DELETE FROM results WHERE key = ?", (text,))
+                self._conn.commit()
+                return "expired", None
+            try:
+                value = pickle.loads(blob)
+            except Exception:  # noqa: BLE001 — schema/class drift: treat as miss
+                self._conn.execute("DELETE FROM results WHERE key = ?", (text,))
+                self._conn.commit()
+                return "miss", None
+            if touch:
+                self._conn.execute(
+                    "UPDATE results SET last_used = ? WHERE key = ?",
+                    (self._next_sequence(), text),
+                )
+                self._conn.commit()
+            return "hit", value
+
+    def put(self, key, fingerprint, value, ttl) -> int:
+        text = repr(key)
+        now = self._clock()
+        expires_at = None if ttl is None else now + ttl
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            existed = self._conn.execute(
+                "SELECT 1 FROM results WHERE key = ?", (text,)
+            ).fetchone()
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results "
+                "(key, fingerprint, value, expires_at, last_used, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (text, fingerprint, blob, expires_at, self._next_sequence(), now),
+            )
+            evicted = 0
+            if existed is None:
+                over = (
+                    self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+                    - self.capacity
+                )
+                if over > 0:
+                    cursor = self._conn.execute(
+                        "DELETE FROM results WHERE key IN ("
+                        "SELECT key FROM results ORDER BY last_used ASC LIMIT ?)",
+                        (over,),
+                    )
+                    evicted = cursor.rowcount
+            self._conn.commit()
+            return evicted
+
+    def delete(self, key) -> bool:
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE key = ?", (repr(key),)
+            )
+            self._conn.commit()
+            return cursor.rowcount > 0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM results")
+            self._conn.commit()
+
+    def sweep(self) -> int:
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE expires_at IS NOT NULL "
+                "AND expires_at <= ?",
+                (self._clock(),),
+            )
+            self._conn.commit()
+            return cursor.rowcount
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
+            )
+            self._conn.commit()
+            return cursor.rowcount
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._conn.close()
+            except sqlite3.ProgrammingError:  # pragma: no cover - double close
+                pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def describe(self) -> Dict[str, Any]:
+        payload = super().describe()
+        payload["path"] = str(self.path)
+        return payload
+
+
 @dataclass
 class _InFlight:
     """Bookkeeping for one computation currently being produced."""
@@ -115,12 +429,17 @@ class ResultCache:
     Parameters
     ----------
     capacity:
-        Maximum number of results held at once (>= 1).
+        Maximum number of results held at once (>= 1); applies to the
+        default memory store (an explicit ``store`` brings its own bound).
     ttl:
         Seconds a result stays valid, or ``None`` for no age limit.
     clock:
-        Monotonic time source; injectable so tests can advance time
-        deterministically.
+        Monotonic time source for the default memory store; injectable so
+        tests can advance time deterministically.
+    store:
+        Residency backend; defaults to a fresh :class:`MemoryCacheStore`.
+        Pass a :class:`SQLiteCacheStore` for persistent, cross-process
+        caching (the service builds one from ``cache_path``).
     """
 
     def __init__(
@@ -128,26 +447,35 @@ class ResultCache:
         capacity: int = 256,
         ttl: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        store: Optional[CacheStore] = None,
     ) -> None:
         if capacity < 1:
             raise ServiceError(f"result cache capacity must be >= 1, got {capacity}")
         if ttl is not None and ttl <= 0:
             raise ServiceError(f"result cache ttl must be positive, got {ttl}")
-        self.capacity = capacity
+        self.store = store if store is not None else MemoryCacheStore(
+            capacity=capacity, clock=clock
+        )
+        self.capacity = getattr(self.store, "capacity", capacity)
         self.ttl = ttl
         self.stats = CacheStats()
-        self._clock = clock
-        self._lock = threading.Lock()
-        self._entries: "OrderedDict[Hashable, Tuple[Any, Optional[float]]]" = OrderedDict()
+        self._stats_lock = threading.Lock()
+        self._flight_lock = threading.Lock()
         self._inflight: Dict[Hashable, _InFlight] = {}
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
+        return len(self.store)
 
     def __contains__(self, key: Hashable) -> bool:
-        with self._lock:
-            return self._fresh(key)
+        status, _ = self.store.get(key, touch=False)
+        if status == "expired":
+            with self._stats_lock:
+                self.stats.expirations += 1
+        return status == "hit"
+
+    def close(self) -> None:
+        """Release the backing store (idempotent)."""
+        self.store.close()
 
     # ------------------------------------------------------------------ #
     # lookups
@@ -160,13 +488,27 @@ class ResultCache:
         exception and nothing is cached (the next request retries).
         """
         while True:
-            with self._lock:
-                if self._fresh(key):
+            status, value = self.store.get(key)
+            if status == "hit":
+                with self._stats_lock:
                     self.stats.hits += 1
-                    self._entries.move_to_end(key)
-                    return self._entries[key][0]
+                return value
+            if status == "expired":
+                with self._stats_lock:
+                    self.stats.expirations += 1
+            with self._flight_lock:
                 flight = self._inflight.get(key)
                 if flight is None:
+                    # Re-check residency before claiming ownership: the
+                    # previous owner stores its value *before* removing the
+                    # in-flight entry, so a thread that missed pre-store but
+                    # arrived here post-removal finds the value now — the
+                    # "compute once" contract holds across the two locks.
+                    status, value = self.store.get(key)
+                    if status == "hit":
+                        with self._stats_lock:
+                            self.stats.hits += 1
+                        return value
                     flight = _InFlight()
                     self._inflight[key] = flight
                     owner = True
@@ -177,7 +519,7 @@ class ResultCache:
             flight.done.wait()
             if flight.error is not None:
                 raise flight.error
-            with self._lock:
+            with self._stats_lock:
                 self.stats.coalesced += 1
             return flight.value
 
@@ -186,14 +528,17 @@ class ResultCache:
             value = compute()
         except BaseException as error:
             flight.error = error
-            with self._lock:
+            with self._flight_lock:
                 self._inflight.pop(key, None)
+            with self._stats_lock:
                 self.stats.misses += 1
             flight.done.set()
             raise
-        with self._lock:
+        evicted = self.store.put(key, fingerprint_of_key(key), value, self.ttl)
+        with self._stats_lock:
             self.stats.misses += 1
-            self._store(key, value)
+            self.stats.evictions += evicted
+        with self._flight_lock:
             self._inflight.pop(key, None)
         flight.value = value
         flight.done.set()
@@ -201,70 +546,41 @@ class ResultCache:
 
     def peek(self, key: Hashable) -> Any:
         """Return the cached value without recording a hit; KeyError on miss."""
-        with self._lock:
-            if not self._fresh(key):
-                raise KeyError(key)
-            return self._entries[key][0]
+        status, value = self.store.get(key, touch=False)
+        if status == "expired":
+            with self._stats_lock:
+                self.stats.expirations += 1
+        if status != "hit":
+            raise KeyError(key)
+        return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh a value directly (bypasses single-flight)."""
-        with self._lock:
-            self._store(key, value)
+        evicted = self.store.put(key, fingerprint_of_key(key), value, self.ttl)
+        with self._stats_lock:
+            self.stats.evictions += evicted
 
     def invalidate(self, key: Hashable) -> None:
         """Drop one key (no-op when absent)."""
-        with self._lock:
-            self._entries.pop(key, None)
+        self.store.delete(key)
 
     def invalidate_fingerprint(self, fingerprint: str) -> int:
         """Drop every entry whose key belongs to ``fingerprint``; return count."""
-        with self._lock:
-            stale = [key for key in self._entries
-                     if isinstance(key, tuple) and key and key[0] == fingerprint]
-            for key in stale:
-                del self._entries[key]
-            return len(stale)
+        return self.store.invalidate_fingerprint(fingerprint)
 
     def clear(self) -> None:
         """Empty the cache (statistics are kept)."""
-        with self._lock:
-            self._entries.clear()
+        self.store.clear()
 
     def sweep(self) -> int:
         """Evict every expired entry now; return how many were dropped."""
-        with self._lock:
-            now = self._clock()
-            expired = [
-                key
-                for key, (_, expires_at) in self._entries.items()
-                if expires_at is not None and expires_at <= now
-            ]
-            for key in expired:
-                del self._entries[key]
-                self.stats.expirations += 1
-            return len(expired)
+        expired = self.store.sweep()
+        with self._stats_lock:
+            self.stats.expirations += expired
+        return expired
 
-    # ------------------------------------------------------------------ #
-    # internals (call with the lock held)
-    # ------------------------------------------------------------------ #
-    def _fresh(self, key: Hashable) -> bool:
-        """Whether ``key`` is resident and unexpired; expired keys are dropped."""
-        if key not in self._entries:
-            return False
-        _, expires_at = self._entries[key]
-        if expires_at is not None and expires_at <= self._clock():
-            del self._entries[key]
-            self.stats.expirations += 1
-            return False
-        return True
-
-    def _store(self, key: Hashable, value: Any) -> None:
-        expires_at = None if self.ttl is None else self._clock() + self.ttl
-        if key in self._entries:
-            self._entries[key] = (value, expires_at)
-            self._entries.move_to_end(key)
-            return
-        while len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        self._entries[key] = (value, expires_at)
+    def describe(self) -> Dict[str, Any]:
+        """Accounting plus residency description (drives ``/v1/stats``)."""
+        payload: Dict[str, Any] = self.stats.as_dict()
+        payload["store"] = self.store.describe()
+        return payload

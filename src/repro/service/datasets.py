@@ -1,0 +1,249 @@
+"""The dataset lifecycle: registration, lookup, stats, and hot-reload.
+
+A :class:`DatasetRegistry` owns every open dataset a
+:class:`~repro.service.service.GMineService` serves: the shared tree, the
+optional full graph, the backing :class:`~repro.storage.gtree_store.GTreeStore`,
+and the content fingerprint that keys the result cache.  Pulling this out
+of the service proper gives the lifecycle a seam of its own:
+
+* :meth:`DatasetRegistry.reload` reopens a store-backed dataset from its
+  file (picking up a rebuilt ``.gtree``), refreshes the fingerprint and the
+  graph, and reports the old fingerprint so the service can invalidate the
+  stale cache entries — the machinery behind
+  ``POST /v1/datasets/<name>/reload``;
+* :meth:`DatasetHandle.exec_spec` flattens a dataset to the picklable
+  :class:`~repro.service.executors.DatasetExecSpec` process workers use to
+  reopen it by ``(path, fingerprint)``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from ..api.registry import CanonicalizationContext
+from ..core.engine import GMineEngine
+from ..core.gtree import GTree
+from ..errors import DatasetNotFoundError, ServiceError
+from ..graph.graph import Graph
+from ..graph.io import load_graph_auto
+from ..storage.gtree_store import GTreeStore
+from .executors import DatasetExecSpec
+
+DEFAULT_DATASET = "default"
+
+
+class DatasetContext(CanonicalizationContext):
+    """Canonicalization context over one dataset's tree: ids -> labels."""
+
+    def __init__(self, tree: GTree) -> None:
+        self._tree = tree
+
+    def resolve_community(self, value: Any) -> Any:
+        # Communities may be addressed by tree-node id or label; key on the
+        # label so both spellings share one cache entry.
+        if isinstance(value, int) and self._tree.has_node(value):
+            return self._tree.node(value).label
+        return value
+
+
+@dataclass
+class DatasetHandle:
+    """One registered dataset: shared tree, optional graph/store, fingerprint."""
+
+    name: str
+    tree: GTree
+    graph: Optional[Graph]
+    store: Optional[GTreeStore]
+    fingerprint: str
+    owns_store: bool = False
+    graph_path: Optional[str] = None
+    context: Optional[DatasetContext] = None
+
+    def __post_init__(self) -> None:
+        if self.context is None:
+            self.context = DatasetContext(self.tree)
+
+    @property
+    def store_path(self) -> Optional[str]:
+        """The backing store file, when this dataset has one."""
+        return None if self.store is None else str(self.store.path)
+
+    @property
+    def kind(self) -> str:
+        return "store" if self.store is not None else "tree"
+
+    def exec_spec(self) -> DatasetExecSpec:
+        """Flatten to the picklable spec process workers reopen datasets by."""
+        return DatasetExecSpec(
+            name=self.name,
+            fingerprint=self.fingerprint,
+            store_path=self.store_path,
+            graph_path=self.graph_path,
+            has_graph=self.graph is not None,
+        )
+
+    def make_engine(self, metrics_fn: Optional[Callable] = None) -> GMineEngine:
+        """A fresh engine over the shared tree (cheap: focus + history only)."""
+        return GMineEngine(
+            self.tree, graph=self.graph, store=self.store, metrics_fn=metrics_fn
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly row for ``GET /v1/datasets`` and ``/v1/stats``."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "store_path": self.store_path,
+            "graph_path": self.graph_path,
+            "tree_nodes": self.tree.num_tree_nodes,
+        }
+
+
+class DatasetRegistry:
+    """Thread-safe name -> :class:`DatasetHandle` table with hot-reload."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._handles: Dict[str, DatasetHandle] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register_tree(
+        self,
+        tree: GTree,
+        graph: Optional[Graph] = None,
+        name: str = DEFAULT_DATASET,
+    ) -> DatasetHandle:
+        """Share an in-memory G-Tree (and optionally its full graph)."""
+        handle = DatasetHandle(
+            name=name, tree=tree, graph=graph, store=None,
+            fingerprint=tree.fingerprint(),
+        )
+        return self._register(handle)
+
+    def register_store(
+        self,
+        store: Union[GTreeStore, str, Path],
+        graph: Optional[Graph] = None,
+        name: str = DEFAULT_DATASET,
+        graph_path: Optional[Union[str, Path]] = None,
+    ) -> DatasetHandle:
+        """Share a stored G-Tree; a path is opened (and owned) by the registry.
+
+        ``graph_path`` tells process workers where to reload the full graph
+        from; without it a dataset served with a live ``graph`` falls back
+        to in-parent execution (the workers could not reproduce widest-scope
+        results).
+        """
+        if graph is None and graph_path is not None:
+            # Load the graph before opening the store: a bad graph file
+            # must not leak a freshly opened pager.
+            graph = load_graph_auto(graph_path)
+        owns = not isinstance(store, GTreeStore)
+        if owns:
+            store = GTreeStore(store)
+        try:
+            handle = DatasetHandle(
+                name=name, tree=store.tree, graph=graph, store=store,
+                fingerprint=store.fingerprint, owns_store=owns,
+                graph_path=None if graph_path is None else str(graph_path),
+            )
+            return self._register(handle)
+        except Exception:
+            if owns:
+                store.close()
+            raise
+
+    def _register(self, handle: DatasetHandle) -> DatasetHandle:
+        with self._lock:
+            if handle.name in self._handles:
+                raise ServiceError(f"dataset {handle.name!r} is already registered")
+            self._handles[handle.name] = handle
+            return handle
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._handles)
+
+    def get(self, name: Optional[str]) -> DatasetHandle:
+        """Resolve a dataset name (``None`` = the only/default dataset)."""
+        with self._lock:
+            if name is None:
+                if len(self._handles) == 1:
+                    return next(iter(self._handles.values()))
+                if DEFAULT_DATASET in self._handles:
+                    return self._handles[DEFAULT_DATASET]
+                raise ServiceError(
+                    "dataset name required: service has "
+                    f"{len(self._handles)} datasets registered"
+                )
+            if name not in self._handles:
+                raise DatasetNotFoundError(f"no dataset registered under {name!r}")
+            return self._handles[name]
+
+    def describe(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [self._handles[name].describe() for name in sorted(self._handles)]
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def reload(self, name: Optional[str]) -> Dict[str, Any]:
+        """Reopen a dataset from its backing file; returns a change report.
+
+        Store-backed datasets get a fresh :class:`GTreeStore` over the same
+        path (picking up a rebuilt file) and, when ``graph_path`` is known,
+        a freshly loaded graph.  In-memory tree datasets are re-fingerprinted
+        in place (covering live tree edits).  The caller is responsible for
+        invalidating the previous fingerprint in its result cache — the
+        report carries both fingerprints for exactly that.
+        """
+        with self._lock:
+            handle = self.get(name)
+            previous = handle.fingerprint
+            if handle.store is not None:
+                # Acquire every new resource *before* touching the handle:
+                # a failed reopen or graph reload must leave the dataset
+                # exactly as it was (fingerprint, store, graph, cache keys
+                # all still consistent with each other).
+                reopened = GTreeStore(handle.store.path)
+                graph = handle.graph
+                if handle.graph_path is not None:
+                    try:
+                        graph = load_graph_auto(handle.graph_path)
+                    except Exception:
+                        reopened.close()
+                        raise
+                old_store, owned = handle.store, handle.owns_store
+                handle.store = reopened
+                handle.tree = reopened.tree
+                handle.fingerprint = reopened.fingerprint
+                handle.owns_store = True
+                handle.graph = graph
+                handle.context = DatasetContext(handle.tree)
+                if owned:
+                    old_store.close()
+            else:
+                handle.fingerprint = handle.tree.fingerprint()
+            return {
+                "dataset": handle.name,
+                "kind": handle.kind,
+                "fingerprint": handle.fingerprint,
+                "previous_fingerprint": previous,
+                "changed": handle.fingerprint != previous,
+            }
+
+    def drain(self) -> List[DatasetHandle]:
+        """Detach and return every handle (service shutdown)."""
+        with self._lock:
+            handles = list(self._handles.values())
+            self._handles.clear()
+            return handles

@@ -1,0 +1,362 @@
+"""Pluggable execution backends: *where* a compute plan runs.
+
+The GMine service funnels every expensive kernel (RWR power iteration,
+metric suites, connection subgraphs) through one of three backends:
+
+* :class:`InlineBackend` — the plan runs on the calling thread.  Zero
+  overhead; throughput is whatever the caller's own concurrency delivers
+  (under the GIL, roughly one core).
+* :class:`ThreadBackend` — plans run on a dedicated kernel thread pool,
+  bounding how many kernels execute at once independently of how many
+  requests are in flight.  Same GIL ceiling as inline, but the kernel
+  concurrency knob is explicit.
+* :class:`ProcessBackend` — plans are pickled to a pool of **warm worker
+  processes** that pre-load each dataset's :class:`~repro.storage.gtree_store.GTreeStore`
+  by ``(path, fingerprint)`` and keep it open across tasks, so only the
+  first task per dataset pays the open cost.  This is the backend that
+  scales CPU-bound mining with cores: each worker owns its own
+  interpreter, its own GIL, and its own buffer pool.
+
+All three execute the *same* :class:`~repro.api.plans.ComputePlan` through
+:func:`~repro.api.plans.run_plan`; a backend never sees a service or an
+engine, only a plan plus a :class:`DatasetExecSpec` describing how a worker
+may rematerialise the dataset.  Results come back as the rich mining
+objects — the wire encode step always happens in the parent.
+
+Ops that cannot be shipped (no planner, ``cost="cheap"``, or a dataset the
+workers cannot reopen by path) run through the ``local`` fallback the
+service provides, so every backend serves the full protocol surface.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..api.plans import ComputePlan, run_plan
+from ..errors import ServiceError
+
+#: Backend names accepted by :func:`make_backend` / ``gmine serve --backend``.
+BACKEND_NAMES = ("inline", "thread", "process")
+
+#: Default worker count for pooled backends.
+DEFAULT_BACKEND_WORKERS = 4
+
+
+@dataclass(frozen=True)
+class DatasetExecSpec:
+    """How a worker process can rebuild one dataset's scope resolver.
+
+    Entirely picklable: paths and the content fingerprint, never live
+    objects.  ``has_graph`` records whether the parent serves the dataset
+    with a full graph attached — a worker that cannot reload that graph
+    (no ``graph_path``) would resolve widest-scope requests differently,
+    so such datasets are not process-capable and fall back to the parent.
+    """
+
+    name: str
+    fingerprint: str
+    store_path: Optional[str] = None
+    graph_path: Optional[str] = None
+    has_graph: bool = False
+
+    @property
+    def process_capable(self) -> bool:
+        """Whether a worker can reproduce the parent's scope resolution."""
+        if self.store_path is None:
+            return False
+        return (not self.has_graph) or (self.graph_path is not None)
+
+
+class ExecutionBackend:
+    """Common interface + shared accounting for every backend."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._stats_lock = threading.Lock()
+        self._executed = 0
+        self._shipped = 0
+        self._fallbacks = 0
+        self._errors = 0
+
+    # ------------------------------------------------------------------ #
+    # interface
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        spec: DatasetExecSpec,
+        plan: ComputePlan,
+        local: Callable[[], Any],
+    ) -> Any:
+        """Execute one plan; ``local`` runs it in the parent as a fallback."""
+        raise NotImplementedError
+
+    def warm(self, spec: DatasetExecSpec) -> None:
+        """Hint that a dataset was registered (process pools pre-load it)."""
+
+    def close(self) -> None:
+        """Release pools; idempotent."""
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    def _count(self, *, executed=0, shipped=0, fallbacks=0, errors=0) -> None:
+        with self._stats_lock:
+            self._executed += executed
+            self._shipped += shipped
+            self._fallbacks += fallbacks
+            self._errors += errors
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot (surfaced through ``/v1/stats``)."""
+        with self._stats_lock:
+            return {
+                "name": self.name,
+                "executed": self._executed,
+                "shipped": self._shipped,
+                "fallbacks": self._fallbacks,
+                "errors": self._errors,
+            }
+
+
+class InlineBackend(ExecutionBackend):
+    """Run every plan on the calling thread (the pre-v2 behaviour)."""
+
+    name = "inline"
+
+    def run(self, spec, plan, local):
+        self._count(executed=1)
+        return local()
+
+
+class ThreadBackend(ExecutionBackend):
+    """Run plans on a dedicated kernel thread pool (GIL-bound)."""
+
+    name = "thread"
+
+    def __init__(self, workers: int = DEFAULT_BACKEND_WORKERS) -> None:
+        super().__init__()
+        if workers < 1:
+            raise ServiceError(f"thread backend needs >= 1 worker, got {workers}")
+        self.workers = workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="gmine-kernel"
+                )
+            return self._pool
+
+    def run(self, spec, plan, local):
+        self._count(executed=1)
+        return self._ensure_pool().submit(local).result()
+
+    def close(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def stats(self) -> Dict[str, Any]:
+        payload = super().stats()
+        payload["workers"] = self.workers
+        return payload
+
+
+# --------------------------------------------------------------------------- #
+# process backend: warm workers keyed by (store path, fingerprint)
+# --------------------------------------------------------------------------- #
+#: Per-worker dataset cache: (store_path, graph_path) -> (fingerprint, ctx).
+#: Module-level so it survives across tasks — that is what makes the
+#: workers "warm": the store skeleton is parsed and the buffer pool filled
+#: once, then every subsequent plan for the same fingerprint reuses them.
+_WORKER_DATASETS: Dict[Tuple[str, Optional[str]], Tuple[str, Any]] = {}
+
+
+def _worker_context(spec: DatasetExecSpec):
+    """Return (creating if needed) this worker's resolver for ``spec``.
+
+    The store is reopened whenever the expected fingerprint changes —
+    exactly what happens after a dataset hot-reload in the parent — and a
+    store whose content does not match the parent's fingerprint is
+    rejected rather than silently serving stale or torn data.
+    """
+    from ..api.ops import OpContext
+    from ..core.engine import GMineEngine
+    from ..graph.io import load_graph_auto
+    from ..storage.gtree_store import GTreeStore
+
+    if spec.store_path is None:  # pragma: no cover - guarded by process_capable
+        raise ServiceError(f"dataset {spec.name!r} has no store path to reopen")
+    key = (spec.store_path, spec.graph_path)
+    cached = _WORKER_DATASETS.get(key)
+    if cached is not None and cached[0] == spec.fingerprint:
+        return cached[1]
+    if cached is not None:
+        cached[1].engine.store.close()
+        del _WORKER_DATASETS[key]
+    store = GTreeStore(spec.store_path)
+    if store.fingerprint != spec.fingerprint:
+        fingerprint = store.fingerprint
+        store.close()
+        raise ServiceError(
+            f"worker reopened {spec.store_path} with fingerprint "
+            f"{fingerprint[:12]}… but the service expects "
+            f"{spec.fingerprint[:12]}…; reload the dataset"
+        )
+    graph = load_graph_auto(spec.graph_path) if spec.graph_path else None
+    context = OpContext(
+        engine=GMineEngine(tree=store.tree, graph=graph, store=store)
+    )
+    _WORKER_DATASETS[key] = (spec.fingerprint, context)
+    return context
+
+
+def _process_warm(spec: DatasetExecSpec) -> str:
+    """Pre-load one dataset in this worker; returns its fingerprint."""
+    return _worker_context(spec).engine.store.fingerprint
+
+
+def _process_execute(spec: DatasetExecSpec, plan: ComputePlan) -> Any:
+    """Run one plan in this worker against its warm dataset context."""
+    context = _worker_context(spec)
+    return run_plan(plan, context.community_subgraph)
+
+
+def _pick_mp_context():
+    """Prefer ``fork`` on Linux (cheap, no re-import per worker).
+
+    Only on Linux: macOS offers ``fork`` too, but forking a process that
+    already runs threads and Accelerate-backed numpy is unsafe there —
+    which is exactly why CPython's default moved to ``spawn``.  Everywhere
+    else the platform default (spawn) applies; workers then re-import the
+    package, which the module-level task functions are written for.
+    """
+    if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Ship plans to warm worker processes (true multi-core execution)."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int = DEFAULT_BACKEND_WORKERS,
+        mp_context=None,
+    ) -> None:
+        super().__init__()
+        if workers < 1:
+            raise ServiceError(f"process backend needs >= 1 worker, got {workers}")
+        self.workers = workers
+        self._mp_context = mp_context or _pick_mp_context()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._warmed: List[DatasetExecSpec] = []
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=self._mp_context
+                )
+            return self._pool
+
+    def warm(self, spec: DatasetExecSpec) -> None:
+        """Ask every worker to pre-load ``spec`` (best effort, non-blocking).
+
+        One warm task per worker slot: idle workers pick them up and open
+        the store before the first real plan arrives.  Failures surface on
+        the first real task instead, so warming never wedges registration.
+        """
+        if not spec.process_capable:
+            return
+        with self._pool_lock:
+            self._warmed = [
+                known for known in self._warmed if known.name != spec.name
+            ]
+            self._warmed.append(spec)
+        pool = self._ensure_pool()
+        for _ in range(self.workers):
+            pool.submit(_process_warm, spec)
+
+    def run(self, spec, plan, local):
+        if not spec.process_capable:
+            self._count(executed=1, fallbacks=1)
+            return local()
+        pool = self._ensure_pool()
+        try:
+            value = pool.submit(_process_execute, spec, plan).result()
+        except BrokenProcessPool:
+            # A worker died (OOM, hard kill).  Recreate the pool lazily and
+            # keep serving this request from the parent.
+            with self._pool_lock:
+                broken, self._pool = self._pool, None
+            if broken is not None:
+                broken.shutdown(wait=False)
+            self._count(executed=1, fallbacks=1, errors=1)
+            return local()
+        except BaseException:
+            # The plan itself failed in the worker (typed mining/service
+            # error, pickled back).  It still executed and shipped — count
+            # it so backend accounting agrees across venues for identical
+            # traffic — and re-raise for the normal error envelope path.
+            self._count(executed=1, shipped=1, errors=1)
+            raise
+        self._count(executed=1, shipped=1)
+        return value
+
+    def close(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def stats(self) -> Dict[str, Any]:
+        payload = super().stats()
+        payload["workers"] = self.workers
+        payload["warm_datasets"] = [spec.name for spec in self._warmed]
+        return payload
+
+
+def make_backend(
+    backend: Union[str, ExecutionBackend, None],
+    workers: int = DEFAULT_BACKEND_WORKERS,
+) -> ExecutionBackend:
+    """Resolve a backend selector: an instance, ``None``, or ``"name[:N]"``.
+
+    ``"thread:8"`` / ``"process:2"`` override the worker count inline —
+    handy for the CLI, benchmarks, and Makefile one-liners.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        return InlineBackend()
+    name, _, count = str(backend).partition(":")
+    if count:
+        try:
+            workers = int(count)
+        except ValueError:
+            raise ServiceError(
+                f"backend worker count must be an integer, got {backend!r}"
+            ) from None
+    if name == "inline":
+        return InlineBackend()
+    if name == "thread":
+        return ThreadBackend(workers=workers)
+    if name == "process":
+        return ProcessBackend(workers=workers)
+    raise ServiceError(
+        f"unknown execution backend {backend!r}; expected one of {BACKEND_NAMES}"
+    )

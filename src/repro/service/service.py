@@ -5,7 +5,9 @@ machinery into a multi-session query service:
 
 * one :class:`GMineService` owns a shared :class:`~repro.core.gtree.GTree`
   (in-memory or backed by a :class:`~repro.storage.gtree_store.GTreeStore`)
-  per registered dataset,
+  per registered dataset — the open handles live in a
+  :class:`~repro.service.datasets.DatasetRegistry` that also implements
+  hot-reload (``POST /v1/datasets/<name>/reload``),
 * every user gets an independent :class:`ServiceSession` (its own focus and
   history) created/resumed/expired through the :class:`SessionManager`,
 * every operation is **declared, not hand-dispatched**: the service executes
@@ -13,11 +15,17 @@ machinery into a multi-session query service:
   Validation, canonicalization and cache keys all derive from each op's
   :class:`~repro.api.registry.OpSpec`, so the service has no per-op
   ``if/elif`` branching left,
-* every expensive call — RWR steady states, subgraph metric suites,
-  connection subgraphs, connectivity/cross-edge inspection — is routed
-  through a thread-safe :class:`~repro.service.cache.ResultCache` keyed by
-  ``(tree fingerprint, operation, spec-ordered canonical args)``, so
-  identical questions from different sessions are computed once,
+* every **expensive** op compiles to a pure, picklable
+  :class:`~repro.api.plans.ComputePlan` and runs on the configured
+  :class:`~repro.service.executors.ExecutionBackend` —
+  ``backend="inline"`` (calling thread), ``"thread"`` (kernel thread
+  pool), or ``"process"`` (warm worker processes that pre-load stores by
+  path+fingerprint and scale CPU-bound mining with cores).  Cheap ops
+  always run in the parent; encoding always happens in the parent,
+* results are memoised in a thread-safe :class:`~repro.service.cache.ResultCache`
+  keyed by ``(tree fingerprint, operation, spec-ordered canonical args)``;
+  with ``cache_path=`` the cache resides in a SQLite file shared across
+  processes and restarts,
 * :meth:`GMineService.batch` deduplicates identical requests in flight and
   fans independent ones out over a worker pool, with per-request error
   isolation: one failing request poisons only its own result.
@@ -36,18 +44,17 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..api.ops import DEFAULT_REGISTRY, OpContext
-from ..api.registry import CanonicalizationContext, OperationRegistry
+from ..api.registry import OperationRegistry, OpSpec
 from ..api.wire import error_code_for, exception_for_code
-from ..core.engine import GMineEngine
 from ..core.gtree import GTree
 from ..core.session import ExplorationSession
-from ..errors import DatasetNotFoundError, GMineError, ServiceError
+from ..errors import GMineError, ServiceError
 from ..graph.graph import Graph
 from ..storage.gtree_store import GTreeStore
-from .cache import ResultCache
+from .cache import ResultCache, SQLiteCacheStore
+from .datasets import DEFAULT_DATASET, DatasetHandle, DatasetRegistry
+from .executors import ExecutionBackend, make_backend
 from .sessions import DEFAULT_SESSION_TTL, ServiceSession, SessionManager
-
-DEFAULT_DATASET = "default"
 
 #: Operations the default registry declares (kept for backward compatibility;
 #: the authoritative source is ``GMineService.registry``).
@@ -111,43 +118,6 @@ class QueryResult:
         return self.value
 
 
-class _DatasetContext(CanonicalizationContext):
-    """Canonicalization context over one dataset's tree: ids -> labels."""
-
-    def __init__(self, tree: GTree) -> None:
-        self._tree = tree
-
-    def resolve_community(self, value: Any) -> Any:
-        # Communities may be addressed by tree-node id or label; key on the
-        # label so both spellings share one cache entry.
-        if isinstance(value, int) and self._tree.has_node(value):
-            return self._tree.node(value).label
-        return value
-
-
-@dataclass
-class _Dataset:
-    """One registered dataset: shared tree, optional graph/store, fingerprint."""
-
-    name: str
-    tree: GTree
-    graph: Optional[Graph]
-    store: Optional[GTreeStore]
-    fingerprint: str
-    owns_store: bool = False
-    context: Optional[_DatasetContext] = None
-
-    def __post_init__(self) -> None:
-        if self.context is None:
-            self.context = _DatasetContext(self.tree)
-
-    def make_engine(self, metrics_fn: Optional[Callable] = None) -> GMineEngine:
-        """A fresh engine over the shared tree (cheap: focus + history only)."""
-        return GMineEngine(
-            self.tree, graph=self.graph, store=self.store, metrics_fn=metrics_fn
-        )
-
-
 class GMineService:
     """Concurrent multi-session query engine over shared G-Trees.
 
@@ -159,13 +129,24 @@ class GMineService:
         Seconds of inactivity after which a session expires
         (``None`` disables expiry).
     max_workers:
-        Worker threads used by :meth:`batch`.
+        Worker threads used by :meth:`batch` (and the default worker count
+        for pooled execution backends).
     clock:
         Injectable monotonic time source shared by cache and sessions.
     registry:
         The :class:`~repro.api.registry.OperationRegistry` to serve;
         defaults to the GMine Protocol v1 table.  Every op the service can
         execute is declared there — there is no other dispatch path.
+    backend:
+        Where expensive compute plans run: ``"inline"`` (default; the
+        calling thread), ``"thread"``/``"thread:N"``, ``"process"``/
+        ``"process:N"``, or a pre-built
+        :class:`~repro.service.executors.ExecutionBackend` instance.
+    cache_path:
+        Optional SQLite file for the result cache.  Entries persist across
+        restarts and are shared by every process pointing at the same file
+        (keys carry the tree fingerprint, so a rebuilt dataset never serves
+        stale answers).
     """
 
     def __init__(
@@ -176,6 +157,8 @@ class GMineService:
         max_workers: int = 4,
         clock=None,
         registry: Optional[OperationRegistry] = None,
+        backend: Union[str, ExecutionBackend, None] = "inline",
+        cache_path: Optional[Union[str, Path]] = None,
     ) -> None:
         import time
 
@@ -183,10 +166,16 @@ class GMineService:
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
-        self.cache = ResultCache(capacity=cache_capacity, ttl=cache_ttl, clock=clock)
+        store = None
+        if cache_path is not None:
+            store = SQLiteCacheStore(cache_path, capacity=cache_capacity)
+        self.cache = ResultCache(
+            capacity=cache_capacity, ttl=cache_ttl, clock=clock, store=store
+        )
+        self.backend = make_backend(backend, workers=max_workers)
         self.sessions = SessionManager(default_ttl=session_ttl, clock=clock)
         self.max_workers = max_workers
-        self._datasets: Dict[str, _Dataset] = {}
+        self.registry_of_datasets = DatasetRegistry()
         self._lock = threading.RLock()
         self._compute_counts: Counter = Counter()
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -195,7 +184,7 @@ class GMineService:
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Shut the worker pool down and close any store the service opened.
+        """Shut down workers, the backend, the cache store, and owned stores.
 
         The executor is detached under the lock but shut down outside it:
         in-flight worker tasks take the service lock themselves, so waiting
@@ -204,13 +193,13 @@ class GMineService:
         """
         with self._lock:
             executor, self._executor = self._executor, None
-            datasets = list(self._datasets.values())
-            self._datasets.clear()
         if executor is not None:
             executor.shutdown(wait=True)
-        for dataset in datasets:
-            if dataset.owns_store and dataset.store is not None:
-                dataset.store.close()
+        self.backend.close()
+        for handle in self.registry_of_datasets.drain():
+            if handle.owns_store and handle.store is not None:
+                handle.store.close()
+        self.cache.close()
 
     def __enter__(self) -> "GMineService":
         return self
@@ -225,39 +214,56 @@ class GMineService:
         self, tree: GTree, graph: Optional[Graph] = None, name: str = DEFAULT_DATASET
     ) -> str:
         """Share an in-memory G-Tree (and optionally its full graph)."""
-        dataset = _Dataset(
-            name=name, tree=tree, graph=graph, store=None,
-            fingerprint=tree.fingerprint(),
-        )
-        return self._register(dataset)
+        handle = self.registry_of_datasets.register_tree(tree, graph=graph, name=name)
+        self.backend.warm(handle.exec_spec())
+        return handle.name
 
     def register_store(
         self,
         store: Union[GTreeStore, str, Path],
         graph: Optional[Graph] = None,
         name: str = DEFAULT_DATASET,
+        graph_path: Optional[Union[str, Path]] = None,
     ) -> str:
-        """Share a stored G-Tree; a path is opened (and owned) by the service."""
-        owns = not isinstance(store, GTreeStore)
-        if owns:
-            store = GTreeStore(store)
-        dataset = _Dataset(
-            name=name, tree=store.tree, graph=graph, store=store,
-            fingerprint=store.fingerprint, owns_store=owns,
-        )
-        return self._register(dataset)
+        """Share a stored G-Tree; a path is opened (and owned) by the service.
 
-    def _register(self, dataset: _Dataset) -> str:
-        with self._lock:
-            if dataset.name in self._datasets:
-                raise ServiceError(f"dataset {dataset.name!r} is already registered")
-            self._datasets[dataset.name] = dataset
-            return dataset.name
+        ``graph_path`` lets process-backend workers reload the full graph
+        by file; when a live ``graph`` is attached without it, plans that
+        need the graph fall back to in-parent execution.
+        """
+        handle = self.registry_of_datasets.register_store(
+            store, graph=graph, name=name, graph_path=graph_path
+        )
+        self.backend.warm(handle.exec_spec())
+        return handle.name
 
     def datasets(self) -> List[str]:
         """Names of every registered dataset."""
-        with self._lock:
-            return sorted(self._datasets)
+        return self.registry_of_datasets.names()
+
+    def describe_datasets(self) -> List[Dict[str, Any]]:
+        """Full dataset table: kind, fingerprint, backing paths."""
+        return self.registry_of_datasets.describe()
+
+    def reload_dataset(self, name: Optional[str] = None) -> Dict[str, Any]:
+        """Hot-reload a dataset from its backing file and invalidate its cache.
+
+        Reopens the store (picking up a rebuilt ``.gtree``), refreshes the
+        fingerprint, drops every cached result keyed by the *previous*
+        fingerprint, and re-warms process workers.  Live sessions keep
+        their old engines until they next touch the dataset registry —
+        results they compute are keyed by the old fingerprint and were just
+        invalidated, so nothing stale is ever served under the new key.
+        """
+        report = self.registry_of_datasets.reload(name)
+        invalidated = 0
+        if report["changed"]:
+            invalidated = self.cache.invalidate_fingerprint(
+                report["previous_fingerprint"]
+            )
+        report["invalidated"] = invalidated
+        self.backend.warm(self.registry_of_datasets.get(report["dataset"]).exec_spec())
+        return report
 
     def fingerprint(self, dataset: Optional[str] = None) -> str:
         """The cache-key fingerprint of a dataset's tree."""
@@ -267,20 +273,8 @@ class GMineService:
         """The registry's op table (name, schema, cacheability, cost class)."""
         return self.registry.describe()
 
-    def _dataset(self, name: Optional[str]) -> _Dataset:
-        with self._lock:
-            if name is None:
-                if len(self._datasets) == 1:
-                    return next(iter(self._datasets.values()))
-                if DEFAULT_DATASET in self._datasets:
-                    return self._datasets[DEFAULT_DATASET]
-                raise ServiceError(
-                    "dataset name required: service has "
-                    f"{len(self._datasets)} datasets registered"
-                )
-            if name not in self._datasets:
-                raise DatasetNotFoundError(f"no dataset registered under {name!r}")
-            return self._datasets[name]
+    def _dataset(self, name: Optional[str]) -> DatasetHandle:
+        return self.registry_of_datasets.get(name)
 
     # ------------------------------------------------------------------ #
     # sessions
@@ -339,7 +333,7 @@ class GMineService:
         """End a session explicitly (idempotent)."""
         self.sessions.close(session_id)
 
-    def _session_metrics_fn(self, handle: _Dataset):
+    def _session_metrics_fn(self, handle: DatasetHandle):
         """Metrics seam injected into session engines: cache by community.
 
         The cache key is built through the registry's ``metrics`` spec, so a
@@ -553,17 +547,19 @@ class GMineService:
             return dict(self._compute_counts)
 
     def stats(self) -> Dict[str, Any]:
-        """One JSON-friendly snapshot of cache, compute and session state."""
+        """One JSON-friendly snapshot of cache, backend, compute and sessions."""
         with self._lock:
             computed = dict(self._compute_counts)
         return {
-            "cache": self.cache.stats.as_dict(),
+            "cache": self.cache.describe(),
+            "backend": self.backend.stats(),
             "computed": computed,
             "sessions": {
                 "active": len(self.sessions),
                 "ids": self.sessions.active_ids(),
             },
             "datasets": self.datasets(),
+            "dataset_info": self.describe_datasets(),
         }
 
     def _computed(self, operation: str, compute: Callable[[], Any]) -> Any:
@@ -576,13 +572,15 @@ class GMineService:
     # ------------------------------------------------------------------ #
     # operation dispatch (fully registry-driven)
     # ------------------------------------------------------------------ #
-    def _dispatch(self, handle: _Dataset, operation: str, args: Dict[str, Any]):
+    def _dispatch(self, handle: DatasetHandle, operation: str, args: Dict[str, Any]):
         """Run one registered operation; returns ``(value, cached)``.
 
         The spec supplies everything: validation and canonicalization
         (:meth:`OpSpec.canonicalize`), the cache key derived from spec
-        field order (:meth:`OpSpec.cache_key`), and the compute handler.
-        Non-cacheable ops bypass the result cache entirely.
+        field order (:meth:`OpSpec.cache_key`), the compute handler, and —
+        for plannable expensive ops — the picklable plan the configured
+        backend executes.  Non-cacheable ops bypass the result cache
+        entirely.
         """
         spec = self.registry.get(operation)
         canonical = spec.canonicalize(args, handle.context)
@@ -590,8 +588,7 @@ class GMineService:
         def compute() -> Any:
             performed.append(True)
             return self._computed(
-                operation,
-                lambda: spec.handler(OpContext(engine=handle.make_engine()), canonical),
+                operation, lambda: self._execute_op(handle, spec, canonical)
             )
 
         performed: List[bool] = []
@@ -600,6 +597,25 @@ class GMineService:
         key = spec.cache_key(handle.fingerprint, canonical)
         value = self.cache.get_or_compute(key, compute)
         return value, not performed
+
+    def _execute_op(
+        self, handle: DatasetHandle, spec: OpSpec, canonical: Dict[str, Any]
+    ) -> Any:
+        """Run one canonicalized op on the right venue.
+
+        Expensive plannable ops go to the execution backend (which may ship
+        the plan to a worker process, run it on a kernel thread, or fall
+        back to the parent); cheap ops — tree lookups, edge inspection —
+        always run in the parent, honouring the spec's declared cost class.
+        """
+
+        def local() -> Any:
+            return spec.handler(OpContext(engine=handle.make_engine()), canonical)
+
+        if spec.planner is None or spec.cost != "expensive":
+            return local()
+        plan = spec.plan(canonical)
+        return self.backend.run(handle.exec_spec(), plan, local)
 
 
 def _metrics_on_subgraph(subgraph: Graph, canonical: Dict[str, Any]):

@@ -6,8 +6,10 @@ from repro.errors import ConvergenceError, MiningError
 from repro.graph.generators import barabasi_albert, connected_caveman, path_graph
 from repro.graph.graph import Graph
 from repro.mining.rwr import (
+    RWRResult,
     goodness_scores,
     meeting_probability,
+    node_sort_key,
     per_source_rwr,
     rwr_exact,
     rwr_power_iteration,
@@ -124,3 +126,34 @@ class TestGoodness:
     def test_meeting_probability_exact_solver(self, caveman_graph):
         scores = meeting_probability(caveman_graph, [0, 1], solver="exact")
         assert max(scores.values()) == pytest.approx(1.0)
+
+
+class TestTopTieBreaking:
+    """Regression: top() ordering must not depend on dict insertion order
+    or on which execution backend produced the scores (PR 3 satellite)."""
+
+    def test_ties_break_on_numeric_node_id(self):
+        scores = {10: 0.5, 2: 0.5, 7: 0.25}
+        result = RWRResult(scores=scores, iterations=1, converged=True,
+                           restart_probability=0.15)
+        # numeric order, not lexicographic repr order ("10" < "2")
+        assert result.top(3) == [(2, 0.5), (10, 0.5), (7, 0.25)]
+
+    def test_order_is_insertion_independent(self):
+        forward = {i: 1.0 / 8 for i in range(8)}
+        backward = {i: 1.0 / 8 for i in reversed(range(8))}
+        a = RWRResult(scores=forward, iterations=1, converged=True,
+                      restart_probability=0.15)
+        b = RWRResult(scores=backward, iterations=1, converged=True,
+                      restart_probability=0.15)
+        assert a.top(8) == b.top(8) == [(i, 1.0 / 8) for i in range(8)]
+
+    def test_string_ids_sort_lexicographically(self):
+        scores = {"b": 0.4, "a": 0.4, "c": 0.2}
+        result = RWRResult(scores=scores, iterations=1, converged=True,
+                           restart_probability=0.15)
+        assert [node for node, _ in result.top(3)] == ["a", "b", "c"]
+
+    def test_node_sort_key_is_type_stable(self):
+        ranked = sorted([10, 2, "x", "a"], key=node_sort_key)
+        assert ranked == [2, 10, "a", "x"]

@@ -1,0 +1,138 @@
+"""CacheStore seam tests: memory/SQLite parity, persistence, invalidation.
+
+The two stores must be behaviourally interchangeable under the
+:class:`~repro.service.cache.ResultCache` policy layer — same eviction and
+TTL accounting — while the SQLite store additionally survives process
+restarts and is shared across processes, which is what turns a service
+restart into a warm start.
+"""
+
+import pytest
+
+from repro.service import (
+    GMineService,
+    MemoryCacheStore,
+    ResultCache,
+    SQLiteCacheStore,
+    make_cache_key,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+def _store_pair(tmp_path, clock, capacity=2):
+    """One store of each kind, driven by the same deterministic clock."""
+    return {
+        "memory": MemoryCacheStore(capacity=capacity, clock=clock),
+        "sqlite": SQLiteCacheStore(
+            tmp_path / "parity.db", capacity=capacity, clock=clock
+        ),
+    }
+
+
+class TestStoreParity:
+    def test_eviction_accounting_matches(self, tmp_path, clock):
+        for kind, store in _store_pair(tmp_path, clock).items():
+            cache = ResultCache(store=store)
+            cache.get_or_compute("a", lambda: 1)
+            cache.get_or_compute("b", lambda: 2)
+            cache.get_or_compute("a", lambda: 1)  # refresh a; b becomes LRU
+            cache.get_or_compute("c", lambda: 3)  # evicts b
+            assert cache.stats.evictions == 1, kind
+            assert "a" in cache and "c" in cache and "b" not in cache, kind
+            assert len(cache) == 2, kind
+            cache.close()
+
+    def test_ttl_accounting_matches(self, tmp_path, clock):
+        for kind, store in _store_pair(tmp_path, clock, capacity=8).items():
+            cache = ResultCache(ttl=10.0, store=store)
+            cache.get_or_compute("k", lambda: "v1")
+            clock.advance(9.0)
+            assert cache.get_or_compute("k", lambda: "v2") == "v1", kind
+            clock.advance(2.0)
+            assert cache.get_or_compute("k", lambda: "v2") == "v2", kind
+            assert cache.stats.expirations == 1, kind
+            assert cache.stats.misses == 2, kind
+            clock.advance(20.0)
+            assert cache.sweep() == 1, kind
+            assert cache.stats.expirations == 2, kind
+            cache.close()
+            clock.advance(-31.0)  # rewind for the next store
+
+    def test_fingerprint_invalidation_matches(self, tmp_path, clock):
+        for kind, store in _store_pair(tmp_path, clock, capacity=8).items():
+            cache = ResultCache(store=store)
+            cache.put(make_cache_key("fp1", "op", {"x": 1}), "one")
+            cache.put(make_cache_key("fp1", "op", {"x": 2}), "two")
+            cache.put(make_cache_key("fp2", "op", {"x": 1}), "other")
+            assert cache.invalidate_fingerprint("fp1") == 2, kind
+            assert len(cache) == 1, kind
+            assert make_cache_key("fp2", "op", {"x": 1}) in cache, kind
+            cache.close()
+
+    def test_describe_reports_kind(self, tmp_path, clock):
+        stores = _store_pair(tmp_path, clock)
+        assert stores["memory"].describe()["kind"] == "memory"
+        description = stores["sqlite"].describe()
+        assert description["kind"] == "sqlite"
+        assert description["path"].endswith("parity.db")
+        stores["sqlite"].close()
+
+
+class TestSQLitePersistence:
+    def test_round_trip_across_reopen(self, tmp_path):
+        path = tmp_path / "persist.db"
+        store = SQLiteCacheStore(path, capacity=8)
+        key = make_cache_key("fp", "rwr", {"sources": [1, 2]})
+        store.put(key, "fp", {"answer": [1.5, 2.5]}, ttl=None)
+        store.close()
+
+        reopened = SQLiteCacheStore(path, capacity=8)
+        status, value = reopened.get(key)
+        assert status == "hit"
+        assert value == {"answer": [1.5, 2.5]}
+        reopened.close()
+
+    def test_two_stores_share_one_file(self, tmp_path):
+        path = tmp_path / "shared.db"
+        writer = SQLiteCacheStore(path, capacity=8)
+        reader = SQLiteCacheStore(path, capacity=8)
+        writer.put("k", "fp", "shared-value", ttl=None)
+        assert reader.get("k") == ("hit", "shared-value")
+        assert reader.invalidate_fingerprint("fp") == 1
+        assert writer.get("k") == ("miss", None)
+        writer.close()
+        reader.close()
+
+    def test_corrupt_pickle_degrades_to_miss(self, tmp_path):
+        path = tmp_path / "corrupt.db"
+        store = SQLiteCacheStore(path, capacity=8)
+        store.put("k", "fp", "value", ttl=None)
+        store._conn.execute(
+            "UPDATE results SET value = ? WHERE key = ?", (b"\x80garbage", repr("k"))
+        )
+        store._conn.commit()
+        assert store.get("k") == ("miss", None)
+        assert len(store) == 0  # the poisoned row was dropped
+        store.close()
+
+
+class TestServiceWarmRestart:
+    def test_restart_serves_from_sqlite(self, store_path, hot_leaf, tmp_path):
+        leaf, members = hot_leaf
+        cache_db = tmp_path / "service-cache.db"
+        request = {"op": "rwr",
+                   "args": {"sources": list(members), "community": leaf.label}}
+
+        with GMineService(cache_path=cache_db) as service:
+            service.register_store(store_path, name="dblp")
+            first = service.execute(request)
+            assert first.ok and not first.cached
+
+        # a brand-new service process over the same store + cache file
+        with GMineService(cache_path=cache_db) as service:
+            service.register_store(store_path, name="dblp")
+            warm = service.execute(request)
+            assert warm.ok and warm.cached
+            assert warm.value.scores == first.value.scores
+            assert service.stats()["cache"]["store"]["kind"] == "sqlite"

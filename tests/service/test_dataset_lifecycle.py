@@ -1,0 +1,120 @@
+"""Dataset lifecycle tests: registry, hot-reload, and the protocol routes.
+
+Hot-reload is the contract that makes long-lived services safe to run over
+datasets that get rebuilt on disk: ``POST /v1/datasets/<name>/reload``
+reopens the store, swaps the fingerprint, and drops every cached result
+keyed by the old fingerprint, so a rebuilt tree never serves stale answers
+— over any transport and any execution backend.
+"""
+
+import pytest
+
+from repro.api import GMineClient
+from repro.core.builder import build_gtree
+from repro.data.dblp import DBLPConfig, generate_dblp
+from repro.errors import DatasetNotFoundError
+from repro.service import GMineService
+from repro.storage.gtree_store import save_gtree
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture
+def rebuildable_store(tmp_path):
+    """A store file we can rebuild in place with different content."""
+    path = tmp_path / "rebuild.gtree"
+
+    def build(seed: int):
+        dataset = generate_dblp(DBLPConfig(num_authors=200, seed=seed))
+        tree = build_gtree(dataset.graph, fanout=3, levels=2, seed=seed)
+        save_gtree(tree, path)
+        return tree
+
+    first = build(3)
+    return path, first, build
+
+
+class TestReload:
+    def test_reload_unchanged_file_keeps_fingerprint(self, rebuildable_store):
+        path, _, _ = rebuildable_store
+        with GMineService() as service:
+            service.register_store(path, name="d")
+            before = service.fingerprint("d")
+            report = service.reload_dataset("d")
+            assert report["changed"] is False
+            assert report["invalidated"] == 0
+            assert service.fingerprint("d") == before
+
+    def test_reload_rebuilt_file_swaps_fingerprint_and_invalidates(
+        self, rebuildable_store
+    ):
+        path, first_tree, rebuild = rebuildable_store
+        leaf = max(first_tree.leaves(), key=lambda node: node.size)
+        with GMineService() as service:
+            service.register_store(path, name="d")
+            old_fingerprint = service.fingerprint("d")
+            service.metrics(community=leaf.label, dataset="d")
+            service.connectivity(dataset="d")
+            assert len(service.cache) == 2
+
+            rebuild(seed=4)  # different content under the same path
+            report = service.reload_dataset("d")
+
+            assert report["changed"] is True
+            assert report["previous_fingerprint"] == old_fingerprint
+            assert report["fingerprint"] != old_fingerprint
+            assert report["invalidated"] == 2
+            assert len(service.cache) == 0
+            assert service.fingerprint("d") == report["fingerprint"]
+            # the reopened tree serves queries keyed by the new fingerprint
+            fresh = service.execute({"op": "connectivity", "dataset": "d"})
+            assert fresh.ok and not fresh.cached
+
+    def test_reload_in_memory_tree_refreshes_fingerprint(self, service_dataset):
+        dataset, tree = service_dataset
+        with GMineService() as service:
+            service.register_tree(tree, graph=dataset.graph, name="mem")
+            report = service.reload_dataset("mem")
+            assert report["kind"] == "tree"
+            assert report["changed"] is False
+
+    def test_reload_unknown_dataset_raises(self, service):
+        with pytest.raises(DatasetNotFoundError):
+            service.reload_dataset("never-registered")
+
+
+class TestDatasetRoutes:
+    def test_datasets_table_over_both_transports(self, service):
+        client = GMineClient.in_process(service)
+        table = client.datasets()
+        assert len(table) == 1
+        row = table[0]
+        assert row["name"] == "dblp"
+        assert row["kind"] == "store"
+        assert row["fingerprint"] == service.fingerprint("dblp")
+        assert row["store_path"].endswith(".gtree")
+
+    def test_reload_route_returns_report(self, rebuildable_store):
+        path, _, _ = rebuildable_store
+        with GMineService() as service:
+            service.register_store(path, name="d")
+            client = GMineClient.in_process(service)
+            report = client.reload_dataset("d")
+            assert report["dataset"] == "d"
+            assert report["changed"] is False
+            assert "fingerprint" in report and "invalidated" in report
+
+    def test_reload_route_unknown_dataset_is_404(self, service):
+        client = GMineClient.in_process(service)
+        status, payload = client.transport.router.handle(
+            "POST", "/v1/datasets/nope/reload", None
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "DATASET_NOT_FOUND"
+
+    def test_stats_surface_backend_and_store(self, service):
+        client = GMineClient.in_process(service)
+        stats = client.stats()
+        assert stats["backend"]["name"] == "inline"
+        assert stats["cache"]["store"]["kind"] == "memory"
+        assert stats["dataset_info"][0]["name"] == "dblp"

@@ -116,3 +116,69 @@ class TestErrorHandling:
         captured = capsys.readouterr()
         assert code == 2
         assert "error:" in captured.err
+
+
+class TestServeBackends:
+    """`gmine serve` batch mode on each execution backend + cache persistence."""
+
+    @pytest.fixture
+    def built_store(self, tmp_path, capsys):
+        graph_path = tmp_path / "dblp.json"
+        store_path = tmp_path / "dblp.gtree"
+        code, _, _ = run_cli(
+            capsys, "generate", "--authors", "200", "--seed", "5",
+            "--output", str(graph_path),
+        )
+        assert code == 0
+        code, _, _ = run_cli(
+            capsys, "build", "--graph", str(graph_path),
+            "--fanout", "3", "--levels", "2", "--output", str(store_path),
+        )
+        assert code == 0
+        requests_path = tmp_path / "requests.json"
+        requests_path.write_text(
+            json.dumps([{"op": "metrics", "args": {}},
+                        {"op": "connectivity", "args": {}}]),
+            encoding="utf-8",
+        )
+        return graph_path, store_path, requests_path
+
+    @pytest.mark.parametrize("backend", ["inline", "thread:2", "process:2"])
+    def test_serve_batch_on_each_backend(self, built_store, capsys, backend):
+        graph_path, store_path, requests_path = built_store
+        code, payload, _ = run_cli(
+            capsys, "serve", "--store", str(store_path),
+            "--graph", str(graph_path), "--requests", str(requests_path),
+            "--backend", backend,
+        )
+        assert code == 0
+        assert all(result["ok"] for result in payload["results"])
+        assert payload["stats"]["backend"]["name"] == backend.split(":")[0]
+
+    def test_serve_cache_path_persists_across_runs(self, built_store, capsys):
+        graph_path, store_path, requests_path = built_store
+        cache_db = store_path.parent / "cache.db"
+        code, first, _ = run_cli(
+            capsys, "serve", "--store", str(store_path),
+            "--graph", str(graph_path), "--requests", str(requests_path),
+            "--cache-path", str(cache_db),
+        )
+        assert code == 0
+        assert not any(result["cached"] for result in first["results"])
+        # a second CLI invocation = a fresh process warm-starting from disk
+        code, second, _ = run_cli(
+            capsys, "serve", "--store", str(store_path),
+            "--graph", str(graph_path), "--requests", str(requests_path),
+            "--cache-path", str(cache_db),
+        )
+        assert code == 0
+        assert all(result["cached"] for result in second["results"])
+
+    def test_serve_rejects_unknown_backend(self, built_store, capsys):
+        graph_path, store_path, requests_path = built_store
+        code, _, err = run_cli(
+            capsys, "serve", "--store", str(store_path),
+            "--requests", str(requests_path), "--backend", "quantum",
+        )
+        assert code == 2
+        assert "unknown execution backend" in err
