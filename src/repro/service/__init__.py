@@ -32,6 +32,7 @@ from .executors import (
     ExecutionBackend,
     InlineBackend,
     ProcessBackend,
+    StaleDatasetError,
     ThreadBackend,
     make_backend,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "ResultCache",
     "SQLiteCacheStore",
     "ServiceSession",
+    "StaleDatasetError",
     "SessionManager",
     "ThreadBackend",
     "canonical_args",

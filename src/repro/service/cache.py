@@ -31,16 +31,20 @@ content fingerprint, which is what :meth:`ResultCache.invalidate_fingerprint`
 
 from __future__ import annotations
 
+import logging
 import pickle
 import sqlite3
 import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Tuple, Union
 
 from ..errors import ServiceError
+
+logger = logging.getLogger(__name__)
 
 
 def canonical_args(value: Any) -> Hashable:
@@ -260,7 +264,12 @@ class SQLiteCacheStore(CacheStore):
 
     Concurrency: one connection per store, serialised by a lock in this
     process; across processes SQLite's file locking (plus a generous busy
-    timeout) arbitrates.  Single-flight dedup stays per-process — two
+    timeout) arbitrates.  The connection runs in autocommit, and every
+    read-modify-write sequence — allocating the next recency number,
+    the existed/insert/evict trio in :meth:`put`, the touch in
+    :meth:`get` — runs inside one ``BEGIN IMMEDIATE`` transaction, so two
+    processes can neither assign duplicate sequence numbers nor interleave
+    eviction accounting.  Single-flight dedup stays per-process — two
     *processes* may compute the same entry once each, after which both
     share the stored row.
     """
@@ -294,7 +303,13 @@ class SQLiteCacheStore(CacheStore):
         self.capacity = capacity
         self._clock = clock
         self._lock = threading.Lock()
-        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        # Autocommit: single statements are atomic on their own, and the
+        # multi-statement read-modify-write paths open explicit BEGIN
+        # IMMEDIATE transactions (taking the cross-process write lock up
+        # front) through :meth:`_txn`.
+        self._conn = sqlite3.connect(
+            str(self.path), check_same_thread=False, isolation_level=None
+        )
         self._conn.execute("PRAGMA busy_timeout = 5000")
         try:  # WAL lets concurrent readers coexist with a writer
             self._conn.execute("PRAGMA journal_mode = WAL")
@@ -302,9 +317,27 @@ class SQLiteCacheStore(CacheStore):
             pass
         with self._lock:
             self._conn.executescript(self._SCHEMA)
+
+    @contextmanager
+    def _txn(self):
+        """One cross-process-atomic write transaction (caller holds the lock).
+
+        ``commit`` sits inside the ``try``: if it fails (busy writer past
+        the timeout, I/O error) the rollback still runs, leaving the
+        connection outside any transaction — otherwise the next ``BEGIN``
+        would wedge on 'cannot start a transaction within a transaction'.
+        """
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield
             self._conn.commit()
+        except BaseException:
+            self._conn.rollback()
+            raise
 
     def _next_sequence(self) -> int:
+        # Only meaningful inside a _txn: the IMMEDIATE write lock is what
+        # keeps two processes from reading the same MAX and colliding.
         row = self._conn.execute("SELECT MAX(last_used) FROM results").fetchone()
         return (row[0] or 0) + 1
 
@@ -318,21 +351,31 @@ class SQLiteCacheStore(CacheStore):
                 return "miss", None
             blob, expires_at = row
             if expires_at is not None and expires_at <= self._clock():
-                self._conn.execute("DELETE FROM results WHERE key = ?", (text,))
-                self._conn.commit()
+                # Re-assert the expiry in the DELETE: another process may
+                # have refreshed the key since our SELECT, and an unscoped
+                # delete would throw away its brand-new entry.
+                self._conn.execute(
+                    "DELETE FROM results WHERE key = ? "
+                    "AND expires_at IS NOT NULL AND expires_at <= ?",
+                    (text, self._clock()),
+                )
                 return "expired", None
             try:
                 value = pickle.loads(blob)
             except Exception:  # noqa: BLE001 — schema/class drift: treat as miss
-                self._conn.execute("DELETE FROM results WHERE key = ?", (text,))
-                self._conn.commit()
+                # Scope by the corrupt blob itself so a concurrent rewrite
+                # of the key survives.
+                self._conn.execute(
+                    "DELETE FROM results WHERE key = ? AND value = ?",
+                    (text, blob),
+                )
                 return "miss", None
             if touch:
-                self._conn.execute(
-                    "UPDATE results SET last_used = ? WHERE key = ?",
-                    (self._next_sequence(), text),
-                )
-                self._conn.commit()
+                with self._txn():
+                    self._conn.execute(
+                        "UPDATE results SET last_used = ? WHERE key = ?",
+                        (self._next_sequence(), text),
+                    )
             return "hit", value
 
     def put(self, key, fingerprint, value, ttl) -> int:
@@ -340,7 +383,7 @@ class SQLiteCacheStore(CacheStore):
         now = self._clock()
         expires_at = None if ttl is None else now + ttl
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        with self._lock:
+        with self._lock, self._txn():
             existed = self._conn.execute(
                 "SELECT 1 FROM results WHERE key = ?", (text,)
             ).fetchone()
@@ -363,7 +406,6 @@ class SQLiteCacheStore(CacheStore):
                         (over,),
                     )
                     evicted = cursor.rowcount
-            self._conn.commit()
             return evicted
 
     def delete(self, key) -> bool:
@@ -371,13 +413,11 @@ class SQLiteCacheStore(CacheStore):
             cursor = self._conn.execute(
                 "DELETE FROM results WHERE key = ?", (repr(key),)
             )
-            self._conn.commit()
             return cursor.rowcount > 0
 
     def clear(self) -> None:
         with self._lock:
             self._conn.execute("DELETE FROM results")
-            self._conn.commit()
 
     def sweep(self) -> int:
         with self._lock:
@@ -386,7 +426,6 @@ class SQLiteCacheStore(CacheStore):
                 "AND expires_at <= ?",
                 (self._clock(),),
             )
-            self._conn.commit()
             return cursor.rowcount
 
     def invalidate_fingerprint(self, fingerprint: str) -> int:
@@ -394,7 +433,6 @@ class SQLiteCacheStore(CacheStore):
             cursor = self._conn.execute(
                 "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
             )
-            self._conn.commit()
             return cursor.rowcount
 
     def close(self) -> None:
@@ -504,7 +542,9 @@ class ResultCache:
                     # in-flight entry, so a thread that missed pre-store but
                     # arrived here post-removal finds the value now — the
                     # "compute once" contract holds across the two locks.
-                    status, value = self.store.get(key)
+                    # touch=False: never open a store write transaction
+                    # while holding the global flight lock.
+                    status, value = self.store.get(key, touch=False)
                     if status == "hit":
                         with self._stats_lock:
                             self.stats.hits += 1
@@ -534,14 +574,32 @@ class ResultCache:
                 self.stats.misses += 1
             flight.done.set()
             raise
-        evicted = self.store.put(key, fingerprint_of_key(key), value, self.ttl)
-        with self._stats_lock:
-            self.stats.misses += 1
-            self.stats.evictions += evicted
-        with self._flight_lock:
-            self._inflight.pop(key, None)
-        flight.value = value
-        flight.done.set()
+        # Residency is best-effort: the value is already computed, so a
+        # failing store (SQLite busy past its timeout, unpicklable result,
+        # full disk) must not fail the request — and above all must not
+        # strand the in-flight entry, which would hang every future caller
+        # for this key on flight.done.wait().  The finally block publishes
+        # the value and releases the flight even when a BaseException
+        # (KeyboardInterrupt during a blocked put) escapes the guard.
+        evicted = 0
+        try:
+            try:
+                evicted = self.store.put(
+                    key, fingerprint_of_key(key), value, self.ttl
+                )
+            except Exception:  # noqa: BLE001 — residency failure, value is good
+                logger.warning(
+                    "cache store put failed; serving uncached value for %r",
+                    key, exc_info=True,
+                )
+        finally:
+            with self._stats_lock:
+                self.stats.misses += 1
+                self.stats.evictions += evicted
+            with self._flight_lock:
+                self._inflight.pop(key, None)
+            flight.value = value
+            flight.done.set()
         return value
 
     def peek(self, key: Hashable) -> Any:

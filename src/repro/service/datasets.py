@@ -6,11 +6,19 @@ optional full graph, the backing :class:`~repro.storage.gtree_store.GTreeStore`,
 and the content fingerprint that keys the result cache.  Pulling this out
 of the service proper gives the lifecycle a seam of its own:
 
+* a :class:`DatasetHandle` is an **immutable snapshot**: tree, graph,
+  store and fingerprint always describe one consistent dataset state, so
+  a request that resolved its handle before a reload keeps computing (and
+  cache-keying) against exactly the content it started with;
 * :meth:`DatasetRegistry.reload` reopens a store-backed dataset from its
-  file (picking up a rebuilt ``.gtree``), refreshes the fingerprint and the
-  graph, and reports the old fingerprint so the service can invalidate the
-  stale cache entries — the machinery behind
-  ``POST /v1/datasets/<name>/reload``;
+  file (picking up a rebuilt ``.gtree``) and atomically **swaps in a new
+  handle**, reporting the old fingerprint so the service can invalidate
+  the stale cache entries — the machinery behind
+  ``POST /v1/datasets/<name>/reload``.  The superseded store is *retired*,
+  not closed: live sessions and in-flight queries still hold engines over
+  it, and closing their pager mid-query would turn the typed-error
+  guarantee into raw ``ValueError``\\ s.  Retired stores are closed when
+  the registry drains at service shutdown;
 * :meth:`DatasetHandle.exec_spec` flattens a dataset to the picklable
   :class:`~repro.service.executors.DatasetExecSpec` process workers use to
   reopen it by ``(path, fingerprint)``.
@@ -19,7 +27,7 @@ of the service proper gives the lifecycle a seam of its own:
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
@@ -49,9 +57,16 @@ class DatasetContext(CanonicalizationContext):
         return value
 
 
-@dataclass
+@dataclass(frozen=True)
 class DatasetHandle:
-    """One registered dataset: shared tree, optional graph/store, fingerprint."""
+    """One registered dataset: shared tree, optional graph/store, fingerprint.
+
+    Frozen on purpose: a handle is a consistent snapshot of one dataset
+    state.  Hot-reload never mutates a handle — it swaps a replacement
+    into the registry — so any code holding a handle (a dispatching
+    request, a session's metrics closure) sees tree, store, context and
+    fingerprint that always agree with each other.
+    """
 
     name: str
     tree: GTree
@@ -64,7 +79,7 @@ class DatasetHandle:
 
     def __post_init__(self) -> None:
         if self.context is None:
-            self.context = DatasetContext(self.tree)
+            object.__setattr__(self, "context", DatasetContext(self.tree))
 
     @property
     def store_path(self) -> Optional[str]:
@@ -109,6 +124,14 @@ class DatasetRegistry:
     def __init__(self) -> None:
         self._lock = threading.RLock()
         self._handles: Dict[str, DatasetHandle] = {}
+        # Stores superseded by reload.  They stay open — sessions and
+        # in-flight queries may still hold engines over them — and are
+        # closed when the registry drains at shutdown.
+        self._retired_stores: List[GTreeStore] = []
+        # Serialises reloads against each other so the slow I/O (store
+        # reopen, graph parse) can run outside ``_lock`` without two
+        # reloads racing on the same handle swap.
+        self._reload_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # registration
@@ -201,16 +224,30 @@ class DatasetRegistry:
 
         Store-backed datasets get a fresh :class:`GTreeStore` over the same
         path (picking up a rebuilt file) and, when ``graph_path`` is known,
-        a freshly loaded graph.  In-memory tree datasets are re-fingerprinted
-        in place (covering live tree edits).  The caller is responsible for
-        invalidating the previous fingerprint in its result cache — the
+        a freshly loaded graph; a **replacement handle** over the new
+        resources is swapped into the registry atomically.  The superseded
+        store is retired — kept open for the sessions and in-flight queries
+        whose engines still read it — and closed at :meth:`drain`.  When
+        the reopened content is byte-identical (``changed`` is false) the
+        existing handle keeps serving and nothing is retired, so periodic
+        no-op reloads cost no file handles.
+        In-memory tree datasets get a re-fingerprinted handle over the same
+        shared tree (covering live tree edits).  The caller is responsible
+        for invalidating the previous fingerprint in its result cache — the
         report carries both fingerprints for exactly that.
+
+        The slow part — reopening the store and re-parsing the graph file —
+        happens *outside* the registry lock (queries on every dataset keep
+        flowing during a multi-second reload); only the handle swap takes
+        it.  Concurrent reloads are serialised by a dedicated mutex, so
+        the handle read at the top is still the one swapped out below.
         """
-        with self._lock:
-            handle = self.get(name)
+        with self._reload_lock:
+            with self._lock:
+                handle = self.get(name)
             previous = handle.fingerprint
             if handle.store is not None:
-                # Acquire every new resource *before* touching the handle:
+                # Acquire every new resource *before* touching the registry:
                 # a failed reopen or graph reload must leave the dataset
                 # exactly as it was (fingerprint, store, graph, cache keys
                 # all still consistent with each other).
@@ -222,28 +259,62 @@ class DatasetRegistry:
                     except Exception:
                         reopened.close()
                         raise
-                old_store, owned = handle.store, handle.owns_store
-                handle.store = reopened
-                handle.tree = reopened.tree
-                handle.fingerprint = reopened.fingerprint
-                handle.owns_store = True
-                handle.graph = graph
-                handle.context = DatasetContext(handle.tree)
-                if owned:
-                    old_store.close()
+                replacement = DatasetHandle(
+                    name=handle.name,
+                    tree=reopened.tree,
+                    graph=graph,
+                    store=reopened,
+                    fingerprint=reopened.fingerprint,
+                    owns_store=True,
+                    graph_path=handle.graph_path,
+                )
             else:
-                handle.fingerprint = handle.tree.fingerprint()
+                replacement = DatasetHandle(
+                    name=handle.name,
+                    tree=handle.tree,
+                    graph=handle.graph,
+                    store=None,
+                    fingerprint=handle.tree.fingerprint(),
+                    graph_path=handle.graph_path,
+                    context=handle.context,
+                )
+            with self._lock:
+                if self._handles.get(handle.name) is not handle:
+                    # Drained (service shutdown) while we were reloading.
+                    if replacement.store is not None:
+                        replacement.store.close()
+                    raise DatasetNotFoundError(
+                        f"dataset {handle.name!r} was deregistered during reload"
+                    )
+                if handle.store is not None:
+                    if replacement.fingerprint == previous:
+                        # Same content: keep serving the existing handle
+                        # and drop the redundant reopen, so periodic no-op
+                        # reloads don't grow the retired-store parking lot.
+                        replacement.store.close()
+                        replacement = handle
+                    elif handle.owns_store:
+                        self._retired_stores.append(handle.store)
+                self._handles[replacement.name] = replacement
             return {
-                "dataset": handle.name,
-                "kind": handle.kind,
-                "fingerprint": handle.fingerprint,
+                "dataset": replacement.name,
+                "kind": replacement.kind,
+                "fingerprint": replacement.fingerprint,
                 "previous_fingerprint": previous,
-                "changed": handle.fingerprint != previous,
+                "changed": replacement.fingerprint != previous,
             }
 
+    def retired_store_count(self) -> int:
+        """How many superseded stores are parked awaiting shutdown."""
+        with self._lock:
+            return len(self._retired_stores)
+
     def drain(self) -> List[DatasetHandle]:
-        """Detach and return every handle (service shutdown)."""
+        """Detach and return every handle; closes retired stores (shutdown)."""
         with self._lock:
             handles = list(self._handles.values())
             self._handles.clear()
-            return handles
+            retired, self._retired_stores = self._retired_stores, []
+        for store in retired:
+            store.close()
+        return handles

@@ -30,8 +30,8 @@ service provides, so every backend serves the full protocol surface.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
-import sys
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -41,11 +41,24 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 from ..api.plans import ComputePlan, run_plan
 from ..errors import ServiceError
 
+logger = logging.getLogger(__name__)
+
 #: Backend names accepted by :func:`make_backend` / ``gmine serve --backend``.
 BACKEND_NAMES = ("inline", "thread", "process")
 
 #: Default worker count for pooled backends.
 DEFAULT_BACKEND_WORKERS = 4
+
+
+class StaleDatasetError(ServiceError):
+    """A worker's on-disk store no longer matches the spec's fingerprint.
+
+    Raised inside worker processes when the dataset file was rebuilt (and
+    typically hot-reloaded in the parent) after the shipping request
+    resolved its handle.  Picklable across the pool boundary; the process
+    backend catches it and serves the request from the parent, whose
+    retired store still holds the content the request's fingerprint names.
+    """
 
 
 @dataclass(frozen=True)
@@ -201,22 +214,32 @@ def _worker_context(spec: DatasetExecSpec):
     cached = _WORKER_DATASETS.get(key)
     if cached is not None and cached[0] == spec.fingerprint:
         return cached[1]
-    if cached is not None:
-        cached[1].engine.store.close()
-        del _WORKER_DATASETS[key]
     store = GTreeStore(spec.store_path)
     if store.fingerprint != spec.fingerprint:
+        # A stale plan (the parent hot-reloaded after this request took
+        # its handle) must not wreck the warm context other plans use —
+        # leave the cache alone and let the parent serve this one.
         fingerprint = store.fingerprint
         store.close()
-        raise ServiceError(
+        raise StaleDatasetError(
             f"worker reopened {spec.store_path} with fingerprint "
-            f"{fingerprint[:12]}… but the service expects "
-            f"{spec.fingerprint[:12]}…; reload the dataset"
+            f"{fingerprint[:12]}… but the plan expects "
+            f"{spec.fingerprint[:12]}…"
         )
-    graph = load_graph_auto(spec.graph_path) if spec.graph_path else None
-    context = OpContext(
-        engine=GMineEngine(tree=store.tree, graph=graph, store=store)
-    )
+    try:
+        graph = load_graph_auto(spec.graph_path) if spec.graph_path else None
+        context = OpContext(
+            engine=GMineEngine(tree=store.tree, graph=graph, store=store)
+        )
+    except Exception:
+        store.close()
+        raise
+    # Only retire the previous context once its replacement is fully
+    # built: a failed graph load must leave the cache serving the old
+    # (still-open) context, never a closed one.
+    if cached is not None:
+        del _WORKER_DATASETS[key]
+        cached[1].engine.store.close()
     _WORKER_DATASETS[key] = (spec.fingerprint, context)
     return context
 
@@ -226,6 +249,21 @@ def _process_warm(spec: DatasetExecSpec) -> str:
     return _worker_context(spec).engine.store.fingerprint
 
 
+def _log_warm_failure(future) -> None:
+    """Surface a failed warm-up task instead of dropping it silently.
+
+    Warming stays best-effort — the first real plan will retry and raise
+    properly — but an operator watching the log should still see that the
+    pre-load did not take (bad path, fingerprint drift, worker death).
+    """
+    try:
+        error = future.exception()
+    except BaseException as cancelled:  # pragma: no cover - shutdown race
+        error = cancelled
+    if error is not None:
+        logger.warning("dataset warm-up failed (first plan will retry): %s", error)
+
+
 def _process_execute(spec: DatasetExecSpec, plan: ComputePlan) -> Any:
     """Run one plan in this worker against its warm dataset context."""
     context = _worker_context(spec)
@@ -233,17 +271,21 @@ def _process_execute(spec: DatasetExecSpec, plan: ComputePlan) -> Any:
 
 
 def _pick_mp_context():
-    """Prefer ``fork`` on Linux (cheap, no re-import per worker).
+    """Prefer ``forkserver``; never ``fork``.
 
-    Only on Linux: macOS offers ``fork`` too, but forking a process that
-    already runs threads and Accelerate-backed numpy is unsafe there —
-    which is exactly why CPython's default moved to ``spawn``.  Everywhere
-    else the platform default (spawn) applies; workers then re-import the
-    package, which the module-level task functions are written for.
+    The pool is created lazily, on the first ``warm()``/``run()`` — by
+    then the HTTP server and the batch thread pool are usually running,
+    and forking a multi-threaded process can deadlock children on locks
+    some other thread held at fork time (CPython deprecated that in 3.12
+    for exactly this reason).  ``forkserver`` keeps most of fork's cheap
+    worker startup without that hazard: workers fork from a dedicated,
+    single-threaded server process.  Where it is unavailable, ``spawn``
+    applies; workers then re-import the package, which the module-level
+    task functions are written for.
     """
-    if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
+    if "forkserver" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("forkserver")
+    return multiprocessing.get_context("spawn")
 
 
 class ProcessBackend(ExecutionBackend):
@@ -277,8 +319,11 @@ class ProcessBackend(ExecutionBackend):
         """Ask every worker to pre-load ``spec`` (best effort, non-blocking).
 
         One warm task per worker slot: idle workers pick them up and open
-        the store before the first real plan arrives.  Failures surface on
-        the first real task instead, so warming never wedges registration.
+        the store before the first real plan arrives.  The pool gives no
+        affinity, so one idle worker may drain several warm tasks and
+        leave its siblings to pay the cold open on their first real plan —
+        acceptable for a hint.  Failures are logged and otherwise surface
+        on the first real task, so warming never wedges registration.
         """
         if not spec.process_capable:
             return
@@ -289,7 +334,7 @@ class ProcessBackend(ExecutionBackend):
             self._warmed.append(spec)
         pool = self._ensure_pool()
         for _ in range(self.workers):
-            pool.submit(_process_warm, spec)
+            pool.submit(_process_warm, spec).add_done_callback(_log_warm_failure)
 
     def run(self, spec, plan, local):
         if not spec.process_capable:
@@ -298,6 +343,13 @@ class ProcessBackend(ExecutionBackend):
         pool = self._ensure_pool()
         try:
             value = pool.submit(_process_execute, spec, plan).result()
+        except StaleDatasetError:
+            # The file on disk moved past this request's fingerprint (a
+            # hot-reload raced the dispatch).  The parent still holds the
+            # retired store this fingerprint names, so local() serves the
+            # request correctly instead of surfacing a spurious error.
+            self._count(executed=1, fallbacks=1)
+            return local()
         except BrokenProcessPool:
             # A worker died (OOM, hard kill).  Recreate the pool lazily and
             # keep serving this request from the parent.

@@ -248,12 +248,15 @@ class GMineService:
     def reload_dataset(self, name: Optional[str] = None) -> Dict[str, Any]:
         """Hot-reload a dataset from its backing file and invalidate its cache.
 
-        Reopens the store (picking up a rebuilt ``.gtree``), refreshes the
-        fingerprint, drops every cached result keyed by the *previous*
-        fingerprint, and re-warms process workers.  Live sessions keep
-        their old engines until they next touch the dataset registry —
-        results they compute are keyed by the old fingerprint and were just
-        invalidated, so nothing stale is ever served under the new key.
+        Reopens the store (picking up a rebuilt ``.gtree``), swaps a fresh
+        immutable :class:`~repro.service.datasets.DatasetHandle` into the
+        registry, drops every cached result keyed by the *previous*
+        fingerprint, and re-warms process workers.  Live sessions and
+        requests already dispatched keep working: they hold the old handle,
+        whose store stays open (retired, closed at shutdown) — everything
+        they compute is keyed by the old fingerprint against the old tree,
+        a consistent pair, so nothing stale is ever served under the new
+        key and nothing wrong under the old one.
         """
         report = self.registry_of_datasets.reload(name)
         invalidated = 0
@@ -619,14 +622,12 @@ class GMineService:
 
 
 def _metrics_on_subgraph(subgraph: Graph, canonical: Dict[str, Any]):
-    """Run the metrics handler against an already-materialised subgraph."""
-    from ..mining.metrics_suite import compute_subgraph_metrics
+    """Run the metrics kernel against an already-materialised subgraph.
 
-    signature = dict(canonical["metrics"])
-    return compute_subgraph_metrics(
-        subgraph,
-        hop_sample_size=signature["hop_sample_size"],
-        pagerank_damping=signature["pagerank_damping"],
-        top_k=signature["top_k"],
-        seed=signature["seed"],
-    )
+    Delegates to the same :data:`~repro.api.plans.KERNELS` entry the
+    execution backends run, so the session path and the plan path cannot
+    drift apart while sharing cache keys.
+    """
+    from ..api.plans import KERNELS
+
+    return KERNELS["metrics"](subgraph, canonical)

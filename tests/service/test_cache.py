@@ -161,3 +161,19 @@ class TestSingleFlight:
         assert outcomes.count("error") >= 1
         assert "ok" not in outcomes
         assert "k" not in cache
+
+
+class TestStoreFailureResilience:
+    def test_store_put_failure_serves_value_and_releases_inflight(self):
+        cache = ResultCache(capacity=4)
+
+        def broken_put(key, fingerprint, value, ttl):
+            raise RuntimeError("disk full")
+
+        cache.store.put = broken_put
+        # The computed value is served even though residency failed...
+        assert cache.get_or_compute("k", lambda: 41) == 41
+        # ...and the in-flight entry was released: the next call computes
+        # again (nothing resident) instead of hanging on a stranded flight.
+        assert cache.get_or_compute("k", lambda: 42) == 42
+        assert cache.stats.misses == 2

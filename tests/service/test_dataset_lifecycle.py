@@ -21,13 +21,22 @@ pytestmark = pytest.mark.tier1
 
 @pytest.fixture
 def rebuildable_store(tmp_path):
-    """A store file we can rebuild in place with different content."""
+    """A store file we can rebuild with different content.
+
+    Rebuilds are atomic (write-then-rename): the open pager of a store
+    that predates the rebuild keeps reading the old inode, which is what
+    lets retired stores serve live sessions after a hot-reload.
+    """
+    import os
+
     path = tmp_path / "rebuild.gtree"
 
     def build(seed: int):
         dataset = generate_dblp(DBLPConfig(num_authors=200, seed=seed))
         tree = build_gtree(dataset.graph, fanout=3, levels=2, seed=seed)
-        save_gtree(tree, path)
+        staging = tmp_path / f"rebuild.gtree.tmp{seed}"
+        save_gtree(tree, staging)
+        os.replace(staging, path)
         return tree
 
     first = build(3)
@@ -81,6 +90,76 @@ class TestReload:
     def test_reload_unknown_dataset_raises(self, service):
         with pytest.raises(DatasetNotFoundError):
             service.reload_dataset("never-registered")
+
+
+class TestReloadSafety:
+    """Reload swaps immutable handles; it never yanks resources from users."""
+
+    def test_live_session_keeps_serving_after_reload(self, rebuildable_store):
+        path, first_tree, rebuild = rebuildable_store
+        leaf = max(first_tree.leaves(), key=lambda node: node.size)
+        with GMineService() as service:
+            service.register_store(path, name="d")
+            session = service.open_session("d")
+            rebuild(seed=4)
+            report = service.reload_dataset("d")
+            assert report["changed"] is True
+            # The session's engine still reads the *retired* store (the
+            # old inode, thanks to the atomic rebuild).  This uncached
+            # leaf load must succeed against the old pager, not die with
+            # 'I/O operation on closed file' — and must return the OLD
+            # tree's community, consistent with the session's snapshot.
+            subgraph = session.engine.community_subgraph(leaf.label)
+            assert set(subgraph.nodes()) == set(leaf.members)
+            assert service.registry_of_datasets.retired_store_count() == 1
+
+    def test_unchanged_reload_retires_nothing(self, rebuildable_store):
+        path, _, _ = rebuildable_store
+        with GMineService() as service:
+            service.register_store(path, name="d")
+            before = service._dataset("d")
+            report = service.reload_dataset("d")
+            assert report["changed"] is False
+            # Same content: the original handle keeps serving and no file
+            # handle is parked, so periodic no-op reloads cost nothing.
+            assert service._dataset("d") is before
+            assert service.registry_of_datasets.retired_store_count() == 0
+
+    def test_handle_resolved_before_reload_stays_consistent(
+        self, rebuildable_store
+    ):
+        path, _, rebuild = rebuildable_store
+        with GMineService() as service:
+            service.register_store(path, name="d")
+            handle = service._dataset("d")  # a request mid-dispatch holds this
+            old_fingerprint = handle.fingerprint
+            old_tree = handle.tree
+            rebuild(seed=4)
+            service.reload_dataset("d")
+            # The snapshot is frozen: fingerprint, tree and store still
+            # describe the pre-reload dataset as one consistent unit...
+            assert handle.fingerprint == old_fingerprint
+            assert handle.tree is old_tree
+            # ...while the registry now serves the replacement.
+            fresh = service._dataset("d")
+            assert fresh is not handle
+            assert fresh.fingerprint != old_fingerprint
+            assert fresh.store is not handle.store
+            # Finishing the old request computes against the old tree and
+            # caches under the old fingerprint — a correct pair.
+            value, cached = service._dispatch(handle, "connectivity", {})
+            assert value is not None and not cached
+
+    def test_close_drains_retired_stores(self, rebuildable_store):
+        path, _, rebuild = rebuildable_store
+        service = GMineService()
+        service.register_store(path, name="d")
+        rebuild(seed=4)
+        service.reload_dataset("d")
+        retired = service.registry_of_datasets.retired_store_count()
+        assert retired == 1
+        service.close()
+        assert service.registry_of_datasets.retired_store_count() == 0
 
 
 class TestDatasetRoutes:

@@ -173,6 +173,97 @@ class TestProcessFallbacks:
         ).process_capable
 
 
+class TestStaleDatasetFallback:
+    """A hot-reload racing a dispatched request must not surface errors."""
+
+    def test_worker_context_preserves_warm_state_on_stale_plan(self, store_path):
+        from repro.service import StaleDatasetError
+        from repro.service.executors import _WORKER_DATASETS, _worker_context
+        from repro.storage.gtree_store import GTreeStore
+
+        with GTreeStore(store_path) as probe:
+            real_fingerprint = probe.fingerprint
+        key = (str(store_path), None)
+        good = DatasetExecSpec("dblp", real_fingerprint, store_path=str(store_path))
+        try:
+            warm = _worker_context(good)
+            stale = DatasetExecSpec("dblp", "0" * 16, store_path=str(store_path))
+            with pytest.raises(StaleDatasetError):
+                _worker_context(stale)
+            # the stale probe must not have evicted the warm context
+            assert _worker_context(good) is warm
+        finally:
+            cached = _WORKER_DATASETS.pop(key, None)
+            if cached is not None:
+                cached[1].engine.store.close()
+
+    def test_failed_graph_load_keeps_old_warm_context(self, tmp_path):
+        import os
+
+        from repro.core.builder import build_gtree
+        from repro.graph.generators import connected_caveman
+        from repro.graph.io import write_json
+        from repro.service.executors import _WORKER_DATASETS, _worker_context
+        from repro.storage.gtree_store import GTreeStore, save_gtree
+
+        store_file = tmp_path / "w.gtree"
+        graph_file = tmp_path / "w.json"
+        graph_v1 = connected_caveman(3, 6, seed=1)
+        save_gtree(build_gtree(graph_v1, fanout=3, levels=2, seed=1), store_file)
+        write_json(graph_v1, graph_file)
+
+        def spec_for(fingerprint):
+            return DatasetExecSpec(
+                "w", fingerprint, store_path=str(store_file),
+                graph_path=str(graph_file), has_graph=True,
+            )
+
+        key = (str(store_file), str(graph_file))
+        try:
+            with GTreeStore(store_file) as probe:
+                fp_v1 = probe.fingerprint
+            warm = _worker_context(spec_for(fp_v1))
+            # Rebuild the store (new fingerprint) and corrupt the graph
+            # file, as a torn rebuild would.
+            graph_v2 = connected_caveman(4, 5, seed=2)
+            staging = tmp_path / "w2.gtree"
+            save_gtree(build_gtree(graph_v2, fanout=3, levels=2, seed=2), staging)
+            os.replace(staging, store_file)
+            with GTreeStore(store_file) as probe:
+                fp_v2 = probe.fingerprint
+            graph_file.write_text("{not json", encoding="utf-8")
+            with pytest.raises(Exception):
+                _worker_context(spec_for(fp_v2))
+            # The failed replacement must not have closed or evicted the
+            # old context: stale-fingerprint plans still find it warm.
+            again = _worker_context(spec_for(fp_v1))
+            assert again is warm
+            assert again.engine.store.fingerprint == fp_v1
+        finally:
+            cached = _WORKER_DATASETS.pop(key, None)
+            if cached is not None:
+                cached[1].engine.store.close()
+
+    def test_stale_plan_falls_back_to_parent(self, store_path, hot_leaf):
+        leaf, members = hot_leaf
+        rwr_spec = DEFAULT_REGISTRY.get("rwr")
+        plan = rwr_spec.plan(
+            rwr_spec.canonicalize(
+                {"sources": list(members), "community": leaf.label}
+            )
+        )
+        stale = DatasetExecSpec("dblp", "not-the-real-fp", store_path=str(store_path))
+        backend = ProcessBackend(workers=1)
+        try:
+            value = backend.run(stale, plan, lambda: "served-by-parent")
+            assert value == "served-by-parent"
+            stats = backend.stats()
+            assert stats["fallbacks"] == 1 and stats["shipped"] == 0
+            assert stats["errors"] == 0
+        finally:
+            backend.close()
+
+
 class TestWorkerErrors:
     def test_worker_errors_surface_as_typed_envelopes(self, store_path, hot_leaf):
         leaf, _ = hot_leaf
