@@ -17,11 +17,15 @@
 #   make bench-exec  — uncached RWR/metrics batches on the inline, thread
 #                      and process execution backends (speedup vs thread);
 #                      writes benchmarks/BENCH_exec.json
+#   make bench-kernels — prepared-vs-cold and blocked-vs-looped mining
+#                      kernel medians; writes benchmarks/BENCH_kernels.json
+#                      and FAILS if the prepared path is slower than cold
+#                      (the CI gate for the prepared-kernel layer)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check tier1 smoke serve-smoke bench-http bench-exec test-all test-slow
+.PHONY: check tier1 smoke serve-smoke bench-http bench-exec bench-kernels test-all test-slow
 
 check: tier1 smoke serve-smoke
 	@echo "check: tier-1 tests, service smoke and HTTP serve-smoke passed"
@@ -40,6 +44,9 @@ bench-http:
 
 bench-exec:
 	$(PYTHON) benchmarks/bench_exec_backends.py
+
+bench-kernels:
+	$(PYTHON) benchmarks/bench_kernels.py
 
 test-all:
 	$(PYTHON) -m pytest -q -m "slow or not slow"

@@ -39,6 +39,10 @@ class OpContext:
     """Everything a handler may touch, built by the service per compute."""
 
     engine: Any  # GMineEngine (kept untyped: the api layer never imports core)
+    #: Optional ``(scope, subgraph) -> PreparedGraph | None`` hook supplying
+    #: the venue's cached prepared view (parent: the DatasetHandle's cell;
+    #: process worker: its warm context).  ``None`` = always convert cold.
+    prepared_provider: Optional[Callable[[Any, Any], Any]] = None
 
     def community_subgraph(self, community):
         """Materialise a community's subgraph; ``None`` means widest scope."""
@@ -48,6 +52,12 @@ class OpContext:
                 return engine.graph
             return engine.community_subgraph(engine.tree.root.node_id)
         return engine.community_subgraph(community)
+
+    def prepared_for(self, scope, subgraph):
+        """The cached prepared view for a materialised scope, if any."""
+        if self.prepared_provider is None:
+            return None
+        return self.prepared_provider(scope, subgraph)
 
     def target(self, community):
         """Resolve ``None`` to the tree root for tree-addressed operations."""
@@ -161,7 +171,7 @@ def _run_planned(operation: str, ctx: OpContext, args: Mapping[str, Any]):
     identical results by construction.
     """
     plan = plan_for(operation, operation, args)
-    return run_plan(plan, ctx.community_subgraph)
+    return run_plan(plan, ctx.community_subgraph, ctx.prepared_for)
 
 
 def _run_metrics(ctx: OpContext, args: Mapping[str, Any]):

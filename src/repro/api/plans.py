@@ -21,12 +21,21 @@ inline and thread backends resolve the scope against the live dataset in
 the parent, the process backend resolves it against a store the worker
 pre-loaded by ``(path, fingerprint)``.  One code path, three venues —
 byte-identical results by construction.
+
+The optional ``resolve_prepared`` hook supplies each venue's cached
+:class:`~repro.graph.matrix.PreparedGraph` — the parent resolves it off
+the :class:`~repro.service.datasets.DatasetHandle`, process workers off
+their warm context — so widest-scope kernels skip the O(E)
+graph-to-matrix conversion entirely.  A prepared view never changes a
+result (bit-parity is the prepared layer's contract), it only skips work,
+which is why it is *not* part of the plan: plans stay pure descriptions
+of what to compute.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Mapping, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from ..errors import ServiceError
 from ..mining.connection_subgraph import extract_connection_subgraph
@@ -37,6 +46,26 @@ from ..mining.rwr import steady_state_rwr
 #: scope) to a materialised subgraph.  The parent backs this with the live
 #: engine; process workers back it with their pre-loaded store.
 ScopeResolver = Callable[[Any], Any]
+
+#: Prepared resolver signature: ``(scope, materialised subgraph)`` to the
+#: venue's cached :class:`~repro.graph.matrix.PreparedGraph`, or ``None``
+#: when the scope has no prepared view (community subgraphs, datasets
+#: without a full graph).
+PreparedResolver = Callable[[Any, Any], Any]
+
+
+def prepared_applies(scope: Any, subgraph: Any, graph: Any) -> bool:
+    """Whether a venue's cached prepared view may serve this kernel run.
+
+    The single source of truth for the gating rule — shared by the
+    parent's :meth:`~repro.service.datasets.DatasetHandle.prepared_provider`
+    and the process worker's provider, so the two venues can never drift
+    on *when* the prepared path applies: only at widest scope (``scope is
+    None``), and only when the kernel is really about to run on the
+    venue's full graph object (community subgraphs are fresh per request
+    and convert cold).
+    """
+    return scope is None and graph is not None and subgraph is graph
 
 
 @dataclass(frozen=True)
@@ -80,7 +109,7 @@ def plan_for(operation: str, kernel: str, canonical: Mapping[str, Any]) -> Compu
 # --------------------------------------------------------------------------- #
 # kernels: pure mining entry points keyed by name
 # --------------------------------------------------------------------------- #
-def _kernel_metrics(subgraph, args: Mapping[str, Any]):
+def _kernel_metrics(subgraph, args: Mapping[str, Any], prepared=None):
     signature = dict(args["metrics"])
     return compute_subgraph_metrics(
         subgraph,
@@ -88,40 +117,51 @@ def _kernel_metrics(subgraph, args: Mapping[str, Any]):
         pagerank_damping=signature["pagerank_damping"],
         top_k=signature["top_k"],
         seed=signature["seed"],
+        prepared=prepared,
     )
 
 
-def _kernel_rwr(subgraph, args: Mapping[str, Any]):
+def _kernel_rwr(subgraph, args: Mapping[str, Any], prepared=None):
     return steady_state_rwr(
         subgraph,
         args["sources"],
         restart_probability=args["restart_probability"],
         solver=args["solver"],
+        prepared=prepared,
     )
 
 
-def _kernel_connection_subgraph(subgraph, args: Mapping[str, Any]):
+def _kernel_connection_subgraph(subgraph, args: Mapping[str, Any], prepared=None):
     return extract_connection_subgraph(
         subgraph,
         args["sources"],
         budget=args["budget"],
         restart_probability=args["restart_probability"],
+        prepared=prepared,
     )
 
 
-#: Kernel name -> pure ``(subgraph, canonical args) -> rich result``.
-KERNELS: Dict[str, Callable[[Any, Mapping[str, Any]], Any]] = {
+#: Kernel name -> pure ``(subgraph, canonical args, prepared) -> rich
+#: result``.  ``prepared`` is the venue's cached
+#: :class:`~repro.graph.matrix.PreparedGraph` for the materialised scope
+#: (``None`` = convert cold); it never changes the result, only the cost.
+KERNELS: Dict[str, Callable[..., Any]] = {
     "metrics": _kernel_metrics,
     "rwr": _kernel_rwr,
     "connection_subgraph": _kernel_connection_subgraph,
 }
 
 
-def run_plan(plan: ComputePlan, resolve_scope: ScopeResolver) -> Any:
+def run_plan(
+    plan: ComputePlan,
+    resolve_scope: ScopeResolver,
+    resolve_prepared: Optional[PreparedResolver] = None,
+) -> Any:
     """Execute one plan: materialise its scope, run its kernel.
 
     This is the only way plans execute, in the parent or in a worker; the
-    venue differs solely in what ``resolve_scope`` is backed by.
+    venue differs solely in what ``resolve_scope`` (and, when given,
+    ``resolve_prepared``) is backed by.
     """
     try:
         kernel = KERNELS[plan.kernel]
@@ -130,4 +170,7 @@ def run_plan(plan: ComputePlan, resolve_scope: ScopeResolver) -> Any:
             f"plan for {plan.operation!r} names unknown kernel {plan.kernel!r}"
         ) from None
     subgraph = resolve_scope(plan.scope)
-    return kernel(subgraph, plan.arg_dict)
+    prepared = None
+    if resolve_prepared is not None:
+        prepared = resolve_prepared(plan.scope, subgraph)
+    return kernel(subgraph, plan.arg_dict, prepared)

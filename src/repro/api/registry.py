@@ -287,6 +287,10 @@ class OpSpec:
             "cost": self.cost,
             "scope": self.scope,
             "plannable": self.plannable,
+            # Every plannable op executes through run_plan, whose kernels
+            # all consume the venue's cached PreparedGraph at widest scope
+            # — so plan-ability and prepared-acceleration coincide.
+            "prepared": self.plannable,
             "args": [spec.describe() for spec in self.args],
         }
 

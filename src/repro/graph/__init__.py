@@ -29,6 +29,7 @@ from .io import (
     write_json,
 )
 from .matrix import (
+    PreparedGraph,
     VertexIndex,
     adjacency_matrix,
     combinatorial_laplacian,
@@ -53,6 +54,7 @@ __all__ = [
     "DiGraph",
     "Graph",
     "NodeId",
+    "PreparedGraph",
     "VertexIndex",
     "adjacency_matrix",
     "assert_valid_graph",

@@ -101,6 +101,41 @@ def degree_vector(adjacency: sparse.spmatrix) -> np.ndarray:
     return np.asarray(adjacency.sum(axis=1)).ravel()
 
 
+def _column_stochastic(
+    adjacency: sparse.spmatrix, degrees: np.ndarray
+) -> sparse.csr_matrix:
+    """Column-normalise an adjacency matrix into the RWR transition ``W``.
+
+    Shared by :func:`transition_matrix` (cold path) and
+    :class:`PreparedGraph` (warm path) so both produce bit-identical
+    matrices — the service's byte-parity guarantees depend on it.
+    """
+    with np.errstate(divide="ignore"):
+        inverse = np.where(degrees > 0, 1.0 / degrees, 0.0)
+    # Column-normalise: divide column j by degree(j).
+    scaling = sparse.diags(inverse)
+    return (adjacency @ scaling).tocsr()
+
+
+def pagerank_operator(
+    matrix: sparse.spmatrix,
+) -> Tuple[sparse.spmatrix, np.ndarray]:
+    """``(transition, dangling mask)`` exactly as PageRank derives them.
+
+    PageRank normalises by *column* sums of its matrix (out-weight) —
+    which for a symmetric adjacency equals the degree vector only up to
+    float summation order, so this derivation is its own helper rather
+    than reusing :func:`_column_stochastic`.  Shared by the cold path
+    (:func:`repro.mining.pagerank._pagerank_from_matrix`) and the warm
+    one (:meth:`PreparedGraph.pagerank_view`) so the two can never drift
+    off bit-parity.
+    """
+    out_weight = np.asarray(matrix.sum(axis=0)).ravel()
+    with np.errstate(divide="ignore"):
+        inv_out = np.where(out_weight > 0, 1.0 / out_weight, 0.0)
+    return matrix @ sparse.diags(inv_out), out_weight == 0
+
+
 def transition_matrix(
     graph: Graph, index: VertexIndex | None = None
 ) -> Tuple[sparse.csr_matrix, VertexIndex]:
@@ -113,12 +148,7 @@ def transition_matrix(
     """
     adjacency, index = adjacency_matrix(graph, index)
     degrees = degree_vector(adjacency)
-    with np.errstate(divide="ignore"):
-        inverse = np.where(degrees > 0, 1.0 / degrees, 0.0)
-    # Column-normalise: divide column j by degree(j).
-    scaling = sparse.diags(inverse)
-    transition = (adjacency @ scaling).tocsr()
-    return transition, index
+    return _column_stochastic(adjacency, degrees), index
 
 
 def normalized_laplacian(
@@ -156,3 +186,117 @@ def restart_vector(
         vector[index.index_of(node)] += 1.0
     vector /= vector.sum()
     return vector
+
+
+class PreparedGraph:
+    """An immutable, kernel-ready sparse view of one :class:`Graph`.
+
+    Every numeric kernel needs the same things rebuilt from the Python
+    adjacency dicts on every call today: a :class:`VertexIndex`, the CSR
+    adjacency, the degree vector, and (for walks) the column-stochastic
+    transition matrix.  A ``PreparedGraph`` pays that O(E) conversion
+    **once** and hands the kernels cheap derived views; the service layer
+    caches one instance per dataset fingerprint, so every warm query skips
+    the conversion entirely.
+
+    Correctness bar: every view is produced by exactly the same code path
+    the cold conversions use (:func:`adjacency_matrix`,
+    :func:`degree_vector`, :func:`_column_stochastic`,
+    :func:`restart_vector`), so a kernel fed a ``PreparedGraph`` returns
+    **bit-identical** results to one fed the raw graph.
+
+    Derived views are built lazily and memoised.  The benign race two
+    kernel threads can hit (both build the same deterministic view; one
+    assignment wins) is accepted on purpose — it keeps the instance free
+    of locks and therefore picklable.
+    """
+
+    def __init__(
+        self,
+        index: VertexIndex,
+        adjacency: sparse.csr_matrix,
+        fingerprint: str | None = None,
+    ) -> None:
+        self.index = index
+        self.adjacency = adjacency
+        #: Dataset fingerprint this preparation belongs to (cache key tag);
+        #: ``None`` for ad-hoc preparations outside the service layer.
+        self.fingerprint = fingerprint
+        self._degrees: np.ndarray | None = None
+        self._transition: sparse.csr_matrix | None = None
+        self._transition_csc: sparse.csc_matrix | None = None
+        self._reverse_transition: sparse.csr_matrix | None = None
+        self._pagerank_view: Tuple[sparse.csr_matrix, np.ndarray] | None = None
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        index: VertexIndex | None = None,
+        fingerprint: str | None = None,
+    ) -> "PreparedGraph":
+        """Prepare ``graph`` once: build the index and CSR adjacency."""
+        adjacency, index = adjacency_matrix(graph, index)
+        return cls(index=index, adjacency=adjacency, fingerprint=fingerprint)
+
+    # ------------------------------------------------------------------ #
+    # cheap derived views (lazy, memoised)
+    # ------------------------------------------------------------------ #
+    @property
+    def degrees(self) -> np.ndarray:
+        """Weighted degree vector (adjacency row sums)."""
+        if self._degrees is None:
+            self._degrees = degree_vector(self.adjacency)
+        return self._degrees
+
+    @property
+    def transition(self) -> sparse.csr_matrix:
+        """Column-stochastic RWR transition ``W`` (``W[i, j]``: j -> i)."""
+        if self._transition is None:
+            self._transition = _column_stochastic(self.adjacency, self.degrees)
+        return self._transition
+
+    @property
+    def transition_csc(self) -> sparse.csc_matrix:
+        """CSC view of :attr:`transition` (what the exact solver factorises)."""
+        if self._transition_csc is None:
+            self._transition_csc = self.transition.tocsc()
+        return self._transition_csc
+
+    @property
+    def reverse_transition(self) -> sparse.csr_matrix:
+        """Row-stochastic reverse-edge view ``W^T`` (CSR).
+
+        For the undirected graphs GMine mines, ``W^T = D^{-1} A`` is the
+        row-normalised walk operator — the matrix a *reverse* (incoming)
+        walk steps by, which directed proximity queries iterate.
+        """
+        if self._reverse_transition is None:
+            self._reverse_transition = self.transition.transpose().tocsr()
+        return self._reverse_transition
+
+    def pagerank_view(self) -> Tuple[sparse.csr_matrix, np.ndarray]:
+        """Memoised :func:`pagerank_operator` over this adjacency."""
+        if self._pagerank_view is None:
+            self._pagerank_view = pagerank_operator(self.adjacency)
+        return self._pagerank_view
+
+    def restart_vector(self, sources: Sequence[NodeId]) -> np.ndarray:
+        """Probability vector uniform over ``sources`` (see :func:`restart_vector`)."""
+        return restart_vector(self.index, sources)
+
+    # ------------------------------------------------------------------ #
+    # container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.index
+
+    def __repr__(self) -> str:
+        tag = f" fingerprint={self.fingerprint[:12]}…" if self.fingerprint else ""
+        return (
+            f"<PreparedGraph with {len(self.index)} vertices, "
+            f"{self.adjacency.nnz} stored entries{tag}>"
+        )

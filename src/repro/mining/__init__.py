@@ -58,6 +58,7 @@ from .rwr import (
     meeting_probability,
     per_source_rwr,
     rwr_exact,
+    rwr_power_block,
     rwr_power_iteration,
     steady_state_rwr,
 )
@@ -100,6 +101,7 @@ __all__ = [
     "pagerank_digraph",
     "per_source_rwr",
     "rwr_exact",
+    "rwr_power_block",
     "rwr_power_iteration",
     "steady_state_rwr",
     "strong_components",

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExtractionError
 from ..graph.graph import Graph, NodeId
+from ..graph.matrix import PreparedGraph
 from .rwr import goodness_scores, per_source_rwr
 
 
@@ -64,6 +65,7 @@ def extract_connection_subgraph(
     max_path_length: int = 6,
     solver: str = "power",
     degree_normalized: bool = True,
+    prepared: Optional[PreparedGraph] = None,
 ) -> ExtractionResult:
     """Extract a connection subgraph of at most ``budget`` vertices.
 
@@ -78,6 +80,10 @@ def extract_connection_subgraph(
     max_path_length:
         Maximum number of edges in any single important path added by the
         dynamic program.
+    prepared:
+        A :class:`~repro.graph.matrix.PreparedGraph` for ``graph``; the
+        per-source RWR goodness loop then runs blocked against the cached
+        transition matrix instead of rebuilding it per source.
     """
     sources = list(dict.fromkeys(sources))  # dedupe, keep order
     if not sources:
@@ -91,7 +97,8 @@ def extract_connection_subgraph(
         )
 
     per_source = per_source_rwr(
-        graph, sources, restart_probability=restart_probability, solver=solver
+        graph, sources, restart_probability=restart_probability, solver=solver,
+        prepared=prepared,
     )
     goodness = goodness_scores(graph, per_source, degree_normalized=degree_normalized)
 

@@ -27,7 +27,7 @@ from scipy.sparse.linalg import spsolve
 
 from ..errors import ExtractionError
 from ..graph.graph import Graph, NodeId
-from ..graph.matrix import VertexIndex, adjacency_matrix
+from ..graph.matrix import PreparedGraph, VertexIndex, adjacency_matrix
 
 
 @dataclass
@@ -53,13 +53,15 @@ def compute_voltages(
     target: NodeId,
     alpha: float = 1.0,
     grounding_fraction: float = 0.1,
+    prepared: Optional[PreparedGraph] = None,
 ) -> Dict[NodeId, float]:
     """Solve the electrical network for node voltages.
 
     ``source`` is fixed at 1, ``target`` at 0, and every other vertex leaks
     to ground through a conductance ``grounding_fraction * alpha * degree``
     (the universal-sink trick from the KDD'04 paper that keeps current on
-    short, high-conductance routes).
+    short, high-conductance routes).  ``prepared`` supplies the CSR
+    adjacency and degree vector without reconverting the graph.
     """
     if not graph.has_node(source):
         raise ExtractionError(f"source {source!r} is not in the graph")
@@ -68,9 +70,13 @@ def compute_voltages(
     if source == target:
         raise ExtractionError("delivered-current extraction needs distinct source/target")
 
-    adjacency, index = adjacency_matrix(graph)
+    if prepared is not None:
+        adjacency, index = prepared.adjacency, prepared.index
+        degrees = prepared.degrees
+    else:
+        adjacency, index = adjacency_matrix(graph)
+        degrees = np.asarray(adjacency.sum(axis=1)).ravel()
     n = len(index)
-    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
     ground = grounding_fraction * alpha * degrees
     # Laplacian with grounding on the diagonal.
     laplacian = sparse.diags(degrees + ground) - adjacency
@@ -111,6 +117,7 @@ def extract_delivered_current(
     alpha: float = 1.0,
     grounding_fraction: float = 0.1,
     max_paths: int = 200,
+    prepared: Optional[PreparedGraph] = None,
 ) -> DeliveredCurrentResult:
     """Extract a pairwise connection subgraph of at most ``budget`` vertices.
 
@@ -121,7 +128,8 @@ def extract_delivered_current(
     if budget < 2:
         raise ExtractionError("budget must allow at least the two query vertices")
     voltages = compute_voltages(
-        graph, source, target, alpha=alpha, grounding_fraction=grounding_fraction
+        graph, source, target, alpha=alpha, grounding_fraction=grounding_fraction,
+        prepared=prepared,
     )
     downhill = _downhill_edges(graph, voltages)
 

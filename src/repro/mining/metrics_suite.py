@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..graph.graph import DiGraph, Graph, NodeId
+from ..graph.matrix import PreparedGraph
 from .components import number_strong_components, number_weak_components
 from .degree import DegreeSummary, degree_distribution, degree_summary
 from .hops import effective_diameter, exact_diameter, hop_plot
@@ -72,12 +73,15 @@ def compute_subgraph_metrics(
     pagerank_damping: float = 0.85,
     top_k: int = 10,
     seed: Optional[int] = 0,
+    prepared: Optional[PreparedGraph] = None,
 ) -> SubgraphMetrics:
     """Compute the full GMine metric suite for ``graph``.
 
     ``hop_sample_size`` bounds the number of BFS sources used for the hop
     metrics (None = exact), which is how the interactive system keeps the
-    computation responsive on larger communities.
+    computation responsive on larger communities.  ``prepared`` routes the
+    PageRank leg through a pre-built sparse operator (the other four
+    metrics are pure graph traversals); results are bit-identical.
     """
     if graph.num_nodes == 0:
         empty_stats = degree_summary(graph)
@@ -92,7 +96,7 @@ def compute_subgraph_metrics(
             top_pagerank=[],
         )
     plot = hop_plot(graph, sample_size=hop_sample_size, seed=seed)
-    scores = pagerank(graph, damping=pagerank_damping)
+    scores = pagerank(graph, damping=pagerank_damping, prepared=prepared)
     return SubgraphMetrics(
         degree_histogram=degree_distribution(graph),
         degree_stats=degree_summary(graph),

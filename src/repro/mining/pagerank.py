@@ -12,17 +12,23 @@ from typing import Dict, Optional
 import numpy as np
 from scipy import sparse
 
-from ..errors import ConvergenceError
+from ..errors import ConvergenceError, MiningError
 from ..graph.graph import DiGraph, Graph, NodeId
-from ..graph.matrix import VertexIndex, adjacency_matrix
+from ..graph.matrix import (
+    PreparedGraph,
+    VertexIndex,
+    adjacency_matrix,
+    pagerank_operator,
+)
 
 
 def pagerank(
-    graph: Graph,
+    graph: Optional[Graph],
     damping: float = 0.85,
     tol: float = 1e-10,
     max_iter: int = 200,
     personalization: Optional[Dict[NodeId, float]] = None,
+    prepared: Optional[PreparedGraph] = None,
 ) -> Dict[NodeId, float]:
     """Return PageRank scores for an undirected graph.
 
@@ -32,7 +38,20 @@ def pagerank(
         Probability of following an edge (1 - restart probability).
     personalization:
         Optional restart distribution (vertex -> weight); uniform by default.
+    prepared:
+        A :class:`~repro.graph.matrix.PreparedGraph` for ``graph``; skips
+        the adjacency rebuild *and* reuses the cached column-normalised
+        operator (:meth:`PreparedGraph.pagerank_view`).  Bit-identical to
+        the cold path.
     """
+    if prepared is not None:
+        transition, dangling = prepared.pagerank_view()
+        return _pagerank_power(
+            transition, dangling, prepared.index,
+            damping, tol, max_iter, personalization,
+        )
+    if graph is None:
+        raise MiningError("pagerank requires a graph when no prepared= is given")
     matrix, index = adjacency_matrix(graph)
     return _pagerank_from_matrix(matrix, index, damping, tol, max_iter, personalization)
 
@@ -68,14 +87,27 @@ def _pagerank_from_matrix(
     personalization: Optional[Dict[NodeId, float]],
 ) -> Dict[NodeId, float]:
     """Shared power-iteration core; ``matrix[i, j]`` is weight of j -> i."""
+    if len(index) == 0:
+        return {}
+    transition, dangling = pagerank_operator(matrix)
+    return _pagerank_power(
+        transition, dangling, index, damping, tol, max_iter, personalization
+    )
+
+
+def _pagerank_power(
+    transition: sparse.spmatrix,
+    dangling: np.ndarray,
+    index: VertexIndex,
+    damping: float,
+    tol: float,
+    max_iter: int,
+    personalization: Optional[Dict[NodeId, float]],
+) -> Dict[NodeId, float]:
+    """Power iteration over an already-normalised operator."""
     n = len(index)
     if n == 0:
         return {}
-    out_weight = np.asarray(matrix.sum(axis=0)).ravel()
-    with np.errstate(divide="ignore"):
-        inv_out = np.where(out_weight > 0, 1.0 / out_weight, 0.0)
-    transition = matrix @ sparse.diags(inv_out)
-    dangling = out_weight == 0
 
     if personalization is None:
         restart = np.full(n, 1.0 / n)

@@ -12,6 +12,13 @@ needs constantly:
   path extraction),
 * :func:`common_neighbors`, :func:`jaccard_similarity`, :func:`adamic_adar`
   — cheap structural baselines the RWR scores can be compared against.
+
+Every RWR-backed query accepts ``prepared=`` and — the important part —
+the multi-walk queries (:func:`proximity`'s bidirectional pair,
+:func:`pairwise_proximity_matrix`'s all-pairs set) build **one**
+:class:`~repro.graph.matrix.PreparedGraph` and run all their walks as one
+blocked solve, instead of re-deriving the vertex index and transition
+matrix once per :func:`rwr_power_iteration` call as they used to.
 """
 
 from __future__ import annotations
@@ -21,7 +28,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import MiningError
 from ..graph.graph import Graph, NodeId
-from .rwr import rwr_power_iteration
+from ..graph.matrix import PreparedGraph
+from .rwr import rwr_power_block, rwr_power_iteration
+
+
+def _prepare(graph: Optional[Graph], prepared: Optional[PreparedGraph]) -> PreparedGraph:
+    """Return the caller's prepared view, or build one for this query."""
+    if prepared is not None:
+        return prepared
+    if graph is None:
+        raise MiningError("proximity requires a graph when no prepared= is given")
+    return PreparedGraph.from_graph(graph)
 
 
 def top_k_related(
@@ -30,6 +47,7 @@ def top_k_related(
     k: int = 10,
     restart_probability: float = 0.15,
     exclude_neighbors: bool = False,
+    prepared: Optional[PreparedGraph] = None,
 ) -> List[Tuple[NodeId, float]]:
     """Return the ``k`` vertices most related to ``source`` by RWR score.
 
@@ -39,7 +57,9 @@ def top_k_related(
     """
     if k < 1:
         raise MiningError(f"k must be >= 1, got {k}")
-    result = rwr_power_iteration(graph, [source], restart_probability=restart_probability)
+    result = rwr_power_iteration(
+        graph, [source], restart_probability=restart_probability, prepared=prepared
+    )
     excluded = {source}
     if exclude_neighbors:
         excluded.update(graph.neighbors(source))
@@ -56,18 +76,29 @@ def proximity(
     target: NodeId,
     restart_probability: float = 0.15,
     symmetric: bool = True,
+    prepared: Optional[PreparedGraph] = None,
 ) -> float:
     """Return the RWR proximity between two vertices.
 
     With ``symmetric`` (default) the geometric mean of the two directed
     scores is returned, which is the usual symmetrisation for undirected
-    relevance.
+    relevance.  Both directed walks share one prepared transition matrix
+    and run as a single blocked solve.
     """
-    forward = rwr_power_iteration(graph, [source], restart_probability=restart_probability)
-    score_forward = forward.scores.get(target, 0.0)
     if not symmetric:
-        return score_forward
-    backward = rwr_power_iteration(graph, [target], restart_probability=restart_probability)
+        forward = rwr_power_iteration(
+            graph, [source], restart_probability=restart_probability,
+            prepared=prepared,
+        )
+        return forward.scores.get(target, 0.0)
+    shared = _prepare(graph, prepared)
+    forward, backward = rwr_power_block(
+        graph,
+        [[source], [target]],
+        restart_probability=restart_probability,
+        prepared=shared,
+    )
+    score_forward = forward.scores.get(target, 0.0)
     score_backward = backward.scores.get(source, 0.0)
     return math.sqrt(max(score_forward, 0.0) * max(score_backward, 0.0))
 
@@ -76,19 +107,26 @@ def pairwise_proximity_matrix(
     graph: Graph,
     vertices: Sequence[NodeId],
     restart_probability: float = 0.15,
+    prepared: Optional[PreparedGraph] = None,
 ) -> Dict[Tuple[NodeId, NodeId], float]:
     """Return symmetric RWR proximities for every pair of ``vertices``.
 
     Runs one RWR per vertex (not per pair), so the cost is linear in the
-    number of query vertices.
+    number of query vertices — and all of them run as one blocked solve
+    over one shared :class:`~repro.graph.matrix.PreparedGraph`, so the
+    vertex index and transition matrix are derived exactly once.
     """
     vertices = list(dict.fromkeys(vertices))
     if len(vertices) < 2:
         raise MiningError("pairwise proximity needs at least two distinct vertices")
-    distributions = {
-        vertex: rwr_power_iteration(graph, [vertex], restart_probability=restart_probability)
-        for vertex in vertices
-    }
+    shared = _prepare(graph, prepared)
+    solved = rwr_power_block(
+        graph,
+        [[vertex] for vertex in vertices],
+        restart_probability=restart_probability,
+        prepared=shared,
+    )
+    distributions = dict(zip(vertices, solved))
     matrix: Dict[Tuple[NodeId, NodeId], float] = {}
     for i, a in enumerate(vertices):
         for b in vertices[i + 1:]:
@@ -131,9 +169,12 @@ def rank_candidates_by_proximity(
     source: NodeId,
     candidates: Sequence[NodeId],
     restart_probability: float = 0.15,
+    prepared: Optional[PreparedGraph] = None,
 ) -> List[Tuple[NodeId, float]]:
     """Rank ``candidates`` by their RWR score from ``source`` (descending)."""
-    result = rwr_power_iteration(graph, [source], restart_probability=restart_probability)
+    result = rwr_power_iteration(
+        graph, [source], restart_probability=restart_probability, prepared=prepared
+    )
     ranked = sorted(
         ((candidate, result.scores.get(candidate, 0.0)) for candidate in candidates),
         key=lambda pair: (-pair[1], repr(pair[0])),

@@ -32,10 +32,12 @@ content fingerprint, which is what :meth:`ResultCache.invalidate_fingerprint`
 from __future__ import annotations
 
 import logging
+import os
 import pickle
 import sqlite3
 import threading
 import time
+import uuid
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -90,18 +92,19 @@ class CacheStats:
     evictions: int = 0
     expirations: int = 0
     coalesced: int = 0  # waiters that piggybacked on an in-flight computation
+    adopted: int = 0  # results taken over from another *process*'s computation
 
     @property
     def accesses(self) -> int:
-        """Total lookups (hits + misses + coalesced waits)."""
-        return self.hits + self.misses + self.coalesced
+        """Total lookups (hits + misses + coalesced/adopted waits)."""
+        return self.hits + self.misses + self.coalesced + self.adopted
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups that avoided a fresh computation."""
         if self.accesses == 0:
             return 0.0
-        return (self.hits + self.coalesced) / self.accesses
+        return (self.hits + self.coalesced + self.adopted) / self.accesses
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten to JSON-friendly primitives (for the CLI and reports)."""
@@ -111,6 +114,7 @@ class CacheStats:
             "evictions": self.evictions,
             "expirations": self.expirations,
             "coalesced": self.coalesced,
+            "adopted": self.adopted,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -121,6 +125,7 @@ class CacheStats:
         self.evictions = 0
         self.expirations = 0
         self.coalesced = 0
+        self.adopted = 0
 
 
 # --------------------------------------------------------------------------- #
@@ -135,9 +140,26 @@ class CacheStore:
     clock — the memory store takes an injectable (monotonic) one, the
     SQLite store uses wall-clock time because its expiries must survive
     process restarts.
+
+    Stores shared across processes may additionally advertise
+    ``supports_claims`` and implement :meth:`try_claim` /
+    :meth:`release_claim`, the cross-process single-flight primitive
+    :class:`ResultCache` uses so two *processes* never compute the same
+    entry twice.
     """
 
     kind = "base"
+
+    #: Whether this store implements the cross-process claim protocol.
+    supports_claims = False
+
+    def try_claim(self, key: Hashable, owner: str) -> bool:
+        """Claim the right to compute ``key``; ``True`` when acquired."""
+        raise NotImplementedError
+
+    def release_claim(self, key: Hashable, owner: str) -> None:
+        """Release a claim previously acquired by ``owner`` (idempotent)."""
+        raise NotImplementedError
 
     def get(self, key: Hashable, touch: bool = True) -> Tuple[str, Any]:
         raise NotImplementedError
@@ -269,12 +291,20 @@ class SQLiteCacheStore(CacheStore):
     the existed/insert/evict trio in :meth:`put`, the touch in
     :meth:`get` — runs inside one ``BEGIN IMMEDIATE`` transaction, so two
     processes can neither assign duplicate sequence numbers nor interleave
-    eviction accounting.  Single-flight dedup stays per-process — two
-    *processes* may compute the same entry once each, after which both
-    share the stored row.
+    eviction accounting.
+
+    **Cross-process single-flight.**  A ``claims`` table holds one row per
+    in-flight computation: before computing a missing entry, a process
+    inserts (inside ``BEGIN IMMEDIATE``, so claims serialise with puts) a
+    claim row for the key; losers of that race poll the results table and
+    adopt the winner's value instead of recomputing.  A claim older than
+    ``claim_timeout`` is presumed orphaned (its owner crashed mid-compute)
+    and is stolen.  Claim traffic is counted — acquired / waited-on /
+    stolen — and surfaced through :meth:`describe` into ``/v1/stats``.
     """
 
     kind = "sqlite"
+    supports_claims = True
 
     _SCHEMA = """
     CREATE TABLE IF NOT EXISTS results (
@@ -289,6 +319,11 @@ class SQLiteCacheStore(CacheStore):
         ON results (fingerprint);
     CREATE INDEX IF NOT EXISTS idx_results_last_used
         ON results (last_used);
+    CREATE TABLE IF NOT EXISTS claims (
+        key        TEXT PRIMARY KEY,
+        owner      TEXT NOT NULL,
+        claimed_at REAL NOT NULL
+    );
     """
 
     def __init__(
@@ -296,12 +331,29 @@ class SQLiteCacheStore(CacheStore):
         path: Union[str, Path],
         capacity: int = 4096,
         clock: Callable[[], float] = time.time,
+        claim_timeout: float = 120.0,
+        claim_poll_interval: float = 0.05,
     ) -> None:
         if capacity < 1:
             raise ServiceError(f"cache store capacity must be >= 1, got {capacity}")
+        if claim_timeout <= 0:
+            raise ServiceError(f"claim timeout must be positive, got {claim_timeout}")
+        if claim_poll_interval <= 0:
+            raise ServiceError(
+                f"claim poll interval must be positive, got {claim_poll_interval}"
+            )
         self.path = Path(path)
         self.capacity = capacity
+        #: Seconds after which an unreleased claim is presumed orphaned.
+        #: Must exceed the slowest honest kernel; a stolen live claim only
+        #: costs a duplicate computation, never a wrong answer.
+        self.claim_timeout = claim_timeout
+        #: How often claim losers re-poll for the winner's value.
+        self.claim_poll_interval = claim_poll_interval
         self._clock = clock
+        self._claims_acquired = 0
+        self._claims_stolen = 0
+        self._claim_waits = 0
         self._lock = threading.Lock()
         # Autocommit: single statements are atomic on their own, and the
         # multi-statement read-modify-write paths open explicit BEGIN
@@ -435,6 +487,57 @@ class SQLiteCacheStore(CacheStore):
             )
             return cursor.rowcount
 
+    # ------------------------------------------------------------------ #
+    # cross-process single-flight claims
+    # ------------------------------------------------------------------ #
+    def try_claim(self, key: Hashable, owner: str) -> bool:
+        """Claim ``key`` for ``owner``; ``True`` when this process may compute.
+
+        Runs inside ``BEGIN IMMEDIATE`` so two processes racing for the
+        same key serialise on SQLite's write lock: exactly one insert
+        wins.  A claim whose ``claimed_at`` is older than
+        :attr:`claim_timeout` is stolen (counted in ``claims_stolen``);
+        re-claiming one's own key refreshes the stamp instead of failing,
+        so a retry loop can never deadlock on itself.
+        """
+        text = repr(key)
+        now = self._clock()
+        with self._lock, self._txn():
+            row = self._conn.execute(
+                "SELECT owner, claimed_at FROM claims WHERE key = ?", (text,)
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO claims (key, owner, claimed_at) VALUES (?, ?, ?)",
+                    (text, owner, now),
+                )
+                self._claims_acquired += 1
+                return True
+            held_by, claimed_at = row
+            if held_by == owner or claimed_at <= now - self.claim_timeout:
+                self._conn.execute(
+                    "UPDATE claims SET owner = ?, claimed_at = ? WHERE key = ?",
+                    (owner, now, text),
+                )
+                self._claims_acquired += 1
+                if held_by != owner:
+                    self._claims_stolen += 1
+                return True
+            return False
+
+    def release_claim(self, key: Hashable, owner: str) -> None:
+        """Drop ``owner``'s claim on ``key`` (no-op if stolen meanwhile)."""
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM claims WHERE key = ? AND owner = ?",
+                (repr(key), owner),
+            )
+
+    def note_claim_wait(self) -> None:
+        """Count one adopted computation (this process waited, not worked)."""
+        with self._lock:
+            self._claim_waits += 1
+
     def close(self) -> None:
         with self._lock:
             try:
@@ -449,6 +552,16 @@ class SQLiteCacheStore(CacheStore):
     def describe(self) -> Dict[str, Any]:
         payload = super().describe()
         payload["path"] = str(self.path)
+        with self._lock:
+            active = self._conn.execute(
+                "SELECT COUNT(*) FROM claims"
+            ).fetchone()[0]
+            payload["claims"] = {
+                "acquired": self._claims_acquired,
+                "waited": self._claim_waits,
+                "stolen": self._claims_stolen,
+                "active": active,
+            }
         return payload
 
 
@@ -500,6 +613,10 @@ class ResultCache:
         self._stats_lock = threading.Lock()
         self._flight_lock = threading.Lock()
         self._inflight: Dict[Hashable, _InFlight] = {}
+        # Claim identity for cross-process single-flight.  One token per
+        # cache instance is enough: the per-process flight table already
+        # guarantees at most one thread per key reaches the claim protocol.
+        self._claim_owner = f"{os.getpid()}:{uuid.uuid4().hex[:12]}"
 
     def __len__(self) -> int:
         return len(self.store)
@@ -563,10 +680,21 @@ class ResultCache:
                 self.stats.coalesced += 1
             return flight.value
 
-        # This thread owns the computation.
+        # This thread owns the computation (within this process).  With a
+        # claim-capable (cross-process) store it must first win the claim
+        # for the key — or adopt the value a peer process computed.
+        claimed = False
+        adopted = False
         try:
-            value = compute()
+            if self.store.supports_claims:
+                mode, value = self._claim_or_adopt(key)
+                claimed = mode == "claimed"
+                adopted = mode == "adopted"
+            if not adopted:
+                value = compute()
         except BaseException as error:
+            if claimed:
+                self._release_claim(key)
             flight.error = error
             with self._flight_lock:
                 self._inflight.pop(key, None)
@@ -579,28 +707,94 @@ class ResultCache:
         # full disk) must not fail the request — and above all must not
         # strand the in-flight entry, which would hang every future caller
         # for this key on flight.done.wait().  The finally block publishes
-        # the value and releases the flight even when a BaseException
+        # the value and releases the flight (and the cross-process claim —
+        # after the put, so a peer can never observe claim-gone while the
+        # value is still missing) even when a BaseException
         # (KeyboardInterrupt during a blocked put) escapes the guard.
         evicted = 0
         try:
-            try:
-                evicted = self.store.put(
-                    key, fingerprint_of_key(key), value, self.ttl
-                )
-            except Exception:  # noqa: BLE001 — residency failure, value is good
-                logger.warning(
-                    "cache store put failed; serving uncached value for %r",
-                    key, exc_info=True,
-                )
+            if not adopted:
+                try:
+                    evicted = self.store.put(
+                        key, fingerprint_of_key(key), value, self.ttl
+                    )
+                except Exception:  # noqa: BLE001 — residency failure, value is good
+                    logger.warning(
+                        "cache store put failed; serving uncached value for %r",
+                        key, exc_info=True,
+                    )
         finally:
+            if claimed:
+                self._release_claim(key)
             with self._stats_lock:
-                self.stats.misses += 1
+                if adopted:
+                    self.stats.adopted += 1
+                else:
+                    self.stats.misses += 1
                 self.stats.evictions += evicted
             with self._flight_lock:
                 self._inflight.pop(key, None)
             flight.value = value
             flight.done.set()
         return value
+
+    def _claim_or_adopt(self, key: Hashable):
+        """Win the cross-process claim for ``key``, or adopt a peer's value.
+
+        Returns ``(mode, value)``: ``("claimed", None)`` when this process
+        holds the claim and must compute, ``("adopted", value)`` when
+        another process computed the entry while we waited, and
+        ``("unclaimed", None)`` when the claim protocol itself failed —
+        the caller then computes *without* a claim, because dedup is an
+        optimisation and a broken coordination store must never fail (or
+        stall) a request the kernel could serve.
+
+        Because the winner stores its value before releasing its claim, a
+        released claim with no stored value means the previous owner
+        failed — in which case re-claiming and recomputing is exactly
+        right.  A claim held longer than the store's ``claim_timeout`` is
+        presumed orphaned (owner crashed) and stolen by ``try_claim``.
+        """
+        store = self.store
+        owner = self._claim_owner
+        poll = getattr(store, "claim_poll_interval", 0.05)
+        waited = False
+        try:
+            while True:
+                if store.try_claim(key, owner):
+                    # The claim may have been acquired just after a peer
+                    # released theirs: re-check residency before working.
+                    status, value = store.get(key, touch=False)
+                    if status == "hit":
+                        self._release_claim(key)
+                        if waited:
+                            store.note_claim_wait()
+                        return "adopted", value
+                    return "claimed", None
+                # Another process owns the computation: poll for its result.
+                waited = True
+                time.sleep(poll)
+                status, value = store.get(key, touch=False)
+                if status == "hit":
+                    store.note_claim_wait()
+                    return "adopted", value
+        except Exception:  # noqa: BLE001 — coordination failure, not compute
+            logger.warning(
+                "cross-process claim protocol failed for %r; "
+                "computing without dedup", key, exc_info=True,
+            )
+            # We may have just won the claim before the failure (e.g. the
+            # residency re-check raised): release best-effort so peers do
+            # not stall on an orphan row until claim_timeout.
+            self._release_claim(key)
+            return "unclaimed", None
+
+    def _release_claim(self, key: Hashable) -> None:
+        """Drop this process's claim; never let release failure mask a result."""
+        try:
+            self.store.release_claim(key, self._claim_owner)
+        except Exception:  # noqa: BLE001 — a stuck row only delays peers
+            logger.warning("cache claim release failed for %r", key, exc_info=True)
 
     def peek(self, key: Hashable) -> Any:
         """Return the cached value without recording a hit; KeyError on miss."""

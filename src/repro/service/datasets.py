@@ -27,20 +27,48 @@ of the service proper gives the lifecycle a seam of its own:
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
+from ..api.plans import prepared_applies
 from ..api.registry import CanonicalizationContext
 from ..core.engine import GMineEngine
 from ..core.gtree import GTree
 from ..errors import DatasetNotFoundError, ServiceError
 from ..graph.graph import Graph
 from ..graph.io import load_graph_auto
+from ..graph.matrix import PreparedGraph
 from ..storage.gtree_store import GTreeStore
 from .executors import DatasetExecSpec
 
 DEFAULT_DATASET = "default"
+
+
+class _PreparedCell:
+    """One lazily built, thread-safe :class:`PreparedGraph` slot.
+
+    Lives on a :class:`DatasetHandle`, which is an immutable snapshot of
+    one dataset state — so the cell's lifetime *is* the invalidation
+    policy: a hot-reload swaps in a replacement handle with a fresh,
+    empty cell, and the old preparation retires with the old handle.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._prepared: Optional[PreparedGraph] = None
+
+    def get(self, graph: Graph, fingerprint: str) -> PreparedGraph:
+        with self._lock:
+            if self._prepared is None:
+                self._prepared = PreparedGraph.from_graph(
+                    graph, fingerprint=fingerprint
+                )
+            return self._prepared
+
+    @property
+    def ready(self) -> bool:
+        return self._prepared is not None
 
 
 class DatasetContext(CanonicalizationContext):
@@ -76,6 +104,11 @@ class DatasetHandle:
     owns_store: bool = False
     graph_path: Optional[str] = None
     context: Optional[DatasetContext] = None
+    # Per-handle PreparedGraph slot (excluded from comparison/repr: it is
+    # a cache, not part of the dataset's identity).
+    prepared_cell: _PreparedCell = field(
+        default_factory=_PreparedCell, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.context is None:
@@ -85,6 +118,28 @@ class DatasetHandle:
     def store_path(self) -> Optional[str]:
         """The backing store file, when this dataset has one."""
         return None if self.store is None else str(self.store.path)
+
+    def prepared_graph(self) -> Optional[PreparedGraph]:
+        """The dataset's widest-scope :class:`PreparedGraph` (built once).
+
+        Only datasets served with a full graph have one — the widest scope
+        of a store-only dataset is re-materialised per request and has no
+        stable identity to prepare against.
+        """
+        if self.graph is None:
+            return None
+        return self.prepared_cell.get(self.graph, self.fingerprint)
+
+    def prepared_provider(self, scope: Any, subgraph: Any) -> Optional[PreparedGraph]:
+        """The :class:`~repro.api.ops.OpContext` hook for this handle.
+
+        Hands out the cached preparation only where
+        :func:`~repro.api.plans.prepared_applies` says it may serve: the
+        kernel really running on this handle's full graph at widest scope.
+        """
+        if not prepared_applies(scope, subgraph, self.graph):
+            return None
+        return self.prepared_graph()
 
     @property
     def kind(self) -> str:
@@ -115,6 +170,7 @@ class DatasetHandle:
             "store_path": self.store_path,
             "graph_path": self.graph_path,
             "tree_nodes": self.tree.num_tree_nodes,
+            "prepared": self.prepared_cell.ready,
         }
 
 

@@ -38,7 +38,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
-from ..api.plans import ComputePlan, run_plan
+from ..api.plans import ComputePlan, prepared_applies, run_plan
 from ..errors import ServiceError
 
 logger = logging.getLogger(__name__)
@@ -195,6 +195,40 @@ class ThreadBackend(ExecutionBackend):
 _WORKER_DATASETS: Dict[Tuple[str, Optional[str]], Tuple[str, Any]] = {}
 
 
+class _WorkerPrepared:
+    """A worker's :class:`~repro.graph.matrix.PreparedGraph` slot.
+
+    One per warm dataset context, mirroring the parent's per-handle cell:
+    built once (eagerly at warm time, lazily on the first plan otherwise)
+    and handed to kernels only for widest-scope plans over the context's
+    full graph.  Dies with the context on fingerprint change, so a
+    hot-reloaded dataset is re-prepared exactly once per worker.
+
+    Workers execute one task at a time, so no lock is needed — which also
+    keeps the context it lives on simple.
+    """
+
+    def __init__(self, graph, fingerprint: str) -> None:
+        self._graph = graph
+        self._fingerprint = fingerprint
+        self._prepared = None
+
+    def prepare(self) -> None:
+        """Build the prepared view now (called by the warm task)."""
+        if self._graph is not None and self._prepared is None:
+            from ..graph.matrix import PreparedGraph
+
+            self._prepared = PreparedGraph.from_graph(
+                self._graph, fingerprint=self._fingerprint
+            )
+
+    def __call__(self, scope, subgraph):
+        if not prepared_applies(scope, subgraph, self._graph):
+            return None
+        self.prepare()
+        return self._prepared
+
+
 def _worker_context(spec: DatasetExecSpec):
     """Return (creating if needed) this worker's resolver for ``spec``.
 
@@ -229,7 +263,8 @@ def _worker_context(spec: DatasetExecSpec):
     try:
         graph = load_graph_auto(spec.graph_path) if spec.graph_path else None
         context = OpContext(
-            engine=GMineEngine(tree=store.tree, graph=graph, store=store)
+            engine=GMineEngine(tree=store.tree, graph=graph, store=store),
+            prepared_provider=_WorkerPrepared(graph, spec.fingerprint),
         )
     except Exception:
         store.close()
@@ -245,8 +280,15 @@ def _worker_context(spec: DatasetExecSpec):
 
 
 def _process_warm(spec: DatasetExecSpec) -> str:
-    """Pre-load one dataset in this worker; returns its fingerprint."""
-    return _worker_context(spec).engine.store.fingerprint
+    """Pre-load one dataset in this worker; returns its fingerprint.
+
+    Warming opens the store *and* builds the dataset's
+    :class:`~repro.graph.matrix.PreparedGraph`, so the first real plan pays
+    neither the file open nor the O(E) matrix conversion.
+    """
+    context = _worker_context(spec)
+    context.prepared_provider.prepare()
+    return context.engine.store.fingerprint
 
 
 def _log_warm_failure(future) -> None:
@@ -267,7 +309,7 @@ def _log_warm_failure(future) -> None:
 def _process_execute(spec: DatasetExecSpec, plan: ComputePlan) -> Any:
     """Run one plan in this worker against its warm dataset context."""
     context = _worker_context(spec)
-    return run_plan(plan, context.community_subgraph)
+    return run_plan(plan, context.community_subgraph, context.prepared_for)
 
 
 def _pick_mp_context():

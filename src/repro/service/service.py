@@ -613,7 +613,13 @@ class GMineService:
         """
 
         def local() -> Any:
-            return spec.handler(OpContext(engine=handle.make_engine()), canonical)
+            return spec.handler(
+                OpContext(
+                    engine=handle.make_engine(),
+                    prepared_provider=handle.prepared_provider,
+                ),
+                canonical,
+            )
 
         if spec.planner is None or spec.cost != "expensive":
             return local()

@@ -1,0 +1,227 @@
+"""Cross-process single-flight: the SQLite claim protocol.
+
+Two *processes* sharing one ``--cache-path`` file must never compute the
+same entry twice: the first to claim a key computes, every other process
+polls the shared store and adopts the winner's value.  Simulated here with
+two :class:`SQLiteCacheStore` instances over one file — exactly what two
+OS processes look like to SQLite — driven from separate threads.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.cache import ResultCache, SQLiteCacheStore
+
+pytestmark = pytest.mark.tier1
+
+KEY = ("fingerprint", "rwr", ("sources", (1, 2)))
+
+
+@pytest.fixture
+def cache_file(tmp_path):
+    return tmp_path / "claims.db"
+
+
+def _cache(path, **kwargs):
+    kwargs.setdefault("claim_poll_interval", 0.01)
+    return ResultCache(store=SQLiteCacheStore(path, **kwargs))
+
+
+class TestClaimProtocol:
+    def test_try_claim_is_exclusive_until_released(self, cache_file):
+        store = SQLiteCacheStore(cache_file)
+        peer = SQLiteCacheStore(cache_file)
+        try:
+            assert store.try_claim(KEY, "owner-a")
+            assert not peer.try_claim(KEY, "owner-b")
+            assert store.try_claim(KEY, "owner-a"), "re-claiming own key refreshes"
+            store.release_claim(KEY, "owner-a")
+            assert peer.try_claim(KEY, "owner-b")
+        finally:
+            store.close()
+            peer.close()
+
+    def test_release_is_scoped_to_owner(self, cache_file):
+        store = SQLiteCacheStore(cache_file)
+        try:
+            assert store.try_claim(KEY, "owner-a")
+            store.release_claim(KEY, "owner-b")  # someone else's release: no-op
+            assert not store.try_claim(KEY, "owner-b")
+        finally:
+            store.close()
+
+    def test_stale_claims_are_stolen(self, cache_file):
+        store = SQLiteCacheStore(cache_file, claim_timeout=0.05)
+        try:
+            assert store.try_claim(KEY, "crashed-process")
+            time.sleep(0.1)
+            assert store.try_claim(KEY, "survivor")
+            assert store.describe()["claims"]["stolen"] == 1
+        finally:
+            store.close()
+
+    def test_claim_knobs_must_be_positive(self, cache_file):
+        with pytest.raises(ServiceError):
+            SQLiteCacheStore(cache_file, claim_timeout=0)
+        with pytest.raises(ServiceError):
+            SQLiteCacheStore(cache_file, claim_poll_interval=0)
+        with pytest.raises(ServiceError):
+            SQLiteCacheStore(cache_file, claim_poll_interval=-0.5)
+
+
+class TestCrossProcessSingleFlight:
+    def test_second_process_adopts_instead_of_recomputing(self, cache_file):
+        first = _cache(cache_file)
+        second = _cache(cache_file)
+        computes = []
+        computing = threading.Event()
+
+        def slow():
+            computes.append("first")
+            computing.set()
+            time.sleep(0.25)
+            return "the-answer"
+
+        def never():
+            computes.append("second")
+            return "the-answer"
+
+        results = {}
+        worker = threading.Thread(
+            target=lambda: results.setdefault("first", first.get_or_compute(KEY, slow))
+        )
+        try:
+            worker.start()
+            computing.wait(timeout=5)
+            results["second"] = second.get_or_compute(KEY, never)
+            worker.join(timeout=5)
+
+            assert computes == ["first"], "the peer recomputed a claimed entry"
+            assert results["first"] == results["second"] == "the-answer"
+            assert second.stats.adopted == 1
+            assert second.stats.misses == 0
+            claims = second.store.describe()["claims"]
+            assert claims["waited"] == 1
+            assert claims["active"] == 0, "claims must not leak"
+        finally:
+            worker.join(timeout=5)
+            first.close()
+            second.close()
+
+    def test_failed_computation_releases_the_claim(self, cache_file):
+        first = _cache(cache_file)
+        second = _cache(cache_file)
+        try:
+            with pytest.raises(RuntimeError):
+                first.get_or_compute(KEY, self._boom)
+            assert first.store.describe()["claims"]["active"] == 0
+            # The peer is now free to compute (and does).
+            assert second.get_or_compute(KEY, lambda: 99) == 99
+            assert second.stats.misses == 1
+        finally:
+            first.close()
+            second.close()
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("kernel exploded")
+
+    def test_adoption_counts_into_hit_rate(self, cache_file):
+        first = _cache(cache_file)
+        second = _cache(cache_file)
+        computing = threading.Event()
+
+        def slow():
+            computing.set()
+            time.sleep(0.2)
+            return 1
+
+        worker = threading.Thread(target=lambda: first.get_or_compute(KEY, slow))
+        try:
+            worker.start()
+            computing.wait(timeout=5)
+            second.get_or_compute(KEY, lambda: 1)
+            worker.join(timeout=5)
+            assert second.stats.hit_rate == 1.0
+            assert second.stats.accesses == 1
+        finally:
+            worker.join(timeout=5)
+            first.close()
+            second.close()
+
+    def test_memory_store_is_unaffected_by_claim_protocol(self):
+        cache = ResultCache(capacity=8)
+        assert not cache.store.supports_claims
+        assert cache.get_or_compute(KEY, lambda: "plain") == "plain"
+        assert cache.stats.misses == 1 and cache.stats.adopted == 0
+
+    def test_broken_claim_protocol_degrades_to_local_compute(self, cache_file):
+        """Dedup is an optimisation: a failing coordination store must not
+        fail (or stall) a request the kernel could serve."""
+        cache = _cache(cache_file)
+        try:
+            def explode(key, owner):
+                raise RuntimeError("database is locked")
+
+            cache.store.try_claim = explode
+            assert cache.get_or_compute(KEY, lambda: "served-anyway") == (
+                "served-anyway"
+            )
+            assert cache.stats.misses == 1
+            # The value still reached residency despite the claim failure.
+            assert cache.store.get(KEY, touch=False) == ("hit", "served-anyway")
+        finally:
+            cache.close()
+
+    def test_claim_won_but_recheck_fails_releases_the_claim(self, cache_file):
+        """A failure *after* winning the claim must not strand the row."""
+        cache = _cache(cache_file)
+        observer = SQLiteCacheStore(cache_file)
+        try:
+            real_get = cache.store.get
+            state = {"claimed": False}
+
+            def flaky_get(key, touch=True):
+                if state["claimed"]:
+                    state["claimed"] = False
+                    raise RuntimeError("disk went away")
+                return real_get(key, touch=touch)
+
+            real_claim = cache.store.try_claim
+
+            def tracking_claim(key, owner):
+                won = real_claim(key, owner)
+                state["claimed"] = won
+                return won
+
+            cache.store.get = flaky_get
+            cache.store.try_claim = tracking_claim
+            assert cache.get_or_compute(KEY, lambda: 7) == 7
+            assert observer.describe()["claims"]["active"] == 0, (
+                "claim row leaked after post-claim failure"
+            )
+        finally:
+            cache.close()
+            observer.close()
+
+
+class TestStatsSurface:
+    def test_service_stats_carry_claim_counters(self, tmp_path, service_dataset):
+        from repro.service import GMineService
+        from repro.storage.gtree_store import save_gtree
+
+        _, tree = service_dataset
+        store_file = tmp_path / "claims.gtree"
+        save_gtree(tree, store_file)
+        with GMineService(cache_path=tmp_path / "cache.db") as service:
+            service.register_store(store_file, name="dblp")
+            leaf = max(tree.leaves(), key=lambda node: node.size)
+            service.metrics(community=leaf.label)
+            payload = service.stats()
+            claims = payload["cache"]["store"]["claims"]
+            assert claims["acquired"] >= 1
+            assert claims["active"] == 0
+            assert "adopted" in payload["cache"]
