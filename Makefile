@@ -11,8 +11,15 @@
 #                      backend (inline, thread, process), fire a mixed
 #                      batch twice per backend, and assert cache-hit
 #                      accounting, transport parity AND cross-backend
-#                      byte-parity (examples/http_service.py)
-#   make bench-http  — requests/sec for cached vs uncached RWR over HTTP;
+#                      byte-parity; then smoke the Protocol v2 surface —
+#                      the asyncio front-end with a streamed cursor query
+#                      (reassembly byte-identical to one-shot), registry
+#                      session ops, and an authed + rate-limited server
+#                      returning AUTH_REQUIRED/RATE_LIMITED envelopes
+#                      (examples/http_service.py)
+#   make bench-http  — requests/sec for cached vs uncached RWR over the
+#                      threaded HTTP, asyncio HTTP and in-process
+#                      transports, incl. streamed full-vector rates;
 #                      writes benchmarks/BENCH_http.json
 #   make bench-exec  — uncached RWR/metrics batches on the inline, thread
 #                      and process execution backends (speedup vs thread);

@@ -1,6 +1,6 @@
-"""HTTP front-end throughput: cached vs uncached RWR, both transports.
+"""HTTP front-end throughput: cached vs uncached RWR, every transport.
 
-Starts the GMine Protocol v1 HTTP server over a synthetic DBLP dataset and
+Starts the GMine Protocol HTTP servers over a synthetic DBLP dataset and
 measures end-to-end requests/sec for
 
 * **uncached** RWR — every request names a distinct source pair, so each
@@ -8,9 +8,11 @@ measures end-to-end requests/sec for
 * **cached** RWR — one hot request repeated, answered from the shared
   ``ResultCache`` after the first computation;
 
-over the HTTP transport (socket + JSON round-trip) and, for reference, the
-in-process transport (protocol overhead without the socket).  Sequential
-and small-thread-pool concurrent rates are both reported.
+over the threaded-HTTP transport, the asyncio-HTTP transport (Protocol v2,
+same wire bytes from one event loop) and, for reference, the in-process
+transport (protocol overhead without the socket).  Sequential and
+small-thread-pool concurrent rates are both reported, plus the streamed
+full-vector rate (``/v1/stream`` cursor chunks vs the one-shot body).
 
 Emits ``BENCH_http.json`` next to this file — the start of the service's
 performance trajectory (ROADMAP: "as fast as the hardware allows").
@@ -25,7 +27,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
-from repro.api import GMineClient, GMineHTTPServer
+from repro.api import GMineAsyncHTTPServer, GMineClient, GMineHTTPServer
 from repro.core.builder import build_gtree
 from repro.data.dblp import DBLPConfig, generate_dblp
 from repro.service import GMineService
@@ -97,9 +99,11 @@ def main() -> None:
 
     with GMineService(max_workers=CONCURRENCY) as service:
         service.register_tree(tree, graph=dataset.graph, name="dblp")
-        with GMineHTTPServer(service, port=0) as server:
+        with GMineHTTPServer(service, port=0) as server, \
+                GMineAsyncHTTPServer(service, port=0) as aio_server:
             transports = {
                 "http": GMineClient.http(server.url),
+                "http_asyncio": GMineClient.http(aio_server.url),
                 "in_process": GMineClient.in_process(service),
             }
             for name, client in transports.items():
@@ -118,12 +122,34 @@ def main() -> None:
                         1,
                     ),
                 }
+                # streamed full vector (cursor chunks) vs the one-shot body
+                stream_runs = 20
+                start = time.perf_counter()
+                for _ in range(stream_runs):
+                    merged = client.stream_result(
+                        hot["op"], args=hot["args"], chunk_size=100
+                    )
+                stream_elapsed = time.perf_counter() - start
+                total = len(merged["scores"])
+                start = time.perf_counter()
+                for _ in range(stream_runs):
+                    client.query(
+                        hot["op"], args=hot["args"], page={"top_k": total}
+                    ).unwrap()
+                one_shot_elapsed = time.perf_counter() - start
+                entry["streamed_full_vector_rps"] = _rate(
+                    stream_runs, stream_elapsed
+                )
+                entry["one_shot_full_vector_rps"] = _rate(
+                    stream_runs, one_shot_elapsed
+                )
                 report["transports"][name] = entry
-                print(f"{name:>10}: uncached {entry['uncached_rps']:>8} req/s | "
+                print(f"{name:>12}: uncached {entry['uncached_rps']:>8} req/s | "
                       f"cached {entry['cached_rps']:>8} req/s | "
                       f"cached x{CONCURRENCY} threads "
                       f"{entry['cached_concurrent_rps']:>8} req/s | "
-                      f"cache speedup {entry['cache_speedup']}x")
+                      f"cache speedup {entry['cache_speedup']}x | "
+                      f"stream {entry['streamed_full_vector_rps']:>7} req/s")
             stats = service.stats()
             report["cache_stats"] = stats["cache"]
 

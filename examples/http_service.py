@@ -3,7 +3,7 @@
 This is the ``make serve-smoke`` gate.  It builds a small DBLP dataset,
 persists it (store + graph file, so process workers can reopen it by
 path), then **once per execution backend** — inline, thread, process —
-starts the GMine Protocol v1 HTTP front-end on an ephemeral port, fires a
+starts the GMine Protocol HTTP front-end on an ephemeral port, fires a
 batch of mixed queries twice (cold, then warm), and asserts
 
 * every response is a structured ``gmine/1`` envelope,
@@ -18,6 +18,13 @@ batch of mixed queries twice (cold, then warm), and asserts
   thread, kernel pool, warm worker process) never changes *what* the
   caller sees.
 
+After the per-backend loop it smokes the **Protocol v2 front-end
+surface**: the asyncio server answering a streamed cursor query whose
+reassembly is byte-identical to the threaded server's one-shot payload,
+session ops dispatched purely through the registry, and a
+bearer-token + rate-limited server returning structured
+``AUTH_REQUIRED``/``RATE_LIMITED`` envelopes.
+
 Run it:  ``PYTHONPATH=src python examples/http_service.py [backend ...]``
 (default: all of inline, thread, process).
 """
@@ -26,13 +33,28 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro.api import GMineClient, GMineHTTPServer
+from repro.api import (
+    FrontendPolicy,
+    GMineAsyncHTTPServer,
+    GMineClient,
+    GMineHTTPServer,
+    dumps,
+)
 from repro.core.builder import build_gtree
 from repro.data.dblp import DBLPConfig, generate_dblp
-from repro.errors import InvalidArgumentError, SessionNotFoundError
+from repro.errors import (
+    AuthRequiredError,
+    InvalidArgumentError,
+    RateLimitedError,
+    SessionNotFoundError,
+)
 from repro.graph.io import write_json
-from repro.service import BACKEND_NAMES, GMineService
+from repro.service import GMineService
 from repro.storage.gtree_store import save_gtree
+
+#: Execution backends the per-backend smoke loop covers (auto is exercised
+#: separately in the Protocol v2 section: its choices are host-dependent).
+SMOKE_BACKENDS = ("inline", "thread", "process")
 
 
 def build_dataset(workdir: Path):
@@ -142,14 +164,103 @@ def smoke_one_backend(backend, tree, store_path, graph_path):
             ]
 
 
+def smoke_protocol_v2(tree, store_path, graph_path):
+    """Asyncio front-end, streamed cursors, registry sessions, guard rails."""
+    hot = max(tree.leaves(), key=lambda node: node.size)
+    args = {"sources": list(hot.members[:2]), "community": hot.label}
+
+    with GMineService(max_workers=4, backend="auto") as service:
+        service.register_store(store_path, name="dblp", graph_path=graph_path)
+        with GMineHTTPServer(service, port=0) as threaded, \
+                GMineAsyncHTTPServer(service, port=0) as aio_server:
+            threaded_client = GMineClient.http(threaded.url)
+            aio = GMineClient.http(aio_server.url)
+            print(f"[v2] asyncio front-end serving on {aio_server.url}")
+
+            # ------------------------------------------------------------ #
+            # one streamed query over asyncio: chunked cursors reassemble
+            # byte-identically to the threaded server's one-shot payload
+            # ------------------------------------------------------------ #
+            aio.query("rwr", args=args).unwrap()  # warm: stable cached flags
+            chunks = list(aio.stream("rwr", args=args, chunk_size=64))
+            assert all(chunk.ok for chunk in chunks), "stream must succeed"
+            assert len(chunks) > 1, "the full vector must actually chunk"
+            assert chunks[-1].next_cursor is None
+            merged = aio.stream_result("rwr", args=args, chunk_size=64)
+            total = chunks[0].page["total"]
+            one_shot = threaded_client.query(
+                "rwr", args=args, page={"top_k": total}
+            ).unwrap()
+            assert dumps(merged) == dumps(one_shot), (
+                "streamed reassembly must equal the one-shot payload"
+            )
+            print(f"[v2] streamed {total} scores in {len(chunks)} cursor "
+                  f"chunks; reassembly byte-identical to one-shot")
+
+            # resume mid-stream over the *other* front-end
+            resumed = list(threaded_client.stream(
+                "rwr", args=args, cursor=chunks[0].next_cursor
+            ))
+            assert [r.to_dict() for r in resumed] == [
+                c.to_dict() for c in chunks[1:]
+            ], "a cursor resumes seamlessly across front-ends"
+            print("[v2] cursor resumption across front-ends ok")
+
+            # ------------------------------------------------------------ #
+            # session ops are registry citizens (no bespoke endpoints)
+            # ------------------------------------------------------------ #
+            ops = {op["name"]: op for op in aio.ops()}
+            session_ops = [name for name in ops if name.startswith("session.")]
+            assert session_ops, "registry must declare the session surface"
+            assert all(ops[name]["scope"] == "session" for name in session_ops)
+            created = aio.call("session.create", name="v2", focus=hot.label)
+            sid = created["session"]["session_id"]
+            via_session = aio.call("session.rwr", session_id=sid,
+                                   sources=args["sources"])
+            direct = threaded_client.query("rwr", args=args)
+            assert direct.cached, "session variant must feed the shared cache"
+            assert via_session == direct.unwrap()
+            aio.call("session.close", session_id=sid)
+            print(f"[v2] {len(session_ops)} session ops in the registry; "
+                  f"session.rwr == rwr (shared cache hit)")
+
+            backend_stats = aio.stats()["backend"]
+            assert backend_stats["name"] == "auto"
+            assert backend_stats["choices"], "auto must record its choices"
+            print(f"[v2] backend auto choices: {backend_stats['choices']}")
+
+        # ---------------------------------------------------------------- #
+        # authed + rate-limited front-end: structured 401/429 envelopes
+        # ---------------------------------------------------------------- #
+        policy = FrontendPolicy(auth_token="smoke-token", rate_limit=50.0)
+        with GMineAsyncHTTPServer(service, port=0, policy=policy) as guarded:
+            try:
+                GMineClient.http(guarded.url).ops()
+                raise AssertionError("missing bearer token must raise")
+            except AuthRequiredError as error:
+                print(f"[v2] unauthenticated -> AuthRequiredError: {error}")
+            authed = GMineClient.http(guarded.url, auth_token="smoke-token")
+            assert authed.call("connectivity", dataset="dblp")["edges"]
+            rejections = 0
+            for _ in range(120):  # well past the 50-token burst
+                try:
+                    authed.ops()
+                except RateLimitedError:
+                    rejections += 1
+            assert rejections > 0, "the token bucket must eventually reject"
+            print(f"[v2] rate limit enforced: {rejections} RATE_LIMITED "
+                  f"rejections past the burst")
+
+
 def main() -> None:
-    backends = sys.argv[1:] or list(BACKEND_NAMES)
+    backends = sys.argv[1:] or list(SMOKE_BACKENDS)
     with tempfile.TemporaryDirectory(prefix="gmine-smoke-") as workdir:
         tree, store_path, graph_path = build_dataset(Path(workdir))
         payloads = {
             backend: smoke_one_backend(backend, tree, store_path, graph_path)
             for backend in backends
         }
+        smoke_protocol_v2(tree, store_path, graph_path)
     if len(payloads) > 1:
         reference_name = next(iter(payloads))
         reference = payloads[reference_name]

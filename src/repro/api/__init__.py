@@ -1,30 +1,39 @@
-"""GMine Protocol v1: the single public protocol layer of the service.
+"""GMine Protocol v2: the single public protocol layer of the service.
 
 This package owns everything between a caller and the mining engine:
 
 * :mod:`~repro.api.registry` — typed operation registry; every op is an
-  :class:`OpSpec` (argument schema, cacheability, cost class, scope) and
-  validation / canonicalization / cache-keying all derive from the spec;
+  :class:`OpSpec` (argument schema, cacheability, cost class, scope,
+  streaming declaration) and validation / canonicalization / cache-keying
+  all derive from the spec.  Session-scoped ops are first-class rows in
+  the same table as dataset ops;
 * :mod:`~repro.api.ops` — the default op table binding specs to compute
-  handlers and wire encoders (with top-k / offset+limit pagination);
+  handlers and wire encoders (with top-k / offset+limit pagination),
+  including the session lifecycle and the session-context mining variants;
 * :mod:`~repro.api.wire` — versioned ``Request``/``Response`` envelopes
-  (``protocol: "gmine/1"``) and the structured error taxonomy mapped from
-  :mod:`repro.errors`;
+  (wire-compatible ``protocol: "gmine/1"``), resumable
+  :class:`ResultCursor` stream tokens, and the structured error taxonomy
+  mapped from :mod:`repro.errors`;
 * :mod:`~repro.api.router` — transport-neutral routing shared by every
-  front-end, with one canonical JSON serialisation;
-* :mod:`~repro.api.http` — the stdlib HTTP front-end
-  (``gmine serve --http PORT``);
+  front-end, with one canonical JSON serialisation and the chunked
+  ``/v1/stream`` surface;
+* :mod:`~repro.api.http` — the stdlib threaded HTTP front-end
+  (``gmine serve --http PORT``) plus the shared :class:`FrontendPolicy`
+  (bearer auth + token-bucket rate limiting);
+* :mod:`~repro.api.aio` — the asyncio HTTP front-end
+  (``gmine serve --http PORT --asyncio``), same router, same bytes;
 * :mod:`~repro.api.client` — :class:`GMineClient`, one client API over
-  either the in-process or the HTTP transport, byte-identical payloads
-  guaranteed by construction.
+  the in-process or HTTP transports, with a streaming iterator,
+  byte-identical payloads guaranteed by construction.
 
 None of these modules import the service package — the service imports
 *them* — so the protocol layer stays importable for docs, schema tooling
 and client-only deployments.
 """
 
+from .aio import GMineAsyncHTTPServer, serve_aio
 from .client import GMineClient, HTTPTransport, InProcessTransport
-from .http import GMineHTTPServer, serve_http
+from .http import FrontendPolicy, GMineHTTPServer, TokenBucket, serve_http
 from .ops import DEFAULT_REGISTRY, OpContext, build_default_registry, encode_result
 from .plans import KERNELS, ComputePlan, plan_for, run_plan
 from .registry import (
@@ -33,16 +42,19 @@ from .registry import (
     CanonicalizationContext,
     OperationRegistry,
     OpSpec,
+    StreamSpec,
 )
-from .router import ProtocolRouter, dumps
+from .router import DEFAULT_STREAM_CHUNK, ProtocolRouter, dumps, error_payload
 from .wire import (
     PROTOCOL,
     Request,
     Response,
+    ResultCursor,
     WireError,
     error_code_for,
     exception_for_code,
     http_status_for,
+    request_digest,
 )
 
 __all__ = [
@@ -50,7 +62,10 @@ __all__ = [
     "CanonicalizationContext",
     "ComputePlan",
     "DEFAULT_REGISTRY",
+    "DEFAULT_STREAM_CHUNK",
+    "FrontendPolicy",
     "KERNELS",
+    "GMineAsyncHTTPServer",
     "GMineClient",
     "GMineHTTPServer",
     "HTTPTransport",
@@ -63,14 +78,20 @@ __all__ = [
     "REQUIRED",
     "Request",
     "Response",
+    "ResultCursor",
+    "StreamSpec",
+    "TokenBucket",
     "WireError",
     "build_default_registry",
     "dumps",
     "encode_result",
     "error_code_for",
+    "error_payload",
     "exception_for_code",
     "http_status_for",
     "plan_for",
+    "request_digest",
     "run_plan",
+    "serve_aio",
     "serve_http",
 ]

@@ -1,0 +1,316 @@
+"""Asyncio HTTP front-end for the GMine Protocol (``--asyncio``).
+
+The threaded front-end (:mod:`repro.api.http`) spends one OS thread per
+connection; this module serves the *same* protocol from a single event
+loop — the deployment shape native-DBMS front-ends favour for heavy
+interactive traffic, where thousands of mostly-idle exploration sessions
+each fire small queries.
+
+The design constraint is parity, not novelty: the server owns **no
+protocol logic**.  Every request is parsed into the same ``(method, path,
+body)`` triple, policy-checked by the same
+:class:`~repro.api.http.FrontendPolicy`, routed through the same
+:class:`~repro.api.router.ProtocolRouter`, and serialised with the same
+canonical :func:`~repro.api.router.dumps` as the threaded front-end and
+the in-process transport — so response bytes are identical across all
+three by construction, and the parity suites assert it.  Compute runs in
+the loop's default thread-pool executor (the service and its execution
+backends are already thread-safe), keeping the loop free to multiplex
+connections; streamed results go out as the same chunked NDJSON the
+threaded server emits.
+
+HTTP support is deliberately minimal but real: HTTP/1.1 with keep-alive,
+``Content-Length`` bodies in, ``Content-Length`` or chunked
+``Transfer-Encoding`` out.  Stdlib only.
+
+:class:`GMineAsyncHTTPServer` mirrors :class:`~repro.api.http.GMineHTTPServer`
+for embedding (background thread running the loop, port-0 friendly);
+:func:`serve_aio` is the blocking CLI entry point behind
+``gmine serve --http PORT --asyncio``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from http.client import responses as _STATUS_PHRASES
+from typing import Dict, Optional, Tuple
+
+from ..errors import GMineError, ProtocolError
+from .http import (
+    MAX_BODY_BYTES,
+    STREAM_CONTENT_TYPE,
+    FrontendPolicy,
+    chunked_ndjson_frames,
+    parse_json_body,
+)
+from .router import ProtocolRouter, dumps, error_payload
+
+#: Hard cap on one request head (request line + headers).
+_MAX_HEADER_BYTES = 64 * 1024
+
+
+def _head(status: int, headers: Dict[str, str]) -> bytes:
+    phrase = _STATUS_PHRASES.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {phrase}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+class GMineAsyncHTTPServer:
+    """Asyncio front-end over one :class:`GMineService`.
+
+    ``start()`` runs the event loop in a background daemon thread (tests
+    bind port 0 and read the chosen port from :attr:`address`);
+    ``serve_forever()`` blocks the calling thread (CLI mode).  The
+    interface mirrors :class:`~repro.api.http.GMineHTTPServer`, so callers
+    can treat the two front-ends interchangeably.
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        policy: Optional[FrontendPolicy] = None,
+    ) -> None:
+        self.router = ProtocolRouter(service)
+        self.policy = policy
+        self._host = host
+        self._port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._address: Optional[Tuple[str, int]] = None
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — port is concrete even when 0 was asked."""
+        if self._address is None:
+            raise RuntimeError("server is not started")
+        return self._address
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "GMineAsyncHTTPServer":
+        """Serve from a background daemon thread; returns self."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run_loop, name="gmine-aio", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10)
+        if self._startup_error is not None:
+            error, self._startup_error = self._startup_error, None
+            self._thread.join(timeout=5)
+            self._thread = None
+            raise error
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (CLI mode)."""
+        self.start()
+        try:
+            while self._thread is not None and self._thread.is_alive():
+                self._thread.join(timeout=0.5)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+
+    def stop(self) -> None:
+        """Shut the listener down and join the loop thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+        self._thread.join(timeout=10)
+        self._thread = None
+        self._started.clear()
+        self._address = None
+
+    def __enter__(self) -> "GMineAsyncHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        except BaseException as error:  # noqa: BLE001 - surfaced to start()
+            self._startup_error = error
+            self._started.set()
+        finally:
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.run_until_complete(loop.shutdown_default_executor())
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+            asyncio.set_event_loop(None)
+            loop.close()
+            self._loop = None
+
+    async def _serve(self) -> None:
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        self._address = server.sockets[0].getsockname()[:2]
+        self._started.set()
+        async with server:
+            await self._stop.wait()
+
+    # ------------------------------------------------------------------ #
+    # one connection (HTTP/1.1 with keep-alive)
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                parsed = await self._read_request(reader, writer)
+                if parsed is None:
+                    break
+                keep_alive = await self._respond(writer, *parsed)
+                if not keep_alive:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _read_request(self, reader, writer):
+        """Parse one request; returns (method, path, headers, body) or None.
+
+        ``None`` means the peer closed the connection cleanly between
+        requests.  A malformed head is answered with a 400 envelope and
+        the connection is closed (we cannot trust further framing).
+        """
+        try:
+            # readline() re-raises an over-limit line as ValueError, so it
+            # must sit inside the try to become a 400 envelope rather than
+            # an unhandled task exception.
+            request_line = await reader.readline()
+            if not request_line or not request_line.strip():
+                return None
+            if len(request_line) > _MAX_HEADER_BYTES:
+                raise ProtocolError("request line too long")
+            method, target, _version = request_line.decode("ascii").split(None, 2)
+            headers: Dict[str, str] = {}
+            header_bytes = 0
+            while True:
+                line = await reader.readline()
+                header_bytes += len(line)
+                if header_bytes > _MAX_HEADER_BYTES:
+                    raise ProtocolError("request headers too long")
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length") or 0)
+            if length > MAX_BODY_BYTES:
+                raise ProtocolError(f"request body too large ({length} bytes)")
+            body = await reader.readexactly(length) if length else b""
+        except (ValueError, UnicodeDecodeError, ProtocolError) as error:
+            status, payload = error_payload(
+                error if isinstance(error, ProtocolError)
+                else ProtocolError(f"malformed HTTP request: {error}")
+            )
+            await self._write_payload(writer, status, dumps(payload), close=True)
+            return None
+        return method.upper(), target, headers, body
+
+    async def _respond(self, writer, method, target, headers, body_bytes) -> bool:
+        keep_alive = headers.get("connection", "").lower() != "close"
+        if self.policy is not None:
+            try:
+                self.policy.check(headers)
+            except GMineError as error:
+                status, payload = error_payload(error)
+                await self._write_payload(
+                    writer, status, dumps(payload), close=not keep_alive
+                )
+                return keep_alive
+        try:
+            body = parse_json_body(body_bytes)
+        except ProtocolError as error:
+            status, payload = error_payload(error)
+            await self._write_payload(
+                writer, status, dumps(payload), close=not keep_alive
+            )
+            return keep_alive
+        path = target.split("?", 1)[0]
+        loop = asyncio.get_running_loop()
+        if path.rstrip("/") == "/v1/stream":
+            # The blocking part of a stream (dispatch + encode) happens
+            # inside handle_stream; the returned generator only slices.
+            status, payloads = await loop.run_in_executor(
+                None, self.router.handle_stream, method, path, body
+            )
+            await self._write_stream(writer, status, payloads)
+            return keep_alive
+        status, payload = await loop.run_in_executor(
+            None, self.router.handle, method, path, body
+        )
+        await self._write_payload(
+            writer, status, dumps(payload), close=not keep_alive
+        )
+        return keep_alive
+
+    async def _write_payload(self, writer, status, body: bytes, close: bool) -> None:
+        headers = {
+            "Content-Type": "application/json; charset=utf-8",
+            "Content-Length": str(len(body)),
+        }
+        if close:
+            headers["Connection"] = "close"
+        writer.write(_head(status, headers) + body)
+        await writer.drain()
+
+    async def _write_stream(self, writer, status, payloads) -> None:
+        """Emit chunked NDJSON — the exact frames the threaded server sends."""
+        writer.write(_head(status, {
+            "Content-Type": STREAM_CONTENT_TYPE,
+            "Transfer-Encoding": "chunked",
+        }))
+        for frame in chunked_ndjson_frames(payloads):
+            writer.write(frame)
+            await writer.drain()
+
+
+def serve_aio(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    policy: Optional[FrontendPolicy] = None,
+) -> None:
+    """Blocking CLI entry point: serve the asyncio front-end until interrupted."""
+    server = GMineAsyncHTTPServer(service, host=host, port=port, policy=policy)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.stop()

@@ -1,17 +1,25 @@
 """`GMineClient`: one client API, two transports.
 
-The client mirrors the service surface — queries, batches, op discovery,
-stats, and session lifecycle — over either transport:
+The client mirrors the service surface — queries, batches, streams, op
+discovery, stats, and session lifecycle — over either transport:
 
 * **in-process**: ``GMineClient.in_process(service)`` routes through the
-  same :class:`~repro.api.router.ProtocolRouter` the HTTP server uses and
+  same :class:`~repro.api.router.ProtocolRouter` the HTTP servers use and
   serialises payloads with the same canonical ``dumps``, so the bytes are
   identical to what a socket would carry;
 * **HTTP**: ``GMineClient.http(url)`` speaks to a running
-  ``gmine serve --http`` front-end via :mod:`urllib` (stdlib only).
+  ``gmine serve --http`` front-end — threaded or asyncio, the wire is the
+  same — via :mod:`urllib` (stdlib only).  ``auth_token=`` attaches the
+  bearer token a :class:`~repro.api.http.FrontendPolicy` demands.
+
+Protocol v2 adds the **streaming iterator API**: :meth:`GMineClient.stream`
+yields one :class:`~repro.api.wire.Response` per cursor chunk, and
+:meth:`GMineClient.stream_result` reassembles the chunks into the exact
+payload a one-shot query for the full vector returns — byte-identical by
+construction, which the streaming parity suite asserts.
 
 Examples and tests take a client, not a service, and therefore run
-unchanged against both deployments.  Failures come back as
+unchanged against every deployment.  Failures come back as
 :class:`~repro.api.wire.Response` envelopes whose ``unwrap()`` raises the
 typed exception for the structured error code (``SESSION_EXPIRED`` raises
 :class:`~repro.errors.SessionExpiredError`, and so on).
@@ -22,7 +30,17 @@ from __future__ import annotations
 import json
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..errors import ProtocolError
 from .router import ProtocolRouter, dumps
@@ -70,6 +88,15 @@ class InProcessTransport:
         # richer types than a remote caller would (tuples, numpy scalars…).
         return status, json.loads(raw.decode("utf-8")), raw
 
+    def stream(
+        self, method: str, path: str, body: Optional[Mapping[str, Any]]
+    ) -> Iterator[Exchange]:
+        """Yield one exchange per streamed chunk (shared router path)."""
+        status, payloads = self.router.handle_stream(method, path, body)
+        for payload in payloads:
+            raw = dumps(payload)
+            yield status, json.loads(raw.decode("utf-8")), raw
+
     def close(self) -> None:
         pass
 
@@ -79,9 +106,21 @@ class HTTPTransport:
 
     name = "http"
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        auth_token: Optional[str] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.auth_token = auth_token
+
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Content-Type": "application/json"}
+        if self.auth_token is not None:
+            headers["Authorization"] = f"Bearer {self.auth_token}"
+        return headers
 
     def call(self, method: str, path: str, body: Optional[Mapping[str, Any]]) -> Exchange:
         data = None if body is None else _encode_request_body(body)
@@ -89,7 +128,7 @@ class HTTPTransport:
             self.base_url + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers=self._headers(),
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as reply:
@@ -112,12 +151,56 @@ class HTTPTransport:
             ) from error
         return status, payload, raw
 
+    def stream(
+        self, method: str, path: str, body: Optional[Mapping[str, Any]]
+    ) -> Iterator[Exchange]:
+        """Yield one exchange per NDJSON line of a chunked stream response.
+
+        ``urllib`` decodes the chunked transfer encoding transparently;
+        each line is one canonical envelope, yielded with its exact bytes
+        (sans the line feed) so parity against the in-process transport is
+        byte-for-byte.  Closing the generator early closes the socket.
+        """
+        data = None if body is None else _encode_request_body(body)
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers=self._headers(),
+        )
+        try:
+            reply = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            reply = error  # error bodies stream exactly like success bodies
+        except urllib.error.URLError as error:
+            raise ProtocolError(
+                f"cannot reach GMine server at {self.base_url}: {error.reason}"
+            ) from error
+        status = reply.status if hasattr(reply, "status") else reply.code
+        try:
+            while True:
+                line = reply.readline()
+                if not line:
+                    break
+                raw = line.rstrip(b"\n")
+                if not raw:
+                    continue
+                try:
+                    payload = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                    raise ProtocolError(
+                        f"server streamed a non-protocol line (status {status})"
+                    ) from error
+                yield status, payload, raw
+        finally:
+            reply.close()
+
     def close(self) -> None:
         pass
 
 
 class GMineClient:
-    """Transport-agnostic GMine Protocol v1 client."""
+    """Transport-agnostic GMine Protocol v2 client."""
 
     def __init__(self, transport: Union[InProcessTransport, HTTPTransport]) -> None:
         self.transport = transport
@@ -131,9 +214,15 @@ class GMineClient:
         return cls(InProcessTransport(service))
 
     @classmethod
-    def http(cls, url: str, timeout: float = 30.0) -> "GMineClient":
-        """A client speaking to ``gmine serve --http`` at ``url``."""
-        return cls(HTTPTransport(url, timeout=timeout))
+    def http(
+        cls, url: str, timeout: float = 30.0, auth_token: Optional[str] = None
+    ) -> "GMineClient":
+        """A client speaking to ``gmine serve --http`` at ``url``.
+
+        ``auth_token`` attaches ``Authorization: Bearer <token>`` to every
+        request, matching a server started with ``--auth-token``.
+        """
+        return cls(HTTPTransport(url, timeout=timeout, auth_token=auth_token))
 
     def close(self) -> None:
         self.transport.close()
@@ -191,6 +280,91 @@ class GMineClient:
     ) -> Any:
         """Run one operation and unwrap its payload (raises typed errors)."""
         return self.query(op, dataset=dataset, args=args, page=page).unwrap()
+
+    # ------------------------------------------------------------------ #
+    # streaming cursors
+    # ------------------------------------------------------------------ #
+    def stream(
+        self,
+        op: str,
+        dataset: Optional[str] = None,
+        args: Optional[Mapping[str, Any]] = None,
+        page: Optional[Mapping[str, Any]] = None,
+        chunk_size: Optional[int] = None,
+        cursor: Optional[str] = None,
+        request_id: Optional[str] = None,
+    ) -> Iterator[Response]:
+        """Iterate the cursor chunks of one streamable operation.
+
+        Each yielded :class:`Response` carries a slice of the result's
+        stream field plus ``cursor``/``next_cursor``; pass a previous
+        chunk's ``next_cursor`` as ``cursor`` (with the *same* request)
+        to resume after a disconnect.  Check ``response.ok`` (or call
+        ``unwrap()``) — a failed stream yields exactly one error envelope.
+        """
+        request = Request(
+            op=op,
+            args=dict(args or {}),
+            dataset=dataset,
+            page=None if page is None else dict(page),
+            id=request_id,
+            chunk_size=chunk_size,
+            cursor=cursor,
+        )
+        for _status, payload, _raw in self.transport.stream(
+            "POST", "/v1/stream", request.to_dict()
+        ):
+            yield Response.from_dict(payload)
+
+    def stream_raw(
+        self,
+        op: str,
+        dataset: Optional[str] = None,
+        args: Optional[Mapping[str, Any]] = None,
+        page: Optional[Mapping[str, Any]] = None,
+        chunk_size: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> List[bytes]:
+        """The canonical wire bytes of every chunk (parity testing hook)."""
+        request = Request(op=op, args=dict(args or {}), dataset=dataset,
+                          page=None if page is None else dict(page),
+                          chunk_size=chunk_size, cursor=cursor)
+        return [
+            raw
+            for _status, _payload, raw in self.transport.stream(
+                "POST", "/v1/stream", request.to_dict()
+            )
+        ]
+
+    def stream_result(
+        self,
+        op: str,
+        dataset: Optional[str] = None,
+        args: Optional[Mapping[str, Any]] = None,
+        page: Optional[Mapping[str, Any]] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Stream one operation and reassemble the full result payload.
+
+        The returned dict is byte-identical (under the canonical
+        serialisation) to the ``result`` of a one-shot query whose
+        pagination covers the whole vector — chunking is pure transport,
+        never a different answer.  Raises the typed taxonomy error if the
+        stream fails.
+        """
+        chunks = list(
+            self.stream(op, dataset=dataset, args=args, page=page,
+                        chunk_size=chunk_size)
+        )
+        first = chunks[0]
+        if not first.ok:
+            first.unwrap()
+        field = first.page["field"]
+        merged = dict(first.result)
+        merged[field] = [
+            item for response in chunks for item in response.result[field]
+        ]
+        return merged
 
     def batch(
         self, requests: Sequence[Union[Request, Mapping[str, Any]]]

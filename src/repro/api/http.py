@@ -1,4 +1,4 @@
-"""Stdlib-only HTTP front-end for GMine Protocol v1.
+"""Stdlib-only threaded HTTP front-end for the GMine Protocol.
 
 ``gmine serve --http PORT`` binds a :class:`ProtocolRouter` to a
 :class:`ThreadingHTTPServer`; every request body is parsed as JSON, routed,
@@ -9,6 +9,18 @@ thread-safe (locked cache, single-flight dedup, locked sessions), so one
 OS thread per connection composes directly with the existing concurrency
 story.
 
+Protocol v2 additions:
+
+* ``POST /v1/stream`` answers with ``Transfer-Encoding: chunked`` NDJSON —
+  one canonical envelope per line, each carrying ``cursor``/``next_cursor``
+  — produced by the router's shared streaming path, so the chunk bytes
+  are identical across the threaded and asyncio front-ends;
+* an optional :class:`FrontendPolicy` guards every route with a bearer-token
+  check (``AUTH_REQUIRED``/401) and a token-bucket rate limit
+  (``RATE_LIMITED``/429), both surfaced as ordinary taxonomy envelopes.
+  The policy lives at the transport layer on purpose: in-process callers
+  already hold the service object and need no gate.
+
 :class:`GMineHTTPServer` wraps the lifecycle for embedding (tests start it
 on port 0 in a background thread); :func:`serve_http` is the blocking CLI
 entry point.
@@ -16,16 +28,135 @@ entry point.
 
 from __future__ import annotations
 
+import hmac
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Tuple
 
-from ..errors import ProtocolError
-from .router import ProtocolRouter, dumps
+from ..errors import AuthRequiredError, GMineError, ProtocolError, RateLimitedError
+from .router import ProtocolRouter, dumps, error_payload
 
 #: Largest accepted request body; protects the demo server from abuse.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Content type of streamed responses: one canonical envelope per line.
+STREAM_CONTENT_TYPE = "application/x-ndjson; charset=utf-8"
+
+
+def parse_json_body(raw: bytes) -> Optional[dict]:
+    """Decode one request body: JSON object, ``None`` when empty.
+
+    Shared by both front-ends so a malformed body produces the identical
+    ``PROTOCOL_ERROR`` wording on the threaded and asyncio servers.
+    """
+    if not raw:
+        return None
+    try:
+        parsed = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"request body is not valid JSON: {error}") from error
+    if parsed is not None and not isinstance(parsed, dict):
+        raise ProtocolError("request body must be a JSON object")
+    return parsed
+
+
+def chunked_ndjson_frames(payloads: Iterable[Mapping]) -> Iterator[bytes]:
+    """HTTP chunked-transfer frames: one canonical NDJSON line per payload.
+
+    The single source of the stream framing — both front-ends write
+    exactly these bytes, which is what keeps streamed responses
+    byte-identical across them.
+    """
+    for payload in payloads:
+        line = dumps(payload) + b"\n"
+        yield f"{len(line):x}\r\n".encode("ascii") + line + b"\r\n"
+    yield b"0\r\n\r\n"
+
+
+class TokenBucket:
+    """Thread-safe token bucket: ``rate`` requests/s with burst ``rate``.
+
+    Tokens refill continuously on the injected monotonic clock; a request
+    costs one token, and an empty bucket means the caller is over rate.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate limit must be positive, got {rate!r}")
+        self.rate = float(rate)
+        self.capacity = float(burst) if burst is not None else max(1.0, self.rate)
+        self._clock = clock
+        self._tokens = self.capacity
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.capacity, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+
+class FrontendPolicy:
+    """Transport-level guard rails shared by both HTTP front-ends.
+
+    ``auth_token`` demands ``Authorization: Bearer <token>`` on every
+    request; ``rate_limit`` caps the request rate (requests per second,
+    token bucket with burst = rate).  Violations raise the taxonomy's
+    :class:`~repro.errors.AuthRequiredError` /
+    :class:`~repro.errors.RateLimitedError`, which the front-ends flatten
+    into the stable ``AUTH_REQUIRED`` (401) / ``RATE_LIMITED`` (429) wire
+    envelopes — structured failures, never dropped connections.
+    """
+
+    def __init__(
+        self,
+        auth_token: Optional[str] = None,
+        rate_limit: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.auth_token = auth_token
+        self.bucket = None if rate_limit is None else TokenBucket(rate_limit, clock=clock)
+
+    def check(self, headers: Mapping[str, str]) -> None:
+        """Validate one request's headers (keys must be lower-cased)."""
+        if self.auth_token is not None:
+            supplied = headers.get("authorization", "")
+            expected = f"Bearer {self.auth_token}"
+            # constant-time: the token is a secret, so the comparison must
+            # not leak a matching prefix through response timing
+            if not hmac.compare_digest(
+                supplied.encode("utf-8"), expected.encode("utf-8")
+            ):
+                raise AuthRequiredError(
+                    "missing or invalid bearer token; send "
+                    "'Authorization: Bearer <token>'"
+                )
+        if self.bucket is not None and not self.bucket.try_acquire():
+            raise RateLimitedError(
+                f"request rate limit exceeded "
+                f"({self.bucket.rate:g} requests/s); retry later"
+            )
+
+    def describe(self) -> Mapping[str, object]:
+        """JSON-safe summary (for serve banners and smoke output)."""
+        return {
+            "auth": self.auth_token is not None,
+            "rate_limit": None if self.bucket is None else self.bucket.rate,
+        }
 
 
 class _ProtocolRequestHandler(BaseHTTPRequestHandler):
@@ -55,6 +186,9 @@ class _ProtocolRequestHandler(BaseHTTPRequestHandler):
         self._dispatch("DELETE")
 
     def _dispatch(self, method: str) -> None:
+        # Read (drain) the body before any early reply: answering a
+        # keep-alive POST while its body still sits in the socket would
+        # corrupt the framing of the next request on the connection.
         try:
             body = self._read_body()
         except ProtocolError as error:
@@ -67,8 +201,23 @@ class _ProtocolRequestHandler(BaseHTTPRequestHandler):
                     "message": str(error),
                 },
             }))
+            self.close_connection = True  # oversized body was left unread
             return
+        policy = getattr(self.server, "policy", None)
+        if policy is not None:
+            try:
+                policy.check(
+                    {name.lower(): value for name, value in self.headers.items()}
+                )
+            except GMineError as error:
+                status, payload = error_payload(error)
+                self._send(status, dumps(payload))
+                return
         path = self.path.split("?", 1)[0]
+        if path.rstrip("/") == "/v1/stream":
+            status, payloads = self._router().handle_stream(method, path, body)
+            self._send_stream(status, payloads)
+            return
         status, payload = self._router().handle(method, path, body)
         self._send(status, dumps(payload))
 
@@ -78,14 +227,7 @@ class _ProtocolRequestHandler(BaseHTTPRequestHandler):
             return None
         if length > MAX_BODY_BYTES:
             raise ProtocolError(f"request body too large ({length} bytes)")
-        raw = self.rfile.read(length)
-        try:
-            parsed = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise ProtocolError(f"request body is not valid JSON: {error}") from error
-        if parsed is not None and not isinstance(parsed, dict):
-            raise ProtocolError("request body must be a JSON object")
-        return parsed
+        return parse_json_body(self.rfile.read(length))
 
     def _send(self, status: int, body: bytes) -> None:
         self.send_response(status)
@@ -94,18 +236,40 @@ class _ProtocolRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_stream(self, status: int, payloads) -> None:
+        """Write NDJSON chunks under ``Transfer-Encoding: chunked``.
+
+        One HTTP chunk per protocol envelope, each a canonical ``dumps``
+        line — so a client reading line-by-line recovers exactly the
+        payload bytes the in-process transport yields.
+        """
+        self.send_response(status)
+        self.send_header("Content-Type", STREAM_CONTENT_TYPE)
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        for frame in chunked_ndjson_frames(payloads):
+            self.wfile.write(frame)
+
 
 class GMineHTTPServer:
-    """Embeddable HTTP front-end over one :class:`GMineService`.
+    """Embeddable threaded HTTP front-end over one :class:`GMineService`.
 
     ``start()`` serves from a daemon thread (tests bind port 0 and read the
     chosen port from :attr:`address`); ``serve_forever()`` blocks (CLI).
     """
 
-    def __init__(self, service, host: str = "127.0.0.1", port: int = 8080) -> None:
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        policy: Optional[FrontendPolicy] = None,
+    ) -> None:
         self.router = ProtocolRouter(service)
+        self.policy = policy
         self._httpd = ThreadingHTTPServer((host, port), _ProtocolRequestHandler)
         self._httpd.router = self.router  # type: ignore[attr-defined]
+        self._httpd.policy = policy  # type: ignore[attr-defined]
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
 
@@ -150,9 +314,14 @@ class GMineHTTPServer:
         self.stop()
 
 
-def serve_http(service, host: str = "127.0.0.1", port: int = 8080) -> None:
+def serve_http(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    policy: Optional[FrontendPolicy] = None,
+) -> None:
     """Blocking CLI entry point: serve until KeyboardInterrupt."""
-    server = GMineHTTPServer(service, host=host, port=port)
+    server = GMineHTTPServer(service, host=host, port=port, policy=policy)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only

@@ -1,21 +1,38 @@
-"""The default GMine Protocol v1 operation table.
+"""The default GMine Protocol v2 operation table.
 
 This module binds every operation the service exposes to its
 :class:`~repro.api.registry.OpSpec`: the argument schema (types, defaults,
 validators, normalizers), the compute handler, and the wire encoder.  The
-handlers close over nothing — they receive an :class:`OpContext` built by
-the service per computation — so the table itself stays importable from
-anywhere (CLI, docs generation, tests) without touching an engine.
+handlers close over nothing — dataset-scoped handlers receive an
+:class:`OpContext` built by the service per computation, session-scoped
+handlers a :class:`ServiceOpContext` carrying the owning service — so the
+table itself stays importable from anywhere (CLI, docs generation, tests)
+without touching an engine.
+
+Protocol v2 folds the **session surface into the registry**: the
+lifecycle (``session.create``/``resume``/``describe``/``step``/
+``restore``/``close``/``list``) and session-context variants of the
+mining ops (``session.metrics``/``session.rwr``/
+``session.connection_subgraph`` — the same kernels, defaulting their
+scope to the session's focused community) are ordinary :class:`OpSpec`
+rows with ``scope="session"``.  Validation, canonicalization, error
+taxonomy and docs therefore derive from the table for session traffic
+exactly as they do for dataset traffic; the HTTP session routes are thin
+compatibility aliases over these ops.
 
 Wire encoders flatten rich result objects (``SubgraphMetrics``,
 ``RWRResult``, ``ExtractionResult``, connectivity/inspection structures)
 into JSON-safe payloads, applying top-k / offset+limit pagination for the
 payloads that can grow with the dataset (RWR score vectors, connectivity
-edge lists, cross-edge inspections).
+edge lists, cross-edge inspections).  Ops whose payloads carry a large
+deterministic vector additionally declare a
+:class:`~repro.api.registry.StreamSpec`, which lets the ``/v1/stream``
+route chunk them into resumable cursor pages.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -24,7 +41,13 @@ import functools
 from ..errors import InvalidArgumentError
 from ..mining.metrics_suite import metrics_signature
 from .plans import plan_for, run_plan
-from .registry import ArgSpec, CanonicalizationContext, OperationRegistry, OpSpec
+from .registry import (
+    ArgSpec,
+    CanonicalizationContext,
+    OperationRegistry,
+    OpSpec,
+    StreamSpec,
+)
 
 #: Default number of entries returned for score-vector payloads when the
 #: request carries no explicit page; keeps full-graph RWR responses small.
@@ -62,6 +85,33 @@ class OpContext:
     def target(self, community):
         """Resolve ``None`` to the tree root for tree-addressed operations."""
         return self.engine.tree.root.node_id if community is None else community
+
+
+@dataclass
+class ServiceOpContext:
+    """What session-scoped handlers may touch: the owning service.
+
+    Session ops operate on service-level state (the session table, the
+    dataset registry, the shared cache), not on one materialised engine —
+    so they get the service itself, duck-typed to avoid any import of the
+    service package from the api layer.
+    """
+
+    service: Any
+
+
+@dataclass
+class DelegatedResult:
+    """A session handler's way to forward a dataset dispatch outcome.
+
+    Session-context mining variants delegate the heavy work back into the
+    service's dataset dispatch (same backend, same shared cache).  The
+    wrapper carries the honest ``cached`` flag across the delegation so
+    the wire envelope reports cache hits exactly like a direct call.
+    """
+
+    value: Any
+    cached: bool = False
 
 
 # --------------------------------------------------------------------------- #
@@ -197,6 +247,110 @@ def _run_inspect_edge(ctx: OpContext, args: Mapping[str, Any]):
 
 
 # --------------------------------------------------------------------------- #
+# session-scoped handlers (Protocol v2)
+# --------------------------------------------------------------------------- #
+def encode_step_value(value: Any) -> Any:
+    """Flatten one session-step result to JSON-safe primitives."""
+    if value is None:
+        return None
+    if hasattr(value, "visible_nodes"):  # TomahawkContext
+        return {
+            "focus": value.focus.label,
+            "children": [node.label for node in value.children],
+            "siblings": [node.label for node in value.siblings],
+            "ancestors": [node.label for node in value.ancestors],
+            "size": value.size,
+        }
+    if hasattr(value, "as_dict"):  # SubgraphMetrics
+        return value.as_dict()
+    if hasattr(value, "leaf_label"):  # LabelQueryResult
+        return {
+            "vertex": value.vertex,
+            "leaf": value.leaf_label,
+            "path": value.path_labels,
+        }
+    if hasattr(value, "edges") and hasattr(value, "community_a"):
+        return {
+            "community_a": value.community_a,
+            "community_b": value.community_b,
+            "num_edges": len(value.edges),
+            "edges": sorted(([u, v, w] for u, v, w in value.edges), key=repr),
+        }
+    if hasattr(value, "community_label"):  # Bookmark
+        return {"name": value.name, "community": value.community_label}
+    return str(value)
+
+
+def _run_session_create(ctx: ServiceOpContext, args: Mapping[str, Any]):
+    session = ctx.service.open_session(
+        dataset=args["dataset"],
+        ttl=args["ttl"],
+        focus=args["focus"],
+        name=args["name"],
+    )
+    return {"session": session.info()}
+
+
+def _run_session_restore(ctx: ServiceOpContext, args: Mapping[str, Any]):
+    session = ctx.service.restore_session(
+        dict(args["state"]), dataset=args["dataset"]
+    )
+    return {"session": session.info()}
+
+
+def _run_session_resume(ctx: ServiceOpContext, args: Mapping[str, Any]):
+    return {"session": ctx.service.resume_session(args["session_id"]).info()}
+
+
+def _run_session_describe(ctx: ServiceOpContext, args: Mapping[str, Any]):
+    # Peek, don't resume: describing a session is read-only and must not
+    # refresh its TTL or touch counter — that idempotence is also what
+    # makes the payload byte-identical across repeated calls/transports.
+    session = ctx.service.peek_session(args["session_id"])
+    return {"session": session.info(), "state": session.state_dict()}
+
+
+def _run_session_step(ctx: ServiceOpContext, args: Mapping[str, Any]):
+    session = ctx.service.resume_session(args["session_id"])
+    value = session.recording.apply_step(args["action"], dict(args["args"]))
+    return {
+        "session": session.info(),
+        "action": args["action"],
+        "result": encode_step_value(value),
+    }
+
+
+def _run_session_close(ctx: ServiceOpContext, args: Mapping[str, Any]):
+    ctx.service.close_session(args["session_id"])
+    return {"closed": args["session_id"]}
+
+
+def _run_session_list(ctx: ServiceOpContext, args: Mapping[str, Any]):
+    return {"sessions": ctx.service.sessions.active_ids()}
+
+
+def _session_mining_handler(target_op: str):
+    """Delegate a session-context variant to its dataset op.
+
+    The session supplies the dataset and — when the caller does not name a
+    ``community`` explicitly — the scope: its currently focused community.
+    The delegation runs through the service's ordinary dataset dispatch,
+    so the kernel executes on the configured backend and shares cache
+    entries with direct calls for the same community by construction.
+    """
+
+    def run(ctx: ServiceOpContext, args: Mapping[str, Any]):
+        args = dict(args)
+        session = ctx.service.resume_session(args.pop("session_id"))
+        if args.get("community") is None:
+            args["community"] = session.engine.focus.label
+        value, cached = ctx.service.dispatch_in_session(session, target_op, args)
+        return DelegatedResult(value, cached)
+
+    return run
+
+
+# --------------------------------------------------------------------------- #
 # pagination + encoders (rich result -> JSON payload)
 # --------------------------------------------------------------------------- #
 def validate_page(page: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
@@ -311,10 +465,9 @@ def encode_result(spec: OpSpec, value: Any, page: Optional[Mapping[str, Any]] = 
 # --------------------------------------------------------------------------- #
 # the table
 # --------------------------------------------------------------------------- #
-def build_default_registry() -> OperationRegistry:
-    """Every dataset-scoped operation of GMine Protocol v1, fully declared."""
-    return OperationRegistry(
-        [
+def _build_dataset_specs() -> List[OpSpec]:
+    """Every dataset-scoped operation, fully declared."""
+    return [
             OpSpec(
                 name="metrics",
                 doc="the paper's five-metric suite for one community subgraph",
@@ -364,6 +517,11 @@ def build_default_registry() -> OperationRegistry:
                 handler=_run_rwr,
                 encoder=_encode_rwr,
                 planner=_make_planner("rwr", "rwr"),
+                stream=StreamSpec(
+                    field="scores",
+                    page_key="top_k",
+                    total=lambda value: len(value.scores),
+                ),
             ),
             OpSpec(
                 name="connection_subgraph",
@@ -384,6 +542,11 @@ def build_default_registry() -> OperationRegistry:
                 planner=_make_planner(
                     "connection_subgraph", "connection_subgraph"
                 ),
+                stream=StreamSpec(
+                    field="goodness",
+                    page_key="top_k",
+                    total=lambda value: len(value.goodness),
+                ),
             ),
             OpSpec(
                 name="connectivity",
@@ -394,6 +557,11 @@ def build_default_registry() -> OperationRegistry:
                 ),
                 handler=_run_connectivity,
                 encoder=_encode_connectivity,
+                stream=StreamSpec(
+                    field="edges",
+                    page_key="limit",
+                    total=lambda value: len(value),
+                ),
             ),
             OpSpec(
                 name="inspect_edge",
@@ -414,9 +582,151 @@ def build_default_registry() -> OperationRegistry:
                 finalize=_finalize_inspect_edge,
                 handler=_run_inspect_edge,
                 encoder=_encode_inspect_edge,
+                stream=StreamSpec(
+                    field="edges",
+                    page_key="limit",
+                    total=lambda value: len(value.edges),
+                ),
             ),
-        ]
+    ]
+
+
+def _session_id_arg() -> ArgSpec:
+    return ArgSpec(
+        name="session_id", types=(str,),
+        doc="id of a live session (create one with session.create)",
     )
+
+
+def _session_variant(spec: OpSpec) -> OpSpec:
+    """The session-context twin of one dataset-scoped mining op.
+
+    Same argument schema plus a leading ``session_id``; the ``community``
+    argument defaults to the session's focused community instead of the
+    widest scope.  Not cacheable at the envelope level — the result
+    depends on live session state — but the delegated dataset dispatch
+    underneath still serves and feeds the shared result cache.
+    """
+    args = tuple(
+        dataclasses.replace(
+            arg, doc="community scope (None = the session's focused community)"
+        )
+        if arg.name == "community"
+        else arg
+        for arg in spec.args
+    )
+    return OpSpec(
+        name=f"session.{spec.name}",
+        doc=f"{spec.doc}, in a session's context (focus = default scope)",
+        cacheable=False,
+        cost=spec.cost,
+        scope="session",
+        args=(_session_id_arg(),) + args,
+        handler=_session_mining_handler(spec.name),
+        encoder=spec.encoder,
+    )
+
+
+def _build_session_specs(dataset_specs: List[OpSpec]) -> List[OpSpec]:
+    """The session surface: lifecycle ops + session-context mining variants."""
+    by_name = {spec.name: spec for spec in dataset_specs}
+    lifecycle = [
+        OpSpec(
+            name="session.create",
+            doc="open a fresh exploration session over a dataset",
+            cacheable=False,
+            cost="cheap",
+            scope="session",
+            args=(
+                ArgSpec("dataset", (str,), default=None,
+                        doc="dataset to explore (None = the only/default one)"),
+                ArgSpec("ttl", (int, float), default=None,
+                        doc="inactivity expiry in seconds (None = server default)"),
+                ArgSpec("focus", (int, str), default=None,
+                        doc="community to focus first (id or label)"),
+                ArgSpec("name", (str,), default="session",
+                        doc="human-readable session name"),
+            ),
+            handler=_run_session_create,
+        ),
+        OpSpec(
+            name="session.restore",
+            doc="recreate a session from a serialised state payload",
+            cacheable=False,
+            cost="cheap",
+            scope="session",
+            args=(
+                ArgSpec("state", (dict,),
+                        doc="a session state_dict payload (session.describe)"),
+                ArgSpec("dataset", (str,), default=None,
+                        doc="dataset override (None = the state's dataset)"),
+            ),
+            handler=_run_session_restore,
+        ),
+        OpSpec(
+            name="session.resume",
+            doc="touch a live session, refreshing its TTL",
+            cacheable=False,
+            cost="cheap",
+            scope="session",
+            args=(_session_id_arg(),),
+            handler=_run_session_resume,
+        ),
+        OpSpec(
+            name="session.describe",
+            doc="a session's summary and serialisable state (read-only peek)",
+            cacheable=False,
+            cost="cheap",
+            scope="session",
+            args=(_session_id_arg(),),
+            handler=_run_session_describe,
+        ),
+        OpSpec(
+            name="session.step",
+            doc="apply one exploration step (focus, drill, query, bookmark)",
+            cacheable=False,
+            cost="cheap",
+            scope="session",
+            args=(
+                _session_id_arg(),
+                ArgSpec("action", (str,),
+                        doc="step action name (see ExplorationSession.step_actions)"),
+                ArgSpec("args", (dict,), default=None,
+                        doc="arguments of the step action",
+                        normalize=lambda value, ctx: {} if value is None else dict(value)),
+            ),
+            handler=_run_session_step,
+        ),
+        OpSpec(
+            name="session.close",
+            doc="end a session explicitly (idempotent)",
+            cacheable=False,
+            cost="cheap",
+            scope="session",
+            args=(_session_id_arg(),),
+            handler=_run_session_close,
+        ),
+        OpSpec(
+            name="session.list",
+            doc="ids of every live session",
+            cacheable=False,
+            cost="cheap",
+            scope="session",
+            args=(),
+            handler=_run_session_list,
+        ),
+    ]
+    variants = [
+        _session_variant(by_name[name])
+        for name in ("metrics", "rwr", "connection_subgraph")
+    ]
+    return lifecycle + variants
+
+
+def build_default_registry() -> OperationRegistry:
+    """Every operation of GMine Protocol v2: dataset scope + session scope."""
+    dataset_specs = _build_dataset_specs()
+    return OperationRegistry(dataset_specs + _build_session_specs(dataset_specs))
 
 
 #: The shared default table; services copy nothing — specs are frozen.

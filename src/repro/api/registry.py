@@ -1,10 +1,14 @@
-"""Typed operation registry: the declarative heart of GMine Protocol v1.
+"""Typed operation registry: the declarative heart of the GMine Protocol.
 
 Every operation the service exposes is declared once as an :class:`OpSpec`
 — its name, an ordered argument schema (:class:`ArgSpec` with types,
 defaults, validators and normalizers), a cacheability flag, a cost class,
-and a scope.  Everything the old hand-rolled dispatch did ad hoc now
-*derives* from the spec:
+and a scope.  Protocol v2 makes the ``session`` scope a first-class
+citizen (session lifecycle and session-context mining ops live in the same
+table as dataset ops) and adds a streaming declaration
+(:class:`StreamSpec`) for ops whose payloads chunk into resumable cursor
+pages.  Everything the old hand-rolled dispatch did ad hoc now *derives*
+from the spec:
 
 * **validation** — unknown arguments, missing required arguments, wrong
   types and out-of-range values all raise
@@ -48,6 +52,24 @@ COST_CLASSES = ("cheap", "expensive")
 #: Scopes: ``dataset`` ops run against a registered dataset; ``session``
 #: ops act on one user's live exploration state.
 SCOPES = ("dataset", "session")
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """How a streamable op's encoded payload chunks into cursor pages.
+
+    ``field`` names the payload key holding the (deterministically
+    ordered) vector; ``page_key`` is the pagination knob that, set to the
+    full length, makes the encoder emit the complete vector (``top_k``
+    for ranked score payloads, ``limit`` for edge lists); ``total`` maps
+    the *rich* result value to that full length.  Streaming slices the
+    encoded field — never the rich value — so reassembling every chunk
+    reproduces the one-shot payload byte for byte.
+    """
+
+    field: str
+    page_key: str
+    total: Callable[[Any], int]
 
 
 @dataclass(frozen=True)
@@ -152,6 +174,10 @@ class OpSpec:
     #: pool, because the plan is picklable and closes over nothing; ops
     #: without one always run in the parent through ``handler``.
     planner: Optional[Callable[[Mapping[str, Any]], Any]] = None
+    #: Streaming declaration (:class:`StreamSpec`): present on ops whose
+    #: encoded payload carries a large deterministic vector that the
+    #: ``/v1/stream`` route may chunk into resumable cursor pages.
+    stream: Optional[StreamSpec] = None
 
     def __post_init__(self) -> None:
         if self.cost not in COST_CLASSES:
@@ -278,9 +304,14 @@ class OpSpec:
             raise ValueError(f"operation {self.name!r} declares no planner")
         return self.planner(canonical)
 
+    @property
+    def streamable(self) -> bool:
+        """Whether ``/v1/stream`` may serve this op as cursor pages."""
+        return self.stream is not None
+
     def describe(self) -> Dict[str, Any]:
         """JSON-friendly description row (drives docs and ``gmine ops``)."""
-        return {
+        row = {
             "name": self.name,
             "doc": self.doc,
             "cacheable": self.cacheable,
@@ -291,8 +322,15 @@ class OpSpec:
             # all consume the venue's cached PreparedGraph at widest scope
             # — so plan-ability and prepared-acceleration coincide.
             "prepared": self.plannable,
+            "streamable": self.streamable,
             "args": [spec.describe() for spec in self.args],
         }
+        if self.stream is not None:
+            row["stream"] = {
+                "field": self.stream.field,
+                "page_key": self.stream.page_key,
+            }
+        return row
 
 
 def _hashable(value: Any) -> Hashable:

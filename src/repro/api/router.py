@@ -1,45 +1,74 @@
-"""Transport-neutral routing for GMine Protocol v1.
+"""Transport-neutral routing for GMine Protocol v2.
 
 The :class:`ProtocolRouter` maps ``(method, path, body)`` triples onto the
-service — exactly the surface the HTTP front-end exposes — and returns
-``(status, payload)`` pairs of plain JSON-safe data.  Both transports call
-it: :mod:`repro.api.http` feeds it real sockets, and the in-process
-transport of :class:`~repro.api.client.GMineClient` calls
-:meth:`ProtocolRouter.handle` directly and serialises the payload with the
-very same :func:`dumps`.  That shared path is the parity guarantee: the
-bytes a client sees cannot depend on the transport.
+service — exactly the surface the HTTP front-ends expose — and returns
+``(status, payload)`` pairs of plain JSON-safe data.  Every transport
+calls it: :mod:`repro.api.http` (threaded) and :mod:`repro.api.aio`
+(asyncio) feed it real sockets, and the in-process transport of
+:class:`~repro.api.client.GMineClient` calls :meth:`ProtocolRouter.handle`
+directly and serialises the payload with the very same :func:`dumps`.
+That shared path is the parity guarantee: the bytes a client sees cannot
+depend on the transport.
+
+Protocol v2 collapses **all** dispatch onto the operation registry: the
+session URLs below are thin wire-compatibility aliases that construct a
+registry request (``session.create``, ``session.step``, …) and route it
+through the very same :meth:`query` path as dataset operations — there is
+no session dispatch outside the registry.  The ``/v1/stream`` route adds
+resumable cursor streaming for ops that declare a
+:class:`~repro.api.registry.StreamSpec`.
 
 Routes::
 
     POST   /v1/query                 one Request envelope -> one Response
+    POST   /v1/stream                one Request envelope -> chunked Responses
+                                     (cursor + next_cursor per chunk)
     POST   /v1/batch                 {"requests": [...]} -> {"responses": [...]}
     GET    /v1/ops                   the registry's op table (schemas included)
     GET    /v1/stats                 cache / backend / compute / session stats
     GET    /v1/datasets              the dataset table (kind, fingerprint, paths)
     POST   /v1/datasets/<name>/reload  hot-reload a dataset from its file
-    GET    /v1/sessions              ids of live sessions
-    POST   /v1/sessions              create (or restore) a session
-    GET    /v1/sessions/<id>         serialised session state
-    POST   /v1/sessions/<id>/resume  touch a session's TTL
-    POST   /v1/sessions/<id>/step    apply one exploration step
-    DELETE /v1/sessions/<id>         close a session
+    GET    /v1/sessions              alias of op session.list
+    POST   /v1/sessions              alias of session.create / session.restore
+    GET    /v1/sessions/<id>         alias of session.describe
+    POST   /v1/sessions/<id>/resume  alias of session.resume
+    POST   /v1/sessions/<id>/step    alias of session.step
+    DELETE /v1/sessions/<id>         alias of session.close
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
-from ..errors import GMineError, InvalidArgumentError, ProtocolError
+from ..errors import (
+    GMineError,
+    InvalidArgumentError,
+    ProtocolError,
+    StaleCursorError,
+)
 from .ops import encode_result
-from .wire import PROTOCOL, Request, Response, WireError, error_code_for, http_status_for
+from .wire import (
+    PROTOCOL,
+    Request,
+    Response,
+    ResultCursor,
+    WireError,
+    error_code_for,
+    http_status_for,
+    request_digest,
+)
 
 JsonDict = Dict[str, Any]
 Handled = Tuple[int, JsonDict]
+HandledStream = Tuple[int, Iterable[JsonDict]]
+
+#: Items per streamed chunk when the request names no ``chunk_size``.
+DEFAULT_STREAM_CHUNK = 500
 
 
 def dumps(payload: Mapping[str, Any]) -> bytes:
-    """The canonical protocol serialisation (both transports use this).
+    """The canonical protocol serialisation (every transport uses this).
 
     Keys are sorted and separators fixed so the same payload always yields
     the same bytes, whatever dict-construction order produced it.
@@ -49,7 +78,13 @@ def dumps(payload: Mapping[str, Any]) -> bytes:
     ).encode("utf-8")
 
 
-def _error_payload(error: BaseException) -> Handled:
+def error_payload(error: BaseException) -> Handled:
+    """Flatten any exception into a structured ``(status, envelope)`` pair.
+
+    Shared by the router and both HTTP front-ends (which use it for
+    transport-level failures like auth and rate-limit rejections), so
+    every failure path emits the same canonical envelope shape.
+    """
     code = error_code_for(error)
     return (
         http_status_for(code),
@@ -83,7 +118,7 @@ class ProtocolRouter:
         self.service = service
 
     # ------------------------------------------------------------------ #
-    # entry point
+    # entry points
     # ------------------------------------------------------------------ #
     def handle(
         self, method: str, path: str, body: Optional[Mapping[str, Any]] = None
@@ -132,7 +167,26 @@ class ProtocolRouter:
             # failure, taxonomy or not, must leave as a structured envelope
             # (error_code_for maps unknown types to INTERNAL) rather than a
             # dropped connection or a raw traceback.
-            return _error_payload(error)
+            return error_payload(error)
+
+    def handle_stream(
+        self, method: str, path: str, body: Optional[Mapping[str, Any]] = None
+    ) -> HandledStream:
+        """Route one possibly-streaming call; returns ``(status, payloads)``.
+
+        ``/v1/stream`` yields one payload per chunk; every other route
+        yields exactly the single payload :meth:`handle` would return, so
+        a front-end may funnel its whole surface through this entry point.
+        """
+        parts = [part for part in path.split("/") if part]
+        if parts == ["v1", "stream"] and method.upper() == "POST":
+            try:
+                return self.stream(body or {})
+            except Exception as error:  # noqa: BLE001 — same boundary as handle()
+                status, payload = error_payload(error)
+                return status, [payload]
+        status, payload = self.handle(method, path, body)
+        return status, [payload]
 
     # ------------------------------------------------------------------ #
     # queries
@@ -147,6 +201,9 @@ class ProtocolRouter:
         The service's batch machinery — identical-request dedup and the
         worker pool — serves the remote surface too; a malformed envelope
         becomes a failure Response in place, never sinking its neighbours.
+        Session-scoped requests ride along like any other: an expired
+        session inside the batch yields a ``SESSION_EXPIRED`` envelope for
+        that entry alone.
         """
         requests = body.get("requests")
         if not isinstance(requests, (list, tuple)):
@@ -222,6 +279,128 @@ class ProtocolRouter:
         )
 
     # ------------------------------------------------------------------ #
+    # streaming cursors
+    # ------------------------------------------------------------------ #
+    def stream(self, body: Mapping[str, Any]) -> HandledStream:
+        """Serve one streamable request as resumable cursor chunks.
+
+        The full result is computed (or served from the shared cache)
+        exactly as ``/v1/query`` would, encoded with the pagination knob
+        widened to the complete vector, and the encoded stream field is
+        sliced into ``chunk_size`` pages.  Each chunk envelope carries
+        ``cursor`` (its own position) and ``next_cursor`` (the resumption
+        token); reassembling every chunk reproduces the one-shot payload
+        byte for byte.  A resumed cursor must match the original request
+        (digest) and the dataset's **current** fingerprint — a content-
+        changing hot-reload between pages surfaces as ``CURSOR_EXPIRED``
+        rather than a silently inconsistent vector.
+        """
+        request = Request.from_dict(body)
+        spec = self.service.registry.get(request.op)
+        if spec.stream is None:
+            streamable = sorted(s.name for s in self.service.registry if s.stream)
+            raise ProtocolError(
+                f"operation {request.op!r} does not stream; "
+                f"streamable operations: {streamable}"
+            )
+        fingerprint = self.service.fingerprint(request.dataset)
+        digest = request_digest(request)
+        offset = 0
+        chunk_size = request.chunk_size
+        if request.cursor is not None:
+            cursor = ResultCursor.from_token(request.cursor)
+            if cursor.op != request.op or cursor.request_digest != digest:
+                raise ProtocolError(
+                    "stream cursor does not belong to this request; resume "
+                    "with the same op, dataset, args and page it was issued for"
+                )
+            if cursor.fingerprint != fingerprint:
+                raise StaleCursorError(
+                    f"stream cursor was issued under dataset fingerprint "
+                    f"{cursor.fingerprint[:12]}… but "
+                    f"{request.dataset or 'the dataset'} now has "
+                    f"{fingerprint[:12]}… (hot-reloaded?); restart the stream"
+                )
+            offset = cursor.offset
+            chunk_size = chunk_size if chunk_size is not None else cursor.chunk_size
+        if chunk_size is None:
+            chunk_size = DEFAULT_STREAM_CHUNK
+
+        result = self.service.execute(
+            {"op": request.op, "args": request.args, "dataset": request.dataset}
+        )
+        if not result.ok:
+            response = self._result_to_response(request, result)
+            return response.status, [response.to_dict()]
+        page = dict(request.page) if request.page else {}
+        page.setdefault(spec.stream.page_key, spec.stream.total(result.value))
+        payload, _ = encode_result(spec, result.value, page)
+        items = payload[spec.stream.field]
+        if offset > len(items):
+            raise InvalidArgumentError(
+                f"stream cursor offset {offset} is past the end of the "
+                f"{len(items)}-item stream"
+            )
+        return 200, self._stream_chunks(
+            request, spec, payload, items, offset, chunk_size,
+            fingerprint, digest, cached=result.cached,
+        )
+
+    def _stream_chunks(
+        self,
+        request: Request,
+        spec,
+        payload: JsonDict,
+        items: List[Any],
+        offset: int,
+        chunk_size: int,
+        fingerprint: str,
+        digest: str,
+        cached: bool,
+    ) -> Iterator[JsonDict]:
+        """Yield chunk envelopes over an already-encoded payload.
+
+        Pure slicing — the heavy dispatch happened before the generator was
+        handed out, so iteration cannot fail mid-stream.
+        """
+        field = spec.stream.field
+        total = len(items)
+        position = offset
+        base = ResultCursor(
+            op=request.op,
+            fingerprint=fingerprint,
+            request_digest=digest,
+            offset=0,
+            chunk_size=chunk_size,
+        )
+        while True:
+            window = items[position : position + chunk_size]
+            next_position = position + len(window)
+            exhausted = next_position >= total
+            chunk = dict(payload)
+            chunk[field] = window
+            yield Response(
+                ok=True,
+                op=request.op,
+                result=chunk,
+                cached=cached,
+                page={
+                    "field": field,
+                    "offset": position,
+                    "count": len(window),
+                    "total": total,
+                },
+                id=request.id,
+                cursor=base.advanced(position).to_token(),
+                next_cursor=(
+                    None if exhausted else base.advanced(next_position).to_token()
+                ),
+            ).to_dict()
+            if exhausted:
+                return
+            position = next_position
+
+    # ------------------------------------------------------------------ #
     # registry + stats
     # ------------------------------------------------------------------ #
     def ops(self) -> Handled:
@@ -251,107 +430,63 @@ class ProtocolRouter:
         return 200, payload
 
     # ------------------------------------------------------------------ #
-    # sessions
+    # sessions: wire-compatible aliases over the registry's session ops
     # ------------------------------------------------------------------ #
+    def _registry_call(self, op: str, args: Mapping[str, Any]) -> Handled:
+        """Run one registry op and flatten its result to the legacy shape.
+
+        The legacy session URLs predate Protocol v2; they keep their wire
+        shape (result keys at the top level of the envelope) but all
+        validation, canonicalization and dispatch happen in the registry —
+        exactly the same path a ``POST /v1/query`` for the op takes.
+        """
+        response = self._run_query({"op": op, "args": dict(args)})
+        if not response.ok:
+            error = response.error or WireError("INTERNAL", "")
+            return response.status, {
+                "protocol": PROTOCOL,
+                "ok": False,
+                "error": error.to_dict(),
+            }
+        payload: JsonDict = {"protocol": PROTOCOL, "ok": True}
+        payload.update(response.result)
+        return 200, payload
+
     def list_sessions(self) -> Handled:
-        return 200, {
-            "protocol": PROTOCOL,
-            "ok": True,
-            "sessions": self.service.sessions.active_ids(),
-        }
+        return self._registry_call("session.list", {})
 
     def create_session(self, body: Mapping[str, Any]) -> Handled:
-        state = body.get("state")
-        if state is not None:
-            session = self.service.restore_session(
-                dict(state), dataset=body.get("dataset")
+        if body.get("state") is not None:
+            return self._registry_call(
+                "session.restore",
+                {
+                    key: body.get(key)
+                    for key in ("state", "dataset")
+                    if body.get(key) is not None
+                },
             )
-        else:
-            ttl = body.get("ttl")
-            if ttl is not None and not isinstance(ttl, (int, float)):
-                raise InvalidArgumentError(f"ttl must be a number, got {ttl!r}")
-            session = self.service.open_session(
-                dataset=body.get("dataset"),
-                ttl=ttl,
-                focus=body.get("focus"),
-                name=str(body.get("name", "session")),
-            )
-        return 200, self._session_payload(session)
+        return self._registry_call(
+            "session.create",
+            {
+                key: body.get(key)
+                for key in ("dataset", "ttl", "focus", "name")
+                if body.get(key) is not None
+            },
+        )
 
     def resume_session(self, session_id: str) -> Handled:
-        session = self.service.resume_session(session_id)
-        return 200, self._session_payload(session)
+        return self._registry_call("session.resume", {"session_id": session_id})
 
     def session_state(self, session_id: str) -> Handled:
-        session = self.service.resume_session(session_id)
-        payload = self._session_payload(session)
-        payload["state"] = session.state_dict()
-        return 200, payload
+        return self._registry_call("session.describe", {"session_id": session_id})
 
     def close_session(self, session_id: str) -> Handled:
-        self.service.close_session(session_id)
-        return 200, {"protocol": PROTOCOL, "ok": True, "closed": session_id}
+        return self._registry_call("session.close", {"session_id": session_id})
 
     def session_step(self, session_id: str, body: Mapping[str, Any]) -> Handled:
-        session = self.service.resume_session(session_id)
-        action = body.get("action")
-        if not action or not isinstance(action, str):
-            raise InvalidArgumentError(
-                f"step body must carry an 'action', got {dict(body)!r}"
-            )
-        arguments = body.get("args", {})
-        if not isinstance(arguments, Mapping):
-            raise InvalidArgumentError(
-                f"step args must be an object, got {arguments!r}"
-            )
-        value = session.recording.apply_step(action, dict(arguments))
-        payload = self._session_payload(session)
-        payload["action"] = action
-        payload["result"] = self._encode_step(action, value)
-        return 200, payload
-
-    def _session_payload(self, session) -> JsonDict:
-        return {
-            "protocol": PROTOCOL,
-            "ok": True,
-            "session": {
-                "session_id": session.session_id,
-                "dataset": session.dataset,
-                "focus": session.engine.focus.label,
-                "steps": len(session.recording.steps),
-                "touches": session.touches,
-                "ttl": session.ttl,
-            },
-        }
-
-    @staticmethod
-    def _encode_step(action: str, value: Any) -> Any:
-        """Flatten one step result to JSON-safe primitives."""
-        if value is None:
-            return None
-        if hasattr(value, "visible_nodes"):  # TomahawkContext
-            return {
-                "focus": value.focus.label,
-                "children": [node.label for node in value.children],
-                "siblings": [node.label for node in value.siblings],
-                "ancestors": [node.label for node in value.ancestors],
-                "size": value.size,
-            }
-        if hasattr(value, "as_dict"):  # SubgraphMetrics
-            return value.as_dict()
-        if hasattr(value, "leaf_label"):  # LabelQueryResult
-            return {
-                "vertex": value.vertex,
-                "leaf": value.leaf_label,
-                "path": value.path_labels,
-            }
-        if hasattr(value, "edges") and hasattr(value, "community_a"):
-            return {
-                "community_a": value.community_a,
-                "community_b": value.community_b,
-                "num_edges": len(value.edges),
-                "edges": sorted(([u, v, w] for u, v, w in value.edges), key=repr),
-            }
-        if hasattr(value, "community_label"):  # Bookmark
-            return {"name": value.name, "community": value.community_label}
-        return str(value)
+        args: JsonDict = {"session_id": session_id}
+        if body.get("action") is not None:
+            args["action"] = body.get("action")
+        if body.get("args") is not None:
+            args["args"] = body.get("args")
+        return self._registry_call("session.step", args)

@@ -1,6 +1,7 @@
-"""GMine Protocol v1 wire envelopes and the structured error taxonomy.
+"""GMine Protocol v2 wire envelopes and the structured error taxonomy.
 
-A request is one JSON object::
+The envelopes stay wire-compatible with protocol ``gmine/1``.  A request
+is one JSON object::
 
     {"protocol": "gmine/1", "op": "rwr", "dataset": "dblp",
      "args": {"sources": [1, 2]}, "page": {"top_k": 20}, "id": "r-1"}
@@ -14,17 +15,32 @@ and a response mirrors it::
      "error": {"code": "SESSION_EXPIRED", "type": "SessionExpiredError",
                "message": "..."}}
 
+Protocol v2 adds **streaming result cursors** on top of the same
+envelopes: a streamed request may carry ``chunk_size`` and a ``cursor``
+token, and each response chunk carries ``cursor`` (its own position) and
+``next_cursor`` (``null`` once the stream is exhausted).  A
+:class:`ResultCursor` token is stable and resumable: it pins the
+operation, the dataset fingerprint it was issued under, a digest of the
+request, and the next offset — so a client can reconnect, replay the same
+request with the token, and continue exactly where it stopped; if the
+dataset was hot-reloaded in between, the fingerprint mismatch surfaces as
+a structured ``CURSOR_EXPIRED`` error instead of a silently torn vector.
+
 Every failure carries a **stable machine-readable code** mapped from the
 exception hierarchy in :mod:`repro.errors`; :func:`error_code_for` walks an
 exception's MRO to the nearest declared ancestor, and
 :func:`exception_for_code` inverts the mapping so clients (and
 ``QueryResult.unwrap``) re-raise *typed* exceptions rather than strings.
-Both transports — in-process and HTTP — speak exactly these envelopes,
-which is what makes the byte-identical parity guarantee testable.
+All transports — in-process, threaded HTTP, and asyncio HTTP — speak
+exactly these envelopes, which is what makes the byte-identical parity
+guarantee testable.
 """
 
 from __future__ import annotations
 
+import base64
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple, Type
 
@@ -42,6 +58,9 @@ ERROR_CODES: Tuple[Tuple[Type[BaseException], str], ...] = (
     (errors.UnknownOperationError, "UNKNOWN_OPERATION"),
     (errors.DatasetNotFoundError, "DATASET_NOT_FOUND"),
     (errors.InvalidArgumentError, "INVALID_ARGUMENT"),
+    (errors.StaleCursorError, "CURSOR_EXPIRED"),
+    (errors.AuthRequiredError, "AUTH_REQUIRED"),
+    (errors.RateLimitedError, "RATE_LIMITED"),
     (errors.ProtocolError, "PROTOCOL_ERROR"),
     (errors.NavigationError, "NAVIGATION_ERROR"),
     (errors.ConvergenceError, "NOT_CONVERGED"),
@@ -76,6 +95,9 @@ HTTP_STATUS: Dict[str, int] = {
     "UNKNOWN_OPERATION": 404,
     "DATASET_NOT_FOUND": 404,
     "INVALID_ARGUMENT": 400,
+    "CURSOR_EXPIRED": 410,
+    "AUTH_REQUIRED": 401,
+    "RATE_LIMITED": 429,
     "PROTOCOL_ERROR": 400,
     "NAVIGATION_ERROR": 404,
     "NOT_CONVERGED": 422,
@@ -117,17 +139,110 @@ def http_status_for(code: str) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# streaming cursors
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ResultCursor:
+    """One resumable position inside a streamed result.
+
+    The token is opaque to clients but carries everything the server needs
+    to resume statelessly: the operation, the dataset **fingerprint** the
+    stream was issued under (a hot-reload in between turns resumption into
+    a structured ``CURSOR_EXPIRED`` failure instead of a torn vector), a
+    digest of the full request (so a token cannot be replayed against a
+    different query), the next item offset, and the chunk size.  Offsets
+    index the *encoded* stream field, whose order is deterministic — the
+    same property the cache and the parity suites already rely on — which
+    is what makes pages stable across connections and processes.
+    """
+
+    op: str
+    fingerprint: str
+    request_digest: str
+    offset: int
+    chunk_size: int
+
+    def to_token(self) -> str:
+        payload = json.dumps(
+            {
+                "op": self.op,
+                "fp": self.fingerprint,
+                "rq": self.request_digest,
+                "of": self.offset,
+                "ck": self.chunk_size,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return base64.urlsafe_b64encode(payload.encode("utf-8")).decode("ascii").rstrip("=")
+
+    @classmethod
+    def from_token(cls, token: str) -> "ResultCursor":
+        try:
+            padded = token + "=" * (-len(token) % 4)
+            payload = json.loads(base64.urlsafe_b64decode(padded.encode("ascii")))
+            return cls(
+                op=str(payload["op"]),
+                fingerprint=str(payload["fp"]),
+                request_digest=str(payload["rq"]),
+                offset=int(payload["of"]),
+                chunk_size=int(payload["ck"]),
+            )
+        except (KeyError, ValueError, TypeError) as error:
+            raise ProtocolError(f"malformed stream cursor {token!r}") from error
+
+    def advanced(self, offset: int) -> "ResultCursor":
+        """The same stream position family, moved to ``offset``."""
+        return ResultCursor(
+            op=self.op,
+            fingerprint=self.fingerprint,
+            request_digest=self.request_digest,
+            offset=offset,
+            chunk_size=self.chunk_size,
+        )
+
+
+def request_digest(request: "Request") -> str:
+    """A short stable digest tying a cursor to one exact request.
+
+    Hashes the raw ``(op, dataset, args, page)`` quadruple under the
+    canonical serialisation; resuming a stream therefore requires
+    repeating the request verbatim (same spelling), which keeps the token
+    cheap while still rejecting replays against other queries.
+    """
+    basis = json.dumps(
+        {
+            "op": request.op,
+            "dataset": request.dataset,
+            "args": request.args,
+            "page": request.page,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+
+# --------------------------------------------------------------------------- #
 # envelopes
 # --------------------------------------------------------------------------- #
 @dataclass
 class Request:
-    """One protocol request envelope (JSON-round-trippable)."""
+    """One protocol request envelope (JSON-round-trippable).
+
+    ``chunk_size`` and ``cursor`` only matter on the streaming route:
+    ``chunk_size`` asks for pages of that many items, and ``cursor``
+    resumes a previously issued stream at its ``next_cursor`` token.
+    """
 
     op: str
     args: Dict[str, Any] = field(default_factory=dict)
     dataset: Optional[str] = None
     page: Optional[Dict[str, Any]] = None
     id: Optional[str] = None
+    chunk_size: Optional[int] = None
+    cursor: Optional[str] = None
     protocol: str = PROTOCOL
 
     def to_dict(self) -> Dict[str, Any]:
@@ -142,6 +257,10 @@ class Request:
             payload["page"] = dict(self.page)
         if self.id is not None:
             payload["id"] = self.id
+        if self.chunk_size is not None:
+            payload["chunk_size"] = self.chunk_size
+        if self.cursor is not None:
+            payload["cursor"] = self.cursor
         return payload
 
     @classmethod
@@ -162,6 +281,18 @@ class Request:
         page = payload.get("page")
         if page is not None and not isinstance(page, Mapping):
             raise ProtocolError(f"request page must be an object, got {page!r}")
+        chunk_size = payload.get("chunk_size")
+        if chunk_size is not None and (
+            not isinstance(chunk_size, int)
+            or isinstance(chunk_size, bool)
+            or chunk_size < 1
+        ):
+            raise ProtocolError(
+                f"request chunk_size must be a positive integer, got {chunk_size!r}"
+            )
+        cursor = payload.get("cursor")
+        if cursor is not None and not isinstance(cursor, str):
+            raise ProtocolError(f"request cursor must be a string, got {cursor!r}")
         request_id = payload.get("id")
         return cls(
             op=op,
@@ -169,6 +300,8 @@ class Request:
             dataset=payload.get("dataset"),
             page=None if page is None else dict(page),
             id=None if request_id is None else str(request_id),
+            chunk_size=chunk_size,
+            cursor=cursor,
             protocol=protocol,
         )
 
@@ -206,7 +339,14 @@ class WireError:
 
 @dataclass
 class Response:
-    """One protocol response envelope (JSON-round-trippable)."""
+    """One protocol response envelope (JSON-round-trippable).
+
+    ``cursor``/``next_cursor`` are only present on streamed chunks:
+    ``cursor`` names the position this chunk was served from, and
+    ``next_cursor`` is the resumption token for the rest of the stream
+    (``None`` once exhausted).  One-shot responses never carry either key,
+    so v1 payload bytes are untouched.
+    """
 
     ok: bool
     op: str = ""
@@ -215,6 +355,8 @@ class Response:
     cached: bool = False
     page: Optional[Dict[str, Any]] = None
     id: Optional[str] = None
+    cursor: Optional[str] = None
+    next_cursor: Optional[str] = None
     protocol: str = PROTOCOL
 
     def to_dict(self) -> Dict[str, Any]:
@@ -228,6 +370,9 @@ class Response:
             payload["result"] = self.result
             if self.page is not None:
                 payload["page"] = dict(self.page)
+            if self.cursor is not None:
+                payload["cursor"] = self.cursor
+                payload["next_cursor"] = self.next_cursor
         else:
             payload["error"] = (self.error or WireError(INTERNAL_ERROR, "")).to_dict()
         return payload
@@ -239,6 +384,8 @@ class Response:
         error = payload.get("error")
         page = payload.get("page")
         request_id = payload.get("id")
+        cursor = payload.get("cursor")
+        next_cursor = payload.get("next_cursor")
         return cls(
             ok=bool(payload.get("ok")),
             op=str(payload.get("op", "")),
@@ -247,6 +394,8 @@ class Response:
             cached=bool(payload.get("cached", False)),
             page=None if page is None else dict(page),
             id=None if request_id is None else str(request_id),
+            cursor=None if cursor is None else str(cursor),
+            next_cursor=None if next_cursor is None else str(next_cursor),
             protocol=str(payload.get("protocol", PROTOCOL)),
         )
 

@@ -6,16 +6,18 @@ Subcommands mirror the workflow of the original demo:
 * ``gmine build`` — build a G-Tree from a graph file and persist it,
 * ``gmine stats`` — summarise a graph or a stored G-Tree,
 * ``gmine query`` — label query against a stored G-Tree, **or** a one-shot
-  GMine Protocol v1 call: ``gmine query <store|dataset> <op> --args '{...}'``
+  GMine Protocol call: ``gmine query <store|dataset> <op> --args '{...}'``
   runs any registered operation through :class:`~repro.api.client.GMineClient`
   (in-process over a store, or remote with ``--url``),
-* ``gmine ops`` — list the protocol's operation registry
-  (``--describe`` dumps the full schema table),
+* ``gmine ops`` — list the protocol's operation registry, dataset and
+  session scopes alike (``--describe`` dumps the full schema table),
 * ``gmine extract`` — run connection-subgraph extraction,
 * ``gmine render`` — render a Tomahawk view or a subgraph to SVG,
 * ``gmine serve`` — execute a batch of query requests through the
   multi-session service, or with ``--http PORT`` expose the service as the
-  Protocol v1 HTTP front-end,
+  GMine Protocol HTTP front-end (``--asyncio`` for the event-loop server;
+  ``--auth-token``/``--rate-limit`` for transport guard rails;
+  ``--backend auto`` to pick the execution venue per op),
 * ``gmine session`` — create/resume serialisable exploration sessions
   (``gmine session create``, ``gmine session resume``).
 
@@ -31,7 +33,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .api import DEFAULT_REGISTRY, GMineClient, GMineHTTPServer
+from .api import (
+    DEFAULT_REGISTRY,
+    FrontendPolicy,
+    GMineAsyncHTTPServer,
+    GMineClient,
+    GMineHTTPServer,
+)
 from .core.builder import GTreeBuildOptions, GTreeBuilder
 from .core.engine import GMineEngine
 from .data.dblp import DBLPConfig, generate_dblp
@@ -124,7 +132,7 @@ def _parse_page(args: argparse.Namespace):
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    """Label query against a store, or a one-shot Protocol v1 operation.
+    """Label query against a store, or a one-shot protocol operation.
 
     ``gmine query <store.gtree> <op> --args '{...}'`` runs any registered
     operation in-process over the store; ``gmine query <dataset> <op>
@@ -167,7 +175,7 @@ def _cmd_query_protocol(args: argparse.Namespace) -> int:
     if args.url:
         # remote mode: the target positional names the server-side dataset
         dataset = None if args.target in (None, "-") else args.target
-        client = GMineClient.http(args.url)
+        client = GMineClient.http(args.url, auth_token=args.auth_token)
         response = client.query(args.op, dataset=dataset, args=op_args, page=page)
         _print_json(response.to_dict())
         return 0 if response.ok else 3
@@ -193,9 +201,9 @@ def _cmd_query_protocol(args: argparse.Namespace) -> int:
 
 
 def cmd_ops(args: argparse.Namespace) -> int:
-    """Dump the Protocol v1 operation registry (names or full schemas)."""
+    """Dump the Protocol v2 operation registry (names or full schemas)."""
     if args.url:
-        table = GMineClient.http(args.url).ops()
+        table = GMineClient.http(args.url, auth_token=args.auth_token).ops()
     else:
         table = DEFAULT_REGISTRY.describe()
     if args.describe:
@@ -205,7 +213,13 @@ def cmd_ops(args: argparse.Namespace) -> int:
             {
                 "protocol": "gmine/1",
                 "ops": [
-                    {"name": op["name"], "cost": op["cost"], "doc": op["doc"]}
+                    {
+                        "name": op["name"],
+                        "scope": op["scope"],
+                        "cost": op["cost"],
+                        "streamable": op.get("streamable", False),
+                        "doc": op["doc"],
+                    }
                     for op in table
                 ],
             }
@@ -312,13 +326,25 @@ def _open_service(args: argparse.Namespace) -> GMineService:
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run a batch of requests through the service, or serve it over HTTP."""
     if args.http is not None:
+        policy = None
+        if args.auth_token is not None or args.rate_limit is not None:
+            policy = FrontendPolicy(
+                auth_token=args.auth_token, rate_limit=args.rate_limit
+            )
+        server_class = GMineAsyncHTTPServer if args.use_asyncio else GMineHTTPServer
         with _open_service(args) as service:
-            server = GMineHTTPServer(service, host=args.host, port=args.http)
+            server = server_class(
+                service, host=args.host, port=args.http, policy=policy
+            )
+            if args.use_asyncio:
+                server.start()  # bind now so the banner shows the real port
             host, port = server.address
+            front_end = "asyncio" if args.use_asyncio else "threaded"
+            guards = "" if policy is None else f", policy={dict(policy.describe())}"
             print(
                 f"gmine/1 serving {service.datasets()} on http://{host}:{port} "
-                f"(backend={service.backend.name}; "
-                f"POST /v1/query, /v1/batch; GET /v1/ops)",
+                f"({front_end} front-end, backend={service.backend.name}{guards}; "
+                f"POST /v1/query, /v1/stream, /v1/batch; GET /v1/ops)",
                 file=sys.stderr,
             )
             try:
@@ -452,6 +478,9 @@ def build_parser() -> argparse.ArgumentParser:
         help='protocol mode: operation arguments as a JSON object',
     )
     query.add_argument("--url", help="protocol mode: remote gmine/1 server URL")
+    query.add_argument("--auth-token", default=None, dest="auth_token",
+                       help="protocol mode: bearer token for a server "
+                            "started with --auth-token")
     query.add_argument("--graph", help="protocol mode: optional full graph file")
     query.add_argument("--top-k", type=int, default=None, dest="top_k",
                        help="protocol mode: top-k pagination for score payloads")
@@ -470,9 +499,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ops.add_argument(
         "--describe", action="store_true",
-        help="dump the full schema table (args, types, defaults, cost classes)",
+        help="dump the full schema table (args, types, defaults, cost classes, "
+             "scopes, streaming markers)",
     )
     ops.add_argument("--url", help="read the table from a remote gmine/1 server")
+    ops.add_argument("--auth-token", default=None, dest="auth_token",
+                     help="bearer token for a remote server started with --auth-token")
     ops.set_defaults(func=cmd_ops)
 
     extract = subparsers.add_parser("extract", help="connection subgraph extraction")
@@ -505,11 +537,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the gmine/1 HTTP front-end on PORT instead of a batch file",
     )
     serve.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
+    serve.add_argument(
+        "--asyncio", action="store_true", dest="use_asyncio",
+        help="serve the HTTP front-end from an asyncio event loop instead of "
+             "one thread per connection (same router, byte-identical wire)",
+    )
+    serve.add_argument(
+        "--auth-token", default=None, dest="auth_token", metavar="TOKEN",
+        help="require 'Authorization: Bearer TOKEN' on every HTTP request "
+             "(401 AUTH_REQUIRED otherwise)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=None, dest="rate_limit", metavar="N",
+        help="cap the HTTP request rate at N requests/s via a token bucket "
+             "(429 RATE_LIMITED beyond it)",
+    )
     serve.add_argument("--workers", type=int, default=4)
     serve.add_argument(
-        "--backend", default="inline", metavar="{inline,thread,process}[:N]",
+        "--backend", default="inline", metavar="{inline,thread,process,auto}[:N]",
         help="execution backend for expensive mining kernels "
-             "(process = warm multi-core worker pool; N overrides --workers)",
+             "(process = warm multi-core worker pool; auto = pick per op from "
+             "cost class + cpu count; N overrides --workers)",
     )
     serve.add_argument(
         "--cache-path", default=None, dest="cache_path", metavar="FILE",

@@ -129,3 +129,15 @@ class InvalidArgumentError(ServiceError):
 
 class ProtocolError(ServiceError):
     """A wire envelope was malformed or spoke an unsupported protocol."""
+
+
+class StaleCursorError(ProtocolError):
+    """A stream cursor outlived the dataset content it was issued under."""
+
+
+class AuthRequiredError(ServiceError):
+    """A front-end request lacked (or carried an invalid) bearer token."""
+
+
+class RateLimitedError(ServiceError):
+    """A front-end request exceeded the configured request rate."""

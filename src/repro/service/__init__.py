@@ -10,7 +10,7 @@ deduplicates identical requests in flight and fans independent ones out over
 a worker pool with per-request error isolation.
 
 The public operation surface is declared in :mod:`repro.api` (GMine
-Protocol v1): the registry's :class:`~repro.api.registry.OpSpec` table
+Protocol v2): the registry's :class:`~repro.api.registry.OpSpec` table
 drives validation, canonicalization and cache keying for every call, and
 the HTTP front-end / :class:`~repro.api.client.GMineClient` expose this
 service remotely.
@@ -28,6 +28,7 @@ from .cache import (
 from .datasets import DatasetHandle, DatasetRegistry
 from .executors import (
     BACKEND_NAMES,
+    AutoBackend,
     DatasetExecSpec,
     ExecutionBackend,
     InlineBackend,
@@ -46,6 +47,7 @@ from .service import (
 from .sessions import DEFAULT_SESSION_TTL, ServiceSession, SessionManager
 
 __all__ = [
+    "AutoBackend",
     "BACKEND_NAMES",
     "CacheStats",
     "CacheStore",

@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import os
 import threading
+from collections import Counter
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -44,7 +46,7 @@ from ..errors import ServiceError
 logger = logging.getLogger(__name__)
 
 #: Backend names accepted by :func:`make_backend` / ``gmine serve --backend``.
-BACKEND_NAMES = ("inline", "thread", "process")
+BACKEND_NAMES = ("inline", "thread", "process", "auto")
 
 #: Default worker count for pooled backends.
 DEFAULT_BACKEND_WORKERS = 4
@@ -424,6 +426,93 @@ class ProcessBackend(ExecutionBackend):
         return payload
 
 
+class AutoBackend(ExecutionBackend):
+    """Pick the venue per plan from declared cost class + ``cpu_count``.
+
+    ``gmine serve --backend auto`` stops making the operator choose: the
+    service already keeps **cheap** ops in the parent (the cost class
+    declared on each :class:`~repro.api.registry.OpSpec` — they never
+    reach any backend), and for the expensive plannable plans that do
+    arrive here the choice is
+
+    * ``inline`` on a single-core host — pools cannot beat the GIL there,
+      so pool overhead is pure loss;
+    * ``process`` when the host has cores to scale across *and* the
+      dataset is process-capable (reopenable by path+fingerprint);
+    * ``thread`` otherwise — bounded kernel concurrency for datasets the
+      workers cannot rematerialise.
+
+    Every decision is recorded per operation and surfaced through
+    ``/v1/stats`` (``backend.choices``), together with the honest
+    ``cpu_count`` it was based on and the delegate pools' own counters.
+    """
+
+    name = "auto"
+
+    def __init__(
+        self,
+        workers: int = DEFAULT_BACKEND_WORKERS,
+        cpu_count: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if workers < 1:
+            raise ServiceError(f"auto backend needs >= 1 worker, got {workers}")
+        self.workers = workers
+        self.cpu_count = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+        self._thread = ThreadBackend(workers=workers)
+        self._process = (
+            ProcessBackend(workers=min(workers, self.cpu_count))
+            if self.cpu_count >= 2
+            else None
+        )
+        self._choice_lock = threading.Lock()
+        self._choices: Counter = Counter()
+
+    def _choose(self, spec: DatasetExecSpec) -> str:
+        if self.cpu_count < 2:
+            return "inline"
+        if self._process is not None and spec.process_capable:
+            return "process"
+        return "thread"
+
+    def run(self, spec, plan, local):
+        choice = self._choose(spec)
+        with self._choice_lock:
+            self._choices[f"{plan.operation}:{choice}"] += 1
+        if choice == "process":
+            return self._process.run(spec, plan, local)
+        if choice == "thread":
+            return self._thread.run(spec, plan, local)
+        self._count(executed=1)
+        return local()
+
+    def warm(self, spec: DatasetExecSpec) -> None:
+        if self._process is not None:
+            self._process.warm(spec)
+
+    def close(self) -> None:
+        self._thread.close()
+        if self._process is not None:
+            self._process.close()
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregated counters + the per-op choice ledger (``/v1/stats``)."""
+        own = super().stats()
+        delegates = {"thread": self._thread.stats()}
+        if self._process is not None:
+            delegates["process"] = self._process.stats()
+        with self._choice_lock:
+            choices = dict(sorted(self._choices.items()))
+        for counter in ("executed", "shipped", "fallbacks", "errors"):
+            own[counter] += sum(stats[counter] for stats in delegates.values())
+        own["name"] = self.name
+        own["workers"] = self.workers
+        own["cpu_count"] = self.cpu_count
+        own["choices"] = choices
+        own["delegates"] = delegates
+        return own
+
+
 def make_backend(
     backend: Union[str, ExecutionBackend, None],
     workers: int = DEFAULT_BACKEND_WORKERS,
@@ -451,6 +540,8 @@ def make_backend(
         return ThreadBackend(workers=workers)
     if name == "process":
         return ProcessBackend(workers=workers)
+    if name == "auto":
+        return AutoBackend(workers=workers)
     raise ServiceError(
         f"unknown execution backend {backend!r}; expected one of {BACKEND_NAMES}"
     )

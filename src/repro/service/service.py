@@ -11,7 +11,8 @@ machinery into a multi-session query service:
 * every user gets an independent :class:`ServiceSession` (its own focus and
   history) created/resumed/expired through the :class:`SessionManager`,
 * every operation is **declared, not hand-dispatched**: the service executes
-  whatever the GMine Protocol v1 registry (:mod:`repro.api.ops`) declares.
+  whatever the GMine Protocol v2 registry (:mod:`repro.api.ops`) declares
+  — dataset-scoped mining ops and session-scoped ops alike.
   Validation, canonicalization and cache keys all derive from each op's
   :class:`~repro.api.registry.OpSpec`, so the service has no per-op
   ``if/elif`` branching left,
@@ -43,7 +44,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
-from ..api.ops import DEFAULT_REGISTRY, OpContext
+from ..api.ops import DEFAULT_REGISTRY, DelegatedResult, OpContext, ServiceOpContext
 from ..api.registry import OperationRegistry, OpSpec
 from ..api.wire import error_code_for, exception_for_code
 from ..core.gtree import GTree
@@ -86,7 +87,7 @@ class QueryRequest:
 class QueryResult:
     """Outcome of one request: either a value or an isolated error.
 
-    ``code`` carries the stable GMine Protocol v1 error code (taxonomy in
+    ``code`` carries the stable GMine Protocol error code (taxonomy in
     :mod:`repro.api.wire`) alongside the raw exception type name, so both
     transports surface the same structured failure.
     """
@@ -135,7 +136,7 @@ class GMineService:
         Injectable monotonic time source shared by cache and sessions.
     registry:
         The :class:`~repro.api.registry.OperationRegistry` to serve;
-        defaults to the GMine Protocol v1 table.  Every op the service can
+        defaults to the GMine Protocol v2 table.  Every op the service can
         execute is declared there — there is no other dispatch path.
     backend:
         Where expensive compute plans run: ``"inline"`` (default; the
@@ -332,6 +333,10 @@ class GMineService:
         session.recording = recording
         return session
 
+    def peek_session(self, session_id: str) -> ServiceSession:
+        """Return a live session without refreshing its TTL (read-only)."""
+        return self.sessions.peek(session_id)
+
     def close_session(self, session_id: str) -> None:
         """End a session explicitly (idempotent)."""
         self.sessions.close(session_id)
@@ -366,6 +371,12 @@ class GMineService:
     # ------------------------------------------------------------------ #
     def call(self, operation: str, dataset: Optional[str] = None, **args) -> Any:
         """Execute one registered operation through the cache; raises on failure."""
+        spec = self.registry.get(operation)
+        if spec.scope == "session":
+            value, _ = self._dispatch_session(
+                spec, self._session_args(spec, args, dataset)
+            )
+            return value
         handle = self._dataset(dataset)
         value, _ = self._dispatch(handle, operation, args)
         return value
@@ -422,12 +433,27 @@ class GMineService:
     # request execution and batching
     # ------------------------------------------------------------------ #
     def execute(self, request: Union[QueryRequest, Dict[str, Any]]) -> QueryResult:
-        """Run one request, converting any failure into an errored result."""
+        """Run one request, converting any failure into an errored result.
+
+        Session-scoped operations dispatch through the same registry path
+        as dataset ops; their failures — including an expired session
+        inside a batch — carry the structured taxonomy code
+        (``SESSION_EXPIRED``/``SESSION_NOT_FOUND``), never a generic one.
+        """
         if isinstance(request, dict):
             request = QueryRequest.from_dict(request)
         try:
-            handle = self._dataset(request.dataset)
-            value, cached = self._dispatch(handle, request.operation, dict(request.args))
+            spec = self.registry.get(request.operation)
+            if spec.scope == "session":
+                value, cached = self._dispatch_session(
+                    spec,
+                    self._session_args(spec, dict(request.args), request.dataset),
+                )
+            else:
+                handle = self._dataset(request.dataset)
+                value, cached = self._dispatch(
+                    handle, request.operation, dict(request.args)
+                )
         except (GMineError, KeyError, TypeError, ValueError) as error:
             return QueryResult(
                 request=request,
@@ -478,15 +504,22 @@ class GMineService:
             if isinstance(request, QueryResult):
                 order.append(None)
                 continue
+            # Only cacheable dataset ops have a stable request identity to
+            # dedup on.  Session-scoped ops act on live, mutable session
+            # state (two identical session.step requests must both apply)
+            # and non-cacheable ops promise a fresh execution — both run
+            # once per occurrence.
+            key: Any = ("__undeduplicable__", position)
             try:
-                handle = self._dataset(request.dataset)
                 spec = self.registry.get(request.operation)
-                key = spec.cache_key(
-                    handle.fingerprint,
-                    spec.canonicalize(request.args, handle.context),
-                )
+                if spec.scope == "dataset" and spec.cacheable:
+                    handle = self._dataset(request.dataset)
+                    key = spec.cache_key(
+                        handle.fingerprint,
+                        spec.canonicalize(request.args, handle.context),
+                    )
             except (GMineError, TypeError, ValueError):
-                key = ("__undeduplicable__", position)
+                pass
             order.append(key)
             unique.setdefault(key, request)
 
@@ -575,6 +608,55 @@ class GMineService:
     # ------------------------------------------------------------------ #
     # operation dispatch (fully registry-driven)
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _session_args(spec: OpSpec, args: Dict[str, Any], dataset: Optional[str]):
+        """Fold an envelope-level dataset into a session op's arguments.
+
+        Session ops that accept a ``dataset`` argument (``session.create``,
+        ``session.restore``) honour the request envelope's ``dataset``
+        field when the argument itself was not given, so both spellings
+        behave identically.
+        """
+        args = dict(args)
+        if (
+            dataset is not None
+            and "dataset" in spec.arg_names
+            and args.get("dataset") is None
+        ):
+            args["dataset"] = dataset
+        return args
+
+    def _dispatch_session(self, spec: OpSpec, args: Dict[str, Any]):
+        """Run one session-scoped operation; returns ``(value, cached)``.
+
+        Session ops canonicalize through their spec exactly like dataset
+        ops but bypass the result cache — their outcomes depend on live
+        session state the cache key cannot see.  The session-context
+        mining variants delegate the heavy kernel back into the dataset
+        dispatch (wrapped in a :class:`~repro.api.ops.DelegatedResult`),
+        so it still runs on the configured backend and shares cache
+        entries with direct calls; only those delegations report honest
+        ``cached`` flags, and their compute is counted under the dataset
+        op's name by the inner dispatch.
+        """
+        canonical = spec.canonicalize(args)
+        value = spec.handler(ServiceOpContext(service=self), canonical)
+        if isinstance(value, DelegatedResult):
+            return value.value, value.cached
+        with self._lock:
+            self._compute_counts[spec.name] += 1
+        return value, False
+
+    def dispatch_in_session(self, session: ServiceSession, operation: str, args):
+        """Dataset dispatch under a session's dataset; returns ``(value, cached)``.
+
+        The seam the registry's session-context mining variants call back
+        into: same validation, cache keying and backend execution as a
+        direct dataset call.
+        """
+        handle = self._dataset(session.dataset)
+        return self._dispatch(handle, operation, dict(args))
+
     def _dispatch(self, handle: DatasetHandle, operation: str, args: Dict[str, Any]):
         """Run one registered operation; returns ``(value, cached)``.
 

@@ -57,6 +57,17 @@ class ServiceSession:
         payload["dataset"] = self.dataset
         return payload
 
+    def info(self) -> Dict[str, Any]:
+        """JSON-safe summary — the protocol's ``session`` payload shape."""
+        return {
+            "session_id": self.session_id,
+            "dataset": self.dataset,
+            "focus": self.engine.focus.label,
+            "steps": len(self.recording.steps),
+            "touches": self.touches,
+            "ttl": self.ttl,
+        }
+
 
 class SessionManager:
     """Thread-safe registry of live sessions with TTL-based expiry."""
@@ -123,6 +134,22 @@ class SessionManager:
         Raises :class:`SessionExpiredError` when the session existed but aged
         out, and :class:`SessionNotFoundError` when the id was never issued.
         """
+        session = self._lookup(session_id)
+        with self._lock:
+            session.last_used_at = self._clock()
+            session.touches += 1
+        return session
+
+    def peek(self, session_id: str) -> ServiceSession:
+        """Return a live session *without* refreshing its TTL or touches.
+
+        The read-only lookup behind ``session.describe``: expiry is still
+        enforced (a dead session raises exactly as :meth:`resume` would),
+        but describing a session repeatedly observes identical state.
+        """
+        return self._lookup(session_id)
+
+    def _lookup(self, session_id: str) -> ServiceSession:
         with self._lock:
             session = self._sessions.get(session_id)
             if session is not None and self._is_expired(session):
@@ -135,8 +162,6 @@ class SessionManager:
                         f"{self._expired[session_id]:.0f}s TTL; create a new one"
                     )
                 raise SessionNotFoundError(f"no session with id {session_id!r}")
-            session.last_used_at = self._clock()
-            session.touches += 1
             return session
 
     def close(self, session_id: str) -> None:

@@ -1,0 +1,264 @@
+"""Asyncio front-end and transport guard rails (auth + rate limiting).
+
+The asyncio server owns no protocol logic — it must be indistinguishable
+from the threaded server on the wire.  These tests drive the same service
+through both front-ends and assert byte parity for successes, failures,
+sessions and streams, then pin the :class:`FrontendPolicy` satellites:
+``AUTH_REQUIRED`` (401) for a missing/wrong bearer token and
+``RATE_LIMITED`` (429) beyond the token bucket, identically on both
+front-ends, with a deterministic injected clock.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import (
+    FrontendPolicy,
+    GMineAsyncHTTPServer,
+    GMineClient,
+    GMineHTTPServer,
+    TokenBucket,
+)
+from repro.errors import AuthRequiredError, RateLimitedError
+
+pytestmark = pytest.mark.tier1
+
+SERVER_CLASSES = (GMineHTTPServer, GMineAsyncHTTPServer)
+
+
+class TestAioFrontend:
+    def test_lifecycle_and_reuse(self, service):
+        server = GMineAsyncHTTPServer(service, port=0)
+        with server:
+            url = server.url
+            assert GMineClient.http(url).ops()
+        # stopped: a fresh start binds a new port and serves again
+        with server:
+            assert GMineClient.http(server.url).ops()
+
+    def test_keep_alive_serves_sequential_requests(self, aio_server, hot_leaf):
+        leaf, _ = hot_leaf
+        # urllib opens a fresh connection per call; exercise an explicit
+        # keep-alive exchange over one socket instead
+        import http.client
+
+        host, port = aio_server.address
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            for _ in range(3):
+                body = json.dumps(
+                    {"op": "metrics", "args": {"community": leaf.label}}
+                )
+                connection.request(
+                    "POST", "/v1/query", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                reply = connection.getresponse()
+                payload = json.loads(reply.read())
+                assert reply.status == 200 and payload["ok"] is True
+        finally:
+            connection.close()
+
+    def test_malformed_http_gets_a_protocol_envelope(self, aio_server):
+        import socket
+
+        host, port = aio_server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"GARBAGE\r\n\r\n")
+            sock.settimeout(10)
+            data = sock.recv(65536)
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert b"400" in head.split(b"\r\n", 1)[0]
+        assert json.loads(body)["error"]["code"] == "PROTOCOL_ERROR"
+
+    def test_oversized_request_line_gets_a_400_envelope(self, aio_server):
+        # regression: a request line past the StreamReader limit used to
+        # kill the connection task with an unhandled ValueError
+        import socket
+
+        host, port = aio_server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"GET /" + b"x" * 70_000 + b" HTTP/1.1\r\n\r\n")
+            sock.settimeout(10)
+            data = b""
+            while b"\r\n\r\n" not in data:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+            while True:
+                try:
+                    chunk = sock.recv(65536)
+                except TimeoutError:  # pragma: no cover - defensive
+                    break
+                if not chunk:
+                    break
+                data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert b"400" in head.split(b"\r\n", 1)[0]
+        assert json.loads(body)["error"]["code"] == "PROTOCOL_ERROR"
+
+    def test_unknown_route_and_errors_match_threaded_bytes(self, all_clients):
+        local, remote, aio = all_clients
+        for method, path in (("GET", "/v1/nothing"), ("POST", "/v2/query")):
+            payloads = []
+            for client in (remote, aio):
+                status, payload, raw = client.transport.call(method, path, None)
+                payloads.append((status, raw))
+            assert payloads[0] == payloads[1]
+
+
+def _policy_servers(service, **policy_kwargs):
+    """One (threaded, asyncio) pair sharing policy settings."""
+    return [
+        cls(service, port=0, policy=FrontendPolicy(**policy_kwargs))
+        for cls in SERVER_CLASSES
+    ]
+
+
+class TestAuthToken:
+    def test_missing_and_wrong_tokens_are_401(self, service):
+        for server in _policy_servers(service, auth_token="secret-7"):
+            with server:
+                naked = GMineClient.http(server.url)
+                with pytest.raises(AuthRequiredError):
+                    naked.ops()
+                wrong = GMineClient.http(server.url, auth_token="guess")
+                with pytest.raises(AuthRequiredError):
+                    wrong.ops()
+
+    def test_right_token_passes_everywhere(self, service, hot_leaf):
+        leaf, _ = hot_leaf
+        for server in _policy_servers(service, auth_token="secret-7"):
+            with server:
+                client = GMineClient.http(server.url, auth_token="secret-7")
+                assert client.ops()
+                assert client.call("metrics", community=leaf.label)
+                merged = client.stream_result(
+                    "connectivity", chunk_size=2
+                )
+                assert "edges" in merged
+
+    def test_401_envelope_bytes_match_across_front_ends(self, service):
+        raws = []
+        for server in _policy_servers(service, auth_token="secret-7"):
+            with server:
+                request = urllib.request.Request(
+                    server.url + "/v1/ops", method="GET"
+                )
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(request, timeout=10)
+                assert excinfo.value.code == 401
+                raws.append(excinfo.value.read())
+        assert raws[0] == raws[1]
+        payload = json.loads(raws[0])
+        assert payload["error"]["code"] == "AUTH_REQUIRED"
+
+    def test_rejected_post_does_not_corrupt_keep_alive_framing(
+        self, service, hot_leaf
+    ):
+        # regression: replying 401 before draining the POST body used to
+        # leave the body in the socket, garbling the next request on a
+        # keep-alive connection — on both front-ends the follow-up
+        # authenticated request must succeed on the same connection
+        import http.client
+
+        leaf, _ = hot_leaf
+        body = json.dumps({"op": "metrics", "args": {"community": leaf.label}})
+        for server in _policy_servers(service, auth_token="secret-7"):
+            with server:
+                host, port = server.address
+                connection = http.client.HTTPConnection(host, port, timeout=10)
+                try:
+                    connection.request(
+                        "POST", "/v1/query", body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    reply = connection.getresponse()
+                    rejected = json.loads(reply.read())
+                    assert reply.status == 401
+                    assert rejected["error"]["code"] == "AUTH_REQUIRED"
+                    connection.request(
+                        "POST", "/v1/query", body=body,
+                        headers={
+                            "Content-Type": "application/json",
+                            "Authorization": "Bearer secret-7",
+                        },
+                    )
+                    reply = connection.getresponse()
+                    payload = json.loads(reply.read())
+                    assert reply.status == 200 and payload["ok"] is True
+                finally:
+                    connection.close()
+
+    def test_auth_guards_the_stream_route_too(self, service):
+        for server in _policy_servers(service, auth_token="secret-7"):
+            with server:
+                naked = GMineClient.http(server.url)
+                [response] = list(naked.stream("connectivity"))
+                assert response.ok is False
+                assert response.error.code == "AUTH_REQUIRED"
+
+
+class ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+class TestRateLimit:
+    def test_token_bucket_semantics(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=2.0, clock=clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()  # burst (= rate) exhausted
+        clock.advance(0.5)  # refills one token at 2/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(10.0)  # refill clamps at capacity
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_429_beyond_the_bucket_on_both_front_ends(self, service):
+        for cls in SERVER_CLASSES:
+            clock = ManualClock()
+            policy = FrontendPolicy(rate_limit=2.0, clock=clock)
+            with cls(service, port=0, policy=policy) as server:
+                client = GMineClient.http(server.url)
+                assert client.ops() and client.ops()
+                with pytest.raises(RateLimitedError):
+                    client.ops()
+                clock.advance(1.0)  # two tokens back
+                assert client.ops()
+
+    def test_rate_limited_envelope_carries_the_code(self, service):
+        clock = ManualClock()
+        policy = FrontendPolicy(rate_limit=1.0, clock=clock)
+        with GMineAsyncHTTPServer(service, port=0, policy=policy) as server:
+            client = GMineClient.http(server.url)
+            client.ops()
+            status, payload, _ = client.transport.call("GET", "/v1/ops", None)
+            assert status == 429
+            assert payload["error"]["code"] == "RATE_LIMITED"
+            assert payload["error"]["type"] == "RateLimitedError"
+
+    def test_auth_is_checked_before_rate(self, service):
+        clock = ManualClock()
+        policy = FrontendPolicy(
+            auth_token="secret", rate_limit=1.0, clock=clock
+        )
+        with GMineHTTPServer(service, port=0, policy=policy) as server:
+            naked = GMineClient.http(server.url)
+            with pytest.raises(AuthRequiredError):
+                naked.ops()
+            # the rejected request did not drain the bucket
+            authed = GMineClient.http(server.url, auth_token="secret")
+            assert authed.ops()

@@ -161,9 +161,17 @@ class TestDiscoveryRoutes:
         status, payload = _get(http_server.url + "/v1/ops")
         assert status == 200
         names = [op["name"] for op in payload["ops"]]
-        assert names == [
+        assert names[:5] == [
             "metrics", "rwr", "connection_subgraph", "connectivity", "inspect_edge",
         ]
+        # every session op is a first-class registry row with its scope
+        session_rows = [op for op in payload["ops"] if op["name"].startswith("session.")]
+        assert {op["name"] for op in session_rows} == {
+            "session.create", "session.restore", "session.resume",
+            "session.describe", "session.step", "session.close", "session.list",
+            "session.metrics", "session.rwr", "session.connection_subgraph",
+        }
+        assert all(op["scope"] == "session" for op in session_rows)
         assert all("args" in op for op in payload["ops"])
 
     def test_stats_over_http(self, http_server):

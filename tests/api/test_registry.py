@@ -20,18 +20,40 @@ pytestmark = pytest.mark.tier1
 
 class TestRegistryBasics:
     def test_default_registry_declares_every_service_operation(self):
-        # the acceptance criterion: everything service.call can reach
+        # the acceptance criterion: everything service.call can reach,
+        # dataset scope and session scope alike — no dispatch outside it
         assert set(DEFAULT_REGISTRY.names()) == {
             "metrics", "rwr", "connection_subgraph", "connectivity", "inspect_edge",
+            "session.create", "session.restore", "session.resume",
+            "session.describe", "session.step", "session.close", "session.list",
+            "session.metrics", "session.rwr", "session.connection_subgraph",
         }
 
     def test_every_spec_is_fully_bound(self):
         for spec in DEFAULT_REGISTRY:
             assert spec.handler is not None, spec.name
-            assert spec.encoder is not None, spec.name
             assert spec.doc
             assert spec.cost in ("cheap", "expensive")
-            assert spec.scope == "dataset"
+            if spec.scope == "dataset":
+                assert spec.encoder is not None, spec.name
+            else:
+                # session ops: lifecycle payloads are already JSON-safe
+                # (no encoder); mining variants reuse their twin's encoder
+                assert spec.name.startswith("session.")
+                assert not spec.cacheable, spec.name
+
+    def test_session_variants_mirror_their_dataset_twin(self):
+        for name in ("metrics", "rwr", "connection_subgraph"):
+            twin = DEFAULT_REGISTRY.get(name)
+            variant = DEFAULT_REGISTRY.get(f"session.{name}")
+            assert variant.scope == "session"
+            assert variant.cost == twin.cost
+            assert variant.encoder is twin.encoder
+            assert variant.arg_names == ("session_id",) + twin.arg_names
+
+    def test_scope_rejects_unknown_values(self):
+        with pytest.raises(ValueError, match="scope"):
+            OpSpec(name="x", scope="galaxy")
 
     def test_unknown_operation_raises_taxonomy_error(self):
         with pytest.raises(UnknownOperationError):

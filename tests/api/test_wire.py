@@ -8,21 +8,26 @@ from repro.api import (
     PROTOCOL,
     Request,
     Response,
+    ResultCursor,
     WireError,
     error_code_for,
     exception_for_code,
     http_status_for,
+    request_digest,
 )
 from repro.api.router import dumps
 from repro.errors import (
+    AuthRequiredError,
     ConvergenceError,
     GMineError,
     InvalidArgumentError,
     NavigationError,
     ProtocolError,
+    RateLimitedError,
     ServiceError,
     SessionExpiredError,
     SessionNotFoundError,
+    StaleCursorError,
     UnknownOperationError,
 )
 
@@ -96,6 +101,9 @@ class TestErrorTaxonomy:
             (NavigationError("x"), "NAVIGATION_ERROR"),
             (ConvergenceError("x"), "NOT_CONVERGED"),
             (ServiceError("x"), "SERVICE_ERROR"),
+            (StaleCursorError("x"), "CURSOR_EXPIRED"),
+            (AuthRequiredError("x"), "AUTH_REQUIRED"),
+            (RateLimitedError("x"), "RATE_LIMITED"),
             (TypeError("x"), "INVALID_ARGUMENT"),
             (KeyError("x"), "INVALID_ARGUMENT"),
             (RuntimeError("x"), "INTERNAL"),
@@ -103,6 +111,11 @@ class TestErrorTaxonomy:
     )
     def test_exception_maps_to_stable_code(self, error, code):
         assert error_code_for(error) == code
+
+    def test_new_codes_carry_the_documented_statuses(self):
+        assert http_status_for("CURSOR_EXPIRED") == 410
+        assert http_status_for("AUTH_REQUIRED") == 401
+        assert http_status_for("RATE_LIMITED") == 429
 
     def test_codes_invert_to_typed_exceptions(self):
         for code, expected in [
@@ -128,6 +141,69 @@ class TestErrorTaxonomy:
     def test_wire_error_raises_itself(self):
         with pytest.raises(SessionExpiredError, match="ttl ran out"):
             WireError(code="SESSION_EXPIRED", message="ttl ran out").raise_()
+
+
+class TestResultCursor:
+    def _cursor(self, offset=0):
+        return ResultCursor(
+            op="rwr", fingerprint="fp" * 20, request_digest="d1" * 8,
+            offset=offset, chunk_size=50,
+        )
+
+    def test_token_round_trip(self):
+        cursor = self._cursor(offset=150)
+        assert ResultCursor.from_token(cursor.to_token()) == cursor
+
+    def test_advanced_moves_only_the_offset(self):
+        cursor = self._cursor()
+        moved = cursor.advanced(99)
+        assert moved.offset == 99
+        assert (moved.op, moved.fingerprint, moved.request_digest,
+                moved.chunk_size) == (cursor.op, cursor.fingerprint,
+                                      cursor.request_digest, cursor.chunk_size)
+
+    def test_malformed_tokens_raise_protocol_error(self):
+        for bad in ("", "not-base64!", "YWJj"):  # last one: valid b64, not JSON
+            with pytest.raises(ProtocolError, match="malformed stream cursor"):
+                ResultCursor.from_token(bad)
+
+    def test_request_digest_pins_the_whole_request(self):
+        base = Request(op="rwr", args={"sources": [1]}, dataset="dblp")
+        assert request_digest(base) == request_digest(
+            Request(op="rwr", args={"sources": [1]}, dataset="dblp")
+        )
+        for other in (
+            Request(op="rwr", args={"sources": [2]}, dataset="dblp"),
+            Request(op="rwr", args={"sources": [1]}, dataset="other"),
+            Request(op="rwr", args={"sources": [1]}, dataset="dblp",
+                    page={"top_k": 3}),
+            Request(op="metrics", args={"sources": [1]}, dataset="dblp"),
+        ):
+            assert request_digest(other) != request_digest(base)
+
+    def test_stream_fields_round_trip_on_envelopes(self):
+        request = Request(op="rwr", args={}, chunk_size=25, cursor="tok")
+        clone = Request.from_dict(json.loads(dumps(request.to_dict())))
+        assert clone.chunk_size == 25 and clone.cursor == "tok"
+        response = Response(ok=True, op="rwr", result={"scores": []},
+                            cursor="here", next_cursor=None)
+        payload = response.to_dict()
+        assert payload["cursor"] == "here" and payload["next_cursor"] is None
+        clone = Response.from_dict(payload)
+        assert clone.cursor == "here" and clone.next_cursor is None
+
+    def test_one_shot_envelopes_stay_v1_byte_compatible(self):
+        # no cursor keys unless the response actually streamed
+        payload = Response(ok=True, op="rwr", result={}).to_dict()
+        assert "cursor" not in payload and "next_cursor" not in payload
+
+    def test_bad_stream_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="chunk_size"):
+            Request.from_dict({"op": "rwr", "chunk_size": 0})
+        with pytest.raises(ProtocolError, match="chunk_size"):
+            Request.from_dict({"op": "rwr", "chunk_size": True})
+        with pytest.raises(ProtocolError, match="cursor"):
+            Request.from_dict({"op": "rwr", "cursor": 7})
 
 
 class TestCanonicalSerialisation:

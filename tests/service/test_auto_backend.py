@@ -1,0 +1,89 @@
+"""``--backend auto``: per-op venue selection from cost class + cpu_count.
+
+The satellite contract: ``auto`` never changes *what* is computed (byte
+parity is covered by the executor suite), only *where* — process pools
+when the host has cores and the dataset is reopenable by path, threads
+when it is not, inline on a single-core host — and every decision is
+surfaced through ``/v1/stats`` so an operator can audit it.
+"""
+
+import pytest
+
+from repro.api import GMineClient
+from repro.service import AutoBackend, GMineService, make_backend
+
+pytestmark = pytest.mark.tier1
+
+
+class TestAutoSelection:
+    def test_single_core_host_runs_inline(self, service_dataset):
+        dataset, tree = service_dataset
+        leaf = max(tree.leaves(), key=lambda node: node.size)
+        with GMineService(backend=AutoBackend(cpu_count=1)) as service:
+            service.register_tree(tree, graph=dataset.graph, name="dblp")
+            service.rwr(list(leaf.members[:2]), community=leaf.label)
+            stats = service.stats()["backend"]
+            assert stats["name"] == "auto"
+            assert stats["cpu_count"] == 1
+            assert stats["choices"] == {"rwr:inline": 1}
+            assert stats["shipped"] == 0
+
+    def test_process_capable_dataset_goes_to_the_pool(self, store_path):
+        with GMineService(backend=AutoBackend(workers=2, cpu_count=4)) as service:
+            service.register_store(store_path, name="dblp")
+            leaf = max(
+                service.registry_of_datasets.get("dblp").tree.leaves(),
+                key=lambda node: node.size,
+            )
+            service.rwr(list(leaf.members[:2]), community=leaf.label)
+            stats = service.stats()["backend"]
+            assert stats["choices"] == {"rwr:process": 1}
+            assert stats["shipped"] == 1
+            assert "process" in stats["delegates"]
+
+    def test_unshippable_dataset_falls_back_to_threads(self, service_dataset):
+        dataset, tree = service_dataset
+        leaf = max(tree.leaves(), key=lambda node: node.size)
+        with GMineService(backend=AutoBackend(workers=2, cpu_count=4)) as service:
+            # in-memory tree: workers cannot reopen it by path
+            service.register_tree(tree, graph=dataset.graph, name="dblp")
+            service.rwr(list(leaf.members[:2]), community=leaf.label)
+            service.metrics(community=leaf.label)
+            stats = service.stats()["backend"]
+            assert stats["choices"] == {"metrics:thread": 1, "rwr:thread": 1}
+            assert stats["delegates"]["thread"]["executed"] == 2
+
+    def test_cheap_ops_never_reach_the_backend(self, service_dataset):
+        dataset, tree = service_dataset
+        with GMineService(backend=AutoBackend(cpu_count=4)) as service:
+            service.register_tree(tree, graph=dataset.graph, name="dblp")
+            service.connectivity()
+            stats = service.stats()["backend"]
+            assert stats["choices"] == {}
+            assert stats["executed"] == 0
+
+    def test_choice_ledger_surfaces_over_the_protocol(self, store_path):
+        with GMineService(backend="auto:2") as service:
+            service.register_store(store_path, name="dblp")
+            client = GMineClient.in_process(service)
+            leaf = max(
+                service.registry_of_datasets.get("dblp").tree.leaves(),
+                key=lambda node: node.size,
+            )
+            client.call("rwr", sources=list(leaf.members[:2]),
+                        community=leaf.label)
+            backend = client.stats()["backend"]
+            assert backend["name"] == "auto"
+            assert "cpu_count" in backend and "choices" in backend
+            assert sum(backend["choices"].values()) == 1
+
+    def test_worker_suffix_and_aggregated_counters(self):
+        backend = make_backend("auto:3")
+        try:
+            assert isinstance(backend, AutoBackend)
+            assert backend.workers == 3
+            stats = backend.stats()
+            assert {"executed", "shipped", "fallbacks", "errors",
+                    "choices", "delegates", "cpu_count"} <= set(stats)
+        finally:
+            backend.close()

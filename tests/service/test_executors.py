@@ -30,9 +30,13 @@ pytestmark = pytest.mark.tier1
 # plans
 # --------------------------------------------------------------------------- #
 class TestComputePlans:
-    def test_every_expensive_op_is_plannable(self):
+    def test_every_expensive_dataset_op_is_plannable(self):
+        # session-scoped variants delegate to their dataset twin's plan,
+        # so plannability is a dataset-scope property
         for spec in DEFAULT_REGISTRY:
-            if spec.cost == "expensive":
+            if spec.scope != "dataset":
+                assert not spec.plannable, f"{spec.name} delegates: no plan"
+            elif spec.cost == "expensive":
                 assert spec.plannable, f"{spec.name} must compile to a plan"
             else:
                 assert not spec.plannable, f"{spec.name} is cheap: no plan"
@@ -69,7 +73,12 @@ class TestMakeBackend:
         assert isinstance(make_backend("thread"), ThreadBackend)
         assert isinstance(make_backend("process"), ProcessBackend)
         assert isinstance(make_backend(None), InlineBackend)
-        assert set(BACKEND_NAMES) == {"inline", "thread", "process"}
+        from repro.service import AutoBackend
+
+        auto = make_backend("auto")
+        assert isinstance(auto, AutoBackend)
+        auto.close()
+        assert set(BACKEND_NAMES) == {"inline", "thread", "process", "auto"}
 
     def test_worker_count_suffix(self):
         backend = make_backend("thread:7")
@@ -124,6 +133,7 @@ class TestBackendParity:
             parity_payloads["inline"]
             == parity_payloads["thread"]
             == parity_payloads["process"]
+            == parity_payloads["auto"]
         )
 
     def test_process_backend_actually_shipped(self, parity_payloads):

@@ -111,7 +111,7 @@ class TestOtherOperations:
 
 
 class TestStructuredErrors:
-    """Protocol v1 error taxonomy surfaces through the service layer itself."""
+    """The protocol error taxonomy surfaces through the service layer itself."""
 
     def test_execute_records_stable_error_codes(self, service):
         from repro.errors import NavigationError
