@@ -15,7 +15,10 @@
 #                      the asyncio front-end with a streamed cursor query
 #                      (reassembly byte-identical to one-shot), registry
 #                      session ops, and an authed + rate-limited server
-#                      returning AUTH_REQUIRED/RATE_LIMITED envelopes
+#                      returning AUTH_REQUIRED/RATE_LIMITED envelopes —
+#                      and the mutable-dataset surface: a dataset.apply
+#                      edit on one front-end observed via /v1/subscribe
+#                      on the other, both directions
 #                      (examples/http_service.py)
 #   make bench-http  — requests/sec for cached vs uncached RWR over the
 #                      threaded HTTP, asyncio HTTP and in-process
@@ -28,11 +31,16 @@
 #                      kernel medians; writes benchmarks/BENCH_kernels.json
 #                      and FAILS if the prepared path is slower than cold
 #                      (the CI gate for the prepared-kernel layer)
+#   make bench-mutate — incremental dataset.apply vs full-rebuild latency
+#                      plus warm-cache survival across a single-edge edit;
+#                      writes benchmarks/BENCH_mutate.json and FAILS if a
+#                      1-edge edit invalidates >= 50% of the warm entries
+#                      (the CI gate for partition-scoped invalidation)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check tier1 smoke serve-smoke bench-http bench-exec bench-kernels test-all test-slow
+.PHONY: check tier1 smoke serve-smoke bench-http bench-exec bench-kernels bench-mutate test-all test-slow
 
 check: tier1 smoke serve-smoke
 	@echo "check: tier-1 tests, service smoke and HTTP serve-smoke passed"
@@ -54,6 +62,9 @@ bench-exec:
 
 bench-kernels:
 	$(PYTHON) benchmarks/bench_kernels.py
+
+bench-mutate:
+	$(PYTHON) benchmarks/bench_mutate.py
 
 test-all:
 	$(PYTHON) -m pytest -q -m "slow or not slow"

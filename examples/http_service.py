@@ -25,6 +25,13 @@ session ops dispatched purely through the registry, and a
 bearer-token + rate-limited server returning structured
 ``AUTH_REQUIRED``/``RATE_LIMITED`` envelopes.
 
+Finally it smokes the **mutable-dataset surface** end to end over the
+wire: an edit script applied through one front-end is observed through
+the other via ``POST /v1/subscribe`` (threaded edit -> asyncio watcher,
+then the mirror image), the change event's fingerprint matches both the
+apply report and ``GET /v1/datasets``, and a watcher filtered to an
+untouched community sees no events at all.
+
 Run it:  ``PYTHONPATH=src python examples/http_service.py [backend ...]``
 (default: all of inline, thread, process).
 """
@@ -252,6 +259,86 @@ def smoke_protocol_v2(tree, store_path, graph_path):
                   f"rejections past the burst")
 
 
+def smoke_mutations():
+    """Edit + subscribe round-trip across both front-ends.
+
+    One mutable dataset, two live front-ends over the same service: an
+    edit applied through either server must surface as a change event on
+    the other, carrying exactly the fingerprint the apply reported.
+    """
+    mutable = generate_dblp(DBLPConfig(num_authors=200, seed=23))
+    tree = build_gtree(mutable.graph, fanout=3, levels=2, seed=23)
+
+    with GMineService(max_workers=4) as service:
+        service.register_tree(tree, graph=mutable.graph, name="live")
+        with GMineHTTPServer(service, port=0) as threaded, \
+                GMineAsyncHTTPServer(service, port=0) as aio_server:
+            over_threads = GMineClient.http(threaded.url)
+            over_loop = GMineClient.http(aio_server.url)
+
+            leaves = sorted(tree.leaves(), key=lambda node: -node.size)
+            edited_leaf, quiet_leaf = leaves[0], leaves[-1]
+            members = set(edited_leaf.members)
+            u, v, w = next(
+                (u, v, w) for u, v, w in mutable.graph.edges()
+                if u in members and v in members
+            )
+
+            # Warm one partition-scoped and one root-scoped entry so the
+            # edit has cache state to invalidate selectively.
+            over_threads.call("metrics", community=edited_leaf.label)
+            over_threads.call("connectivity")
+            watermark = over_loop.stats()["feeds"].get("live", 0)
+
+            # Edit through the threaded server, observe through asyncio.
+            report = over_threads.apply_dataset(
+                "live",
+                [{"action": "add_edge", "u": u, "v": v, "weight": w + 1.0}],
+            )
+            assert report["changed"], report
+            assert edited_leaf.label in report["changed_partitions"], report
+            feed = over_loop.subscribe(
+                dataset="live", since=watermark, timeout=5.0
+            )
+            assert [event["fingerprint"] for event in feed["events"]] == [
+                report["fingerprint"]
+            ], "the asyncio watcher must see the threaded edit"
+            rows = {row["name"]: row for row in over_loop.datasets()}
+            assert rows["live"]["fingerprint"] == report["fingerprint"]
+            print("[mutate] threaded edit -> asyncio subscriber ok "
+                  f"(seq {feed['next_since']}, "
+                  f"{report['invalidated']} entries invalidated)")
+
+            # Mirror image: edit through asyncio, watch through threads.
+            # Restoring the original weight returns the original content,
+            # so the event carries the pre-edit fingerprint again.
+            restored = over_loop.apply_dataset(
+                "live",
+                [{"action": "add_edge", "u": u, "v": v, "weight": w}],
+            )
+            assert restored["changed"]
+            assert restored["fingerprint"] == report["previous_fingerprint"]
+            mirror = over_threads.subscribe(
+                dataset="live", since=feed["next_since"], timeout=5.0
+            )
+            assert [event["fingerprint"] for event in mirror["events"]] == [
+                restored["fingerprint"]
+            ], "the threaded watcher must see the asyncio edit"
+            print("[mutate] asyncio edit -> threaded subscriber ok "
+                  "(restored the original fingerprint)")
+
+            # A watcher filtered to a community neither edit touched is
+            # advanced past both events without being woken for them.
+            filtered = over_threads.subscribe(
+                dataset="live", since=watermark,
+                community=quiet_leaf.label,
+            )
+            assert filtered["events"] == [], filtered
+            assert filtered["next_since"] == mirror["next_since"]
+            print("[mutate] community-filtered watcher skipped "
+                  "both foreign edits ok")
+
+
 def main() -> None:
     backends = sys.argv[1:] or list(SMOKE_BACKENDS)
     with tempfile.TemporaryDirectory(prefix="gmine-smoke-") as workdir:
@@ -261,6 +348,7 @@ def main() -> None:
             for backend in backends
         }
         smoke_protocol_v2(tree, store_path, graph_path)
+        smoke_mutations()
     if len(payloads) > 1:
         reference_name = next(iter(payloads))
         reference = payloads[reference_name]

@@ -414,6 +414,59 @@ class GMineClient:
             if key not in ("protocol", "ok")
         }
 
+    def apply_dataset(
+        self,
+        name: str,
+        script: Sequence[Dict[str, Any]],
+        refresh_rwr: bool = False,
+    ) -> Dict[str, Any]:
+        """Apply an edit script to a mutable dataset; returns the change report.
+
+        The report carries the new and previous root fingerprints, the
+        touched communities with their new sub-fingerprints, and how many
+        cache entries the edit invalidated — everything a client needs to
+        refresh its own derived state selectively.
+        """
+        body: Dict[str, Any] = {"script": list(script)}
+        if refresh_rwr:
+            body["refresh_rwr"] = True
+        status, payload, _ = self.transport.call(
+            "POST", f"/v1/datasets/{name}/apply", body
+        )
+        self._check_envelope(status, payload)
+        return {
+            key: value
+            for key, value in payload.items()
+            if key not in ("protocol", "ok")
+        }
+
+    def subscribe(
+        self,
+        dataset: Optional[str] = None,
+        since: int = 0,
+        timeout: float = 0.0,
+        community: Optional[Union[int, str]] = None,
+    ) -> Dict[str, Any]:
+        """Long-poll the dataset's change feed for events after ``since``.
+
+        Returns ``{"events": [...], "next_since": N, "fingerprint": ...,
+        "lagged": bool}``; pass ``next_since`` back in to resume the poll
+        loop without missing or re-reading an event.  ``community``
+        filters to events touching that community.
+        """
+        body: Dict[str, Any] = {"since": int(since), "timeout": timeout}
+        if dataset is not None:
+            body["dataset"] = dataset
+        if community is not None:
+            body["community"] = community
+        status, payload, _ = self.transport.call("POST", "/v1/subscribe", body)
+        self._check_envelope(status, payload)
+        return {
+            key: value
+            for key, value in payload.items()
+            if key not in ("protocol", "ok")
+        }
+
     # ------------------------------------------------------------------ #
     # sessions
     # ------------------------------------------------------------------ #

@@ -38,7 +38,8 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 import functools
 
-from ..errors import InvalidArgumentError
+from ..core.editing import validate_edit_script
+from ..errors import GMineError, InvalidArgumentError
 from ..mining.metrics_suite import metrics_signature
 from .plans import plan_for, run_plan
 from .registry import (
@@ -144,6 +145,22 @@ def _check_probability(value) -> Optional[str]:
 def _check_positive(value) -> Optional[str]:
     if int(value) < 1:
         return f"must be >= 1, got {value!r}"
+    return None
+
+
+def _check_edit_script(value) -> Optional[str]:
+    if isinstance(value, (str, bytes)):
+        return "must be a list of edit records, not a string"
+    try:
+        validate_edit_script(list(value))
+    except GMineError as error:
+        return str(error)
+    return None
+
+
+def _check_non_negative(value) -> Optional[str]:
+    if float(value) < 0:
+        return f"must be >= 0, got {value!r}"
     return None
 
 
@@ -329,6 +346,26 @@ def _run_session_list(ctx: ServiceOpContext, args: Mapping[str, Any]):
     return {"sessions": ctx.service.sessions.active_ids()}
 
 
+# --------------------------------------------------------------------------- #
+# service-scoped handlers: the dataset write path + change feeds
+# --------------------------------------------------------------------------- #
+def _run_dataset_apply(ctx: ServiceOpContext, args: Mapping[str, Any]):
+    return ctx.service.apply_dataset(
+        args["dataset"],
+        [dict(edit) for edit in args["script"]],
+        refresh_rwr=args["refresh_rwr"],
+    )
+
+
+def _run_dataset_subscribe(ctx: ServiceOpContext, args: Mapping[str, Any]):
+    return ctx.service.subscribe(
+        dataset=args["dataset"],
+        since=args["since"],
+        timeout=args["timeout"],
+        community=args["community"],
+    )
+
+
 def _session_mining_handler(target_op: str):
     """Delegate a session-context variant to its dataset op.
 
@@ -499,6 +536,8 @@ def _build_dataset_specs() -> List[OpSpec]:
                 handler=_run_metrics,
                 encoder=_encode_metrics,
                 planner=_make_planner("metrics", "metrics"),
+                # Pure function of the community's induced subgraph.
+                partition_arg="community",
             ),
             OpSpec(
                 name="rwr",
@@ -522,6 +561,8 @@ def _build_dataset_specs() -> List[OpSpec]:
                     page_key="top_k",
                     total=lambda value: len(value.scores),
                 ),
+                # The walk never leaves the community's induced subgraph.
+                partition_arg="community",
             ),
             OpSpec(
                 name="connection_subgraph",
@@ -547,6 +588,8 @@ def _build_dataset_specs() -> List[OpSpec]:
                     page_key="top_k",
                     total=lambda value: len(value.goodness),
                 ),
+                # CePS extracts within the community's induced subgraph.
+                partition_arg="community",
             ),
             OpSpec(
                 name="connectivity",
@@ -562,6 +605,9 @@ def _build_dataset_specs() -> List[OpSpec]:
                     page_key="limit",
                     total=lambda value: len(value),
                 ),
+                # connectivity_among_children is hashed into the parent
+                # community's own Merkle sub-fingerprint.
+                partition_arg="community",
             ),
             OpSpec(
                 name="inspect_edge",
@@ -723,10 +769,78 @@ def _build_session_specs(dataset_specs: List[OpSpec]) -> List[OpSpec]:
     return lifecycle + variants
 
 
+def _build_service_specs() -> List[OpSpec]:
+    """The mutable-dataset surface: the write path and its change feed."""
+    return [
+        OpSpec(
+            name="dataset.apply",
+            doc="apply a batched edit script to a mutable dataset "
+                "(copy-on-write; partition-scoped cache invalidation)",
+            cacheable=False,
+            cost="expensive",
+            scope="service",
+            args=(
+                ArgSpec("dataset", (str,), default=None,
+                        doc="dataset to edit (None = the only/default one)"),
+                ArgSpec(
+                    "script", (list, tuple),
+                    doc="edit records: {'action': add_node|remove_node|"
+                        "add_edge|remove_edge|update_node_attrs, ...}",
+                    validate=_check_edit_script,
+                    normalize=lambda value, ctx: [dict(edit) for edit in value],
+                ),
+                ArgSpec(
+                    "refresh_rwr", (bool,), default=False,
+                    doc="warm-refresh remembered RWR steady states onto the "
+                        "edited graph (within-tolerance; cold solve is the "
+                        "default and stays byte-exact)",
+                ),
+            ),
+            handler=_run_dataset_apply,
+        ),
+        OpSpec(
+            name="dataset.subscribe",
+            doc="long-poll a dataset's change feed for push invalidations "
+                "(new root + changed partition sub-fingerprints)",
+            cacheable=False,
+            cost="cheap",
+            scope="service",
+            args=(
+                ArgSpec("dataset", (str,), default=None,
+                        doc="dataset to watch (None = the only/default one)"),
+                ArgSpec(
+                    "since", (int,), default=0,
+                    doc="last event sequence number already seen "
+                        "(0 = only future events)",
+                    validate=_check_non_negative,
+                ),
+                ArgSpec(
+                    "timeout", (int, float), default=0.0,
+                    doc="seconds to long-poll when no event is pending "
+                        "(0 = return immediately; server-capped)",
+                    validate=_check_non_negative,
+                    normalize=lambda value, ctx: float(value),
+                ),
+                ArgSpec(
+                    "community", (int, str), default=None,
+                    doc="only deliver events touching this community "
+                        "(None = any change)",
+                    normalize=_resolve_community,
+                ),
+            ),
+            handler=_run_dataset_subscribe,
+        ),
+    ]
+
+
 def build_default_registry() -> OperationRegistry:
-    """Every operation of GMine Protocol v2: dataset scope + session scope."""
+    """Every operation of GMine Protocol v2: dataset, session + service scope."""
     dataset_specs = _build_dataset_specs()
-    return OperationRegistry(dataset_specs + _build_session_specs(dataset_specs))
+    return OperationRegistry(
+        dataset_specs
+        + _build_session_specs(dataset_specs)
+        + _build_service_specs()
+    )
 
 
 #: The shared default table; services copy nothing — specs are frozen.

@@ -50,8 +50,11 @@ REQUIRED = _Required()
 COST_CLASSES = ("cheap", "expensive")
 
 #: Scopes: ``dataset`` ops run against a registered dataset; ``session``
-#: ops act on one user's live exploration state.
-SCOPES = ("dataset", "session")
+#: ops act on one user's live exploration state; ``service`` ops act on
+#: service-level machinery (the dataset write path, change feeds) and
+#: dispatch exactly like session ops — uncached, in the parent, with the
+#: owning service as their context.
+SCOPES = ("dataset", "session", "service")
 
 
 @dataclass(frozen=True)
@@ -178,6 +181,14 @@ class OpSpec:
     #: encoded payload carries a large deterministic vector that the
     #: ``/v1/stream`` route may chunk into resumable cursor pages.
     stream: Optional[StreamSpec] = None
+    #: Name of the canonical argument that scopes this op to one community
+    #: — set **only** when the op's result is a pure function of that
+    #: community's induced content.  The service then keys cache entries
+    #: (and stream cursors) by the partition's Merkle *sub-fingerprint*
+    #: instead of the dataset root, so entries for untouched communities
+    #: survive ``dataset.apply`` edits elsewhere in the graph.  ``None``
+    #: keys by the root fingerprint, which changes on every edit.
+    partition_arg: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.cost not in COST_CLASSES:
@@ -323,6 +334,9 @@ class OpSpec:
             # — so plan-ability and prepared-acceleration coincide.
             "prepared": self.plannable,
             "streamable": self.streamable,
+            # Partition-scoped ops cache under the community's Merkle
+            # sub-fingerprint; their entries survive edits elsewhere.
+            "partition_scoped": self.partition_arg is not None,
             "args": [spec.describe() for spec in self.args],
         }
         if self.stream is not None:

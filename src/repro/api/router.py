@@ -28,6 +28,9 @@ Routes::
     GET    /v1/stats                 cache / backend / compute / session stats
     GET    /v1/datasets              the dataset table (kind, fingerprint, paths)
     POST   /v1/datasets/<name>/reload  hot-reload a dataset from its file
+    POST   /v1/datasets/<name>/apply   alias of op dataset.apply (edit script)
+    POST   /v1/subscribe             alias of op dataset.subscribe (long-poll
+                                     change feed: events after ``since``)
     GET    /v1/sessions              alias of op session.list
     POST   /v1/sessions              alias of session.create / session.restore
     GET    /v1/sessions/<id>         alias of session.describe
@@ -147,6 +150,15 @@ class ProtocolRouter:
                 and method == "POST"
             ):
                 return self.reload_dataset(tail[1])
+            if (
+                len(tail) == 3
+                and tail[0] == "datasets"
+                and tail[2] == "apply"
+                and method == "POST"
+            ):
+                return self.apply_dataset(tail[1], body or {})
+            if tail == ["subscribe"] and method == "POST":
+                return self.subscribe(body or {})
             if tail == ["sessions"]:
                 if method == "GET":
                     return self.list_sessions()
@@ -303,7 +315,13 @@ class ProtocolRouter:
                 f"operation {request.op!r} does not stream; "
                 f"streamable operations: {streamable}"
             )
-        fingerprint = self.service.fingerprint(request.dataset)
+        # Partition-scoped ops pin the community's Merkle sub-fingerprint
+        # rather than the root, so a cursor keeps streaming across edits
+        # that did not touch its community; a touched community (or any
+        # change, for root-scoped ops) expires the cursor below.
+        fingerprint = self.service.stream_fingerprint(
+            request.dataset, request.op, request.args
+        )
         digest = request_digest(request)
         offset = 0
         chunk_size = request.chunk_size
@@ -428,6 +446,35 @@ class ProtocolRouter:
         payload: JsonDict = {"protocol": PROTOCOL, "ok": True}
         payload.update(report)
         return 200, payload
+
+    def apply_dataset(self, name: str, body: Mapping[str, Any]) -> Handled:
+        """Alias of op ``dataset.apply``: edit a mutable dataset in place.
+
+        Body: ``{"script": [...], "refresh_rwr": bool}`` — validation,
+        canonicalization and dispatch all happen in the registry, exactly
+        as a ``POST /v1/query`` for ``dataset.apply`` would.
+        """
+        args: JsonDict = {"dataset": name}
+        if body.get("script") is not None:
+            args["script"] = body.get("script")
+        if body.get("refresh_rwr") is not None:
+            args["refresh_rwr"] = body.get("refresh_rwr")
+        return self._registry_call("dataset.apply", args)
+
+    def subscribe(self, body: Mapping[str, Any]) -> Handled:
+        """Alias of op ``dataset.subscribe``: long-poll the change feed.
+
+        Body: ``{"dataset": ..., "since": N, "timeout": seconds,
+        "community": ...}``.  Blocks (bounded server-side) until an event
+        after ``since`` arrives; both front-ends run router handlers off
+        the accept loop, so the wait never stalls other requests.
+        """
+        args = {
+            key: body.get(key)
+            for key in ("dataset", "since", "timeout", "community")
+            if body.get(key) is not None
+        }
+        return self._registry_call("dataset.subscribe", args)
 
     # ------------------------------------------------------------------ #
     # sessions: wire-compatible aliases over the registry's session ops

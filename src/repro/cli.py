@@ -227,6 +227,62 @@ def cmd_ops(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_apply(args: argparse.Namespace) -> int:
+    """Apply an edit script to a mutable dataset on a running server."""
+    if args.script_file:
+        try:
+            script = json.loads(Path(args.script_file).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise CLIError(f"cannot read edit script {args.script_file}: {error}")
+    else:
+        try:
+            script = json.loads(args.script)
+        except json.JSONDecodeError as error:
+            raise CLIError(f"--script is not valid JSON: {error}")
+    if isinstance(script, dict):
+        script = [script]
+    if not isinstance(script, list):
+        raise CLIError("edit script must be a JSON list of edit records")
+    client = GMineClient.http(args.url, auth_token=args.auth_token)
+    report = client.apply_dataset(
+        args.dataset, script, refresh_rwr=args.refresh_rwr
+    )
+    _print_json(report)
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Long-poll a dataset's change feed, printing each event as JSON."""
+    client = GMineClient.http(args.url, auth_token=args.auth_token)
+    since = args.since
+    polls = 0
+    while True:
+        reply = client.subscribe(
+            dataset=args.dataset,
+            since=since,
+            timeout=args.timeout,
+            community=args.community,
+        )
+        for event in reply["events"]:
+            _print_json(event)
+        since = reply["next_since"]
+        polls += 1
+        if not args.follow:
+            if not reply["events"]:
+                _print_json(
+                    {
+                        "dataset": reply["dataset"],
+                        "fingerprint": reply["fingerprint"],
+                        "next_since": since,
+                        "events": 0,
+                        "lagged": reply["lagged"],
+                    }
+                )
+            return 0
+        if args.max_polls is not None and polls >= args.max_polls:
+            return 0
+
+
 def cmd_extract(args: argparse.Namespace) -> int:
     """Run multi-source connection-subgraph extraction on a graph file."""
     graph = _load_graph(args.graph)
@@ -319,7 +375,18 @@ def _open_service(args: argparse.Namespace) -> GMineService:
     )
     graph_path = getattr(args, "graph", None)
     graph = _load_graph(graph_path) if graph_path else None
-    service.register_store(args.store, graph=graph, graph_path=graph_path)
+    if getattr(args, "mutable", False):
+        # Serve the store's content as an in-memory tree with the full
+        # graph attached — the combination dataset.apply requires (the
+        # store pager itself is read-only).
+        if graph is None:
+            service.close()
+            raise CLIError("--mutable needs --graph (edits repair connectivity)")
+        from .storage.gtree_store import load_gtree_fully
+
+        service.register_tree(load_gtree_fully(args.store), graph=graph)
+    else:
+        service.register_store(args.store, graph=graph, graph_path=graph_path)
     return service
 
 
@@ -507,6 +574,54 @@ def build_parser() -> argparse.ArgumentParser:
                      help="bearer token for a remote server started with --auth-token")
     ops.set_defaults(func=cmd_ops)
 
+    apply_cmd = subparsers.add_parser(
+        "apply",
+        help="apply an edit script to a mutable dataset on a running server",
+        description=(
+            "gmine apply <dataset> --url http://host:port --script "
+            "'[{\"action\": \"remove_edge\", \"u\": 1, \"v\": 2}]' routes "
+            "the script through dataset.apply; partition-scoped cache "
+            "entries for untouched communities survive the edit."
+        ),
+    )
+    apply_cmd.add_argument("dataset", help="server-side dataset name")
+    apply_cmd.add_argument("--url", required=True, help="remote gmine/1 server URL")
+    apply_cmd.add_argument("--script", default=None,
+                           help="edit script as inline JSON (list of records)")
+    apply_cmd.add_argument("--script-file", default=None, dest="script_file",
+                           help="read the edit script from a JSON file instead")
+    apply_cmd.add_argument("--refresh-rwr", action="store_true", dest="refresh_rwr",
+                           help="warm-refresh remembered RWR steady states whose "
+                                "community the edit touched")
+    apply_cmd.add_argument("--auth-token", default=None, dest="auth_token",
+                           help="bearer token for a server started with --auth-token")
+    apply_cmd.set_defaults(func=cmd_apply)
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="long-poll a dataset's change feed on a running server",
+        description=(
+            "gmine watch <dataset> --url http://host:port prints change "
+            "events (new root fingerprint, changed partitions) as JSON; "
+            "--follow keeps polling from each reply's next_since."
+        ),
+    )
+    watch.add_argument("dataset", help="server-side dataset name")
+    watch.add_argument("--url", required=True, help="remote gmine/1 server URL")
+    watch.add_argument("--since", type=int, default=0,
+                       help="only events after this sequence number")
+    watch.add_argument("--timeout", type=float, default=0.0,
+                       help="seconds to wait for an event per poll")
+    watch.add_argument("--community", default=None,
+                       help="only events touching this community label")
+    watch.add_argument("--follow", action="store_true",
+                       help="keep polling after each reply")
+    watch.add_argument("--max-polls", type=int, default=None, dest="max_polls",
+                       help="with --follow: stop after this many polls")
+    watch.add_argument("--auth-token", default=None, dest="auth_token",
+                       help="bearer token for a server started with --auth-token")
+    watch.set_defaults(func=cmd_watch)
+
     extract = subparsers.add_parser("extract", help="connection subgraph extraction")
     extract.add_argument("--graph", required=True)
     extract.add_argument("--sources", nargs="+", required=True)
@@ -528,6 +643,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--store", required=True, help=".gtree store to serve")
     serve.add_argument("--graph", help="optional full graph (enables inspect_edge)")
+    serve.add_argument(
+        "--mutable", action="store_true",
+        help="load the store into memory with the full graph attached so "
+             "dataset.apply can edit it in place (requires --graph)",
+    )
     serve.add_argument(
         "--requests",
         help='JSON list of requests: [{"op": "metrics", "args": {...}}, ...]',

@@ -14,12 +14,21 @@ session can be audited or undone.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 from ..errors import NavigationError
 from ..graph.graph import Graph, NodeId
 from .connectivity import connectivity_among_children
 from .gtree import GTree, GTreeNode
+
+#: Actions understood by :func:`apply_edit_script`, with their required keys.
+EDIT_ACTIONS: Dict[str, Sequence[str]] = {
+    "add_node": ("node",),
+    "remove_node": ("node",),
+    "add_edge": ("u", "v"),
+    "remove_edge": ("u", "v"),
+    "update_node_attrs": ("node", "attrs"),
+}
 
 
 @dataclass
@@ -31,12 +40,21 @@ class EditRecord:
 
 
 class GraphEditor:
-    """Applies node/edge edits to a graph and keeps its G-Tree consistent."""
+    """Applies node/edge edits to a graph and keeps its G-Tree consistent.
+
+    Besides the audit log, the editor tracks which tree communities an edit
+    session has touched (``touched_communities``): the leaf partitions whose
+    content changed plus every ancestor whose Merkle sub-fingerprint is
+    affected.  The service write path uses this to invalidate exactly the
+    partitions that changed and nothing else.
+    """
 
     def __init__(self, graph: Graph, tree: Optional[GTree] = None) -> None:
         self.graph = graph
         self.tree = tree
         self.log: List[EditRecord] = []
+        #: Tree-node ids whose subtree content changed in this edit session.
+        self.touched_communities: Set[int] = set()
 
     # ------------------------------------------------------------------ #
     # node edits
@@ -82,6 +100,12 @@ class GraphEditor:
         affected_parents = set()
         if self.tree is not None and self.tree.contains_vertex(node):
             leaf = self.tree.leaf_of(node)
+            self._mark_touched(leaf)
+            # Removed edges may reach into other leaves; their partitions'
+            # connectivity (and hence sub-fingerprints) change too.
+            for _, neighbor, _ in removed_edges:
+                if self.tree.contains_vertex(neighbor):
+                    self._mark_touched(self.tree.leaf_of(neighbor))
             for ancestor in [leaf] + self.tree.ancestors(leaf.node_id):
                 if node in ancestor.members:
                     ancestor.members.remove(node)
@@ -106,6 +130,7 @@ class GraphEditor:
             leaf = self.tree.leaf_of(node)
             if leaf.subgraph is not None and leaf.subgraph.has_node(node):
                 leaf.subgraph.node_attrs(node).update(attrs)
+            self._mark_touched(leaf)
         self.log.append(
             EditRecord("update_node_attrs", {"node": node, "previous": previous})
         )
@@ -161,7 +186,13 @@ class GraphEditor:
             self.log.pop()
         elif record.operation == "update_node_attrs":
             node = record.details["node"]
-            self.graph._node_attrs[node] = dict(record.details["previous"])
+            previous = dict(record.details["previous"])
+            self.graph._node_attrs[node] = dict(previous)
+            if self.tree is not None and self.tree.contains_vertex(node):
+                leaf = self.tree.leaf_of(node)
+                if leaf.subgraph is not None and leaf.subgraph.has_node(node):
+                    leaf.subgraph._node_attrs[node] = dict(previous)
+                self._mark_touched(leaf)
         elif record.operation == "remove_node":
             node = record.details["node"]
             # Re-adding a removed vertex without a tree placement is only
@@ -182,6 +213,13 @@ class GraphEditor:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _mark_touched(self, leaf: GTreeNode) -> None:
+        """Record ``leaf`` and every ancestor as touched by this session."""
+        assert self.tree is not None
+        self.touched_communities.add(leaf.node_id)
+        for ancestor in self.tree.ancestors(leaf.node_id):
+            self.touched_communities.add(ancestor.node_id)
+
     def _adopt_vertex(self, leaf: GTreeNode, node: NodeId) -> None:
         """Insert a new vertex into a leaf community and all its ancestors."""
         assert self.tree is not None
@@ -189,6 +227,7 @@ class GraphEditor:
         for ancestor in self.tree.ancestors(leaf.node_id):
             ancestor.members.append(node)
         self.tree._leaf_of_vertex[node] = leaf.node_id
+        self._mark_touched(leaf)
 
     def _sync_edge(self, u: NodeId, v: NodeId, present: bool, weight: float) -> None:
         """Propagate an edge change into leaf subgraphs and connectivity edges."""
@@ -197,6 +236,8 @@ class GraphEditor:
             return
         leaf_u = self.tree.leaf_of(u)
         leaf_v = self.tree.leaf_of(v)
+        self._mark_touched(leaf_u)
+        self._mark_touched(leaf_v)
         if leaf_u.node_id == leaf_v.node_id:
             if leaf_u.subgraph is not None:
                 if present:
@@ -228,3 +269,65 @@ class GraphEditor:
                 child_id: self.tree.node(child_id).members for child_id in node.children
             }
             node.connectivity = connectivity_among_children(self.graph, child_members)
+
+
+def validate_edit_script(script: Sequence[Mapping[str, Any]]) -> None:
+    """Raise :class:`NavigationError` when an edit script is malformed.
+
+    A script is a sequence of mappings, each with an ``action`` key from
+    :data:`EDIT_ACTIONS` plus that action's required keys.  Validation is
+    structural only — existence of vertices/edges is checked at apply time
+    against the live graph.
+    """
+    if not isinstance(script, (list, tuple)):
+        raise NavigationError("edit script must be a list of edit records")
+    for position, edit in enumerate(script):
+        if not isinstance(edit, Mapping):
+            raise NavigationError(f"edit #{position} is not a mapping: {edit!r}")
+        action = edit.get("action")
+        if action not in EDIT_ACTIONS:
+            raise NavigationError(
+                f"edit #{position} has unknown action {action!r}; "
+                f"expected one of {sorted(EDIT_ACTIONS)}"
+            )
+        missing = [key for key in EDIT_ACTIONS[action] if key not in edit]
+        if missing:
+            raise NavigationError(
+                f"edit #{position} ({action}) is missing keys {missing}"
+            )
+        if action == "update_node_attrs" and not isinstance(edit["attrs"], Mapping):
+            raise NavigationError(f"edit #{position}: 'attrs' must be a mapping")
+
+
+def apply_edit_script(
+    editor: GraphEditor, script: Iterable[Mapping[str, Any]]
+) -> List[EditRecord]:
+    """Apply a batched edit script through ``editor`` and return its records.
+
+    Edits run in order; the first failing edit raises and leaves the editor
+    mid-script, so callers that need atomicity should apply the script to a
+    private copy of the graph/tree (the service write path does exactly
+    that) or undo the returned records.
+    """
+    script = list(script)
+    validate_edit_script(script)
+    applied: List[EditRecord] = []
+    start = len(editor.log)
+    for edit in script:
+        action = edit["action"]
+        if action == "add_node":
+            attrs = dict(edit.get("attrs") or {})
+            editor.add_node(edit["node"], community=edit.get("community"), **attrs)
+        elif action == "remove_node":
+            editor.remove_node(edit["node"])
+        elif action == "add_edge":
+            attrs = dict(edit.get("attrs") or {})
+            editor.add_edge(
+                edit["u"], edit["v"], weight=float(edit.get("weight", 1.0)), **attrs
+            )
+        elif action == "remove_edge":
+            editor.remove_edge(edit["u"], edit["v"])
+        elif action == "update_node_attrs":
+            editor.update_node_attrs(edit["node"], **dict(edit["attrs"]))
+        applied = editor.log[start:]
+    return applied

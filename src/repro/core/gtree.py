@@ -261,31 +261,44 @@ class GTree:
             "max_leaf_size": float(max(leaf_sizes)),
         }
 
-    def fingerprint(self, leaf_digests: Optional[Dict[int, str]] = None) -> str:
-        """Content hash of the hierarchy, stable across save/load round trips.
+    def _leaf_digest_of(
+        self, node: GTreeNode, leaf_digests: Optional[Dict[int, str]]
+    ) -> str:
+        """Leaf content digest for ``node`` from the supplied map or subgraph."""
+        if leaf_digests is not None:
+            return leaf_digests.get(node.node_id, "")
+        if node.is_leaf and node.subgraph is not None:
+            return node.subgraph.content_digest()
+        return ""
 
-        The service layer keys its result cache by this value: two engines
-        over identical trees (e.g. one in-memory, one reopened from the
-        store file written from it) share cache entries, while any change
-        to membership, structure, connectivity or leaf subgraph content
-        changes the key.  The hash covers every node's identity, lineage,
-        members and connectivity edges, plus one content digest per leaf
-        subgraph (:meth:`~repro.graph.graph.Graph.content_digest`).
+    def partition_fingerprints(
+        self, leaf_digests: Optional[Dict[int, str]] = None
+    ) -> Dict[int, str]:
+        """Per-community Merkle sub-fingerprints, keyed by tree-node id.
 
-        ``leaf_digests`` lets a caller that knows the leaf digests without
-        materialising the subgraphs (the store keeps them in its skeleton)
-        supply them; otherwise they are computed from attached subgraphs
-        (leaves with no subgraph attached contribute an empty digest).
+        Each community's sub-fingerprint covers its own identity record
+        (id, label, level, lineage, members), its connectivity edges among
+        children, its leaf content digest (for leaves) and — recursively —
+        the sub-fingerprints of its children.  An edit confined to one leaf
+        therefore changes the sub-fingerprints of that leaf and its
+        ancestors only; every sibling subtree keeps its value, which is
+        what lets cache entries and prepared views scoped to untouched
+        communities survive a :func:`dataset.apply` edit.
+
+        Cross-partition edges are captured through the ``connectivity``
+        edges of the lowest common ancestor (count plus weight, as in the
+        classic fingerprint), so inserting or reweighting an edge between
+        two communities changes their ancestors' sub-fingerprints even
+        though neither leaf subgraph contains the edge.
+
+        ``leaf_digests`` plays the same role as in :meth:`fingerprint`:
+        a store can supply the digests recorded in its skeleton so the
+        map is computed without loading any leaf.
         """
-        digest = hashlib.sha256()
-        digest.update(repr((self.name, self.num_tree_nodes)).encode("utf-8"))
-        for node in sorted(self._nodes.values(), key=lambda item: item.node_id):
-            if leaf_digests is not None:
-                leaf_digest = leaf_digests.get(node.node_id, "")
-            elif node.is_leaf and node.subgraph is not None:
-                leaf_digest = node.subgraph.content_digest()
-            else:
-                leaf_digest = ""
+        result: Dict[int, str] = {}
+
+        def visit(node: GTreeNode) -> str:
+            digest = hashlib.sha256()
             digest.update(
                 repr(
                     (
@@ -295,7 +308,7 @@ class GTree:
                         node.parent_id,
                         tuple(node.children),
                         tuple(repr(member) for member in node.members),
-                        leaf_digest,
+                        self._leaf_digest_of(node, leaf_digests),
                     )
                 ).encode("utf-8")
             )
@@ -306,7 +319,83 @@ class GTree:
                          round(float(edge.total_weight), 9))
                     ).encode("utf-8")
                 )
+            for child_id in node.children:
+                digest.update(visit(self._nodes[child_id]).encode("utf-8"))
+            sub_fingerprint = digest.hexdigest()
+            result[node.node_id] = sub_fingerprint
+            return sub_fingerprint
+
+        if self._root_id is not None:
+            visit(self._nodes[self._root_id])
+        return result
+
+    def fingerprint(self, leaf_digests: Optional[Dict[int, str]] = None) -> str:
+        """Content hash of the hierarchy, stable across save/load round trips.
+
+        The service layer keys its result cache by this value: two engines
+        over identical trees (e.g. one in-memory, one reopened from the
+        store file written from it) share cache entries, while any change
+        to membership, structure, connectivity or leaf subgraph content
+        changes the key.
+
+        The value is a Merkle-style root: every community contributes a
+        sub-fingerprint covering its identity, members, connectivity and
+        (for leaves) one content digest per leaf subgraph
+        (:meth:`~repro.graph.graph.Graph.content_digest`), hashed bottom-up
+        through :meth:`partition_fingerprints`; the dataset fingerprint
+        hashes the tree name, node count and the root's sub-fingerprint.
+        Any partition change therefore changes the root by construction,
+        while untouched subtrees keep their sub-fingerprints.
+
+        ``leaf_digests`` lets a caller that knows the leaf digests without
+        materialising the subgraphs (the store keeps them in its skeleton)
+        supply them; otherwise they are computed from attached subgraphs
+        (leaves with no subgraph attached contribute an empty digest).
+        """
+        parts = self.partition_fingerprints(leaf_digests)
+        digest = hashlib.sha256()
+        digest.update(repr((self.name, self.num_tree_nodes)).encode("utf-8"))
+        if self._root_id is not None:
+            digest.update(parts[self._root_id].encode("utf-8"))
         return digest.hexdigest()
+
+    def clone(self, copy_subgraphs: bool = True) -> "GTree":
+        """Deep-copy the hierarchy (nodes, members, connectivity, indexes).
+
+        The mutable-dataset write path edits a private clone and swaps it
+        in atomically, so readers of the original tree never observe a
+        half-applied edit script.  ``copy_subgraphs`` controls whether
+        attached leaf subgraphs are copied too (they must be whenever the
+        clone will be edited; a leaf with no subgraph attached stays
+        unattached).
+        """
+        clone = GTree(name=self.name)
+        for node in self._nodes.values():
+            copied = GTreeNode(
+                node_id=node.node_id,
+                label=node.label,
+                level=node.level,
+                parent_id=node.parent_id,
+                children=list(node.children),
+                members=list(node.members),
+                connectivity=[
+                    ConnectivityEdge(
+                        source=edge.source,
+                        target=edge.target,
+                        edge_count=edge.edge_count,
+                        total_weight=edge.total_weight,
+                    )
+                    for edge in node.connectivity
+                ],
+            )
+            if node.subgraph is not None:
+                copied.subgraph = (
+                    node.subgraph.copy() if copy_subgraphs else node.subgraph
+                )
+            clone.add_node(copied)
+            if copied.is_leaf:
+                clone.register_leaf_members(copied)
+        return clone
 
     # ------------------------------------------------------------------ #
     # validation

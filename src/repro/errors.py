@@ -123,6 +123,18 @@ class DatasetNotFoundError(ServiceError):
     """A request named a dataset the service has not registered."""
 
 
+class DatasetReadOnlyError(ServiceError):
+    """A write was attempted on a dataset that cannot be edited in place.
+
+    Store-backed datasets are served by a read-only pager: the write path
+    for them is rebuild-the-file + ``/v1/datasets/<name>/reload``.
+    """
+
+
+class EditConflictError(ServiceError):
+    """An edit script could not be applied to the current dataset state."""
+
+
 class InvalidArgumentError(ServiceError):
     """An operation argument failed the registry's schema validation."""
 

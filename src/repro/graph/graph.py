@@ -185,7 +185,15 @@ class Graph:
             digest.update(
                 repr((node, sorted(attrs.items(), key=lambda kv: str(kv[0])))).encode("utf-8")
             )
-        for u, v, w in sorted(self.edges(), key=lambda edge: (repr(edge[0]), repr(edge[1]))):
+        # Each undirected edge is hashed in a canonical orientation: edges()
+        # yields whichever endpoint adjacency iteration reached first, and
+        # that order is an artifact of insertion history — a copy of this
+        # graph may yield (v, u) where this one yields (u, v).
+        canonical = (
+            (u, v, w) if repr(u) <= repr(v) else (v, u, w)
+            for u, v, w in self.edges()
+        )
+        for u, v, w in sorted(canonical, key=lambda edge: (repr(edge[0]), repr(edge[1]))):
             attrs = self._edge_attrs.get(self._edge_key(u, v), {})
             digest.update(
                 repr((u, v, float(w), sorted(attrs.items(), key=lambda kv: str(kv[0])))).encode("utf-8")

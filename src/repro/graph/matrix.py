@@ -8,7 +8,9 @@ ordering and one normalisation convention.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -300,3 +302,83 @@ class PreparedGraph:
             f"<PreparedGraph with {len(self.index)} vertices, "
             f"{self.adjacency.nnz} stored entries{tag}>"
         )
+
+
+class PreparedViewCache:
+    """A bounded LRU of :class:`PreparedGraph` views keyed by fingerprint.
+
+    The mutable-dataset write path swaps a fresh :class:`DatasetHandle`
+    into the registry on every edit; preparations owned by the superseded
+    handle would die with it even when the content they describe did not
+    change.  Keying views by *content fingerprint* instead — the dataset's
+    Merkle root for the widest scope, a community's sub-fingerprint for a
+    partition view — makes survival automatic: a handle swapped in after
+    an edit finds every untouched partition's preparation already warm,
+    and the edited partitions simply miss (their sub-fingerprints changed)
+    and rebuild on first use.
+
+    ``get`` builds-on-miss under a per-cache lock, so two requests racing
+    on the same cold fingerprint produce one preparation.  Hit/build
+    counters feed ``/v1/stats`` — they are how the acceptance test for
+    prepared-view survival observes reuse across an edit.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise GraphError(
+                f"prepared view cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._views: "OrderedDict[str, PreparedGraph]" = OrderedDict()
+        self.hits = 0
+        self.builds = 0
+        self.evictions = 0
+        self.invalidated = 0
+
+    def get(
+        self, fingerprint: str, build: Callable[[], PreparedGraph]
+    ) -> PreparedGraph:
+        """Return the view for ``fingerprint``, building it at most once."""
+        with self._lock:
+            view = self._views.get(fingerprint)
+            if view is not None:
+                self.hits += 1
+                self._views.move_to_end(fingerprint)
+                return view
+            view = build()
+            self.builds += 1
+            while len(self._views) >= self.capacity:
+                self._views.popitem(last=False)
+                self.evictions += 1
+            self._views[fingerprint] = view
+            return view
+
+    def peek(self, fingerprint: str) -> "PreparedGraph | None":
+        """Return the cached view without building or touching recency."""
+        with self._lock:
+            return self._views.get(fingerprint)
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop the view for ``fingerprint``; ``True`` when one was held."""
+        with self._lock:
+            dropped = self._views.pop(fingerprint, None) is not None
+            if dropped:
+                self.invalidated += 1
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._views)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly counters (surfaced through ``/v1/stats``)."""
+        with self._lock:
+            return {
+                "views": len(self._views),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "builds": self.builds,
+                "evictions": self.evictions,
+                "invalidated": self.invalidated,
+            }

@@ -195,6 +195,7 @@ def rwr_power_block(
     index: Optional[VertexIndex] = None,
     strict: bool = True,
     prepared: Optional[PreparedGraph] = None,
+    warm_starts: Optional[Sequence[Optional[Dict[NodeId, float]]]] = None,
 ) -> List[RWRResult]:
     """Blocked multi-source power iteration: k steady states, one matmul/step.
 
@@ -220,25 +221,45 @@ def rwr_power_block(
       the full block — a C-contiguous operand reaches scipy without a
       copy, which beats slicing the active columns out every step — and
       frozen columns' products are simply discarded.
+
+    ``warm_starts`` optionally supplies, per source set, the score dict of
+    a previously computed steady state to seed the iteration from instead
+    of the restart vector.  After a *small* graph delta the previous fixed
+    point is already near the new one, so a warm-started column converges
+    in a handful of steps.  The fixed point of the contraction is unique,
+    so warm starting changes only the trajectory: the returned iterate
+    agrees with the cold solve within the convergence tolerance (not
+    bitwise — callers that need bit-parity with a cold solve, like the
+    service's default query path, must not pass warm starts).  Entries may
+    be ``None`` (that column starts cold); scores for vertices no longer
+    in the graph are dropped and new vertices seed at zero.
     """
     _validate_restart(restart_probability)
     if not source_sets:
         raise MiningError("rwr block requires at least one source set")
+    if warm_starts is not None and len(warm_starts) != len(source_sets):
+        raise MiningError(
+            f"rwr block got {len(warm_starts)} warm starts "
+            f"for {len(source_sets)} source sets"
+        )
     transition, index = _resolve_operator(graph, index, prepared)
     for sources in source_sets:
         _check_sources(graph, index, sources)
     if len(source_sets) > BLOCK_COLUMN_CHUNK:
         results: List[RWRResult] = []
         for start in range(0, len(source_sets), BLOCK_COLUMN_CHUNK):
+            stop = start + BLOCK_COLUMN_CHUNK
             results.extend(
                 _power_block_chunk(
-                    transition, index, source_sets[start:start + BLOCK_COLUMN_CHUNK],
+                    transition, index, source_sets[start:stop],
                     restart_probability, tol, max_iter, strict,
+                    warm_starts=None if warm_starts is None else warm_starts[start:stop],
                 )
             )
         return results
     return _power_block_chunk(
-        transition, index, source_sets, restart_probability, tol, max_iter, strict
+        transition, index, source_sets, restart_probability, tol, max_iter, strict,
+        warm_starts=warm_starts,
     )
 
 
@@ -250,6 +271,7 @@ def _power_block_chunk(
     tol: float,
     max_iter: int,
     strict: bool,
+    warm_starts: Optional[Sequence[Optional[Dict[NodeId, float]]]] = None,
 ) -> List[RWRResult]:
     """Iterate one bounded block of restart columns to their steady states."""
     n = len(index)
@@ -259,6 +281,18 @@ def _power_block_chunk(
     for column, sources in enumerate(source_sets):
         q_block[:, column] = restart_vector(index, sources)
     rank = q_block.copy()
+    if warm_starts is not None:
+        for column, warm in enumerate(warm_starts):
+            if not warm:
+                continue
+            seed = np.zeros(n)
+            for position in range(n):
+                seed[position] = warm.get(index.node_at(position), 0.0)
+            total = seed.sum()
+            # An all-zero or degenerate seed (every previous vertex edited
+            # away) keeps the cold restart-vector start for that column.
+            if total > 0:
+                rank[:, column] = seed / total
     # Hoisted restart term: c * q is loop-invariant, and multiplying once
     # up front yields the same floats the per-source loop recomputes each
     # step — parity-safe, one fewer array op per column per iteration.
@@ -304,6 +338,80 @@ def _power_block_chunk(
             )
         )
     return results
+
+
+def refresh_rwr(
+    graph: Optional[Graph],
+    source_sets: Sequence[Sequence[NodeId]],
+    previous: Sequence[Optional[RWRResult]],
+    restart_probability: float = 0.15,
+    tol: float = 1e-10,
+    max_iter: int = 500,
+    strict: bool = True,
+    prepared: Optional[PreparedGraph] = None,
+) -> Tuple[List[RWRResult], List[bool]]:
+    """Incrementally refresh steady states after a small graph delta.
+
+    Re-solves each source set's RWR on the (edited) ``graph``, seeding the
+    power iteration from the matching entry of ``previous`` — the steady
+    states computed before the edit.  For a delta touching a few edges the
+    previous fixed point is close to the new one, so warm columns converge
+    in a fraction of the cold iteration count; the unique fixed point of
+    the contraction guarantees the refreshed state matches a full cold
+    recompute within the convergence tolerance.
+
+    The fallback is explicit, not best-effort: any warm-started column
+    that fails to converge within ``max_iter`` is re-solved **cold from
+    scratch** (the exact path a fresh query would take), so a pathological
+    seed can degrade latency but never the answer.  A ``previous`` entry
+    is only used when it converged under the same restart probability;
+    anything else starts cold.
+
+    Returns ``(results, refreshed)`` where ``refreshed[i]`` tells whether
+    source set ``i`` was served by the warm path.
+    """
+    if len(previous) != len(source_sets):
+        raise MiningError(
+            f"refresh_rwr got {len(previous)} previous states "
+            f"for {len(source_sets)} source sets"
+        )
+    warm: List[Optional[Dict[NodeId, float]]] = []
+    for prior in previous:
+        usable = (
+            prior is not None
+            and prior.converged
+            and prior.restart_probability == restart_probability
+        )
+        warm.append(dict(prior.scores) if usable else None)
+    results = rwr_power_block(
+        graph, source_sets, restart_probability,
+        tol=tol, max_iter=max_iter, strict=False, prepared=prepared,
+        warm_starts=warm,
+    )
+    fallback = [
+        column for column, result in enumerate(results)
+        if warm[column] is not None and not result.converged
+    ]
+    if fallback:
+        cold = rwr_power_block(
+            graph, [source_sets[column] for column in fallback],
+            restart_probability, tol=tol, max_iter=max_iter, strict=False,
+            prepared=prepared,
+        )
+        for column, result in zip(fallback, cold):
+            results[column] = result
+    if strict:
+        stuck = sum(1 for result in results if not result.converged)
+        if stuck:
+            raise ConvergenceError(
+                f"RWR refresh did not converge within {max_iter} iterations "
+                f"(tol={tol}) for {stuck} of {len(results)} source sets"
+            )
+    refreshed = [
+        warm[column] is not None and column not in fallback
+        for column in range(len(results))
+    ]
+    return results, refreshed
 
 
 def rwr_exact(

@@ -37,12 +37,13 @@ Remote access lives in :mod:`repro.api`: the HTTP front-end and the
 
 from __future__ import annotations
 
+import logging
 import threading
-from collections import Counter
+from collections import Counter, OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..api.ops import DEFAULT_REGISTRY, DelegatedResult, OpContext, ServiceOpContext
 from ..api.registry import OperationRegistry, OpSpec
@@ -51,11 +52,22 @@ from ..core.gtree import GTree
 from ..core.session import ExplorationSession
 from ..errors import GMineError, ServiceError
 from ..graph.graph import Graph
+from ..mining.rwr import RWRResult, refresh_rwr
 from ..storage.gtree_store import GTreeStore
 from .cache import ResultCache, SQLiteCacheStore
 from .datasets import DEFAULT_DATASET, DatasetHandle, DatasetRegistry
 from .executors import ExecutionBackend, make_backend
+from .feeds import ChangeFeed
 from .sessions import DEFAULT_SESSION_TTL, ServiceSession, SessionManager
+
+logger = logging.getLogger(__name__)
+
+#: Steady states remembered per dataset for incremental RWR refresh.
+RWR_KEEPER_CAPACITY = 32
+
+#: Server-side ceiling on one ``dataset.subscribe`` long-poll wait.  Clients
+#: wanting to wait longer re-issue the poll from the returned ``next_since``.
+MAX_SUBSCRIBE_TIMEOUT = 30.0
 
 #: Operations the default registry declares (kept for backward compatibility;
 #: the authoritative source is ``GMineService.registry``).
@@ -180,6 +192,14 @@ class GMineService:
         self._lock = threading.RLock()
         self._compute_counts: Counter = Counter()
         self._executor: Optional[ThreadPoolExecutor] = None
+        # Per-dataset change feeds driving ``dataset.subscribe``; created
+        # lazily so subscribing to a dataset that never changes costs one
+        # small ring buffer at most.
+        self._feeds: Dict[str, ChangeFeed] = {}
+        # Per-dataset LRU of the most recent converged power-iteration
+        # steady states, keyed by canonical args (no fingerprint): the warm
+        # starts ``dataset.apply {refresh_rwr: true}`` reseeds from.
+        self._rwr_states: Dict[str, "OrderedDict[Tuple, Dict[str, Any]]"] = {}
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -260,18 +280,153 @@ class GMineService:
         key and nothing wrong under the old one.
         """
         report = self.registry_of_datasets.reload(name)
-        invalidated = 0
-        if report["changed"]:
-            invalidated = self.cache.invalidate_fingerprint(
-                report["previous_fingerprint"]
-            )
-        report["invalidated"] = invalidated
+        report["invalidated"] = self._invalidate_for(report)
         self.backend.warm(self.registry_of_datasets.get(report["dataset"]).exec_spec())
+        if report["changed"]:
+            self._publish_change(report, kind="reload")
         return report
+
+    def apply_dataset(
+        self,
+        name: Optional[str] = None,
+        script: Sequence[Dict[str, Any]] = (),
+        refresh_rwr: bool = False,
+    ) -> Dict[str, Any]:
+        """Apply an edit script to a mutable dataset (``dataset.apply``).
+
+        Delegates the copy-on-write edit and handle swap to
+        :meth:`~repro.service.datasets.DatasetRegistry.apply`, then does the
+        service-side bookkeeping the swap mandates: drops every cached
+        result keyed by the previous **root** fingerprint or by a retired
+        partition sub-fingerprint (entries for untouched communities keep
+        their keys and survive), optionally warm-refreshes the remembered
+        RWR steady states whose scope was touched (``refresh_rwr=True`` —
+        results match a cold solve within the convergence tolerance, with
+        an explicit cold fallback; the default query path stays cold and
+        bitwise-reproducible), and publishes the change event subscribers
+        long-polling ``dataset.subscribe`` are waiting on.
+        """
+        report = self.registry_of_datasets.apply(name, list(script))
+        report["invalidated"] = self._invalidate_for(report)
+        if report["changed"]:
+            handle = self._dataset(report["dataset"])
+            if refresh_rwr:
+                report["rwr_refresh"] = self._refresh_rwr_states(handle, report)
+            self.backend.warm(handle.exec_spec())
+            self._publish_change(report, kind="apply")
+        return report
+
+    def subscribe(
+        self,
+        dataset: Optional[str] = None,
+        since: int = 0,
+        timeout: float = 0.0,
+        community: Optional[Union[int, str]] = None,
+    ) -> Dict[str, Any]:
+        """Long-poll a dataset's change feed (``dataset.subscribe``).
+
+        Returns every change event after sequence number ``since``
+        (optionally filtered to those touching ``community``), waiting up
+        to ``timeout`` seconds (capped server-side at
+        :data:`MAX_SUBSCRIBE_TIMEOUT`) for one to arrive.  The reply
+        always carries the dataset's **current** root fingerprint and the
+        ``next_since`` watermark to resume from, so a poll loop never
+        misses or re-reads an event; ``lagged`` warns that the bounded
+        feed history overflowed the gap and a full resync is in order.
+        """
+        handle = self._dataset(dataset)
+        scope = community
+        if (
+            isinstance(scope, int)
+            and not isinstance(scope, bool)
+            and handle.tree.has_node(scope)
+        ):
+            scope = handle.tree.node(scope).label
+        wait = min(max(0.0, float(timeout)), MAX_SUBSCRIBE_TIMEOUT)
+        events, lagged, next_since = self._feed(handle.name).wait_for(
+            int(since), wait, scope if isinstance(scope, str) else None
+        )
+        return {
+            "dataset": handle.name,
+            "fingerprint": self._dataset(dataset).fingerprint,
+            "since": int(since),
+            "next_since": next_since,
+            "lagged": lagged,
+            "events": [event.as_payload() for event in events],
+        }
+
+    def _feed(self, name: str) -> ChangeFeed:
+        with self._lock:
+            return self._feeds.setdefault(name, ChangeFeed())
+
+    def _invalidate_for(self, report: Dict[str, Any]) -> int:
+        """Drop cache entries retired by one apply/reload change report.
+
+        The previous root fingerprint keys every widest-scope entry; each
+        retired partition sub-fingerprint keys the entries scoped to a
+        community the change touched.  Entries keyed by a *surviving*
+        sub-fingerprint are deliberately left in place — that survival is
+        the point of partition-scoped keys.
+
+        Invalidation is best-effort residency cleanup: by the time it runs
+        the handle swap has already committed, and every retired key is
+        unreachable anyway (cache keys derive from the fingerprints the
+        *current* handle serves).  A failing cache store therefore must not
+        fail the edit or swallow its change event; failures are counted in
+        the report's ``invalidation_errors`` and logged.
+        """
+        if not report["changed"]:
+            return 0
+        invalidated = 0
+        errors = 0
+        stale_fingerprints = (
+            report["previous_fingerprint"],
+            *report.get("retired_partition_fingerprints", ()),
+        )
+        for stale in stale_fingerprints:
+            try:
+                invalidated += self.cache.invalidate_fingerprint(stale)
+            except Exception:  # noqa: BLE001 — residency cleanup only
+                errors += 1
+                logger.warning(
+                    "cache invalidation failed for retired fingerprint %s "
+                    "of dataset %r; entries are unreachable and will age out",
+                    stale, report["dataset"], exc_info=True,
+                )
+        if errors:
+            report["invalidation_errors"] = errors
+        return invalidated
+
+    def _publish_change(self, report: Dict[str, Any], kind: str) -> None:
+        self._feed(report["dataset"]).publish(
+            dataset=report["dataset"],
+            kind=kind,
+            fingerprint=report["fingerprint"],
+            previous_fingerprint=report["previous_fingerprint"],
+            changed_partitions=dict(report.get("changed_partitions", {})),
+            edits=int(report.get("edits", 0)),
+        )
 
     def fingerprint(self, dataset: Optional[str] = None) -> str:
         """The cache-key fingerprint of a dataset's tree."""
         return self._dataset(dataset).fingerprint
+
+    def stream_fingerprint(
+        self, dataset: Optional[str], operation: str, args: Dict[str, Any]
+    ) -> str:
+        """The content fingerprint a stream cursor for this request pins.
+
+        Partition-scoped ops pin the community's Merkle sub-fingerprint, so
+        a cursor over a community an edit did not touch stays valid across
+        ``dataset.apply``; everything else pins the root, expiring on any
+        change.  The router validates resumed cursors against this value.
+        """
+        handle = self._dataset(dataset)
+        spec = self.registry.get(operation)
+        if spec.scope != "dataset" or spec.partition_arg is None:
+            return handle.fingerprint
+        canonical = spec.canonicalize(dict(args), handle.context)
+        return self._scope_fp(handle, spec, canonical)
 
     def describe_ops(self) -> List[Dict[str, Any]]:
         """The registry's op table (name, schema, cacheability, cost class)."""
@@ -355,7 +510,7 @@ class GMineService:
                 {"community": community_label, "hop_sample_size": hop_sample_size},
                 handle.context,
             )
-            key = spec.cache_key(handle.fingerprint, canonical)
+            key = spec.cache_key(self._scope_fp(handle, spec, canonical), canonical)
             return self.cache.get_or_compute(
                 key,
                 lambda: self._computed(
@@ -372,7 +527,7 @@ class GMineService:
     def call(self, operation: str, dataset: Optional[str] = None, **args) -> Any:
         """Execute one registered operation through the cache; raises on failure."""
         spec = self.registry.get(operation)
-        if spec.scope == "session":
+        if spec.scope != "dataset":
             value, _ = self._dispatch_session(
                 spec, self._session_args(spec, args, dataset)
             )
@@ -444,7 +599,7 @@ class GMineService:
             request = QueryRequest.from_dict(request)
         try:
             spec = self.registry.get(request.operation)
-            if spec.scope == "session":
+            if spec.scope != "dataset":
                 value, cached = self._dispatch_session(
                     spec,
                     self._session_args(spec, dict(request.args), request.dataset),
@@ -514,9 +669,9 @@ class GMineService:
                 spec = self.registry.get(request.operation)
                 if spec.scope == "dataset" and spec.cacheable:
                     handle = self._dataset(request.dataset)
+                    canonical = spec.canonicalize(request.args, handle.context)
                     key = spec.cache_key(
-                        handle.fingerprint,
-                        spec.canonicalize(request.args, handle.context),
+                        self._scope_fp(handle, spec, canonical), canonical
                     )
             except (GMineError, TypeError, ValueError):
                 pass
@@ -586,6 +741,8 @@ class GMineService:
         """One JSON-friendly snapshot of cache, backend, compute and sessions."""
         with self._lock:
             computed = dict(self._compute_counts)
+        with self._lock:
+            feeds = {name: feed.last_seq for name, feed in self._feeds.items()}
         return {
             "cache": self.cache.describe(),
             "backend": self.backend.stats(),
@@ -596,6 +753,8 @@ class GMineService:
             },
             "datasets": self.datasets(),
             "dataset_info": self.describe_datasets(),
+            "prepared_views": self.registry_of_datasets.prepared_views.describe(),
+            "feeds": feeds,
         }
 
     def _computed(self, operation: str, compute: Callable[[], Any]) -> Any:
@@ -627,7 +786,7 @@ class GMineService:
         return args
 
     def _dispatch_session(self, spec: OpSpec, args: Dict[str, Any]):
-        """Run one session-scoped operation; returns ``(value, cached)``.
+        """Run one session- or service-scoped op; returns ``(value, cached)``.
 
         Session ops canonicalize through their spec exactly like dataset
         ops but bypass the result cache — their outcomes depend on live
@@ -679,9 +838,111 @@ class GMineService:
         performed: List[bool] = []
         if not spec.cacheable:
             return compute(), False
-        key = spec.cache_key(handle.fingerprint, canonical)
+        key = spec.cache_key(self._scope_fp(handle, spec, canonical), canonical)
         value = self.cache.get_or_compute(key, compute)
+        if operation == "rwr":
+            self._remember_rwr(handle, canonical, value)
         return value, not performed
+
+    @staticmethod
+    def _scope_fp(handle: DatasetHandle, spec: OpSpec, canonical) -> str:
+        """The fingerprint keying one canonical request: root or partition.
+
+        Ops whose spec declares a ``partition_arg`` (their result is a pure
+        function of that community's induced content) key on the Merkle
+        sub-fingerprint, so their entries survive edits that do not touch
+        the community; everything else keys on the root as before.
+        """
+        if spec.partition_arg is None:
+            return handle.fingerprint
+        return handle.scope_fingerprint(canonical.get(spec.partition_arg))
+
+    # ------------------------------------------------------------------ #
+    # incremental RWR refresh
+    # ------------------------------------------------------------------ #
+    def _remember_rwr(self, handle: DatasetHandle, canonical, value) -> None:
+        """Record a converged power-iteration steady state as a warm start."""
+        if canonical.get("solver") != "power":
+            return
+        if not isinstance(value, RWRResult) or not value.converged:
+            return
+        spec = self.registry.get("rwr")
+        key = spec.cache_fields(canonical)
+        with self._lock:
+            keeper = self._rwr_states.setdefault(handle.name, OrderedDict())
+            keeper[key] = {"canonical": dict(canonical), "result": value}
+            keeper.move_to_end(key)
+            while len(keeper) > RWR_KEEPER_CAPACITY:
+                keeper.popitem(last=False)
+
+    def _refresh_rwr_states(
+        self, handle: DatasetHandle, report: Dict[str, Any]
+    ) -> Dict[str, int]:
+        """Warm-refresh remembered steady states whose scope an edit touched.
+
+        Each entry is re-solved on the edited content seeded from its
+        pre-edit fixed point (:func:`~repro.mining.rwr.refresh_rwr`), and
+        installed in the cache under its **new** scoped key — so the first
+        query after the edit hits warm.  Entries scoped to an untouched
+        community are skipped outright: their cache entries survived the
+        edit by key construction, and overwriting a surviving cold result
+        with a warm one would trade bitwise reproducibility for nothing.
+        Entries whose sources vanished from the edited graph are dropped.
+        """
+        spec = self.registry.get("rwr")
+        changed_labels = set(report.get("changed_partitions", {}))
+        with self._lock:
+            keeper = self._rwr_states.get(handle.name)
+            entries = list(keeper.items()) if keeper else []
+        counts = {"entries": len(entries), "refreshed": 0, "cold": 0,
+                  "skipped": 0, "dropped": 0}
+        for key, entry in entries:
+            canonical = entry["canonical"]
+            scope = canonical.get("community")
+            touched = (
+                scope is None
+                or scope in changed_labels
+                # A scope the edited tree cannot resolve keys on the root
+                # now; its old sub-fingerprint entry is gone either way.
+                or handle.scope_fingerprint(scope) == handle.fingerprint
+            )
+            if not touched:
+                counts["skipped"] += 1
+                continue
+            try:
+                engine = handle.make_engine()
+                ctx = OpContext(
+                    engine=engine, prepared_provider=handle.prepared_provider
+                )
+                subgraph = ctx.community_subgraph(scope)
+                results, warm = refresh_rwr(
+                    subgraph,
+                    [canonical["sources"]],
+                    [entry["result"]],
+                    restart_probability=canonical["restart_probability"],
+                    strict=False,
+                    prepared=ctx.prepared_for(scope, subgraph),
+                )
+            except GMineError:
+                with self._lock:
+                    keeper = self._rwr_states.get(handle.name)
+                    if keeper is not None:
+                        keeper.pop(key, None)
+                counts["dropped"] += 1
+                continue
+            result = results[0]
+            if not result.converged:
+                counts["dropped"] += 1
+                continue
+            counts["refreshed" if warm[0] else "cold"] += 1
+            self.cache.put(
+                spec.cache_key(self._scope_fp(handle, spec, canonical), canonical),
+                result,
+            )
+            with self._lock:
+                self._compute_counts["rwr_refresh"] += 1
+            self._remember_rwr(handle, canonical, result)
+        return counts
 
     def _execute_op(
         self, handle: DatasetHandle, spec: OpSpec, canonical: Dict[str, Any]

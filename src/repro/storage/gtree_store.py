@@ -145,6 +145,7 @@ class GTreeStore:
         self._lock = threading.RLock()
         self.tree = self._load_skeleton()
         self._fingerprint: Optional[str] = None
+        self._partition_fingerprints: Optional[Dict[int, str]] = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -182,6 +183,22 @@ class GTreeStore:
             if self._fingerprint is None:
                 self._fingerprint = self.tree.fingerprint(self._leaf_digests)
             return self._fingerprint
+
+    @property
+    def partition_fingerprints(self) -> Dict[int, str]:
+        """Per-community Merkle sub-fingerprints, without loading any leaf.
+
+        Same contract as :attr:`fingerprint`: the skeleton's recorded leaf
+        digests feed :meth:`~repro.core.gtree.GTree.partition_fingerprints`,
+        so a store and the in-memory tree it was saved from produce the
+        identical map (memoised; the file is read-only).
+        """
+        with self._lock:
+            if self._partition_fingerprints is None:
+                self._partition_fingerprints = self.tree.partition_fingerprints(
+                    self._leaf_digests
+                )
+            return dict(self._partition_fingerprints)
 
     # ------------------------------------------------------------------ #
     # loading

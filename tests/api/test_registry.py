@@ -27,6 +27,7 @@ class TestRegistryBasics:
             "session.create", "session.restore", "session.resume",
             "session.describe", "session.step", "session.close", "session.list",
             "session.metrics", "session.rwr", "session.connection_subgraph",
+            "dataset.apply", "dataset.subscribe",
         }
 
     def test_every_spec_is_fully_bound(self):
@@ -36,6 +37,11 @@ class TestRegistryBasics:
             assert spec.cost in ("cheap", "expensive")
             if spec.scope == "dataset":
                 assert spec.encoder is not None, spec.name
+            elif spec.scope == "service":
+                # registry write path / change feeds: JSON-safe payloads,
+                # never cacheable (they mutate or observe mutable state)
+                assert spec.name.startswith("dataset."), spec.name
+                assert not spec.cacheable, spec.name
             else:
                 # session ops: lifecycle payloads are already JSON-safe
                 # (no encoder); mining variants reuse their twin's encoder

@@ -1,0 +1,256 @@
+"""GraphEditor edge cases the basic editing suite leaves uncovered.
+
+Three scenarios the mutable-dataset write path must survive:
+
+* removing a community *representative* — the highest-degree member a
+  summary view would label the community with, whose incident edges fan
+  out into several sibling partitions;
+* an edit script that empties a leaf partition entirely (the leaf stays
+  a valid, re-populatable community);
+* cross-partition edge insertion and removal, which must keep every
+  ancestor's connectivity list equal to a fresh
+  :func:`connectivity_among_children` recomputation.
+
+Each test also pins the Merkle consequences: the partitions whose
+sub-fingerprints change are exactly a subset of the editor's
+``touched_communities``, and untouched siblings keep their values.
+"""
+
+import pytest
+
+from repro.core.builder import build_gtree
+from repro.core.connectivity import connectivity_among_children
+from repro.core.editing import GraphEditor, apply_edit_script
+from repro.graph.generators import connected_caveman
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture
+def editable():
+    """A fresh caveman graph + 2-level tree per test (editing mutates both)."""
+    graph = connected_caveman(4, 8, seed=0)
+    tree = build_gtree(graph, fanout=4, levels=2, seed=0)
+    return graph, tree, GraphEditor(graph, tree)
+
+
+def _edge_tuples(edges):
+    return [
+        (edge.source, edge.target, edge.edge_count, round(edge.total_weight, 9))
+        for edge in edges
+    ]
+
+
+def assert_connectivity_matches_fresh(graph, tree):
+    """Every internal node's connectivity == a from-scratch recomputation."""
+    for node in tree.nodes():
+        if node.is_leaf:
+            continue
+        child_members = {
+            child_id: tree.node(child_id).members for child_id in node.children
+        }
+        fresh = connectivity_among_children(graph, child_members)
+        assert _edge_tuples(node.connectivity) == _edge_tuples(fresh), (
+            f"stale connectivity on {node.label}"
+        )
+
+
+class TestRepresentativeRemoval:
+    def test_removing_the_community_representative_stays_consistent(self, editable):
+        graph, tree, editor = editable
+        leaf = max(tree.leaves(), key=lambda node: node.size)
+        # The representative: the member a summary would name the leaf by —
+        # its highest-degree vertex, including the caveman ring edges that
+        # reach into neighbouring partitions.
+        representative = max(
+            leaf.members, key=lambda member: len(list(graph.neighbors(member)))
+        )
+        neighbor_leaves = {
+            tree.leaf_of(other).node_id
+            for other in graph.neighbors(representative)
+        }
+        before_parts = tree.partition_fingerprints()
+
+        editor.remove_node(representative)
+
+        assert not graph.has_node(representative)
+        assert representative not in leaf.members
+        assert not tree.contains_vertex(representative)
+        assert leaf.subgraph is None or not leaf.subgraph.has_node(representative)
+        assert tree.validate() == []
+        assert_connectivity_matches_fresh(graph, tree)
+
+        after_parts = tree.partition_fingerprints()
+        changed = {
+            node_id
+            for node_id in before_parts
+            if before_parts[node_id] != after_parts[node_id]
+        }
+        # The victim's own partition and its lineage must change...
+        lineage = {leaf.node_id} | {
+            ancestor.node_id for ancestor in tree.ancestors(leaf.node_id)
+        }
+        assert lineage <= changed
+        # ...every change is accounted for by the editor's touched set...
+        assert changed <= editor.touched_communities
+        # ...and the editor marked every partition the fan-out reached.
+        assert neighbor_leaves <= editor.touched_communities
+
+    def test_sibling_partitions_keep_their_fingerprints(self, editable):
+        graph, tree, editor = editable
+        leaves = tree.leaves()
+        victim_leaf = leaves[0]
+        representative = max(
+            victim_leaf.members,
+            key=lambda member: len(list(graph.neighbors(member))),
+        )
+        untouched = [
+            leaf.node_id
+            for leaf in leaves
+            if leaf.node_id != victim_leaf.node_id
+            and all(
+                tree.leaf_of(other).node_id != leaf.node_id
+                for other in graph.neighbors(representative)
+            )
+        ]
+        assert untouched, "caveman ring must leave at least one leaf untouched"
+        before = tree.partition_fingerprints()
+        editor.remove_node(representative)
+        after = tree.partition_fingerprints()
+        for node_id in untouched:
+            assert before[node_id] == after[node_id], (
+                f"untouched partition {node_id} changed its sub-fingerprint"
+            )
+
+
+class TestEmptiedLeafPartition:
+    def test_script_emptying_a_leaf_keeps_the_tree_valid(self, editable):
+        graph, tree, editor = editable
+        leaf = min(tree.leaves(), key=lambda node: node.size)
+        victims = list(leaf.members)
+        script = [{"action": "remove_node", "node": victim} for victim in victims]
+
+        apply_edit_script(editor, script)
+
+        assert leaf.members == []
+        assert leaf.size == 0
+        for victim in victims:
+            assert not graph.has_node(victim)
+            assert not tree.contains_vertex(victim)
+        assert tree.validate() == []
+        assert_connectivity_matches_fresh(graph, tree)
+        # No connectivity edge may still reference the emptied partition.
+        for node in tree.nodes():
+            for edge in node.connectivity:
+                assert leaf.node_id not in (edge.source, edge.target)
+        # The emptied leaf still fingerprints (distinctly from before).
+        assert tree.fingerprint()
+
+    def test_emptied_leaf_can_be_repopulated(self, editable):
+        graph, tree, editor = editable
+        leaf = min(tree.leaves(), key=lambda node: node.size)
+        for victim in list(leaf.members):
+            editor.remove_node(victim)
+        assert leaf.members == []
+
+        editor.add_node(7001, community=leaf.label, name="Recolonist")
+        editor.add_node(7002, community=leaf.label)
+        editor.add_edge(7001, 7002, weight=2.0)
+
+        assert leaf.members == [7001, 7002]
+        assert tree.leaf_of(7001).node_id == leaf.node_id
+        assert 7001 in tree.root.members
+        if leaf.subgraph is not None:
+            assert leaf.subgraph.has_edge(7001, 7002)
+        assert tree.validate() == []
+        assert_connectivity_matches_fresh(graph, tree)
+
+
+class TestCrossPartitionEdgeInsertion:
+    def _disconnected_leaf_pair(self, graph, tree):
+        """Two leaves with no edge crossing between them (caveman: non-ring)."""
+        leaves = tree.leaves()
+        for i, first in enumerate(leaves):
+            for second in leaves[i + 1:]:
+                members = set(second.members)
+                crossing = any(
+                    other in members
+                    for member in first.members
+                    for other in graph.neighbors(member)
+                )
+                if not crossing:
+                    return first, second
+        pytest.fail("expected at least one disconnected leaf pair")
+
+    def test_insertion_creates_the_connectivity_edge(self, editable):
+        graph, tree, editor = editable
+        first, second = self._disconnected_leaf_pair(graph, tree)
+        parent = tree.node(first.parent_id)
+        key = tuple(sorted((first.node_id, second.node_id)))
+        assert key not in {
+            tuple(sorted((edge.source, edge.target)))
+            for edge in parent.connectivity
+        }
+
+        editor.add_edge(first.members[0], second.members[0], weight=2.5)
+
+        by_pair = {
+            tuple(sorted((edge.source, edge.target))): edge
+            for edge in parent.connectivity
+        }
+        created = by_pair[key]
+        assert created.edge_count == 1
+        assert created.total_weight == pytest.approx(2.5)
+        assert_connectivity_matches_fresh(graph, tree)
+        assert {first.node_id, second.node_id} <= editor.touched_communities
+
+    def test_insertion_increments_an_existing_connectivity_edge(self, editable):
+        graph, tree, editor = editable
+        # Find a leaf pair that already shares cross edges (the caveman ring).
+        cross = None
+        for u, v, _ in graph.edges():
+            leaf_u, leaf_v = tree.leaf_of(u), tree.leaf_of(v)
+            if leaf_u.node_id != leaf_v.node_id:
+                cross = (leaf_u, leaf_v)
+                break
+        assert cross is not None
+        first, second = cross
+        parent = tree.node(first.parent_id)
+        key = tuple(sorted((first.node_id, second.node_id)))
+
+        def pair_stats():
+            for edge in parent.connectivity:
+                if tuple(sorted((edge.source, edge.target))) == key:
+                    return edge.edge_count, round(edge.total_weight, 9)
+            return 0, 0.0
+
+        count_before, weight_before = pair_stats()
+        assert count_before >= 1
+        # A fresh vertex pair spanning the two leaves.
+        u = next(
+            member for member in first.members
+            if all(
+                other not in set(second.members)
+                for other in graph.neighbors(member)
+            )
+        )
+        v = second.members[0]
+        editor.add_edge(u, v, weight=3.0)
+        count_after, weight_after = pair_stats()
+        assert count_after == count_before + 1
+        assert weight_after == pytest.approx(weight_before + 3.0)
+        assert_connectivity_matches_fresh(graph, tree)
+
+    def test_removing_the_only_cross_edge_drops_the_pair(self, editable):
+        graph, tree, editor = editable
+        first, second = self._disconnected_leaf_pair(graph, tree)
+        parent = tree.node(first.parent_id)
+        key = tuple(sorted((first.node_id, second.node_id)))
+        u, v = first.members[0], second.members[0]
+        editor.add_edge(u, v, weight=1.5)
+        editor.remove_edge(u, v)
+        assert key not in {
+            tuple(sorted((edge.source, edge.target)))
+            for edge in parent.connectivity
+        }
+        assert_connectivity_matches_fresh(graph, tree)

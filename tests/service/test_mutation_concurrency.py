@@ -1,0 +1,189 @@
+"""Concurrency stress for the write path: edits vs. streaming readers.
+
+A writer thread toggles an edit back and forth through ``dataset.apply``
+while reader threads walk RWR result cursors page by page (one service
+round-trip per page, resuming from ``next_cursor``) and a third thread
+fires hot-reloads.  The bar, on every execution backend:
+
+* a completed stream reassembles to **exactly** one of the two content
+  versions' payloads — never a torn vector mixing pages across versions;
+* a stream interrupted by an incompatible edit fails with the structured
+  ``CURSOR_EXPIRED`` envelope, nothing else;
+* readers pinned to a community the writer never touches keep their
+  cursors valid across every edit and reload (partition-scoped
+  fingerprints are the pin), completing with zero expiries.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import GMineClient, dumps
+from repro.core.builder import build_gtree
+from repro.data.dblp import DBLPConfig, generate_dblp
+from repro.service import BACKEND_NAMES, GMineService
+
+pytestmark = pytest.mark.tier1
+
+WRITER_TOGGLES = 8
+
+
+@pytest.fixture(scope="module")
+def mutable_dataset():
+    dataset = generate_dblp(DBLPConfig(num_authors=200, seed=31))
+    tree = build_gtree(dataset.graph, fanout=3, levels=2, seed=31)
+    return dataset, tree
+
+
+def _intra_leaf_edge(graph, leaf):
+    members = set(leaf.members)
+    return next(
+        (u, v, w) for u, v, w in graph.edges() if u in members and v in members
+    )
+
+
+def _read_one_stream(client, args, chunk_size):
+    """Walk a stream one page per service call; return ("done", merged),
+    ("expired", None) or ("failed", code)."""
+    pages = []
+    cursor = None
+    while True:
+        iterator = client.stream("rwr", args=args, chunk_size=chunk_size,
+                                 cursor=cursor)
+        try:
+            chunk = next(iterator)
+        finally:
+            iterator.close()
+        if not chunk.ok:
+            if chunk.error.code == "CURSOR_EXPIRED":
+                return "expired", None
+            return "failed", chunk.error.code
+        pages.append(chunk)
+        cursor = chunk.next_cursor
+        if cursor is None:
+            field = pages[0].page["field"]
+            merged = dict(pages[0].result)
+            merged[field] = [
+                item for page in pages for item in page.result[field]
+            ]
+            return "done", dumps(merged)
+
+
+class TestWriterVsStreamingReaders:
+    @pytest.mark.parametrize("backend", sorted(BACKEND_NAMES))
+    def test_streams_are_never_torn_across_edits_and_reloads(
+        self, mutable_dataset, backend
+    ):
+        dataset, tree = mutable_dataset
+        with GMineService(backend=f"{backend}:2", max_workers=8) as service:
+            service.register_tree(tree, graph=dataset.graph, name="g")
+            client = GMineClient.in_process(service)
+
+            # The writer toggles one intra-leaf edge weight between two
+            # content versions, A (original) and B (+1.0).  A quiet leaf —
+            # any leaf other than the edited one — anchors the
+            # partition-scoped readers.
+            leaves = tree.leaves()
+            edited_leaf = leaves[0]
+            quiet_leaf = leaves[-1]
+            u, v, w0 = _intra_leaf_edge(dataset.graph, edited_leaf)
+            edit_to_b = [{"action": "add_edge", "u": u, "v": v, "weight": w0 + 1.0}]
+            edit_to_a = [{"action": "add_edge", "u": u, "v": v, "weight": w0}]
+
+            root_args = {"sources": sorted(dataset.graph.nodes(), key=repr)[:2]}
+            quiet_args = {
+                "sources": list(quiet_leaf.members[:2]),
+                "community": quiet_leaf.label,
+            }
+
+            # Reference payloads for both versions, via the same reassembly.
+            fingerprint_a = service.fingerprint("g")
+            reference = {
+                "A": dumps(client.stream_result("rwr", args=root_args,
+                                                chunk_size=10_000)),
+            }
+            assert service.apply_dataset("g", edit_to_b)["changed"]
+            reference["B"] = dumps(client.stream_result("rwr", args=root_args,
+                                                        chunk_size=10_000))
+            assert reference["A"] != reference["B"]
+            restored = service.apply_dataset("g", edit_to_a)
+            assert restored["fingerprint"] == fingerprint_a
+            quiet_reference = dumps(
+                client.stream_result("rwr", args=quiet_args, chunk_size=5)
+            )
+
+            stop = threading.Event()
+            failures = []
+            root_outcomes, quiet_outcomes = [], []
+
+            def writer():
+                try:
+                    for toggle in range(WRITER_TOGGLES):
+                        script = edit_to_b if toggle % 2 == 0 else edit_to_a
+                        service.apply_dataset("g", script)
+                except Exception as error:  # pragma: no cover - diagnostic
+                    failures.append(("writer", repr(error)))
+                finally:
+                    stop.set()
+
+            def reloader():
+                try:
+                    while not stop.is_set():
+                        report = service.reload_dataset("g")
+                        assert report["changed"] is False
+                        stop.wait(0.002)
+                except Exception as error:  # pragma: no cover - diagnostic
+                    failures.append(("reloader", repr(error)))
+
+            def reader(args, outcomes, chunk_size):
+                try:
+                    while True:
+                        outcomes.append(
+                            _read_one_stream(client, args, chunk_size)
+                        )
+                        if stop.is_set():
+                            return
+                except Exception as error:  # pragma: no cover - diagnostic
+                    failures.append(("reader", repr(error)))
+
+            threads = [
+                threading.Thread(target=writer),
+                threading.Thread(target=reloader),
+                threading.Thread(target=reader, args=(root_args, root_outcomes, 25)),
+                threading.Thread(target=reader, args=(root_args, root_outcomes, 40)),
+                threading.Thread(target=reader, args=(quiet_args, quiet_outcomes, 5)),
+                threading.Thread(target=reader, args=(quiet_args, quiet_outcomes, 7)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not failures, f"concurrent mutation stress failed: {failures}"
+
+            # Root-scope readers: every completed stream is exactly version
+            # A or version B — pages from different versions never mix.
+            assert root_outcomes
+            for status, payload in root_outcomes:
+                assert status in ("done", "expired"), status
+                if status == "done":
+                    assert payload in (reference["A"], reference["B"]), (
+                        "reassembled stream matches neither content version: torn"
+                    )
+
+            # Quiet-community readers: their partition was never touched, so
+            # no cursor may expire and every pass serves identical bytes.
+            assert quiet_outcomes
+            for status, payload in quiet_outcomes:
+                assert status == "done", (
+                    f"cursor over an untouched partition must survive edits, "
+                    f"got {status}"
+                )
+                assert payload == quiet_reference
+
+            # The writer ended on version A (even toggle count): the service
+            # serves the original fingerprint and fresh queries agree.
+            assert service.fingerprint("g") == fingerprint_a
+            final = dumps(
+                client.stream_result("rwr", args=root_args, chunk_size=10_000)
+            )
+            assert final == reference["A"]

@@ -1,0 +1,294 @@
+"""Fault injection for the mutable-dataset write path.
+
+Two failure families, one invariant: the registry always serves a
+*consistent* fingerprint — entirely the old content or entirely the new —
+never a mix of the two.
+
+* A flaky SQLite cache store whose ``put``/``invalidate_fingerprint``
+  raise.  Residency is best-effort: queries still serve correct values
+  (uncached), and an edit whose post-swap invalidation fails still
+  commits, still reports the new fingerprint, and still publishes its
+  change event — the retired keys are unreachable by construction because
+  cache keys derive from the fingerprints the current handle serves.
+* Process workers killed outright (``SIGKILL``) while edits land and
+  queries fly.  The broken pool falls back to in-parent execution, the
+  pool is rebuilt lazily, and every answer during and after the breakage
+  matches the registry's served fingerprint.
+"""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.api import GMineClient, dumps
+from repro.core.builder import build_gtree
+from repro.data.dblp import DBLPConfig, generate_dblp
+from repro.graph.io import write_json
+from repro.service import GMineService, ResultCache, SQLiteCacheStore
+from repro.storage.gtree_store import save_gtree
+
+pytestmark = pytest.mark.tier1
+
+
+class FlakyCacheStore(SQLiteCacheStore):
+    """A SQLite store whose writes fail on demand (full disk, I/O error)."""
+
+    def __init__(self, path, **kwargs):
+        super().__init__(path, **kwargs)
+        self.fail_puts = 0
+        self.fail_invalidations = 0
+        self.put_failures = 0
+        self.invalidate_failures = 0
+        self._fault_lock = threading.Lock()
+
+    def put(self, key, fingerprint, value, ttl):
+        with self._fault_lock:
+            if self.fail_puts > 0:
+                self.fail_puts -= 1
+                self.put_failures += 1
+                raise sqlite3.OperationalError("injected put failure: disk I/O error")
+        return super().put(key, fingerprint, value, ttl)
+
+    def invalidate_fingerprint(self, fingerprint):
+        with self._fault_lock:
+            if self.fail_invalidations > 0:
+                self.fail_invalidations -= 1
+                self.invalidate_failures += 1
+                raise sqlite3.OperationalError(
+                    "injected invalidate failure: database is locked"
+                )
+        return super().invalidate_fingerprint(fingerprint)
+
+
+@pytest.fixture
+def editable_dataset():
+    dataset = generate_dblp(DBLPConfig(num_authors=150, seed=47))
+    tree = build_gtree(dataset.graph, fanout=3, levels=2, seed=47)
+    return dataset, tree
+
+
+@pytest.fixture
+def flaky_service(editable_dataset, tmp_path):
+    dataset, tree = editable_dataset
+    store = FlakyCacheStore(tmp_path / "flaky-cache.db", capacity=256)
+    with GMineService() as service:
+        service.cache.close()
+        service.cache = ResultCache(store=store)
+        service.register_tree(tree, graph=dataset.graph, name="g")
+        yield service, store
+
+
+def _single_edge_edit(graph, tree, delta):
+    leaf = tree.leaves()[0]
+    members = set(leaf.members)
+    u, v, w = next(
+        (u, v, w) for u, v, w in graph.edges() if u in members and v in members
+    )
+    return [{"action": "add_edge", "u": u, "v": v, "weight": w + delta}]
+
+
+class TestFlakyCacheStore:
+    def test_put_failure_serves_the_value_uncached(
+        self, flaky_service, editable_dataset
+    ):
+        service, store = flaky_service
+        dataset, tree = editable_dataset
+        leaf = tree.leaves()[0]
+        store.fail_puts = 1
+        first = service.call("metrics", community=leaf.label)
+        assert store.put_failures == 1
+        assert service.compute_counts.get("metrics") == 1
+        # Not resident: the retry recomputes — and the healed store caches.
+        second = service.call("metrics", community=leaf.label)
+        assert service.compute_counts.get("metrics") == 2
+        # Healed store caches again: the third call is a hit, not a compute
+        # (the SQLite store pickles, so identity is per-retrieval — count
+        # computations, not object ids).
+        service.call("metrics", community=leaf.label)
+        assert service.compute_counts.get("metrics") == 2
+        assert dumps(first.as_dict()) == dumps(second.as_dict())
+
+    def test_invalidate_failure_does_not_fail_the_committed_edit(
+        self, flaky_service, editable_dataset
+    ):
+        service, store = flaky_service
+        dataset, tree = editable_dataset
+        client = GMineClient.in_process(service)
+        for leaf in tree.leaves():
+            service.call("metrics", community=leaf.label)
+        watermark = service.stats()["feeds"].get("g", 0)
+
+        store.fail_invalidations = 10  # every retirement attempt fails
+        report = service.apply_dataset(
+            "g", _single_edge_edit(dataset.graph, tree, delta=1.0)
+        )
+        store.fail_invalidations = 0
+        assert report["changed"]
+        assert store.invalidate_failures > 0
+        assert report["invalidation_errors"] > 0
+
+        # The swap committed: one fingerprint, served everywhere.
+        handle = service.registry_of_datasets.get("g")
+        assert handle.fingerprint == report["fingerprint"]
+        assert service.fingerprint("g") == report["fingerprint"]
+        # The change event still reached subscribers.
+        feed = service.subscribe(dataset="g", since=watermark)
+        assert [e["fingerprint"] for e in feed["events"]] == [report["fingerprint"]]
+
+        # Answers over the edited content match a fresh service exactly —
+        # the stale (unreachable) entries left behind are never served.
+        with GMineService() as reference:
+            reference.register_tree(
+                handle.tree, graph=handle.graph, name="g"
+            )
+            sources = sorted(handle.graph.nodes(), key=repr)[:2]
+            ref_client = GMineClient.in_process(reference)
+            for op, args in (
+                ("rwr", {"sources": sources}),
+                ("connectivity", {}),
+                ("metrics", {"community": tree.leaves()[0].label}),
+            ):
+                assert dumps(client.query(op, args=args).unwrap()) == dumps(
+                    ref_client.query(op, args=args).unwrap()
+                )
+
+    def test_healed_store_resumes_partition_scoped_invalidation(
+        self, flaky_service, editable_dataset
+    ):
+        service, store = flaky_service
+        dataset, tree = editable_dataset
+        store.fail_invalidations = 10
+        report = service.apply_dataset(
+            "g", _single_edge_edit(dataset.graph, tree, delta=1.0)
+        )
+        store.fail_invalidations = 0
+        assert report["invalidated"] == 0
+        # The next edit invalidates normally again.
+        handle = service.registry_of_datasets.get("g")
+        for leaf in handle.tree.leaves():
+            service.call("metrics", community=leaf.label)
+        follow_up = service.apply_dataset(
+            "g", _single_edge_edit(handle.graph, handle.tree, delta=2.0)
+        )
+        assert follow_up["changed"]
+        assert "invalidation_errors" not in follow_up
+        assert follow_up["invalidated"] > 0
+
+
+@pytest.fixture
+def process_setup(tmp_path):
+    """A process-capable store-backed dataset plus a mutable tree dataset."""
+    dataset = generate_dblp(DBLPConfig(num_authors=150, seed=53))
+    tree = build_gtree(dataset.graph, fanout=3, levels=2, seed=53)
+    store_path = tmp_path / "faults.gtree"
+    graph_path = tmp_path / "faults.json"
+    save_gtree(tree, store_path)
+    write_json(dataset.graph, graph_path)
+
+    mutable = generate_dblp(DBLPConfig(num_authors=120, seed=59))
+    mutable_tree = build_gtree(mutable.graph, fanout=3, levels=2, seed=59)
+
+    with GMineService(backend="process:2") as service:
+        service.register_store(store_path, name="dblp", graph_path=graph_path)
+        service.register_tree(mutable_tree, graph=mutable.graph, name="g")
+        yield service, dataset, mutable
+
+
+class TestKilledProcessWorkers:
+    def test_killed_workers_mid_edit_leave_one_consistent_fingerprint(
+        self, process_setup
+    ):
+        service, dataset, mutable = process_setup
+        client = GMineClient.in_process(service)
+        sources = sorted(dataset.graph.nodes(), key=repr)[:2]
+
+        # Warm the pool with real shipped work.
+        baseline = dumps(
+            client.query("rwr", dataset="dblp", args={"sources": sources}).unwrap()
+        )
+        assert service.backend.stats()["shipped"] >= 1
+
+        mutable_handle = service.registry_of_datasets.get("g")
+        leaf = mutable_handle.tree.leaves()[0]
+        members = set(leaf.members)
+        u, v, w = next(
+            (u, v, w) for u, v, w in mutable.graph.edges()
+            if u in members and v in members
+        )
+
+        failures = []
+        query_payloads = []
+        reports = []
+
+        def querier():
+            try:
+                for _ in range(6):
+                    query_payloads.append(
+                        dumps(
+                            client.query(
+                                "rwr", dataset="dblp", args={"sources": sources}
+                            ).unwrap()
+                        )
+                    )
+            except Exception as error:  # pragma: no cover - diagnostic
+                failures.append(("querier", repr(error)))
+
+        def editor():
+            try:
+                for step in range(4):
+                    reports.append(
+                        service.apply_dataset(
+                            "g",
+                            [{"action": "add_edge", "u": u, "v": v,
+                              "weight": w + 1.0 + step}],
+                        )
+                    )
+            except Exception as error:  # pragma: no cover - diagnostic
+                failures.append(("editor", repr(error)))
+
+        threads = [threading.Thread(target=querier),
+                   threading.Thread(target=editor)]
+        for thread in threads:
+            thread.start()
+        # Hard-kill every worker while edits and queries are in flight.
+        pool = service.backend._pool
+        if pool is not None:
+            for process in list(pool._processes.values()):
+                process.kill()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures, f"worker kill broke the service: {failures}"
+
+        # Every mid-breakage answer is the same bytes as the warm baseline:
+        # the fallback path serves the identical dataset content.
+        assert query_payloads
+        assert all(payload == baseline for payload in query_payloads)
+
+        # The mutable dataset landed on exactly the last applied edit —
+        # the registry's fingerprint, the report's, and the stats view all
+        # agree (no torn half-applied state).
+        final = service.registry_of_datasets.get("g")
+        assert reports
+        assert final.fingerprint == reports[-1]["fingerprint"]
+        described = {
+            row["name"]: row["fingerprint"]
+            for row in service.registry_of_datasets.describe()
+        }
+        assert described["g"] == final.fingerprint
+        assert service.fingerprint("g") == final.fingerprint
+
+        # The service recovered: fresh shipped-or-fallback queries still
+        # match, and the edited dataset answers like a clean rebuild.
+        assert dumps(
+            client.query("rwr", dataset="dblp", args={"sources": sources}).unwrap()
+        ) == baseline
+        with GMineService() as reference:
+            reference.register_tree(final.tree, graph=final.graph, name="g")
+            ref_client = GMineClient.in_process(reference)
+            probe = {"sources": sorted(final.graph.nodes(), key=repr)[:2]}
+            assert dumps(
+                client.query("rwr", dataset="g", args=probe).unwrap()
+            ) == dumps(ref_client.query("rwr", args=probe).unwrap())
+        stats = service.backend.stats()
+        assert stats["fallbacks"] >= 1 or stats["shipped"] >= 2

@@ -1,0 +1,291 @@
+"""Property suite for the registry write path (``dataset.apply``).
+
+The acceptance bar for mutable datasets: applying a random edit script
+through the service must leave a G-Tree **byte-identical** — root
+fingerprint, Merkle partition map, and every observable query payload
+(metrics, RWR, connectivity) — to one obtained by editing a private clone
+out-of-band and serving it fresh.  The incremental path (partition-scoped
+invalidation, surviving cache entries, copy-on-write swap) must be
+undetectable from the outside.
+
+A second property pins reversibility: applying a script and then its
+inverse returns the dataset to the original root fingerprint and partition
+map exactly.
+
+The deterministic tests at the bottom pin the tentpole's cache-survival
+criterion: a single-edge edit invalidates only the partitions it touched,
+and every untouched community's cached entry is served again afterwards.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import GMineClient, dumps
+from repro.core.builder import build_gtree
+from repro.core.editing import GraphEditor, apply_edit_script
+from repro.graph.generators import connected_caveman
+from repro.service import GMineService
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture(scope="module")
+def pristine():
+    """One graph + tree shared by every example (``apply`` is copy-on-write,
+    so the registered originals are never mutated)."""
+    graph = connected_caveman(4, 8, seed=11)
+    tree = build_gtree(graph, fanout=4, levels=2, seed=11)
+    return graph, tree
+
+
+def _make_script(graph, tree, rng, length, invertible=False):
+    """A valid random edit script plus the inverse that undoes it.
+
+    The generator walks a model of the evolving graph (edge weights, the
+    live vertex set) so every step is applicable when its turn comes.  The
+    returned inverse is already reversed — applying ``script`` then
+    ``inverse`` is a no-op by construction.  ``invertible`` restricts the
+    action mix to edits whose inverses the model can express exactly.
+    """
+    present = set(graph.nodes())
+    edges = {}
+    for u, v, w in graph.edges():
+        edges[frozenset((u, v))] = w
+    leaf_labels = [leaf.label for leaf in tree.leaves()]
+    next_node = max(present) + 1
+    removals_left = 2  # keep leaves populated; emptied leaves are pinned elsewhere
+    actions = ["add_edge", "add_edge", "remove_edge", "add_node"]
+    if not invertible:
+        actions += ["remove_node", "update_node_attrs"]
+    script, inverse = [], []
+    for _ in range(length):
+        action = rng.choice(actions)
+        if action == "add_edge":
+            u, v = rng.sample(sorted(present), 2)
+            weight = round(rng.uniform(0.5, 4.0), 3)
+            key = frozenset((u, v))
+            previous = edges.get(key)
+            script.append({"action": "add_edge", "u": u, "v": v, "weight": weight})
+            if previous is None:
+                inverse.append({"action": "remove_edge", "u": u, "v": v})
+            else:
+                inverse.append(
+                    {"action": "add_edge", "u": u, "v": v, "weight": previous}
+                )
+            edges[key] = weight
+        elif action == "remove_edge":
+            if not edges:
+                continue
+            key = rng.choice(sorted(edges, key=sorted))
+            u, v = sorted(key)
+            weight = edges.pop(key)
+            script.append({"action": "remove_edge", "u": u, "v": v})
+            inverse.append(
+                {"action": "add_edge", "u": u, "v": v, "weight": weight}
+            )
+        elif action == "add_node":
+            node = next_node
+            next_node += 1
+            community = rng.choice(leaf_labels)
+            script.append(
+                {"action": "add_node", "node": node, "community": community,
+                 "attrs": {"name": f"author-{node}"}}
+            )
+            inverse.append({"action": "remove_node", "node": node})
+            present.add(node)
+        elif action == "remove_node" and removals_left > 0:
+            node = rng.choice(sorted(present))
+            script.append({"action": "remove_node", "node": node})
+            present.discard(node)
+            for key in [key for key in edges if node in key]:
+                del edges[key]
+            removals_left -= 1
+        elif action == "update_node_attrs":
+            node = rng.choice(sorted(present))
+            script.append(
+                {"action": "update_node_attrs", "node": node,
+                 "attrs": {"name": f"renamed-{rng.randrange(1000)}"}}
+            )
+    inverse.reverse()
+    return script, inverse
+
+
+def _probe_payloads(service, tree, graph):
+    """Canonical bytes of every observable answer over ``service``."""
+    client = GMineClient.in_process(service)
+    sources = sorted(graph.nodes(), key=repr)[:2]
+    payloads = [dumps(client.query("connectivity").unwrap())]
+    payloads.append(
+        dumps(client.query("rwr", args={"sources": sources}).unwrap())
+    )
+    for leaf in tree.leaves():
+        payloads.append(
+            dumps(
+                client.query("metrics", args={"community": leaf.label}).unwrap()
+            )
+        )
+    return payloads
+
+
+class TestApplyMatchesFromScratch:
+    @settings(max_examples=12, derandomize=True, deadline=None)
+    @given(seed=st.integers(0, 2**16), length=st.integers(1, 6))
+    def test_edited_dataset_is_byte_identical_to_a_fresh_rebuild(
+        self, pristine, seed, length
+    ):
+        graph, tree = pristine
+        script, _ = _make_script(graph, tree, random.Random(seed), length)
+        with GMineService() as incremental, GMineService() as rebuilt:
+            incremental.register_tree(tree, graph=graph, name="g")
+            report = incremental.apply_dataset("g", script)
+            assert report["edits"] == len(script)
+
+            # Out-of-band reference: same script on a private clone, served
+            # by a service that never saw the original content.
+            reference_graph = graph.copy()
+            reference_tree = tree.clone()
+            apply_edit_script(
+                GraphEditor(reference_graph, reference_tree), script
+            )
+            reference_tree.assert_valid()
+            rebuilt.register_tree(reference_tree, graph=reference_graph, name="g")
+
+            handle = incremental.registry_of_datasets.get("g")
+            reference = rebuilt.registry_of_datasets.get("g")
+            assert handle.fingerprint == reference.fingerprint
+            assert handle.fingerprint == reference_tree.fingerprint()
+            assert dict(handle.partition_fingerprints) == (
+                reference_tree.partition_fingerprints()
+            )
+            assert _probe_payloads(incremental, reference_tree, reference_graph) == (
+                _probe_payloads(rebuilt, reference_tree, reference_graph)
+            )
+
+    @settings(max_examples=12, derandomize=True, deadline=None)
+    @given(seed=st.integers(0, 2**16), length=st.integers(1, 6))
+    def test_warm_cache_and_fresh_service_answer_identically(
+        self, pristine, seed, length
+    ):
+        """Entries surviving the edit serve the same bytes a cold service
+        computes — survival is a latency optimisation, never a different
+        answer."""
+        graph, tree = pristine
+        script, _ = _make_script(graph, tree, random.Random(seed), length)
+        with GMineService() as warm, GMineService() as cold:
+            warm.register_tree(tree, graph=graph, name="g")
+            # Warm every partition-scoped entry *before* the edit.
+            for leaf in tree.leaves():
+                warm.call("metrics", community=leaf.label)
+            warm.apply_dataset("g", script)
+
+            reference_graph = graph.copy()
+            reference_tree = tree.clone()
+            apply_edit_script(
+                GraphEditor(reference_graph, reference_tree), script
+            )
+            cold.register_tree(reference_tree, graph=reference_graph, name="g")
+            assert _probe_payloads(warm, reference_tree, reference_graph) == (
+                _probe_payloads(cold, reference_tree, reference_graph)
+            )
+
+
+class TestUndoRestoresTheOriginal:
+    @settings(max_examples=15, derandomize=True, deadline=None)
+    @given(seed=st.integers(0, 2**16), length=st.integers(1, 5))
+    def test_inverse_script_returns_to_the_original_fingerprint(
+        self, pristine, seed, length
+    ):
+        graph, tree = pristine
+        original_fingerprint = tree.fingerprint()
+        original_partitions = tree.partition_fingerprints()
+        script, inverse = _make_script(
+            graph, tree, random.Random(seed), length, invertible=True
+        )
+        with GMineService() as service:
+            service.register_tree(tree, graph=graph, name="g")
+            forward = service.apply_dataset("g", script)
+            if forward["changed"]:
+                assert forward["fingerprint"] != original_fingerprint
+            backward = service.apply_dataset("g", inverse)
+            handle = service.registry_of_datasets.get("g")
+            assert handle.fingerprint == original_fingerprint
+            assert dict(handle.partition_fingerprints) == original_partitions
+            if forward["changed"]:
+                assert backward["changed"]
+                assert backward["fingerprint"] == original_fingerprint
+
+
+class TestPartitionScopedSurvival:
+    def test_intra_leaf_edit_recomputes_only_the_touched_leaf(self, pristine):
+        graph, tree = pristine
+        with GMineService() as service:
+            service.register_tree(tree, graph=graph, name="g")
+            leaves = tree.leaves()
+            for leaf in leaves:
+                service.call("metrics", community=leaf.label)
+            computed_before = service.compute_counts.get("metrics", 0)
+            assert computed_before == len(leaves)
+
+            # Re-weight an edge strictly inside the first leaf.
+            target = leaves[0]
+            members = set(target.members)
+            u, v, w = next(
+                (u, v, w) for u, v, w in graph.edges()
+                if u in members and v in members
+            )
+            report = service.apply_dataset(
+                "g",
+                [{"action": "add_edge", "u": u, "v": v, "weight": w + 1.0}],
+            )
+            assert report["changed"]
+            assert target.label in report["changed_partitions"]
+
+            for leaf in leaves:
+                service.call("metrics", community=leaf.label)
+            recomputed = service.compute_counts.get("metrics", 0) - computed_before
+            assert recomputed == 1, (
+                "only the edited partition may recompute; every sibling "
+                "entry must survive the edit"
+            )
+
+    def test_cross_partition_edit_preserves_every_leaf_entry(self, pristine):
+        graph, tree = pristine
+        with GMineService() as service:
+            service.register_tree(tree, graph=graph, name="g")
+            leaves = tree.leaves()
+            for leaf in leaves:
+                service.call("metrics", community=leaf.label)
+            computed_before = service.compute_counts.get("metrics", 0)
+
+            # A brand-new edge between two partitions changes their common
+            # ancestors' connectivity — but no leaf subgraph, so every
+            # leaf-scoped metrics entry stays warm.
+            u = next(
+                member for member in leaves[0].members
+                if all(
+                    other not in set(leaves[2].members)
+                    for other in graph.neighbors(member)
+                )
+            )
+            v = leaves[2].members[0]
+            report = service.apply_dataset(
+                "g", [{"action": "add_edge", "u": u, "v": v, "weight": 2.0}]
+            )
+            assert report["changed"]
+            changed_leaves = [
+                leaf for leaf in leaves
+                if leaf.label in report["changed_partitions"]
+            ]
+            assert changed_leaves == []
+
+            for leaf in leaves:
+                service.call("metrics", community=leaf.label)
+            assert service.compute_counts.get("metrics", 0) == computed_before, (
+                "a pure cross-partition edit must not evict any leaf entry"
+            )
+            # The widest scope did change: connectivity recomputes fresh.
+            service.call("connectivity")
+            assert service.compute_counts.get("connectivity", 0) == 1

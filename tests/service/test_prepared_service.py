@@ -55,13 +55,15 @@ class TestHandlePreparedCache:
         with GMineService() as service:
             service.register_store(store_file, graph=dataset.graph, name="dblp")
             handle = service.registry_of_datasets.get("dblp")
-            assert not handle.prepared_cell.ready, "preparation must be lazy"
+            views = service.registry_of_datasets.prepared_views
+            assert views.peek(handle.fingerprint) is None, "preparation must be lazy"
+            assert handle.describe()["prepared"] is False
             op, args = widest_requests[0]
             service.call(op, **args)
-            assert handle.prepared_cell.ready
+            assert views.peek(handle.fingerprint) is not None
             first = handle.prepared_graph()
             service.call("metrics", hop_sample_size=16)
-            assert handle.prepared_graph() is first, "one preparation per handle"
+            assert handle.prepared_graph() is first, "one preparation per root"
             assert handle.describe()["prepared"] is True
 
     def test_community_scope_does_not_engage_prepared(
@@ -74,7 +76,10 @@ class TestHandlePreparedCache:
             service.register_store(store_file, graph=dataset.graph, name="dblp")
             handle = service.registry_of_datasets.get("dblp")
             service.metrics(community=leaf.label)
-            assert not handle.prepared_cell.ready
+            views = service.registry_of_datasets.prepared_views
+            assert views.peek(handle.fingerprint) is None, (
+                "community scope must not build the full-graph view"
+            )
 
     def test_store_only_dataset_has_no_prepared_view(self, dataset_files):
         store_file, _ = dataset_files
@@ -120,14 +125,19 @@ class TestHandlePreparedCache:
             report = service.reload_dataset("dblp")  # unchanged content
             assert not report["changed"]
             handle = service.registry_of_datasets.get("dblp")
-            assert handle.prepared_cell.ready, "no-op reload must keep the view"
+            views = service.registry_of_datasets.prepared_views
+            assert views.peek(handle.fingerprint) is not None, (
+                "no-op reload must keep the view"
+            )
             assert handle.prepared_graph() is before
 
             second = build(7)
             report = service.reload_dataset("dblp")
             assert report["changed"]
             handle = service.registry_of_datasets.get("dblp")
-            assert not handle.prepared_cell.ready, "reload must drop the old view"
+            assert views.peek(handle.fingerprint) is None, (
+                "reload must drop the old view"
+            )
             service.rwr(sorted(second.graph.nodes(), key=repr)[:3])
             after = handle.prepared_graph()
             assert after is not None and after is not before
