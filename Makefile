@@ -18,7 +18,10 @@
 #                      returning AUTH_REQUIRED/RATE_LIMITED envelopes —
 #                      and the mutable-dataset surface: a dataset.apply
 #                      edit on one front-end observed via /v1/subscribe
-#                      on the other, both directions
+#                      on the other, both directions; and the GPath
+#                      surface: fused path queries with 3-way transport
+#                      parity, structured parse-error spans and a CSV
+#                      dataset.ingest round-trip across front-ends
 #                      (examples/http_service.py)
 #   make bench-http  — requests/sec for cached vs uncached RWR over the
 #                      threaded HTTP, asyncio HTTP and in-process
@@ -36,11 +39,17 @@
 #                      writes benchmarks/BENCH_mutate.json and FAILS if a
 #                      1-edge edit invalidates >= 50% of the warm entries
 #                      (the CI gate for partition-scoped invalidation)
+#   make bench-path  — GPath parse/compile overhead plus fused-plan vs
+#                      direct-kernel execution on a warm prepared graph;
+#                      writes benchmarks/BENCH_path.json and FAILS if the
+#                      fused top(k) plan exceeds 1.10x the direct
+#                      dataset.rwr kernel + slice (the CI gate for the
+#                      compiler's pass-through fast path)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check tier1 smoke serve-smoke bench-http bench-exec bench-kernels bench-mutate test-all test-slow
+.PHONY: check tier1 smoke serve-smoke bench-http bench-exec bench-kernels bench-mutate bench-path test-all test-slow
 
 check: tier1 smoke serve-smoke
 	@echo "check: tier-1 tests, service smoke and HTTP serve-smoke passed"
@@ -65,6 +74,9 @@ bench-kernels:
 
 bench-mutate:
 	$(PYTHON) benchmarks/bench_mutate.py
+
+bench-path:
+	$(PYTHON) benchmarks/bench_path.py
 
 test-all:
 	$(PYTHON) -m pytest -q -m "slow or not slow"

@@ -1,0 +1,229 @@
+"""GPath benchmark: parse/compile overhead and fused-plan execution cost.
+
+Two questions decide whether a declarative layer earns its keep:
+
+* **front-end overhead** — what parsing a query and compiling it to a
+  plan chain costs, in absolute microseconds and relative to actually
+  executing the plan.  Compilation happens once per request (and the
+  canonical text is the cache key, so repeated queries skip even that);
+  it must be noise next to any kernel.
+* **fused execution** — ``members/rwr(sources=…)/top(k)`` compiles to a
+  single ``Score`` node with the limit fused in.  On a warm prepared
+  graph the evaluator must pass the ``PreparedGraph`` straight through
+  to the same RWR kernel ``dataset.rwr`` uses, so the fused plan is
+  gated at **within 10%** of the direct kernel call plus a slice — the
+  acceptance criterion for the compiler's pass-through fast path.  The
+  two result lists must also agree exactly (parity is checked here too,
+  not just in the test suite).
+
+Exit status is the CI gate: non-zero when the fused plan exceeds
+1.10x the direct kernel min-of-N, or when fused and direct results
+disagree.
+
+Emits ``BENCH_path.json`` next to this file.
+
+Run it:  ``PYTHONPATH=src python benchmarks/bench_path.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.api.plans import KERNELS
+from repro.core.builder import build_gtree
+from repro.data.dblp import DBLPConfig, generate_dblp
+from repro.graph.matrix import PreparedGraph
+from repro.query import compile_query, parse, unparse
+
+AUTHORS = 1500
+SEED = 37
+FANOUT = 3
+LEVELS = 3
+TOP_K = 10
+COMPILE_REPEATS = 200
+KERNEL_REPEATS = 15
+KERNEL_WARMUPS = 2
+#: The gate: the fused plan's min-of-N may cost at most this multiple of
+#: the direct kernel call + slice.
+MAX_FUSED_RATIO = 1.10
+
+#: Representative queries for the front-end timing sweep (community and
+#: source placeholders are filled in from the built tree).
+SWEEP = [
+    "leaves/count",
+    "community({leaf})/members/nodes",
+    "community({leaf})/members/rwr(sources=[{src}])/top(10)",
+    "community({leaf})/members/edges[weight > 0.5]/hops(2)/count",
+    "community({leaf})/ancestors/nodes",
+]
+
+
+def time_min(fn, repeats, warmups=0):
+    for _ in range(warmups):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return min(samples), statistics.median(samples)
+
+
+def time_pair(fn_a, fn_b, repeats, warmups=0):
+    """Min-of-N for two callables with interleaved samples.
+
+    Alternating A/B within one loop means machine-load drift hits both
+    sides equally instead of biasing whichever ran second.
+    """
+    for _ in range(warmups):
+        fn_a()
+        fn_b()
+    a_samples, b_samples = [], []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn_a()
+        a_samples.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        b_samples.append(time.perf_counter() - start)
+    return (
+        (min(a_samples), statistics.median(a_samples)),
+        (min(b_samples), statistics.median(b_samples)),
+    )
+
+
+def main() -> int:
+    dataset = generate_dblp(DBLPConfig(num_authors=AUTHORS, seed=SEED))
+    graph = dataset.graph
+    tree = build_gtree(graph, fanout=FANOUT, levels=LEVELS, seed=SEED)
+    leaf = max(tree.leaves(), key=lambda node: node.size)
+    sources = sorted(graph.nodes(), key=repr)[:4]
+
+    report = {
+        "benchmark": "gpath",
+        "protocol": "gmine/1",
+        "cpu_count": os.cpu_count(),
+        "dataset": {
+            "authors": AUTHORS,
+            "seed": SEED,
+            "fanout": FANOUT,
+            "levels": LEVELS,
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "leaves": len(tree.leaves()),
+        },
+    }
+    failures = []
+
+    # ------------------------------------------------------------------ #
+    # front-end overhead: parse + compile, per query
+    # ------------------------------------------------------------------ #
+    sweep_rows = []
+    for template in SWEEP:
+        text = template.format(leaf=leaf.label, src=sources[0])
+        query = parse(text)
+        parse_min, _ = time_min(lambda: parse(text), COMPILE_REPEATS)
+        compile_min, _ = time_min(
+            lambda: compile_query(query, tree), COMPILE_REPEATS
+        )
+        sweep_rows.append({
+            "query": unparse(query),
+            "parse_min_us": round(parse_min * 1e6, 2),
+            "compile_min_us": round(compile_min * 1e6, 2),
+        })
+        print(f"parse {parse_min * 1e6:7.2f} us | "
+              f"compile {compile_min * 1e6:7.2f} us | {unparse(query)}")
+    report["front_end"] = {
+        "repeats": COMPILE_REPEATS,
+        "queries": sweep_rows,
+        "max_parse_plus_compile_us": round(
+            max(r["parse_min_us"] + r["compile_min_us"] for r in sweep_rows), 2
+        ),
+    }
+
+    # ------------------------------------------------------------------ #
+    # fused top(k) vs direct rwr + slice, warm prepared graph
+    # ------------------------------------------------------------------ #
+    prepared = PreparedGraph.from_graph(graph)
+    source_list = json.dumps(sources) if not all(
+        isinstance(s, int) for s in sources
+    ) else "[" + ", ".join(str(s) for s in sources) + "]"
+    fused_text = f"members/rwr(sources={source_list})/top({TOP_K})"
+    plan = compile_query(parse(fused_text), tree).plan
+    direct_args = {
+        "sources": sources, "restart_probability": 0.15, "solver": "power",
+    }
+
+    def run_direct():
+        return KERNELS["rwr"](graph, direct_args, prepared).top(TOP_K)
+
+    def run_fused():
+        return KERNELS["path"](graph, {"plan": plan}, prepared)
+
+    direct_top = run_direct()
+    fused_result = run_fused()
+    fused_scores = list(fused_result.scores)
+    direct_scores = [(node, float(score)) for node, score in direct_top]
+    if fused_scores != direct_scores:
+        failures.append(
+            "fused plan and direct kernel disagree on the top-k list"
+        )
+
+    (direct_min, direct_median), (fused_min, fused_median) = time_pair(
+        run_direct, run_fused, KERNEL_REPEATS, KERNEL_WARMUPS
+    )
+    ratio = fused_min / direct_min if direct_min > 0 else float("inf")
+    report["fused_vs_direct"] = {
+        "query": fused_text,
+        "top_k": TOP_K,
+        "repeats": KERNEL_REPEATS,
+        "direct_min_ms": round(direct_min * 1e3, 4),
+        "direct_median_ms": round(direct_median * 1e3, 4),
+        "fused_min_ms": round(fused_min * 1e3, 4),
+        "fused_median_ms": round(fused_median * 1e3, 4),
+        "ratio": round(ratio, 4),
+        "results_identical": fused_scores == direct_scores,
+    }
+    print(f"direct rwr+slice {direct_min * 1e3:7.2f} ms | "
+          f"fused plan {fused_min * 1e3:7.2f} ms | "
+          f"ratio {ratio:5.3f} (gate <= {MAX_FUSED_RATIO})")
+    if ratio > MAX_FUSED_RATIO:
+        failures.append(
+            f"fused plan is {ratio:.3f}x the direct kernel "
+            f"(gate: <= {MAX_FUSED_RATIO}x)"
+        )
+
+    # front-end cost in context: one parse+compile vs one kernel run
+    overhead_fraction = (
+        (sweep_rows[2]["parse_min_us"] + sweep_rows[2]["compile_min_us"])
+        / (direct_min * 1e6)
+        if direct_min > 0 else float("inf")
+    )
+    report["front_end"]["fraction_of_one_rwr"] = round(overhead_fraction, 4)
+    print(f"parse+compile of the rwr query is "
+          f"{overhead_fraction:.1%} of one warm kernel run")
+
+    report["acceptance"] = {
+        "fused_ratio": report["fused_vs_direct"]["ratio"],
+        "max_allowed": MAX_FUSED_RATIO,
+        "results_identical": report["fused_vs_direct"]["results_identical"],
+        "passed": not failures,
+    }
+    report["failures"] = failures
+    output = Path(__file__).parent / "BENCH_path.json"
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

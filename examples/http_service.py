@@ -25,12 +25,19 @@ session ops dispatched purely through the registry, and a
 bearer-token + rate-limited server returning structured
 ``AUTH_REQUIRED``/``RATE_LIMITED`` envelopes.
 
-Finally it smokes the **mutable-dataset surface** end to end over the
+It then smokes the **mutable-dataset surface** end to end over the
 wire: an edit script applied through one front-end is observed through
 the other via ``POST /v1/subscribe`` (threaded edit -> asyncio watcher,
 then the mirror image), the change event's fingerprint matches both the
 apply report and ``GET /v1/datasets``, and a watcher filtered to an
 untouched community sees no events at all.
+
+Finally it smokes the **GPath surface**: a fused ``rwr(...)/top(5)``
+path query byte-identical across the threaded, asyncio and in-process
+transports and equal to the direct ``rwr`` slice, parse errors as
+structured ``QUERY_PARSE_ERROR`` envelopes with source spans on both
+front-ends, and a CSV ingested through ``dataset.ingest`` on one
+front-end immediately answering path queries on the other.
 
 Run it:  ``PYTHONPATH=src python examples/http_service.py [backend ...]``
 (default: all of inline, thread, process).
@@ -339,6 +346,88 @@ def smoke_mutations():
                   "both foreign edits ok")
 
 
+def smoke_gpath(tree, store_path, graph_path, workdir: Path):
+    """GPath over the wire plus the ingest loading pipeline.
+
+    ``query.path`` must return byte-identical envelopes over the threaded
+    server, the asyncio server and the in-process transport; the fused
+    ``rwr(...)/top(5)`` plan must agree exactly with the direct
+    ``rwr`` slice; parse errors must surface as structured
+    ``QUERY_PARSE_ERROR`` envelopes with source spans on both front-ends;
+    and a CSV ingested through one front-end must immediately answer path
+    queries on the other.
+    """
+    hot = sorted(tree.leaves(), key=lambda node: -node.size)[0]
+    sources = list(hot.members[:2])
+
+    with GMineService(max_workers=4) as service:
+        service.register_store(store_path, name="dblp", graph_path=graph_path)
+        with GMineHTTPServer(service, port=0) as threaded, \
+                GMineAsyncHTTPServer(service, port=0) as aio_server:
+            over_threads = GMineClient.http(threaded.url)
+            over_loop = GMineClient.http(aio_server.url)
+            local = GMineClient.in_process(service)
+
+            src = ", ".join(str(s) for s in sources)
+            fused = (
+                f"community({hot.label})/members/"
+                f"rwr(sources=[{src}])/top(5)"
+            )
+            args = {"path": fused}
+            fused_payload = over_threads.call("query.path", path=fused)
+            # warm above, so the cached flag agrees across the probes below
+            raw = over_threads.query_raw("query.path", args=args)
+            assert raw == over_loop.query_raw("query.path", args=args), (
+                "threaded and asyncio front-ends must serve identical bytes"
+            )
+            assert raw == local.query_raw("query.path", args=args), (
+                "in-process and HTTP transports must serve identical bytes"
+            )
+            direct = over_threads.call(
+                "rwr", page={"top_k": 5},
+                sources=sources, community=hot.label,
+            )
+            assert fused_payload["items"] == direct["scores"], (
+                "fused top(5) must equal the direct rwr slice"
+            )
+            listing = over_loop.call("query.path", path="leaves/nodes")
+            assert listing["count"] == len(tree.leaves())
+            print("[gpath] fused rwr/top(5) == direct rwr slice; "
+                  "3-way transport parity ok")
+
+            bad = "community(s0)/teleport"
+            for front, client in (("threaded", over_threads),
+                                  ("asyncio", over_loop)):
+                reply = client.query("query.path", args={"path": bad})
+                assert not reply.ok, "a parse error must not succeed"
+                assert reply.error.code == "QUERY_PARSE_ERROR", reply.error
+                span = reply.error.details["span"]
+                source = reply.error.details["source"]
+                assert source[span[0]:span[1]] == "teleport", reply.error
+                print(f"[gpath] {front} parse error -> QUERY_PARSE_ERROR "
+                      f"with span {span} ok")
+
+            # ingest round-trip: CSV in via asyncio, queried via threads
+            csv_path = workdir / "ring.csv"
+            csv_path.write_text(
+                "source,target,weight\n" + "".join(
+                    f"{i},{(i + 1) % 30},1.0\n" for i in range(30)
+                ),
+                encoding="utf-8",
+            )
+            report = over_loop.call(
+                "dataset.ingest", path=str(csv_path), name="ring",
+                fanout=2, levels=2,
+            )
+            assert report["dataset"] == "ring" and report["nodes"] == 30
+            count = over_threads.call(
+                "query.path", dataset="ring", path="members/count"
+            )
+            assert count["count"] == report["nodes"]
+            print(f"[gpath] ingest round-trip ok: {report['nodes']} nodes, "
+                  f"{report['tree']['leaves']} leaves, queried cross-front-end")
+
+
 def main() -> None:
     backends = sys.argv[1:] or list(SMOKE_BACKENDS)
     with tempfile.TemporaryDirectory(prefix="gmine-smoke-") as workdir:
@@ -349,6 +438,7 @@ def main() -> None:
         }
         smoke_protocol_v2(tree, store_path, graph_path)
         smoke_mutations()
+        smoke_gpath(tree, store_path, graph_path, Path(workdir))
     if len(payloads) > 1:
         reference_name = next(iter(payloads))
         reference = payloads[reference_name]

@@ -41,6 +41,8 @@ import functools
 from ..core.editing import validate_edit_script
 from ..errors import GMineError, InvalidArgumentError
 from ..mining.metrics_suite import metrics_signature
+from ..query import compile_query, evaluate_path, parse, unparse
+from ..query.plan import Const
 from .plans import plan_for, run_plan
 from .registry import (
     ArgSpec,
@@ -108,11 +110,14 @@ class DelegatedResult:
     Session-context mining variants delegate the heavy work back into the
     service's dataset dispatch (same backend, same shared cache).  The
     wrapper carries the honest ``cached`` flag across the delegation so
-    the wire envelope reports cache hits exactly like a direct call.
+    the wire envelope reports cache hits exactly like a direct call, and
+    the scope fingerprint of the dataset snapshot the delegated dispatch
+    ran against so stream cursors pin the content that produced them.
     """
 
     value: Any
     cached: bool = False
+    fingerprint: Optional[str] = None
 
 
 # --------------------------------------------------------------------------- #
@@ -221,6 +226,33 @@ def _finalize_inspect_edge(canonical: Dict[str, Any], ctx) -> Dict[str, Any]:
     return canonical
 
 
+def _check_path(value) -> Optional[str]:
+    if not value.strip():
+        return "must be a non-empty GPath query"
+    return None
+
+
+def _normalize_path(value, ctx: CanonicalizationContext):
+    # Parse + unparse: one canonical spelling per query, so every way of
+    # writing the same traversal shares one cache entry.  A QueryParseError
+    # raised here propagates unwrapped, carrying its source span.
+    return unparse(parse(value))
+
+
+def _finalize_path(canonical: Dict[str, Any], ctx) -> Dict[str, Any]:
+    # Compile against the dataset's tree: tree navigation is folded into
+    # the plan, and queries that stay inside one community's subtree get
+    # their ``community`` constant-folded out — which keys the cache entry
+    # by that partition's Merkle sub-fingerprint, exactly like any other
+    # community-scoped op.
+    compiled = compile_query(parse(canonical["path"]), ctx.tree)
+    return {
+        "path": canonical["path"],
+        "community": compiled.community,
+        "plan": compiled.plan,
+    }
+
+
 # --------------------------------------------------------------------------- #
 # planners + handlers (canonical args -> rich result)
 # --------------------------------------------------------------------------- #
@@ -251,6 +283,22 @@ def _run_rwr(ctx: OpContext, args: Mapping[str, Any]):
 
 def _run_connection_subgraph(ctx: OpContext, args: Mapping[str, Any]):
     return _run_planned("connection_subgraph", ctx, args)
+
+
+def _run_path(ctx: OpContext, args: Mapping[str, Any]):
+    plan = args["plan"]
+    if isinstance(plan, Const):
+        # Tree-level queries fold to a constant at compile time; they can
+        # be answered without materialising any scope subgraph, so a
+        # store-only dataset (no graph attached) still serves them.
+        return evaluate_path(None, plan)
+    return _run_planned_kernel("query.path", "path", ctx, args)
+
+
+def _run_planned_kernel(operation: str, kernel: str, ctx: OpContext,
+                        args: Mapping[str, Any]):
+    plan = plan_for(operation, kernel, args)
+    return run_plan(plan, ctx.community_subgraph, ctx.prepared_for)
 
 
 def _run_connectivity(ctx: OpContext, args: Mapping[str, Any]):
@@ -357,6 +405,17 @@ def _run_dataset_apply(ctx: ServiceOpContext, args: Mapping[str, Any]):
     )
 
 
+def _run_dataset_ingest(ctx: ServiceOpContext, args: Mapping[str, Any]):
+    return ctx.service.ingest_dataset(
+        name=args["name"],
+        path=args["path"],
+        fanout=args["fanout"],
+        levels=args["levels"],
+        seed=args["seed"],
+        store=args["store"],
+    )
+
+
 def _run_dataset_subscribe(ctx: ServiceOpContext, args: Mapping[str, Any]):
     return ctx.service.subscribe(
         dataset=args["dataset"],
@@ -381,8 +440,10 @@ def _session_mining_handler(target_op: str):
         session = ctx.service.resume_session(args.pop("session_id"))
         if args.get("community") is None:
             args["community"] = session.engine.focus.label
-        value, cached = ctx.service.dispatch_in_session(session, target_op, args)
-        return DelegatedResult(value, cached)
+        value, cached, fingerprint = ctx.service.dispatch_in_session(
+            session, target_op, args
+        )
+        return DelegatedResult(value, cached, fingerprint)
 
     return run
 
@@ -456,6 +517,35 @@ def _encode_connection_subgraph(value, page: Mapping[str, Any]):
         "goodness": [[node, score] for node, score in goodness[:top_k]],
     }
     return payload, None
+
+
+def _encode_path(value, page: Mapping[str, Any]):
+    """Flatten a :class:`~repro.query.evaluate.PathResult` by kind.
+
+    ``items`` is always present (the stream field), even for count/metrics
+    results where it stays empty.
+    """
+    payload: Dict[str, Any] = {
+        "kind": value.kind,
+        "count": value.count,
+        "items": [],
+    }
+    meta = None
+    if value.kind == "nodes":
+        window, meta = _slice(list(value.items), page, DEFAULT_LIMIT)
+        payload["items"] = window
+    elif value.kind == "scores":
+        rows = [[node, score] for node, score in value.scores]
+        window, meta = _slice(rows, page, DEFAULT_LIMIT)
+        payload["items"] = window
+        payload["rwr"] = {
+            "iterations": value.iterations,
+            "converged": value.converged,
+            "restart_probability": value.restart_probability,
+        }
+    elif value.kind == "metrics":
+        payload["metrics"] = value.metrics
+    return payload, meta
 
 
 def _encode_connectivity(value, page: Mapping[str, Any]):
@@ -592,6 +682,36 @@ def _build_dataset_specs() -> List[OpSpec]:
                 partition_arg="community",
             ),
             OpSpec(
+                name="query.path",
+                doc="run a GPath traversal (axes over the G-Tree composed "
+                    "with hops/edge filters and rwr/metrics terminals), "
+                    "compiled to a fused compute plan",
+                cost="expensive",
+                args=(
+                    ArgSpec(
+                        "path", (str,),
+                        doc="the GPath query text, e.g. "
+                            "community(s0)/members/hops(2)/"
+                            "rwr(sources=[3])/top(10)",
+                        validate=_check_path,
+                        normalize=_normalize_path,
+                    ),
+                ),
+                finalize=_finalize_path,
+                handler=_run_path,
+                encoder=_encode_path,
+                planner=_make_planner("query.path", "path"),
+                stream=StreamSpec(
+                    field="items",
+                    page_key="limit",
+                    total=lambda value: value.stream_total,
+                ),
+                # The compiler constant-folds queries that stay inside one
+                # community's subtree to that community, so their cache
+                # entries ride the partition Merkle sub-fingerprints.
+                partition_arg="community",
+            ),
+            OpSpec(
                 name="connectivity",
                 doc="connectivity edges among a community's children",
                 cost="cheap",
@@ -670,6 +790,11 @@ def _session_variant(spec: OpSpec) -> OpSpec:
         args=(_session_id_arg(),) + args,
         handler=_session_mining_handler(spec.name),
         encoder=spec.encoder,
+        # Delegated results stream exactly like their dataset-scoped twins:
+        # same stream field, and cursors keyed by the same partition
+        # sub-fingerprint (the session's focus fills a defaulted community).
+        stream=spec.stream,
+        partition_arg=spec.partition_arg,
     )
 
 
@@ -797,6 +922,38 @@ def _build_service_specs() -> List[OpSpec]:
                 ),
             ),
             handler=_run_dataset_apply,
+        ),
+        OpSpec(
+            name="dataset.ingest",
+            doc="load a user edge-list/CSV/JSON graph, build its G-Tree "
+                "partition hierarchy, and register it as a live dataset",
+            cacheable=False,
+            cost="expensive",
+            scope="service",
+            args=(
+                ArgSpec("path", (str,),
+                        doc="graph file to load (.csv, .json, or "
+                            "whitespace edge list)"),
+                ArgSpec("name", (str,),
+                        doc="dataset name to register (must be unused)"),
+                ArgSpec(
+                    "fanout", (int,), default=5,
+                    doc="G-Tree fanout (communities per level)",
+                    validate=lambda value: "must be >= 2"
+                    if int(value) < 2 else None,
+                ),
+                ArgSpec(
+                    "levels", (int,), default=5,
+                    doc="maximum G-Tree depth",
+                    validate=_check_positive,
+                ),
+                ArgSpec("seed", (int,), default=0,
+                        doc="partitioner RNG seed (fixed = reproducible tree)"),
+                ArgSpec("store", (str,), default=None,
+                        doc="persist the built G-Tree to this store file and "
+                            "serve from it (None = keep in memory)"),
+            ),
+            handler=_run_dataset_ingest,
         ),
         OpSpec(
             name="dataset.subscribe",

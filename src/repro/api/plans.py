@@ -41,6 +41,7 @@ from ..errors import ServiceError
 from ..mining.connection_subgraph import extract_connection_subgraph
 from ..mining.metrics_suite import compute_subgraph_metrics
 from ..mining.rwr import steady_state_rwr
+from ..query.evaluate import evaluate_path
 
 #: Scope resolver signature: a community reference (``None`` = widest
 #: scope) to a materialised subgraph.  The parent backs this with the live
@@ -145,10 +146,15 @@ def _kernel_connection_subgraph(subgraph, args: Mapping[str, Any], prepared=None
 #: result``.  ``prepared`` is the venue's cached
 #: :class:`~repro.graph.matrix.PreparedGraph` for the materialised scope
 #: (``None`` = convert cold); it never changes the result, only the cost.
+def _kernel_path(subgraph, args: Mapping[str, Any], prepared=None):
+    return evaluate_path(subgraph, args["plan"], prepared=prepared)
+
+
 KERNELS: Dict[str, Callable[..., Any]] = {
     "metrics": _kernel_metrics,
     "rwr": _kernel_rwr,
     "connection_subgraph": _kernel_connection_subgraph,
+    "path": _kernel_path,
 }
 
 

@@ -146,6 +146,15 @@ class CanonicalizationContext:
     def resolve_community(self, value: Any) -> Any:
         return value
 
+    @property
+    def tree(self) -> Any:
+        """The dataset's G-Tree, when one is attached (None otherwise).
+
+        Ops whose canonical form folds tree navigation into the argument
+        payload (``query.path``) consult this during ``finalize``.
+        """
+        return None
+
 
 #: Inert context used when no dataset is attached.
 NULL_CONTEXT = CanonicalizationContext()

@@ -274,6 +274,7 @@ class ProtocolRouter:
                     code=result.code or "INTERNAL",
                     message=result.error,
                     type=result.error_type,
+                    details=result.error_details,
                 ),
             )
         spec = self.service.registry.get(request.op)
@@ -350,6 +351,19 @@ class ProtocolRouter:
         if not result.ok:
             response = self._result_to_response(request, result)
             return response.status, [response.to_dict()]
+        if result.fingerprint is not None and result.fingerprint != fingerprint:
+            # The dataset was swapped between the fingerprint read above
+            # and the dispatch: the payload belongs to the *new* snapshot.
+            # A resumed cursor pinned the old content — expire it rather
+            # than mix versions; a fresh stream simply stamps its cursors
+            # with the snapshot that actually produced the bytes.
+            if request.cursor is not None:
+                raise StaleCursorError(
+                    f"dataset content changed while this page was being "
+                    f"computed ({fingerprint[:12]}… -> "
+                    f"{result.fingerprint[:12]}…); restart the stream"
+                )
+            fingerprint = result.fingerprint
         page = dict(request.page) if request.page else {}
         page.setdefault(spec.stream.page_key, spec.stream.total(result.value))
         payload, _ = encode_result(spec, result.value, page)

@@ -57,6 +57,7 @@ ERROR_CODES: Tuple[Tuple[Type[BaseException], str], ...] = (
     (errors.SessionExpiredError, "SESSION_EXPIRED"),
     (errors.UnknownOperationError, "UNKNOWN_OPERATION"),
     (errors.DatasetNotFoundError, "DATASET_NOT_FOUND"),
+    (errors.QueryParseError, "QUERY_PARSE_ERROR"),
     (errors.InvalidArgumentError, "INVALID_ARGUMENT"),
     (errors.StaleCursorError, "CURSOR_EXPIRED"),
     (errors.AuthRequiredError, "AUTH_REQUIRED"),
@@ -94,6 +95,7 @@ HTTP_STATUS: Dict[str, int] = {
     "SESSION_EXPIRED": 410,
     "UNKNOWN_OPERATION": 404,
     "DATASET_NOT_FOUND": 404,
+    "QUERY_PARSE_ERROR": 400,
     "INVALID_ARGUMENT": 400,
     "CURSOR_EXPIRED": 410,
     "AUTH_REQUIRED": 401,
@@ -313,24 +315,32 @@ class WireError:
     code: str
     message: str
     type: str = ""
+    details: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"code": self.code, "type": self.type, "message": self.message}
+        payload = {"code": self.code, "type": self.type, "message": self.message}
+        if self.details is not None:
+            payload["details"] = dict(self.details)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "WireError":
+        details = payload.get("details")
         return cls(
             code=str(payload.get("code", INTERNAL_ERROR)),
             message=str(payload.get("message", "")),
             type=str(payload.get("type", "")),
+            details=None if details is None else dict(details),
         )
 
     @classmethod
     def from_exception(cls, error: BaseException) -> "WireError":
+        wire_details = getattr(error, "wire_details", None)
         return cls(
             code=error_code_for(error),
             message=str(error),
             type=type(error).__name__,
+            details=wire_details() if callable(wire_details) else None,
         )
 
     def raise_(self) -> None:

@@ -200,6 +200,86 @@ def _cmd_query_protocol(args: argparse.Namespace) -> int:
     return 0 if response.ok else 3
 
 
+def cmd_path(args: argparse.Namespace) -> int:
+    """Run a GPath traversal query (the ``query.path`` op).
+
+    ``gmine path <store.gtree> 'community(s0)/members/nodes'`` runs the
+    query in-process over a store; ``gmine path <dataset> '...' --url
+    http://host:port`` sends it to a running server.  ``--parse-only``
+    checks and canonicalizes the query without needing any dataset.
+    """
+    from .query import parse, unparse
+
+    if args.parse_only:
+        # In parse-only mode the single positional is the query itself.
+        text = args.path_query or args.target
+        if not text:
+            raise CLIError("--parse-only needs a query text")
+        query = parse(text)
+        _print_json({
+            "path": text,
+            "canonical": unparse(query),
+            "steps": len(query.steps),
+        })
+        return 0
+    if not args.path_query:
+        raise CLIError("path mode needs <target> and <query> positionals")
+    page = _parse_page(args)
+    op_args = {"path": args.path_query}
+    if args.url:
+        dataset = None if args.target in (None, "-") else args.target
+        client = GMineClient.http(args.url, auth_token=args.auth_token)
+        response = client.query(
+            "query.path", dataset=dataset, args=op_args, page=page
+        )
+        _print_json(response.to_dict())
+        return 0 if response.ok else 3
+    if not args.target:
+        raise CLIError("path mode needs a <store> positional or --url")
+    store_path = Path(args.target)
+    if not store_path.exists():
+        raise CLIError(
+            f"store does not exist: {args.target} (use --url for a remote dataset)"
+        )
+    graph = _load_graph(args.graph) if args.graph else None
+    with GMineService() as service:
+        service.register_store(store_path, graph=graph)
+        client = GMineClient.in_process(service)
+        response = client.query("query.path", args=op_args, page=page)
+        _print_json(response.to_dict())
+    return 0 if response.ok else 3
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Load a user graph file into a service via ``dataset.ingest``.
+
+    With ``--url`` the file path is sent to a running server (which must
+    be able to read it); otherwise an in-process service ingests it and
+    reports the registered dataset — pair with ``--store`` to persist
+    the built G-Tree for later ``gmine serve``/``gmine path`` runs.
+    """
+    op_args = {
+        "path": args.graph,
+        "name": args.name,
+        "fanout": args.fanout,
+        "levels": args.levels,
+        "seed": args.seed,
+        "store": args.store,
+    }
+    if args.url:
+        client = GMineClient.http(args.url, auth_token=args.auth_token)
+        response = client.query("dataset.ingest", args=op_args)
+        _print_json(response.to_dict())
+        return 0 if response.ok else 3
+    if not Path(args.graph).exists():
+        raise CLIError(f"graph file does not exist: {args.graph}")
+    with GMineService() as service:
+        client = GMineClient.in_process(service)
+        response = client.query("dataset.ingest", args=op_args)
+        _print_json(response.to_dict())
+    return 0 if response.ok else 3
+
+
 def cmd_ops(args: argparse.Namespace) -> int:
     """Dump the Protocol v2 operation registry (names or full schemas)."""
     if args.url:
@@ -560,6 +640,63 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--attribute", default="name")
     query.add_argument("--by-id", action="store_true", help="treat value as a vertex id")
     query.set_defaults(func=cmd_query)
+
+    path_cmd = subparsers.add_parser(
+        "path",
+        help="run a GPath traversal query (query.path)",
+        description=(
+            "gmine path <store.gtree> 'community(s0)/members/"
+            "rwr(sources=[3])/top(10)' runs a declarative traversal over "
+            "the G-Tree; --url targets a running server, --parse-only "
+            "checks the query offline."
+        ),
+    )
+    path_cmd.add_argument(
+        "target", nargs="?",
+        help=".gtree store path (or dataset name with --url)",
+    )
+    path_cmd.add_argument(
+        "path_query", nargs="?",
+        help="the GPath query text (see the README grammar table)",
+    )
+    path_cmd.add_argument("--url", help="remote gmine/1 server URL")
+    path_cmd.add_argument("--auth-token", default=None, dest="auth_token",
+                          help="bearer token for a server started with "
+                               "--auth-token")
+    path_cmd.add_argument("--graph", help="optional full graph file")
+    path_cmd.add_argument("--offset", type=int, default=None,
+                          help="pagination offset for node/score payloads")
+    path_cmd.add_argument("--limit", type=int, default=None,
+                          help="pagination limit for node/score payloads")
+    path_cmd.add_argument(
+        "--parse-only", action="store_true", dest="parse_only",
+        help="parse + canonicalize the query without executing it",
+    )
+    path_cmd.set_defaults(func=cmd_path)
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="load a CSV/edge-list/JSON graph as a live dataset",
+        description=(
+            "gmine ingest --graph edges.csv --name mygraph builds the "
+            "G-Tree partition hierarchy through dataset.ingest and "
+            "registers the dataset; --url targets a running server, "
+            "--store persists the built tree."
+        ),
+    )
+    ingest.add_argument("--graph", required=True,
+                        help="graph file (.csv, .json, or edge list)")
+    ingest.add_argument("--name", required=True, help="dataset name to register")
+    ingest.add_argument("--fanout", type=int, default=5)
+    ingest.add_argument("--levels", type=int, default=5)
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--store", default=None,
+                        help="persist the built G-Tree to this .gtree file")
+    ingest.add_argument("--url", help="remote gmine/1 server URL")
+    ingest.add_argument("--auth-token", default=None, dest="auth_token",
+                        help="bearer token for a server started with "
+                             "--auth-token")
+    ingest.set_defaults(func=cmd_ingest)
 
     ops = subparsers.add_parser(
         "ops", help="list the gmine/1 operation registry"

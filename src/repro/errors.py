@@ -139,6 +139,37 @@ class InvalidArgumentError(ServiceError):
     """An operation argument failed the registry's schema validation."""
 
 
+class QueryParseError(InvalidArgumentError):
+    """A GPath query failed to tokenize, parse, or type-check.
+
+    Carries the offending source text and a half-open character span
+    ``(start, end)`` so front-ends can point at the exact token.  The
+    span attributes are optional: clients re-raising from a wire error
+    construct the exception from its message alone.
+    """
+
+    def __init__(self, message, source=None, start=None, end=None):
+        super().__init__(message)
+        self.source = source
+        self.start = start
+        self.end = end
+
+    @property
+    def span(self):
+        if self.start is None:
+            return None
+        return (self.start, self.end)
+
+    def wire_details(self):
+        """Structured payload for the wire-level ``details`` field."""
+        details = {}
+        if self.span is not None:
+            details["span"] = [self.start, self.end]
+        if self.source is not None:
+            details["source"] = self.source
+        return details or None
+
+
 class ProtocolError(ServiceError):
     """A wire envelope was malformed or spoke an unsupported protocol."""
 

@@ -12,6 +12,7 @@ Supported formats:
 
 from __future__ import annotations
 
+import csv
 import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
@@ -118,7 +119,60 @@ def load_graph_auto(path: PathLike) -> Graph:
     file_path = Path(path)
     if file_path.suffix == ".json":
         return read_json(file_path)
+    if file_path.suffix == ".csv":
+        return read_csv_edges(file_path)
     return read_edge_list(file_path)
+
+
+def read_csv_edges(path: PathLike, name: str = "") -> Graph:
+    """Read a ``u,v[,weight]`` CSV edge list (header row optional).
+
+    The first row is treated as a header when its third column (or, for
+    two-column files, its second) does not parse as a number — which
+    covers ``source,target,weight`` exports from spreadsheet tools
+    without requiring any flag.  Duplicate pairs accumulate weight,
+    matching :func:`read_edge_list` semantics.
+    """
+    path = Path(path)
+    graph = Graph(name=name or path.stem)
+
+    def parse_node(token: str) -> NodeId:
+        token = token.strip()
+        try:
+            return int(token)
+        except ValueError:
+            return token
+
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        for lineno, row in enumerate(reader, start=1):
+            cells = [cell.strip() for cell in row if cell.strip() != ""]
+            if not cells or cells[0].startswith("#"):
+                continue
+            if len(cells) < 2 or len(cells) > 3:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'u,v' or 'u,v,weight', "
+                    f"got {row!r}"
+                )
+            weight = 1.0
+            if len(cells) == 3:
+                try:
+                    weight = float(cells[2])
+                except ValueError:
+                    if lineno == 1:  # header row
+                        continue
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: weight {cells[2]!r} is not a number"
+                    ) from None
+            elif lineno == 1 and [c.lower() for c in cells] in (
+                ["source", "target"], ["u", "v"],
+            ):
+                continue
+            graph.add_edge(
+                parse_node(cells[0]), parse_node(cells[1]),
+                weight=weight, accumulate=True,
+            )
+    return graph
 
 
 def graph_to_dict(graph: Graph) -> Dict:

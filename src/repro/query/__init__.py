@@ -1,0 +1,34 @@
+"""GPath: a declarative traversal language over the G-Tree.
+
+Parse → compile → evaluate, each stage pure and separately testable:
+
+* :func:`parse` / :func:`unparse` — text ⇄ typed immutable AST with
+  source spans (:mod:`.ast`, :mod:`.parser`);
+* :func:`compile_query` — AST + G-Tree → normalized chain of picklable
+  plan nodes with the touched partition constant-folded out
+  (:mod:`.compiler`, :mod:`.plan`);
+* :func:`evaluate_path` — plan + subgraph → :class:`PathResult`, the
+  body of the ``query.path`` kernel (:mod:`.evaluate`).
+
+This package never imports from :mod:`repro.api` or
+:mod:`repro.service`; the registry wires it in, not the reverse.
+"""
+
+from .ast import PathQuery, Span, unparse
+from .compiler import CompiledPath, compile_query, lower, normalize
+from .evaluate import PathResult, evaluate_path
+from .parser import canonical_text, parse
+
+__all__ = [
+    "CompiledPath",
+    "PathQuery",
+    "PathResult",
+    "Span",
+    "canonical_text",
+    "compile_query",
+    "evaluate_path",
+    "lower",
+    "normalize",
+    "parse",
+    "unparse",
+]

@@ -1,0 +1,173 @@
+"""Typed, immutable AST for the GPath traversal language.
+
+A GPath query is a ``/``-separated pipeline of steps over the G-Tree and
+its leaf subgraphs::
+
+    community(s0.1)/descendants/members/hops(2)/rwr(sources=[3, 7])/top(10)
+
+Every node is a frozen dataclass carrying the :class:`Span` of source
+text it was parsed from, so errors raised anywhere downstream (parsing,
+compilation, evaluation) can point at the exact offending characters.
+:func:`unparse` renders an AST back to canonical text; the parser and
+unparser are inverses on canonical text (a property-tested invariant),
+which is what lets the registry cache-key path queries by their
+canonical spelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+#: Community references and literals: ints, floats and bare/quoted names.
+Literal = Union[int, float, str]
+
+#: Comparison operators accepted inside ``edges[...]`` filters.
+EDGE_OPS: Tuple[str, ...] = ("<=", ">=", "==", "!=", "<", ">")
+
+#: Tree axes that take no arguments.
+TREE_AXES: Tuple[str, ...] = ("descendants", "ancestors", "leaves", "members")
+
+
+@dataclass(frozen=True)
+class Span:
+    """Half-open character range ``[start, end)`` into the source text."""
+
+    start: int
+    end: int
+
+    def merge(self, other: "Span") -> "Span":
+        return Span(min(self.start, other.start), max(self.end, other.end))
+
+
+@dataclass(frozen=True)
+class Step:
+    """Base class: one pipeline stage with its source span."""
+
+    span: Span
+
+
+@dataclass(frozen=True)
+class CommunityStep(Step):
+    """``community(ref)`` — anchor the traversal at one tree node."""
+
+    ref: Literal
+
+
+@dataclass(frozen=True)
+class AxisStep(Step):
+    """A no-argument tree axis: descendants/ancestors/leaves/members."""
+
+    axis: str
+
+
+@dataclass(frozen=True)
+class HopsStep(Step):
+    """``hops(k)`` — expand the vertex set by up to ``k`` BFS hops."""
+
+    hops: int
+
+
+@dataclass(frozen=True)
+class EdgeFilterStep(Step):
+    """``edges[attr op value]`` — restrict the active edge set."""
+
+    attr: str
+    op: str
+    value: Literal
+
+
+@dataclass(frozen=True)
+class RwrStep(Step):
+    """``rwr(sources=[...], restart=c)`` — score by steady-state RWR."""
+
+    sources: Tuple[Literal, ...]
+    restart: Optional[float]
+
+
+@dataclass(frozen=True)
+class MetricsStep(Step):
+    """``metrics`` — compute the GMine metric suite on the selection."""
+
+
+@dataclass(frozen=True)
+class TopStep(Step):
+    """``top(k)`` — keep the best ``k`` entries of the current result."""
+
+    count: int
+
+
+@dataclass(frozen=True)
+class CountStep(Step):
+    """``count`` — return the size of the current selection."""
+
+
+@dataclass(frozen=True)
+class NodesStep(Step):
+    """``nodes`` — return the current selection itself (the default)."""
+
+
+@dataclass(frozen=True)
+class PathQuery:
+    """A full parsed query: a non-empty tuple of steps plus its source."""
+
+    steps: Tuple[Step, ...]
+    source: str
+
+    @property
+    def span(self) -> Span:
+        return self.steps[0].span.merge(self.steps[-1].span)
+
+
+# --------------------------------------------------------------------- #
+# unparse: AST -> canonical text
+# --------------------------------------------------------------------- #
+
+_BARE_NAME_OK = None  # compiled lazily to keep import order trivial
+
+
+def _render_literal(value: Literal) -> str:
+    global _BARE_NAME_OK
+    if isinstance(value, bool):  # bool before int: not a GPath literal
+        raise TypeError(f"cannot render {value!r} as a GPath literal")
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if _BARE_NAME_OK is None:
+        import re
+
+        _BARE_NAME_OK = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*\Z")
+    if _BARE_NAME_OK.match(value):
+        return value
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def unparse_step(step: Step) -> str:
+    """Canonical text for one step."""
+    if isinstance(step, CommunityStep):
+        return f"community({_render_literal(step.ref)})"
+    if isinstance(step, AxisStep):
+        return step.axis
+    if isinstance(step, HopsStep):
+        return f"hops({step.hops})"
+    if isinstance(step, EdgeFilterStep):
+        return f"edges[{step.attr} {step.op} {_render_literal(step.value)}]"
+    if isinstance(step, RwrStep):
+        sources = ", ".join(_render_literal(s) for s in step.sources)
+        if step.restart is None:
+            return f"rwr(sources=[{sources}])"
+        return f"rwr(sources=[{sources}], restart={step.restart!r})"
+    if isinstance(step, MetricsStep):
+        return "metrics"
+    if isinstance(step, TopStep):
+        return f"top({step.count})"
+    if isinstance(step, CountStep):
+        return "count"
+    if isinstance(step, NodesStep):
+        return "nodes"
+    raise TypeError(f"unknown GPath step {type(step).__name__}")
+
+
+def unparse(query: PathQuery) -> str:
+    """Render ``query`` back to its canonical source text."""
+    return "/".join(unparse_step(step) for step in query.steps)

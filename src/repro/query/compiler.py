@@ -1,0 +1,273 @@
+"""Compile GPath ASTs to plan chains, with tree folding and fusion.
+
+Compilation happens inside the registry's ``finalize`` hook, where the
+dataset's G-Tree is available (via ``CanonicalizationContext.tree``), so
+everything navigational is resolved *before* the plan reaches a backend:
+
+* **tree folding** — ``community(X)/descendants/members`` becomes a
+  concrete vertex tuple (or ``Seed(None)`` when the selection is the
+  whole scope); tree-level terminals fold to :class:`~.plan.Const`.
+* **scope constant-folding** — a query that anchors at ``community(X)``
+  and never leaves its subtree (descendant-closed axes, no expansion)
+  compiles with ``community=X``, so the service keys its cache entry by
+  that partition's Merkle sub-fingerprint and executes the kernel on the
+  community subgraph (prepared views included) — exactly like any other
+  community-scoped op.  Expansion steps and ``ancestors`` can escape the
+  subtree, so they widen the scope to the root graph with an explicit
+  folded seed set.
+* **normalization/fusion** — ``Filter`` predicates are pushed into every
+  ``Expand``/``Score``/``Metrics`` above them and ``Limit`` fuses into
+  ``Score.limit``/``Collect.limit``, leaving the minimal chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Set, Tuple
+
+from ..errors import InvalidArgumentError, NavigationError
+from ..mining.rwr import node_sort_key
+from .ast import (
+    AxisStep,
+    CommunityStep,
+    CountStep,
+    EdgeFilterStep,
+    HopsStep,
+    MetricsStep,
+    NodesStep,
+    PathQuery,
+    RwrStep,
+    TopStep,
+)
+from .plan import (
+    Collect,
+    Const,
+    EdgePredicate,
+    Expand,
+    Filter,
+    Limit,
+    Metrics,
+    PlanNode,
+    Score,
+    Seed,
+)
+
+#: Matches the registry's ``dataset.rwr`` default restart probability.
+DEFAULT_RESTART = 0.15
+
+
+@dataclass(frozen=True)
+class CompiledPath:
+    """A lowered + normalized plan plus its constant-folded scope."""
+
+    plan: PlanNode
+    community: Optional[str]
+
+
+def _subtree(tree, node, include_self: bool):
+    """Nodes of ``node``'s subtree in deterministic preorder."""
+    result = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if include_self or current.node_id != node.node_id:
+            result.append(current)
+        stack.extend(reversed(tree.children(current.node_id)))
+    return result
+
+
+def _resolve_community(tree, step: CommunityStep):
+    ref = step.ref
+    if isinstance(ref, int):
+        if tree.has_node(ref):
+            return tree.node(ref)
+        raise NavigationError(f"no community with tree-node id {ref}")
+    label = str(ref)
+    if tree.has_label(label):
+        return tree.by_label(label)
+    raise NavigationError(f"no community labelled {label!r}")
+
+
+def _dedupe(nodes):
+    seen: Set[int] = set()
+    result = []
+    for node in nodes:
+        if node.node_id not in seen:
+            seen.add(node.node_id)
+            result.append(node)
+    return result
+
+
+def lower(query: PathQuery, tree) -> CompiledPath:
+    """Fold tree navigation and emit the naive (un-fused) plan chain."""
+    if tree is None:
+        raise InvalidArgumentError(
+            "query.path requires a dataset tree to compile against"
+        )
+    selection = [tree.root]
+    anchored: Optional[str] = None
+    closed = True          # only descendant-closed axes so far
+    expanded = False       # any hops/neighbors step
+    vertices: Optional[Set] = None
+    chain: Optional[PlanNode] = None
+    steps: List[PlanNode] = []
+    terminal = None
+
+    def to_vertices() -> Set:
+        nonlocal vertices
+        if vertices is None:
+            vertices = set()
+            for node in selection:
+                vertices.update(node.members)
+        return vertices
+
+    for step in query.steps:
+        if isinstance(step, CommunityStep):
+            node = _resolve_community(tree, step)
+            selection = [node]
+            anchored = node.label
+        elif isinstance(step, AxisStep):
+            if step.axis == "descendants":
+                selection = _dedupe(
+                    n for node in selection
+                    for n in _subtree(tree, node, include_self=False)
+                )
+            elif step.axis == "ancestors":
+                selection = _dedupe(
+                    ancestor for node in selection
+                    for ancestor in tree.ancestors(node.node_id)
+                )
+                closed = False  # ancestors escape the anchored subtree
+            elif step.axis == "leaves":
+                selection = _dedupe(
+                    n for node in selection
+                    for n in _subtree(tree, node, include_self=True)
+                    if n.is_leaf
+                )
+            else:  # members
+                to_vertices()
+        elif isinstance(step, EdgeFilterStep):
+            to_vertices()
+            steps.append(("filter", EdgePredicate(
+                attr=step.attr, op=step.op, value=step.value,
+            )))
+        elif isinstance(step, HopsStep):
+            to_vertices()
+            expanded = True
+            steps.append(("expand", step.hops))
+        elif isinstance(step, RwrStep):
+            to_vertices()
+            restart = DEFAULT_RESTART if step.restart is None else step.restart
+            terminal = ("score", step.sources, restart)
+        elif isinstance(step, MetricsStep):
+            to_vertices()
+            terminal = ("metrics",)
+        elif isinstance(step, TopStep):
+            if terminal is None:
+                to_vertices()
+                terminal = ("collect", "nodes")
+            terminal = terminal + ("limit", step.count)
+        elif isinstance(step, CountStep):
+            terminal = ("count",)
+        elif isinstance(step, NodesStep):
+            terminal = ("nodes",)
+
+    # Tree-level terminals: the whole query folds to a constant.
+    if vertices is None:
+        kind = "count" if terminal == ("count",) else "nodes"
+        labels = tuple(sorted(node.label for node in selection))
+        scope = anchored if (anchored and closed) else None
+        const = Const(
+            kind=kind,
+            items=labels if kind == "nodes" else (),
+            count=len(selection),
+        )
+        return CompiledPath(plan=const, community=scope)
+
+    # Vertex-level plan: decide scope, then seed relative to it.
+    scope_node = None
+    if anchored is not None and closed and not expanded:
+        scope_node = tree.by_label(anchored)
+    base_members = set(
+        scope_node.members if scope_node is not None else tree.root.members
+    )
+    if vertices == base_members:
+        seed: Optional[Tuple] = None
+    else:
+        seed = tuple(sorted(vertices, key=node_sort_key))
+    chain = Seed(vertices=seed)
+    for kind, payload in steps:
+        if kind == "filter":
+            chain = Filter(child=chain, predicates=(payload,))
+        else:
+            chain = Expand(child=chain, hops=payload)
+
+    if terminal is None:
+        terminal = ("nodes",)
+    head, rest = terminal[0], terminal[1:]
+    if head == "score":
+        sources, restart = rest[0], rest[1]
+        chain = Score(child=chain, sources=tuple(sources), restart=restart)
+        if len(rest) > 2:  # ("score", sources, restart, "limit", k)
+            chain = Limit(child=chain, count=rest[3])
+    elif head == "metrics":
+        chain = Metrics(child=chain)
+    elif head == "collect":
+        chain = Collect(child=chain, kind="nodes")
+        if len(rest) > 1:  # ("collect", "nodes", "limit", k)
+            chain = Limit(child=chain, count=rest[2])
+    elif head == "count":
+        chain = Collect(child=chain, kind="count")
+    else:  # nodes
+        chain = Collect(child=chain, kind="nodes")
+    return CompiledPath(
+        plan=chain,
+        community=scope_node.label if scope_node is not None else None,
+    )
+
+
+def normalize(plan: PlanNode) -> PlanNode:
+    """Fuse the lowered chain: no ``Filter``/``Limit`` nodes survive."""
+
+    def walk(node: PlanNode) -> Tuple[PlanNode, Tuple[EdgePredicate, ...]]:
+        if isinstance(node, (Seed, Const)):
+            return node, ()
+        if isinstance(node, Filter):
+            child, active = walk(node.child)
+            return child, active + node.predicates
+        if isinstance(node, Expand):
+            child, active = walk(node.child)
+            merged = active + node.predicates
+            return replace(node, child=child, predicates=merged), merged
+        if isinstance(node, Score):
+            child, active = walk(node.child)
+            merged = active + node.predicates
+            return replace(node, child=child, predicates=merged), active
+        if isinstance(node, Metrics):
+            child, active = walk(node.child)
+            merged = active + node.predicates
+            return replace(node, child=child, predicates=merged), active
+        if isinstance(node, Collect):
+            child, active = walk(node.child)
+            return replace(node, child=child), active
+        if isinstance(node, Limit):
+            child, active = walk(node.child)
+            if isinstance(child, Score):
+                fused = node.count if child.limit is None \
+                    else min(child.limit, node.count)
+                return replace(child, limit=fused), active
+            if isinstance(child, Collect):
+                fused = node.count if child.limit is None \
+                    else min(child.limit, node.count)
+                return replace(child, limit=fused), active
+            return replace(node, child=child), active
+        raise TypeError(f"unknown plan node {type(node).__name__}")
+
+    normalized, _ = walk(plan)
+    return normalized
+
+
+def compile_query(query: PathQuery, tree) -> CompiledPath:
+    """Lower + normalize: the compiled form the ``query.path`` op executes."""
+    lowered = lower(query, tree)
+    return replace(lowered, plan=normalize(lowered.plan))

@@ -1,0 +1,397 @@
+"""Tokenizer + recursive-descent parser for GPath.
+
+The grammar is deliberately tiny — one production per step kind::
+
+    query     := step ("/" step)*
+    step      := "community" "(" ref ")"
+               | "descendants" | "ancestors" | "leaves" | "members"
+               | "hops" "(" INT ")" | "neighbors"
+               | "edges" "[" NAME cmp literal "]"
+               | "rwr" "(" "sources" "=" "[" literal ("," literal)* "]"
+                           ("," "restart" "=" NUMBER)? ")"
+               | "metrics" | "count" | "nodes" | "top" "(" INT ")"
+    ref       := INT | NAME | STRING
+    cmp       := "<" | "<=" | ">" | ">=" | "==" | "!="
+
+``neighbors`` desugars to ``hops(1)`` at parse time, and RWR source
+lists are deduplicated and order-normalised, so the AST (and therefore
+the canonical unparse, the compiled plan, and the cache key) is
+identical for every spelling of the same query.
+
+All failures raise :class:`~repro.errors.QueryParseError` carrying the
+source text and the half-open character span of the offending token —
+the wire layer forwards both to clients as structured 400 details.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import QueryParseError
+from .ast import (
+    AxisStep,
+    CommunityStep,
+    CountStep,
+    EdgeFilterStep,
+    EDGE_OPS,
+    HopsStep,
+    Literal,
+    MetricsStep,
+    NodesStep,
+    PathQuery,
+    RwrStep,
+    Span,
+    Step,
+    TopStep,
+    TREE_AXES,
+    unparse,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<float>-?\d+\.\d+(?:[eE][+-]?\d+)?|-?\d+[eE][+-]?\d+)
+    | (?P<int>-?\d+)
+    | (?P<name>[A-Za-z_][A-Za-z0-9_.\-]*)
+    | (?P<string>"(?:\\.|[^"\\])*")
+    | (?P<op><=|>=|==|!=|<|>)
+    | (?P<sym>[/()\[\],=])
+    """,
+    re.VERBOSE,
+)
+
+_STEP_NAMES = (
+    ("community",) + TREE_AXES
+    + ("hops", "neighbors", "edges", "rwr", "metrics", "top", "count", "nodes")
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "span")
+
+    def __init__(self, kind: str, text: str, span: Span) -> None:
+        self.kind = kind
+        self.text = text
+        self.span = span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Token({self.kind!r}, {self.text!r}, {self.span})"
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            if source[pos] == '"':
+                raise QueryParseError(
+                    "unterminated string literal",
+                    source=source, start=pos, end=len(source),
+                )
+            raise QueryParseError(
+                f"unexpected character {source[pos]!r}",
+                source=source, start=pos, end=pos + 1,
+            )
+        kind = match.lastgroup
+        text = match.group()
+        if kind != "ws":
+            tokens.append(_Token(kind, text, Span(pos, match.end())))
+        pos = match.end()
+    tokens.append(_Token("eof", "", Span(len(source), len(source))))
+    return tokens
+
+
+def _unquote(text: str) -> str:
+    body = text[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\")
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.tokens = _tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------- #
+    # token helpers
+    # ------------------------------------------------------------- #
+
+    def _peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def _next(self) -> _Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def _error(self, message: str, token: _Token) -> QueryParseError:
+        return QueryParseError(
+            message, source=self.source,
+            start=token.span.start, end=token.span.end,
+        )
+
+    def _expect_sym(self, symbol: str, what: str) -> _Token:
+        token = self._peek()
+        if token.kind != "sym" or token.text != symbol:
+            found = (
+                "end of query" if token.kind == "eof" else repr(token.text)
+            )
+            raise self._error(f"expected {what}, found {found}", token)
+        return self._next()
+
+    def _expect_name(self, what: str) -> _Token:
+        token = self._peek()
+        if token.kind != "name":
+            raise self._error(f"expected {what}", token)
+        return self._next()
+
+    def _expect_int(self, what: str) -> Tuple[int, _Token]:
+        token = self._peek()
+        if token.kind != "int":
+            raise self._error(f"expected {what}", token)
+        self._next()
+        return int(token.text), token
+
+    def _literal(self, what: str, kinds=("int", "float", "name", "string")):
+        token = self._peek()
+        if token.kind not in kinds:
+            raise self._error(f"expected {what}", token)
+        self._next()
+        value: Literal
+        if token.kind == "int":
+            value = int(token.text)
+        elif token.kind == "float":
+            value = float(token.text)
+        elif token.kind == "string":
+            value = _unquote(token.text)
+        else:
+            value = token.text
+        return value, token
+
+    # ------------------------------------------------------------- #
+    # grammar
+    # ------------------------------------------------------------- #
+
+    def parse(self) -> PathQuery:
+        steps = [self._step()]
+        while True:
+            token = self._peek()
+            if token.kind == "sym" and token.text == "/":
+                self._next()
+                steps.append(self._step())
+                continue
+            if token.kind == "eof":
+                break
+            raise self._error(
+                f"expected '/' between steps, found {token.text!r}", token
+            )
+        query = PathQuery(steps=tuple(steps), source=self.source)
+        self._check_structure(query)
+        return query
+
+    def _step(self) -> Step:
+        token = self._peek()
+        if token.kind != "name":
+            what = "a step name" if token.kind != "eof" else "another step"
+            raise self._error(f"expected {what}", token)
+        name = token.text
+        if name not in _STEP_NAMES:
+            raise self._error(
+                f"unknown step {name!r} (valid steps: "
+                + ", ".join(_STEP_NAMES) + ")",
+                token,
+            )
+        self._next()
+        if name == "community":
+            return self._community(token)
+        if name in TREE_AXES:
+            return AxisStep(span=token.span, axis=name)
+        if name == "hops":
+            return self._hops(token)
+        if name == "neighbors":
+            return HopsStep(span=token.span, hops=1)
+        if name == "edges":
+            return self._edges(token)
+        if name == "rwr":
+            return self._rwr(token)
+        if name == "top":
+            return self._top(token)
+        if name == "metrics":
+            return MetricsStep(span=token.span)
+        if name == "count":
+            return CountStep(span=token.span)
+        return NodesStep(span=token.span)
+
+    def _community(self, head: _Token) -> CommunityStep:
+        self._expect_sym("(", "'(' after community")
+        ref, _ = self._literal(
+            "a community id, label, or quoted string",
+            kinds=("int", "name", "string"),
+        )
+        close = self._expect_sym(")", "')' after the community reference")
+        return CommunityStep(span=head.span.merge(close.span), ref=ref)
+
+    def _hops(self, head: _Token) -> HopsStep:
+        self._expect_sym("(", "'(' after hops")
+        count, token = self._expect_int("a hop count")
+        if count < 1:
+            raise self._error("hops(k) requires k >= 1", token)
+        close = self._expect_sym(")", "')' after the hop count")
+        return HopsStep(span=head.span.merge(close.span), hops=count)
+
+    def _top(self, head: _Token) -> TopStep:
+        self._expect_sym("(", "'(' after top")
+        count, token = self._expect_int("a result count")
+        if count < 1:
+            raise self._error("top(k) requires k >= 1", token)
+        close = self._expect_sym(")", "')' after the result count")
+        return TopStep(span=head.span.merge(close.span), count=count)
+
+    def _edges(self, head: _Token) -> EdgeFilterStep:
+        self._expect_sym("[", "'[' after edges")
+        attr = self._expect_name("an edge attribute name")
+        op_token = self._peek()
+        if op_token.kind != "op" or op_token.text not in EDGE_OPS:
+            raise self._error(
+                "expected a comparison operator "
+                "(<, <=, >, >=, ==, !=)", op_token,
+            )
+        self._next()
+        value, _ = self._literal("a literal to compare against")
+        close = self._peek()
+        if close.kind != "sym" or close.text != "]":
+            raise self._error("expected ']' to close the edge filter", close)
+        self._next()
+        return EdgeFilterStep(
+            span=head.span.merge(close.span),
+            attr=attr.text, op=op_token.text, value=value,
+        )
+
+    def _rwr(self, head: _Token) -> RwrStep:
+        self._expect_sym("(", "'(' after rwr")
+        keyword = self._expect_name("'sources='")
+        if keyword.text != "sources":
+            raise self._error("rwr(...) requires a sources=[...] list", keyword)
+        self._expect_sym("=", "'=' after sources")
+        self._expect_sym("[", "'[' to open the source list")
+        sources: List[Literal] = []
+        if not (self._peek().kind == "sym" and self._peek().text == "]"):
+            while True:
+                value, _ = self._literal("a source vertex")
+                sources.append(value)
+                token = self._peek()
+                if token.kind == "sym" and token.text == ",":
+                    self._next()
+                    continue
+                break
+        bracket = self._peek()
+        if bracket.kind != "sym" or bracket.text != "]":
+            raise self._error("expected ']' to close the source list", bracket)
+        self._next()
+        if not sources:
+            raise self._error("rwr(...) requires at least one source", bracket)
+        restart: Optional[float] = None
+        token = self._peek()
+        if token.kind == "sym" and token.text == ",":
+            self._next()
+            keyword = self._expect_name("'restart='")
+            if keyword.text != "restart":
+                raise self._error(
+                    "the only rwr option besides sources is restart=", keyword
+                )
+            self._expect_sym("=", "'=' after restart")
+            value, value_token = self._literal(
+                "a restart probability", kinds=("int", "float")
+            )
+            restart = float(value)
+            if not 0.0 < restart < 1.0:
+                raise self._error(
+                    "restart must be strictly between 0 and 1", value_token
+                )
+        close = self._expect_sym(")", "')' to close rwr(...)")
+        # Dedup + order-normalise: the restart vector is uniform over the
+        # set, so every spelling of one source set is one canonical query.
+        canonical = tuple(sorted(set(sources), key=repr))
+        return RwrStep(
+            span=head.span.merge(close.span),
+            sources=canonical, restart=restart,
+        )
+
+    # ------------------------------------------------------------- #
+    # structural validation (phases + terminal placement)
+    # ------------------------------------------------------------- #
+
+    def _structure_error(self, message: str, step: Step) -> QueryParseError:
+        return QueryParseError(
+            message, source=self.source,
+            start=step.span.start, end=step.span.end,
+        )
+
+    def _check_structure(self, query: PathQuery) -> None:
+        steps = query.steps
+        last = len(steps) - 1
+        in_tree = True
+        for index, step in enumerate(steps):
+            if isinstance(step, CommunityStep):
+                if index != 0:
+                    raise self._structure_error(
+                        "community(...) is only valid as the first step", step
+                    )
+            elif isinstance(step, AxisStep):
+                if not in_tree:
+                    raise self._structure_error(
+                        f"tree axis {step.axis!r} is not valid after graph "
+                        "steps (the selection is already vertices)", step,
+                    )
+                if step.axis == "members":
+                    in_tree = False
+            elif isinstance(step, (HopsStep, EdgeFilterStep)):
+                in_tree = False  # implicit members conversion
+            elif isinstance(step, RwrStep):
+                rest = steps[index + 1:]
+                if rest and not (
+                    len(rest) == 1 and isinstance(rest[0], TopStep)
+                ):
+                    raise self._structure_error(
+                        "rwr(...) may only be followed by top(k)", rest[0]
+                    )
+                in_tree = False
+            elif isinstance(step, (MetricsStep, CountStep, NodesStep,
+                                   TopStep)):
+                if index != last:
+                    raise self._structure_error(
+                        f"'{unparse_name(step)}' must be the final step", step
+                    )
+
+
+def unparse_name(step: Step) -> str:
+    """The bare spelling of a terminal, for error messages."""
+    if isinstance(step, MetricsStep):
+        return "metrics"
+    if isinstance(step, CountStep):
+        return "count"
+    if isinstance(step, NodesStep):
+        return "nodes"
+    if isinstance(step, TopStep):
+        return f"top({step.count})"
+    return type(step).__name__
+
+
+def parse(source: str) -> PathQuery:
+    """Parse ``source`` into a :class:`PathQuery` (or raise with a span)."""
+    if not isinstance(source, str):
+        raise QueryParseError(
+            f"a GPath query must be a string, not {type(source).__name__}"
+        )
+    if not source.strip():
+        raise QueryParseError(
+            "empty query", source=source, start=0, end=len(source)
+        )
+    return _Parser(source).parse()
+
+
+def canonical_text(source: str) -> str:
+    """Parse + unparse: one canonical spelling per query."""
+    return unparse(parse(source))

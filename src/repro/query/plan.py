@@ -1,0 +1,123 @@
+"""Pure, picklable plan nodes that GPath queries compile to.
+
+The plan algebra is a straight-line chain (every node holds one child)
+because GPath pipelines are linear; keeping the nodes frozen dataclasses
+gives three properties the service relies on:
+
+* **picklable** — process backends ship plans to warm workers unchanged;
+* **deterministic repr** — the registry's ``_hashable`` fallback reprs
+  unknown argument values, so one canonical plan is one cache key;
+* **pure data** — a plan never holds a graph or tree reference; all tree
+  navigation is constant-folded into ``Seed``/``Const`` at compile time,
+  which is what lets community-scoped queries key their cache entries by
+  partition sub-fingerprint.
+
+``lower()`` (in :mod:`.compiler`) emits ``Filter`` and ``Limit`` nodes
+verbatim; ``normalize()`` dissolves them — filter predicates are pushed
+into every ``Expand``/``Score``/``Metrics`` above them, and limits fuse
+into ``Score.limit``/``Collect.limit`` — so a normalized plan is the
+minimal chain the evaluator walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class EdgePredicate:
+    """One ``edges[attr op value]`` clause; ``weight`` reads edge weight."""
+
+    attr: str
+    op: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base class for GPath plan nodes (a marker, not an interface)."""
+
+
+@dataclass(frozen=True)
+class Seed(PlanNode):
+    """The starting vertex set.
+
+    ``vertices=None`` means *every vertex of the materialized scope* —
+    the common case after scope constant-folding, where the community
+    subgraph the kernel receives already is the selection.
+    """
+
+    vertices: Optional[Tuple[Any, ...]] = None
+
+
+@dataclass(frozen=True)
+class Const(PlanNode):
+    """A fully folded tree-level result (``descendants/nodes`` etc.)."""
+
+    kind: str  # "nodes" | "count"
+    items: Tuple[Any, ...] = ()
+    count: int = 0
+
+
+@dataclass(frozen=True)
+class Filter(PlanNode):
+    """Restrict the active edge set from this point on (lowered form)."""
+
+    child: PlanNode
+    predicates: Tuple[EdgePredicate, ...]
+
+
+@dataclass(frozen=True)
+class Expand(PlanNode):
+    """Multi-source BFS of up to ``hops`` hops over the active edges."""
+
+    child: PlanNode
+    hops: int
+    predicates: Tuple[EdgePredicate, ...] = ()
+
+
+@dataclass(frozen=True)
+class Score(PlanNode):
+    """Steady-state RWR over the induced subgraph of the selection."""
+
+    child: PlanNode
+    sources: Tuple[Any, ...]
+    restart: float
+    limit: Optional[int] = None
+    predicates: Tuple[EdgePredicate, ...] = ()
+
+
+@dataclass(frozen=True)
+class Metrics(PlanNode):
+    """The GMine metric suite over the induced subgraph."""
+
+    child: PlanNode
+    predicates: Tuple[EdgePredicate, ...] = ()
+
+
+@dataclass(frozen=True)
+class Collect(PlanNode):
+    """Materialize the selection: its sorted vertices or their count."""
+
+    child: PlanNode
+    kind: str  # "nodes" | "count"
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Limit(PlanNode):
+    """Truncate the child's result to ``count`` entries (lowered form)."""
+
+    child: PlanNode
+    count: int
+
+
+def chain(plan: PlanNode) -> Tuple[PlanNode, ...]:
+    """The plan as a bottom-up tuple: ``(Seed|Const, ..., terminal)``."""
+    nodes = []
+    node: Optional[PlanNode] = plan
+    while node is not None:
+        nodes.append(node)
+        node = getattr(node, "child", None)
+    return tuple(reversed(nodes))

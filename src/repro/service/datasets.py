@@ -119,6 +119,10 @@ class DatasetContext(CanonicalizationContext):
             return self._tree.node(value).label
         return value
 
+    @property
+    def tree(self) -> GTree:
+        return self._tree
+
 
 @dataclass(frozen=True)
 class DatasetHandle:

@@ -48,12 +48,14 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..api.ops import DEFAULT_REGISTRY, DelegatedResult, OpContext, ServiceOpContext
 from ..api.registry import OperationRegistry, OpSpec
 from ..api.wire import error_code_for, exception_for_code
+from ..core.builder import build_gtree
 from ..core.gtree import GTree
 from ..core.session import ExplorationSession
-from ..errors import GMineError, ServiceError
+from ..errors import GMineError, InvalidArgumentError, ServiceError
 from ..graph.graph import Graph
+from ..graph.io import load_graph_auto
 from ..mining.rwr import RWRResult, refresh_rwr
-from ..storage.gtree_store import GTreeStore
+from ..storage.gtree_store import GTreeStore, save_gtree
 from .cache import ResultCache, SQLiteCacheStore
 from .datasets import DEFAULT_DATASET, DatasetHandle, DatasetRegistry
 from .executors import ExecutionBackend, make_backend
@@ -111,6 +113,15 @@ class QueryResult:
     error_type: str = ""
     code: str = ""
     cached: bool = False
+    #: Structured extras for the wire error (e.g. a GPath parse error's
+    #: source span); forwarded verbatim into ``WireError.details``.
+    error_details: Optional[Dict[str, Any]] = None
+    #: Scope fingerprint of the dataset snapshot that actually produced
+    #: ``value`` (populated for streamable ops only).  The stream router
+    #: stamps cursors with it, so a cursor issued for one content version
+    #: can never serve pages computed on another — even when an edit
+    #: lands between fingerprint read and dispatch.
+    fingerprint: Optional[str] = None
 
     def unwrap(self) -> Any:
         """Return the value, re-raising the recorded failure as a typed error.
@@ -257,6 +268,62 @@ class GMineService:
         )
         self.backend.warm(handle.exec_spec())
         return handle.name
+
+    def ingest_dataset(
+        self,
+        name: str,
+        path: Union[str, Path],
+        fanout: int = 5,
+        levels: int = 5,
+        seed: int = 0,
+        store: Optional[Union[str, Path]] = None,
+    ) -> Dict[str, Any]:
+        """Load a user graph file, build its G-Tree, register it live.
+
+        The loading pipeline behind the ``dataset.ingest`` op and the
+        ``gmine ingest`` CLI: read the graph (format by suffix — see
+        :func:`~repro.graph.io.load_graph_auto`), partition it into a
+        G-Tree, and register the result so every op, session, stream and
+        cache immediately serves it.  With ``store`` the built tree is
+        persisted and served from the store file (process workers reload
+        the graph by ``path``); otherwise it stays in memory.
+        """
+        if name in self.registry_of_datasets.names():
+            raise InvalidArgumentError(
+                f"dataset {name!r} is already registered"
+            )
+        try:
+            graph = load_graph_auto(path)
+        except OSError as error:
+            raise InvalidArgumentError(
+                f"cannot read graph file {str(path)!r}: {error}"
+            ) from error
+        if graph.num_nodes == 0:
+            raise InvalidArgumentError(
+                f"graph file {str(path)!r} contains no vertices"
+            )
+        tree = build_gtree(graph, fanout=fanout, levels=levels, seed=seed)
+        if store is not None:
+            save_gtree(tree, store)
+            registered = self.register_store(
+                store, graph=graph, name=name, graph_path=path
+            )
+        else:
+            registered = self.register_tree(tree, graph=graph, name=name)
+        handle = self._dataset(registered)
+        return {
+            "dataset": registered,
+            "fingerprint": handle.fingerprint,
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "tree": {
+                "communities": tree.num_tree_nodes,
+                "leaves": len(tree.leaves()),
+                "depth": tree.depth(),
+            },
+            "store": None if store is None else str(store),
+            "source": str(path),
+        }
 
     def datasets(self) -> List[str]:
         """Names of every registered dataset."""
@@ -421,8 +488,24 @@ class GMineService:
         ``dataset.apply``; everything else pins the root, expiring on any
         change.  The router validates resumed cursors against this value.
         """
-        handle = self._dataset(dataset)
         spec = self.registry.get(operation)
+        if spec.scope == "session":
+            # Session-context variants stream against the *session's*
+            # dataset, and a defaulted community resolves to its focus —
+            # mirroring the handler's delegation, so the cursor pins the
+            # very sub-fingerprint the delegated dispatch keys by.
+            canonical = spec.canonicalize(dict(args))
+            session = self.peek_session(canonical["session_id"])
+            handle = self._dataset(session.dataset)
+            if spec.partition_arg is None:
+                return handle.fingerprint
+            scope = handle.context.resolve_community(
+                canonical.get(spec.partition_arg)
+            )
+            if scope is None:
+                scope = session.engine.focus.label
+            return handle.scope_fingerprint(scope)
+        handle = self._dataset(dataset)
         if spec.scope != "dataset" or spec.partition_arg is None:
             return handle.fingerprint
         canonical = spec.canonicalize(dict(args), handle.context)
@@ -528,7 +611,7 @@ class GMineService:
         """Execute one registered operation through the cache; raises on failure."""
         spec = self.registry.get(operation)
         if spec.scope != "dataset":
-            value, _ = self._dispatch_session(
+            value, _, _ = self._dispatch_session(
                 spec, self._session_args(spec, args, dataset)
             )
             return value
@@ -597,10 +680,11 @@ class GMineService:
         """
         if isinstance(request, dict):
             request = QueryRequest.from_dict(request)
+        fingerprint: Optional[str] = None
         try:
             spec = self.registry.get(request.operation)
             if spec.scope != "dataset":
-                value, cached = self._dispatch_session(
+                value, cached, fingerprint = self._dispatch_session(
                     spec,
                     self._session_args(spec, dict(request.args), request.dataset),
                 )
@@ -609,15 +693,30 @@ class GMineService:
                 value, cached = self._dispatch(
                     handle, request.operation, dict(request.args)
                 )
+                if spec.stream is not None:
+                    # Streamed results carry the fingerprint of the very
+                    # snapshot the dispatch keyed by (same handle object),
+                    # so cursors and content can never disagree.
+                    canonical = spec.canonicalize(
+                        dict(request.args), handle.context
+                    )
+                    fingerprint = self._scope_fp(handle, spec, canonical)
         except (GMineError, KeyError, TypeError, ValueError) as error:
+            wire_details = getattr(error, "wire_details", None)
             return QueryResult(
                 request=request,
                 ok=False,
                 error=str(error),
                 error_type=type(error).__name__,
                 code=error_code_for(error),
+                error_details=(
+                    wire_details() if callable(wire_details) else None
+                ),
             )
-        return QueryResult(request=request, ok=True, value=value, cached=cached)
+        return QueryResult(
+            request=request, ok=True, value=value, cached=cached,
+            fingerprint=fingerprint,
+        )
 
     def batch(
         self,
@@ -702,6 +801,8 @@ class GMineService:
                         error_type=outcome.error_type,
                         code=outcome.code,
                         cached=True,
+                        error_details=outcome.error_details,
+                        fingerprint=outcome.fingerprint,
                     )
                 )
         return results
@@ -786,7 +887,11 @@ class GMineService:
         return args
 
     def _dispatch_session(self, spec: OpSpec, args: Dict[str, Any]):
-        """Run one session- or service-scoped op; returns ``(value, cached)``.
+        """Run one session- or service-scoped op.
+
+        Returns ``(value, cached, fingerprint)`` — the fingerprint is the
+        delegated dataset snapshot's scope fingerprint for streamable
+        mining variants, ``None`` for lifecycle ops.
 
         Session ops canonicalize through their spec exactly like dataset
         ops but bypass the result cache — their outcomes depend on live
@@ -801,20 +906,29 @@ class GMineService:
         canonical = spec.canonicalize(args)
         value = spec.handler(ServiceOpContext(service=self), canonical)
         if isinstance(value, DelegatedResult):
-            return value.value, value.cached
+            return value.value, value.cached, value.fingerprint
         with self._lock:
             self._compute_counts[spec.name] += 1
-        return value, False
+        return value, False, None
 
     def dispatch_in_session(self, session: ServiceSession, operation: str, args):
-        """Dataset dispatch under a session's dataset; returns ``(value, cached)``.
+        """Dataset dispatch under a session's dataset.
 
         The seam the registry's session-context mining variants call back
         into: same validation, cache keying and backend execution as a
-        direct dataset call.
+        direct dataset call.  Returns ``(value, cached, fingerprint)``;
+        the fingerprint (streamable twins only) is the scope fingerprint
+        of the exact handle snapshot the dispatch ran against, so session
+        stream cursors pin the content version that produced their pages.
         """
         handle = self._dataset(session.dataset)
-        return self._dispatch(handle, operation, dict(args))
+        value, cached = self._dispatch(handle, operation, dict(args))
+        spec = self.registry.get(operation)
+        fingerprint = None
+        if spec.stream is not None:
+            canonical = spec.canonicalize(dict(args), handle.context)
+            fingerprint = self._scope_fp(handle, spec, canonical)
+        return value, cached, fingerprint
 
     def _dispatch(self, handle: DatasetHandle, operation: str, args: Dict[str, Any]):
         """Run one registered operation; returns ``(value, cached)``.

@@ -40,8 +40,24 @@ def _request_for(op, hot_leaf, sibling_pair):
         },
         "connectivity": {},
         "inspect_edge": {"community_a": community_a, "community_b": community_b},
+        "query.path": {
+            "path": f"community({leaf.label})/members/"
+                    f"rwr(sources=[{members[0]}, {members[1]}])/top(5)"
+        },
     }
+    if op.startswith("session."):
+        # Session-context variants take their dataset twin's args (plus a
+        # session_id, attached per test via _session_scoped).
+        return dict(table[op.split(".", 1)[1]])
     return table[op]
+
+
+def _session_scoped(client, args, op):
+    """Attach a fresh session id for session-context variant requests."""
+    if not op.startswith("session."):
+        return args
+    info = client.call("session.create", name="stream-parity")["session"]
+    return {"session_id": info["session_id"], **args}
 
 
 class TestTransportParity:
@@ -223,7 +239,7 @@ class TestStreamedParity:
         self, all_clients, hot_leaf, sibling_pair, op
     ):
         local, remote, aio = all_clients
-        args = _request_for(op, hot_leaf, sibling_pair)
+        args = _session_scoped(local, _request_for(op, hot_leaf, sibling_pair), op)
         local.query(op, args=args).unwrap()  # warm
         chunk_lists = [
             client.stream_raw(op, args=args, chunk_size=3)
@@ -243,7 +259,7 @@ class TestStreamedParity:
     ):
         local, remote, _ = all_clients
         spec = DEFAULT_REGISTRY.get(op)
-        args = _request_for(op, hot_leaf, sibling_pair)
+        args = _session_scoped(local, _request_for(op, hot_leaf, sibling_pair), op)
         merged = remote.stream_result(op, args=args, chunk_size=7)
         total = len(merged[spec.stream.field])
         one_shot = local.query(

@@ -161,8 +161,9 @@ class TestDiscoveryRoutes:
         status, payload = _get(http_server.url + "/v1/ops")
         assert status == 200
         names = [op["name"] for op in payload["ops"]]
-        assert names[:5] == [
-            "metrics", "rwr", "connection_subgraph", "connectivity", "inspect_edge",
+        assert names[:6] == [
+            "metrics", "rwr", "connection_subgraph", "query.path",
+            "connectivity", "inspect_edge",
         ]
         # every session op is a first-class registry row with its scope
         session_rows = [op for op in payload["ops"] if op["name"].startswith("session.")]

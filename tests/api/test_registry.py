@@ -24,10 +24,11 @@ class TestRegistryBasics:
         # dataset scope and session scope alike — no dispatch outside it
         assert set(DEFAULT_REGISTRY.names()) == {
             "metrics", "rwr", "connection_subgraph", "connectivity", "inspect_edge",
+            "query.path",
             "session.create", "session.restore", "session.resume",
             "session.describe", "session.step", "session.close", "session.list",
             "session.metrics", "session.rwr", "session.connection_subgraph",
-            "dataset.apply", "dataset.subscribe",
+            "dataset.apply", "dataset.subscribe", "dataset.ingest",
         }
 
     def test_every_spec_is_fully_bound(self):

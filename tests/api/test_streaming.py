@@ -155,12 +155,28 @@ class TestStreamSemantics:
         assert response.error.code == "PROTOCOL_ERROR"
         assert "streamable operations" in response.error.message
 
-    def test_session_ops_do_not_stream(self, stream_client):
+    def test_session_variants_stream_like_their_twin(self, stream_client):
+        # session mining variants inherit their dataset twin's StreamSpec;
+        # the cursor fingerprint resolves through the live session focus
+        info = stream_client.call("session.create", name="streamer")["session"]
+        sid = info["session_id"]
+        args = {"session_id": sid, "sources": [0, 1]}
+        chunks = list(
+            stream_client.stream("session.rwr", args=args, chunk_size=50)
+        )
+        assert all(chunk.ok for chunk in chunks)
+        total = chunks[0].page["total"]
+        assert sum(chunk.page["count"] for chunk in chunks) == total
+        stream_client.call("session.close", session_id=sid)
+
+    def test_session_stream_unknown_session_is_structured(self, stream_client):
         [response] = list(
-            stream_client.stream("session.rwr", args={"session_id": "x"})
+            stream_client.stream(
+                "session.rwr", args={"session_id": "x", "sources": [1]}
+            )
         )
         assert response.ok is False
-        assert response.error.code == "PROTOCOL_ERROR"
+        assert response.error.code == "SESSION_NOT_FOUND"
 
     def test_failed_dispatch_streams_one_error_envelope(self, stream_client):
         [response] = list(stream_client.stream("rwr", args={"sources": []}))

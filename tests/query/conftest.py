@@ -1,0 +1,29 @@
+"""Shared fixtures for the GPath subsystem tests.
+
+One small caveman graph with obvious community structure, its G-Tree, and
+a few derived handles (largest leaf, two of its members) — enough to
+exercise tree folding, scope constant-folding and plan evaluation without
+touching the service layer.
+"""
+
+import pytest
+
+from repro.core.builder import build_gtree
+from repro.graph.generators import connected_caveman
+
+
+@pytest.fixture(scope="module")
+def query_graph():
+    return connected_caveman(6, 8, seed=5)
+
+
+@pytest.fixture(scope="module")
+def query_tree(query_graph):
+    return build_gtree(query_graph, fanout=3, levels=3, seed=5)
+
+
+@pytest.fixture(scope="module")
+def query_leaf(query_tree):
+    """The largest leaf community and two of its members."""
+    leaf = max(query_tree.leaves(), key=lambda node: node.size)
+    return leaf, sorted(leaf.members)[:2]

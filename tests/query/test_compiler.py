@@ -1,0 +1,233 @@
+"""GPath compiler tests: tree folding, scope constant-folding, fusion.
+
+The assertions here pin the properties the service layer builds on:
+
+* a normalized plan contains no ``Filter``/``Limit`` nodes — predicates
+  are pushed into ``Expand``/``Score``/``Metrics`` and limits fuse into
+  ``Score.limit``/``Collect.limit``;
+* a query anchored at ``community(X)`` that never leaves its subtree
+  compiles with ``community=X`` (the partition cache-key scope), while
+  ``ancestors`` and ``hops`` widen the scope to the root;
+* the same text always compiles to the same plan object graph — the
+  determinism the fingerprint-keyed cache requires.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import InvalidArgumentError, NavigationError, QueryParseError
+from repro.query import compile_query, lower, normalize, parse
+from repro.query.plan import (
+    Collect,
+    Const,
+    Expand,
+    Filter,
+    Limit,
+    Metrics,
+    Score,
+    Seed,
+    chain,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+def _compile(text, tree):
+    return compile_query(parse(text), tree)
+
+
+class TestTreeFolding:
+    def test_tree_level_nodes_fold_to_const(self, query_tree, query_leaf):
+        leaf, _ = query_leaf
+        compiled = _compile(f"community({leaf.label})/ancestors/nodes", query_tree)
+        assert isinstance(compiled.plan, Const)
+        labels = [n.label for n in query_tree.ancestors(leaf.node_id)]
+        assert compiled.plan.items == tuple(sorted(labels))
+
+    def test_tree_level_count_folds(self, query_tree):
+        compiled = _compile("descendants/count", query_tree)
+        assert isinstance(compiled.plan, Const)
+        assert compiled.plan.kind == "count"
+        assert compiled.plan.count == query_tree.num_tree_nodes - 1
+
+    def test_leaves_axis_folds_to_leaf_labels(self, query_tree):
+        compiled = _compile("leaves/nodes", query_tree)
+        assert compiled.plan.items == tuple(
+            sorted(n.label for n in query_tree.leaves())
+        )
+
+    def test_members_of_whole_scope_folds_to_open_seed(
+        self, query_tree, query_leaf
+    ):
+        leaf, _ = query_leaf
+        compiled = _compile(f"community({leaf.label})/members/nodes", query_tree)
+        base = chain(compiled.plan)[0]
+        # The selection equals the scope's member set, so the seed is the
+        # "whole subgraph" sentinel and the kernel's fast path applies.
+        assert base == Seed(vertices=None)
+
+    def test_partial_selection_folds_to_explicit_seed(self, query_tree):
+        # leaves of one child under an un-anchored root: a proper subset
+        child = query_tree.children(query_tree.root.node_id)[0]
+        compiled = _compile(f"community({child.label})/hops(1)/count", query_tree)
+        base = chain(compiled.plan)[0]
+        assert base.vertices == tuple(sorted(child.members))
+
+    def test_unknown_community_is_navigation_error(self, query_tree):
+        with pytest.raises(NavigationError, match="no community"):
+            _compile("community(never-built)/members", query_tree)
+
+    def test_no_tree_is_invalid_argument(self):
+        with pytest.raises(InvalidArgumentError, match="requires a dataset tree"):
+            compile_query(parse("members/count"), None)
+
+
+class TestScopeConstantFolding:
+    def test_anchored_descendant_closed_query_keeps_its_scope(
+        self, query_tree, query_leaf
+    ):
+        leaf, members = query_leaf
+        for text in (
+            f"community({leaf.label})/members/nodes",
+            f"community({leaf.label})/members/rwr(sources=[{members[0]}])",
+            f"community({leaf.label})/metrics",
+            f"community({leaf.label})/members/count",
+        ):
+            assert _compile(text, query_tree).community == leaf.label, text
+
+    def test_hops_widen_the_scope_to_the_root(self, query_tree, query_leaf):
+        leaf, _ = query_leaf
+        compiled = _compile(
+            f"community({leaf.label})/members/hops(1)/count", query_tree
+        )
+        assert compiled.community is None
+        # ...and the seed stays the anchored community's members
+        assert chain(compiled.plan)[0].vertices == tuple(sorted(leaf.members))
+
+    def test_ancestors_widen_the_scope(self, query_tree, query_leaf):
+        leaf, _ = query_leaf
+        compiled = _compile(
+            f"community({leaf.label})/ancestors/members/count", query_tree
+        )
+        assert compiled.community is None
+
+    def test_unanchored_query_has_no_scope(self, query_tree):
+        assert _compile("members/count", query_tree).community is None
+
+    def test_id_and_label_anchors_agree(self, query_tree, query_leaf):
+        leaf, _ = query_leaf
+        by_label = _compile(f"community({leaf.label})/members/nodes", query_tree)
+        by_id = _compile(f"community({leaf.node_id})/members/nodes", query_tree)
+        assert by_label == by_id
+
+
+class TestNormalization:
+    def test_no_filter_or_limit_survives(self, query_tree, query_leaf):
+        leaf, members = query_leaf
+        compiled = _compile(
+            f"community({leaf.label})/members/edges[weight > 0.5]/hops(2)/"
+            f"rwr(sources=[{members[0]}])/top(5)",
+            query_tree,
+        )
+        kinds = {type(node) for node in chain(compiled.plan)}
+        assert Filter not in kinds
+        assert Limit not in kinds
+
+    def test_predicates_pushed_into_expand_and_score(
+        self, query_tree, query_leaf
+    ):
+        leaf, members = query_leaf
+        compiled = _compile(
+            f"community({leaf.label})/members/edges[weight > 0.5]/hops(2)/"
+            f"rwr(sources=[{members[0]}])",
+            query_tree,
+        )
+        nodes = chain(compiled.plan)
+        expand = next(n for n in nodes if isinstance(n, Expand))
+        score = next(n for n in nodes if isinstance(n, Score))
+        assert expand.predicates and expand.predicates[0].attr == "weight"
+        assert score.predicates == expand.predicates
+
+    def test_top_fuses_into_score_limit(self, query_tree, query_leaf):
+        leaf, members = query_leaf
+        compiled = _compile(
+            f"community({leaf.label})/members/rwr(sources=[{members[0]}])/top(7)",
+            query_tree,
+        )
+        score = chain(compiled.plan)[-1]
+        assert isinstance(score, Score)
+        assert score.limit == 7
+
+    def test_top_fuses_into_collect_limit(self, query_tree, query_leaf):
+        leaf, _ = query_leaf
+        compiled = _compile(
+            f"community({leaf.label})/members/top(3)", query_tree
+        )
+        collect = chain(compiled.plan)[-1]
+        assert isinstance(collect, Collect)
+        assert collect.kind == "nodes"
+        assert collect.limit == 3
+
+    def test_metrics_terminal_absorbs_predicates(self, query_tree, query_leaf):
+        leaf, _ = query_leaf
+        compiled = _compile(
+            f"community({leaf.label})/members/edges[weight >= 1]/metrics",
+            query_tree,
+        )
+        metrics = chain(compiled.plan)[-1]
+        assert isinstance(metrics, Metrics)
+        assert metrics.predicates[0].op == ">="
+
+    def test_normalize_is_idempotent(self, query_tree, query_leaf):
+        leaf, members = query_leaf
+        lowered = lower(
+            parse(
+                f"community({leaf.label})/members/edges[weight > 0]/"
+                f"rwr(sources=[{members[0]}])/top(4)"
+            ),
+            query_tree,
+        )
+        once = normalize(lowered.plan)
+        assert normalize(once) == once
+
+
+class TestDeterminism:
+    def test_same_text_compiles_to_equal_plans(self, query_tree, query_leaf):
+        leaf, members = query_leaf
+        text = (
+            f"community({leaf.label})/members/hops(2)/"
+            f"rwr(sources=[{members[1]}, {members[0]}])/top(5)"
+        )
+        first = _compile(text, query_tree)
+        second = _compile(text, query_tree)
+        assert first == second
+        assert repr(first.plan) == repr(second.plan)
+
+    def test_equivalent_spellings_share_one_plan(self, query_tree, query_leaf):
+        leaf, members = query_leaf
+        a = _compile(
+            f"community({leaf.label})/members/"
+            f"rwr(sources=[{members[0]}, {members[1]}])",
+            query_tree,
+        )
+        b = _compile(
+            f" community( {leaf.label} ) / members / "
+            f"rwr(sources=[{members[1]}, {members[0]}, {members[0]}]) ",
+            query_tree,
+        )
+        assert a == b
+        assert repr(a.plan) == repr(b.plan)
+
+    def test_plans_are_picklable(self, query_tree, query_leaf):
+        leaf, members = query_leaf
+        compiled = _compile(
+            f"community({leaf.label})/members/edges[weight > 0]/"
+            f"rwr(sources=[{members[0]}])/top(5)",
+            query_tree,
+        )
+        assert pickle.loads(pickle.dumps(compiled.plan)) == compiled.plan
+
+    def test_parse_errors_propagate_unchanged(self, query_tree):
+        with pytest.raises(QueryParseError):
+            _compile("community(", query_tree)

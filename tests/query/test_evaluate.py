@@ -1,0 +1,225 @@
+"""GPath evaluator tests: plan semantics on a handmade graph.
+
+A small graph with labelled edge attributes makes every expansion and
+filter outcome checkable by hand; the caveman fixture covers the compiled
+end-to-end path.  The headline property: evaluating the *lowered* chain
+(explicit ``Filter``/``Limit`` nodes) and the *normalized* chain (fused)
+always produces the same result — fusion is a pure optimisation.
+"""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.graph.graph import Graph
+from repro.mining.metrics_suite import compute_subgraph_metrics
+from repro.mining.rwr import steady_state_rwr
+from repro.query import compile_query, evaluate_path, lower, normalize, parse
+from repro.query.plan import (
+    Collect,
+    EdgePredicate,
+    Expand,
+    Filter,
+    Limit,
+    Metrics,
+    Score,
+    Seed,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture(scope="module")
+def attr_graph():
+    """A path a-b-c-d-e with a weighted shortcut and a typed attribute."""
+    graph = Graph(name="attrs")
+    graph.add_edge("a", "b", weight=1.0, kind="road")
+    graph.add_edge("b", "c", weight=2.0, kind="road")
+    graph.add_edge("c", "d", weight=3.0, kind="rail")
+    graph.add_edge("d", "e", weight=1.0, kind="rail")
+    graph.add_edge("a", "e", weight=9.0, kind="ferry")
+    return graph
+
+
+class TestPlanSemantics:
+    def test_seed_none_selects_every_vertex(self, attr_graph):
+        result = evaluate_path(attr_graph, Collect(child=Seed(), kind="nodes"))
+        assert result.items == ("a", "b", "c", "d", "e")
+        assert result.count == 5
+
+    def test_explicit_seed_intersects_defensively(self, attr_graph):
+        plan = Collect(
+            child=Seed(vertices=("a", "ghost", "c")), kind="nodes"
+        )
+        result = evaluate_path(attr_graph, plan)
+        assert result.items == ("a", "c")
+
+    def test_expand_walks_bfs_hops(self, attr_graph):
+        plan = Collect(
+            child=Expand(child=Seed(vertices=("a",)), hops=2), kind="nodes"
+        )
+        # 1 hop: b, e (shortcut); 2 hops: c, d — everything
+        result = evaluate_path(attr_graph, plan)
+        assert result.items == ("a", "b", "c", "d", "e")
+
+    def test_expand_respects_edge_predicates(self, attr_graph):
+        pred = EdgePredicate(attr="weight", op="<=", value=2.0)
+        plan = Collect(
+            child=Expand(child=Seed(vertices=("a",)), hops=2,
+                         predicates=(pred,)),
+            kind="nodes",
+        )
+        # the a-e ferry (weight 9) and c-d rail (weight 3) are barred:
+        # a -> b -> c and no further
+        result = evaluate_path(attr_graph, plan)
+        assert result.items == ("a", "b", "c")
+
+    def test_string_attribute_predicates(self, attr_graph):
+        pred = EdgePredicate(attr="kind", op="==", value="road")
+        plan = Collect(
+            child=Expand(child=Seed(vertices=("e",)), hops=3,
+                         predicates=(pred,)),
+            kind="nodes",
+        )
+        # every edge out of e is rail/ferry: expansion stalls immediately
+        result = evaluate_path(attr_graph, plan)
+        assert result.items == ("e",)
+
+    def test_missing_attribute_fails_the_edge(self, attr_graph):
+        pred = EdgePredicate(attr="tolls", op="==", value=0)
+        plan = Collect(
+            child=Expand(child=Seed(vertices=("a",)), hops=1,
+                         predicates=(pred,)),
+            kind="nodes",
+        )
+        assert evaluate_path(attr_graph, plan).items == ("a",)
+
+    def test_incomparable_types_fail_the_edge(self, attr_graph):
+        pred = EdgePredicate(attr="kind", op="<", value=5)
+        plan = Collect(
+            child=Expand(child=Seed(vertices=("a",)), hops=1,
+                         predicates=(pred,)),
+            kind="nodes",
+        )
+        assert evaluate_path(attr_graph, plan).items == ("a",)
+
+    def test_count_terminal(self, attr_graph):
+        plan = Collect(
+            child=Expand(child=Seed(vertices=("a",)), hops=1), kind="count"
+        )
+        assert evaluate_path(attr_graph, plan).count == 3
+
+    def test_score_matches_direct_rwr(self, attr_graph):
+        plan = Score(child=Seed(), sources=("a",), restart=0.15)
+        result = evaluate_path(attr_graph, plan)
+        direct = steady_state_rwr(
+            attr_graph, ["a"], restart_probability=0.15, solver="power"
+        )
+        assert result.kind == "scores"
+        assert result.converged is direct.converged
+        expected = direct.top(len(direct.scores))
+        assert result.scores == tuple((n, float(s)) for n, s in expected)
+
+    def test_score_limit_truncates_but_count_stays_total(self, attr_graph):
+        plan = Score(child=Seed(), sources=("a",), restart=0.15, limit=2)
+        result = evaluate_path(attr_graph, plan)
+        assert len(result.scores) == 2
+        assert result.count == 5
+
+    def test_score_missing_source_is_invalid_argument(self, attr_graph):
+        plan = Score(
+            child=Seed(vertices=("a", "b")), sources=("e",), restart=0.15
+        )
+        with pytest.raises(InvalidArgumentError, match="sources not in"):
+            evaluate_path(attr_graph, plan)
+
+    def test_metrics_matches_direct_suite(self, attr_graph):
+        result = evaluate_path(attr_graph, Metrics(child=Seed()))
+        suite = compute_subgraph_metrics(
+            attr_graph, hop_sample_size=None, pagerank_damping=0.85,
+            top_k=10, seed=0,
+        )
+        assert result.kind == "metrics"
+        assert result.metrics == suite.as_dict()
+
+    def test_induced_subgraph_drops_failing_edges(self, attr_graph):
+        # scoring over <=2 edges must not leak weight through the ferry
+        pred = EdgePredicate(attr="weight", op="<=", value=2.0)
+        plan = Score(
+            child=Seed(vertices=("a", "b", "e")),
+            sources=("a",), restart=0.15, predicates=(pred,),
+        )
+        result = evaluate_path(attr_graph, plan)
+        scores = dict(result.scores)
+        # e is only reachable via the barred ferry: isolated, zero mass
+        assert scores["e"] == 0.0
+        assert scores["b"] > 0.0
+
+
+class TestLoweredNormalizedParity:
+    CASES = [
+        "members/nodes",
+        "members/count",
+        "members/top(4)",
+        "members/edges[weight > 1]/hops(2)/count",
+        "members/hops(1)/edges[weight <= 2]/hops(1)/nodes",
+    ]
+
+    @pytest.mark.parametrize("suffix", CASES)
+    def test_lowered_equals_normalized(self, query_graph, query_tree,
+                                       query_leaf, suffix):
+        leaf, _ = query_leaf
+        query = parse(f"community({leaf.label})/{suffix}")
+        lowered = lower(query, query_tree)
+        assert evaluate_path(query_graph, lowered.plan) == evaluate_path(
+            query_graph, normalize(lowered.plan)
+        )
+
+    def test_lowered_equals_normalized_for_scoring(
+        self, query_graph, query_tree, query_leaf
+    ):
+        leaf, members = query_leaf
+        query = parse(
+            f"community({leaf.label})/members/hops(1)/"
+            f"rwr(sources=[{members[0]}])/top(6)"
+        )
+        lowered = lower(query, query_tree)
+        assert evaluate_path(query_graph, lowered.plan) == evaluate_path(
+            query_graph, normalize(lowered.plan)
+        )
+
+    def test_filter_and_limit_nodes_evaluate_directly(self, attr_graph):
+        # the evaluator accepts the lowered shapes verbatim
+        pred = EdgePredicate(attr="weight", op="<=", value=2.0)
+        lowered = Limit(
+            child=Collect(
+                child=Expand(
+                    child=Filter(child=Seed(vertices=("a",)),
+                                 predicates=(pred,)),
+                    hops=2,
+                ),
+                kind="nodes",
+            ),
+            count=2,
+        )
+        result = evaluate_path(attr_graph, lowered)
+        assert result.items == ("a", "b")
+        assert result.count == 3
+
+
+class TestCompiledEndToEnd:
+    def test_compiled_query_over_community_subgraph(
+        self, query_graph, query_tree, query_leaf
+    ):
+        leaf, _ = query_leaf
+        compiled = compile_query(
+            parse(f"community({leaf.label})/members/nodes"), query_tree
+        )
+        assert compiled.community == leaf.label
+        subgraph = leaf.subgraph if leaf.subgraph is not None else query_graph
+        result = evaluate_path(subgraph, compiled.plan)
+        assert set(result.items) == set(leaf.members)
+
+    def test_const_plans_ignore_the_subgraph(self, query_graph, query_tree):
+        compiled = compile_query(parse("leaves/count"), query_tree)
+        result = evaluate_path(query_graph, compiled.plan)
+        assert result.count == len(query_tree.leaves())

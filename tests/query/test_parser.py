@@ -1,0 +1,251 @@
+"""GPath parser tests: grammar, canonicalization, spans, structure rules.
+
+The parser is the protocol surface of the query subsystem: every error it
+raises must carry the source text and a half-open character span (that is
+what the wire layer forwards as structured 400 details), and its canonical
+unparse must be a fixed point (that is what the registry cache-keys on).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryParseError
+from repro.query import canonical_text, parse, unparse
+from repro.query.ast import (
+    AxisStep,
+    CommunityStep,
+    CountStep,
+    EdgeFilterStep,
+    HopsStep,
+    MetricsStep,
+    NodesStep,
+    RwrStep,
+    TopStep,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+class TestGrammar:
+    def test_full_pipeline_parses(self):
+        query = parse(
+            'community(s0.1)/descendants/members/hops(2)/'
+            'edges[weight >= 2.5]/rwr(sources=[3, 7], restart=0.2)/top(10)'
+        )
+        kinds = [type(step).__name__ for step in query.steps]
+        assert kinds == [
+            "CommunityStep", "AxisStep", "AxisStep", "HopsStep",
+            "EdgeFilterStep", "RwrStep", "TopStep",
+        ]
+
+    def test_community_accepts_int_name_and_string(self):
+        assert parse("community(7)/members").steps[0].ref == 7
+        assert parse("community(s0.1)/members").steps[0].ref == "s0.1"
+        assert parse('community("odd label!")/members').steps[0].ref == (
+            "odd label!"
+        )
+
+    def test_neighbors_desugars_to_hops_one(self):
+        sugar = parse("members/neighbors/count")
+        plain = parse("members/hops(1)/count")
+        assert unparse(sugar) == unparse(plain)
+        assert isinstance(sugar.steps[1], HopsStep)
+        assert sugar.steps[1].hops == 1
+
+    def test_rwr_sources_dedup_and_order_normalise(self):
+        spellings = [
+            "members/rwr(sources=[3, 1, 2])",
+            "members/rwr(sources=[2, 3, 1, 1])",
+            "members/rwr(sources=[1, 2, 3, 2])",
+        ]
+        assert len({canonical_text(s) for s in spellings}) == 1
+
+    def test_whitespace_is_insignificant(self):
+        dense = canonical_text("community(s0)/members/rwr(sources=[1,2])")
+        spaced = canonical_text(
+            "  community( s0 ) / members / rwr( sources = [ 1 , 2 ] )  "
+        )
+        assert dense == spaced
+
+    def test_edge_filter_operators(self):
+        for op in ("<", "<=", ">", ">=", "==", "!="):
+            step = parse(f"members/edges[weight {op} 2]/count").steps[1]
+            assert isinstance(step, EdgeFilterStep)
+            assert step.op == op
+
+    def test_quoted_string_escapes_round_trip(self):
+        text = 'community("a \\"quoted\\" \\\\ label")/members'
+        query = parse(text)
+        assert query.steps[0].ref == 'a "quoted" \\ label'
+        assert parse(unparse(query)).steps[0].ref == query.steps[0].ref
+
+    def test_restart_bounds(self):
+        assert parse("members/rwr(sources=[1], restart=0.5)").steps[1].restart == 0.5
+        with pytest.raises(QueryParseError, match="strictly between 0 and 1"):
+            parse("members/rwr(sources=[1], restart=1.0)")
+        with pytest.raises(QueryParseError, match="strictly between 0 and 1"):
+            parse("members/rwr(sources=[1], restart=0)")
+
+    def test_counts_must_be_positive(self):
+        with pytest.raises(QueryParseError, match="k >= 1"):
+            parse("members/hops(0)")
+        with pytest.raises(QueryParseError, match="k >= 1"):
+            parse("members/rwr(sources=[1])/top(0)")
+
+
+class TestErrorSpans:
+    def _span_of(self, text):
+        with pytest.raises(QueryParseError) as excinfo:
+            parse(text)
+        error = excinfo.value
+        assert error.source == text
+        assert error.span is not None
+        start, end = error.span
+        assert 0 <= start <= end <= len(text)
+        return error
+
+    def test_unknown_step_points_at_the_name(self):
+        error = self._span_of("community(s0)/teleport")
+        start, end = error.span
+        assert "community(s0)/teleport"[start:end] == "teleport"
+        assert "unknown step" in str(error)
+
+    def test_unexpected_character_points_at_it(self):
+        error = self._span_of("members/edges[weight ~ 2]")
+        start, end = error.span
+        assert "members/edges[weight ~ 2]"[start:end] == "~"
+
+    def test_missing_paren_points_at_the_break(self):
+        error = self._span_of("community(/members")
+        assert error.span == (10, 11)
+
+    def test_unterminated_string_spans_to_the_end(self):
+        text = 'community("never closed'
+        error = self._span_of(text)
+        assert error.span[1] == len(text)
+        assert "unterminated" in str(error)
+
+    def test_truncated_query_reports_end_of_input(self):
+        error = self._span_of("members/rwr(sources=[1]")
+        assert error.span[0] == len("members/rwr(sources=[1]")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryParseError, match="empty query"):
+            parse("   ")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(QueryParseError, match="must be a string"):
+            parse(["community(s0)"])
+
+    def test_wire_details_shape(self):
+        error = self._span_of("community(s0)/bogus")
+        details = error.wire_details()
+        assert details["source"] == "community(s0)/bogus"
+        assert details["span"] == [14, 19]
+
+
+class TestStructureRules:
+    def test_community_only_first(self):
+        with pytest.raises(QueryParseError, match="first step"):
+            parse("members/community(s0)")
+
+    def test_tree_axes_invalid_after_vertex_conversion(self):
+        for text in (
+            "members/hops(1)/descendants",
+            "community(s0)/members/leaves",
+            "members/edges[weight > 1]/ancestors",
+        ):
+            with pytest.raises(QueryParseError, match="not valid after"):
+                parse(text)
+
+    def test_rwr_followed_only_by_top(self):
+        parse("members/rwr(sources=[1])/top(3)")  # legal
+        with pytest.raises(QueryParseError, match="only be followed by top"):
+            parse("members/rwr(sources=[1])/count")
+        with pytest.raises(QueryParseError, match="only be followed by top"):
+            parse("members/rwr(sources=[1])/hops(1)")
+
+    def test_terminals_must_be_final(self):
+        for terminal in ("metrics", "count", "nodes", "top(2)"):
+            with pytest.raises(QueryParseError, match="final step"):
+                parse(f"members/{terminal}/hops(1)")
+
+    def test_rwr_requires_sources(self):
+        with pytest.raises(QueryParseError, match="at least one source"):
+            parse("members/rwr(sources=[])")
+        with pytest.raises(QueryParseError, match="sources"):
+            parse("members/rwr(restart=0.5)")
+
+
+# ----------------------------------------------------------------------- #
+# hypothesis: canonical text is a fixed point of parse -> unparse
+# ----------------------------------------------------------------------- #
+
+_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.\-]{0,8}", fullmatch=True)
+_literals = st.one_of(
+    st.integers(-999, 999),
+    _names,
+    st.text(
+        st.characters(min_codepoint=32, max_codepoint=126), max_size=8
+    ).filter(lambda s: s.strip()),
+)
+
+
+@st.composite
+def gpath_queries(draw):
+    """Structurally valid GPath source texts, assembled by the rules."""
+    parts = []
+    if draw(st.booleans()):
+        parts.append(f"community({_render(draw(_literals))})")
+    for _ in range(draw(st.integers(0, 2))):
+        parts.append(draw(st.sampled_from(["descendants", "leaves"])))
+    parts.append("members")
+    for _ in range(draw(st.integers(0, 2))):
+        if draw(st.booleans()):
+            parts.append(f"hops({draw(st.integers(1, 3))})")
+        else:
+            op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+            value = _render(draw(_literals))
+            parts.append(f"edges[{draw(_names)} {op} {value}]")
+    terminal = draw(st.sampled_from(["nodes", "count", "metrics", "rwr", "top"]))
+    if terminal == "rwr":
+        sources = draw(st.lists(st.integers(0, 99), min_size=1, max_size=4))
+        rendered = ", ".join(str(s) for s in sources)
+        parts.append(f"rwr(sources=[{rendered}])")
+        if draw(st.booleans()):
+            parts.append(f"top({draw(st.integers(1, 20))})")
+    elif terminal == "top":
+        parts.append(f"top({draw(st.integers(1, 20))})")
+    elif terminal != "nodes" or draw(st.booleans()):
+        parts.append(terminal)
+    return "/".join(parts)
+
+
+def _render(value):
+    if isinstance(value, int):
+        return str(value)
+    import re
+
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.\-]*", value):
+        return value
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+class TestCanonicalProperties:
+    @settings(max_examples=120, derandomize=True, deadline=None)
+    @given(source=gpath_queries())
+    def test_canonical_text_is_a_fixed_point(self, source):
+        canonical = canonical_text(source)
+        assert canonical_text(canonical) == canonical
+
+    @settings(max_examples=120, derandomize=True, deadline=None)
+    @given(source=gpath_queries())
+    def test_parse_unparse_parse_is_stable(self, source):
+        first = parse(source)
+        second = parse(unparse(first))
+        assert unparse(second) == unparse(first)
+        assert [type(s) for s in second.steps] == [
+            type(s) for s in first.steps
+        ]

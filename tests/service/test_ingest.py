@@ -1,0 +1,214 @@
+"""The ``dataset.ingest`` loading pipeline: files -> tree -> live dataset.
+
+Covers the CSV reader added to :mod:`repro.graph.io` (header detection,
+weight accumulation, malformed rows), the service-level pipeline
+(duplicate names, empty/unreadable files, store persistence) and the
+registered op over both the in-process and HTTP front-ends — an ingested
+dataset must immediately serve every mining op.
+"""
+
+import pytest
+
+from repro.api import GMineClient, GMineHTTPServer
+from repro.errors import GraphFormatError, InvalidArgumentError
+from repro.graph.generators import connected_caveman
+from repro.graph.io import load_graph_auto, read_csv_edges, write_json
+from repro.service import GMineService
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = tmp_path / "toy.txt"
+    path.write_text(
+        "# a toy graph\n"
+        "0 1 2.0\n"
+        "1 2\n"
+        "2 3 0.5\n"
+        "0 3\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestCsvReader:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "edges.csv"
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_plain_rows(self, tmp_path):
+        graph = read_csv_edges(
+            self._write(tmp_path, "0,1,2.0\n1,2,1.5\n")
+        )
+        assert graph.num_nodes == 3
+        assert graph.edge_weight(0, 1) == 2.0
+
+    def test_header_row_with_weight_column_is_skipped(self, tmp_path):
+        graph = read_csv_edges(
+            self._write(tmp_path, "source,target,weight\n0,1,2.0\n")
+        )
+        assert graph.num_edges == 1
+
+    def test_two_column_header_is_skipped(self, tmp_path):
+        for header in ("source,target", "U,V"):
+            graph = read_csv_edges(
+                self._write(tmp_path, f"{header}\n0,1\n1,2\n")
+            )
+            assert graph.num_nodes == 3
+            assert graph.edge_weight(0, 1) == 1.0
+
+    def test_string_first_row_without_header_shape_is_data(self, tmp_path):
+        # two string columns that are not a recognised header: real vertices
+        graph = read_csv_edges(self._write(tmp_path, "alice,bob\nbob,carol\n"))
+        assert graph.num_nodes == 3
+        assert graph.has_edge("alice", "bob")
+
+    def test_duplicate_pairs_accumulate_weight(self, tmp_path):
+        graph = read_csv_edges(
+            self._write(tmp_path, "0,1,1.0\n0,1,2.5\n")
+        )
+        assert graph.num_edges == 1
+        assert graph.edge_weight(0, 1) == 3.5
+
+    def test_comment_and_blank_rows_skipped(self, tmp_path):
+        graph = read_csv_edges(
+            self._write(tmp_path, "# comment\n\n0,1\n")
+        )
+        assert graph.num_edges == 1
+
+    def test_bad_weight_mid_file_raises(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="not a number"):
+            read_csv_edges(self._write(tmp_path, "0,1,1.0\n1,2,heavy\n"))
+
+    def test_wrong_column_count_raises(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="expected"):
+            read_csv_edges(self._write(tmp_path, "0,1,2.0,extra\n"))
+
+    def test_load_graph_auto_dispatches_csv(self, tmp_path):
+        path = self._write(tmp_path, "0,1,2.0\n")
+        graph = load_graph_auto(path)
+        assert graph.num_edges == 1
+
+
+class TestIngestPipeline:
+    def test_ingest_registers_a_live_dataset(self, edge_file):
+        with GMineService() as service:
+            report = service.ingest_dataset(
+                "toy", edge_file, fanout=2, levels=2
+            )
+            assert report["dataset"] == "toy"
+            assert report["nodes"] == 4
+            assert report["edges"] == 4
+            assert report["tree"]["leaves"] >= 1
+            assert report["store"] is None
+            assert "toy" in service.datasets()
+            # mining ops work immediately on the ingested dataset
+            result = service.call("rwr", dataset="toy", sources=[0])
+            assert result.converged
+
+    def test_duplicate_name_rejected(self, edge_file):
+        with GMineService() as service:
+            service.ingest_dataset("toy", edge_file, fanout=2, levels=2)
+            with pytest.raises(InvalidArgumentError, match="already registered"):
+                service.ingest_dataset("toy", edge_file, fanout=2, levels=2)
+
+    def test_unreadable_path_is_invalid_argument(self, tmp_path):
+        with GMineService() as service:
+            with pytest.raises(InvalidArgumentError, match="cannot read"):
+                service.ingest_dataset("ghost", tmp_path / "missing.txt")
+
+    def test_empty_graph_rejected(self, tmp_path):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("# nothing here\n", encoding="utf-8")
+        with GMineService() as service:
+            with pytest.raises(InvalidArgumentError, match="no vertices"):
+                service.ingest_dataset("void", empty)
+
+    def test_json_graph_ingests(self, tmp_path):
+        graph = connected_caveman(4, 6, seed=9)
+        path = tmp_path / "caves.json"
+        write_json(graph, path)
+        with GMineService() as service:
+            report = service.ingest_dataset("caves", path, fanout=2, levels=2)
+            assert report["nodes"] == graph.num_nodes
+            assert report["fingerprint"] == service.fingerprint("caves")
+
+    def test_store_persistence_round_trip(self, tmp_path, edge_file):
+        store = tmp_path / "toy.gtree"
+        with GMineService() as service:
+            report = service.ingest_dataset(
+                "toy", edge_file, fanout=2, levels=2, store=store
+            )
+            fingerprint = report["fingerprint"]
+            assert report["store"] == str(store)
+        assert store.exists()
+        # a later service serves the persisted tree with the same identity
+        with GMineService() as revived:
+            revived.register_store(store, name="toy", graph_path=edge_file)
+            assert revived.fingerprint("toy") == fingerprint
+            result = revived.call("rwr", dataset="toy", sources=[0])
+            assert result.converged
+
+
+class TestIngestOp:
+    def test_op_over_in_process_client(self, edge_file):
+        with GMineService() as service:
+            client = GMineClient.in_process(service)
+            payload = client.call(
+                "dataset.ingest", path=str(edge_file), name="toy",
+                fanout=2, levels=2,
+            )
+            assert payload["dataset"] == "toy"
+            assert payload["nodes"] == 4
+            rwr = client.call("rwr", dataset="toy", sources=[0])
+            assert rwr["converged"] is True
+
+    def test_op_over_http(self, edge_file, tmp_path):
+        graph = connected_caveman(3, 5, seed=2)
+        json_path = tmp_path / "caves.json"
+        write_json(graph, json_path)
+        with GMineService() as service:
+            with GMineHTTPServer(service, port=0) as server:
+                client = GMineClient.http(server.url)
+                payload = client.call(
+                    "dataset.ingest", path=str(json_path), name="caves",
+                    fanout=2, levels=2,
+                )
+                assert payload["dataset"] == "caves"
+                assert "caves" in service.datasets()
+                path_result = client.call(
+                    "query.path", dataset="caves", path="members/count"
+                )
+                assert path_result["count"] == graph.num_nodes
+
+    def test_op_validates_fanout(self, edge_file):
+        with GMineService() as service:
+            client = GMineClient.in_process(service)
+            with pytest.raises(InvalidArgumentError, match="fanout"):
+                client.call(
+                    "dataset.ingest", path=str(edge_file), name="toy",
+                    fanout=1,
+                )
+
+    def test_op_requires_path_and_name(self):
+        with GMineService() as service:
+            client = GMineClient.in_process(service)
+            with pytest.raises(InvalidArgumentError):
+                client.call("dataset.ingest", name="toy")
+            with pytest.raises(InvalidArgumentError):
+                client.call("dataset.ingest", path="somewhere.txt")
+
+    def test_op_is_not_cacheable(self, edge_file, tmp_path):
+        # two ingests of the same file under different names both execute
+        other = tmp_path / "copy.txt"
+        other.write_text(edge_file.read_text(encoding="utf-8"),
+                         encoding="utf-8")
+        with GMineService() as service:
+            client = GMineClient.in_process(service)
+            client.call("dataset.ingest", path=str(edge_file), name="a",
+                        fanout=2, levels=2)
+            client.call("dataset.ingest", path=str(other), name="b",
+                        fanout=2, levels=2)
+            assert set(service.datasets()) >= {"a", "b"}

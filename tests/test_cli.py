@@ -182,3 +182,154 @@ class TestServeBackends:
         )
         assert code == 2
         assert "unknown execution backend" in err
+
+
+class TestPathCommand:
+    """`gmine path`: GPath queries from the shell."""
+
+    @pytest.fixture
+    def built_store(self, tmp_path, capsys):
+        graph_path = tmp_path / "dblp.json"
+        store_path = tmp_path / "dblp.gtree"
+        code, _, _ = run_cli(
+            capsys, "generate", "--authors", "200", "--seed", "5",
+            "--output", str(graph_path),
+        )
+        assert code == 0
+        code, _, _ = run_cli(
+            capsys, "build", "--graph", str(graph_path),
+            "--fanout", "3", "--levels", "2", "--output", str(store_path),
+        )
+        assert code == 0
+        return graph_path, store_path
+
+    def test_parse_only_canonicalizes(self, capsys):
+        code, payload, _ = run_cli(
+            capsys, "path", "community(s0)/members/neighbors", "--parse-only"
+        )
+        assert code == 0
+        assert payload["canonical"] == "community(s0)/members/hops(1)"
+        assert payload["steps"] == 3
+
+    def test_parse_only_rejects_bad_query(self, capsys):
+        code = main(["path", "community(", "--parse-only"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_tree_query_over_store(self, built_store, capsys):
+        _, store_path = built_store
+        code, payload, _ = run_cli(
+            capsys, "path", str(store_path), "leaves/nodes"
+        )
+        assert code == 0
+        assert payload["ok"] is True
+        assert payload["result"]["count"] >= 3
+        assert all(label.startswith("s") for label in payload["result"]["items"])
+
+    def test_community_query_with_graph(self, built_store, capsys):
+        graph_path, store_path = built_store
+        code, leaves, _ = run_cli(
+            capsys, "path", str(store_path), "leaves/nodes"
+        )
+        assert code == 0
+        label = leaves["result"]["items"][0]
+        code, payload, _ = run_cli(
+            capsys, "path", str(store_path),
+            f"community({label})/members/count",
+            "--graph", str(graph_path),
+        )
+        assert code == 0
+        assert payload["result"]["count"] > 0
+
+    def test_pagination_flags_reach_the_page_block(self, built_store, capsys):
+        _, store_path = built_store
+        code, payload, _ = run_cli(
+            capsys, "path", str(store_path), "leaves/nodes", "--limit", "2"
+        )
+        assert code == 0
+        assert len(payload["result"]["items"]) == 2
+        assert payload["result"]["count"] >= 3
+
+    def test_navigation_error_exits_3_with_envelope(self, built_store, capsys):
+        graph_path, store_path = built_store
+        code, payload, _ = run_cli(
+            capsys, "path", str(store_path),
+            "community(never-built)/members/count",
+            "--graph", str(graph_path),
+        )
+        assert code == 3
+        assert payload["ok"] is False
+        assert payload["error"]["code"] == "NAVIGATION_ERROR"
+
+    def test_parse_error_envelope_carries_span(self, built_store, capsys):
+        _, store_path = built_store
+        code, payload, _ = run_cli(
+            capsys, "path", str(store_path), "community(s0)/teleport"
+        )
+        assert code == 3
+        assert payload["error"]["code"] == "QUERY_PARSE_ERROR"
+        span = payload["error"]["details"]["span"]
+        text = payload["error"]["details"]["source"]
+        assert text[span[0]:span[1]] == "teleport"
+
+    def test_missing_positionals_is_a_usage_error(self, capsys):
+        code = main(["path"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_missing_store_suggests_url(self, tmp_path, capsys):
+        code = main(["path", str(tmp_path / "none.gtree"), "leaves/count"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--url" in captured.err
+
+
+class TestIngestCommand:
+    """`gmine ingest`: file -> G-Tree -> dataset from the shell."""
+
+    @pytest.fixture
+    def csv_file(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text(
+            "source,target,weight\n"
+            "0,1,2.0\n1,2,1.0\n2,0,1.0\n2,3,0.5\n3,4,1.0\n4,2,1.0\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def test_ingest_reports_the_built_dataset(self, csv_file, capsys):
+        code, payload, _ = run_cli(
+            capsys, "ingest", "--graph", str(csv_file), "--name", "toy",
+            "--fanout", "2", "--levels", "2",
+        )
+        assert code == 0
+        assert payload["ok"] is True
+        assert payload["result"]["dataset"] == "toy"
+        assert payload["result"]["nodes"] == 5
+        assert payload["result"]["tree"]["leaves"] >= 1
+
+    def test_ingest_store_then_path_round_trip(self, csv_file, tmp_path, capsys):
+        store_path = tmp_path / "toy.gtree"
+        code, payload, _ = run_cli(
+            capsys, "ingest", "--graph", str(csv_file), "--name", "toy",
+            "--fanout", "2", "--levels", "2", "--store", str(store_path),
+        )
+        assert code == 0
+        assert payload["result"]["store"] == str(store_path)
+        assert store_path.exists()
+        # the persisted tree serves GPath queries in a later process
+        code, queried, _ = run_cli(
+            capsys, "path", str(store_path), "members/count",
+            "--graph", str(csv_file),
+        )
+        assert code == 0
+        assert queried["result"]["count"] == payload["result"]["nodes"]
+
+    def test_ingest_missing_file_is_a_usage_error(self, tmp_path, capsys):
+        code = main(["ingest", "--graph", str(tmp_path / "nope.csv"),
+                     "--name", "toy"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
