@@ -45,11 +45,19 @@
 #                      fused top(k) plan exceeds 1.10x the direct
 #                      dataset.rwr kernel + slice (the CI gate for the
 #                      compiler's pass-through fast path)
+#   make bench-shm   — shared-memory prepared graphs: worker attach vs
+#                      rebuild (in real pool workers, with bit-parity
+#                      hashes and RSS deltas) and one-factorization
+#                      blocked exact RWR vs the per-set loop; writes
+#                      benchmarks/BENCH_shm.json and FAILS if attach is
+#                      below 5x rebuild, blocked exact below 2x looped,
+#                      or either path diverges bitwise (the CI gate for
+#                      the zero-copy prepared-graph layer)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check tier1 smoke serve-smoke bench-http bench-exec bench-kernels bench-mutate bench-path test-all test-slow
+.PHONY: check tier1 smoke serve-smoke bench-http bench-exec bench-kernels bench-mutate bench-path bench-shm test-all test-slow
 
 check: tier1 smoke serve-smoke
 	@echo "check: tier-1 tests, service smoke and HTTP serve-smoke passed"
@@ -77,6 +85,9 @@ bench-mutate:
 
 bench-path:
 	$(PYTHON) benchmarks/bench_path.py
+
+bench-shm:
+	$(PYTHON) benchmarks/bench_shm.py
 
 test-all:
 	$(PYTHON) -m pytest -q -m "slow or not slow"

@@ -1,0 +1,272 @@
+"""Shared-memory prepared graphs: worker attach vs rebuild, blocked exact RWR.
+
+Two claims of the zero-copy PR are gated here, on the benchmark DBLP
+graph (900 authors, seed 29 — the same graph the kernel and exec benches
+drive):
+
+* **attach vs rebuild** — a pool worker maps the parent's published
+  segment (:meth:`~repro.graph.shm.SharedPreparedGraph.attach`) instead
+  of re-deriving CSR matrices from the Python graph (the pre-PR warm
+  path).  Both paths run in real pool workers (forkserver/spawn, the
+  contexts the process backend uses); the gate requires the attach
+  median to be at least ``ATTACH_GATE``x faster.  Workers also hash the
+  mapped adjacency bytes — bit parity with the parent's copy — and
+  report their RSS delta around each path (``/proc`` guarded; page
+  granularity, reported honestly, not gated).
+* **blocked exact RWR** — ``rwr_exact_block`` pays one LU factorization
+  for k=8 source sets where the pre-PR loop factorized per set; the
+  gate requires ``EXACT_BLOCK_GATE``x.  Column parity with the loop is
+  asserted bitwise before timing counts.
+
+``cpu_count`` is recorded honestly.  Exit status is the CI gate:
+non-zero when any gate or parity check fails.  Emits ``BENCH_shm.json``
+next to this file.
+
+Run it:  ``PYTHONPATH=src python benchmarks/bench_shm.py``
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import random
+import statistics
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.data.dblp import DBLPConfig, generate_dblp
+from repro.graph.matrix import PreparedGraph
+from repro.graph.shm import SharedPreparedGraph, shared_memory_available
+from repro.mining.rwr import per_source_rwr
+
+AUTHORS = 900
+SEED = 29
+REPEATS = 5
+EXACT_SOURCES = 8
+#: Worker attach must beat the worker rebuild by at least this factor.
+ATTACH_GATE = 5.0
+#: One-factorization blocked exact solve vs the per-set factorizing loop.
+EXACT_BLOCK_GATE = 2.0
+
+
+def _rss_kb() -> int | None:
+    """Resident set size in kB from /proc, or None off-Linux."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return None
+
+
+def _adjacency_digest(prepared: PreparedGraph) -> str:
+    digest = hashlib.sha256()
+    adjacency = prepared.adjacency.tocsr()
+    for array in (adjacency.data, adjacency.indices, adjacency.indptr):
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def _worker_attach(manifest) -> dict:
+    """Time mapping the published segment (the post-PR warm path)."""
+    rss_before = _rss_kb()
+    start = time.perf_counter()
+    view = SharedPreparedGraph.attach(manifest)
+    seconds = time.perf_counter() - start
+    rss_after = _rss_kb()
+    digest = _adjacency_digest(view)
+    view.release()
+    return {
+        "seconds": seconds,
+        "digest": digest,
+        "rss_delta_kb": (
+            rss_after - rss_before
+            if rss_before is not None and rss_after is not None else None
+        ),
+    }
+
+
+def _worker_rebuild(graph) -> dict:
+    """Time the pre-PR warm path: re-derive every matrix from the graph."""
+    rss_before = _rss_kb()
+    start = time.perf_counter()
+    prepared = PreparedGraph.from_graph(graph)
+    prepared.degrees
+    prepared.transition
+    seconds = time.perf_counter() - start
+    rss_after = _rss_kb()
+    return {
+        "seconds": seconds,
+        "digest": _adjacency_digest(prepared),
+        "rss_delta_kb": (
+            rss_after - rss_before
+            if rss_before is not None and rss_after is not None else None
+        ),
+    }
+
+
+def _pool_context():
+    if "forkserver" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("forkserver")
+    return multiprocessing.get_context("spawn")
+
+
+def main() -> int:
+    if not shared_memory_available():  # pragma: no cover - platform guard
+        print("shared memory unavailable on this platform; nothing to bench",
+              file=sys.stderr)
+        return 1
+    dataset = generate_dblp(DBLPConfig(num_authors=AUTHORS, seed=SEED))
+    graph = dataset.graph
+    failures: list[str] = []
+
+    prepared = PreparedGraph.from_graph(graph, fingerprint="bench-shm")
+    prepared.degrees
+    prepared.transition
+    expected_digest = _adjacency_digest(prepared)
+
+    publish_start = time.perf_counter()
+    shared = SharedPreparedGraph.publish(prepared)
+    publish_seconds = time.perf_counter() - publish_start
+    manifest = shared.manifest
+    import pickle
+
+    manifest_bytes = len(pickle.dumps(manifest))
+
+    # Fresh single-worker pools per path keep the comparison clean: every
+    # task lands in the same (only) worker, and neither path inherits the
+    # other's page cache warmth beyond what a real warm() call would.
+    attach_runs: list[dict] = []
+    rebuild_runs: list[dict] = []
+    context = _pool_context()
+    with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+        pool.submit(os.getpid).result()  # absorb worker start-up
+        for _ in range(REPEATS):
+            attach_runs.append(pool.submit(_worker_attach, manifest).result())
+    with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+        pool.submit(os.getpid).result()
+        for _ in range(REPEATS):
+            rebuild_runs.append(pool.submit(_worker_rebuild, graph).result())
+
+    attach_median = statistics.median(run["seconds"] for run in attach_runs)
+    rebuild_median = statistics.median(run["seconds"] for run in rebuild_runs)
+    attach_speedup = (
+        rebuild_median / attach_median if attach_median > 0 else float("inf")
+    )
+    print(f"{'worker attach':>22}: {attach_median * 1e3:8.3f} ms | "
+          f"rebuild {rebuild_median * 1e3:8.3f} ms | {attach_speedup:6.1f}x")
+    if attach_speedup < ATTACH_GATE:
+        failures.append(
+            f"worker attach speedup {attach_speedup:.1f}x is below the "
+            f"{ATTACH_GATE}x acceptance bar"
+        )
+    for label, runs in (("attach", attach_runs), ("rebuild", rebuild_runs)):
+        for run in runs:
+            if run["digest"] != expected_digest:
+                failures.append(
+                    f"{label}: worker adjacency bytes differ from the parent's"
+                )
+                break
+
+    # Blocked exact RWR: one factorization for k source sets vs the
+    # pre-PR loop (one factorization per set).  Parity first, bitwise.
+    rng = random.Random(SEED)
+    nodes = sorted(graph.nodes(), key=repr)
+    sources = rng.sample(nodes, EXACT_SOURCES)
+    blocked_results = per_source_rwr(
+        graph, sources, solver="exact", prepared=prepared
+    )
+    looped_results = per_source_rwr(
+        graph, sources, solver="exact", blocked=False
+    )
+    for source in sources:
+        if blocked_results[source].scores != looped_results[source].scores:
+            failures.append(
+                f"blocked exact RWR diverges from the per-source loop "
+                f"at source {source!r}"
+            )
+            break
+
+    def blocked() -> None:
+        per_source_rwr(graph, sources, solver="exact", prepared=prepared)
+
+    def looped() -> None:
+        per_source_rwr(graph, sources, solver="exact", blocked=False)
+
+    blocked_median = statistics.median(
+        _timed(blocked) for _ in range(REPEATS)
+    )
+    looped_median = statistics.median(_timed(looped) for _ in range(REPEATS))
+    exact_speedup = (
+        looped_median / blocked_median if blocked_median > 0 else float("inf")
+    )
+    print(f"{'blocked exact k=8':>22}: {blocked_median * 1e3:8.3f} ms | "
+          f"looped {looped_median * 1e3:8.3f} ms | {exact_speedup:6.1f}x")
+    if exact_speedup < EXACT_BLOCK_GATE:
+        failures.append(
+            f"blocked exact RWR speedup {exact_speedup:.1f}x is below the "
+            f"{EXACT_BLOCK_GATE}x acceptance bar"
+        )
+    print(f"{'publish (one-time)':>22}: {publish_seconds * 1e3:8.3f} ms | "
+          f"segment {manifest.total_bytes} B | manifest pickle "
+          f"{manifest_bytes} B")
+
+    report = {
+        "benchmark": "shared_prepared",
+        "protocol": "gmine/1",
+        "cpu_count": os.cpu_count(),
+        "start_method": context.get_start_method(),
+        "repeats": REPEATS,
+        "dataset": {
+            "authors": AUTHORS,
+            "seed": SEED,
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+        },
+        "publish_seconds": round(publish_seconds, 6),
+        "segment_bytes": manifest.total_bytes,
+        "manifest_pickle_bytes": manifest_bytes,
+        "worker_attach": {
+            "attach_median_seconds": round(attach_median, 6),
+            "rebuild_median_seconds": round(rebuild_median, 6),
+            "speedup": round(attach_speedup, 2),
+            "required": ATTACH_GATE,
+            "attach_rss_delta_kb": [r["rss_delta_kb"] for r in attach_runs],
+            "rebuild_rss_delta_kb": [r["rss_delta_kb"] for r in rebuild_runs],
+            "bit_parity": not any("bytes differ" in f for f in failures),
+        },
+        "exact_block": {
+            "sources": EXACT_SOURCES,
+            "blocked_median_seconds": round(blocked_median, 6),
+            "looped_median_seconds": round(looped_median, 6),
+            "speedup": round(exact_speedup, 2),
+            "required": EXACT_BLOCK_GATE,
+            "bit_parity": not any("diverges" in f for f in failures),
+        },
+        "failures": failures,
+    }
+    shared.release()
+    output = Path(__file__).parent / "BENCH_shm.json"
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -183,7 +183,19 @@ def smoke_protocol_v2(tree, store_path, graph_path):
     hot = max(tree.leaves(), key=lambda node: node.size)
     args = {"sources": list(hot.members[:2]), "community": hot.label}
 
-    with GMineService(max_workers=4, backend="auto") as service:
+    # The auto backend runs on the *measured* cost model here: persisted
+    # next to the smoke workdir, seeded from the repo's own benchmark
+    # artifacts exactly as `gmine serve --backend auto` seeds a fresh one.
+    cost_model_file = Path(store_path).parent / "smoke.cost.json"
+    with GMineService(
+        max_workers=4, backend="auto", cost_model_path=cost_model_file
+    ) as service:
+        bench_dir = Path(__file__).resolve().parents[1] / "benchmarks"
+        seeded = service.backend.cost_model.seed_from_bench(
+            str(bench_dir / "BENCH_exec.json"),
+            str(bench_dir / "BENCH_kernels.json"),
+        )
+        print(f"[v2] measured cost model: {seeded} bench-seeded estimates")
         service.register_store(store_path, name="dblp", graph_path=graph_path)
         with GMineHTTPServer(service, port=0) as threaded, \
                 GMineAsyncHTTPServer(service, port=0) as aio_server:
@@ -241,7 +253,16 @@ def smoke_protocol_v2(tree, store_path, graph_path):
             backend_stats = aio.stats()["backend"]
             assert backend_stats["name"] == "auto"
             assert backend_stats["choices"], "auto must record its choices"
+            assert backend_stats["cost_model"], (
+                "the measured model must surface through /v1/stats"
+            )
+            assert backend_stats["decisions"], "every choice carries a basis"
+            for operation, basis in backend_stats["decisions"].items():
+                assert basis["rule"] in ("static", "measured"), basis
+                assert "venue" in basis and "static" in basis, basis
             print(f"[v2] backend auto choices: {backend_stats['choices']}")
+            print(f"[v2] decision basis: "
+                  f"{ {op: b['rule'] for op, b in backend_stats['decisions'].items()} }")
 
         # ---------------------------------------------------------------- #
         # authed + rate-limited front-end: structured 401/429 envelopes

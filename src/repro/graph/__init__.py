@@ -34,9 +34,16 @@ from .matrix import (
     adjacency_matrix,
     combinatorial_laplacian,
     degree_vector,
+    exact_rwr_factor,
     normalized_laplacian,
     restart_vector,
     transition_matrix,
+)
+from .shm import (
+    SharedGraphManifest,
+    SharedPreparedGraph,
+    shared_memory_available,
+    shm_stats,
 )
 from .traversal import (
     bfs_distances,
@@ -55,6 +62,8 @@ __all__ = [
     "Graph",
     "NodeId",
     "PreparedGraph",
+    "SharedGraphManifest",
+    "SharedPreparedGraph",
     "VertexIndex",
     "adjacency_matrix",
     "assert_valid_graph",
@@ -71,6 +80,7 @@ __all__ = [
     "dijkstra",
     "eccentricity",
     "erdos_renyi",
+    "exact_rwr_factor",
     "graph_from_adjacency",
     "graph_from_dict",
     "graph_to_dict",
@@ -82,6 +92,8 @@ __all__ = [
     "read_edge_list",
     "read_json",
     "restart_vector",
+    "shared_memory_available",
+    "shm_stats",
     "shortest_path_hops",
     "shortest_weighted_path",
     "star_graph",

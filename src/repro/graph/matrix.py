@@ -184,10 +184,35 @@ def restart_vector(
     if not sources:
         raise GraphError("restart_vector requires at least one source node")
     vector = np.zeros(len(index), dtype=dtype)
-    for node in sources:
-        vector[index.index_of(node)] += 1.0
+    positions = np.fromiter(
+        (index.index_of(node) for node in sources), dtype=np.intp,
+        count=len(sources),
+    )
+    # Unbuffered accumulation: repeated sources add once per occurrence,
+    # exactly like the per-source loop this replaces.
+    np.add.at(vector, positions, 1.0)
     vector /= vector.sum()
     return vector
+
+
+def exact_rwr_factor(transition_csc: sparse.csc_matrix, restart_probability: float):
+    """Factorize the exact-RWR system ``I - (1 - c) W`` once (SuperLU).
+
+    The factorization is the expensive part of :func:`repro.mining.rwr.
+    rwr_exact`; with it in hand, each restart vector is one cheap
+    triangular solve, and k vectors solve in a single batched call.
+    ``splu`` is deterministic and ``factor.solve(b)`` is bit-identical to
+    ``spsolve(system, b)`` column by column, so routing the exact solver
+    through a cached factor changes cost only, never bytes.
+    """
+    from scipy.sparse.linalg import splu
+
+    n = transition_csc.shape[0]
+    system = (
+        sparse.identity(n, format="csc", dtype=transition_csc.dtype)
+        - (1.0 - restart_probability) * transition_csc
+    )
+    return splu(system.tocsc())
 
 
 class PreparedGraph:
@@ -229,6 +254,11 @@ class PreparedGraph:
         self._transition_csc: sparse.csc_matrix | None = None
         self._reverse_transition: sparse.csr_matrix | None = None
         self._pagerank_view: Tuple[sparse.csr_matrix, np.ndarray] | None = None
+        #: restart probability -> SuperLU factor of ``I - (1 - c) W``.
+        #: Bounded (services use one or two restart probabilities; ad-hoc
+        #: sweeps should not pin O(n) factors).  SuperLU objects are not
+        #: picklable, so :meth:`__getstate__` drops this cache.
+        self._exact_factors: "OrderedDict[float, Any]" = OrderedDict()
 
     @classmethod
     def from_graph(
@@ -287,6 +317,32 @@ class PreparedGraph:
         """Probability vector uniform over ``sources`` (see :func:`restart_vector`)."""
         return restart_vector(self.index, sources)
 
+    #: How many exact-solver factorizations one preparation memoises.
+    EXACT_FACTOR_CAPACITY = 4
+
+    def exact_factor(self, restart_probability: float):
+        """Memoised :func:`exact_rwr_factor` for this restart probability.
+
+        The same benign-race policy as the other lazy views: two threads
+        may both factorize (the result is deterministic, one assignment
+        wins), keeping the instance lock-free.
+        """
+        key = float(restart_probability)
+        factor = self._exact_factors.get(key)
+        if factor is None:
+            factor = exact_rwr_factor(self.transition_csc, key)
+            while len(self._exact_factors) >= self.EXACT_FACTOR_CAPACITY:
+                self._exact_factors.popitem(last=False)
+            self._exact_factors[key] = factor
+        return factor
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # SuperLU factors hold C pointers and cannot pickle; workers
+        # refactorize on first exact solve instead.
+        state = self.__dict__.copy()
+        state["_exact_factors"] = OrderedDict()
+        return state
+
     # ------------------------------------------------------------------ #
     # container protocol
     # ------------------------------------------------------------------ #
@@ -302,6 +358,16 @@ class PreparedGraph:
             f"<PreparedGraph with {len(self.index)} vertices, "
             f"{self.adjacency.nnz} stored entries{tag}>"
         )
+
+
+def _release_view(view: "PreparedGraph") -> None:
+    """Release a dropped view's external resources, if it holds any."""
+    release = getattr(view, "release", None)
+    if release is not None:
+        try:
+            release()
+        except Exception:  # pragma: no cover - release must never propagate
+            pass
 
 
 class PreparedViewCache:
@@ -321,6 +387,12 @@ class PreparedViewCache:
     on the same cold fingerprint produce one preparation.  Hit/build
     counters feed ``/v1/stats`` — they are how the acceptance test for
     prepared-view survival observes reuse across an edit.
+
+    Views that own external resources (shared-memory segments —
+    :class:`~repro.graph.shm.SharedPreparedGraph`) expose ``release()``;
+    the cache calls it whenever it drops a view (eviction, invalidation,
+    :meth:`clear`), which is what makes the registry the single owner of
+    segment lifecycle.
     """
 
     def __init__(self, capacity: int = 64) -> None:
@@ -349,8 +421,9 @@ class PreparedViewCache:
             view = build()
             self.builds += 1
             while len(self._views) >= self.capacity:
-                self._views.popitem(last=False)
+                _, evicted = self._views.popitem(last=False)
                 self.evictions += 1
+                _release_view(evicted)
             self._views[fingerprint] = view
             return view
 
@@ -362,10 +435,26 @@ class PreparedViewCache:
     def invalidate(self, fingerprint: str) -> bool:
         """Drop the view for ``fingerprint``; ``True`` when one was held."""
         with self._lock:
-            dropped = self._views.pop(fingerprint, None) is not None
-            if dropped:
+            view = self._views.pop(fingerprint, None)
+            if view is not None:
                 self.invalidated += 1
-            return dropped
+            dropped = view is not None
+        if view is not None:
+            _release_view(view)
+        return dropped
+
+    def clear(self) -> int:
+        """Drop (and release) every view; returns how many were held.
+
+        Called at registry drain / service close so shared segments are
+        unlinked deterministically rather than waiting on finalizers.
+        """
+        with self._lock:
+            views = list(self._views.values())
+            self._views.clear()
+        for view in views:
+            _release_view(view)
+        return len(views)
 
     def __len__(self) -> int:
         with self._lock:

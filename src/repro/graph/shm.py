@@ -1,0 +1,451 @@
+"""Zero-copy shared-memory residency for :class:`~repro.graph.matrix.PreparedGraph`.
+
+The process backend's warm workers used to rebuild the CSR adjacency and
+transition matrices from the adjacency dicts at warm time — an O(E)
+conversion paid once *per worker per dataset*.  This module moves the
+numeric buffers of a prepared graph into one
+:mod:`multiprocessing.shared_memory` segment published by the parent:
+
+* :meth:`SharedPreparedGraph.publish` copies the CSR ``indptr``/
+  ``indices``/``data`` triples (adjacency and transition), the degree
+  vector and the pickled vertex order into a single segment, once, and
+  returns a prepared graph whose arrays are *views over that segment* —
+  the parent itself holds no second copy;
+* the instance pickles as a :class:`SharedGraphManifest` — segment name
+  plus dtype/shape/offset rows — so shipping it to a worker costs a few
+  hundred bytes;
+* :meth:`SharedPreparedGraph.attach` maps the segment in the worker and
+  wraps the same bytes with ``np.ndarray`` + ``csr_matrix`` views,
+  zero-copy (only the small pickled vertex-id list is materialised).
+
+Lifecycle is owned by the publishing process: the registry unlinks a
+segment when the prepared view retires (eviction, invalidation, service
+shutdown), and a ``weakref.finalize`` guard unlinks it even if the owner
+is dropped without an explicit release.  Attaching processes only ever
+``close()`` their mapping — on POSIX an unlinked segment stays alive
+until the last attachment closes, so retiring a view never tears buffers
+out from under an in-flight worker kernel.  Attachments stay registered
+with the ``resource_tracker``: pool workers share the publisher's
+tracker process, so the creation-time entry doubles as the crash net —
+if the whole process family dies without a graceful release (SIGTERM,
+SIGKILL), the tracker unlinks the segment at shutdown instead of leaking
+it in ``/dev/shm``.  (Re-registering an already-tracked name is a no-op;
+an attacher-side *unregister* — the usual bug-38119 workaround — would
+erase the publisher's entry from the shared tracker and defeat exactly
+that net.  Only same-family processes ever attach here: manifests travel
+solely inside pickled exec specs to pool workers.)
+
+Every view is marked read-only; a kernel that tried to mutate a shared
+buffer would raise instead of corrupting every other process's matrices.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import GraphError
+from .matrix import PreparedGraph, VertexIndex
+
+logger = logging.getLogger(__name__)
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: Byte alignment of every array inside a segment (cache-line friendly,
+#: and satisfies any dtype's alignment requirement).
+SEGMENT_ALIGNMENT = 64
+
+
+def shared_memory_available() -> bool:
+    """Whether this platform can publish shared prepared graphs."""
+    return _shared_memory is not None
+
+
+def _align(offset: int) -> int:
+    remainder = offset % SEGMENT_ALIGNMENT
+    return offset if remainder == 0 else offset + (SEGMENT_ALIGNMENT - remainder)
+
+
+# --------------------------------------------------------------------------- #
+# cross-cutting counters (surfaced through /v1/stats and the bench gates)
+# --------------------------------------------------------------------------- #
+class _ShmCounters:
+    """Per-process counters for segment lifecycle accounting.
+
+    The parent's numbers (prepares, segment bytes, unlinks) prove the
+    registry's lifecycle discipline; a worker's ``attaches`` counter —
+    collected through the process backend's warm results — proves the
+    zero-copy path actually served, which is exactly what the bench gate
+    asserts.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.prepares = 0  # segments published by this process
+        self.attaches = 0  # segments attached by this process
+        self.unlinks = 0
+        self.detaches = 0
+        self.attach_fallbacks = 0  # attach failed; caller rebuilt cold
+        self.segment_bytes = 0  # bytes currently published (owner side)
+
+    def published(self, nbytes: int) -> None:
+        with self._lock:
+            self.prepares += 1
+            self.segment_bytes += nbytes
+
+    def attached(self) -> None:
+        with self._lock:
+            self.attaches += 1
+
+    def unlinked(self, nbytes: int) -> None:
+        with self._lock:
+            self.unlinks += 1
+            self.segment_bytes -= nbytes
+
+    def detached(self) -> None:
+        with self._lock:
+            self.detaches += 1
+
+    def fallback(self) -> None:
+        with self._lock:
+            self.attach_fallbacks += 1
+
+    def describe(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "prepares": self.prepares,
+                "attaches": self.attaches,
+                "unlinks": self.unlinks,
+                "detaches": self.detaches,
+                "attach_fallbacks": self.attach_fallbacks,
+                "segment_bytes": self.segment_bytes,
+            }
+
+
+SHM_STATS = _ShmCounters()
+
+
+def shm_stats() -> Dict[str, int]:
+    """This process's shared-segment counters (JSON-friendly)."""
+    return SHM_STATS.describe()
+
+
+# --------------------------------------------------------------------------- #
+# manifest: the picklable identity of one published segment
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Where one numeric array lives inside the segment."""
+
+    key: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class SharedGraphManifest:
+    """Everything a process needs to attach a published prepared graph.
+
+    Entirely picklable — names, dtypes, offsets — never buffers.  This is
+    what :class:`SharedPreparedGraph` pickles as, and what
+    :class:`~repro.service.executors.DatasetExecSpec` carries to workers.
+    """
+
+    segment: str
+    fingerprint: Optional[str]
+    matrix_shape: Tuple[int, int]
+    arrays: Tuple[SharedArraySpec, ...]
+    nodes_offset: int
+    nodes_length: int
+    total_bytes: int
+
+    def spec(self, key: str) -> SharedArraySpec:
+        for entry in self.arrays:
+            if entry.key == key:
+                return entry
+        raise GraphError(f"shared segment manifest has no array {key!r}")
+
+
+def _read_only_view(buffer, spec: SharedArraySpec) -> np.ndarray:
+    array = np.ndarray(
+        spec.shape, dtype=np.dtype(spec.dtype), buffer=buffer, offset=spec.offset
+    )
+    array.flags.writeable = False
+    return array
+
+
+def _csr_from_views(
+    data: np.ndarray, indices: np.ndarray, indptr: np.ndarray, shape
+) -> sparse.csr_matrix:
+    matrix = sparse.csr_matrix((data, indices, indptr), shape=shape, copy=False)
+    # The buffers come from a canonical ``coo.tocsr()`` (sorted, duplicate
+    # free); assert that invariant up front so no kernel ever triggers a
+    # lazy ``sort_indices`` write into the read-only segment.
+    matrix.has_sorted_indices = True
+    matrix.has_canonical_format = True
+    return matrix
+
+
+def _release_segment(shm, owner: bool, nbytes: int, state: Dict[str, bool]) -> None:
+    """Idempotent close(+unlink): shared by ``release`` and the finalizer."""
+    if state.get("released"):
+        return
+    state["released"] = True
+    if owner:
+        try:
+            # Defensive: unlink()'s own unregister must find its entry in
+            # the shared tracker cache even if something external dropped
+            # it (the cache is a set — re-adding an existing entry is a
+            # no-op).
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.register(
+                    getattr(shm, "_name", shm.name), "shared_memory"
+                )
+            except Exception:  # pragma: no cover - tracker variants
+                pass
+            shm.unlink()
+            SHM_STATS.unlinked(nbytes)
+        except FileNotFoundError:  # pragma: no cover - double unlink race
+            pass
+        except Exception:  # pragma: no cover - platform quirks
+            logger.warning("failed to unlink shared segment %s", shm.name,
+                           exc_info=True)
+    try:
+        shm.close()
+    except BufferError:
+        # Arrays over this mapping are still referenced somewhere; the
+        # mapping lives until they die.  Unlinking above already removed
+        # the name, so nothing leaks — this close is best-effort.
+        pass
+    if not owner:
+        SHM_STATS.detached()
+
+
+class SharedPreparedGraph(PreparedGraph):
+    """A :class:`PreparedGraph` whose numeric buffers live in shared memory.
+
+    Construction goes through :meth:`publish` (copy buffers into a fresh
+    segment; this process owns its lifetime) or :meth:`attach` (map an
+    existing segment zero-copy).  Pickling an instance serialises only the
+    manifest: the receiving process re-attaches instead of copying —
+    which is the whole point.
+    """
+
+    def __init__(
+        self,
+        index: VertexIndex,
+        adjacency: sparse.csr_matrix,
+        fingerprint: Optional[str],
+        manifest: SharedGraphManifest,
+        shm,
+        owner: bool,
+        degrees: Optional[np.ndarray] = None,
+        transition: Optional[sparse.csr_matrix] = None,
+    ) -> None:
+        super().__init__(index, adjacency, fingerprint=fingerprint)
+        self._degrees = degrees
+        self._transition = transition
+        self.manifest = manifest
+        self._shm = shm
+        self._owner = owner
+        self._release_state: Dict[str, bool] = {"released": False}
+        # Leak-proofing: if the owning registry drops this view without an
+        # explicit release (crash path, test teardown), the finalizer still
+        # unlinks the segment.  The callback closes over the SharedMemory
+        # object and a tiny state dict, never over ``self``.
+        self._finalizer = weakref.finalize(
+            self, _release_segment, shm, owner, manifest.total_bytes,
+            self._release_state,
+        )
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def publish(cls, prepared: PreparedGraph) -> "SharedPreparedGraph":
+        """Copy one prepared graph's buffers into a fresh shared segment.
+
+        The returned instance *replaces* the input for the publisher: its
+        adjacency/degrees/transition are views over the segment, so the
+        parent pays the copy once and holds no private duplicate.
+        """
+        if _shared_memory is None:  # pragma: no cover - platform guard
+            raise GraphError("shared memory is not available on this platform")
+        adjacency = prepared.adjacency.tocsr()
+        adjacency.sum_duplicates()
+        adjacency.sort_indices()
+        degrees = prepared.degrees
+        transition = prepared.transition
+        nodes_blob = pickle.dumps(
+            prepared.index.nodes(), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        sources: Dict[str, np.ndarray] = {
+            "adj_data": adjacency.data,
+            "adj_indices": adjacency.indices,
+            "adj_indptr": adjacency.indptr,
+            "degrees": degrees,
+            "w_data": transition.data,
+            "w_indices": transition.indices,
+            "w_indptr": transition.indptr,
+        }
+        specs = []
+        offset = 0
+        for key, array in sources.items():
+            array = np.ascontiguousarray(array)
+            sources[key] = array
+            offset = _align(offset)
+            specs.append(
+                SharedArraySpec(
+                    key=key, dtype=array.dtype.str, shape=array.shape,
+                    offset=offset,
+                )
+            )
+            offset += array.nbytes
+        nodes_offset = _align(offset)
+        total = nodes_offset + len(nodes_blob)
+        shm = _shared_memory.SharedMemory(create=True, size=max(total, 1))
+        try:
+            for spec, array in zip(specs, sources.values()):
+                target = np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=shm.buf,
+                    offset=spec.offset,
+                )
+                target[...] = array
+            shm.buf[nodes_offset:nodes_offset + len(nodes_blob)] = nodes_blob
+        except Exception:
+            shm.close()
+            shm.unlink()
+            raise
+        manifest = SharedGraphManifest(
+            segment=shm.name,
+            fingerprint=prepared.fingerprint,
+            matrix_shape=tuple(adjacency.shape),
+            arrays=tuple(specs),
+            nodes_offset=nodes_offset,
+            nodes_length=len(nodes_blob),
+            total_bytes=total,
+        )
+        SHM_STATS.published(total)
+        return cls._wrap(manifest, shm, owner=True, index=prepared.index)
+
+    @classmethod
+    def attach(cls, manifest: SharedGraphManifest) -> "SharedPreparedGraph":
+        """Map an already-published segment zero-copy (worker side)."""
+        if _shared_memory is None:  # pragma: no cover - platform guard
+            raise GraphError("shared memory is not available on this platform")
+        try:
+            shm = _shared_memory.SharedMemory(name=manifest.segment)
+        except (FileNotFoundError, OSError) as error:
+            raise GraphError(
+                f"shared prepared segment {manifest.segment!r} is gone "
+                f"(retired or never published here): {error}"
+            ) from error
+        # The open auto-registered with the (shared) resource tracker;
+        # deliberately left tracked — see the module docstring.
+        try:
+            view = cls._wrap(manifest, shm, owner=False, index=None)
+        except Exception:
+            shm.close()
+            raise
+        SHM_STATS.attached()
+        return view
+
+    @classmethod
+    def _wrap(
+        cls,
+        manifest: SharedGraphManifest,
+        shm,
+        owner: bool,
+        index: Optional[VertexIndex],
+    ) -> "SharedPreparedGraph":
+        buffer = shm.buf
+        arrays = {spec.key: _read_only_view(buffer, spec) for spec in manifest.arrays}
+        if index is None:
+            nodes = pickle.loads(
+                bytes(
+                    buffer[
+                        manifest.nodes_offset:
+                        manifest.nodes_offset + manifest.nodes_length
+                    ]
+                )
+            )
+            index = VertexIndex(nodes)
+        adjacency = _csr_from_views(
+            arrays["adj_data"], arrays["adj_indices"], arrays["adj_indptr"],
+            manifest.matrix_shape,
+        )
+        transition = _csr_from_views(
+            arrays["w_data"], arrays["w_indices"], arrays["w_indptr"],
+            manifest.matrix_shape,
+        )
+        return cls(
+            index=index,
+            adjacency=adjacency,
+            fingerprint=manifest.fingerprint,
+            manifest=manifest,
+            shm=shm,
+            owner=owner,
+            degrees=arrays["degrees"],
+            transition=transition,
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def owner(self) -> bool:
+        """Whether this process published (and must unlink) the segment."""
+        return self._owner
+
+    @property
+    def released(self) -> bool:
+        return self._release_state["released"]
+
+    @property
+    def segment_bytes(self) -> int:
+        return self.manifest.total_bytes
+
+    def release(self) -> None:
+        """Retire the segment: unlink (owner) / close (attachment).
+
+        Idempotent.  Called by the prepared-view cache on eviction and
+        invalidation and by the registry at drain; attached processes call
+        it when a warm dataset context is replaced.  Unlinking never tears
+        a live attachment — POSIX keeps the memory until the last mapping
+        closes.
+        """
+        self._finalizer()
+
+    # ------------------------------------------------------------------ #
+    # pickling: manifest only — the receiver attaches
+    # ------------------------------------------------------------------ #
+    def __reduce__(self):
+        return (SharedPreparedGraph.attach, (self.manifest,))
+
+    def __repr__(self) -> str:
+        role = "owner" if self._owner else "attached"
+        return (
+            f"<SharedPreparedGraph {role} segment={self.manifest.segment} "
+            f"{len(self.index)} vertices, {self.adjacency.nnz} stored entries, "
+            f"{self.manifest.total_bytes} bytes>"
+        )
+
+
+def manifest_of(view: Any) -> Optional[SharedGraphManifest]:
+    """The manifest of a live (unreleased) shared view, else ``None``."""
+    if isinstance(view, SharedPreparedGraph) and not view.released:
+        return view.manifest
+    return None

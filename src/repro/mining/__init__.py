@@ -58,6 +58,7 @@ from .rwr import (
     meeting_probability,
     per_source_rwr,
     rwr_exact,
+    rwr_exact_block,
     rwr_power_block,
     rwr_power_iteration,
     steady_state_rwr,
@@ -101,6 +102,7 @@ __all__ = [
     "pagerank_digraph",
     "per_source_rwr",
     "rwr_exact",
+    "rwr_exact_block",
     "rwr_power_block",
     "rwr_power_iteration",
     "steady_state_rwr",

@@ -30,13 +30,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import spsolve
 
 from ..errors import ConvergenceError, MiningError
 from ..graph.graph import Graph, NodeId
 from ..graph.matrix import (
     PreparedGraph,
     VertexIndex,
+    exact_rwr_factor,
     restart_vector,
     transition_matrix,
 )
@@ -423,8 +423,13 @@ def rwr_exact(
 ) -> RWRResult:
     """Solve RWR exactly: ``r = c (I - (1 - c) W)^{-1} q``.
 
-    Cubic-ish in the worst case via sparse LU, so intended for validation and
-    subgraph-sized problems rather than the full graph.
+    The system is LU-factorised once (:func:`~repro.graph.matrix.
+    exact_rwr_factor`; a prepared graph memoises the factor per restart
+    probability) and the restart vector solved against the factor — which
+    is bit-identical to the historical ``spsolve`` call, SuperLU being
+    the solver behind both.  Cubic-ish in the worst case, so intended for
+    validation and subgraph-sized problems rather than the full graph;
+    multi-set workloads should batch through :func:`rwr_exact_block`.
     """
     _validate_restart(restart_probability)
     if not sources:
@@ -432,22 +437,69 @@ def rwr_exact(
     # _resolve_operator centralises the prepared/index/graph guards (the
     # foreign-index rejection included) for every solver alike.
     transition, index = _resolve_operator(graph, index, prepared)
-    if prepared is not None:
-        transition_csc = prepared.transition_csc
-    else:
-        transition_csc = transition.tocsc()
-    n = len(index)
-    q = restart_vector(index, sources)
     c = restart_probability
-    system = sparse.identity(n, format="csc") - (1.0 - c) * transition_csc
-    solution = spsolve(system, c * q)
-    solution = np.asarray(solution).ravel()
+    if prepared is not None:
+        factor = prepared.exact_factor(c)
+    else:
+        factor = exact_rwr_factor(transition.tocsc(), c)
+    q = restart_vector(index, sources)
+    solution = np.asarray(factor.solve(c * q)).ravel()
+    return _exact_result(solution, index, c)
+
+
+def _exact_result(
+    solution: np.ndarray, index: VertexIndex, restart_probability: float
+) -> RWRResult:
+    """Normalise one exact solution column into an :class:`RWRResult`."""
+    solution = np.ascontiguousarray(solution)
     total = solution.sum()
     if total > 0:
         solution = solution / total
+    n = len(index)
     scores = {index.node_at(i): float(solution[i]) for i in range(n)}
     return RWRResult(scores=scores, iterations=0, converged=True,
-                     restart_probability=c)
+                     restart_probability=restart_probability)
+
+
+def rwr_exact_block(
+    graph: Optional[Graph],
+    source_sets: Sequence[Sequence[NodeId]],
+    restart_probability: float = 0.15,
+    index: Optional[VertexIndex] = None,
+    prepared: Optional[PreparedGraph] = None,
+) -> List[RWRResult]:
+    """Solve k exact RWR systems with **one** factorization.
+
+    All source sets share the system matrix ``I - (1 - c) W`` — only the
+    right-hand side differs — so the LU factorization (the dominant cost
+    by far) is paid once and each restart vector is a cheap pair of
+    triangular solves against it.  The solves stay one-vector-at-a-time
+    deliberately: SuperLU's multi-RHS path uses blocked triangular
+    solves whose accumulation order drifts from the vector path at the
+    ULP level on graphs past a few hundred vertices, while per-column
+    solves through the shared factor are **bit-identical** to the
+    per-set :func:`rwr_exact` loop this replaces (hypothesis-gated in
+    ``tests/mining/test_exact_block.py`` and re-checked by the
+    ``bench_shm`` gate before its timings count).
+    """
+    _validate_restart(restart_probability)
+    if not source_sets:
+        return []
+    for sources in source_sets:
+        if not sources:
+            raise MiningError("rwr requires at least one source node")
+    transition, index = _resolve_operator(graph, index, prepared)
+    c = restart_probability
+    if prepared is not None:
+        factor = prepared.exact_factor(c)
+    else:
+        factor = exact_rwr_factor(transition.tocsc(), c)
+    results = []
+    for sources in source_sets:
+        q = restart_vector(index, sources)
+        solution = np.asarray(factor.solve(c * q)).ravel()
+        results.append(_exact_result(solution, index, c))
+    return results
 
 
 def steady_state_rwr(
@@ -500,8 +552,10 @@ def per_source_rwr(
 
     The power solver runs all sources as one :func:`rwr_power_block` by
     default — one sparse matmul per step for the whole set instead of one
-    solve per source — which is bit-identical to the per-source loop
-    (``blocked=False`` keeps the loop available for parity testing).
+    solve per source — and the exact solver as one
+    :func:`rwr_exact_block` — one LU factorization for the whole set.
+    Both are bit-identical to the per-source loop (``blocked=False``
+    keeps the loop available for parity testing).
     """
     if prepared is not None:
         index = prepared.index
@@ -510,6 +564,17 @@ def per_source_rwr(
     else:
         raise MiningError("rwr requires a graph when no prepared= is given")
     results: Dict[NodeId, RWRResult] = {}
+    if solver == "exact" and blocked and sources:
+        # One factorization, k solves — bit-identical to the loop below.
+        ordered = list(sources)
+        block = rwr_exact_block(
+            graph,
+            [[source] for source in ordered],
+            restart_probability,
+            index=None if prepared is not None else index,
+            prepared=prepared,
+        )
+        return dict(zip(ordered, block))
     if solver != "exact" and blocked and sources:
         ordered = list(sources)
         block = rwr_power_block(

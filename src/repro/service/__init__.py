@@ -25,6 +25,7 @@ from .cache import (
     canonical_args,
     make_cache_key,
 )
+from .costmodel import CostModel
 from .datasets import DatasetHandle, DatasetRegistry
 from .executors import (
     BACKEND_NAMES,
@@ -51,6 +52,7 @@ __all__ = [
     "BACKEND_NAMES",
     "CacheStats",
     "CacheStore",
+    "CostModel",
     "DEFAULT_DATASET",
     "DEFAULT_SESSION_TTL",
     "DatasetExecSpec",

@@ -1,0 +1,298 @@
+"""Measured-cost venue selection for :class:`~repro.service.executors.AutoBackend`.
+
+The auto backend's original rule was a static cost-class table: expensive
+ops go to the process pool when the host has cores, everything else runs
+inline.  ``BENCH_exec.json`` has never validated that rule on a real
+multi-core host — and on the single-core CI box it is actively wrong for
+some ops.  Following the Tunable-LSH idea (adapt physical decisions to
+the *measured* workload), this module keeps a small per-``(op, venue)``
+latency table:
+
+* **seeded** from the repository's own benchmark artifacts
+  (``benchmarks/BENCH_exec.json`` per-venue per-request seconds,
+  ``benchmarks/BENCH_kernels.json`` warm kernel medians as inline
+  estimates), so a fresh service starts from real measurements rather
+  than guesses;
+* **updated online** with an exponentially-weighted moving average of the
+  latencies the auto backend actually observes, so the model tracks the
+  live host, not the bench host;
+* **persisted** as a small JSON table next to the result-cache DB
+  (atomic ``os.replace`` writes), so restarts keep what traffic taught.
+
+Selection is deliberately conservative: a venue can displace the static
+rule's choice only when *both* have measurements and the challenger's
+predicted cost is strictly lower.  That makes the acceptance bar — "never
+choose a venue whose measured median is worse than the static choice's"
+— true by construction, and means an empty model behaves exactly like
+the static rule (which keeps the pre-existing auto-backend tests valid).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+logger = logging.getLogger(__name__)
+
+#: Persisted-table schema version.
+COST_MODEL_VERSION = 1
+
+#: Observations between automatic persists (plus one at ``close()``).
+SAVE_EVERY = 32
+
+
+def _entry_key(operation: str, venue: str) -> str:
+    return f"{operation}|{venue}"
+
+
+class CostModel:
+    """EWMA latency estimates per ``(operation, venue)`` with persistence.
+
+    ``alpha`` is the EWMA weight of a new observation; 0.3 tracks venue
+    drift within ~10 requests while smoothing scheduler noise.
+    """
+
+    def __init__(self, path: Optional[str] = None, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"cost model alpha must be in (0, 1], got {alpha}")
+        self.path = path
+        self.alpha = alpha
+        self._lock = threading.Lock()
+        #: ``"op|venue" -> {"ewma": seconds, "count": int, "source": str}``
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._dirty = 0
+        if path is not None and os.path.exists(path):
+            self.load(path)
+
+    # ------------------------------------------------------------------ #
+    # observations and predictions
+    # ------------------------------------------------------------------ #
+    def observe(self, operation: str, venue: str, seconds: float) -> None:
+        """Fold one measured latency into the venue's EWMA."""
+        if seconds < 0:
+            return
+        key = _entry_key(operation, venue)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry["count"] == 0:
+                self._entries[key] = {
+                    "ewma": float(seconds), "count": 1, "source": "observed",
+                }
+            else:
+                entry["ewma"] += self.alpha * (float(seconds) - entry["ewma"])
+                entry["count"] += 1
+                entry["source"] = "observed"
+            self._dirty += 1
+            flush = self.path is not None and self._dirty >= SAVE_EVERY
+        if flush:
+            self.save()
+
+    def seed(self, operation: str, venue: str, seconds: float,
+             source: str = "seed") -> None:
+        """Install a benchmark-derived estimate unless traffic already taught one."""
+        key = _entry_key(operation, venue)
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None and existing["source"] == "observed":
+                return
+            self._entries[key] = {
+                "ewma": float(seconds), "count": 0, "source": source,
+            }
+
+    def predict(self, operation: str, venue: str) -> Optional[float]:
+        """Predicted latency in seconds, or ``None`` if never measured."""
+        with self._lock:
+            entry = self._entries.get(_entry_key(operation, venue))
+            return None if entry is None else float(entry["ewma"])
+
+    def choose(
+        self, operation: str, eligible: Sequence[str], static: str
+    ) -> Tuple[str, Dict[str, Any]]:
+        """Pick a venue for ``operation`` among ``eligible``.
+
+        Returns ``(venue, basis)`` where ``basis`` records the decision for
+        ``/v1/stats``.  The static rule's choice is the baseline: it loses
+        only to an eligible venue whose prediction is strictly below the
+        static choice's own prediction — so with no (or one-sided)
+        measurements the decision *is* the static rule.
+        """
+        predictions = {
+            venue: prediction
+            for venue in eligible
+            if (prediction := self.predict(operation, venue)) is not None
+        }
+        basis: Dict[str, Any] = {
+            "static": static,
+            "predicted_seconds": {
+                venue: round(value, 6) for venue, value in predictions.items()
+            },
+        }
+        static_cost = predictions.get(static)
+        if static_cost is None:
+            basis["rule"] = "static"
+            basis["reason"] = "no measurement for static choice"
+            return static, basis
+        best = min(predictions, key=lambda venue: (predictions[venue], venue))
+        if predictions[best] < static_cost:
+            basis["rule"] = "measured"
+            basis["reason"] = (
+                f"{best} predicted {predictions[best]:.6f}s "
+                f"< {static} {static_cost:.6f}s"
+            )
+            return best, basis
+        basis["rule"] = "static"
+        basis["reason"] = "static choice has the lowest predicted cost"
+        return static, basis
+
+    # ------------------------------------------------------------------ #
+    # benchmark seeding
+    # ------------------------------------------------------------------ #
+    def seed_from_bench(
+        self,
+        exec_path: Optional[str] = None,
+        kernels_path: Optional[str] = None,
+    ) -> int:
+        """Seed estimates from the repo's benchmark artifacts; returns #seeded.
+
+        ``BENCH_exec.json`` gives real per-venue per-request seconds for
+        the ops its workload replays; ``BENCH_kernels.json`` warm medians
+        fill inline estimates for kernels the exec bench does not cover.
+        Missing or malformed files are skipped (benches are artifacts, not
+        inputs the service may depend on).
+        """
+        seeded = 0
+        exec_doc = _load_json(exec_path)
+        if exec_doc:
+            requests = exec_doc.get("requests", {})
+            for venue, stats in exec_doc.get("backends", {}).items():
+                if not isinstance(stats, Mapping):
+                    continue
+                for key, value in stats.items():
+                    if not key.endswith("_seconds"):
+                        continue
+                    workload = key[: -len("_seconds")]
+                    count = requests.get(workload)
+                    operation = workload.split("_")[0]
+                    if not count or not isinstance(value, (int, float)):
+                        continue
+                    self.seed(operation, venue, float(value) / float(count),
+                              source="bench_exec")
+                    seeded += 1
+        kernels_doc = _load_json(kernels_path)
+        if kernels_doc:
+            for name, stats in kernels_doc.get("ops", {}).items():
+                if not isinstance(stats, Mapping):
+                    continue
+                warm = stats.get("warm_median_seconds")
+                operation = _kernel_bench_op(name)
+                if operation is None or not isinstance(warm, (int, float)):
+                    continue
+                current = self.predict(operation, "inline")
+                if current is None or warm < current:
+                    self.seed(operation, "inline", float(warm),
+                              source="bench_kernels")
+                    seeded += 1
+        return seeded
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def load(self, path: str) -> None:
+        doc = _load_json(path)
+        if not doc or doc.get("version") != COST_MODEL_VERSION:
+            return
+        entries = doc.get("entries")
+        if not isinstance(entries, Mapping):
+            return
+        with self._lock:
+            for key, entry in entries.items():
+                if (
+                    isinstance(entry, Mapping)
+                    and isinstance(entry.get("ewma"), (int, float))
+                ):
+                    self._entries[key] = {
+                        "ewma": float(entry["ewma"]),
+                        "count": int(entry.get("count", 0)),
+                        "source": str(entry.get("source", "persisted")),
+                    }
+
+    def save(self, path: Optional[str] = None) -> None:
+        target = path or self.path
+        if target is None:
+            return
+        with self._lock:
+            doc = {
+                "version": COST_MODEL_VERSION,
+                "alpha": self.alpha,
+                "entries": {
+                    key: dict(entry) for key, entry in self._entries.items()
+                },
+            }
+            self._dirty = 0
+        tmp = f"{target}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, indent=2, sort_keys=True)
+            os.replace(tmp, target)
+        except OSError:  # pragma: no cover - persistence is best-effort
+            logger.warning("failed to persist cost model to %s", target,
+                           exc_info=True)
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self.save()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly table for ``/v1/stats``."""
+        with self._lock:
+            return {
+                "alpha": self.alpha,
+                "path": self.path,
+                "entries": {
+                    key: {
+                        "ewma_seconds": round(entry["ewma"], 6),
+                        "count": entry["count"],
+                        "source": entry["source"],
+                    }
+                    for key, entry in sorted(self._entries.items())
+                },
+            }
+
+
+def _kernel_bench_op(bench_name: str) -> Optional[str]:
+    """Map a BENCH_kernels op row to the service operation it measures."""
+    if bench_name.startswith("rwr_exact"):
+        return None  # exact solver rows are not the service's default path
+    if bench_name.startswith("rwr"):
+        return "rwr"
+    if bench_name.startswith("metrics"):
+        return "metrics"
+    if bench_name.startswith("connection_subgraph"):
+        return "connection_subgraph"
+    if bench_name.startswith("path"):
+        return "path"
+    return None
+
+
+def _load_json(path: Optional[str]) -> Optional[Dict[str, Any]]:
+    if not path or not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        return doc if isinstance(doc, dict) else None
+    except (OSError, ValueError):
+        return None

@@ -34,6 +34,7 @@ import logging
 import multiprocessing
 import os
 import threading
+import time
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -42,6 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..api.plans import ComputePlan, prepared_applies, run_plan
 from ..errors import ServiceError
+from ..graph.shm import SharedGraphManifest, shm_stats
 
 logger = logging.getLogger(__name__)
 
@@ -79,6 +81,14 @@ class DatasetExecSpec:
     store_path: Optional[str] = None
     graph_path: Optional[str] = None
     has_graph: bool = False
+    #: Shared-memory manifest of the parent's published
+    #: :class:`~repro.graph.shm.SharedPreparedGraph` for this fingerprint,
+    #: when one exists.  A worker that receives it attaches the segment
+    #: zero-copy instead of rebuilding the CSR from the adjacency dicts;
+    #: a worker that cannot attach (segment retired, exotic platform)
+    #: rebuilds cold — the manifest is a fast path, never a correctness
+    #: dependency.
+    prepared_manifest: Optional[SharedGraphManifest] = None
 
     @property
     def process_capable(self) -> bool:
@@ -210,19 +220,53 @@ class _WorkerPrepared:
     keeps the context it lives on simple.
     """
 
-    def __init__(self, graph, fingerprint: str) -> None:
+    def __init__(
+        self,
+        graph,
+        fingerprint: str,
+        manifest: Optional[SharedGraphManifest] = None,
+    ) -> None:
         self._graph = graph
         self._fingerprint = fingerprint
+        self._manifest = manifest
         self._prepared = None
 
     def prepare(self) -> None:
-        """Build the prepared view now (called by the warm task)."""
-        if self._graph is not None and self._prepared is None:
-            from ..graph.matrix import PreparedGraph
+        """Materialise the prepared view now (called by the warm task).
 
-            self._prepared = PreparedGraph.from_graph(
-                self._graph, fingerprint=self._fingerprint
-            )
+        Preference order: attach the parent's shared segment (zero-copy,
+        O(1) in edges), else rebuild from the graph exactly as before.  An
+        attach failure — the parent retired the segment between pickling
+        the spec and this task running — falls back to the rebuild, so the
+        manifest can never make a worker wrong, only fast.
+        """
+        if self._graph is None or self._prepared is not None:
+            return
+        if self._manifest is not None:
+            from ..graph.shm import SHM_STATS, SharedPreparedGraph
+
+            try:
+                self._prepared = SharedPreparedGraph.attach(self._manifest)
+                return
+            except Exception as error:
+                SHM_STATS.fallback()
+                logger.warning(
+                    "shared prepared attach failed for %s (%s); rebuilding",
+                    self._fingerprint[:12], error,
+                )
+                self._manifest = None
+        from ..graph.matrix import PreparedGraph
+
+        self._prepared = PreparedGraph.from_graph(
+            self._graph, fingerprint=self._fingerprint
+        )
+
+    def close(self) -> None:
+        """Detach the shared segment when this slot's context retires."""
+        prepared, self._prepared = self._prepared, None
+        release = getattr(prepared, "release", None)
+        if release is not None:
+            release()
 
     def __call__(self, scope, subgraph):
         if not prepared_applies(scope, subgraph, self._graph):
@@ -266,7 +310,9 @@ def _worker_context(spec: DatasetExecSpec):
         graph = load_graph_auto(spec.graph_path) if spec.graph_path else None
         context = OpContext(
             engine=GMineEngine(tree=store.tree, graph=graph, store=store),
-            prepared_provider=_WorkerPrepared(graph, spec.fingerprint),
+            prepared_provider=_WorkerPrepared(
+                graph, spec.fingerprint, manifest=spec.prepared_manifest
+            ),
         )
     except Exception:
         store.close()
@@ -277,20 +323,31 @@ def _worker_context(spec: DatasetExecSpec):
     if cached is not None:
         del _WORKER_DATASETS[key]
         cached[1].engine.store.close()
+        retiring = getattr(cached[1], "prepared_provider", None)
+        if retiring is not None and hasattr(retiring, "close"):
+            retiring.close()
     _WORKER_DATASETS[key] = (spec.fingerprint, context)
     return context
 
 
-def _process_warm(spec: DatasetExecSpec) -> str:
-    """Pre-load one dataset in this worker; returns its fingerprint.
+def _process_warm(spec: DatasetExecSpec) -> Dict[str, Any]:
+    """Pre-load one dataset in this worker; returns a warm report.
 
-    Warming opens the store *and* builds the dataset's
-    :class:`~repro.graph.matrix.PreparedGraph`, so the first real plan pays
-    neither the file open nor the O(E) matrix conversion.
+    Warming opens the store *and* materialises the dataset's prepared
+    view — by shared-segment attach when the spec carries a manifest,
+    by the O(E) rebuild otherwise — so the first real plan pays neither
+    the file open nor the matrix conversion.  The report carries this
+    worker's shared-memory counters back to the parent, which aggregates
+    them per pid: that is how ``/v1/stats`` (and the bench gate) can
+    assert the zero-copy path actually served.
     """
     context = _worker_context(spec)
     context.prepared_provider.prepare()
-    return context.engine.store.fingerprint
+    return {
+        "fingerprint": context.engine.store.fingerprint,
+        "pid": os.getpid(),
+        "shm": shm_stats(),
+    }
 
 
 def _log_warm_failure(future) -> None:
@@ -350,6 +407,10 @@ class ProcessBackend(ExecutionBackend):
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_lock = threading.Lock()
         self._warmed: List[DatasetExecSpec] = []
+        #: Latest shared-memory counters reported by each worker pid (the
+        #: warm tasks carry them back) — proof in ``/v1/stats`` that
+        #: workers attached segments instead of rebuilding.
+        self._worker_shm: Dict[int, Dict[str, int]] = {}
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._pool_lock:
@@ -372,13 +433,29 @@ class ProcessBackend(ExecutionBackend):
         if not spec.process_capable:
             return
         with self._pool_lock:
+            if spec in self._warmed:
+                # Identical spec (same paths, fingerprint and manifest)
+                # already warmed: the workers hold it, and re-submitting
+                # another N warm futures is pure pool churn.
+                return
             self._warmed = [
                 known for known in self._warmed if known.name != spec.name
             ]
             self._warmed.append(spec)
         pool = self._ensure_pool()
         for _ in range(self.workers):
-            pool.submit(_process_warm, spec).add_done_callback(_log_warm_failure)
+            pool.submit(_process_warm, spec).add_done_callback(self._warm_done)
+
+    def _warm_done(self, future) -> None:
+        """Collect a warm report (or log the failure) off the pool thread."""
+        _log_warm_failure(future)
+        try:
+            report = future.result()
+        except BaseException:
+            return
+        if isinstance(report, dict) and "pid" in report:
+            with self._stats_lock:
+                self._worker_shm[report["pid"]] = report.get("shm", {})
 
     def run(self, spec, plan, local):
         if not spec.process_capable:
@@ -423,17 +500,26 @@ class ProcessBackend(ExecutionBackend):
         payload = super().stats()
         payload["workers"] = self.workers
         payload["warm_datasets"] = [spec.name for spec in self._warmed]
+        with self._stats_lock:
+            reports = dict(self._worker_shm)
+        payload["worker_shm"] = {
+            "workers_reporting": len(reports),
+            "attaches": sum(r.get("attaches", 0) for r in reports.values()),
+            "attach_fallbacks": sum(
+                r.get("attach_fallbacks", 0) for r in reports.values()
+            ),
+        }
         return payload
 
 
 class AutoBackend(ExecutionBackend):
-    """Pick the venue per plan from declared cost class + ``cpu_count``.
+    """Pick the venue per plan — measured cost when available, static rule else.
 
     ``gmine serve --backend auto`` stops making the operator choose: the
     service already keeps **cheap** ops in the parent (the cost class
     declared on each :class:`~repro.api.registry.OpSpec` — they never
-    reach any backend), and for the expensive plannable plans that do
-    arrive here the choice is
+    reach any backend).  For the expensive plannable plans that do arrive
+    here, the **static rule** is the baseline:
 
     * ``inline`` on a single-core host — pools cannot beat the GIL there,
       so pool overhead is pure loss;
@@ -442,9 +528,21 @@ class AutoBackend(ExecutionBackend):
     * ``thread`` otherwise — bounded kernel concurrency for datasets the
       workers cannot rematerialise.
 
+    With a :class:`~repro.service.costmodel.CostModel` attached (``gmine
+    serve --backend auto`` wires one next to the cache DB, seeded from
+    ``BENCH_exec``/``BENCH_kernels``), each decision instead takes the
+    eligible venue with the lowest *measured* EWMA latency for that
+    operation — but the static choice is only ever displaced by a venue
+    whose measurement is strictly better than the static choice's own, so
+    the model can never pick a venue its measurements say is worse than
+    the static rule's pick.  Observed ``run`` latencies feed back into
+    the model, which persists across restarts.
+
     Every decision is recorded per operation and surfaced through
-    ``/v1/stats`` (``backend.choices``), together with the honest
-    ``cpu_count`` it was based on and the delegate pools' own counters.
+    ``/v1/stats`` (``backend.choices`` counters plus the latest
+    ``decisions`` basis and the model table itself), together with the
+    honest ``cpu_count`` it was based on and the delegate pools' own
+    counters.
     """
 
     name = "auto"
@@ -453,12 +551,14 @@ class AutoBackend(ExecutionBackend):
         self,
         workers: int = DEFAULT_BACKEND_WORKERS,
         cpu_count: Optional[int] = None,
+        cost_model=None,
     ) -> None:
         super().__init__()
         if workers < 1:
             raise ServiceError(f"auto backend needs >= 1 worker, got {workers}")
         self.workers = workers
         self.cpu_count = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+        self.cost_model = cost_model
         self._thread = ThreadBackend(workers=workers)
         self._process = (
             ProcessBackend(workers=min(workers, self.cpu_count))
@@ -467,24 +567,47 @@ class AutoBackend(ExecutionBackend):
         )
         self._choice_lock = threading.Lock()
         self._choices: Counter = Counter()
+        #: operation -> latest decision basis (what ``/v1/stats`` shows).
+        self._decisions: Dict[str, Dict[str, Any]] = {}
 
-    def _choose(self, spec: DatasetExecSpec) -> str:
+    def _static_choice(self, spec: DatasetExecSpec) -> str:
+        """The declared-cost-class rule the model must never lose to."""
         if self.cpu_count < 2:
             return "inline"
         if self._process is not None and spec.process_capable:
             return "process"
         return "thread"
 
+    def _eligible(self, spec: DatasetExecSpec) -> List[str]:
+        venues = ["inline", "thread"]
+        if self._process is not None and spec.process_capable:
+            venues.append("process")
+        return venues
+
+    def _choose(self, spec: DatasetExecSpec, operation: str) -> Tuple[str, Dict[str, Any]]:
+        static = self._static_choice(spec)
+        if self.cost_model is None:
+            return static, {"rule": "static", "static": static}
+        return self.cost_model.choose(operation, self._eligible(spec), static)
+
     def run(self, spec, plan, local):
-        choice = self._choose(spec)
+        choice, basis = self._choose(spec, plan.operation)
         with self._choice_lock:
             self._choices[f"{plan.operation}:{choice}"] += 1
+            self._decisions[plan.operation] = dict(basis, venue=choice)
+        started = time.perf_counter()
         if choice == "process":
-            return self._process.run(spec, plan, local)
-        if choice == "thread":
-            return self._thread.run(spec, plan, local)
-        self._count(executed=1)
-        return local()
+            value = self._process.run(spec, plan, local)
+        elif choice == "thread":
+            value = self._thread.run(spec, plan, local)
+        else:
+            self._count(executed=1)
+            value = local()
+        if self.cost_model is not None:
+            self.cost_model.observe(
+                plan.operation, choice, time.perf_counter() - started
+            )
+        return value
 
     def warm(self, spec: DatasetExecSpec) -> None:
         if self._process is not None:
@@ -494,6 +617,8 @@ class AutoBackend(ExecutionBackend):
         self._thread.close()
         if self._process is not None:
             self._process.close()
+        if self.cost_model is not None:
+            self.cost_model.close()
 
     def stats(self) -> Dict[str, Any]:
         """Aggregated counters + the per-op choice ledger (``/v1/stats``)."""
@@ -503,12 +628,17 @@ class AutoBackend(ExecutionBackend):
             delegates["process"] = self._process.stats()
         with self._choice_lock:
             choices = dict(sorted(self._choices.items()))
+            decisions = {op: dict(basis) for op, basis in self._decisions.items()}
         for counter in ("executed", "shipped", "fallbacks", "errors"):
             own[counter] += sum(stats[counter] for stats in delegates.values())
         own["name"] = self.name
         own["workers"] = self.workers
         own["cpu_count"] = self.cpu_count
         own["choices"] = choices
+        own["decisions"] = decisions
+        own["cost_model"] = (
+            self.cost_model.describe() if self.cost_model is not None else None
+        )
         own["delegates"] = delegates
         return own
 
@@ -516,11 +646,13 @@ class AutoBackend(ExecutionBackend):
 def make_backend(
     backend: Union[str, ExecutionBackend, None],
     workers: int = DEFAULT_BACKEND_WORKERS,
+    cost_model=None,
 ) -> ExecutionBackend:
     """Resolve a backend selector: an instance, ``None``, or ``"name[:N]"``.
 
     ``"thread:8"`` / ``"process:2"`` override the worker count inline —
-    handy for the CLI, benchmarks, and Makefile one-liners.
+    handy for the CLI, benchmarks, and Makefile one-liners.  ``cost_model``
+    only applies to ``auto`` (the other backends have no venue to choose).
     """
     if isinstance(backend, ExecutionBackend):
         return backend
@@ -541,7 +673,7 @@ def make_backend(
     if name == "process":
         return ProcessBackend(workers=workers)
     if name == "auto":
-        return AutoBackend(workers=workers)
+        return AutoBackend(workers=workers, cost_model=cost_model)
     raise ServiceError(
         f"unknown execution backend {backend!r}; expected one of {BACKEND_NAMES}"
     )

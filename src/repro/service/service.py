@@ -54,9 +54,11 @@ from ..core.session import ExplorationSession
 from ..errors import GMineError, InvalidArgumentError, ServiceError
 from ..graph.graph import Graph
 from ..graph.io import load_graph_auto
+from ..graph.shm import shm_stats
 from ..mining.rwr import RWRResult, refresh_rwr
 from ..storage.gtree_store import GTreeStore, save_gtree
 from .cache import ResultCache, SQLiteCacheStore
+from .costmodel import CostModel
 from .datasets import DEFAULT_DATASET, DatasetHandle, DatasetRegistry
 from .executors import ExecutionBackend, make_backend
 from .feeds import ChangeFeed
@@ -171,6 +173,18 @@ class GMineService:
         restarts and are shared by every process pointing at the same file
         (keys carry the tree fingerprint, so a rebuilt dataset never serves
         stale answers).
+    shared_prepared:
+        Publish widest-scope :class:`~repro.graph.matrix.PreparedGraph`
+        buffers into shared-memory segments process workers attach
+        zero-copy.  Defaults to on for the ``process`` and ``auto``
+        backends (the only ones with workers to share with), off
+        otherwise; forced off where the platform lacks shared memory.
+    cost_model_path:
+        JSON file persisting the ``auto`` backend's measured per-(op,
+        venue) latency model.  Defaults to ``<cache_path>.cost.json``
+        when a cache path is set (the "small table next to the cache
+        DB"); with neither, the model is in-memory only for backend
+        strings of ``auto`` and absent otherwise.
     """
 
     def __init__(
@@ -183,6 +197,8 @@ class GMineService:
         registry: Optional[OperationRegistry] = None,
         backend: Union[str, ExecutionBackend, None] = "inline",
         cache_path: Optional[Union[str, Path]] = None,
+        shared_prepared: Optional[bool] = None,
+        cost_model_path: Optional[Union[str, Path]] = None,
     ) -> None:
         import time
 
@@ -196,10 +212,24 @@ class GMineService:
         self.cache = ResultCache(
             capacity=cache_capacity, ttl=cache_ttl, clock=clock, store=store
         )
-        self.backend = make_backend(backend, workers=max_workers)
+        backend_name = (
+            backend.name if isinstance(backend, ExecutionBackend)
+            else str(backend or "inline").partition(":")[0]
+        )
+        cost_model = None
+        if backend_name == "auto" and not isinstance(backend, ExecutionBackend):
+            path = cost_model_path
+            if path is None and cache_path is not None:
+                path = f"{cache_path}.cost.json"
+            cost_model = CostModel(path=None if path is None else str(path))
+        self.backend = make_backend(
+            backend, workers=max_workers, cost_model=cost_model
+        )
         self.sessions = SessionManager(default_ttl=session_ttl, clock=clock)
         self.max_workers = max_workers
-        self.registry_of_datasets = DatasetRegistry()
+        if shared_prepared is None:
+            shared_prepared = backend_name in ("process", "auto")
+        self.registry_of_datasets = DatasetRegistry(share_prepared=shared_prepared)
         self._lock = threading.RLock()
         self._compute_counts: Counter = Counter()
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -247,8 +277,20 @@ class GMineService:
     ) -> str:
         """Share an in-memory G-Tree (and optionally its full graph)."""
         handle = self.registry_of_datasets.register_tree(tree, graph=graph, name=name)
-        self.backend.warm(handle.exec_spec())
+        self._warm_backend(handle)
         return handle.name
+
+    def _warm_backend(self, handle: DatasetHandle) -> None:
+        """Warm the backend for ``handle`` — publishing the prepared view first.
+
+        With sharing on, the widest-scope preparation is built (and its
+        buffers published to a shared segment) *before* the spec is
+        flattened, so the warm tasks carry the segment manifest and the
+        workers attach zero-copy instead of rebuilding the CSR.
+        """
+        if self.registry_of_datasets.share_prepared and handle.graph is not None:
+            handle.prepared_graph()
+        self.backend.warm(handle.exec_spec())
 
     def register_store(
         self,
@@ -266,7 +308,7 @@ class GMineService:
         handle = self.registry_of_datasets.register_store(
             store, graph=graph, name=name, graph_path=graph_path
         )
-        self.backend.warm(handle.exec_spec())
+        self._warm_backend(handle)
         return handle.name
 
     def ingest_dataset(
@@ -348,7 +390,7 @@ class GMineService:
         """
         report = self.registry_of_datasets.reload(name)
         report["invalidated"] = self._invalidate_for(report)
-        self.backend.warm(self.registry_of_datasets.get(report["dataset"]).exec_spec())
+        self._warm_backend(self.registry_of_datasets.get(report["dataset"]))
         if report["changed"]:
             self._publish_change(report, kind="reload")
         return report
@@ -379,7 +421,7 @@ class GMineService:
             handle = self._dataset(report["dataset"])
             if refresh_rwr:
                 report["rwr_refresh"] = self._refresh_rwr_states(handle, report)
-            self.backend.warm(handle.exec_spec())
+            self._warm_backend(handle)
             self._publish_change(report, kind="apply")
         return report
 
@@ -855,6 +897,10 @@ class GMineService:
             "datasets": self.datasets(),
             "dataset_info": self.describe_datasets(),
             "prepared_views": self.registry_of_datasets.prepared_views.describe(),
+            "prepared_shared": dict(
+                shm_stats(),
+                enabled=self.registry_of_datasets.share_prepared,
+            ),
             "feeds": feeds,
         }
 

@@ -116,3 +116,23 @@ class TestRestartVector:
         index = VertexIndex.from_graph(triangle_graph)
         with pytest.raises(GraphError):
             restart_vector(index, [])
+
+    def test_vectorized_build_matches_scalar_loop_bitwise(self):
+        # the np.add.at build must reproduce the historical per-source
+        # loop exactly, duplicates included (unbuffered accumulation)
+        graph = erdos_renyi(40, 0.2, seed=17)
+        index = VertexIndex.from_graph(graph)
+        nodes = sorted(graph.nodes(), key=repr)
+        sources = nodes[:5] + nodes[:3]  # duplicates weight their entries
+        reference = np.zeros(len(index))
+        for node in sources:
+            reference[index.index_of(node)] += 1.0
+        reference /= reference.sum()
+        vector = restart_vector(index, sources)
+        assert vector.dtype == reference.dtype
+        assert np.array_equal(vector, reference)  # bitwise, no tolerance
+
+    def test_unknown_source_rejected(self, triangle_graph):
+        index = VertexIndex.from_graph(triangle_graph)
+        with pytest.raises(GraphError):
+            restart_vector(index, ["a", "zz"])

@@ -10,9 +10,18 @@ surfaced through ``/v1/stats`` so an operator can audit it.
 import pytest
 
 from repro.api import GMineClient
-from repro.service import AutoBackend, GMineService, make_backend
+from repro.api.ops import DEFAULT_REGISTRY
+from repro.service import AutoBackend, DatasetExecSpec, GMineService, make_backend
+from repro.storage.gtree_store import GTreeStore
 
 pytestmark = pytest.mark.tier1
+
+
+def _rwr_plan(members, leaf):
+    spec = DEFAULT_REGISTRY.get("rwr")
+    return spec.plan(
+        spec.canonicalize({"sources": list(members), "community": leaf.label})
+    )
 
 
 class TestAutoSelection:
@@ -76,6 +85,61 @@ class TestAutoSelection:
             assert backend["name"] == "auto"
             assert "cpu_count" in backend and "choices" in backend
             assert sum(backend["choices"].values()) == 1
+
+    def test_stale_dataset_falls_back_but_choices_stay_consistent(
+        self, store_path, hot_leaf
+    ):
+        # A hot-reload racing a dispatched request: auto still *chooses*
+        # process (the choice ledger records intent), the process delegate
+        # serves from the parent, and the aggregated counters agree.
+        leaf, members = hot_leaf
+        plan = _rwr_plan(members, leaf)
+        stale = DatasetExecSpec(
+            "dblp", "not-the-real-fp", store_path=str(store_path)
+        )
+        backend = AutoBackend(workers=1, cpu_count=4)
+        try:
+            value = backend.run(stale, plan, lambda: "served-by-parent")
+            assert value == "served-by-parent"
+            stats = backend.stats()
+            assert stats["choices"] == {"rwr:process": 1}
+            assert stats["fallbacks"] == 1 and stats["shipped"] == 0
+            assert stats["errors"] == 0
+            assert sum(stats["choices"].values()) == stats["executed"]
+        finally:
+            backend.close()
+
+    def test_broken_pool_falls_back_then_recovers(self, store_path, hot_leaf):
+        leaf, members = hot_leaf
+        plan = _rwr_plan(members, leaf)
+        with GTreeStore(store_path) as probe:
+            fingerprint = probe.fingerprint
+        spec = DatasetExecSpec("dblp", fingerprint, store_path=str(store_path))
+        backend = AutoBackend(workers=1, cpu_count=4)
+        try:
+            first = backend.run(
+                spec, plan, lambda: pytest.fail("healthy pool must ship")
+            )
+            # Hard-kill the pool's workers (OOM killer stand-in): the next
+            # dispatch sees BrokenProcessPool and the parent serves it.
+            pool = backend._process._pool
+            for process in pool._processes.values():
+                process.terminate()
+            value = backend.run(spec, plan, lambda: "served-by-parent")
+            assert value == "served-by-parent"
+            stats = backend.stats()
+            assert stats["choices"] == {"rwr:process": 2}
+            assert stats["shipped"] == 1
+            assert stats["fallbacks"] == 1 and stats["errors"] == 1
+            assert sum(stats["choices"].values()) == stats["executed"]
+            # the delegate recreates its pool lazily and ships again
+            again = backend.run(
+                spec, plan, lambda: pytest.fail("recreated pool must ship")
+            )
+            assert again.scores == first.scores
+            assert backend.stats()["shipped"] == 2
+        finally:
+            backend.close()
 
     def test_worker_suffix_and_aggregated_counters(self):
         backend = make_backend("auto:3")

@@ -1,0 +1,213 @@
+"""Measured-cost venue selection: EWMA model, persistence, bench seeding.
+
+The safety contract is conservative displacement: the auto backend's
+static rule is the baseline, and a venue may displace it only when both
+have measurements and the challenger's prediction is strictly lower.
+An empty model must therefore behave exactly like the static rule.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.service import AutoBackend, CostModel, GMineService
+from repro.service.costmodel import COST_MODEL_VERSION
+
+pytestmark = pytest.mark.tier1
+
+REPO_BENCH = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+class TestEwma:
+    def test_first_observation_is_taken_verbatim(self):
+        model = CostModel()
+        model.observe("rwr", "inline", 0.25)
+        assert model.predict("rwr", "inline") == 0.25
+
+    def test_later_observations_fold_in_with_alpha(self):
+        model = CostModel(alpha=0.5)
+        model.observe("rwr", "inline", 1.0)
+        model.observe("rwr", "inline", 0.0)
+        assert model.predict("rwr", "inline") == pytest.approx(0.5)
+        model.observe("rwr", "inline", 0.5)
+        assert model.predict("rwr", "inline") == pytest.approx(0.5)
+
+    def test_negative_latencies_are_ignored(self):
+        model = CostModel()
+        model.observe("rwr", "inline", -1.0)
+        assert model.predict("rwr", "inline") is None
+
+    def test_seed_never_overwrites_observations(self):
+        model = CostModel()
+        model.observe("rwr", "inline", 0.2)
+        model.seed("rwr", "inline", 9.9)
+        assert model.predict("rwr", "inline") == 0.2
+
+    def test_observation_replaces_seed(self):
+        model = CostModel(alpha=0.5)
+        model.seed("rwr", "inline", 9.9)
+        model.observe("rwr", "inline", 0.1)
+        # a real measurement restarts the EWMA; the seed leaves no trace
+        assert model.predict("rwr", "inline") == pytest.approx(0.1)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(alpha=0.0)
+        with pytest.raises(ValueError):
+            CostModel(alpha=1.5)
+
+
+class TestChoose:
+    def test_empty_model_is_the_static_rule(self):
+        model = CostModel()
+        venue, basis = model.choose("rwr", ["inline", "thread", "process"],
+                                    static="process")
+        assert venue == "process"
+        assert basis["rule"] == "static"
+
+    def test_unmeasured_static_choice_is_never_displaced(self):
+        model = CostModel()
+        model.observe("rwr", "inline", 0.0001)  # challenger measured, static not
+        venue, basis = model.choose("rwr", ["inline", "process"], static="process")
+        assert venue == "process"
+        assert basis["rule"] == "static"
+
+    def test_strictly_cheaper_venue_displaces_static(self):
+        model = CostModel()
+        model.observe("rwr", "process", 0.5)
+        model.observe("rwr", "inline", 0.1)
+        venue, basis = model.choose("rwr", ["inline", "process"], static="process")
+        assert venue == "inline"
+        assert basis["rule"] == "measured"
+        assert basis["predicted_seconds"]["inline"] == pytest.approx(0.1)
+
+    def test_ties_keep_the_static_choice(self):
+        model = CostModel()
+        model.observe("rwr", "process", 0.1)
+        model.observe("rwr", "inline", 0.1)
+        venue, _ = model.choose("rwr", ["inline", "process"], static="process")
+        assert venue == "process"
+
+    def test_chosen_venue_never_predicted_worse_than_static(self):
+        # the never-worse acceptance gate, swept over synthetic tables
+        import itertools
+
+        latencies = [0.01, 0.1, 0.1, 1.0]
+        eligible = ["inline", "thread", "process"]
+        for values in itertools.permutations(latencies, 3):
+            model = CostModel()
+            for venue, seconds in zip(eligible, values):
+                model.observe("op", venue, seconds)
+            for static in eligible:
+                venue, _ = model.choose("op", eligible, static)
+                assert model.predict("op", venue) <= model.predict("op", static)
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "cost.json")
+        model = CostModel(path=path)
+        model.observe("rwr", "process", 0.5)
+        model.seed("metrics", "inline", 0.01)
+        model.save()
+        doc = json.loads(Path(path).read_text())
+        assert doc["version"] == COST_MODEL_VERSION
+        reloaded = CostModel(path=path)
+        assert reloaded.predict("rwr", "process") == 0.5
+        assert reloaded.predict("metrics", "inline") == 0.01
+        assert reloaded.describe()["entries"]["rwr|process"]["source"] == "observed"
+
+    def test_unversioned_or_corrupt_files_load_empty(self, tmp_path):
+        path = tmp_path / "cost.json"
+        path.write_text("{not json")
+        assert len(CostModel(path=str(path))) == 0
+        path.write_text(json.dumps({"version": 999, "entries": {}}))
+        assert len(CostModel(path=str(path))) == 0
+
+    def test_close_persists(self, tmp_path):
+        path = str(tmp_path / "cost.json")
+        model = CostModel(path=path)
+        model.observe("rwr", "thread", 0.2)
+        model.close()
+        assert CostModel(path=path).predict("rwr", "thread") == 0.2
+
+    def test_service_wires_model_next_to_the_cache_db(self, tmp_path):
+        cache_path = tmp_path / "cache.db"
+        with GMineService(backend="auto:2", cache_path=cache_path) as service:
+            assert isinstance(service.backend, AutoBackend)
+            model = service.backend.cost_model
+            assert model is not None
+            assert model.path == f"{cache_path}.cost.json"
+            model.observe("rwr", "inline", 0.123)
+        # close() persisted the table for the next restart
+        assert CostModel(path=f"{cache_path}.cost.json").predict(
+            "rwr", "inline"
+        ) == 0.123
+
+
+class TestBenchSeeding:
+    @pytest.mark.skipif(
+        not (REPO_BENCH / "BENCH_exec.json").exists(),
+        reason="benchmark artifact not checked in",
+    )
+    def test_seeds_from_the_repo_exec_bench(self):
+        model = CostModel()
+        seeded = model.seed_from_bench(str(REPO_BENCH / "BENCH_exec.json"), None)
+        assert seeded > 0
+        table = model.describe()["entries"]
+        assert any(key.startswith("rwr|") for key in table)
+        assert all(entry["source"] == "bench_exec" for entry in table.values())
+        assert all(entry["count"] == 0 for entry in table.values())
+
+    @pytest.mark.skipif(
+        not (REPO_BENCH / "BENCH_kernels.json").exists(),
+        reason="benchmark artifact not checked in",
+    )
+    def test_kernel_bench_fills_inline_estimates(self):
+        model = CostModel()
+        model.seed_from_bench(None, str(REPO_BENCH / "BENCH_kernels.json"))
+        assert model.predict("rwr", "inline") is not None
+
+    def test_missing_files_seed_nothing(self, tmp_path):
+        model = CostModel()
+        assert model.seed_from_bench(
+            str(tmp_path / "none.json"), str(tmp_path / "none2.json")
+        ) == 0
+        assert len(model) == 0
+
+
+class TestAutoBackendIntegration:
+    def test_model_redirects_traffic_it_measured_cheaper(self, store_path):
+        model = CostModel()
+        # measurements say inline beats the pool for rwr on this host
+        model.observe("rwr", "process", 5.0)
+        model.observe("rwr", "inline", 0.0001)
+        backend = AutoBackend(workers=2, cpu_count=4, cost_model=model)
+        with GMineService(backend=backend) as service:
+            service.register_store(store_path, name="dblp")
+            leaf = max(
+                service.registry_of_datasets.get("dblp").tree.leaves(),
+                key=lambda node: node.size,
+            )
+            service.rwr(list(leaf.members[:2]), community=leaf.label)
+            stats = service.stats()["backend"]
+            assert stats["choices"] == {"rwr:inline": 1}
+            decision = stats["decisions"]["rwr"]
+            assert decision["venue"] == "inline"
+            assert decision["rule"] == "measured"
+            assert decision["static"] == "process"
+            assert stats["cost_model"]["entries"]["rwr|inline"]["count"] >= 1
+
+    def test_empty_model_keeps_static_behaviour(self, store_path):
+        backend = AutoBackend(workers=2, cpu_count=4, cost_model=CostModel())
+        with GMineService(backend=backend) as service:
+            service.register_store(store_path, name="dblp")
+            leaf = max(
+                service.registry_of_datasets.get("dblp").tree.leaves(),
+                key=lambda node: node.size,
+            )
+            service.rwr(list(leaf.members[:2]), community=leaf.label)
+            stats = service.stats()["backend"]
+            assert stats["choices"] == {"rwr:process": 1}
+            assert stats["decisions"]["rwr"]["rule"] == "static"

@@ -1,0 +1,161 @@
+"""Shared prepared graphs through the service: publish, ship, attach, retire.
+
+End-to-end ownership story: the registry publishes the widest prepared
+view into a shared segment at warm time, ``DatasetExecSpec`` carries the
+manifest, pool workers attach zero-copy (their warm reports prove it in
+``/v1/stats``), and service close provably unlinks every segment.
+"""
+
+import glob
+import os
+import time
+
+import pytest
+
+from repro.core.builder import build_gtree
+from repro.data.dblp import DBLPConfig, generate_dblp
+from repro.errors import GraphError
+from repro.graph import SharedPreparedGraph, shared_memory_available
+from repro.graph.io import write_json
+from repro.service import GMineService
+from repro.storage.gtree_store import save_gtree
+
+pytestmark = [
+    pytest.mark.tier1,
+    pytest.mark.skipif(
+        not shared_memory_available(), reason="platform lacks shared memory"
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def shippable_dataset(tmp_path_factory):
+    """A store + graph file pair workers can reopen by path."""
+    dataset = generate_dblp(DBLPConfig(num_authors=240, seed=31))
+    tree = build_gtree(dataset.graph, fanout=3, levels=2, seed=31)
+    root = tmp_path_factory.mktemp("shared")
+    store_file = root / "shared.gtree"
+    graph_file = root / "shared.json"
+    save_gtree(tree, store_file)
+    write_json(dataset.graph, graph_file)
+    return dataset, store_file, graph_file
+
+
+def _largest_leaf(service, name="dblp"):
+    tree = service.registry_of_datasets.get(name).tree
+    return max(tree.leaves(), key=lambda node: node.size)
+
+
+def _dev_shm_segments():
+    if not os.path.isdir("/dev/shm"):
+        return None
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+class TestRegistryPublishes:
+    def test_process_backend_registers_a_shared_view(self, shippable_dataset):
+        _, store_file, graph_file = shippable_dataset
+        with GMineService(backend="process:2") as service:
+            service.register_store(
+                store_file, name="dblp", graph_path=str(graph_file)
+            )
+            handle = service.registry_of_datasets.get("dblp")
+            assert handle.share_prepared
+            prepared = handle.prepared_graph()
+            assert isinstance(prepared, SharedPreparedGraph)
+            assert prepared.owner and not prepared.released
+            spec = handle.exec_spec()
+            assert spec.prepared_manifest == prepared.manifest
+            stats = service.stats()["prepared_shared"]
+            assert stats["enabled"]
+            assert stats["prepares"] >= 1 and stats["segment_bytes"] > 0
+
+    def test_inline_backend_never_publishes(self, shippable_dataset):
+        _, store_file, graph_file = shippable_dataset
+        with GMineService() as service:  # inline: no workers to share with
+            service.register_store(
+                store_file, name="dblp", graph_path=str(graph_file)
+            )
+            handle = service.registry_of_datasets.get("dblp")
+            assert not handle.share_prepared
+            prepared = handle.prepared_graph()
+            assert not isinstance(prepared, SharedPreparedGraph)
+            assert handle.exec_spec().prepared_manifest is None
+            assert not service.stats()["prepared_shared"]["enabled"]
+
+    def test_shared_prepared_flag_overrides_the_default(self, shippable_dataset):
+        _, store_file, graph_file = shippable_dataset
+        with GMineService(backend="process:2", shared_prepared=False) as service:
+            service.register_store(
+                store_file, name="dblp", graph_path=str(graph_file)
+            )
+            assert not service.registry_of_datasets.share_prepared
+            assert service.registry_of_datasets.get(
+                "dblp"
+            ).exec_spec().prepared_manifest is None
+
+
+class TestWorkersAttach:
+    def test_warm_workers_attach_instead_of_rebuilding(self, shippable_dataset):
+        _, store_file, graph_file = shippable_dataset
+        with GMineService(backend="process:2", max_workers=2) as service:
+            service.register_store(
+                store_file, name="dblp", graph_path=str(graph_file)
+            )
+            leaf = _largest_leaf(service)
+            result = service.rwr(list(leaf.members[:2]), community=leaf.label)
+            assert result.converged
+            # warm reports land asynchronously; wait for at least one
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                worker_shm = service.stats()["backend"]["worker_shm"]
+                if worker_shm["attaches"] >= 1:
+                    break
+                time.sleep(0.1)
+            assert worker_shm["attaches"] >= 1
+            assert worker_shm["attach_fallbacks"] == 0
+            assert worker_shm["workers_reporting"] >= 1
+
+    def test_results_match_inline_backend_bitwise(self, shippable_dataset):
+        _, store_file, graph_file = shippable_dataset
+        answers = {}
+        for backend in ("inline", "process:2"):
+            with GMineService(backend=backend) as service:
+                service.register_store(
+                    store_file, name="dblp", graph_path=str(graph_file)
+                )
+                leaf = _largest_leaf(service)
+                result = service.rwr(list(leaf.members[:2]), community=leaf.label)
+                answers[backend] = result.scores
+        assert answers["inline"] == answers["process:2"]
+
+
+class TestRetirement:
+    def test_close_unlinks_every_segment(self, shippable_dataset):
+        _, store_file, graph_file = shippable_dataset
+        segments_before = _dev_shm_segments()
+        service = GMineService(backend="process:2")
+        service.register_store(store_file, name="dblp", graph_path=str(graph_file))
+        handle = service.registry_of_datasets.get("dblp")
+        prepared = handle.prepared_graph()
+        manifest = prepared.manifest
+        service.close()
+        assert prepared.released
+        with pytest.raises(GraphError):
+            SharedPreparedGraph.attach(manifest)
+        if segments_before is not None:
+            assert _dev_shm_segments() == segments_before
+
+    def test_reload_retires_the_old_segment(self, shippable_dataset):
+        dataset, store_file, graph_file = shippable_dataset
+        with GMineService(backend="process:2") as service:
+            service.register_store(
+                store_file, name="dblp", graph_path=str(graph_file)
+            )
+            handle = service.registry_of_datasets.get("dblp")
+            old = handle.prepared_graph()
+            assert isinstance(old, SharedPreparedGraph)
+            service.reload_dataset("dblp")
+            # same content fingerprint -> the prepared view survives reload
+            renewed = service.registry_of_datasets.get("dblp").prepared_graph()
+            assert renewed is old and not old.released
