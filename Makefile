@@ -45,6 +45,17 @@
 #                      fused top(k) plan exceeds 1.10x the direct
 #                      dataset.rwr kernel + slice (the CI gate for the
 #                      compiler's pass-through fast path)
+#   make chaos       — the resilience/chaos suite: deadline propagation,
+#                      circuit-breaker trip/half-open/recovery, degraded
+#                      stale serving with byte parity, admission shedding
+#                      and the seeded 20%-failure fault matrix across all
+#                      four execution backends and both HTTP front-ends
+#   make bench-chaos — typed outcomes and bounded latency under a seeded
+#                      20%-failure FaultPlan plus overload shedding and
+#                      disabled-injector overhead; writes
+#                      benchmarks/BENCH_chaos.json and FAILS on any
+#                      untyped 500 or a p99 above the deadline budget
+#                      (the CI gate for the resilience layer)
 #   make bench-shm   — shared-memory prepared graphs: worker attach vs
 #                      rebuild (in real pool workers, with bit-parity
 #                      hashes and RSS deltas) and one-factorization
@@ -57,7 +68,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check tier1 smoke serve-smoke bench-http bench-exec bench-kernels bench-mutate bench-path bench-shm test-all test-slow
+.PHONY: check tier1 smoke serve-smoke chaos bench-http bench-exec bench-kernels bench-mutate bench-path bench-shm bench-chaos test-all test-slow
 
 check: tier1 smoke serve-smoke
 	@echo "check: tier-1 tests, service smoke and HTTP serve-smoke passed"
@@ -88,6 +99,12 @@ bench-path:
 
 bench-shm:
 	$(PYTHON) benchmarks/bench_shm.py
+
+chaos:
+	$(PYTHON) -m pytest -x -q tests/service/test_resilience.py
+
+bench-chaos:
+	$(PYTHON) benchmarks/bench_chaos.py
 
 test-all:
 	$(PYTHON) -m pytest -q -m "slow or not slow"

@@ -38,11 +38,13 @@ from typing import Dict, Optional, Tuple
 
 from ..errors import GMineError, ProtocolError
 from .http import (
+    HEALTH_PATHS,
     MAX_BODY_BYTES,
     STREAM_CONTENT_TYPE,
     FrontendPolicy,
     chunked_ndjson_frames,
     parse_json_body,
+    retry_after_of,
 )
 from .router import ProtocolRouter, dumps, error_payload
 
@@ -244,7 +246,10 @@ class GMineAsyncHTTPServer:
 
     async def _respond(self, writer, method, target, headers, body_bytes) -> bool:
         keep_alive = headers.get("connection", "").lower() != "close"
-        if self.policy is not None:
+        path = target.split("?", 1)[0]
+        # Health probes bypass the policy, same as the threaded front-end.
+        guarded = self.policy is not None and path.rstrip("/") not in HEALTH_PATHS
+        if guarded:
             try:
                 self.policy.check(headers)
             except GMineError as error:
@@ -261,29 +266,50 @@ class GMineAsyncHTTPServer:
                 writer, status, dumps(payload), close=not keep_alive
             )
             return keep_alive
-        path = target.split("?", 1)[0]
-        loop = asyncio.get_running_loop()
-        if path.rstrip("/") == "/v1/stream":
-            # The blocking part of a stream (dispatch + encode) happens
-            # inside handle_stream; the returned generator only slices.
-            status, payloads = await loop.run_in_executor(
-                None, self.router.handle_stream, method, path, body
+        if guarded and not self.policy.try_enter():
+            error = self.policy.overloaded()
+            status, payload = error_payload(error)
+            await self._write_payload(
+                writer, status, dumps(payload), close=not keep_alive,
+                retry_after=error.retry_after,
             )
-            await self._write_stream(writer, status, payloads)
             return keep_alive
-        status, payload = await loop.run_in_executor(
-            None, self.router.handle, method, path, body
-        )
-        await self._write_payload(
-            writer, status, dumps(payload), close=not keep_alive
-        )
-        return keep_alive
+        try:
+            loop = asyncio.get_running_loop()
+            if path.rstrip("/") == "/v1/stream":
+                # The blocking part of a stream (dispatch + encode) happens
+                # inside handle_stream; the returned generator only slices.
+                status, payloads = await loop.run_in_executor(
+                    None, self.router.handle_stream, method, path, body
+                )
+                await self._write_stream(writer, status, payloads)
+                return keep_alive
+            status, payload = await loop.run_in_executor(
+                None, self.router.handle, method, path, body
+            )
+            await self._write_payload(
+                writer, status, dumps(payload), close=not keep_alive,
+                retry_after=retry_after_of(payload),
+            )
+            return keep_alive
+        finally:
+            if guarded:
+                self.policy.leave()
 
-    async def _write_payload(self, writer, status, body: bytes, close: bool) -> None:
+    async def _write_payload(
+        self,
+        writer,
+        status,
+        body: bytes,
+        close: bool,
+        retry_after: Optional[float] = None,
+    ) -> None:
         headers = {
             "Content-Type": "application/json; charset=utf-8",
             "Content-Length": str(len(body)),
         }
+        if retry_after is not None:
+            headers["Retry-After"] = str(max(1, int(retry_after + 0.999)))
         if close:
             headers["Connection"] = "close"
         writer.write(_head(status, headers) + body)

@@ -43,11 +43,35 @@ from typing import (
 )
 
 from ..errors import ProtocolError
+from .ops import DEFAULT_REGISTRY
 from .router import ProtocolRouter, dumps
 from .wire import PROTOCOL, Request, Response, WireError, exception_for_code
 
 #: A transport exchange: HTTP status, parsed payload, canonical raw bytes.
 Exchange = Tuple[int, Dict[str, Any], bytes]
+
+#: Envelope error codes a retry may reasonably turn into a success:
+#: transient server-side pushback, not request defects.
+RETRYABLE_CODES = frozenset({"OVERLOADED", "RATE_LIMITED"})
+
+#: Extra socket headroom past a request's deadline: the server needs a
+#: moment to notice the expiry and serialise the DEADLINE_EXCEEDED
+#: envelope; the client should receive that envelope, not a socket error.
+HTTP_TIMEOUT_GRACE = 5.0
+
+
+def _is_idempotent(op: str) -> bool:
+    """Whether ``op`` is safe to retry: the registry's cacheable flag.
+
+    Cacheable ops are pure functions of (dataset fingerprint, args) —
+    re-running one can only repeat the same answer.  Mutating ops
+    (``session.step``, ``dataset.apply``) and unknown ops never retry:
+    the first attempt may have landed before the failure was reported.
+    """
+    try:
+        return bool(DEFAULT_REGISTRY.get(op).cacheable)
+    except Exception:  # noqa: BLE001 — unknown op: assume not idempotent
+        return False
 
 
 def _jsonify_sets(value: Any) -> Any:
@@ -81,7 +105,15 @@ class InProcessTransport:
     def __init__(self, service) -> None:
         self.router = ProtocolRouter(service)
 
-    def call(self, method: str, path: str, body: Optional[Mapping[str, Any]]) -> Exchange:
+    def call(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]],
+        timeout: Optional[float] = None,
+    ) -> Exchange:
+        # ``timeout`` is a socket-level knob; in-process there is no socket
+        # — the envelope's ``deadline_ms`` is what bounds the work.
         status, payload = self.router.handle(method, path, body)
         raw = dumps(payload)
         # Round-trip through JSON so in-process callers can never observe
@@ -89,7 +121,11 @@ class InProcessTransport:
         return status, json.loads(raw.decode("utf-8")), raw
 
     def stream(
-        self, method: str, path: str, body: Optional[Mapping[str, Any]]
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]],
+        timeout: Optional[float] = None,
     ) -> Iterator[Exchange]:
         """Yield one exchange per streamed chunk (shared router path)."""
         status, payloads = self.router.handle_stream(method, path, body)
@@ -122,7 +158,13 @@ class HTTPTransport:
             headers["Authorization"] = f"Bearer {self.auth_token}"
         return headers
 
-    def call(self, method: str, path: str, body: Optional[Mapping[str, Any]]) -> Exchange:
+    def call(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]],
+        timeout: Optional[float] = None,
+    ) -> Exchange:
         data = None if body is None else _encode_request_body(body)
         request = urllib.request.Request(
             self.base_url + path,
@@ -130,8 +172,9 @@ class HTTPTransport:
             method=method,
             headers=self._headers(),
         )
+        socket_timeout = self.timeout if timeout is None else timeout
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+            with urllib.request.urlopen(request, timeout=socket_timeout) as reply:
                 raw = reply.read()
                 status = reply.status
         except urllib.error.HTTPError as error:
@@ -152,7 +195,11 @@ class HTTPTransport:
         return status, payload, raw
 
     def stream(
-        self, method: str, path: str, body: Optional[Mapping[str, Any]]
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]],
+        timeout: Optional[float] = None,
     ) -> Iterator[Exchange]:
         """Yield one exchange per NDJSON line of a chunked stream response.
 
@@ -169,7 +216,9 @@ class HTTPTransport:
             headers=self._headers(),
         )
         try:
-            reply = urllib.request.urlopen(request, timeout=self.timeout)
+            reply = urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            )
         except urllib.error.HTTPError as error:
             reply = error  # error bodies stream exactly like success bodies
         except urllib.error.URLError as error:
@@ -200,29 +249,50 @@ class HTTPTransport:
 
 
 class GMineClient:
-    """Transport-agnostic GMine Protocol v2 client."""
+    """Transport-agnostic GMine Protocol v2 client.
 
-    def __init__(self, transport: Union[InProcessTransport, HTTPTransport]) -> None:
+    ``retry`` opts into client-side retries: pass a
+    :class:`repro.service.resilience.RetryPolicy` (or anything with its
+    ``attempts``/``pause(attempt, retry_after)`` shape).  Only idempotent
+    (registry-cacheable) operations ever retry, and only on transient
+    pushback — ``OVERLOADED``/``RATE_LIMITED`` envelopes (honouring the
+    server's ``retry_after`` hint) and transport-level
+    :class:`~repro.errors.ProtocolError` failures.
+    """
+
+    def __init__(
+        self,
+        transport: Union[InProcessTransport, HTTPTransport],
+        retry: Optional[Any] = None,
+    ) -> None:
         self.transport = transport
+        self.retry = retry
 
     # ------------------------------------------------------------------ #
     # constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def in_process(cls, service) -> "GMineClient":
+    def in_process(cls, service, retry: Optional[Any] = None) -> "GMineClient":
         """A client bound directly to a live service object."""
-        return cls(InProcessTransport(service))
+        return cls(InProcessTransport(service), retry=retry)
 
     @classmethod
     def http(
-        cls, url: str, timeout: float = 30.0, auth_token: Optional[str] = None
+        cls,
+        url: str,
+        timeout: float = 30.0,
+        auth_token: Optional[str] = None,
+        retry: Optional[Any] = None,
     ) -> "GMineClient":
         """A client speaking to ``gmine serve --http`` at ``url``.
 
         ``auth_token`` attaches ``Authorization: Bearer <token>`` to every
         request, matching a server started with ``--auth-token``.
         """
-        return cls(HTTPTransport(url, timeout=timeout, auth_token=auth_token))
+        return cls(
+            HTTPTransport(url, timeout=timeout, auth_token=auth_token),
+            retry=retry,
+        )
 
     def close(self) -> None:
         self.transport.close()
@@ -243,9 +313,17 @@ class GMineClient:
         args: Optional[Mapping[str, Any]] = None,
         page: Optional[Mapping[str, Any]] = None,
         request_id: Optional[str] = None,
+        timeout: Optional[float] = None,
         **kwargs: Any,
     ) -> Response:
-        """Run one operation; keyword arguments merge into ``args``."""
+        """Run one operation; keyword arguments merge into ``args``.
+
+        ``timeout`` (seconds) stamps the envelope's ``deadline_ms`` — the
+        server fast-rejects or abandons work past the budget with a
+        ``DEADLINE_EXCEEDED`` envelope — and, over HTTP, bounds the socket
+        wait at ``timeout`` plus a small grace so that envelope arrives
+        instead of a raw socket error.
+        """
         merged = dict(args or {})
         merged.update(kwargs)
         request = Request(
@@ -254,9 +332,37 @@ class GMineClient:
             dataset=dataset,
             page=None if page is None else dict(page),
             id=request_id,
+            deadline_ms=None if timeout is None else float(timeout) * 1000.0,
         )
-        _, payload, _ = self.transport.call("POST", "/v1/query", request.to_dict())
-        return Response.from_dict(payload)
+        body = request.to_dict()
+        call_timeout = None if timeout is None else float(timeout) + HTTP_TIMEOUT_GRACE
+
+        attempts = 1
+        if self.retry is not None and _is_idempotent(op):
+            attempts = max(1, int(self.retry.attempts))
+        for attempt in range(attempts):
+            final = attempt >= attempts - 1
+            try:
+                _, payload, _ = self.transport.call(
+                    "POST", "/v1/query", body, timeout=call_timeout
+                )
+            except ProtocolError:
+                # Transport failure (unreachable server, torn connection):
+                # idempotent requests may simply try again.
+                if final:
+                    raise
+                self.retry.pause(attempt, None)
+                continue
+            response = Response.from_dict(payload)
+            error = response.error
+            if error is not None and error.code in RETRYABLE_CODES and not final:
+                retry_after = None
+                if isinstance(error.details, Mapping):
+                    retry_after = error.details.get("retry_after")
+                self.retry.pause(attempt, retry_after)
+                continue
+            return response
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def query_raw(
         self,
@@ -276,10 +382,13 @@ class GMineClient:
         op: str,
         dataset: Optional[str] = None,
         page: Optional[Mapping[str, Any]] = None,
+        timeout: Optional[float] = None,
         **args: Any,
     ) -> Any:
         """Run one operation and unwrap its payload (raises typed errors)."""
-        return self.query(op, dataset=dataset, args=args, page=page).unwrap()
+        return self.query(
+            op, dataset=dataset, args=args, page=page, timeout=timeout
+        ).unwrap()
 
     # ------------------------------------------------------------------ #
     # streaming cursors

@@ -35,8 +35,33 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Iterable, Iterator, Mapping, Optional, Tuple
 
-from ..errors import AuthRequiredError, GMineError, ProtocolError, RateLimitedError
+from ..errors import (
+    AuthRequiredError,
+    GMineError,
+    OverloadedError,
+    ProtocolError,
+    RateLimitedError,
+)
 from .router import ProtocolRouter, dumps, error_payload
+
+#: Paths exempt from auth/rate-limit/admission: probes must always answer.
+HEALTH_PATHS = ("/healthz", "/readyz")
+
+
+def retry_after_of(payload: Mapping) -> Optional[float]:
+    """Extract a ``retry_after`` hint from an error envelope, if any.
+
+    Both front-ends surface it as an HTTP ``Retry-After`` header so plain
+    HTTP clients can back off without parsing the body.
+    """
+    error = payload.get("error")
+    if isinstance(error, Mapping):
+        details = error.get("details")
+        if isinstance(details, Mapping):
+            value = details.get("retry_after")
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return float(value)
+    return None
 
 #: Largest accepted request body; protects the demo server from abuse.
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -126,10 +151,17 @@ class FrontendPolicy:
         self,
         auth_token: Optional[str] = None,
         rate_limit: Optional[float] = None,
+        max_inflight: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight!r}")
         self.auth_token = auth_token
         self.bucket = None if rate_limit is None else TokenBucket(rate_limit, clock=clock)
+        self.max_inflight = max_inflight
+        self.shed = 0
+        self._inflight = 0
+        self._admission = threading.Lock()
 
     def check(self, headers: Mapping[str, str]) -> None:
         """Validate one request's headers (keys must be lower-cased)."""
@@ -151,11 +183,42 @@ class FrontendPolicy:
                 f"({self.bucket.rate:g} requests/s); retry later"
             )
 
+    def try_enter(self) -> bool:
+        """Claim an in-flight slot; ``False`` sheds the request (503)."""
+        if self.max_inflight is None:
+            return True
+        with self._admission:
+            if self._inflight >= self.max_inflight:
+                self.shed += 1
+                return False
+            self._inflight += 1
+            return True
+
+    def leave(self) -> None:
+        """Release the slot claimed by a successful :meth:`try_enter`."""
+        if self.max_inflight is None:
+            return
+        with self._admission:
+            self._inflight = max(0, self._inflight - 1)
+
+    def overloaded(self) -> OverloadedError:
+        """The typed 503 a shed request is answered with."""
+        return OverloadedError(
+            f"server at capacity ({self.max_inflight} requests in flight); "
+            "retry shortly",
+            retry_after=1.0,
+        )
+
     def describe(self) -> Mapping[str, object]:
         """JSON-safe summary (for serve banners and smoke output)."""
+        with self._admission:
+            shed, inflight = self.shed, self._inflight
         return {
             "auth": self.auth_token is not None,
             "rate_limit": None if self.bucket is None else self.bucket.rate,
+            "max_inflight": self.max_inflight,
+            "inflight": inflight,
+            "shed": shed,
         }
 
 
@@ -203,8 +266,11 @@ class _ProtocolRequestHandler(BaseHTTPRequestHandler):
             }))
             self.close_connection = True  # oversized body was left unread
             return
+        path = self.path.split("?", 1)[0]
         policy = getattr(self.server, "policy", None)
-        if policy is not None:
+        # Health probes bypass the policy: a load balancer must be able to
+        # read liveness/readiness from a saturated or locked-down server.
+        if policy is not None and path.rstrip("/") not in HEALTH_PATHS:
             try:
                 policy.check(
                     {name.lower(): value for name, value in self.headers.items()}
@@ -213,13 +279,25 @@ class _ProtocolRequestHandler(BaseHTTPRequestHandler):
                 status, payload = error_payload(error)
                 self._send(status, dumps(payload))
                 return
-        path = self.path.split("?", 1)[0]
+            if not policy.try_enter():
+                error = policy.overloaded()
+                status, payload = error_payload(error)
+                self._send(status, dumps(payload), retry_after=error.retry_after)
+                return
+            try:
+                self._route(method, path, body)
+            finally:
+                policy.leave()
+            return
+        self._route(method, path, body)
+
+    def _route(self, method: str, path: str, body: Optional[dict]) -> None:
         if path.rstrip("/") == "/v1/stream":
             status, payloads = self._router().handle_stream(method, path, body)
             self._send_stream(status, payloads)
             return
         status, payload = self._router().handle(method, path, body)
-        self._send(status, dumps(payload))
+        self._send(status, dumps(payload), retry_after=retry_after_of(payload))
 
     def _read_body(self) -> Optional[dict]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -229,10 +307,15 @@ class _ProtocolRequestHandler(BaseHTTPRequestHandler):
             raise ProtocolError(f"request body too large ({length} bytes)")
         return parse_json_body(self.rfile.read(length))
 
-    def _send(self, status: int, body: bytes) -> None:
+    def _send(
+        self, status: int, body: bytes, retry_after: Optional[float] = None
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # Whole seconds, at least 1: the header is integer-valued.
+            self.send_header("Retry-After", str(max(1, int(retry_after + 0.999))))
         self.end_headers()
         self.wfile.write(body)
 

@@ -118,6 +118,9 @@ class DelegatedResult:
     value: Any
     cached: bool = False
     fingerprint: Optional[str] = None
+    #: Whether the delegated dispatch served an expired cache entry in
+    #: degraded mode (backend failure + stale value still resident).
+    degraded: bool = False
 
 
 # --------------------------------------------------------------------------- #
@@ -440,10 +443,10 @@ def _session_mining_handler(target_op: str):
         session = ctx.service.resume_session(args.pop("session_id"))
         if args.get("community") is None:
             args["community"] = session.engine.focus.label
-        value, cached, fingerprint = ctx.service.dispatch_in_session(
+        value, cached, degraded, fingerprint = ctx.service.dispatch_in_session(
             session, target_op, args
         )
-        return DelegatedResult(value, cached, fingerprint)
+        return DelegatedResult(value, cached, fingerprint, degraded)
 
     return run
 

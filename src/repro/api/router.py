@@ -130,6 +130,13 @@ class ProtocolRouter:
         method = method.upper()
         parts = [part for part in path.split("/") if part]
         try:
+            # Health endpoints live outside /v1: probes (and load
+            # balancers) must reach them without protocol knowledge, and
+            # front-ends exempt them from admission control.
+            if parts == ["healthz"] and method == "GET":
+                return self.healthz()
+            if parts == ["readyz"] and method == "GET":
+                return self.readyz()
             if parts[:1] != ["v1"]:
                 return _not_found(path)
             tail = parts[1:]
@@ -233,7 +240,12 @@ class ProtocolRouter:
         results = iter(
             self.service.batch(
                 [
-                    {"op": entry.op, "args": entry.args, "dataset": entry.dataset}
+                    {
+                        "op": entry.op,
+                        "args": entry.args,
+                        "dataset": entry.dataset,
+                        "deadline_ms": entry.deadline_ms,
+                    }
                     for entry in well_formed
                 ]
             )
@@ -259,7 +271,12 @@ class ProtocolRouter:
         except GMineError as error:
             return Response.failure(error)
         result = self.service.execute(
-            {"op": request.op, "args": request.args, "dataset": request.dataset}
+            {
+                "op": request.op,
+                "args": request.args,
+                "dataset": request.dataset,
+                "deadline_ms": request.deadline_ms,
+            }
         )
         return self._result_to_response(request, result)
 
@@ -287,6 +304,7 @@ class ProtocolRouter:
             op=request.op,
             result=encoded,
             cached=result.cached,
+            degraded=getattr(result, "degraded", False),
             page=page_meta,
             id=request.id,
         )
@@ -346,7 +364,12 @@ class ProtocolRouter:
             chunk_size = DEFAULT_STREAM_CHUNK
 
         result = self.service.execute(
-            {"op": request.op, "args": request.args, "dataset": request.dataset}
+            {
+                "op": request.op,
+                "args": request.args,
+                "dataset": request.dataset,
+                "deadline_ms": request.deadline_ms,
+            }
         )
         if not result.ok:
             response = self._result_to_response(request, result)
@@ -444,6 +467,24 @@ class ProtocolRouter:
 
     def stats(self) -> Handled:
         return 200, {"protocol": PROTOCOL, "ok": True, "stats": self.service.stats()}
+
+    # ------------------------------------------------------------------ #
+    # health probes
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> Handled:
+        """Liveness: 200 whenever the service object answers at all."""
+        health = self.service.health()
+        return 200, {"protocol": PROTOCOL, "ok": True, "health": health}
+
+    def readyz(self) -> Handled:
+        """Readiness: 503 while no dataset is loaded or a breaker is open."""
+        health = self.service.health()
+        status = 200 if health.get("ready") else 503
+        return status, {
+            "protocol": PROTOCOL,
+            "ok": bool(health.get("ready")),
+            "health": health,
+        }
 
     # ------------------------------------------------------------------ #
     # dataset lifecycle

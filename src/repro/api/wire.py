@@ -62,6 +62,8 @@ ERROR_CODES: Tuple[Tuple[Type[BaseException], str], ...] = (
     (errors.StaleCursorError, "CURSOR_EXPIRED"),
     (errors.AuthRequiredError, "AUTH_REQUIRED"),
     (errors.RateLimitedError, "RATE_LIMITED"),
+    (errors.DeadlineExceededError, "DEADLINE_EXCEEDED"),
+    (errors.OverloadedError, "OVERLOADED"),
     (errors.ProtocolError, "PROTOCOL_ERROR"),
     (errors.NavigationError, "NAVIGATION_ERROR"),
     (errors.ConvergenceError, "NOT_CONVERGED"),
@@ -100,6 +102,8 @@ HTTP_STATUS: Dict[str, int] = {
     "CURSOR_EXPIRED": 410,
     "AUTH_REQUIRED": 401,
     "RATE_LIMITED": 429,
+    "DEADLINE_EXCEEDED": 504,
+    "OVERLOADED": 503,
     "PROTOCOL_ERROR": 400,
     "NAVIGATION_ERROR": 404,
     "NOT_CONVERGED": 422,
@@ -236,6 +240,10 @@ class Request:
     ``chunk_size`` and ``cursor`` only matter on the streaming route:
     ``chunk_size`` asks for pages of that many items, and ``cursor``
     resumes a previously issued stream at its ``next_cursor`` token.
+    ``deadline_ms`` is the request's total latency budget: the server
+    fast-rejects work it predicts cannot finish in budget and abandons
+    in-flight plans past it (``DEADLINE_EXCEEDED``).  All three are
+    additive — omitted when unset, so v1 payload bytes are untouched.
     """
 
     op: str
@@ -245,6 +253,7 @@ class Request:
     id: Optional[str] = None
     chunk_size: Optional[int] = None
     cursor: Optional[str] = None
+    deadline_ms: Optional[float] = None
     protocol: str = PROTOCOL
 
     def to_dict(self) -> Dict[str, Any]:
@@ -263,6 +272,8 @@ class Request:
             payload["chunk_size"] = self.chunk_size
         if self.cursor is not None:
             payload["cursor"] = self.cursor
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
         return payload
 
     @classmethod
@@ -295,6 +306,15 @@ class Request:
         cursor = payload.get("cursor")
         if cursor is not None and not isinstance(cursor, str):
             raise ProtocolError(f"request cursor must be a string, got {cursor!r}")
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None and (
+            not isinstance(deadline_ms, (int, float))
+            or isinstance(deadline_ms, bool)
+            or deadline_ms <= 0
+        ):
+            raise ProtocolError(
+                f"request deadline_ms must be a positive number, got {deadline_ms!r}"
+            )
         request_id = payload.get("id")
         return cls(
             op=op,
@@ -304,6 +324,7 @@ class Request:
             id=None if request_id is None else str(request_id),
             chunk_size=chunk_size,
             cursor=cursor,
+            deadline_ms=deadline_ms,
             protocol=protocol,
         )
 
@@ -344,7 +365,12 @@ class WireError:
         )
 
     def raise_(self) -> None:
-        raise exception_for_code(self.code, self.message)
+        error = exception_for_code(self.code, self.message)
+        if self.details is not None and "retry_after" in self.details:
+            # OVERLOADED/RATE_LIMITED hints survive the round-trip so client
+            # retry loops can honor the server's backoff suggestion.
+            error.retry_after = self.details["retry_after"]
+        raise error
 
 
 @dataclass
@@ -355,7 +381,10 @@ class Response:
     ``cursor`` names the position this chunk was served from, and
     ``next_cursor`` is the resumption token for the rest of the stream
     (``None`` once exhausted).  One-shot responses never carry either key,
-    so v1 payload bytes are untouched.
+    so v1 payload bytes are untouched.  ``degraded`` is stamped (only when
+    true, same additivity rule) on successes served from an expired cache
+    entry because the backend failed — the resilience layer's stale-serve
+    path.
     """
 
     ok: bool
@@ -363,6 +392,7 @@ class Response:
     result: Any = None
     error: Optional[WireError] = None
     cached: bool = False
+    degraded: bool = False
     page: Optional[Dict[str, Any]] = None
     id: Optional[str] = None
     cursor: Optional[str] = None
@@ -377,6 +407,8 @@ class Response:
             payload["op"] = self.op
         if self.ok:
             payload["cached"] = self.cached
+            if self.degraded:
+                payload["degraded"] = True
             payload["result"] = self.result
             if self.page is not None:
                 payload["page"] = dict(self.page)
@@ -402,6 +434,7 @@ class Response:
             result=payload.get("result"),
             error=None if error is None else WireError.from_dict(error),
             cached=bool(payload.get("cached", False)),
+            degraded=bool(payload.get("degraded", False)),
             page=None if page is None else dict(page),
             id=None if request_id is None else str(request_id),
             cursor=None if cursor is None else str(cursor),

@@ -506,9 +506,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Run a batch of requests through the service, or serve it over HTTP."""
     if args.http is not None:
         policy = None
-        if args.auth_token is not None or args.rate_limit is not None:
+        if (
+            args.auth_token is not None
+            or args.rate_limit is not None
+            or args.max_inflight is not None
+        ):
             policy = FrontendPolicy(
-                auth_token=args.auth_token, rate_limit=args.rate_limit
+                auth_token=args.auth_token,
+                rate_limit=args.rate_limit,
+                max_inflight=args.max_inflight,
             )
         server_class = GMineAsyncHTTPServer if args.use_asyncio else GMineHTTPServer
         with _open_service(args) as service:
@@ -851,6 +857,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--rate-limit", type=float, default=None, dest="rate_limit", metavar="N",
         help="cap the HTTP request rate at N requests/s via a token bucket "
              "(429 RATE_LIMITED beyond it)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=None, dest="max_inflight", metavar="N",
+        help="shed load beyond N concurrently served HTTP requests "
+             "(503 OVERLOADED with Retry-After; /healthz and /readyz are exempt)",
     )
     serve.add_argument("--workers", type=int, default=4)
     serve.add_argument(

@@ -184,3 +184,34 @@ class AuthRequiredError(ServiceError):
 
 class RateLimitedError(ServiceError):
     """A front-end request exceeded the configured request rate."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline budget elapsed before (or during) compute.
+
+    Raised both by admission control (the cost model predicts the plan
+    cannot finish in budget) and by in-flight abandonment (the plan ran
+    past its deadline; the result is discarded).
+    """
+
+
+class OverloadedError(ServiceError):
+    """The server shed this request under load; retry after backoff.
+
+    ``retry_after`` (seconds) is a hint for clients and travels on the
+    wire in the error ``details`` so typed client exceptions carry it.
+    """
+
+    def __init__(self, message, retry_after=None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+    def wire_details(self):
+        """Structured payload for the wire-level ``details`` field."""
+        if self.retry_after is None:
+            return None
+        return {"retry_after": self.retry_after}
+
+
+class CircuitOpenError(OverloadedError):
+    """A circuit breaker is open; the protected venue was not attempted."""

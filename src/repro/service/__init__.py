@@ -25,8 +25,11 @@ from .cache import (
     canonical_args,
     make_cache_key,
 )
+from .cache import StaleServe
 from .costmodel import CostModel
 from .datasets import DatasetHandle, DatasetRegistry
+from .faults import SEAMS, FaultPlan, FaultRule
+from .resilience import CircuitBreaker, Deadline, RetryPolicy
 from .executors import (
     BACKEND_NAMES,
     AutoBackend,
@@ -52,7 +55,14 @@ __all__ = [
     "BACKEND_NAMES",
     "CacheStats",
     "CacheStore",
+    "CircuitBreaker",
     "CostModel",
+    "Deadline",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "SEAMS",
+    "StaleServe",
     "DEFAULT_DATASET",
     "DEFAULT_SESSION_TTL",
     "DatasetExecSpec",

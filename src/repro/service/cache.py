@@ -44,9 +44,25 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Tuple, Union
 
-from ..errors import ServiceError
+from ..errors import CircuitOpenError, DeadlineExceededError, ServiceError
+from .resilience import CircuitBreaker, RetryPolicy
 
 logger = logging.getLogger(__name__)
+
+
+class StaleServe:
+    """Marker wrapping a value served from an *expired* entry (degraded).
+
+    :meth:`ResultCache.get_or_compute` returns one of these instead of the
+    raw value when the computation failed but an expired entry was still
+    resident and ``stale_ok`` was set — the caller unwraps ``.value`` and
+    stamps ``degraded: true`` on the response.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
 
 
 def canonical_args(value: Any) -> Hashable:
@@ -93,6 +109,8 @@ class CacheStats:
     expirations: int = 0
     coalesced: int = 0  # waiters that piggybacked on an in-flight computation
     adopted: int = 0  # results taken over from another *process*'s computation
+    stale_serves: int = 0  # degraded: expired entry served after compute failure
+    store_errors: int = 0  # store get/put failures absorbed (treated as misses)
 
     @property
     def accesses(self) -> int:
@@ -115,6 +133,8 @@ class CacheStats:
             "expirations": self.expirations,
             "coalesced": self.coalesced,
             "adopted": self.adopted,
+            "stale_serves": self.stale_serves,
+            "store_errors": self.store_errors,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -126,6 +146,8 @@ class CacheStats:
         self.expirations = 0
         self.coalesced = 0
         self.adopted = 0
+        self.stale_serves = 0
+        self.store_errors = 0
 
 
 # --------------------------------------------------------------------------- #
@@ -135,9 +157,11 @@ class CacheStore:
     """Residency contract every cache store implements.
 
     ``get`` returns ``(status, value)`` with status ``"hit"``, ``"miss"``
-    or ``"expired"`` (expired entries are dropped on discovery); ``put``
-    returns how many entries were evicted to make room.  Stores own their
-    clock — the memory store takes an injectable (monotonic) one, the
+    or ``"expired"``.  Expired entries stay *resident* until refreshed,
+    evicted, or swept: they are the raw material for degraded stale
+    serving (:meth:`get_stale`), which the policy layer reaches for when
+    a fresh computation fails.  ``put`` returns how many entries were
+    evicted to make room.  Stores own their clock — the memory store takes an injectable (monotonic) one, the
     SQLite store uses wall-clock time because its expiries must survive
     process restarts.
 
@@ -162,6 +186,13 @@ class CacheStore:
         raise NotImplementedError
 
     def get(self, key: Hashable, touch: bool = True) -> Tuple[str, Any]:
+        raise NotImplementedError
+
+    def get_stale(self, key: Hashable) -> Tuple[str, Any]:
+        """Last-resort read: ``("stale", value)`` even for expired entries.
+
+        Returns ``("miss", None)`` only when nothing at all is resident.
+        """
         raise NotImplementedError
 
     def put(self, key: Hashable, fingerprint: str, value: Any,
@@ -217,11 +248,19 @@ class MemoryCacheStore(CacheStore):
                 return "miss", None
             value, expires_at, _ = entry
             if expires_at is not None and expires_at <= self._clock():
-                del self._entries[key]
+                # Keep the entry resident: it is the degraded-serving
+                # fallback if the recomputation fails (get_stale).
                 return "expired", None
             if touch:
                 self._entries.move_to_end(key)
             return "hit", value
+
+    def get_stale(self, key: Hashable) -> Tuple[str, Any]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return "miss", None
+            return "stale", entry[0]
 
     def put(self, key, fingerprint, value, ttl) -> int:
         expires_at = None if ttl is None else self._clock() + ttl
@@ -301,6 +340,17 @@ class SQLiteCacheStore(CacheStore):
     ``claim_timeout`` is presumed orphaned (its owner crashed mid-compute)
     and is stolen.  Claim traffic is counted — acquired / waited-on /
     stolen — and surfaced through :meth:`describe` into ``/v1/stats``.
+
+    **Resilience.**  Every DB-touching operation runs through two guards:
+    a bounded :class:`RetryPolicy` that absorbs transient
+    ``database is locked`` / ``database is busy`` contention (anything
+    else — disk I/O errors, corruption — still raises immediately), and
+    a :class:`CircuitBreaker` that opens after repeated ``sqlite3.Error``
+    failures so a broken cache file degrades to misses (reads) and
+    skipped writes instead of stalling every request behind a dead disk.
+    ``try_claim`` raises :class:`CircuitOpenError` while open, which the
+    policy layer's claim protocol already degrades to claim-less compute.
+    Pass ``lock_retry=None`` / ``breaker=None`` to disable either guard.
     """
 
     kind = "sqlite"
@@ -333,6 +383,8 @@ class SQLiteCacheStore(CacheStore):
         clock: Callable[[], float] = time.time,
         claim_timeout: float = 120.0,
         claim_poll_interval: float = 0.05,
+        lock_retry: Union[RetryPolicy, None, str] = "default",
+        breaker: Union[CircuitBreaker, None, str] = "default",
     ) -> None:
         if capacity < 1:
             raise ServiceError(f"cache store capacity must be >= 1, got {capacity}")
@@ -342,6 +394,19 @@ class SQLiteCacheStore(CacheStore):
             raise ServiceError(
                 f"claim poll interval must be positive, got {claim_poll_interval}"
             )
+        if lock_retry == "default":
+            # No jitter: the schedule must be deterministic, and lock
+            # contention is already randomized by the OS scheduler.
+            lock_retry = RetryPolicy(
+                attempts=4, base_delay=0.02, multiplier=2.0, max_delay=0.2, jitter=0.0
+            )
+        if breaker == "default":
+            breaker = CircuitBreaker(
+                name="cache-store", failure_threshold=5, reset_timeout=5.0
+            )
+        self.lock_retry = lock_retry
+        self.breaker = breaker
+        self._breaker_skips = 0
         self.path = Path(path)
         self.capacity = capacity
         #: Seconds after which an unreleased claim is presumed orphaned.
@@ -393,7 +458,60 @@ class SQLiteCacheStore(CacheStore):
         row = self._conn.execute("SELECT MAX(last_used) FROM results").fetchone()
         return (row[0] or 0) + 1
 
+    # ------------------------------------------------------------------ #
+    # resilience guards
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _is_lock_contention(error: BaseException) -> bool:
+        """True only for transient cross-process lock contention.
+
+        Deliberately narrow: ``disk I/O error``, ``database disk image is
+        malformed`` and friends are *not* retryable — retrying them only
+        delays the breaker's verdict.
+        """
+        if not isinstance(error, sqlite3.OperationalError):
+            return False
+        message = str(error).lower()
+        return "locked" in message or "busy" in message
+
+    def _resilient(self, fn: Callable[[], Any], fallback: Any) -> Any:
+        """Run one DB operation through the lock-retry and breaker guards.
+
+        ``fallback`` is returned (called, if callable) instead of touching
+        the DB while the breaker is open; pass ``None`` fallback semantics
+        via ``lambda: ...`` when ``None`` itself is not a sentinel.  A
+        fallback of :class:`CircuitOpenError` *type* means "raise while
+        open" (used by ``try_claim``).
+        """
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow():
+            with self._lock:
+                self._breaker_skips += 1
+            if fallback is CircuitOpenError:
+                raise CircuitOpenError(
+                    f"cache store breaker {breaker.name!r} is open",
+                    retry_after=breaker.remaining_open() or None,
+                )
+            return fallback() if callable(fallback) else fallback
+        try:
+            if self.lock_retry is not None:
+                value = self.lock_retry.run(fn, self._is_lock_contention)
+            else:
+                value = fn()
+        except sqlite3.Error:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return value
+
     def get(self, key: Hashable, touch: bool = True) -> Tuple[str, Any]:
+        return self._resilient(
+            lambda: self._get_impl(key, touch), lambda: ("miss", None)
+        )
+
+    def _get_impl(self, key: Hashable, touch: bool = True) -> Tuple[str, Any]:
         text = repr(key)
         with self._lock:
             row = self._conn.execute(
@@ -403,14 +521,9 @@ class SQLiteCacheStore(CacheStore):
                 return "miss", None
             blob, expires_at = row
             if expires_at is not None and expires_at <= self._clock():
-                # Re-assert the expiry in the DELETE: another process may
-                # have refreshed the key since our SELECT, and an unscoped
-                # delete would throw away its brand-new entry.
-                self._conn.execute(
-                    "DELETE FROM results WHERE key = ? "
-                    "AND expires_at IS NOT NULL AND expires_at <= ?",
-                    (text, self._clock()),
-                )
+                # Keep the row resident: it is the degraded-serving
+                # fallback if the recomputation fails (get_stale).  The
+                # refreshing put overwrites it; sweep() reclaims the rest.
                 return "expired", None
             try:
                 value = pickle.loads(blob)
@@ -430,7 +543,27 @@ class SQLiteCacheStore(CacheStore):
                     )
             return "hit", value
 
+    def get_stale(self, key: Hashable) -> Tuple[str, Any]:
+        # Last-resort read for degraded serving: not breaker-gated — when
+        # the store is the broken venue this is the one read still worth
+        # attempting, and its failure is absorbed by the policy layer.
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM results WHERE key = ?", (repr(key),)
+            ).fetchone()
+            if row is None:
+                return "miss", None
+            try:
+                return "stale", pickle.loads(row[0])
+            except Exception:  # noqa: BLE001 — corrupt blob: nothing to serve
+                return "miss", None
+
     def put(self, key, fingerprint, value, ttl) -> int:
+        return self._resilient(
+            lambda: self._put_impl(key, fingerprint, value, ttl), 0
+        )
+
+    def _put_impl(self, key, fingerprint, value, ttl) -> int:
         text = repr(key)
         now = self._clock()
         expires_at = None if ttl is None else now + ttl
@@ -461,6 +594,9 @@ class SQLiteCacheStore(CacheStore):
             return evicted
 
     def delete(self, key) -> bool:
+        return self._resilient(lambda: self._delete_impl(key), False)
+
+    def _delete_impl(self, key) -> bool:
         with self._lock:
             cursor = self._conn.execute(
                 "DELETE FROM results WHERE key = ?", (repr(key),)
@@ -468,24 +604,48 @@ class SQLiteCacheStore(CacheStore):
             return cursor.rowcount > 0
 
     def clear(self) -> None:
-        with self._lock:
-            self._conn.execute("DELETE FROM results")
+        def impl():
+            with self._lock:
+                self._conn.execute("DELETE FROM results")
+
+        self._resilient(impl, None)
 
     def sweep(self) -> int:
-        with self._lock:
-            cursor = self._conn.execute(
-                "DELETE FROM results WHERE expires_at IS NOT NULL "
-                "AND expires_at <= ?",
-                (self._clock(),),
-            )
-            return cursor.rowcount
+        def impl():
+            with self._lock:
+                cursor = self._conn.execute(
+                    "DELETE FROM results WHERE expires_at IS NOT NULL "
+                    "AND expires_at <= ?",
+                    (self._clock(),),
+                )
+                return cursor.rowcount
+
+        return self._resilient(impl, 0)
 
     def invalidate_fingerprint(self, fingerprint: str) -> int:
-        with self._lock:
-            cursor = self._conn.execute(
-                "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
-            )
-            return cursor.rowcount
+        # Not breaker-skipped: serving stale entries for a dataset that
+        # was just rewritten would be wrong, so invalidation must either
+        # succeed or raise (the service already counts those failures).
+        def impl():
+            with self._lock:
+                cursor = self._conn.execute(
+                    "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
+                )
+                return cursor.rowcount
+
+        breaker = self.breaker
+        try:
+            if self.lock_retry is not None:
+                count = self.lock_retry.run(impl, self._is_lock_contention)
+            else:
+                count = impl()
+        except sqlite3.Error:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return count
 
     # ------------------------------------------------------------------ #
     # cross-process single-flight claims
@@ -499,7 +659,17 @@ class SQLiteCacheStore(CacheStore):
         :attr:`claim_timeout` is stolen (counted in ``claims_stolen``);
         re-claiming one's own key refreshes the stamp instead of failing,
         so a retry loop can never deadlock on itself.
+
+        While the breaker is open this raises :class:`CircuitOpenError`
+        (the ``fallback is CircuitOpenError`` contract of
+        :meth:`_resilient`), which the policy layer's
+        ``_claim_or_adopt`` degrades to claim-less computation.
         """
+        return self._resilient(
+            lambda: self._try_claim_impl(key, owner), CircuitOpenError
+        )
+
+    def _try_claim_impl(self, key: Hashable, owner: str) -> bool:
         text = repr(key)
         now = self._clock()
         with self._lock, self._txn():
@@ -526,12 +696,21 @@ class SQLiteCacheStore(CacheStore):
             return False
 
     def release_claim(self, key: Hashable, owner: str) -> None:
-        """Drop ``owner``'s claim on ``key`` (no-op if stolen meanwhile)."""
-        with self._lock:
-            self._conn.execute(
-                "DELETE FROM claims WHERE key = ? AND owner = ?",
-                (repr(key), owner),
-            )
+        """Drop ``owner``'s claim on ``key`` (no-op if stolen meanwhile).
+
+        Skipped while the breaker is open: an orphaned row is reclaimed by
+        ``claim_timeout``, and hammering a broken DB to clean up after it
+        would only keep the breaker open longer.
+        """
+
+        def impl():
+            with self._lock:
+                self._conn.execute(
+                    "DELETE FROM claims WHERE key = ? AND owner = ?",
+                    (repr(key), owner),
+                )
+
+        self._resilient(impl, None)
 
     def note_claim_wait(self) -> None:
         """Count one adopted computation (this process waited, not worked)."""
@@ -550,18 +729,29 @@ class SQLiteCacheStore(CacheStore):
             return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
 
     def describe(self) -> Dict[str, Any]:
-        payload = super().describe()
+        try:
+            payload = super().describe()
+        except sqlite3.Error:  # broken DB must not break /v1/stats
+            payload = {"kind": self.kind, "entries": -1}
         payload["path"] = str(self.path)
         with self._lock:
-            active = self._conn.execute(
-                "SELECT COUNT(*) FROM claims"
-            ).fetchone()[0]
+            try:
+                active = self._conn.execute(
+                    "SELECT COUNT(*) FROM claims"
+                ).fetchone()[0]
+            except sqlite3.Error:
+                active = -1
             payload["claims"] = {
                 "acquired": self._claims_acquired,
                 "waited": self._claim_waits,
                 "stolen": self._claims_stolen,
                 "active": active,
             }
+            payload["breaker_skips"] = self._breaker_skips
+        if self.breaker is not None:
+            payload["breaker"] = self.breaker.describe()
+        if self.lock_retry is not None:
+            payload["lock_retry"] = self.lock_retry.describe()
         return payload
 
 
@@ -591,6 +781,14 @@ class ResultCache:
         Residency backend; defaults to a fresh :class:`MemoryCacheStore`.
         Pass a :class:`SQLiteCacheStore` for persistent, cross-process
         caching (the service builds one from ``cache_path``).
+    injector:
+        Optional fault injector (:class:`~repro.service.faults.FaultPlan`)
+        fired at the ``cache.get`` / ``cache.put`` seams.  ``None`` (the
+        default) costs one identity check per lookup.
+
+    Store failures on the lookup/insert path are absorbed (counted in
+    ``stats.store_errors``): a broken residency layer degrades the cache
+    to a pass-through, it never fails a request the kernel could serve.
     """
 
     def __init__(
@@ -599,6 +797,7 @@ class ResultCache:
         ttl: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
         store: Optional[CacheStore] = None,
+        injector: Optional[Any] = None,
     ) -> None:
         if capacity < 1:
             raise ServiceError(f"result cache capacity must be >= 1, got {capacity}")
@@ -609,6 +808,7 @@ class ResultCache:
         )
         self.capacity = getattr(self.store, "capacity", capacity)
         self.ttl = ttl
+        self._injector = injector
         self.stats = CacheStats()
         self._stats_lock = threading.Lock()
         self._flight_lock = threading.Lock()
@@ -635,15 +835,50 @@ class ResultCache:
     # ------------------------------------------------------------------ #
     # lookups
     # ------------------------------------------------------------------ #
-    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+    def _store_get(self, key: Hashable, touch: bool = True) -> Tuple[str, Any]:
+        """Store lookup with the ``cache.get`` seam and error absorption."""
+        try:
+            if self._injector is not None:
+                self._injector.fire("cache.get")
+            return self.store.get(key, touch=touch)
+        except Exception:  # noqa: BLE001 — residency failure degrades to miss
+            with self._stats_lock:
+                self.stats.store_errors += 1
+            logger.warning("cache store get failed for %r; treating as miss",
+                           key, exc_info=True)
+            return "miss", None
+
+    def _stale_value(self, key: Hashable) -> Optional[StaleServe]:
+        """The expired-but-resident value for ``key``, if any (best-effort)."""
+        try:
+            status, value = self.store.get_stale(key)
+        except Exception:  # noqa: BLE001 — no stale value to serve, that's all
+            return None
+        if status != "stale":
+            return None
+        return StaleServe(value)
+
+    def get_or_compute(
+        self,
+        key: Hashable,
+        compute: Callable[[], Any],
+        stale_ok: bool = False,
+    ) -> Any:
         """Return the cached value for ``key``, computing it at most once.
 
         Concurrent callers with the same key coalesce onto one computation;
         if that computation raises, every coalesced waiter sees the same
         exception and nothing is cached (the next request retries).
+
+        With ``stale_ok=True`` a failing computation falls back to the
+        expired-but-resident entry, returned wrapped in
+        :class:`StaleServe` (coalesced waiters see the same wrapper) so
+        the caller can mark the response degraded.  Deadline failures are
+        exempt: a request past its budget wants ``DEADLINE_EXCEEDED``,
+        not old data.
         """
         while True:
-            status, value = self.store.get(key)
+            status, value = self._store_get(key)
             if status == "hit":
                 with self._stats_lock:
                     self.stats.hits += 1
@@ -661,7 +896,7 @@ class ResultCache:
                     # "compute once" contract holds across the two locks.
                     # touch=False: never open a store write transaction
                     # while holding the global flight lock.
-                    status, value = self.store.get(key, touch=False)
+                    status, value = self._store_get(key, touch=False)
                     if status == "hit":
                         with self._stats_lock:
                             self.stats.hits += 1
@@ -695,6 +930,31 @@ class ResultCache:
         except BaseException as error:
             if claimed:
                 self._release_claim(key)
+            stale = None
+            if (
+                stale_ok
+                and isinstance(error, Exception)
+                and not isinstance(error, DeadlineExceededError)
+            ):
+                stale = self._stale_value(key)
+            if stale is not None:
+                # Degraded serving: the computation failed but an expired
+                # entry is still resident.  Publish the *wrapped* value to
+                # coalesced waiters (same degraded answer for everyone)
+                # and never re-put it — its expiry stamp stays old, so a
+                # healed backend refreshes it on the next request.
+                with self._stats_lock:
+                    self.stats.misses += 1
+                    self.stats.stale_serves += 1
+                with self._flight_lock:
+                    self._inflight.pop(key, None)
+                flight.value = stale
+                flight.done.set()
+                logger.warning(
+                    "serving stale cache entry for %r after compute failure: %s",
+                    key, error,
+                )
+                return stale
             flight.error = error
             with self._flight_lock:
                 self._inflight.pop(key, None)
@@ -715,10 +975,14 @@ class ResultCache:
         try:
             if not adopted:
                 try:
+                    if self._injector is not None:
+                        self._injector.fire("cache.put")
                     evicted = self.store.put(
                         key, fingerprint_of_key(key), value, self.ttl
                     )
                 except Exception:  # noqa: BLE001 — residency failure, value is good
+                    with self._stats_lock:
+                        self.stats.store_errors += 1
                     logger.warning(
                         "cache store put failed; serving uncached value for %r",
                         key, exc_info=True,

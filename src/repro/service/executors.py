@@ -37,13 +37,15 @@ import threading
 import time
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..api.plans import ComputePlan, prepared_applies, run_plan
-from ..errors import ServiceError
+from ..errors import DeadlineExceededError, ServiceError
 from ..graph.shm import SharedGraphManifest, shm_stats
+from .resilience import CircuitBreaker, Deadline
 
 logger = logging.getLogger(__name__)
 
@@ -109,6 +111,8 @@ class ExecutionBackend:
         self._shipped = 0
         self._fallbacks = 0
         self._errors = 0
+        self._deadline_rejected = 0
+        self._deadline_abandoned = 0
 
     # ------------------------------------------------------------------ #
     # interface
@@ -118,9 +122,40 @@ class ExecutionBackend:
         spec: DatasetExecSpec,
         plan: ComputePlan,
         local: Callable[[], Any],
+        deadline: Optional[Deadline] = None,
     ) -> Any:
-        """Execute one plan; ``local`` runs it in the parent as a fallback."""
+        """Execute one plan; ``local`` runs it in the parent as a fallback.
+
+        ``deadline``, when given, bounds the whole run: an already-expired
+        budget is rejected before any work, and a plan still running past
+        it is abandoned (result discarded, ``DEADLINE_EXCEEDED`` raised,
+        pools left healthy).
+        """
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # deadline bookkeeping shared by every backend
+    # ------------------------------------------------------------------ #
+    def _admit(self, deadline: Optional[Deadline]) -> None:
+        """Reject before dispatch if the budget is already spent."""
+        if deadline is not None and deadline.expired:
+            self._count(deadline_rejected=1)
+            raise DeadlineExceededError(
+                f"deadline of {deadline.budget_ms:g}ms expired before dispatch"
+            )
+
+    def _abandon(self, deadline: Deadline) -> None:
+        """Discard an in-flight result that finished (or hung) past budget."""
+        self._count(deadline_abandoned=1)
+        raise DeadlineExceededError(
+            f"plan exceeded its {deadline.budget_ms:g}ms deadline; "
+            "result abandoned"
+        )
+
+    def _finish(self, deadline: Optional[Deadline]) -> None:
+        """Post-completion check: a result computed past budget is discarded."""
+        if deadline is not None and deadline.expired:
+            self._abandon(deadline)
 
     def warm(self, spec: DatasetExecSpec) -> None:
         """Hint that a dataset was registered (process pools pre-load it)."""
@@ -131,12 +166,23 @@ class ExecutionBackend:
     # ------------------------------------------------------------------ #
     # accounting
     # ------------------------------------------------------------------ #
-    def _count(self, *, executed=0, shipped=0, fallbacks=0, errors=0) -> None:
+    def _count(
+        self,
+        *,
+        executed=0,
+        shipped=0,
+        fallbacks=0,
+        errors=0,
+        deadline_rejected=0,
+        deadline_abandoned=0,
+    ) -> None:
         with self._stats_lock:
             self._executed += executed
             self._shipped += shipped
             self._fallbacks += fallbacks
             self._errors += errors
+            self._deadline_rejected += deadline_rejected
+            self._deadline_abandoned += deadline_abandoned
 
     def stats(self) -> Dict[str, Any]:
         """JSON-friendly snapshot (surfaced through ``/v1/stats``)."""
@@ -147,6 +193,10 @@ class ExecutionBackend:
                 "shipped": self._shipped,
                 "fallbacks": self._fallbacks,
                 "errors": self._errors,
+                "deadline": {
+                    "rejected": self._deadline_rejected,
+                    "abandoned": self._deadline_abandoned,
+                },
             }
 
 
@@ -155,9 +205,15 @@ class InlineBackend(ExecutionBackend):
 
     name = "inline"
 
-    def run(self, spec, plan, local):
+    def run(self, spec, plan, local, deadline=None):
+        self._admit(deadline)
         self._count(executed=1)
-        return local()
+        value = local()
+        # Inline has nowhere to park an overdue computation, so the check
+        # happens after the fact: the result is discarded, the overrun
+        # counted, and the caller gets the typed deadline failure.
+        self._finish(deadline)
+        return value
 
 
 class ThreadBackend(ExecutionBackend):
@@ -181,9 +237,21 @@ class ThreadBackend(ExecutionBackend):
                 )
             return self._pool
 
-    def run(self, spec, plan, local):
+    def run(self, spec, plan, local, deadline=None):
+        self._admit(deadline)
         self._count(executed=1)
-        return self._ensure_pool().submit(local).result()
+        future = self._ensure_pool().submit(local)
+        try:
+            value = future.result(
+                timeout=None if deadline is None else max(0.0, deadline.remaining())
+            )
+        except FuturesTimeoutError:
+            # Abandon: the worker thread keeps running (daemonic pool, GIL
+            # shared anyway) but its result is discarded and the caller is
+            # unblocked with the typed deadline failure.
+            self._abandon(deadline)
+        self._finish(deadline)
+        return value
 
     def close(self) -> None:
         with self._pool_lock:
@@ -398,11 +466,22 @@ class ProcessBackend(ExecutionBackend):
         self,
         workers: int = DEFAULT_BACKEND_WORKERS,
         mp_context=None,
+        breaker: Union[CircuitBreaker, None, str] = "default",
     ) -> None:
         super().__init__()
         if workers < 1:
             raise ServiceError(f"process backend needs >= 1 worker, got {workers}")
         self.workers = workers
+        if breaker == "default":
+            # Trips on repeated pool deaths (BrokenProcessPool), not on
+            # plan errors: a venue that keeps losing workers stops being
+            # offered work and every plan runs in the parent until the
+            # half-open probe proves the pool healthy again.
+            breaker = CircuitBreaker(
+                name="process-pool", failure_threshold=3, reset_timeout=10.0
+            )
+        self.breaker = breaker
+        self._breaker_skips = 0
         self._mp_context = mp_context or _pick_mp_context()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_lock = threading.Lock()
@@ -457,37 +536,74 @@ class ProcessBackend(ExecutionBackend):
             with self._stats_lock:
                 self._worker_shm[report["pid"]] = report.get("shm", {})
 
-    def run(self, spec, plan, local):
+    def run(self, spec, plan, local, deadline=None):
+        self._admit(deadline)
         if not spec.process_capable:
             self._count(executed=1, fallbacks=1)
-            return local()
+            value = local()
+            self._finish(deadline)
+            return value
+        if self.breaker is not None and not self.breaker.allow():
+            # Venue quarantined: serve from the parent without touching
+            # (or creating) the pool.
+            with self._stats_lock:
+                self._breaker_skips += 1
+            self._count(executed=1, fallbacks=1)
+            value = local()
+            self._finish(deadline)
+            return value
         pool = self._ensure_pool()
+        future = pool.submit(_process_execute, spec, plan)
         try:
-            value = pool.submit(_process_execute, spec, plan).result()
+            value = future.result(
+                timeout=None if deadline is None else max(0.0, deadline.remaining())
+            )
+        except FuturesTimeoutError:
+            # Abandon the result but leave the pool healthy: the worker
+            # finishes (or keeps warming its dataset) and serves the next
+            # request; only this caller's wait is cut short.
+            self._abandon(deadline)
         except StaleDatasetError:
             # The file on disk moved past this request's fingerprint (a
             # hot-reload raced the dispatch).  The parent still holds the
             # retired store this fingerprint names, so local() serves the
             # request correctly instead of surfacing a spurious error.
+            # Not a venue failure: the pool did its job.
+            if self.breaker is not None:
+                self.breaker.record_success()
             self._count(executed=1, fallbacks=1)
-            return local()
+            value = local()
+            self._finish(deadline)
+            return value
         except BrokenProcessPool:
             # A worker died (OOM, hard kill).  Recreate the pool lazily and
-            # keep serving this request from the parent.
+            # keep serving this request from the parent.  This *is* the
+            # venue failure the breaker watches for.
             with self._pool_lock:
                 broken, self._pool = self._pool, None
             if broken is not None:
                 broken.shutdown(wait=False)
+            if self.breaker is not None:
+                self.breaker.record_failure()
             self._count(executed=1, fallbacks=1, errors=1)
-            return local()
+            value = local()
+            self._finish(deadline)
+            return value
         except BaseException:
             # The plan itself failed in the worker (typed mining/service
             # error, pickled back).  It still executed and shipped — count
             # it so backend accounting agrees across venues for identical
             # traffic — and re-raise for the normal error envelope path.
+            # The venue worked (it transported the failure), so the
+            # breaker records a success.
+            if self.breaker is not None:
+                self.breaker.record_success()
             self._count(executed=1, shipped=1, errors=1)
             raise
+        if self.breaker is not None:
+            self.breaker.record_success()
         self._count(executed=1, shipped=1)
+        self._finish(deadline)
         return value
 
     def close(self) -> None:
@@ -500,7 +616,10 @@ class ProcessBackend(ExecutionBackend):
         payload = super().stats()
         payload["workers"] = self.workers
         payload["warm_datasets"] = [spec.name for spec in self._warmed]
+        if self.breaker is not None:
+            payload["breaker"] = self.breaker.describe()
         with self._stats_lock:
+            payload["breaker_skips"] = self._breaker_skips
             reports = dict(self._worker_shm)
         payload["worker_shm"] = {
             "workers_reporting": len(reports),
@@ -590,20 +709,37 @@ class AutoBackend(ExecutionBackend):
             return static, {"rule": "static", "static": static}
         return self.cost_model.choose(operation, self._eligible(spec), static)
 
-    def run(self, spec, plan, local):
+    def run(self, spec, plan, local, deadline=None):
+        self._admit(deadline)
         choice, basis = self._choose(spec, plan.operation)
+        if deadline is not None and self.cost_model is not None:
+            # Admission control: the measured EWMA latency for this venue
+            # is the best estimate of what the plan will cost.  A plan
+            # predicted to blow the budget is rejected *before* compute —
+            # the client learns in microseconds, not after the deadline.
+            predicted = self.cost_model.predict(plan.operation, choice)
+            if predicted is not None and predicted > deadline.remaining():
+                self._count(deadline_rejected=1)
+                raise DeadlineExceededError(
+                    f"{plan.operation} predicted to take {predicted * 1000:.1f}ms "
+                    f"on {choice!r} but only {max(0.0, deadline.remaining()) * 1000:.1f}ms "
+                    "of budget remains"
+                )
         with self._choice_lock:
             self._choices[f"{plan.operation}:{choice}"] += 1
             self._decisions[plan.operation] = dict(basis, venue=choice)
         started = time.perf_counter()
         if choice == "process":
-            value = self._process.run(spec, plan, local)
+            value = self._process.run(spec, plan, local, deadline=deadline)
         elif choice == "thread":
-            value = self._thread.run(spec, plan, local)
+            value = self._thread.run(spec, plan, local, deadline=deadline)
         else:
             self._count(executed=1)
             value = local()
+            self._finish(deadline)
         if self.cost_model is not None:
+            # Only successful completions reach here; abandoned/rejected
+            # runs raise above, so timeout waits never poison the model.
             self.cost_model.observe(
                 plan.operation, choice, time.perf_counter() - started
             )
@@ -631,6 +767,10 @@ class AutoBackend(ExecutionBackend):
             decisions = {op: dict(basis) for op, basis in self._decisions.items()}
         for counter in ("executed", "shipped", "fallbacks", "errors"):
             own[counter] += sum(stats[counter] for stats in delegates.values())
+        for counter in ("rejected", "abandoned"):
+            own["deadline"][counter] += sum(
+                stats["deadline"][counter] for stats in delegates.values()
+            )
         own["name"] = self.name
         own["workers"] = self.workers
         own["cpu_count"] = self.cpu_count

@@ -1,0 +1,196 @@
+"""Deterministic fault injection for chaos testing the service stack.
+
+A :class:`FaultPlan` is an *injector*: production code is instrumented at
+a handful of named seams (``SEAMS`` below) with a single guarded call ::
+
+    if self._injector is not None:
+        self._injector.fire("worker.run")
+
+and a plan decides — reproducibly, from its seed — whether that call
+sleeps, raises, or hard-kills the process.  With no injector configured
+the seam is one ``is not None`` check, so the production path pays
+nothing (the bench-http gate pins this at <= 2% overhead).
+
+Determinism: each ``(seed, seam, rule-index)`` triple owns an independent
+``random.Random`` stream, so the decision sequence at one seam depends
+only on how many times *that seam* fired — not on interleaving with other
+seams.  Single-threaded request loops therefore reproduce byte-for-byte
+from the seed; concurrent loops stay reproducible per-seam in aggregate.
+
+Rules are additive and can be attached after the plan is threaded through
+constructors — handy for "prime the cache healthy, then break the
+backend" test choreography.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+import random
+
+__all__ = ["SEAMS", "FaultPlan", "FaultRule"]
+
+#: The named injection points instrumented across the service stack.
+SEAMS = (
+    "cache.get",  # ResultCache -> CacheStore.get
+    "cache.put",  # ResultCache -> CacheStore.put
+    "worker.run",  # GMineService._execute_op -> ExecutionBackend.run
+    "store.read",  # plan execution's dataset/store access (inside local())
+    "feed.publish",  # ChangeFeed.publish
+)
+
+
+class FaultRule:
+    """One fault at one seam: probability, effect, and an optional budget."""
+
+    __slots__ = ("seam", "probability", "error", "latency", "crash", "times", "fired")
+
+    def __init__(
+        self,
+        seam: str,
+        probability: float = 1.0,
+        error: Optional[BaseException] = None,
+        latency: float = 0.0,
+        crash: bool = False,
+        times: Optional[int] = None,
+    ) -> None:
+        if seam not in SEAMS:
+            raise ValueError(f"unknown fault seam {seam!r}; known seams: {SEAMS}")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability!r}")
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency!r}")
+        if times is not None and times < 1:
+            raise ValueError(f"times must be >= 1, got {times!r}")
+        self.seam = seam
+        self.probability = float(probability)
+        self.error = error
+        self.latency = float(latency)
+        self.crash = bool(crash)
+        self.times = times
+        self.fired = 0
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "seam": self.seam,
+            "probability": self.probability,
+            "error": None if self.error is None else type(self.error).__name__,
+            "latency": self.latency,
+            "crash": self.crash,
+            "times": self.times,
+            "fired": self.fired,
+        }
+
+
+class FaultPlan:
+    """A seeded, reproducible set of fault rules keyed by seam.
+
+    Build one, chain ``.on(...)`` calls, and hand it to
+    ``GMineService(fault_injector=plan)`` (or directly to the component
+    under test).  ``fire(seam)`` is what the instrumented seams call.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+        crash: Callable[[], None] = lambda: os._exit(86),
+    ) -> None:
+        self.seed = int(seed)
+        self._sleep = sleep
+        self._crash = crash
+        self._lock = threading.Lock()
+        self._rules: Dict[str, List[FaultRule]] = {}
+        self._rngs: Dict[tuple, random.Random] = {}
+        self._fired: Dict[str, int] = {}
+        self._calls: Dict[str, int] = {}
+
+    def on(
+        self,
+        seam: str,
+        probability: float = 1.0,
+        error: Optional[BaseException] = None,
+        latency: float = 0.0,
+        crash: bool = False,
+        times: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Attach a rule; returns self for chaining."""
+        rule = FaultRule(seam, probability, error, latency, crash, times)
+        with self._lock:
+            rules = self._rules.setdefault(seam, [])
+            index = len(rules)
+            rules.append(rule)
+            # One independent stream per rule: decisions at this seam are a
+            # pure function of (seed, seam, index, fire-ordinal).
+            self._rngs[(seam, index)] = random.Random(
+                f"{self.seed}:{seam}:{index}".encode("utf-8")
+            )
+        return self
+
+    def reset(self, seam: Optional[str] = None) -> None:
+        """Drop rules (one seam or all); counters survive for describe()."""
+        with self._lock:
+            if seam is None:
+                self._rules.clear()
+                self._rngs.clear()
+            else:
+                self._rules.pop(seam, None)
+                for key in [k for k in self._rngs if k[0] == seam]:
+                    del self._rngs[key]
+
+    def fire(self, seam: str) -> None:
+        """Evaluate rules for ``seam``; sleep/raise/crash per the draw."""
+        with self._lock:
+            self._calls[seam] = self._calls.get(seam, 0) + 1
+            rules = self._rules.get(seam)
+            if not rules:
+                return
+            latency = 0.0
+            chosen: Optional[FaultRule] = None
+            for index, rule in enumerate(rules):
+                if rule.times is not None and rule.fired >= rule.times:
+                    continue
+                if self._rngs[(seam, index)].random() >= rule.probability:
+                    continue
+                rule.fired += 1
+                self._fired[seam] = self._fired.get(seam, 0) + 1
+                latency += rule.latency
+                if rule.error is not None or rule.crash:
+                    chosen = rule
+                    break
+        if latency > 0:
+            self._sleep(latency)
+        if chosen is not None:
+            if chosen.crash:
+                # The real hook never returns (os._exit); an injected test
+                # hook may, and then there is nothing left to raise.
+                self._crash()
+                return
+            # Raise a *fresh* instance so tracebacks don't accumulate on a
+            # shared exception object across fires.
+            error = chosen.error
+            raise error.__class__(*error.args)
+
+    def fired(self, seam: str) -> int:
+        with self._lock:
+            return self._fired.get(seam, 0)
+
+    def calls(self, seam: str) -> int:
+        with self._lock:
+            return self._calls.get(seam, 0)
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "fired": dict(self._fired),
+                "calls": dict(self._calls),
+                "rules": [
+                    rule.describe()
+                    for rules in self._rules.values()
+                    for rule in rules
+                ],
+            }

@@ -75,16 +75,43 @@ class ChangeEvent:
 
 
 class ChangeFeed:
-    """Bounded event log + condition variable for one dataset's changes."""
+    """Bounded event log + condition variable for one dataset's changes.
 
-    def __init__(self, history: int = 256) -> None:
+    ``close()`` wakes every long-poller immediately (they return their
+    empty/partial result instead of sleeping out the timeout) so service
+    shutdown never hangs behind a subscriber holding the condition
+    variable.  ``injector`` is the optional fault injector fired at the
+    ``feed.publish`` seam.
+    """
+
+    def __init__(self, history: int = 256, injector: Optional[Any] = None) -> None:
         if history < 1:
             raise ValueError(f"change feed history must be >= 1, got {history}")
         self.history = history
+        self._injector = injector
         self._cond = threading.Condition()
         self._events: List[ChangeEvent] = []
         self._next_seq = 1
         self._published = 0
+        self._closed = False
+        self._waiters = 0
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    @property
+    def waiters(self) -> int:
+        """Long-polls currently parked on the condition variable."""
+        with self._cond:
+            return self._waiters
+
+    def close(self) -> None:
+        """Wake every waiting long-poll and refuse further blocking waits."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
 
     @property
     def last_seq(self) -> int:
@@ -94,6 +121,10 @@ class ChangeFeed:
 
     def publish(self, **fields: Any) -> ChangeEvent:
         """Stamp, append and broadcast one event; returns it."""
+        if self._injector is not None:
+            # Outside the lock: an injected latency spike must not block
+            # subscribers, and an injected error leaves the log untouched.
+            self._injector.fire("feed.publish")
         with self._cond:
             event = ChangeEvent(seq=self._next_seq, **fields)
             self._next_seq += 1
@@ -144,7 +175,15 @@ class ChangeFeed:
                 if events:
                     # Nothing relevant, but don't re-scan these next time.
                     since = events[-1].seq
+                if self._closed:
+                    # Server shutting down: return the empty long-poll now
+                    # so the request thread can finish and be joined.
+                    return [], False, since
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     return [], False, since
-                self._cond.wait(timeout=remaining)
+                self._waiters += 1
+                try:
+                    self._cond.wait(timeout=remaining)
+                finally:
+                    self._waiters -= 1

@@ -57,11 +57,12 @@ from ..graph.io import load_graph_auto
 from ..graph.shm import shm_stats
 from ..mining.rwr import RWRResult, refresh_rwr
 from ..storage.gtree_store import GTreeStore, save_gtree
-from .cache import ResultCache, SQLiteCacheStore
+from .cache import ResultCache, SQLiteCacheStore, StaleServe
 from .costmodel import CostModel
 from .datasets import DEFAULT_DATASET, DatasetHandle, DatasetRegistry
 from .executors import ExecutionBackend, make_backend
 from .feeds import ChangeFeed
+from .resilience import Deadline
 from .sessions import DEFAULT_SESSION_TTL, ServiceSession, SessionManager
 
 logger = logging.getLogger(__name__)
@@ -85,6 +86,8 @@ class QueryRequest:
     operation: str
     args: Dict[str, Any] = field(default_factory=dict)
     dataset: Optional[str] = None
+    #: Total latency budget in milliseconds (``None`` = no deadline).
+    deadline_ms: Optional[float] = None
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "QueryRequest":
@@ -92,10 +95,14 @@ class QueryRequest:
         operation = payload.get("operation", payload.get("op"))
         if not operation:
             raise ServiceError(f"request payload has no operation: {payload!r}")
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None:
+            deadline_ms = float(deadline_ms)
         return cls(
             operation=str(operation),
             args=dict(payload.get("args", {})),
             dataset=payload.get("dataset"),
+            deadline_ms=deadline_ms,
         )
 
 
@@ -115,6 +122,9 @@ class QueryResult:
     error_type: str = ""
     code: str = ""
     cached: bool = False
+    #: True when the value is an expired cache entry served because the
+    #: backing computation failed (degraded mode); ``cached`` is also set.
+    degraded: bool = False
     #: Structured extras for the wire error (e.g. a GPath parse error's
     #: source span); forwarded verbatim into ``WireError.details``.
     error_details: Optional[Dict[str, Any]] = None
@@ -199,6 +209,7 @@ class GMineService:
         cache_path: Optional[Union[str, Path]] = None,
         shared_prepared: Optional[bool] = None,
         cost_model_path: Optional[Union[str, Path]] = None,
+        fault_injector: Optional[Any] = None,
     ) -> None:
         import time
 
@@ -206,11 +217,17 @@ class GMineService:
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._injector = fault_injector
+        self._clock = clock
         store = None
         if cache_path is not None:
             store = SQLiteCacheStore(cache_path, capacity=cache_capacity)
         self.cache = ResultCache(
-            capacity=cache_capacity, ttl=cache_ttl, clock=clock, store=store
+            capacity=cache_capacity,
+            ttl=cache_ttl,
+            clock=clock,
+            store=store,
+            injector=fault_injector,
         )
         backend_name = (
             backend.name if isinstance(backend, ExecutionBackend)
@@ -237,6 +254,7 @@ class GMineService:
         # lazily so subscribing to a dataset that never changes costs one
         # small ring buffer at most.
         self._feeds: Dict[str, ChangeFeed] = {}
+        self._closing = False
         # Per-dataset LRU of the most recent converged power-iteration
         # steady states, keyed by canonical args (no fingerprint): the warm
         # starts ``dataset.apply {refresh_rwr: true}`` reseeds from.
@@ -255,6 +273,13 @@ class GMineService:
         """
         with self._lock:
             executor, self._executor = self._executor, None
+            feeds = list(self._feeds.values())
+            self._closing = True
+        # Wake long-polling subscribers first: worker threads blocked in
+        # ``dataset.subscribe`` return immediately instead of sleeping out
+        # their timeout, so the executor shutdown below cannot hang.
+        for feed in feeds:
+            feed.close()
         if executor is not None:
             executor.shutdown(wait=True)
         self.backend.close()
@@ -455,9 +480,17 @@ class GMineService:
         events, lagged, next_since = self._feed(handle.name).wait_for(
             int(since), wait, scope if isinstance(scope, str) else None
         )
+        # Re-resolve for the freshest fingerprint (the dataset may have
+        # been swapped while we waited) — but a wake caused by shutdown
+        # finds the registry already cleared, so fall back to the handle
+        # resolved at entry rather than failing the (clean) long-poll.
+        try:
+            fingerprint = self._dataset(dataset).fingerprint
+        except GMineError:
+            fingerprint = handle.fingerprint
         return {
             "dataset": handle.name,
-            "fingerprint": self._dataset(dataset).fingerprint,
+            "fingerprint": fingerprint,
             "since": int(since),
             "next_since": next_since,
             "lagged": lagged,
@@ -466,7 +499,12 @@ class GMineService:
 
     def _feed(self, name: str) -> ChangeFeed:
         with self._lock:
-            return self._feeds.setdefault(name, ChangeFeed())
+            feed = self._feeds.setdefault(name, ChangeFeed(injector=self._injector))
+            if self._closing:
+                # A long-poll that races service shutdown must not park on
+                # a fresh feed nobody will ever wake.
+                feed.close()
+            return feed
 
     def _invalidate_for(self, report: Dict[str, Any]) -> int:
         """Drop cache entries retired by one apply/reload change report.
@@ -507,14 +545,24 @@ class GMineService:
         return invalidated
 
     def _publish_change(self, report: Dict[str, Any], kind: str) -> None:
-        self._feed(report["dataset"]).publish(
-            dataset=report["dataset"],
-            kind=kind,
-            fingerprint=report["fingerprint"],
-            previous_fingerprint=report["previous_fingerprint"],
-            changed_partitions=dict(report.get("changed_partitions", {})),
-            edits=int(report.get("edits", 0)),
-        )
+        # The edit has already committed; a broken feed (or an injected
+        # ``feed.publish`` fault) must not turn a successful apply into an
+        # error.  Subscribers that miss the event resync via ``lagged``.
+        try:
+            self._feed(report["dataset"]).publish(
+                dataset=report["dataset"],
+                kind=kind,
+                fingerprint=report["fingerprint"],
+                previous_fingerprint=report["previous_fingerprint"],
+                changed_partitions=dict(report.get("changed_partitions", {})),
+                edits=int(report.get("edits", 0)),
+            )
+        except Exception:  # noqa: BLE001 — notification is best-effort
+            logger.warning(
+                "change-feed publish failed for dataset %r (%s); subscribers "
+                "will observe the change as a lag/resync",
+                report["dataset"], kind, exc_info=True,
+            )
 
     def fingerprint(self, dataset: Optional[str] = None) -> str:
         """The cache-key fingerprint of a dataset's tree."""
@@ -653,12 +701,12 @@ class GMineService:
         """Execute one registered operation through the cache; raises on failure."""
         spec = self.registry.get(operation)
         if spec.scope != "dataset":
-            value, _, _ = self._dispatch_session(
+            value, _, _, _ = self._dispatch_session(
                 spec, self._session_args(spec, args, dataset)
             )
             return value
         handle = self._dataset(dataset)
-        value, _ = self._dispatch(handle, operation, args)
+        value, _, _ = self._dispatch(handle, operation, args)
         return value
 
     def metrics(self, community=None, dataset=None, hop_sample_size=None):
@@ -723,17 +771,26 @@ class GMineService:
         if isinstance(request, dict):
             request = QueryRequest.from_dict(request)
         fingerprint: Optional[str] = None
+        degraded = False
         try:
+            deadline = (
+                None
+                if request.deadline_ms is None
+                else Deadline(request.deadline_ms, clock=self._clock)
+            )
             spec = self.registry.get(request.operation)
             if spec.scope != "dataset":
-                value, cached, fingerprint = self._dispatch_session(
+                if deadline is not None:
+                    deadline.check("dispatch")
+                value, cached, degraded, fingerprint = self._dispatch_session(
                     spec,
                     self._session_args(spec, dict(request.args), request.dataset),
                 )
             else:
                 handle = self._dataset(request.dataset)
-                value, cached = self._dispatch(
-                    handle, request.operation, dict(request.args)
+                value, cached, degraded = self._dispatch(
+                    handle, request.operation, dict(request.args),
+                    deadline=deadline,
                 )
                 if spec.stream is not None:
                     # Streamed results carry the fingerprint of the very
@@ -757,7 +814,7 @@ class GMineService:
             )
         return QueryResult(
             request=request, ok=True, value=value, cached=cached,
-            fingerprint=fingerprint,
+            degraded=degraded, fingerprint=fingerprint,
         )
 
     def batch(
@@ -811,8 +868,13 @@ class GMineService:
                 if spec.scope == "dataset" and spec.cacheable:
                     handle = self._dataset(request.dataset)
                     canonical = spec.canonicalize(request.args, handle.context)
-                    key = spec.cache_key(
-                        self._scope_fp(handle, spec, canonical), canonical
+                    # Requests with different deadlines are not identical:
+                    # one may fast-reject while its twin completes.
+                    key = (
+                        spec.cache_key(
+                            self._scope_fp(handle, spec, canonical), canonical
+                        ),
+                        request.deadline_ms,
                     )
             except (GMineError, TypeError, ValueError):
                 pass
@@ -843,6 +905,7 @@ class GMineService:
                         error_type=outcome.error_type,
                         code=outcome.code,
                         cached=True,
+                        degraded=outcome.degraded,
                         error_details=outcome.error_details,
                         fingerprint=outcome.fingerprint,
                     )
@@ -886,9 +949,11 @@ class GMineService:
             computed = dict(self._compute_counts)
         with self._lock:
             feeds = {name: feed.last_seq for name, feed in self._feeds.items()}
+        backend_stats = self.backend.stats()
         return {
             "cache": self.cache.describe(),
-            "backend": self.backend.stats(),
+            "backend": backend_stats,
+            "resilience": self._resilience_stats(backend_stats),
             "computed": computed,
             "sessions": {
                 "active": len(self.sessions),
@@ -902,6 +967,67 @@ class GMineService:
                 enabled=self.registry_of_datasets.share_prepared,
             ),
             "feeds": feeds,
+        }
+
+    def _breaker_states(
+        self, backend_stats: Optional[Dict[str, Any]] = None
+    ) -> List[Dict[str, Any]]:
+        """Every circuit breaker's ``describe()`` across backend and cache."""
+        found: List[Dict[str, Any]] = []
+
+        def walk(node: Any) -> None:
+            if not isinstance(node, dict):
+                return
+            breaker = node.get("breaker")
+            if isinstance(breaker, dict) and "state" in breaker:
+                found.append(breaker)
+            for value in node.values():
+                if isinstance(value, dict):
+                    walk(value)
+
+        walk(backend_stats if backend_stats is not None else self.backend.stats())
+        store_breaker = getattr(self.cache.store, "breaker", None)
+        if store_breaker is not None:
+            found.append(store_breaker.describe())
+        return found
+
+    def _resilience_stats(
+        self, backend_stats: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """The ``resilience`` block of ``/v1/stats``: breakers, deadlines, degradation."""
+        if backend_stats is None:
+            backend_stats = self.backend.stats()
+        cache_stats = self.cache.stats.as_dict()
+        payload: Dict[str, Any] = {
+            "breakers": self._breaker_states(backend_stats),
+            "deadline": dict(
+                backend_stats.get("deadline", {"rejected": 0, "abandoned": 0})
+            ),
+            "stale_serves": cache_stats.get("stale_serves", 0),
+            "store_errors": cache_stats.get("store_errors", 0),
+        }
+        if self._injector is not None and hasattr(self._injector, "describe"):
+            payload["faults"] = self._injector.describe()
+        return payload
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness/readiness snapshot backing ``/healthz`` and ``/readyz``.
+
+        ``ok`` is liveness (the service object answers at all); ``ready``
+        means it can serve real traffic: at least one dataset is
+        registered and no circuit breaker is currently open.  Half-open
+        breakers count as ready — probes are how they heal.
+        """
+        breakers = self._breaker_states()
+        open_breakers = [
+            breaker["name"] for breaker in breakers if breaker["state"] == "open"
+        ]
+        datasets = self.datasets()
+        return {
+            "ok": True,
+            "ready": bool(datasets) and not open_breakers,
+            "datasets": len(datasets),
+            "open_breakers": open_breakers,
         }
 
     def _computed(self, operation: str, compute: Callable[[], Any]) -> Any:
@@ -935,9 +1061,9 @@ class GMineService:
     def _dispatch_session(self, spec: OpSpec, args: Dict[str, Any]):
         """Run one session- or service-scoped op.
 
-        Returns ``(value, cached, fingerprint)`` — the fingerprint is the
-        delegated dataset snapshot's scope fingerprint for streamable
-        mining variants, ``None`` for lifecycle ops.
+        Returns ``(value, cached, degraded, fingerprint)`` — the
+        fingerprint is the delegated dataset snapshot's scope fingerprint
+        for streamable mining variants, ``None`` for lifecycle ops.
 
         Session ops canonicalize through their spec exactly like dataset
         ops but bypass the result cache — their outcomes depend on live
@@ -952,10 +1078,10 @@ class GMineService:
         canonical = spec.canonicalize(args)
         value = spec.handler(ServiceOpContext(service=self), canonical)
         if isinstance(value, DelegatedResult):
-            return value.value, value.cached, value.fingerprint
+            return value.value, value.cached, value.degraded, value.fingerprint
         with self._lock:
             self._compute_counts[spec.name] += 1
-        return value, False, None
+        return value, False, False, None
 
     def dispatch_in_session(self, session: ServiceSession, operation: str, args):
         """Dataset dispatch under a session's dataset.
@@ -966,18 +1092,25 @@ class GMineService:
         the fingerprint (streamable twins only) is the scope fingerprint
         of the exact handle snapshot the dispatch ran against, so session
         stream cursors pin the content version that produced their pages.
+        Returns ``(value, cached, degraded, fingerprint)``.
         """
         handle = self._dataset(session.dataset)
-        value, cached = self._dispatch(handle, operation, dict(args))
+        value, cached, degraded = self._dispatch(handle, operation, dict(args))
         spec = self.registry.get(operation)
         fingerprint = None
         if spec.stream is not None:
             canonical = spec.canonicalize(dict(args), handle.context)
             fingerprint = self._scope_fp(handle, spec, canonical)
-        return value, cached, fingerprint
+        return value, cached, degraded, fingerprint
 
-    def _dispatch(self, handle: DatasetHandle, operation: str, args: Dict[str, Any]):
-        """Run one registered operation; returns ``(value, cached)``.
+    def _dispatch(
+        self,
+        handle: DatasetHandle,
+        operation: str,
+        args: Dict[str, Any],
+        deadline: Optional[Deadline] = None,
+    ):
+        """Run one registered operation; returns ``(value, cached, degraded)``.
 
         The spec supplies everything: validation and canonicalization
         (:meth:`OpSpec.canonicalize`), the cache key derived from spec
@@ -985,6 +1118,11 @@ class GMineService:
         for plannable expensive ops — the picklable plan the configured
         backend executes.  Non-cacheable ops bypass the result cache
         entirely.
+
+        Cacheable ops ask the cache for ``stale_ok`` degraded serving: if
+        the compute fails with anything but a deadline expiry and an
+        expired entry for the key is still resident, that stale value is
+        served with ``degraded=True`` instead of the error.
         """
         spec = self.registry.get(operation)
         canonical = spec.canonicalize(args, handle.context)
@@ -992,17 +1130,24 @@ class GMineService:
         def compute() -> Any:
             performed.append(True)
             return self._computed(
-                operation, lambda: self._execute_op(handle, spec, canonical)
+                operation,
+                lambda: self._execute_op(handle, spec, canonical, deadline),
             )
 
         performed: List[bool] = []
+        if deadline is not None:
+            deadline.check("dispatch")
         if not spec.cacheable:
-            return compute(), False
+            return compute(), False, False
         key = spec.cache_key(self._scope_fp(handle, spec, canonical), canonical)
-        value = self.cache.get_or_compute(key, compute)
+        value = self.cache.get_or_compute(key, compute, stale_ok=True)
+        if isinstance(value, StaleServe):
+            # Expired entry served because the backend failed: honest flags,
+            # and no warm-start bookkeeping from possibly-outdated numbers.
+            return value.value, True, True
         if operation == "rwr":
             self._remember_rwr(handle, canonical, value)
-        return value, not performed
+        return value, not performed, False
 
     @staticmethod
     def _scope_fp(handle: DatasetHandle, spec: OpSpec, canonical) -> str:
@@ -1105,7 +1250,11 @@ class GMineService:
         return counts
 
     def _execute_op(
-        self, handle: DatasetHandle, spec: OpSpec, canonical: Dict[str, Any]
+        self,
+        handle: DatasetHandle,
+        spec: OpSpec,
+        canonical: Dict[str, Any],
+        deadline: Optional[Deadline] = None,
     ) -> Any:
         """Run one canonicalized op on the right venue.
 
@@ -1113,9 +1262,15 @@ class GMineService:
         the plan to a worker process, run it on a kernel thread, or fall
         back to the parent); cheap ops — tree lookups, edge inspection —
         always run in the parent, honouring the spec's declared cost class.
+        The deadline travels with the plan so backends can fast-reject and
+        abandon; injected ``worker.run``/``store.read`` faults fire at the
+        same boundaries real backend/store failures occur.
         """
+        injector = self._injector
 
         def local() -> Any:
+            if injector is not None:
+                injector.fire("store.read")
             return spec.handler(
                 OpContext(
                     engine=handle.make_engine(),
@@ -1126,8 +1281,10 @@ class GMineService:
 
         if spec.planner is None or spec.cost != "expensive":
             return local()
+        if injector is not None:
+            injector.fire("worker.run")
         plan = spec.plan(canonical)
-        return self.backend.run(handle.exec_spec(), plan, local)
+        return self.backend.run(handle.exec_spec(), plan, local, deadline=deadline)
 
 
 def _metrics_on_subgraph(subgraph: Graph, canonical: Dict[str, Any]):

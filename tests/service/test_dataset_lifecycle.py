@@ -147,7 +147,7 @@ class TestReloadSafety:
             assert fresh.store is not handle.store
             # Finishing the old request computes against the old tree and
             # caches under the old fingerprint — a correct pair.
-            value, cached = service._dispatch(handle, "connectivity", {})
+            value, cached, _degraded = service._dispatch(handle, "connectivity", {})
             assert value is not None and not cached
 
     def test_close_drains_retired_stores(self, rebuildable_store):
