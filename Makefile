@@ -64,11 +64,20 @@
 #                      below 5x rebuild, blocked exact below 2x looped,
 #                      or either path diverges bitwise (the CI gate for
 #                      the zero-copy prepared-graph layer)
+#   make bench-shard — sharded execution: byte parity of sharded vs inline
+#                      wire envelopes (rwr, scatter rwr, metrics, GPath)
+#                      gated BEFORE any timing counts, then a stream of
+#                      single-community RWR requests against sharded:2 vs
+#                      the store-backed process:2 pool (both ship every
+#                      plan); writes benchmarks/BENCH_shard.json and FAILS
+#                      on any byte divergence or if single-shard-routed
+#                      latency exceeds 1.15x the unsharded pool (the CI
+#                      gate for the shard subsystem)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check tier1 smoke serve-smoke chaos bench-http bench-exec bench-kernels bench-mutate bench-path bench-shm bench-chaos test-all test-slow
+.PHONY: check tier1 smoke serve-smoke chaos bench-http bench-exec bench-kernels bench-mutate bench-path bench-shm bench-chaos bench-shard test-all test-slow
 
 check: tier1 smoke serve-smoke
 	@echo "check: tier-1 tests, service smoke and HTTP serve-smoke passed"
@@ -105,6 +114,9 @@ chaos:
 
 bench-chaos:
 	$(PYTHON) benchmarks/bench_chaos.py
+
+bench-shard:
+	$(PYTHON) benchmarks/bench_shard.py
 
 test-all:
 	$(PYTHON) -m pytest -q -m "slow or not slow"

@@ -47,6 +47,7 @@ from .plans import plan_for, run_plan
 from .registry import (
     ArgSpec,
     CanonicalizationContext,
+    MergeSpec,
     OperationRegistry,
     OpSpec,
     StreamSpec,
@@ -249,11 +250,18 @@ def _finalize_path(canonical: Dict[str, Any], ctx) -> Dict[str, Any]:
     # by that partition's Merkle sub-fingerprint, exactly like any other
     # community-scoped op.
     compiled = compile_query(parse(canonical["path"]), ctx.tree)
-    return {
+    finalized = {
         "path": canonical["path"],
         "community": compiled.community,
         "plan": compiled.plan,
     }
+    # Multi-community scopes (``community(a, b)/...``) record the touched
+    # partition labels so a sharded backend can route the plan point-to-point
+    # when one shard owns them all.  Added only when present, so cache keys
+    # for every single-community query are unchanged.
+    if compiled.communities:
+        finalized["communities"] = compiled.communities
+    return finalized
 
 
 # --------------------------------------------------------------------------- #
@@ -631,6 +639,11 @@ def _build_dataset_specs() -> List[OpSpec]:
                 planner=_make_planner("metrics", "metrics"),
                 # Pure function of the community's induced subgraph.
                 partition_arg="community",
+                merge=MergeSpec(
+                    "route",
+                    doc="community-scoped metrics route whole to the owning "
+                        "shard; cross-shard scopes run at the parent",
+                ),
             ),
             OpSpec(
                 name="rwr",
@@ -656,6 +669,13 @@ def _build_dataset_specs() -> List[OpSpec]:
                 ),
                 # The walk never leaves the community's induced subgraph.
                 partition_arg="community",
+                merge=MergeSpec(
+                    "scatter",
+                    doc="scoped walks route to the owning shard; whole-graph "
+                        "power iteration scatters the transition matvec "
+                        "across shard row slices and gathers bit-identically "
+                        "at the parent",
+                ),
             ),
             OpSpec(
                 name="connection_subgraph",
@@ -683,6 +703,11 @@ def _build_dataset_specs() -> List[OpSpec]:
                 ),
                 # CePS extracts within the community's induced subgraph.
                 partition_arg="community",
+                merge=MergeSpec(
+                    "route",
+                    doc="community-scoped extraction routes whole to the "
+                        "owning shard",
+                ),
             ),
             OpSpec(
                 name="query.path",
@@ -713,6 +738,12 @@ def _build_dataset_specs() -> List[OpSpec]:
                 # community's subtree to that community, so their cache
                 # entries ride the partition Merkle sub-fingerprints.
                 partition_arg="community",
+                merge=MergeSpec(
+                    "route",
+                    doc="single-community plans (including multi-community "
+                        "scopes one shard owns) route point-to-point; "
+                        "everything else runs at the parent",
+                ),
             ),
             OpSpec(
                 name="connectivity",

@@ -57,6 +57,42 @@ COST_CLASSES = ("cheap", "expensive")
 SCOPES = ("dataset", "session", "service")
 
 
+#: Merge strategies a sharded execution tier may declare per op.
+MERGE_KINDS = ("route", "scatter")
+
+
+@dataclass(frozen=True)
+class MergeSpec:
+    """How a partition-sharded backend combines this op across shards.
+
+    ``kind`` picks the strategy:
+
+    * ``"route"`` — the op is a pure function of one community's induced
+      content, so a plan scoped to a shard-owned partition routes
+      point-to-point to that shard and the answer comes back whole (zero
+      merge cost).  Cross-shard scopes run at the parent, which owns the
+      cross-shard edge table.
+    * ``"scatter"`` — the op's kernel is a fixed-point iteration over the
+      whole graph whose per-step operator (a sparse matvec) splits exactly
+      along shard row slices; the parent drives the iteration, shards
+      compute their row blocks, and the gathered update is bit-identical
+      to the monolithic step by construction.
+
+    Ops without a ``MergeSpec`` never leave the parent under a sharded
+    backend.  The spec is declarative only — the registry never imports
+    the shard subsystem.
+    """
+
+    kind: str
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in MERGE_KINDS:
+            raise ValueError(
+                f"merge kind must be one of {MERGE_KINDS}, got {self.kind!r}"
+            )
+
+
 @dataclass(frozen=True)
 class StreamSpec:
     """How a streamable op's encoded payload chunks into cursor pages.
@@ -198,6 +234,11 @@ class OpSpec:
     #: survive ``dataset.apply`` edits elsewhere in the graph.  ``None``
     #: keys by the root fingerprint, which changes on every edit.
     partition_arg: Optional[str] = None
+    #: Sharded-merge declaration (:class:`MergeSpec`): how a
+    #: partition-sharded backend may distribute this op and combine the
+    #: partial results.  ``None`` means the op never leaves the parent
+    #: process under a sharded backend.
+    merge: Optional[MergeSpec] = None
 
     def __post_init__(self) -> None:
         if self.cost not in COST_CLASSES:
@@ -353,6 +394,8 @@ class OpSpec:
                 "field": self.stream.field,
                 "page_key": self.stream.page_key,
             }
+        # Merge flag: how (whether) a sharded backend distributes this op.
+        row["merge"] = None if self.merge is None else self.merge.kind
         return row
 
 

@@ -865,10 +865,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--workers", type=int, default=4)
     serve.add_argument(
-        "--backend", default="inline", metavar="{inline,thread,process,auto}[:N]",
+        "--backend", default="inline",
+        metavar="{inline,thread,process,auto,sharded}[:N]",
         help="execution backend for expensive mining kernels "
              "(process = warm multi-core worker pool; auto = pick per op from "
-             "cost class + cpu count; N overrides --workers)",
+             "cost class + cpu count; sharded = split each dataset along its "
+             "G-Tree communities over N single-shard worker processes; "
+             "N overrides --workers)",
     )
     serve.add_argument(
         "--cache-path", default=None, dest="cache_path", metavar="FILE",

@@ -195,6 +195,18 @@ class DeadlineExceededError(ServiceError):
     """
 
 
+class WorkerDeadlineCancelled(DeadlineExceededError):
+    """A pool/shard worker cancelled overdue work before running it.
+
+    The parent propagates ``deadline_at`` (absolute wall-clock) into the
+    worker task; a task that only reaches the front of the worker's queue
+    after that instant raises this instead of computing a result nobody
+    will use.  Counted separately (``resilience.deadline.worker_cancelled``
+    in ``/v1/stats``) from parent-side abandonment, which leaves the
+    worker running.
+    """
+
+
 class OverloadedError(ServiceError):
     """The server shed this request under load; retry after backoff.
 

@@ -273,6 +273,40 @@ class Graph:
                         sub.edge_attrs(node, neighbor).update(attrs)
         return sub
 
+    def induced_ordered(self, nodes: Iterable[NodeId], name: str = "") -> "Graph":
+        """Induced subgraph whose iteration orders mirror *this* graph's.
+
+        :meth:`subgraph` rebuilds adjacency through ``add_edge``, so the
+        result's per-node neighbour order is an artifact of the replay.
+        Shard slices need something stronger: a slice whose ``nodes()``,
+        ``neighbors()`` and ``edges()`` sequences are exactly this graph's
+        own sequences filtered to the kept set.  With that property, any
+        order-sensitive construction performed on the slice — a
+        ``subgraph`` over community members, an ``edges()`` re-induction —
+        reproduces what the same construction yields on the parent, which
+        is what makes sharded execution byte-identical to unsharded.
+        """
+        keep = {node for node in nodes if node in self._adj}
+        sub = Graph(name=name or f"{self.name}::induced")
+        for node, nbrs in self._adj.items():
+            if node not in keep:
+                continue
+            sub._adj[node] = {v: w for v, w in nbrs.items() if v in keep}
+            attrs = self._node_attrs.get(node)
+            if attrs:
+                sub._node_attrs[node] = dict(attrs)
+        seen = set()
+        for node, nbrs in sub._adj.items():
+            for neighbor in nbrs:
+                key = self._edge_key(node, neighbor)
+                if key not in seen:
+                    seen.add(key)
+                    sub._num_edges += 1
+                    attrs = self._edge_attrs.get(key)
+                    if attrs:
+                        sub._edge_attrs[key] = dict(attrs)
+        return sub
+
     def copy(self) -> "Graph":
         """Return a deep-enough copy (adjacency rebuilt, attrs shallow-copied)."""
         clone = self.subgraph(self.nodes(), name=self.name)

@@ -197,6 +197,31 @@ def _csr_from_views(
     return matrix
 
 
+def _csr_from_views_raw(
+    data: np.ndarray, indices: np.ndarray, indptr: np.ndarray, shape
+) -> sparse.csr_matrix:
+    """CSR over shared views with *honest* flags (buffers shipped verbatim).
+
+    Matrix segments carry whatever stored order the publisher's slice had
+    — possibly unsorted.  Declaring it sorted would let an attaching
+    kernel take a sorted-only code path over unsorted data; leaving the
+    flags unset keeps every consumer on order-preserving paths (the only
+    one the shard workers use is ``matrix @ rank``, which is one).
+    """
+    return sparse.csr_matrix((data, indices, indptr), shape=shape, copy=False)
+
+
+def _csc_from_views(
+    data: np.ndarray, indices: np.ndarray, indptr: np.ndarray, shape
+) -> sparse.csc_matrix:
+    matrix = sparse.csc_matrix((data, indices, indptr), shape=shape, copy=False)
+    # Published from a canonical ``tocsc()`` — same invariant as the CSR
+    # views: declare it so nothing writes into the read-only segment.
+    matrix.has_sorted_indices = True
+    matrix.has_canonical_format = True
+    return matrix
+
+
 def _release_segment(shm, owner: bool, nbytes: int, state: Dict[str, bool]) -> None:
     """Idempotent close(+unlink): shared by ``release`` and the finalizer."""
     if state.get("released"):
@@ -254,10 +279,16 @@ class SharedPreparedGraph(PreparedGraph):
         owner: bool,
         degrees: Optional[np.ndarray] = None,
         transition: Optional[sparse.csr_matrix] = None,
+        transition_csc: Optional[sparse.csc_matrix] = None,
+        reverse_transition: Optional[sparse.csr_matrix] = None,
     ) -> None:
         super().__init__(index, adjacency, fingerprint=fingerprint)
         self._degrees = degrees
         self._transition = transition
+        # Derived views (what the exact solver factorises / reverse walks
+        # iterate) ride the same segment, so workers never rebuild them.
+        self._transition_csc = transition_csc
+        self._reverse_transition = reverse_transition
         self.manifest = manifest
         self._shm = shm
         self._owner = owner
@@ -289,6 +320,8 @@ class SharedPreparedGraph(PreparedGraph):
         adjacency.sort_indices()
         degrees = prepared.degrees
         transition = prepared.transition
+        transition_csc = prepared.transition_csc
+        reverse_transition = prepared.reverse_transition
         nodes_blob = pickle.dumps(
             prepared.index.nodes(), protocol=pickle.HIGHEST_PROTOCOL
         )
@@ -300,6 +333,15 @@ class SharedPreparedGraph(PreparedGraph):
             "w_data": transition.data,
             "w_indices": transition.indices,
             "w_indptr": transition.indptr,
+            # Derived views (PR 8 follow-up): the CSC the exact solver
+            # factorises and the reverse-walk CSR, published once so every
+            # attaching worker shares them zero-copy too.
+            "wc_data": transition_csc.data,
+            "wc_indices": transition_csc.indices,
+            "wc_indptr": transition_csc.indptr,
+            "wr_data": reverse_transition.data,
+            "wr_indices": reverse_transition.indices,
+            "wr_indptr": reverse_transition.indptr,
         }
         specs = []
         offset = 0
@@ -391,6 +433,20 @@ class SharedPreparedGraph(PreparedGraph):
             arrays["w_data"], arrays["w_indices"], arrays["w_indptr"],
             manifest.matrix_shape,
         )
+        # Old manifests (pre derived-view publishing) lack these arrays;
+        # the lazy PreparedGraph properties rebuild them locally then.
+        transition_csc = None
+        if "wc_data" in arrays:
+            transition_csc = _csc_from_views(
+                arrays["wc_data"], arrays["wc_indices"], arrays["wc_indptr"],
+                manifest.matrix_shape,
+            )
+        reverse_transition = None
+        if "wr_data" in arrays:
+            reverse_transition = _csr_from_views(
+                arrays["wr_data"], arrays["wr_indices"], arrays["wr_indptr"],
+                manifest.matrix_shape,
+            )
         return cls(
             index=index,
             adjacency=adjacency,
@@ -400,6 +456,8 @@ class SharedPreparedGraph(PreparedGraph):
             owner=owner,
             degrees=arrays["degrees"],
             transition=transition,
+            transition_csc=transition_csc,
+            reverse_transition=reverse_transition,
         )
 
     # ------------------------------------------------------------------ #
@@ -449,3 +507,135 @@ def manifest_of(view: Any) -> Optional[SharedGraphManifest]:
     if isinstance(view, SharedPreparedGraph) and not view.released:
         return view.manifest
     return None
+
+
+# --------------------------------------------------------------------------- #
+# generic single-matrix segments (per-shard transition row slices)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SharedMatrixManifest:
+    """Picklable identity of one published CSR matrix segment."""
+
+    segment: str
+    shape: Tuple[int, int]
+    arrays: Tuple[SharedArraySpec, ...]
+    total_bytes: int
+
+
+class SharedMatrixSegment:
+    """One CSR matrix resident in shared memory.
+
+    The sharded backend publishes each shard's row slice of the parent
+    transition matrix (``W[rows_s, :]``) through one of these, so shard
+    workers attach their matvec operand zero-copy instead of unpickling
+    an O(nnz) payload per warm.  Same lifecycle discipline as
+    :class:`SharedPreparedGraph`: the publisher owns unlink, attachments
+    only close, and a ``weakref.finalize`` guard backstops both.
+    """
+
+    def __init__(self, matrix: sparse.csr_matrix, manifest: SharedMatrixManifest,
+                 shm, owner: bool) -> None:
+        self.matrix = matrix
+        self.manifest = manifest
+        self._shm = shm
+        self._owner = owner
+        self._release_state: Dict[str, bool] = {"released": False}
+        self._finalizer = weakref.finalize(
+            self, _release_segment, shm, owner, manifest.total_bytes,
+            self._release_state,
+        )
+
+    @classmethod
+    def publish(cls, matrix: sparse.csr_matrix) -> "SharedMatrixSegment":
+        """Copy ``matrix``'s CSR buffers into a fresh segment, verbatim.
+
+        Deliberately NO canonicalisation (``sort_indices`` would reorder
+        each row's stored nonzeros — and the stored order is the byte
+        parity contract: a shard matvec must accumulate every output row
+        in exactly the order the parent's monolithic matrix would).  It
+        also must not mutate the caller's matrix, which the parent keeps
+        for re-warms.
+        """
+        if _shared_memory is None:  # pragma: no cover - platform guard
+            raise GraphError("shared memory is not available on this platform")
+        if not sparse.isspmatrix_csr(matrix):
+            matrix = matrix.tocsr()
+        sources: Dict[str, np.ndarray] = {
+            "data": matrix.data,
+            "indices": matrix.indices,
+            "indptr": matrix.indptr,
+        }
+        specs = []
+        offset = 0
+        for key, array in sources.items():
+            array = np.ascontiguousarray(array)
+            sources[key] = array
+            offset = _align(offset)
+            specs.append(SharedArraySpec(
+                key=key, dtype=array.dtype.str, shape=array.shape,
+                offset=offset,
+            ))
+            offset += array.nbytes
+        shm = _shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        try:
+            for spec, array in zip(specs, sources.values()):
+                target = np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=shm.buf,
+                    offset=spec.offset,
+                )
+                target[...] = array
+        except Exception:
+            shm.close()
+            shm.unlink()
+            raise
+        manifest = SharedMatrixManifest(
+            segment=shm.name,
+            shape=tuple(matrix.shape),
+            arrays=tuple(specs),
+            total_bytes=offset,
+        )
+        SHM_STATS.published(offset)
+        views = {spec.key: _read_only_view(shm.buf, spec) for spec in specs}
+        shared = _csr_from_views_raw(
+            views["data"], views["indices"], views["indptr"], manifest.shape
+        )
+        return cls(shared, manifest, shm, owner=True)
+
+    @classmethod
+    def attach(cls, manifest: SharedMatrixManifest) -> "SharedMatrixSegment":
+        """Map an already-published matrix segment zero-copy."""
+        if _shared_memory is None:  # pragma: no cover - platform guard
+            raise GraphError("shared memory is not available on this platform")
+        try:
+            shm = _shared_memory.SharedMemory(name=manifest.segment)
+        except (FileNotFoundError, OSError) as error:
+            raise GraphError(
+                f"shared matrix segment {manifest.segment!r} is gone "
+                f"(retired or never published here): {error}"
+            ) from error
+        try:
+            views = {
+                spec.key: _read_only_view(shm.buf, spec)
+                for spec in manifest.arrays
+            }
+            matrix = _csr_from_views_raw(
+                views["data"], views["indices"], views["indptr"],
+                manifest.shape,
+            )
+        except Exception:
+            shm.close()
+            raise
+        SHM_STATS.attached()
+        return cls(matrix, manifest, shm, owner=False)
+
+    @property
+    def owner(self) -> bool:
+        return self._owner
+
+    @property
+    def released(self) -> bool:
+        return self._release_state["released"]
+
+    def release(self) -> None:
+        """Retire the segment (idempotent; unlink for owner, close else)."""
+        self._finalizer()

@@ -55,6 +55,20 @@ class CommunityStep(Step):
 
 
 @dataclass(frozen=True)
+class CommunitiesStep(Step):
+    """``community(a, b, ...)`` — scope the traversal to several tree nodes.
+
+    The selection starts as the union of the referenced communities.  The
+    parser canonicalizes: refs are de-duplicated and sorted (by ``repr``),
+    so every spelling of the same scope shares one cache entry — and a
+    sharded backend can route the compiled plan point-to-point when a
+    single shard owns every referenced partition.
+    """
+
+    refs: Tuple[Literal, ...]
+
+
+@dataclass(frozen=True)
 class AxisStep(Step):
     """A no-argument tree axis: descendants/ancestors/leaves/members."""
 
@@ -146,6 +160,9 @@ def unparse_step(step: Step) -> str:
     """Canonical text for one step."""
     if isinstance(step, CommunityStep):
         return f"community({_render_literal(step.ref)})"
+    if isinstance(step, CommunitiesStep):
+        refs = ", ".join(_render_literal(ref) for ref in step.refs)
+        return f"community({refs})"
     if isinstance(step, AxisStep):
         return step.axis
     if isinstance(step, HopsStep):

@@ -29,6 +29,7 @@ from ..errors import InvalidArgumentError, NavigationError
 from ..mining.rwr import node_sort_key
 from .ast import (
     AxisStep,
+    CommunitiesStep,
     CommunityStep,
     CountStep,
     EdgeFilterStep,
@@ -58,10 +59,18 @@ DEFAULT_RESTART = 0.15
 
 @dataclass(frozen=True)
 class CompiledPath:
-    """A lowered + normalized plan plus its constant-folded scope."""
+    """A lowered + normalized plan plus its constant-folded scope.
+
+    ``communities`` is populated only for multi-community scopes
+    (``community(a, b)/...``): the canonical labels of every referenced
+    partition.  Such queries compile with ``community=None`` (their union
+    is not one partition), but the labels let a sharded backend route the
+    plan point-to-point when one shard owns them all.
+    """
 
     plan: PlanNode
     community: Optional[str]
+    communities: Tuple[str, ...] = ()
 
 
 def _subtree(tree, node, include_self: bool):
@@ -77,7 +86,10 @@ def _subtree(tree, node, include_self: bool):
 
 
 def _resolve_community(tree, step: CommunityStep):
-    ref = step.ref
+    return _resolve_ref(tree, step.ref)
+
+
+def _resolve_ref(tree, ref):
     if isinstance(ref, int):
         if tree.has_node(ref):
             return tree.node(ref)
@@ -106,6 +118,7 @@ def lower(query: PathQuery, tree) -> CompiledPath:
         )
     selection = [tree.root]
     anchored: Optional[str] = None
+    communities: Tuple[str, ...] = ()
     closed = True          # only descendant-closed axes so far
     expanded = False       # any hops/neighbors step
     vertices: Optional[Set] = None
@@ -126,6 +139,16 @@ def lower(query: PathQuery, tree) -> CompiledPath:
             node = _resolve_community(tree, step)
             selection = [node]
             anchored = node.label
+        elif isinstance(step, CommunitiesStep):
+            selection = _dedupe(
+                _resolve_ref(tree, ref) for ref in step.refs
+            )
+            # The union of several communities is not one partition, so the
+            # scope cannot constant-fold (anchored stays None); record the
+            # labels so the sharded backend can still route point-to-point.
+            communities = tuple(
+                sorted(node.label for node in selection)
+            )
         elif isinstance(step, AxisStep):
             if step.axis == "descendants":
                 selection = _dedupe(
@@ -182,6 +205,8 @@ def lower(query: PathQuery, tree) -> CompiledPath:
             items=labels if kind == "nodes" else (),
             count=len(selection),
         )
+        # Const plans are answered in the parent for free; no need to
+        # carry multi-community routing hints on them.
         return CompiledPath(plan=const, community=scope)
 
     # Vertex-level plan: decide scope, then seed relative to it.
@@ -223,6 +248,7 @@ def lower(query: PathQuery, tree) -> CompiledPath:
     return CompiledPath(
         plan=chain,
         community=scope_node.label if scope_node is not None else None,
+        communities=communities,
     )
 
 

@@ -31,6 +31,7 @@ from typing import List, Optional, Tuple
 from ..errors import QueryParseError
 from .ast import (
     AxisStep,
+    CommunitiesStep,
     CommunityStep,
     CountStep,
     EdgeFilterStep,
@@ -224,14 +225,30 @@ class _Parser:
             return CountStep(span=token.span)
         return NodesStep(span=token.span)
 
-    def _community(self, head: _Token) -> CommunityStep:
+    def _community(self, head: _Token) -> Step:
         self._expect_sym("(", "'(' after community")
+        refs = []
         ref, _ = self._literal(
             "a community id, label, or quoted string",
             kinds=("int", "name", "string"),
         )
+        refs.append(ref)
+        while self._peek().kind == "sym" and self._peek().text == ",":
+            self._next()
+            ref, _ = self._literal(
+                "a community id, label, or quoted string",
+                kinds=("int", "name", "string"),
+            )
+            refs.append(ref)
         close = self._expect_sym(")", "')' after the community reference")
-        return CommunityStep(span=head.span.merge(close.span), ref=ref)
+        span = head.span.merge(close.span)
+        # Canonicalize multi-community scopes: de-duplicate and sort the
+        # refs (by repr, matching rwr source canonicalization) so every
+        # spelling of the same scope unparses — and cache-keys — the same.
+        unique = sorted(set(refs), key=repr)
+        if len(unique) == 1:
+            return CommunityStep(span=span, ref=unique[0])
+        return CommunitiesStep(span=span, refs=tuple(unique))
 
     def _hops(self, head: _Token) -> HopsStep:
         self._expect_sym("(", "'(' after hops")
@@ -334,7 +351,7 @@ class _Parser:
         last = len(steps) - 1
         in_tree = True
         for index, step in enumerate(steps):
-            if isinstance(step, CommunityStep):
+            if isinstance(step, (CommunityStep, CommunitiesStep)):
                 if index != 0:
                     raise self._structure_error(
                         "community(...) is only valid as the first step", step

@@ -43,6 +43,14 @@ COST_MODEL_VERSION = 1
 #: Observations between automatic persists (plus one at ``close()``).
 SAVE_EVERY = 32
 
+#: Breaker-aware feedback factors (PR 9 follow-up): how much an open /
+#: half-open circuit inflates its venue's predicted cost.  Open means the
+#: venue is actively quarantined — predictions there should lose to any
+#: healthy alternative with a real measurement; half-open lets a trickle
+#: through while the backend probes recovery.
+BREAKER_OPEN_PENALTY = 64.0
+BREAKER_HALF_OPEN_PENALTY = 4.0
+
 
 def _entry_key(operation: str, venue: str) -> str:
     return f"{operation}|{venue}"
@@ -109,7 +117,8 @@ class CostModel:
             return None if entry is None else float(entry["ewma"])
 
     def choose(
-        self, operation: str, eligible: Sequence[str], static: str
+        self, operation: str, eligible: Sequence[str], static: str,
+        penalties: Optional[Mapping[str, float]] = None,
     ) -> Tuple[str, Dict[str, Any]]:
         """Pick a venue for ``operation`` among ``eligible``.
 
@@ -118,18 +127,33 @@ class CostModel:
         only to an eligible venue whose prediction is strictly below the
         static choice's own prediction — so with no (or one-sided)
         measurements the decision *is* the static rule.
+
+        ``penalties`` multiplies a venue's predicted cost (breaker-aware
+        feedback: an open circuit inflates its venue so traffic routes
+        around the quarantine instead of queueing on fallbacks).  Applied
+        to predictions only — a penalised venue with no measurement still
+        follows the static rule, because there is nothing to inflate.
         """
         predictions = {
             venue: prediction
             for venue in eligible
             if (prediction := self.predict(operation, venue)) is not None
         }
+        if penalties:
+            predictions = {
+                venue: value * float(penalties.get(venue, 1.0))
+                for venue, value in predictions.items()
+            }
         basis: Dict[str, Any] = {
             "static": static,
             "predicted_seconds": {
                 venue: round(value, 6) for venue, value in predictions.items()
             },
         }
+        if penalties:
+            basis["penalties"] = {
+                venue: float(factor) for venue, factor in sorted(penalties.items())
+            }
         static_cost = predictions.get(static)
         if static_cost is None:
             basis["rule"] = "static"

@@ -43,14 +43,14 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..api.plans import ComputePlan, prepared_applies, run_plan
-from ..errors import DeadlineExceededError, ServiceError
+from ..errors import DeadlineExceededError, ServiceError, WorkerDeadlineCancelled
 from ..graph.shm import SharedGraphManifest, shm_stats
 from .resilience import CircuitBreaker, Deadline
 
 logger = logging.getLogger(__name__)
 
 #: Backend names accepted by :func:`make_backend` / ``gmine serve --backend``.
-BACKEND_NAMES = ("inline", "thread", "process", "auto")
+BACKEND_NAMES = ("inline", "thread", "process", "auto", "sharded")
 
 #: Default worker count for pooled backends.
 DEFAULT_BACKEND_WORKERS = 4
@@ -113,6 +113,7 @@ class ExecutionBackend:
         self._errors = 0
         self._deadline_rejected = 0
         self._deadline_abandoned = 0
+        self._deadline_worker_cancelled = 0
 
     # ------------------------------------------------------------------ #
     # interface
@@ -157,8 +158,14 @@ class ExecutionBackend:
         if deadline is not None and deadline.expired:
             self._abandon(deadline)
 
-    def warm(self, spec: DatasetExecSpec) -> None:
-        """Hint that a dataset was registered (process pools pre-load it)."""
+    def warm(self, spec: DatasetExecSpec, handle: Any = None) -> None:
+        """Hint that a dataset was registered (process pools pre-load it).
+
+        ``handle`` is the live :class:`~repro.service.datasets.DatasetHandle`
+        when the caller has one: a sharded backend needs the tree/graph
+        objects themselves to plan the split, while path-based pools only
+        consume the picklable ``spec``.
+        """
 
     def close(self) -> None:
         """Release pools; idempotent."""
@@ -175,6 +182,7 @@ class ExecutionBackend:
         errors=0,
         deadline_rejected=0,
         deadline_abandoned=0,
+        deadline_worker_cancelled=0,
     ) -> None:
         with self._stats_lock:
             self._executed += executed
@@ -183,6 +191,7 @@ class ExecutionBackend:
             self._errors += errors
             self._deadline_rejected += deadline_rejected
             self._deadline_abandoned += deadline_abandoned
+            self._deadline_worker_cancelled += deadline_worker_cancelled
 
     def stats(self) -> Dict[str, Any]:
         """JSON-friendly snapshot (surfaced through ``/v1/stats``)."""
@@ -196,6 +205,7 @@ class ExecutionBackend:
                 "deadline": {
                     "rejected": self._deadline_rejected,
                     "abandoned": self._deadline_abandoned,
+                    "worker_cancelled": self._deadline_worker_cancelled,
                 },
             }
 
@@ -433,8 +443,42 @@ def _log_warm_failure(future) -> None:
         logger.warning("dataset warm-up failed (first plan will retry): %s", error)
 
 
-def _process_execute(spec: DatasetExecSpec, plan: ComputePlan) -> Any:
-    """Run one plan in this worker against its warm dataset context."""
+def deadline_wall_clock(deadline: Optional[Deadline]) -> Optional[float]:
+    """Translate a deadline's remaining budget to absolute wall-clock time.
+
+    Deadlines are monotonic-clock objects and cannot cross a process
+    boundary; what can is "the instant, in ``time.time()`` terms, after
+    which the work is pointless".  Workers compare against their own wall
+    clock — same-host processes share it, so skew is microseconds against
+    millisecond budgets.
+    """
+    if deadline is None:
+        return None
+    return time.time() + max(0.0, deadline.remaining())
+
+
+def _check_worker_deadline(deadline_at: Optional[float], label: str) -> None:
+    """Cancel overdue work at task start, inside the worker."""
+    if deadline_at is not None and time.time() >= deadline_at:
+        raise WorkerDeadlineCancelled(
+            f"deadline expired before the worker started {label}; "
+            "cancelled in the worker"
+        )
+
+
+def _process_execute(
+    spec: DatasetExecSpec,
+    plan: ComputePlan,
+    deadline_at: Optional[float] = None,
+) -> Any:
+    """Run one plan in this worker against its warm dataset context.
+
+    A task that reaches the front of the queue after ``deadline_at`` is
+    cancelled here rather than computed: the parent has already abandoned
+    (or will reject) the result, so finishing it would only keep the
+    worker busy past every caller's interest.
+    """
+    _check_worker_deadline(deadline_at, f"plan {plan.operation!r}")
     context = _worker_context(spec)
     return run_plan(plan, context.community_subgraph, context.prepared_for)
 
@@ -499,7 +543,7 @@ class ProcessBackend(ExecutionBackend):
                 )
             return self._pool
 
-    def warm(self, spec: DatasetExecSpec) -> None:
+    def warm(self, spec: DatasetExecSpec, handle: Any = None) -> None:
         """Ask every worker to pre-load ``spec`` (best effort, non-blocking).
 
         One warm task per worker slot: idle workers pick them up and open
@@ -524,6 +568,17 @@ class ProcessBackend(ExecutionBackend):
         pool = self._ensure_pool()
         for _ in range(self.workers):
             pool.submit(_process_warm, spec).add_done_callback(self._warm_done)
+
+    def _note_worker_cancelled(self, future) -> None:
+        """Done callback: tally tasks the worker itself cancelled as overdue."""
+        if future.cancelled():
+            return
+        try:
+            error = future.exception()
+        except BaseException:  # pragma: no cover - shutdown race
+            return
+        if isinstance(error, WorkerDeadlineCancelled):
+            self._count(deadline_worker_cancelled=1)
 
     def _warm_done(self, future) -> None:
         """Collect a warm report (or log the failure) off the pool thread."""
@@ -553,7 +608,14 @@ class ProcessBackend(ExecutionBackend):
             self._finish(deadline)
             return value
         pool = self._ensure_pool()
-        future = pool.submit(_process_execute, spec, plan)
+        future = pool.submit(
+            _process_execute, spec, plan, deadline_wall_clock(deadline)
+        )
+        if deadline is not None:
+            # Count in-worker cancellations exactly once, even when this
+            # caller timed out first and abandoned the future: the callback
+            # fires whenever the task resolves, observed or not.
+            future.add_done_callback(self._note_worker_cancelled)
         try:
             value = future.result(
                 timeout=None if deadline is None else max(0.0, deadline.remaining())
@@ -563,6 +625,13 @@ class ProcessBackend(ExecutionBackend):
             # finishes (or keeps warming its dataset) and serves the next
             # request; only this caller's wait is cut short.
             self._abandon(deadline)
+        except WorkerDeadlineCancelled:
+            # The worker refused overdue work before computing it.  The
+            # venue did its job (transported the refusal), so the breaker
+            # records a success; the counter rides the done callback.
+            if self.breaker is not None:
+                self.breaker.record_success()
+            raise
         except StaleDatasetError:
             # The file on disk moved past this request's fingerprint (a
             # hot-reload raced the dispatch).  The parent still holds the
@@ -703,11 +772,33 @@ class AutoBackend(ExecutionBackend):
             venues.append("process")
         return venues
 
+    def _venue_penalties(self) -> Optional[Dict[str, float]]:
+        """Cost multipliers for venues whose circuit breaker is not closed.
+
+        Reads the breaker's ``state`` property — a non-consuming peek, so
+        routing decisions never eat the half-open probe slots the process
+        backend itself needs to recover.
+        """
+        if self._process is None or self._process.breaker is None:
+            return None
+        state = self._process.breaker.state
+        if state == "closed":
+            return None
+        from .costmodel import BREAKER_HALF_OPEN_PENALTY, BREAKER_OPEN_PENALTY
+
+        factor = (
+            BREAKER_OPEN_PENALTY if state == "open" else BREAKER_HALF_OPEN_PENALTY
+        )
+        return {"process": factor}
+
     def _choose(self, spec: DatasetExecSpec, operation: str) -> Tuple[str, Dict[str, Any]]:
         static = self._static_choice(spec)
         if self.cost_model is None:
             return static, {"rule": "static", "static": static}
-        return self.cost_model.choose(operation, self._eligible(spec), static)
+        return self.cost_model.choose(
+            operation, self._eligible(spec), static,
+            penalties=self._venue_penalties(),
+        )
 
     def run(self, spec, plan, local, deadline=None):
         self._admit(deadline)
@@ -745,7 +836,7 @@ class AutoBackend(ExecutionBackend):
             )
         return value
 
-    def warm(self, spec: DatasetExecSpec) -> None:
+    def warm(self, spec: DatasetExecSpec, handle: Any = None) -> None:
         if self._process is not None:
             self._process.warm(spec)
 
@@ -767,7 +858,7 @@ class AutoBackend(ExecutionBackend):
             decisions = {op: dict(basis) for op, basis in self._decisions.items()}
         for counter in ("executed", "shipped", "fallbacks", "errors"):
             own[counter] += sum(stats[counter] for stats in delegates.values())
-        for counter in ("rejected", "abandoned"):
+        for counter in ("rejected", "abandoned", "worker_cancelled"):
             own["deadline"][counter] += sum(
                 stats["deadline"][counter] for stats in delegates.values()
             )
@@ -790,9 +881,11 @@ def make_backend(
 ) -> ExecutionBackend:
     """Resolve a backend selector: an instance, ``None``, or ``"name[:N]"``.
 
-    ``"thread:8"`` / ``"process:2"`` override the worker count inline —
-    handy for the CLI, benchmarks, and Makefile one-liners.  ``cost_model``
-    only applies to ``auto`` (the other backends have no venue to choose).
+    ``"thread:8"`` / ``"process:2"`` / ``"sharded:4"`` override the
+    worker/shard count inline — handy for the CLI, benchmarks, and
+    Makefile one-liners.  ``cost_model`` applies to ``auto`` (venue
+    choice) and ``sharded`` (per-shard venue latency estimates); the
+    other backends have no decision to feed.
     """
     if isinstance(backend, ExecutionBackend):
         return backend
@@ -814,6 +907,12 @@ def make_backend(
         return ProcessBackend(workers=workers)
     if name == "auto":
         return AutoBackend(workers=workers, cost_model=cost_model)
+    if name == "sharded":
+        # Imported lazily: the shard subsystem imports this module for the
+        # backend base class, so a top-level import would be circular.
+        from ..shard.backend import ShardedBackend
+
+        return ShardedBackend(shards=workers, cost_model=cost_model)
     raise ServiceError(
         f"unknown execution backend {backend!r}; expected one of {BACKEND_NAMES}"
     )

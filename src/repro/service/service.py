@@ -234,7 +234,9 @@ class GMineService:
             else str(backend or "inline").partition(":")[0]
         )
         cost_model = None
-        if backend_name == "auto" and not isinstance(backend, ExecutionBackend):
+        if backend_name in ("auto", "sharded") and not isinstance(
+            backend, ExecutionBackend
+        ):
             path = cost_model_path
             if path is None and cache_path is not None:
                 path = f"{cache_path}.cost.json"
@@ -245,7 +247,7 @@ class GMineService:
         self.sessions = SessionManager(default_ttl=session_ttl, clock=clock)
         self.max_workers = max_workers
         if shared_prepared is None:
-            shared_prepared = backend_name in ("process", "auto")
+            shared_prepared = backend_name in ("process", "auto", "sharded")
         self.registry_of_datasets = DatasetRegistry(share_prepared=shared_prepared)
         self._lock = threading.RLock()
         self._compute_counts: Counter = Counter()
@@ -315,7 +317,7 @@ class GMineService:
         """
         if self.registry_of_datasets.share_prepared and handle.graph is not None:
             handle.prepared_graph()
-        self.backend.warm(handle.exec_spec())
+        self.backend.warm(handle.exec_spec(), handle)
 
     def register_store(
         self,
@@ -1001,7 +1003,10 @@ class GMineService:
         payload: Dict[str, Any] = {
             "breakers": self._breaker_states(backend_stats),
             "deadline": dict(
-                backend_stats.get("deadline", {"rejected": 0, "abandoned": 0})
+                backend_stats.get(
+                    "deadline",
+                    {"rejected": 0, "abandoned": 0, "worker_cancelled": 0},
+                )
             ),
             "stale_serves": cache_stats.get("stale_serves", 0),
             "store_errors": cache_stats.get("store_errors", 0),

@@ -1,0 +1,32 @@
+"""Sharded execution: G-Tree-aligned dataset splits and scatter-gather.
+
+The G-Tree's top-level communities are a natural shard key (GMine §4:
+partitions minimise cross-community edges), so each shard holds a slice
+tree (root + one bundle of community subtrees), the order-preserving
+induced subgraph for its members, and — when every vertex lands in
+exactly one shard — its row block of the transition matrix for exact
+distributed RWR.  See ``backend.ShardedBackend`` for the routing rules
+and the byte-parity argument.
+"""
+
+from .backend import ShardedBackend
+from .planner import (
+    CrossShardEdge,
+    ShardPlan,
+    ShardPlanError,
+    ShardPlanner,
+    ShardSlice,
+)
+from .rwr import scatter_rwr
+from .worker import ShardStateError
+
+__all__ = [
+    "CrossShardEdge",
+    "ShardPlan",
+    "ShardPlanError",
+    "ShardPlanner",
+    "ShardSlice",
+    "ShardStateError",
+    "ShardedBackend",
+    "scatter_rwr",
+]

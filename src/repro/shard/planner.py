@@ -1,0 +1,317 @@
+"""Shard planning: split one dataset along G-Tree community subtrees.
+
+The paper's hierarchy is the shard key.  Each of the root's child
+subtrees is a self-contained partition (own members, own leaf subgraphs,
+own Merkle sub-fingerprint), so a :class:`ShardPlanner` assigns whole
+subtrees to shards, builds a valid *slice* G-Tree per shard (the root
+cloned down to its owned children, subtree nodes shared structurally),
+induces each shard's vertex slice of the original graph, and keeps the
+edges that cross shards in a parent-level :class:`CrossShardEdge` table —
+exactly the split the G-Tree's own connectivity edges describe one level
+down.
+
+Byte-parity contract.  Shard graphs are built with
+:meth:`~repro.graph.graph.Graph.induced_ordered`, whose iteration orders
+(``nodes()``, per-node neighbours, ``edges()``) are the parent graph's
+sequences filtered to the kept set.  Consequently, for any vertex set
+``S`` fully inside one shard, ``shard_graph.subgraph(S)`` and
+``root_graph.subgraph(S)`` perform identical insertions in identical
+order and yield bit-identical results — which is what lets a sharded
+backend route community-scoped plans point-to-point and return the
+worker's answer unmerged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.gtree import GTree, GTreeNode
+from ..errors import ServiceError
+from ..graph.graph import Graph
+
+
+class ShardPlanError(ServiceError):
+    """The dataset cannot be split along its G-Tree (e.g. leaf-only root)."""
+
+
+@dataclass(frozen=True)
+class CrossShardEdge:
+    """Aggregate of the original-graph edges between two shards."""
+
+    shard_a: int
+    shard_b: int
+    edge_count: int
+    total_weight: float
+
+
+@dataclass(frozen=True)
+class ShardSlice:
+    """One shard's share of the dataset.
+
+    ``tree`` is a valid G-Tree whose root is a clone of the dataset root
+    restricted to the owned child subtrees; subtree nodes are copies that
+    share the ORIGINAL leaf subgraph objects (slices are read-only), and
+    leaves without one get their subgraph materialised at plan time so
+    the shard worker never re-induces it per request.
+    ``graph`` is the order-preserving induced slice of the full graph.
+    ``rows`` are the shard members' positions in the parent
+    ``VertexIndex`` (sorted), when an index was supplied — the row block
+    this shard owns in scatter-gather matvecs.
+    """
+
+    shard_id: int
+    tree: GTree
+    graph: Optional[Graph]
+    labels: Tuple[str, ...]
+    node_ids: Tuple[int, ...]
+    members: Tuple[object, ...]
+    rows: Optional[Tuple[int, ...]] = None
+
+
+@dataclass
+class ShardPlan:
+    """The full placement: slices, owner maps, and the cross-shard table."""
+
+    fingerprint: str
+    shards: Tuple[ShardSlice, ...]
+    owner_by_label: Dict[str, int]
+    owner_by_node_id: Dict[int, int]
+    cross_edges: Tuple[CrossShardEdge, ...]
+    #: True when every shard has a row block and the blocks exactly
+    #: partition ``[0, n)`` of the parent vertex index — the precondition
+    #: for exact scatter-gather matvecs.
+    scatter_capable: bool = False
+    num_vertices: int = 0
+
+    def owner_of(self, scope) -> Optional[int]:
+        """Shard that wholly owns a community scope (label or node id).
+
+        ``None`` for the root scope, for unknown refs, and for the root
+        label itself — those never route point-to-point.
+        """
+        if scope is None:
+            return None
+        if isinstance(scope, int) and not isinstance(scope, bool):
+            return self.owner_by_node_id.get(scope)
+        return self.owner_by_label.get(str(scope))
+
+    def single_owner(self, labels: Sequence[str]) -> Optional[int]:
+        """The one shard owning *every* label, or ``None``."""
+        owners = {self.owner_by_label.get(str(label)) for label in labels}
+        if len(owners) == 1:
+            return owners.pop()
+        return None
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly summary for /v1/stats."""
+        return {
+            "fingerprint": self.fingerprint,
+            "shards": [
+                {
+                    "shard": s.shard_id,
+                    "subtrees": len(s.tree.root.children),
+                    "communities": len(s.labels),
+                    "members": len(s.members),
+                }
+                for s in self.shards
+            ],
+            "cross_edges": sum(e.edge_count for e in self.cross_edges),
+            "scatter_capable": self.scatter_capable,
+        }
+
+
+def _subtree_nodes(tree: GTree, node: GTreeNode) -> List[GTreeNode]:
+    """``node`` and its descendants in deterministic preorder."""
+    result = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        result.append(current)
+        stack.extend(reversed(tree.children(current.node_id)))
+    return result
+
+
+def _clone_node(node: GTreeNode, graph: Optional[Graph]) -> GTreeNode:
+    # Structural copy sharing the original (immutable-by-convention) leaf
+    # subgraph object: pickling the slice ships it to the shard worker
+    # with every internal dict order intact.  A leaf that carries no
+    # subgraph gets one materialised here, at plan time, with the same
+    # ``graph.subgraph(members, name=label)`` call the engine would make
+    # per request — so the shard worker serves the leaf directly (as a
+    # store-backed worker would) instead of re-inducing it on every plan,
+    # and the bytes stay identical to the unsharded answer.
+    subgraph = node.subgraph
+    if subgraph is None and node.is_leaf and graph is not None:
+        subgraph = graph.subgraph(node.members, name=node.label)
+    return GTreeNode(
+        node_id=node.node_id,
+        label=node.label,
+        level=node.level,
+        parent_id=node.parent_id,
+        children=list(node.children),
+        members=list(node.members),
+        connectivity=list(node.connectivity),
+        subgraph=subgraph,
+    )
+
+
+class ShardPlanner:
+    """Greedy balanced placement of root subtrees onto ``shards`` shards."""
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ShardPlanError(
+                f"shard count must be a positive integer, got {shards}"
+            )
+        self.shards = shards
+
+    def plan(
+        self,
+        tree: GTree,
+        graph: Optional[Graph],
+        fingerprint: str,
+        index=None,
+    ) -> ShardPlan:
+        """Split ``tree``/``graph`` into at most ``self.shards`` slices.
+
+        ``index`` is the parent :class:`~repro.graph.matrix.VertexIndex`
+        (when a prepared graph exists); it supplies the per-shard row
+        blocks that make exact scatter matvecs possible.
+        """
+        root = tree.root
+        subtrees = tree.children(root.node_id)
+        if not subtrees:
+            raise ShardPlanError(
+                f"dataset tree {tree.name!r} has no community subtrees to "
+                "shard on (root is a leaf)"
+            )
+        count = max(1, min(self.shards, len(subtrees)))
+
+        # Largest-first onto the least-loaded shard; ties break to the
+        # lowest shard id, so placement is deterministic.
+        loads = [0] * count
+        assignment: Dict[int, int] = {}
+        for node in sorted(subtrees, key=lambda n: (-len(n.members), n.node_id)):
+            shard = min(range(count), key=lambda s: (loads[s], s))
+            assignment[node.node_id] = shard
+            loads[shard] += len(node.members)
+
+        slices = []
+        owner_by_label: Dict[str, int] = {}
+        owner_by_node_id: Dict[int, int] = {}
+        vertex_owner: Dict[object, int] = {}
+        for shard_id in range(count):
+            owned = [
+                child for child in subtrees
+                if assignment[child.node_id] == shard_id
+            ]
+            slice_tree = GTree(name=f"{tree.name}::shard{shard_id}")
+            slice_root = GTreeNode(
+                node_id=root.node_id,
+                label=root.label,
+                level=root.level,
+                parent_id=None,
+                children=[child.node_id for child in owned],
+                members=[m for child in owned for m in child.members],
+                connectivity=[
+                    edge for edge in root.connectivity
+                    if edge.source in assignment
+                    and edge.target in assignment
+                    and assignment[edge.source] == shard_id
+                    and assignment[edge.target] == shard_id
+                ],
+                subgraph=root.subgraph if root.is_leaf else None,
+            )
+            slice_tree.add_node(slice_root)
+            labels: List[str] = []
+            node_ids: List[int] = []
+            for child in owned:
+                for node in _subtree_nodes(tree, child):
+                    clone = _clone_node(node, graph)
+                    slice_tree.add_node(clone)
+                    if clone.is_leaf:
+                        slice_tree.register_leaf_members(clone)
+                    labels.append(node.label)
+                    node_ids.append(node.node_id)
+                    owner_by_label[node.label] = shard_id
+                    owner_by_node_id[node.node_id] = shard_id
+            slice_tree.assert_valid()
+            members = tuple(slice_root.members)
+            for member in members:
+                vertex_owner[member] = shard_id
+            shard_graph = None
+            if graph is not None:
+                shard_graph = graph.induced_ordered(
+                    members, name=f"{graph.name}::shard{shard_id}"
+                )
+            rows = None
+            if index is not None and graph is not None:
+                try:
+                    rows = tuple(sorted(
+                        index.index_of(member) for member in members
+                    ))
+                except Exception:
+                    rows = None
+            slices.append(ShardSlice(
+                shard_id=shard_id,
+                tree=slice_tree,
+                graph=shard_graph,
+                labels=tuple(labels),
+                node_ids=tuple(node_ids),
+                members=members,
+                rows=rows,
+            ))
+
+        cross = self._cross_edges(graph, vertex_owner, count)
+        num_vertices = len(index) if index is not None else (
+            graph.num_nodes if graph is not None else 0
+        )
+        scatter = self._scatter_capable(slices, num_vertices)
+        return ShardPlan(
+            fingerprint=fingerprint,
+            shards=tuple(slices),
+            owner_by_label=owner_by_label,
+            owner_by_node_id=owner_by_node_id,
+            cross_edges=cross,
+            scatter_capable=scatter,
+            num_vertices=num_vertices,
+        )
+
+    @staticmethod
+    def _cross_edges(
+        graph: Optional[Graph],
+        vertex_owner: Dict[object, int],
+        count: int,
+    ) -> Tuple[CrossShardEdge, ...]:
+        if graph is None or count < 2:
+            return ()
+        table: Dict[Tuple[int, int], List[float]] = {}
+        for u, v, weight in graph.edges():
+            a = vertex_owner.get(u)
+            b = vertex_owner.get(v)
+            if a is None or b is None or a == b:
+                continue
+            key = (min(a, b), max(a, b))
+            entry = table.setdefault(key, [0, 0.0])
+            entry[0] += 1
+            entry[1] += weight
+        return tuple(
+            CrossShardEdge(
+                shard_a=a, shard_b=b,
+                edge_count=int(entry[0]), total_weight=float(entry[1]),
+            )
+            for (a, b), entry in sorted(table.items())
+        )
+
+    @staticmethod
+    def _scatter_capable(slices, num_vertices: int) -> bool:
+        if num_vertices <= 0:
+            return False
+        seen: List[int] = []
+        for s in slices:
+            if s.rows is None:
+                return False
+            seen.extend(s.rows)
+        # Exact partition of [0, n): every parent row owned exactly once.
+        return sorted(seen) == list(range(num_vertices))

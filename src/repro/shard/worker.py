@@ -1,0 +1,150 @@
+"""Top-level task functions executed inside shard worker processes.
+
+Each shard is one single-process pool; these functions are the only code
+the parent ever submits to it.  Worker-resident state lives in the
+module-level ``_SHARD_STATE`` map, keyed by ``(fingerprint, shard_id)``
+so a pool can serve several dataset generations and several logical
+shards without cross-talk (mirroring the process backend's
+``_WORKER_DATASETS``).
+
+Deadline discipline: every task takes an optional absolute
+``deadline_at`` (wall-clock seconds).  A task that starts after that
+instant raises :class:`~repro.errors.WorkerDeadlineCancelled` instead of
+computing — the in-worker half of deadline propagation (the parent half
+is admission + abandonment).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..api.ops import OpContext
+from ..api.plans import ComputePlan, run_plan
+from ..core.engine import GMineEngine
+from ..errors import ServiceError, WorkerDeadlineCancelled
+
+
+class ShardStateError(ServiceError):
+    """The worker has no state for this (fingerprint, shard) — re-warm.
+
+    Raised when a rebuilt pool (post-crash) receives work before the
+    parent re-warmed it, or when a dataset generation was never shipped
+    here.  The parent treats it as retryable: re-warm once, then fall
+    back to local execution.
+    """
+
+
+@dataclass
+class _ShardContext:
+    """Everything one warmed shard holds: slice dataset + matvec operand."""
+
+    fingerprint: str
+    shard_id: int
+    op_context: OpContext
+    matrix: Any = None          # csr row slice W[rows_s, :], or None
+    segment: Any = None         # SharedMatrixSegment keeping the mapping alive
+
+
+#: (fingerprint, shard_id) -> warmed context, in this worker process.
+_SHARD_STATE: Dict[Tuple[str, int], _ShardContext] = {}
+
+
+def _check_deadline(deadline_at: Optional[float], label: str) -> None:
+    if deadline_at is not None and time.time() >= deadline_at:
+        raise WorkerDeadlineCancelled(
+            f"deadline expired before the shard worker started {label}; "
+            "cancelled in the worker"
+        )
+
+
+def _shard_warm(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Install one shard slice in this worker.
+
+    ``payload`` carries the slice tree and graph (pickled whole — the
+    default dict pickling preserves every iteration order, which the
+    byte-parity contract depends on) plus the matvec operand: either a
+    shared-memory manifest to attach zero-copy or, as a fallback, the
+    pickled CSR row slice itself.
+    """
+    fingerprint = payload["fingerprint"]
+    shard_id = payload["shard_id"]
+    engine = GMineEngine(tree=payload["tree"], graph=payload["graph"])
+    matrix = payload.get("matrix")
+    segment = None
+    manifest = payload.get("matrix_manifest")
+    if manifest is not None:
+        from ..graph.shm import SHM_STATS, SharedMatrixSegment
+
+        try:
+            segment = SharedMatrixSegment.attach(manifest)
+            matrix = segment.matrix
+        except Exception:
+            SHM_STATS.fallback()
+            segment = None
+    previous = _SHARD_STATE.get((fingerprint, shard_id))
+    if previous is not None and previous.segment is not None:
+        previous.segment.release()
+    _SHARD_STATE[(fingerprint, shard_id)] = _ShardContext(
+        fingerprint=fingerprint,
+        shard_id=shard_id,
+        op_context=OpContext(engine=engine, prepared_provider=None),
+        matrix=matrix,
+        segment=segment,
+    )
+    return {
+        "fingerprint": fingerprint,
+        "shard": shard_id,
+        "pid": os.getpid(),
+        "matvec_ready": matrix is not None,
+        "shm_attached": segment is not None,
+    }
+
+
+def _shard_context(fingerprint: str, shard_id: int) -> _ShardContext:
+    try:
+        return _SHARD_STATE[(fingerprint, shard_id)]
+    except KeyError:
+        raise ShardStateError(
+            f"shard worker pid {os.getpid()} holds no state for shard "
+            f"{shard_id} of dataset {fingerprint[:12]}…; re-warm required"
+        ) from None
+
+
+def _shard_execute(
+    fingerprint: str,
+    shard_id: int,
+    plan: ComputePlan,
+    deadline_at: Optional[float] = None,
+) -> Any:
+    """Run one routed plan entirely on this shard's slice."""
+    _check_deadline(deadline_at, f"plan {plan.operation!r}")
+    ctx = _shard_context(fingerprint, shard_id).op_context
+    return run_plan(plan, ctx.community_subgraph, ctx.prepared_for)
+
+
+def _shard_matvec(
+    fingerprint: str,
+    shard_id: int,
+    rank,
+    deadline_at: Optional[float] = None,
+):
+    """One scatter step: this shard's row block of ``W @ rank``."""
+    _check_deadline(deadline_at, "a scatter matvec")
+    state = _shard_context(fingerprint, shard_id)
+    if state.matrix is None:
+        raise ShardStateError(
+            f"shard {shard_id} of dataset {fingerprint[:12]}… was warmed "
+            "without a matvec operand"
+        )
+    return state.matrix @ rank
+
+
+def _shard_drop(fingerprint: str, shard_id: int) -> bool:
+    """Release one warmed slice (dataset retired or re-warmed elsewhere)."""
+    state = _SHARD_STATE.pop((fingerprint, shard_id), None)
+    if state is not None and state.segment is not None:
+        state.segment.release()
+    return state is not None

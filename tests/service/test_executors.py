@@ -78,7 +78,14 @@ class TestMakeBackend:
         auto = make_backend("auto")
         assert isinstance(auto, AutoBackend)
         auto.close()
-        assert set(BACKEND_NAMES) == {"inline", "thread", "process", "auto"}
+        from repro.shard import ShardedBackend
+
+        sharded = make_backend("sharded:2")
+        assert isinstance(sharded, ShardedBackend)
+        sharded.close()
+        assert set(BACKEND_NAMES) == {
+            "inline", "thread", "process", "auto", "sharded"
+        }
 
     def test_worker_count_suffix(self):
         backend = make_backend("thread:7")

@@ -1,0 +1,157 @@
+"""ShardPlanner invariants: placement, slice validity, owner maps, cross edges.
+
+The planner's output is what the sharded backend's routing trusts blindly
+— every invariant asserted here (whole-subtree ownership, exact member
+partition, order-preserving slice graphs, exact row-block partition) is a
+precondition of a byte-parity argument in ``repro.shard.backend``.
+"""
+
+import pytest
+
+from repro.core.builder import build_gtree
+from repro.core.gtree import GTree, GTreeNode
+from repro.data.dblp import DBLPConfig, generate_dblp
+from repro.graph.matrix import PreparedGraph
+from repro.shard import ShardPlanError, ShardPlanner
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    data = generate_dblp(DBLPConfig(num_authors=240, seed=31))
+    tree = build_gtree(data.graph, fanout=3, levels=3, seed=31)
+    prepared = PreparedGraph.from_graph(data.graph)
+    return data.graph, tree, prepared
+
+
+class TestPlacement:
+    def test_members_partition_the_root(self, dataset):
+        graph, tree, prepared = dataset
+        plan = ShardPlanner(3).plan(tree, graph, "fp", index=prepared.index)
+        seen = [m for s in plan.shards for m in s.members]
+        assert len(seen) == len(set(seen))
+        assert set(seen) == set(tree.root.members)
+
+    def test_whole_subtrees_share_one_owner(self, dataset):
+        graph, tree, prepared = dataset
+        plan = ShardPlanner(3).plan(tree, graph, "fp", index=prepared.index)
+        for child in tree.children(tree.root.node_id):
+            owner = plan.owner_of(child.node_id)
+            assert owner is not None
+            stack = [child]
+            while stack:
+                node = stack.pop()
+                assert plan.owner_of(node.node_id) == owner
+                assert plan.owner_of(node.label) == owner
+                stack.extend(tree.children(node.node_id))
+
+    def test_root_scope_never_owned(self, dataset):
+        graph, tree, prepared = dataset
+        plan = ShardPlanner(3).plan(tree, graph, "fp", index=prepared.index)
+        assert plan.owner_of(None) is None
+        assert plan.owner_of(tree.root.node_id) is None
+        assert plan.owner_of(tree.root.label) is None
+
+    def test_count_clamps_to_subtree_count(self, dataset):
+        graph, tree, prepared = dataset
+        wide = ShardPlanner(64).plan(tree, graph, "fp", index=prepared.index)
+        assert len(wide.shards) == len(tree.children(tree.root.node_id))
+
+    def test_greedy_balance_beats_worst_case(self, dataset):
+        graph, tree, prepared = dataset
+        plan = ShardPlanner(2).plan(tree, graph, "fp", index=prepared.index)
+        sizes = sorted(len(s.members) for s in plan.shards)
+        largest_subtree = max(
+            len(c.members) for c in tree.children(tree.root.node_id)
+        )
+        # Largest-first/least-loaded: no shard exceeds the other by more
+        # than the largest single subtree (the classic LPT bound).
+        assert sizes[-1] - sizes[0] <= largest_subtree
+
+    def test_leaf_only_root_is_unshardable(self, dataset):
+        graph, _, _ = dataset
+        flat = GTree(name="flat")
+        flat.add_node(GTreeNode(
+            node_id=0, label="root", level=0, parent_id=None,
+            members=list(graph.nodes()),
+        ))
+        with pytest.raises(ShardPlanError):
+            ShardPlanner(2).plan(flat, graph, "fp")
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ShardPlanError):
+            ShardPlanner(0)
+
+
+class TestSlices:
+    def test_slice_trees_are_valid_and_navigable(self, dataset):
+        graph, tree, prepared = dataset
+        plan = ShardPlanner(2).plan(tree, graph, "fp", index=prepared.index)
+        for s in plan.shards:
+            s.tree.assert_valid()
+            for label in {tree.node(nid).label for nid in s.node_ids}:
+                assert s.tree.has_label(label)
+            assert set(s.tree.root.members) == set(s.members)
+
+    def test_slice_graphs_preserve_parent_order(self, dataset):
+        """The keystone: a shard-local induced subgraph is bit-identical
+        to the parent's induced subgraph on the same vertices."""
+        graph, tree, prepared = dataset
+        plan = ShardPlanner(3).plan(tree, graph, "fp", index=prepared.index)
+        for s in plan.shards:
+            assert list(s.graph.nodes()) == [
+                n for n in graph.nodes() if n in set(s.members)
+            ]
+            probe = list(s.members[: min(40, len(s.members))])
+            ours = s.graph.subgraph(probe, name="probe")
+            parents = graph.subgraph(probe, name="probe")
+            assert list(ours.nodes()) == list(parents.nodes())
+            assert list(ours.edges()) == list(parents.edges())
+
+    def test_rows_partition_the_vertex_index(self, dataset):
+        graph, tree, prepared = dataset
+        plan = ShardPlanner(4).plan(tree, graph, "fp", index=prepared.index)
+        assert plan.scatter_capable
+        rows = sorted(r for s in plan.shards for r in s.rows)
+        assert rows == list(range(len(prepared.index)))
+
+    def test_no_index_means_no_scatter(self, dataset):
+        graph, tree, _ = dataset
+        plan = ShardPlanner(2).plan(tree, graph, "fp", index=None)
+        assert not plan.scatter_capable
+        assert all(s.rows is None for s in plan.shards)
+
+
+class TestCrossEdges:
+    def test_cross_table_accounts_for_every_crossing_edge(self, dataset):
+        graph, tree, prepared = dataset
+        plan = ShardPlanner(3).plan(tree, graph, "fp", index=prepared.index)
+        owner = {}
+        for s in plan.shards:
+            for m in s.members:
+                owner[m] = s.shard_id
+        crossing = [
+            (u, v, w) for u, v, w in graph.edges() if owner[u] != owner[v]
+        ]
+        assert sum(e.edge_count for e in plan.cross_edges) == len(crossing)
+        assert sum(e.total_weight for e in plan.cross_edges) == pytest.approx(
+            sum(w for _, _, w in crossing)
+        )
+        for edge in plan.cross_edges:
+            assert edge.shard_a < edge.shard_b
+
+    def test_single_shard_plan_has_no_cross_edges(self, dataset):
+        graph, tree, prepared = dataset
+        plan = ShardPlanner(1).plan(tree, graph, "fp", index=prepared.index)
+        assert plan.cross_edges == ()
+        assert len(plan.shards) == 1
+
+    def test_describe_is_json_friendly(self, dataset):
+        import json
+
+        graph, tree, prepared = dataset
+        plan = ShardPlanner(2).plan(tree, graph, "fp", index=prepared.index)
+        doc = json.loads(json.dumps(plan.describe()))
+        assert doc["scatter_capable"] is True
+        assert len(doc["shards"]) == 2
